@@ -1,0 +1,48 @@
+//! Ablation — key-frame scheduling policies (Algorithm 2 vs fixed strides vs
+//! exponential back-off).
+//!
+//! Criterion measures the scheduling rule itself (it runs once per key frame
+//! on the mobile device, so the paper argues it must be cheap); the printed
+//! table compares the policies' accuracy and key-frame ratios on a dynamic
+//! street video.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shadowtutor::config::ShadowTutorConfig;
+use shadowtutor::next_stride;
+use shadowtutor::stride::StridePolicy;
+use st_bench::tables::ablation_stride;
+use st_bench::{ExperimentScale, SharedSetup};
+use std::hint::black_box;
+
+fn stride_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_stride");
+    group.sample_size(50);
+
+    let config = ShadowTutorConfig::paper();
+    group.bench_function("adaptive_next_stride", |bench| {
+        bench.iter(|| {
+            let mut stride = 8usize;
+            for m in 0..64 {
+                stride = next_stride(black_box(&config), stride, (m % 20) as f64 / 20.0);
+            }
+            stride
+        })
+    });
+    group.bench_function("backoff_next_stride", |bench| {
+        let policy = StridePolicy::ExponentialBackoff;
+        bench.iter(|| {
+            let mut stride = 8usize;
+            for m in 0..64 {
+                stride = policy.next(black_box(&config), stride, (m % 20) as f64 / 20.0);
+            }
+            stride
+        })
+    });
+    group.finish();
+
+    let setup = SharedSetup::new(ExperimentScale::Smoke);
+    println!("\n{}", ablation_stride(&setup).text);
+}
+
+criterion_group!(benches, stride_benchmark);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 4 — throughput vs network bandwidth for five named videos, the
+//! naive baseline, and the analytic bound band.
+//!
+//! Criterion measures the per-bandwidth replay evaluation; the printed
+//! figure data comes from real smoke-scale traces replayed across the
+//! paper's bandwidth axis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shadowtutor::bounds::{throughput_bounds, BoundInputs};
+use shadowtutor::config::ShadowTutorConfig;
+use st_bench::figures::{figure4, FIGURE4_BANDWIDTHS_MBPS};
+use st_bench::{ExperimentScale, SharedSetup};
+use st_net::LinkModel;
+use st_sim::LatencyProfile;
+use std::hint::black_box;
+
+fn bandwidth_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure4_bandwidth");
+    group.sample_size(50);
+
+    let config = ShadowTutorConfig::paper();
+    let latency = LatencyProfile::paper();
+    group.bench_function("bound_band_over_bandwidth_axis", |bench| {
+        bench.iter(|| {
+            FIGURE4_BANDWIDTHS_MBPS
+                .iter()
+                .map(|&mbps| {
+                    let link = LinkModel::symmetric_mbps(mbps);
+                    let t_net = link.key_frame_round_trip(2_637_000, 395_000);
+                    let inputs = BoundInputs::new(&latency, true, t_net, 3_032_000);
+                    throughput_bounds(black_box(&config), &inputs).upper_fps
+                })
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+
+    let mut setup = SharedSetup::new(ExperimentScale::Smoke);
+    setup.figure4.truncate(3);
+    println!("\n{}", figure4(&setup).render());
+}
+
+criterion_group!(benches, bandwidth_benchmark);
+criterion_main!(benches);

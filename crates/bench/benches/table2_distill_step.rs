@@ -1,0 +1,63 @@
+//! Table 2 — latency of one distillation step and mean number of steps,
+//! partial vs full.
+//!
+//! Criterion measures the *host machine's* per-step latency for the tiny
+//! student (the paper's Table 2 top row is the Jetson/RTX measurement, which
+//! the latency profile reproduces); the printed table uses the simulation
+//! runs for the mean-steps row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shadowtutor::config::{DistillationMode, ShadowTutorConfig};
+use shadowtutor::train::train_student;
+use st_bench::tables::table2;
+use st_bench::{ExperimentScale, SharedSetup};
+use st_nn::optim::Adam;
+use st_nn::student::{StudentConfig, StudentNet};
+use st_teacher::{OracleTeacher, Teacher};
+use st_video::{CameraMotion, SceneKind, VideoCategory, VideoConfig, VideoGenerator};
+use std::hint::black_box;
+
+fn distill_step_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_distill_step");
+    group.sample_size(10);
+
+    let cat = VideoCategory {
+        camera: CameraMotion::Fixed,
+        scene: SceneKind::People,
+    };
+    let mut gen = VideoGenerator::new(VideoConfig::for_category(cat, 32, 24, 1)).unwrap();
+    let frame = gen.next_frame();
+    let mut teacher = OracleTeacher::perfect(1);
+    let label = teacher.pseudo_label(&frame).unwrap();
+
+    for mode in [DistillationMode::Partial, DistillationMode::Full] {
+        let config = ShadowTutorConfig {
+            mode,
+            max_updates: 1,     // exactly one optimization step per call
+            threshold: 0.999,   // never skip the step
+            ..ShadowTutorConfig::paper()
+        };
+        group.bench_function(format!("one_step_{}", mode.label()), |bench| {
+            bench.iter_batched(
+                || {
+                    let mut student = StudentNet::new(StudentConfig::tiny()).unwrap();
+                    student.freeze = mode.freeze_point();
+                    (student, Adam::new(config.learning_rate))
+                },
+                |(mut student, mut opt)| {
+                    train_student(&mut student, &mut opt, black_box(&frame), &label, &config)
+                        .unwrap()
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+
+    // Print the reproduced table (smoke scale) so `cargo bench` regenerates it.
+    let setup = SharedSetup::new(ExperimentScale::Smoke);
+    println!("\n{}", table2(&setup).text);
+}
+
+criterion_group!(benches, distill_step_benchmark);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Table 3 — system throughput (FPS) per camera×scene category for partial /
+//! full distillation and the naive baseline.
+//!
+//! Criterion measures the host's student-inference latency (the `t_si` that
+//! dominates steady-state throughput); the printed table replays the
+//! measured distillation traces at paper-scale payload sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use st_bench::tables::tables_3_and_5;
+use st_bench::{ExperimentScale, SharedSetup};
+use st_nn::student::{StudentConfig, StudentNet};
+use st_tensor::{random, Shape};
+use std::hint::black_box;
+
+fn throughput_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_throughput");
+    group.sample_size(20);
+
+    let student = StudentNet::new(StudentConfig::tiny()).unwrap();
+    let frame = random::uniform(Shape::nchw(1, 3, 24, 32), 0.0, 1.0, 1);
+    group.bench_function("student_inference_tiny_24x32", |bench| {
+        bench.iter(|| student.forward_inference(black_box(&frame)).unwrap())
+    });
+    let small = StudentNet::new(StudentConfig::small()).unwrap();
+    let frame_small = random::uniform(Shape::nchw(1, 3, 48, 64), 0.0, 1.0, 2);
+    group.bench_function("student_inference_small_48x64", |bench| {
+        bench.iter(|| small.forward_inference(black_box(&frame_small)).unwrap())
+    });
+    group.finish();
+
+    let mut setup = SharedSetup::new(ExperimentScale::Smoke);
+    setup.categories.truncate(3); // keep `cargo bench` wall time bounded
+    let tables = tables_3_and_5(&setup);
+    println!("\n{}", tables.table3.text);
+}
+
+criterion_group!(benches, throughput_benchmark);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Table 4 — data transmitted per key frame (MB).
+//!
+//! Criterion measures the cost of capturing and encoding the partial/full
+//! weight snapshots of the paper-scale student (the operation whose output
+//! size *is* Table 4); the printed table reports the measured byte sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shadowtutor::config::DistillationMode;
+use st_bench::tables::table4;
+use st_nn::snapshot::{SnapshotScope, WeightSnapshot};
+use st_nn::student::{StudentConfig, StudentNet};
+
+fn payload_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_payload");
+    group.sample_size(10);
+
+    let mut student = StudentNet::new(StudentConfig::paper()).unwrap();
+    student.freeze = DistillationMode::Partial.freeze_point();
+
+    group.bench_function("encode_partial_snapshot", |bench| {
+        bench.iter(|| {
+            WeightSnapshot::capture(&mut student, SnapshotScope::TrainableOnly).encode()
+        })
+    });
+    group.bench_function("encode_full_snapshot", |bench| {
+        bench.iter(|| WeightSnapshot::capture(&mut student, SnapshotScope::Full).encode())
+    });
+    group.finish();
+
+    println!("\n{}", table4().text);
+}
+
+criterion_group!(benches, payload_benchmark);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Table 5 — key-frame ratio (%) and network traffic (Mbps).
+//!
+//! Criterion measures the trace-replay computation (the model that converts
+//! a distillation trace plus a link model into traffic numbers); the printed
+//! table comes from the measured traces at paper-scale payloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shadowtutor::config::ShadowTutorConfig;
+use shadowtutor::report::{ExperimentRecord, FrameRecord, KeyFrameRecord};
+use st_bench::tables::tables_3_and_5;
+use st_bench::{ExperimentScale, SharedSetup};
+use st_net::LinkModel;
+use st_sim::{Concurrency, LatencyProfile};
+use std::hint::black_box;
+
+fn synthetic_record() -> ExperimentRecord {
+    let frames = 5000usize;
+    let key_every = 18usize;
+    let key_frames: Vec<KeyFrameRecord> = (0..frames / key_every)
+        .map(|i| KeyFrameRecord {
+            frame_index: i * key_every,
+            steps: 4,
+            initial_metric: 0.6,
+            metric: 0.85,
+            stride_after: key_every,
+        })
+        .collect();
+    ExperimentRecord {
+        label: "synthetic".into(),
+        variant: "partial".into(),
+        frames,
+        frame_records: (0..frames)
+            .map(|i| FrameRecord {
+                index: i,
+                is_key_frame: i % key_every == 0,
+                miou: 0.72,
+                waited: false,
+            })
+            .collect(),
+        key_frames,
+        frame_bytes: 2_637_000,
+        update_bytes: 395_000,
+        uplink_bytes: 0,
+        downlink_bytes: 0,
+        total_time: 0.0,
+        config: ShadowTutorConfig::paper(),
+        latency: LatencyProfile::paper(),
+    }
+}
+
+fn traffic_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_traffic");
+    group.sample_size(30);
+    let record = synthetic_record();
+    let link = LinkModel::paper_default();
+    group.bench_function("replay_5000_frame_trace", |bench| {
+        bench.iter(|| black_box(&record).replay_fps(&link, Concurrency::Full))
+    });
+    group.finish();
+
+    let mut setup = SharedSetup::new(ExperimentScale::Smoke);
+    setup.categories.truncate(3);
+    let tables = tables_3_and_5(&setup);
+    println!("\n{}", tables.table5.text);
+}
+
+criterion_group!(benches, traffic_benchmark);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Table 6 — mean IoU of Wild, P-1, P-8, F-1 and Naive.
+//!
+//! Criterion measures the mIoU computation itself (the per-frame accuracy
+//! evaluation the runtime performs); the printed table comes from real
+//! online-distillation runs at the smoke scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use st_bench::tables::table6;
+use st_bench::{ExperimentScale, SharedSetup};
+use st_nn::metrics::miou;
+use st_video::{CameraMotion, SceneKind, VideoCategory, VideoConfig, VideoGenerator, NUM_CLASSES};
+use std::hint::black_box;
+
+fn accuracy_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_accuracy");
+    group.sample_size(30);
+
+    let cat = VideoCategory {
+        camera: CameraMotion::Fixed,
+        scene: SceneKind::Street,
+    };
+    let mut gen = VideoGenerator::new(VideoConfig::for_category(cat, 64, 48, 1)).unwrap();
+    let a = gen.next_frame();
+    let b = gen.next_frame();
+    group.bench_function("miou_64x48", |bench| {
+        bench.iter(|| miou(black_box(&a.ground_truth), black_box(&b.ground_truth), NUM_CLASSES).unwrap())
+    });
+    group.finish();
+
+    let mut setup = SharedSetup::new(ExperimentScale::Smoke);
+    setup.categories.truncate(3);
+    println!("\n{}", table6(&setup).text);
+}
+
+criterion_group!(benches, accuracy_benchmark);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Table 7 — mean IoU and key-frame ratio on 7 FPS resampled streams
+//! (the §6.5 real-time feasibility experiment).
+//!
+//! Criterion measures frame generation plus resampling (the input pipeline a
+//! real-time deployment would run); the printed table comes from the
+//! resampled smoke-scale runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use st_bench::tables::table7;
+use st_bench::{ExperimentScale, SharedSetup};
+use st_video::resample::Resampler;
+use st_video::{CameraMotion, SceneKind, VideoCategory, VideoConfig, VideoGenerator};
+
+fn realtime_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table7_realtime");
+    group.sample_size(20);
+
+    let cat = VideoCategory {
+        camera: CameraMotion::Moving,
+        scene: SceneKind::Street,
+    };
+    let config = VideoConfig::for_category(cat, 32, 24, 1);
+    group.bench_function("generate_and_resample_28_to_7fps", |bench| {
+        bench.iter(|| {
+            let gen = VideoGenerator::new(config).unwrap();
+            let resampled: Vec<_> = Resampler::to_fps(gen, 28.0, 7.0).unwrap().take(8).collect();
+            resampled.len()
+        })
+    });
+    group.finish();
+
+    let mut setup = SharedSetup::new(ExperimentScale::Smoke);
+    setup.categories.truncate(3);
+    println!("\n{}", table7(&setup).text);
+}
+
+criterion_group!(benches, realtime_benchmark);
+criterion_main!(benches);

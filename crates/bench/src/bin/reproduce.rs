@@ -1,0 +1,85 @@
+//! `reproduce` — regenerate the paper's tables and figures from the Rust
+//! reproduction.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce [scale] [target...]
+//!
+//! scale   smoke | default | extended      (default: default)
+//! target  table2 table3 table4 table5 table6 table7 figure4 bounds ablation all
+//!         (default: all)
+//! ```
+//!
+//! Example: `cargo run --release -p st-bench --bin reproduce -- smoke table6`
+
+use st_bench::figures::figure4;
+use st_bench::tables::{ablation_stride, bounds_check, table2, table4, table6, table7, tables_3_and_5};
+use st_bench::{ExperimentScale, SharedSetup};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = ExperimentScale::Default;
+    let mut targets: Vec<String> = Vec::new();
+    for arg in &args {
+        if let Some(s) = ExperimentScale::parse(arg) {
+            scale = s;
+        } else {
+            targets.push(arg.clone());
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    let want = |name: &str| targets.iter().any(|t| t == name || t == "all");
+
+    println!("ShadowTutor reproduction harness (scale: {scale:?})");
+    println!("building shared setup (pre-training the student checkpoint)...");
+    let start = Instant::now();
+    let setup = SharedSetup::new(scale);
+    println!("setup ready in {:.1}s\n", start.elapsed().as_secs_f64());
+
+    if want("table2") {
+        let t = table2(&setup);
+        println!("{}", t.text);
+    }
+    if want("table4") {
+        let t = table4();
+        println!("{}", t.text);
+    }
+    let mut throughput = None;
+    if want("table3") || want("table5") || want("bounds") {
+        let t = tables_3_and_5(&setup);
+        if want("table3") {
+            println!("{}", t.table3.text);
+        }
+        if want("table5") {
+            println!("{}", t.table5.text);
+        }
+        throughput = Some(t);
+    }
+    if want("bounds") {
+        if let Some(t) = &throughput {
+            let b = bounds_check(&setup, &t.partial_records);
+            println!("{}", b.text);
+        }
+    }
+    if want("table6") {
+        let t = table6(&setup);
+        println!("{}", t.text);
+    }
+    if want("table7") {
+        let t = table7(&setup);
+        println!("{}", t.text);
+    }
+    if want("figure4") {
+        let f = figure4(&setup);
+        println!("{}", f.render());
+    }
+    if want("ablation") {
+        let t = ablation_stride(&setup);
+        println!("{}", t.text);
+    }
+    println!("total wall time: {:.1}s", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,403 @@
+//! Table reproductions (Tables 2–7 of the paper).
+//!
+//! Each function takes a [`SharedSetup`], runs (or reuses) the relevant
+//! experiments, and returns the table as a formatted string plus the
+//! structured rows, so the `reproduce` binary can print it and the
+//! integration tests can assert on the numbers.
+
+use crate::workloads::{SharedSetup, Variant};
+use shadowtutor::bounds::{throughput_bounds, traffic_bounds, BoundInputs};
+use shadowtutor::config::{DistillationMode, ShadowTutorConfig};
+use shadowtutor::stride::StridePolicy;
+use shadowtutor::ExperimentRecord;
+use st_net::{KeyFrameTraffic, LinkModel, NaiveTraffic};
+use st_nn::snapshot::PayloadSizes;
+use st_nn::student::{StudentConfig, StudentNet};
+use st_sim::Concurrency;
+
+/// A reproduced table: a human-readable rendering plus machine-readable rows.
+#[derive(Debug, Clone)]
+pub struct TableOutput {
+    /// Table identifier, e.g. `"Table 3"`.
+    pub id: String,
+    /// Formatted text rendering.
+    pub text: String,
+    /// Row labels in order.
+    pub row_labels: Vec<String>,
+    /// Named numeric columns, one vector per column aligned with `row_labels`.
+    pub columns: Vec<(String, Vec<f64>)>,
+}
+
+impl TableOutput {
+    fn new(id: &str) -> Self {
+        TableOutput {
+            id: id.to_string(),
+            text: String::new(),
+            row_labels: Vec::new(),
+            columns: Vec::new(),
+        }
+    }
+
+    /// Look up a column by name.
+    pub fn column(&self, name: &str) -> Option<&[f64]> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    fn render(&mut self, title: &str) {
+        let mut text = String::new();
+        text.push_str(title);
+        text.push('\n');
+        let mut widths = vec!["video".len()];
+        for (name, _) in &self.columns {
+            widths.push(name.len());
+        }
+        for (i, label) in self.row_labels.iter().enumerate() {
+            widths[0] = widths[0].max(label.len());
+            for (c, (_, values)) in self.columns.iter().enumerate() {
+                widths[c + 1] = widths[c + 1].max(format!("{:.2}", values[i]).len());
+            }
+        }
+        let mut header = vec![format!("{:<w$}", "video", w = widths[0])];
+        for (c, (name, _)) in self.columns.iter().enumerate() {
+            header.push(format!("{:>w$}", name, w = widths[c + 1]));
+        }
+        text.push_str(&header.join("  "));
+        text.push('\n');
+        for (i, label) in self.row_labels.iter().enumerate() {
+            let mut row = vec![format!("{:<w$}", label, w = widths[0])];
+            for (c, (_, values)) in self.columns.iter().enumerate() {
+                row.push(format!("{:>w$.2}", values[i], w = widths[c + 1]));
+            }
+            text.push_str(&row.join("  "));
+            text.push('\n');
+        }
+        self.text = text;
+    }
+}
+
+/// Replay a record's trace at paper-scale payload sizes and the 80 Mbps link
+/// to get a paper-comparable throughput value.
+fn paper_scale_fps(setup: &SharedSetup, record: &ExperimentRecord, mode: DistillationMode) -> f64 {
+    let (frame_bytes, update_bytes) = setup.paper_payload(mode);
+    record
+        .with_payload_sizes(frame_bytes, update_bytes)
+        .replay_fps(&setup.link, Concurrency::Full)
+}
+
+/// Naive-offloading throughput at paper scale (720p frames, prediction
+/// downlink) under a link.
+pub fn naive_paper_fps(setup: &SharedSetup, link: &LinkModel) -> f64 {
+    let traffic = NaiveTraffic::for_frame(1280, 720);
+    let per_frame = link.uplink_time(traffic.to_server_bytes)
+        + setup.latency.teacher_inference
+        + link.downlink_time(traffic.to_client_bytes);
+    1.0 / per_frame
+}
+
+/// Table 2: distillation-step latency and mean number of distillation steps,
+/// partial vs full. The latency row comes from the latency profile (measured
+/// on the paper's hardware; the Criterion bench `table2_distill_step`
+/// measures the host machine's own value); the mean-steps row comes from the
+/// actual runs.
+pub fn table2(setup: &SharedSetup) -> TableOutput {
+    let mut out = TableOutput::new("Table 2");
+    let partial_runs = setup.run_all_categories(Variant::Partial { delay: 1 });
+    let full_runs = setup.run_all_categories(Variant::Full { delay: 1 });
+    let mean_steps = |runs: &[ExperimentRecord]| {
+        let total: f64 = runs.iter().map(|r| r.mean_distill_steps()).sum();
+        total / runs.len() as f64
+    };
+    out.row_labels = vec!["one step (ms)".to_string(), "mean # of steps".to_string()];
+    out.columns = vec![
+        (
+            "Partial".to_string(),
+            vec![setup.latency.distill_step_partial * 1e3, mean_steps(&partial_runs)],
+        ),
+        (
+            "Full".to_string(),
+            vec![setup.latency.distill_step_full * 1e3, mean_steps(&full_runs)],
+        ),
+    ];
+    let mut table = TableOutput {
+        row_labels: out.row_labels.clone(),
+        ..out
+    };
+    table.render("Table 2: execution time and mean number of distillation steps");
+    table
+}
+
+/// Tables 3 and 5 share the same runs; this bundle carries them together.
+#[derive(Debug, Clone)]
+pub struct ThroughputTables {
+    /// Table 3 (FPS per category, Partial / Full / Naive).
+    pub table3: TableOutput,
+    /// Table 5 (key-frame ratio % and network traffic Mbps).
+    pub table5: TableOutput,
+    /// The underlying partial-distillation records (reused by Figure 4 and
+    /// the bounds check).
+    pub partial_records: Vec<ExperimentRecord>,
+}
+
+/// Tables 3 and 5: throughput, key-frame ratio, and network traffic.
+pub fn tables_3_and_5(setup: &SharedSetup) -> ThroughputTables {
+    let partial = setup.run_all_categories(Variant::Partial { delay: 8 });
+    let full = setup.run_all_categories(Variant::Full { delay: 8 });
+    let naive_fps = naive_paper_fps(setup, &setup.link);
+
+    // ---- Table 3 ----
+    let mut t3 = TableOutput::new("Table 3");
+    t3.row_labels = partial.iter().map(|r| r.label.clone()).collect();
+    t3.columns = vec![
+        (
+            "Partial".to_string(),
+            partial
+                .iter()
+                .map(|r| paper_scale_fps(setup, r, DistillationMode::Partial))
+                .collect(),
+        ),
+        (
+            "Full".to_string(),
+            full.iter()
+                .map(|r| paper_scale_fps(setup, r, DistillationMode::Full))
+                .collect(),
+        ),
+        ("Naive".to_string(), vec![naive_fps; partial.len()]),
+    ];
+    t3.render("Table 3: frames processed per second (paper-scale replay)");
+
+    // ---- Table 5 ----
+    let (frame_bytes, update_bytes) = setup.paper_payload(DistillationMode::Partial);
+    let mut t5 = TableOutput::new("Table 5");
+    t5.row_labels = partial.iter().map(|r| r.label.clone()).collect();
+    let partial_ratio: Vec<f64> = partial.iter().map(|r| r.key_frame_ratio_percent()).collect();
+    let full_ratio: Vec<f64> = full.iter().map(|r| r.key_frame_ratio_percent()).collect();
+    let partial_traffic: Vec<f64> = partial
+        .iter()
+        .map(|r| {
+            let scaled = r.with_payload_sizes(frame_bytes, update_bytes);
+            let time = scaled.replay_total_time(&setup.link, Concurrency::Full);
+            (scaled.uplink_bytes + scaled.downlink_bytes) as f64 * 8.0 / 1e6 / time
+        })
+        .collect();
+    let naive_traffic_mbps = {
+        let traffic = NaiveTraffic::for_frame(1280, 720);
+        traffic.total_bytes() as f64 * 8.0 / 1e6 * naive_fps
+    };
+    t5.columns = vec![
+        ("KF% Partial".to_string(), partial_ratio),
+        ("KF% Full".to_string(), full_ratio),
+        ("Traffic Partial (Mbps)".to_string(), partial_traffic),
+        ("Traffic Naive (Mbps)".to_string(), vec![naive_traffic_mbps; partial.len()]),
+    ];
+    t5.render("Table 5: key-frame ratio (%) and network traffic (Mbps, paper-scale replay)");
+
+    ThroughputTables {
+        table3: t3,
+        table5: t5,
+        partial_records: partial,
+    }
+}
+
+/// Table 4: data transmitted on each key frame (MB), using the paper-scale
+/// student (≈0.5 M parameters) and a 720p frame. The partial/full update
+/// sizes are measured from the real Rust student's encoded snapshots.
+pub fn table4() -> TableOutput {
+    let mut student = StudentNet::new(StudentConfig::paper()).expect("paper-scale student");
+    student.freeze = DistillationMode::Partial.freeze_point();
+    let sizes = PayloadSizes::of(&mut student);
+    let frame_bytes = 3 * 1280 * 720;
+    let partial = KeyFrameTraffic::new(frame_bytes, sizes.partial_bytes);
+    let full = KeyFrameTraffic::new(frame_bytes, sizes.full_bytes);
+    let naive = NaiveTraffic::for_frame(1280, 720);
+
+    let mut out = TableOutput::new("Table 4");
+    out.row_labels = vec!["To Server".to_string(), "To Client".to_string(), "Total".to_string()];
+    let (pu, pd, pt) = partial.megabytes();
+    let (fu, fd, ft) = full.megabytes();
+    let nu = naive.to_server_bytes as f64 / 1e6;
+    let nd = naive.to_client_bytes as f64 / 1e6;
+    out.columns = vec![
+        ("Partial".to_string(), vec![pu, pd, pt]),
+        ("Full".to_string(), vec![fu, fd, ft]),
+        ("Naive".to_string(), vec![nu, nd, nu + nd]),
+    ];
+    out.render("Table 4: data transmitted on each key frame (MB, measured from the Rust student)");
+    out
+}
+
+/// Table 6: mean IoU of Wild, P-1, P-8, F-1 and Naive per category.
+pub fn table6(setup: &SharedSetup) -> TableOutput {
+    let wild = setup.run_all_categories(Variant::Wild);
+    let p1 = setup.run_all_categories(Variant::Partial { delay: 1 });
+    let p8 = setup.run_all_categories(Variant::Partial { delay: 8 });
+    let f1 = setup.run_all_categories(Variant::Full { delay: 1 });
+
+    let mut out = TableOutput::new("Table 6");
+    out.row_labels = wild.iter().map(|r| r.label.clone()).collect();
+    let col = |runs: &[ExperimentRecord]| runs.iter().map(|r| r.mean_miou_percent()).collect();
+    out.columns = vec![
+        ("Wild".to_string(), col(&wild)),
+        ("P-1".to_string(), col(&p1)),
+        ("P-8".to_string(), col(&p8)),
+        ("F-1".to_string(), col(&f1)),
+        ("Naive".to_string(), vec![100.0; wild.len()]),
+    ];
+    out.render("Table 6: mean IoU (%) against the teacher output");
+    out
+}
+
+/// Table 7: mean IoU and key-frame ratio for the 7 FPS resampled streams.
+pub fn table7(setup: &SharedSetup) -> TableOutput {
+    let p1: Vec<ExperimentRecord> = setup
+        .categories
+        .iter()
+        .map(|d| setup.run_resampled(d, Variant::Partial { delay: 1 }))
+        .collect();
+    let p8: Vec<ExperimentRecord> = setup
+        .categories
+        .iter()
+        .map(|d| setup.run_resampled(d, Variant::Partial { delay: 8 }))
+        .collect();
+
+    let mut out = TableOutput::new("Table 7");
+    out.row_labels = p1.iter().map(|r| r.label.clone()).collect();
+    out.columns = vec![
+        ("P-1".to_string(), p1.iter().map(|r| r.mean_miou_percent()).collect()),
+        ("P-8".to_string(), p8.iter().map(|r| r.mean_miou_percent()).collect()),
+        (
+            "KF%".to_string(),
+            p1.iter().map(|r| r.key_frame_ratio_percent()).collect(),
+        ),
+    ];
+    out.render("Table 7: mean IoU (%) and key-frame ratio for 7 FPS streams");
+    out
+}
+
+/// The §4.4 / §6.2 bounds check: compute the analytic traffic and throughput
+/// bounds and report whether the paper-scale replays of the measured traces
+/// fall inside them.
+pub fn bounds_check(setup: &SharedSetup, partial_records: &[ExperimentRecord]) -> TableOutput {
+    let config = ShadowTutorConfig::paper();
+    let (frame_bytes, update_bytes) = setup.paper_payload(DistillationMode::Partial);
+    let t_net = setup.link.key_frame_round_trip(frame_bytes, update_bytes);
+    let inputs = BoundInputs::new(&setup.latency, true, t_net, frame_bytes + update_bytes);
+    let traffic = traffic_bounds(&config, &inputs);
+    let throughput = throughput_bounds(&config, &inputs);
+
+    let mut out = TableOutput::new("Bounds");
+    out.row_labels = partial_records.iter().map(|r| r.label.clone()).collect();
+    let fps: Vec<f64> = partial_records
+        .iter()
+        .map(|r| paper_scale_fps(setup, r, DistillationMode::Partial))
+        .collect();
+    let mbps: Vec<f64> = partial_records
+        .iter()
+        .map(|r| {
+            let scaled = r.with_payload_sizes(frame_bytes, update_bytes);
+            let time = scaled.replay_total_time(&setup.link, Concurrency::Full);
+            (scaled.uplink_bytes + scaled.downlink_bytes) as f64 * 8.0 / 1e6 / time
+        })
+        .collect();
+    let fps_ok: Vec<f64> = fps
+        .iter()
+        .map(|&v| if throughput.contains_fps(v) { 1.0 } else { 0.0 })
+        .collect();
+    let mbps_ok: Vec<f64> = mbps
+        .iter()
+        .map(|&v| if traffic.contains_mbps(v) { 1.0 } else { 0.0 })
+        .collect();
+    out.columns = vec![
+        ("FPS".to_string(), fps),
+        ("FPS in bounds".to_string(), fps_ok),
+        ("Mbps".to_string(), mbps),
+        ("Mbps in bounds".to_string(), mbps_ok),
+    ];
+    out.render(&format!(
+        "Bounds check: throughput in [{:.2}, {:.2}] FPS, traffic in [{:.2}, {:.2}] Mbps",
+        throughput.lower_fps,
+        throughput.upper_fps,
+        traffic.lower_mbps(),
+        traffic.upper_mbps()
+    ));
+    out
+}
+
+/// Ablation: compare key-frame scheduling policies (Algorithm 2 vs fixed
+/// strides vs exponential back-off) on accuracy and key-frame ratio.
+pub fn ablation_stride(setup: &SharedSetup) -> TableOutput {
+    use shadowtutor::runtime::sim::{DelayModel, SimRuntime};
+    use st_teacher::OracleTeacher;
+    use st_video::VideoGenerator;
+
+    let policies = [
+        StridePolicy::Adaptive,
+        StridePolicy::Fixed { stride: 8 },
+        StridePolicy::Fixed { stride: 64 },
+        StridePolicy::ExponentialBackoff,
+    ];
+    // Use a representative dynamic category (moving/street) for the ablation.
+    let descriptor = setup
+        .categories
+        .iter()
+        .find(|d| d.name == "moving/street")
+        .unwrap_or(&setup.categories[0])
+        .clone();
+    let mut out = TableOutput::new("Ablation");
+    let mut miou_col = Vec::new();
+    let mut ratio_col = Vec::new();
+    for policy in policies {
+        let runtime = SimRuntime::paper(DistillationMode::Partial)
+            .with_delay_model(DelayModel::Frames(1))
+            .with_stride_policy(policy);
+        let mut video = VideoGenerator::new(descriptor.config).expect("descriptor config");
+        let record = runtime
+            .run(
+                &descriptor.name,
+                &mut video,
+                setup.scale.frames(),
+                setup.checkpoint.clone(),
+                OracleTeacher::perfect(descriptor.config.seed ^ 0x9999),
+            )
+            .expect("ablation run");
+        out.row_labels.push(policy.label());
+        miou_col.push(record.mean_miou_percent());
+        ratio_col.push(record.key_frame_ratio_percent());
+    }
+    out.columns = vec![
+        ("mIoU %".to_string(), miou_col),
+        ("KF %".to_string(), ratio_col),
+    ];
+    out.render("Ablation: key-frame scheduling policies (moving/street)");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::ExperimentScale;
+
+    #[test]
+    fn table4_matches_paper_shape() {
+        let t = table4();
+        // Uplink frame ≈ 2.76 MB (paper: 2.637 MB measured after encoding).
+        let partial = t.column("Partial").unwrap();
+        let full = t.column("Full").unwrap();
+        assert!((partial[0] - 2.76).abs() < 0.2, "frame {:.3} MB", partial[0]);
+        // Partial downlink is several times smaller than full downlink.
+        assert!(partial[1] < full[1] / 2.5, "partial {} vs full {}", partial[1], full[1]);
+        // Totals are the sums.
+        assert!((partial[2] - partial[0] - partial[1]).abs() < 1e-9);
+        assert_eq!(t.row_labels.len(), 3);
+    }
+
+    #[test]
+    fn naive_paper_fps_matches_reported_order() {
+        let setup = SharedSetup::new(ExperimentScale::Smoke);
+        let fps = naive_paper_fps(&setup, &setup.link);
+        // Paper Table 3: 2.09 FPS for naive offloading at 80 Mbps.
+        assert!((fps - 2.09).abs() < 0.6, "naive fps {fps}");
+    }
+}

@@ -1,0 +1,18 @@
+//! Execution runtimes.
+//!
+//! Two runtimes drive the same client/server state machines:
+//!
+//! * [`sim`] — a deterministic virtual-time runtime. Student and teacher
+//!   computations really run (so accuracy, distillation steps and key-frame
+//!   decisions are genuine), but *time* advances according to a
+//!   [`st_sim::LatencyProfile`] and a [`st_net::LinkModel`], so throughput
+//!   and traffic results are independent of the host machine and reproduce
+//!   the paper's timing model. Every table/figure bench uses this runtime.
+//! * [`live`] — a threaded runtime where the client and server are real OS
+//!   threads exchanging messages over crossbeam channels (the paper's
+//!   OpenMPI ranks), optionally through a delay injector that emulates a
+//!   bandwidth-limited link in wall-clock time. Used by the live example and
+//!   the cross-crate integration tests that exercise real concurrency.
+
+pub mod live;
+pub mod sim;

@@ -1,0 +1,218 @@
+//! The ShadowTutor server role (Algorithm 3).
+//!
+//! The server owns the teacher and a copy of the student. For every key
+//! frame received from the client it (1) runs teacher inference to obtain a
+//! pseudo-label, (2) trains its student copy on that pseudo-label with
+//! [`crate::train::train_student`], and (3) returns the updated (partial or
+//! full) weights plus the post-training metric. The same state machine is
+//! used by the virtual-time runtime (which calls [`ServerState::handle_key_frame`]
+//! directly) and the threaded live runtime (which drives it from a message
+//! loop).
+
+use crate::config::{DistillationMode, ShadowTutorConfig};
+use crate::train::{train_student, TrainOutcome};
+use crate::Result;
+use st_nn::optim::Adam;
+use st_nn::snapshot::{PayloadSizes, SnapshotScope, WeightSnapshot};
+use st_nn::student::StudentNet;
+use st_teacher::Teacher;
+use st_video::Frame;
+
+/// The server's response to one key frame.
+#[derive(Debug, Clone)]
+pub struct KeyFrameResponse {
+    /// The updated weights to ship to the client (trainable subset under
+    /// partial distillation, everything under full distillation).
+    pub update: WeightSnapshot,
+    /// Post-training metric on the key frame (drives Algorithm 2).
+    pub metric: f64,
+    /// Training details (steps taken, initial metric, loss).
+    pub outcome: TrainOutcome,
+    /// Virtual time the server spent on this key frame: teacher inference
+    /// plus `steps` distillation steps, per the latency profile in use.
+    pub server_time: f64,
+}
+
+/// Server-side state: teacher + trainable student copy + optimizer.
+pub struct ServerState<T: Teacher> {
+    /// Algorithm parameters.
+    pub config: ShadowTutorConfig,
+    teacher: T,
+    student: StudentNet,
+    optimizer: Adam,
+    /// Latency of one distillation step (seconds of virtual time).
+    distill_step_latency: f64,
+    total_key_frames: usize,
+    total_distill_steps: usize,
+}
+
+impl<T: Teacher> ServerState<T> {
+    /// Create a server from a pre-trained student checkpoint and a teacher.
+    ///
+    /// The student's freeze point is set according to the configured
+    /// distillation mode.
+    pub fn new(
+        config: ShadowTutorConfig,
+        mut student: StudentNet,
+        teacher: T,
+        distill_step_latency: f64,
+    ) -> Self {
+        student.freeze = config.mode.freeze_point();
+        let optimizer = Adam::new(config.learning_rate);
+        ServerState {
+            config,
+            teacher,
+            student,
+            optimizer,
+            distill_step_latency,
+            total_key_frames: 0,
+            total_distill_steps: 0,
+        }
+    }
+
+    /// The initial full student checkpoint the server sends when the system
+    /// starts (Algorithm 3, line 1).
+    pub fn initial_checkpoint(&mut self) -> WeightSnapshot {
+        WeightSnapshot::capture(&mut self.student, SnapshotScope::Full)
+    }
+
+    /// Wire sizes of the per-key-frame student payload under the current mode.
+    pub fn update_payload_bytes(&mut self) -> usize {
+        let sizes = PayloadSizes::of(&mut self.student);
+        match self.config.mode {
+            DistillationMode::Partial => sizes.partial_bytes,
+            DistillationMode::Full => sizes.full_bytes,
+        }
+    }
+
+    /// Handle one key frame (Algorithm 3, lines 3-6).
+    pub fn handle_key_frame(&mut self, frame: &Frame) -> Result<KeyFrameResponse> {
+        let pseudo_label = self.teacher.pseudo_label(frame)?;
+        let outcome = train_student(
+            &mut self.student,
+            &mut self.optimizer,
+            frame,
+            &pseudo_label,
+            &self.config,
+        )?;
+        let scope = match self.config.mode {
+            DistillationMode::Partial => SnapshotScope::TrainableOnly,
+            DistillationMode::Full => SnapshotScope::Full,
+        };
+        let update = WeightSnapshot::capture(&mut self.student, scope);
+        self.total_key_frames += 1;
+        self.total_distill_steps += outcome.steps;
+        Ok(KeyFrameResponse {
+            update,
+            metric: outcome.best_metric,
+            outcome,
+            server_time: self.teacher.inference_latency()
+                + outcome.steps as f64 * self.distill_step_latency,
+        })
+    }
+
+    /// The teacher owned by the server (e.g. to label evaluation frames).
+    pub fn teacher_mut(&mut self) -> &mut T {
+        &mut self.teacher
+    }
+
+    /// Total key frames processed so far.
+    pub fn key_frames_processed(&self) -> usize {
+        self.total_key_frames
+    }
+
+    /// Total distillation steps taken so far.
+    pub fn distill_steps_taken(&self) -> usize {
+        self.total_distill_steps
+    }
+
+    /// Mean distillation steps per key frame (Table 2's second row).
+    pub fn mean_distill_steps(&self) -> f64 {
+        if self.total_key_frames == 0 {
+            0.0
+        } else {
+            self.total_distill_steps as f64 / self.total_key_frames as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_nn::student::StudentConfig;
+    use st_teacher::OracleTeacher;
+    use st_video::{CameraMotion, SceneKind, VideoCategory, VideoConfig, VideoGenerator};
+
+    fn generator() -> VideoGenerator {
+        let cat = VideoCategory {
+            camera: CameraMotion::Fixed,
+            scene: SceneKind::Animals,
+        };
+        VideoGenerator::new(VideoConfig::for_category(cat, 32, 24, 3)).unwrap()
+    }
+
+    fn server(mode: DistillationMode) -> ServerState<OracleTeacher> {
+        let config = ShadowTutorConfig {
+            mode,
+            ..ShadowTutorConfig::paper()
+        };
+        let student = StudentNet::new(StudentConfig::tiny()).unwrap();
+        ServerState::new(config, student, OracleTeacher::perfect(7), 0.013)
+    }
+
+    #[test]
+    fn key_frame_handling_trains_and_reports() {
+        let mut s = server(DistillationMode::Partial);
+        let mut gen = generator();
+        let frame = gen.next_frame();
+        let resp = s.handle_key_frame(&frame).unwrap();
+        assert!(resp.outcome.steps >= 1);
+        assert!(resp.metric >= resp.outcome.initial_metric);
+        assert!(resp.server_time >= 0.044);
+        assert_eq!(s.key_frames_processed(), 1);
+        assert_eq!(s.distill_steps_taken(), resp.outcome.steps);
+        assert!((s.mean_distill_steps() - resp.outcome.steps as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_update_payload_is_smaller_than_full() {
+        let mut partial = server(DistillationMode::Partial);
+        let mut full = server(DistillationMode::Full);
+        assert!(partial.update_payload_bytes() < full.update_payload_bytes());
+    }
+
+    #[test]
+    fn initial_checkpoint_is_full_scope() {
+        let mut s = server(DistillationMode::Partial);
+        let ckpt = s.initial_checkpoint();
+        assert_eq!(ckpt.scope(), SnapshotScope::Full);
+        assert!(ckpt.entry_count() > 0);
+    }
+
+    #[test]
+    fn metric_improves_over_repeated_key_frames_of_a_static_scene() {
+        let mut s = server(DistillationMode::Partial);
+        let mut gen = generator();
+        let mut last_initial = 0.0;
+        for i in 0..5 {
+            let frame = gen.next_frame();
+            let resp = s.handle_key_frame(&frame).unwrap();
+            if i == 4 {
+                last_initial = resp.outcome.initial_metric;
+            }
+        }
+        let first_frame_metric = {
+            let mut fresh = server(DistillationMode::Partial);
+            let mut gen2 = generator();
+            let frame = gen2.next_frame();
+            fresh.handle_key_frame(&frame).unwrap().outcome.initial_metric
+        };
+        // After several key frames of a coherent scene the student's
+        // *pre-training* metric should exceed a fresh student's.
+        assert!(
+            last_initial > first_frame_metric,
+            "no specialisation: {last_initial} vs {first_frame_metric}"
+        );
+        assert_eq!(s.key_frames_processed(), 5);
+    }
+}

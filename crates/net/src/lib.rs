@@ -1,0 +1,32 @@
+//! # st-net
+//!
+//! Network substrate for the ShadowTutor reproduction.
+//!
+//! The paper runs the client and server over Wi-Fi with uplink and downlink
+//! capped at 80 Mbps and studies how the system behaves when that bandwidth
+//! shrinks (Figure 4). This crate models exactly the pieces the evaluation
+//! needs:
+//!
+//! * [`link`] — a bandwidth/latency link model that converts message sizes
+//!   into transfer times (`t_net` in the paper's Table 1), supporting
+//!   asymmetric uplink/downlink and a base round-trip latency.
+//! * [`message`] — the messages exchanged by the client and server (key
+//!   frames up, weight diffs + metric down) and their wire sizes, which feed
+//!   Table 4.
+//! * [`transport`] — a *live* transport built on crossbeam channels for the
+//!   threaded runtime, with an optional delay injector so wall-clock runs can
+//!   emulate a slow link.
+//!
+//! The virtual-time runtime in the `shadowtutor` crate uses only [`link`] and
+//! [`message`]; the threaded runtime uses [`transport`] as well.
+
+pub mod link;
+pub mod message;
+pub mod transport;
+
+pub use link::{Bandwidth, LinkModel};
+pub use message::{ClientToServer, KeyFrameTraffic, NaiveTraffic, Payload, ServerToClient};
+pub use transport::{DuplexTransport, TransportError};
+
+/// Result alias re-using the tensor error type for shape-ish failures.
+pub type Result<T> = st_tensor::Result<T>;

@@ -1,0 +1,216 @@
+//! Messages exchanged between the ShadowTutor client and server, and their
+//! wire sizes.
+//!
+//! The sizes reported here are what the paper's Table 4 ("Data transmitted
+//! on each key frame") measures: the uplink payload is one raw video frame,
+//! the downlink payload is either the partial or the full student weight
+//! snapshot (plus the post-training metric), and the naive-offloading
+//! baseline instead downloads the teacher's per-pixel prediction.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Framing overhead added to every message (headers, MPI envelope, etc.).
+pub const MESSAGE_OVERHEAD_BYTES: usize = 64;
+
+/// A payload with an explicit wire size.
+///
+/// The actual bytes are optional: the virtual-time runtime only needs sizes,
+/// while the live transport ships real encoded bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Payload {
+    /// Wire size in bytes, including [`MESSAGE_OVERHEAD_BYTES`].
+    pub bytes: usize,
+    /// The encoded content, when a live transport is in use.
+    pub data: Option<Bytes>,
+}
+
+impl Payload {
+    /// A size-only payload (virtual-time runtime).
+    pub fn sized(content_bytes: usize) -> Self {
+        Payload {
+            bytes: content_bytes + MESSAGE_OVERHEAD_BYTES,
+            data: None,
+        }
+    }
+
+    /// A payload carrying real bytes (live transport).
+    pub fn with_data(data: Bytes) -> Self {
+        Payload {
+            bytes: data.len() + MESSAGE_OVERHEAD_BYTES,
+            data: Some(data),
+        }
+    }
+
+    /// Wire size in megabytes (the unit of Table 4).
+    pub fn megabytes(&self) -> f64 {
+        self.bytes as f64 / 1e6
+    }
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientToServer {
+    /// A key frame to distill on. Carries the frame index for bookkeeping and
+    /// the encoded frame payload.
+    KeyFrame {
+        /// Index of the frame in the video stream.
+        frame_index: usize,
+        /// Encoded RGB frame.
+        payload: Payload,
+    },
+    /// The client is done with the stream; the server loop should exit.
+    Shutdown,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerToClient {
+    /// The initial full student checkpoint sent when the system starts
+    /// (Algorithm 3, line 1).
+    InitialStudent {
+        /// Encoded full weight snapshot.
+        payload: Payload,
+    },
+    /// The updated (partial or full) student weights for a key frame plus the
+    /// post-training metric the client feeds into the stride scheduler.
+    StudentUpdate {
+        /// Index of the key frame this update corresponds to.
+        frame_index: usize,
+        /// Post-distillation metric (mean IoU in `[0, 1]`) on the key frame.
+        metric: f64,
+        /// Number of distillation steps the server took.
+        distill_steps: usize,
+        /// Encoded weight snapshot (trainable subset under partial
+        /// distillation, everything under full distillation).
+        payload: Payload,
+    },
+}
+
+/// Wire sizes of the recurring per-key-frame messages for a given
+/// configuration — the rows of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KeyFrameTraffic {
+    /// Bytes sent client → server per key frame (the raw frame).
+    pub to_server_bytes: usize,
+    /// Bytes sent server → client per key frame (weights + metric).
+    pub to_client_bytes: usize,
+}
+
+impl KeyFrameTraffic {
+    /// Build from a raw frame size and a weight-snapshot size.
+    pub fn new(frame_bytes: usize, update_bytes: usize) -> Self {
+        KeyFrameTraffic {
+            to_server_bytes: frame_bytes + MESSAGE_OVERHEAD_BYTES,
+            to_client_bytes: update_bytes + MESSAGE_OVERHEAD_BYTES,
+        }
+    }
+
+    /// Total bytes exchanged per key frame.
+    pub fn total_bytes(&self) -> usize {
+        self.to_server_bytes + self.to_client_bytes
+    }
+
+    /// `(to_server, to_client, total)` in megabytes, Table 4's unit.
+    pub fn megabytes(&self) -> (f64, f64, f64) {
+        (
+            self.to_server_bytes as f64 / 1e6,
+            self.to_client_bytes as f64 / 1e6,
+            self.total_bytes() as f64 / 1e6,
+        )
+    }
+}
+
+/// Per-frame traffic of the naive-offloading baseline: every frame goes up,
+/// and the teacher's per-pixel prediction (one byte per pixel, as a class-id
+/// map) comes back down.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NaiveTraffic {
+    /// Bytes sent client → server per frame.
+    pub to_server_bytes: usize,
+    /// Bytes sent server → client per frame.
+    pub to_client_bytes: usize,
+}
+
+impl NaiveTraffic {
+    /// Build from frame dimensions: uplink is the raw RGB frame, downlink is
+    /// a compressed per-pixel class map (the paper measures ~0.879 MB for a
+    /// 720p prediction, ≈ 1 byte per pixel).
+    pub fn for_frame(width: usize, height: usize) -> Self {
+        NaiveTraffic {
+            to_server_bytes: 3 * width * height + MESSAGE_OVERHEAD_BYTES,
+            to_client_bytes: width * height + MESSAGE_OVERHEAD_BYTES,
+        }
+    }
+
+    /// Total bytes exchanged per frame.
+    pub fn total_bytes(&self) -> usize {
+        self.to_server_bytes + self.to_client_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sized_payload_includes_overhead() {
+        let p = Payload::sized(1000);
+        assert_eq!(p.bytes, 1000 + MESSAGE_OVERHEAD_BYTES);
+        assert!(p.data.is_none());
+        assert!((p.megabytes() - (1000 + MESSAGE_OVERHEAD_BYTES) as f64 / 1e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn data_payload_measures_real_bytes() {
+        let p = Payload::with_data(Bytes::from(vec![0u8; 512]));
+        assert_eq!(p.bytes, 512 + MESSAGE_OVERHEAD_BYTES);
+        assert_eq!(p.data.as_ref().unwrap().len(), 512);
+    }
+
+    #[test]
+    fn paper_hd_frame_size_matches_table4_order() {
+        // 1280x720 RGB ≈ 2.76 MB raw; the paper reports 2.637 MB to server.
+        let naive = NaiveTraffic::for_frame(1280, 720);
+        let mb = naive.to_server_bytes as f64 / 1e6;
+        assert!((mb - 2.7).abs() < 0.15, "uplink frame {mb} MB");
+        // Teacher prediction downlink ≈ 0.92 MB vs paper's 0.879 MB.
+        let down = naive.to_client_bytes as f64 / 1e6;
+        assert!((down - 0.9).abs() < 0.1, "downlink prediction {down} MB");
+    }
+
+    #[test]
+    fn key_frame_traffic_totals() {
+        let t = KeyFrameTraffic::new(1_000_000, 200_000);
+        assert_eq!(t.total_bytes(), 1_200_000 + 2 * MESSAGE_OVERHEAD_BYTES);
+        let (up, down, total) = t.megabytes();
+        assert!(up > down);
+        assert!((total - up - down).abs() < 1e-9);
+    }
+
+    #[test]
+    fn message_variants_carry_payloads() {
+        let m = ClientToServer::KeyFrame {
+            frame_index: 5,
+            payload: Payload::sized(10),
+        };
+        match m {
+            ClientToServer::KeyFrame { frame_index, payload } => {
+                assert_eq!(frame_index, 5);
+                assert!(payload.bytes > 10);
+            }
+            ClientToServer::Shutdown => panic!("wrong variant"),
+        }
+        let s = ServerToClient::StudentUpdate {
+            frame_index: 5,
+            metric: 0.8,
+            distill_steps: 3,
+            payload: Payload::sized(100),
+        };
+        if let ServerToClient::StudentUpdate { metric, distill_steps, .. } = s {
+            assert!(metric > 0.0 && distill_steps == 3);
+        } else {
+            panic!("wrong variant");
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Live duplex transport built on crossbeam channels.
+//!
+//! The threaded runtime runs the client and the server as real OS threads
+//! (the paper uses OpenMPI ranks). [`DuplexTransport::pair`] creates the two
+//! connected endpoints. Each endpoint can send and receive, non-blockingly or
+//! blockingly, and an optional [`DelayInjector`] emulates a bandwidth-limited
+//! link by sleeping proportionally to the message size before delivery —
+//! which is how the live examples demonstrate the robustness experiment
+//! without real network hardware.
+
+use crate::link::LinkModel;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::fmt;
+use std::time::Duration;
+
+/// Errors produced by the live transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer endpoint has been dropped.
+    Disconnected,
+    /// A blocking receive timed out.
+    Timeout,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Disconnected => write!(f, "transport peer disconnected"),
+            TransportError::Timeout => write!(f, "transport receive timed out"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Optional artificial delay applied before each send, emulating a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayInjector {
+    /// The link whose transfer time is emulated.
+    pub link: LinkModel,
+    /// Whether this endpoint sends over the uplink (client side) or the
+    /// downlink (server side).
+    pub is_uplink: bool,
+    /// Scale factor on the computed delay (1.0 = real time; smaller values
+    /// speed up demonstrations while preserving relative behaviour).
+    pub time_scale: f64,
+}
+
+impl DelayInjector {
+    /// Delay to apply for a message of `bytes` bytes.
+    pub fn delay_for(&self, bytes: usize) -> Duration {
+        let t = if self.is_uplink {
+            self.link.uplink_time(bytes)
+        } else {
+            self.link.downlink_time(bytes)
+        };
+        Duration::from_secs_f64((t * self.time_scale).max(0.0))
+    }
+}
+
+/// One endpoint of a bidirectional, typed channel pair.
+#[derive(Debug)]
+pub struct DuplexTransport<TSend, TRecv> {
+    tx: Sender<(usize, TSend)>,
+    rx: Receiver<(usize, TRecv)>,
+    delay: Option<DelayInjector>,
+    sent_bytes: usize,
+    received_bytes: usize,
+    sent_messages: usize,
+    received_messages: usize,
+}
+
+impl<TSend, TRecv> DuplexTransport<TSend, TRecv> {
+    /// Create a connected pair of endpoints: `(a, b)` where messages sent on
+    /// `a` arrive at `b` and vice versa.
+    pub fn pair() -> (DuplexTransport<TSend, TRecv>, DuplexTransport<TRecv, TSend>) {
+        let (tx_ab, rx_ab) = unbounded();
+        let (tx_ba, rx_ba) = unbounded();
+        (
+            DuplexTransport {
+                tx: tx_ab,
+                rx: rx_ba,
+                delay: None,
+                sent_bytes: 0,
+                received_bytes: 0,
+                sent_messages: 0,
+                received_messages: 0,
+            },
+            DuplexTransport {
+                tx: tx_ba,
+                rx: rx_ab,
+                delay: None,
+                sent_bytes: 0,
+                received_bytes: 0,
+                sent_messages: 0,
+                received_messages: 0,
+            },
+        )
+    }
+
+    /// Attach a delay injector to this endpoint's sends.
+    pub fn with_delay(mut self, delay: DelayInjector) -> Self {
+        self.delay = Some(delay);
+        self
+    }
+
+    /// Send a message annotated with its wire size in bytes.
+    ///
+    /// When a delay injector is attached the call sleeps for the emulated
+    /// transfer time before the message becomes available to the peer
+    /// (approximating a store-and-forward link).
+    pub fn send(&mut self, message: TSend, bytes: usize) -> Result<(), TransportError> {
+        if let Some(delay) = &self.delay {
+            std::thread::sleep(delay.delay_for(bytes));
+        }
+        self.tx
+            .send((bytes, message))
+            .map_err(|_| TransportError::Disconnected)?;
+        self.sent_bytes += bytes;
+        self.sent_messages += 1;
+        Ok(())
+    }
+
+    /// Non-blocking receive. `Ok(None)` means no message is waiting.
+    pub fn try_recv(&mut self) -> Result<Option<TRecv>, TransportError> {
+        match self.rx.try_recv() {
+            Ok((bytes, msg)) => {
+                self.received_bytes += bytes;
+                self.received_messages += 1;
+                Ok(Some(msg))
+            }
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(TransportError::Disconnected),
+        }
+    }
+
+    /// Blocking receive with a timeout.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<TRecv, TransportError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok((bytes, msg)) => {
+                self.received_bytes += bytes;
+                self.received_messages += 1;
+                Ok(msg)
+            }
+            Err(RecvTimeoutError::Timeout) => Err(TransportError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Disconnected),
+        }
+    }
+
+    /// Total bytes sent so far.
+    pub fn sent_bytes(&self) -> usize {
+        self.sent_bytes
+    }
+
+    /// Total bytes received so far.
+    pub fn received_bytes(&self) -> usize {
+        self.received_bytes
+    }
+
+    /// Number of messages sent so far.
+    pub fn sent_messages(&self) -> usize {
+        self.sent_messages
+    }
+
+    /// Number of messages received so far.
+    pub fn received_messages(&self) -> usize {
+        self.received_messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_delivers_messages_both_ways() {
+        let (mut a, mut b) = DuplexTransport::<String, u32>::pair();
+        a.send("hello".to_string(), 5).unwrap();
+        let got = b.recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(got, "hello");
+        b.send(42u32, 4).unwrap();
+        assert_eq!(a.try_recv().unwrap(), Some(42));
+        assert_eq!(a.try_recv().unwrap(), None);
+        assert_eq!(a.sent_bytes(), 5);
+        assert_eq!(a.received_bytes(), 4);
+        assert_eq!(b.sent_messages(), 1);
+        assert_eq!(b.received_messages(), 1);
+    }
+
+    #[test]
+    fn disconnected_peer_is_reported() {
+        let (mut a, b) = DuplexTransport::<u8, u8>::pair();
+        drop(b);
+        assert_eq!(a.send(1, 1), Err(TransportError::Disconnected));
+        assert_eq!(a.try_recv(), Err(TransportError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (mut a, _b) = DuplexTransport::<u8, u8>::pair();
+        let err = a.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, TransportError::Timeout);
+    }
+
+    #[test]
+    fn delay_injector_scales_with_size_and_direction() {
+        let link = LinkModel::symmetric_mbps(8.0); // 1 MB/s
+        let up = DelayInjector {
+            link,
+            is_uplink: true,
+            time_scale: 1.0,
+        };
+        let d_small = up.delay_for(10_000);
+        let d_big = up.delay_for(100_000);
+        assert!(d_big > d_small);
+        let scaled = DelayInjector {
+            time_scale: 0.1,
+            ..up
+        };
+        assert!(scaled.delay_for(100_000) < d_big);
+    }
+
+    #[test]
+    fn threaded_ping_pong() {
+        let (mut a, mut b) = DuplexTransport::<u32, u32>::pair();
+        let handle = std::thread::spawn(move || {
+            // Echo server: receive n, send n+1, stop at 5 messages.
+            for _ in 0..5 {
+                let n = b.recv_timeout(Duration::from_secs(1)).unwrap();
+                b.send(n + 1, 4).unwrap();
+            }
+            b.received_messages()
+        });
+        let mut value = 0u32;
+        for _ in 0..5 {
+            a.send(value, 4).unwrap();
+            value = a.recv_timeout(Duration::from_secs(1)).unwrap();
+        }
+        assert_eq!(value, 5);
+        assert_eq!(handle.join().unwrap(), 5);
+    }
+}

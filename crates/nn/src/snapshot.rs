@@ -1,0 +1,361 @@
+//! Weight snapshots, partial diffs, and their byte encodings.
+//!
+//! Partial distillation only changes the unfrozen back-end of the student, so
+//! the server only has to ship that slice of the weights back to the client
+//! (§4.2: "it suffices to communicate only the weights that changed"). A
+//! [`WeightSnapshot`] captures either the full parameter set or only the
+//! trainable subset; [`WeightSnapshot::encode`] produces the wire format
+//! whose length is exactly the "To Client" payload of Table 4.
+//!
+//! The encoding is a simple deterministic framing:
+//! `u32 entry-count`, then per entry `u32 name-length`, name bytes,
+//! `u32 value-count`, and the values as little-endian `f32`s.
+
+use crate::param::Param;
+use crate::student::StudentNet;
+use crate::Result;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use st_tensor::{Shape, Tensor, TensorError};
+
+/// Which parameters a snapshot contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotScope {
+    /// Every parameter of the student.
+    Full,
+    /// Only the parameters trainable under the student's current freeze
+    /// point (the partial-distillation payload).
+    TrainableOnly,
+}
+
+/// A named set of parameter values captured from a student network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightSnapshot {
+    entries: Vec<(String, Tensor)>,
+    scope: SnapshotScope,
+}
+
+impl WeightSnapshot {
+    /// Capture a snapshot of `net` with the given scope.
+    pub fn capture(net: &mut StudentNet, scope: SnapshotScope) -> Self {
+        let mut entries = Vec::new();
+        let mut v = |p: &mut Param, trainable: bool| {
+            let include = match scope {
+                SnapshotScope::Full => true,
+                SnapshotScope::TrainableOnly => trainable,
+            };
+            if include {
+                entries.push((p.name.clone(), p.value.clone()));
+            }
+        };
+        net.visit_params(&mut v);
+        WeightSnapshot { entries, scope }
+    }
+
+    /// The scope this snapshot was captured with.
+    pub fn scope(&self) -> SnapshotScope {
+        self.scope
+    }
+
+    /// Number of parameter tensors in the snapshot.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total number of scalar values.
+    pub fn scalar_count(&self) -> usize {
+        self.entries.iter().map(|(_, t)| t.numel()).sum()
+    }
+
+    /// Size of the encoded snapshot in bytes.
+    pub fn encoded_size(&self) -> usize {
+        4 + self
+            .entries
+            .iter()
+            .map(|(name, t)| 4 + name.len() + 4 + 4 * t.numel())
+            .sum::<usize>()
+    }
+
+    /// Apply the snapshot's values onto `net`, matching parameters by name.
+    ///
+    /// Parameters not present in the snapshot are left untouched (this is how
+    /// the client applies a partial update). Returns the number of parameters
+    /// updated; errors if a named parameter exists but has a different shape.
+    pub fn apply(&self, net: &mut StudentNet) -> Result<usize> {
+        let mut applied = 0usize;
+        let mut error: Option<TensorError> = None;
+        {
+            let entries = &self.entries;
+            let mut v = |p: &mut Param, _trainable: bool| {
+                if error.is_some() {
+                    return;
+                }
+                if let Some((_, value)) = entries.iter().find(|(name, _)| name == &p.name) {
+                    // Decoded snapshots carry flat tensors; accept any layout
+                    // with the right element count and restore the target's
+                    // shape.
+                    if value.numel() != p.value.numel() {
+                        error = Some(TensorError::ShapeMismatch {
+                            op: "snapshot_apply",
+                            lhs: value.shape().dims().to_vec(),
+                            rhs: p.value.shape().dims().to_vec(),
+                        });
+                        return;
+                    }
+                    match value.reshape(p.value.shape().clone()) {
+                        Ok(v) => {
+                            p.value = v;
+                            applied += 1;
+                        }
+                        Err(e) => error = Some(e),
+                    }
+                }
+            };
+            net.visit_params(&mut v);
+        }
+        if let Some(e) = error {
+            return Err(e);
+        }
+        Ok(applied)
+    }
+
+    /// L2 distance between two snapshots taken over the same parameter set.
+    pub fn distance(&self, other: &WeightSnapshot) -> Result<f32> {
+        if self.entries.len() != other.entries.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: self.entries.len(),
+                actual: other.entries.len(),
+            });
+        }
+        let mut acc = 0.0f32;
+        for ((na, ta), (nb, tb)) in self.entries.iter().zip(other.entries.iter()) {
+            if na != nb {
+                return Err(TensorError::InvalidArgument(format!(
+                    "snapshot entries differ: {na} vs {nb}"
+                )));
+            }
+            acc += ta.sub(tb)?.sq_norm();
+        }
+        Ok(acc.sqrt())
+    }
+
+    /// Encode to the wire format described in the module docs.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_size());
+        buf.put_u32_le(self.entries.len() as u32);
+        for (name, tensor) in &self.entries {
+            buf.put_u32_le(name.len() as u32);
+            buf.put_slice(name.as_bytes());
+            buf.put_u32_le(tensor.numel() as u32);
+            for &v in tensor.data() {
+                buf.put_f32_le(v);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode a snapshot previously produced by [`WeightSnapshot::encode`].
+    ///
+    /// Tensors are decoded as flat vectors; [`WeightSnapshot::apply`] matches
+    /// them by name and the receiving network re-validates shapes by element
+    /// count, so the flat shape is sufficient for transport.
+    pub fn decode(bytes: &Bytes, scope: SnapshotScope) -> Result<Self> {
+        let mut buf = bytes.clone();
+        if buf.remaining() < 4 {
+            return Err(TensorError::InvalidArgument("snapshot truncated (header)".into()));
+        }
+        let count = buf.get_u32_le() as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            if buf.remaining() < 4 {
+                return Err(TensorError::InvalidArgument("snapshot truncated (name len)".into()));
+            }
+            let name_len = buf.get_u32_le() as usize;
+            if buf.remaining() < name_len {
+                return Err(TensorError::InvalidArgument("snapshot truncated (name)".into()));
+            }
+            let name_bytes = buf.copy_to_bytes(name_len);
+            let name = String::from_utf8(name_bytes.to_vec())
+                .map_err(|_| TensorError::InvalidArgument("snapshot name not UTF-8".into()))?;
+            if buf.remaining() < 4 {
+                return Err(TensorError::InvalidArgument("snapshot truncated (value len)".into()));
+            }
+            let numel = buf.get_u32_le() as usize;
+            if buf.remaining() < 4 * numel {
+                return Err(TensorError::InvalidArgument("snapshot truncated (values)".into()));
+            }
+            let mut values = Vec::with_capacity(numel);
+            for _ in 0..numel {
+                values.push(buf.get_f32_le());
+            }
+            entries.push((name, Tensor::from_vec(Shape::vector(numel), values)?));
+        }
+        Ok(WeightSnapshot { entries, scope })
+    }
+}
+
+/// Byte sizes of the student payloads at a given scope — the quantities
+/// behind Table 4 of the paper ("Data transmitted on each key frame").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PayloadSizes {
+    /// Encoded size of a full-weight snapshot in bytes.
+    pub full_bytes: usize,
+    /// Encoded size of a trainable-only snapshot in bytes.
+    pub partial_bytes: usize,
+    /// Total parameter count.
+    pub total_params: usize,
+    /// Trainable parameter count.
+    pub trainable_params: usize,
+}
+
+impl PayloadSizes {
+    /// Measure the payload sizes of a student under its current freeze point.
+    pub fn of(net: &mut StudentNet) -> Self {
+        let full = WeightSnapshot::capture(net, SnapshotScope::Full);
+        let partial = WeightSnapshot::capture(net, SnapshotScope::TrainableOnly);
+        PayloadSizes {
+            full_bytes: full.encoded_size(),
+            partial_bytes: partial.encoded_size(),
+            total_params: net.param_count(),
+            trainable_params: net.trainable_param_count(),
+        }
+    }
+
+    /// Fraction of parameters that are trainable (paper: 21.4 %).
+    pub fn trainable_fraction(&self) -> f64 {
+        if self.total_params == 0 {
+            0.0
+        } else {
+            self.trainable_params as f64 / self.total_params as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::student::{FreezePoint, StudentConfig, StudentNet};
+    use st_tensor::random;
+
+    fn net() -> StudentNet {
+        StudentNet::new(StudentConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn full_snapshot_round_trips_through_apply() {
+        let mut a = net();
+        let mut b = StudentNet::new(StudentConfig {
+            seed: 99,
+            ..StudentConfig::tiny()
+        })
+        .unwrap();
+        let snap_a = WeightSnapshot::capture(&mut a, SnapshotScope::Full);
+        let applied = snap_a.apply(&mut b).unwrap();
+        assert_eq!(applied, snap_a.entry_count());
+        // After applying, b's full snapshot equals a's.
+        let snap_b = WeightSnapshot::capture(&mut b, SnapshotScope::Full);
+        assert!(snap_a.distance(&snap_b).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn partial_snapshot_is_smaller_and_leaves_front_untouched() {
+        let mut a = net();
+        a.freeze = FreezePoint::paper_partial();
+        let sizes = PayloadSizes::of(&mut a);
+        assert!(sizes.partial_bytes < sizes.full_bytes);
+        assert!(sizes.trainable_fraction() < 1.0);
+        assert!(sizes.trainable_fraction() > 0.0);
+
+        // Apply a partial snapshot from a differently-initialised net: the
+        // frozen front of the target must not change.
+        let mut donor = StudentNet::new(StudentConfig {
+            seed: 123,
+            ..StudentConfig::tiny()
+        })
+        .unwrap();
+        donor.freeze = FreezePoint::paper_partial();
+        let partial = WeightSnapshot::capture(&mut donor, SnapshotScope::TrainableOnly);
+
+        let mut target = net();
+        target.freeze = FreezePoint::paper_partial();
+        let front_before = WeightSnapshot::capture(&mut target, SnapshotScope::Full);
+        partial.apply(&mut target).unwrap();
+        let after_full = WeightSnapshot::capture(&mut target, SnapshotScope::Full);
+        // Something changed overall...
+        assert!(front_before.distance(&after_full).unwrap() > 0.0);
+        // ...but every frozen parameter is identical.
+        let mut changed_frozen = vec![];
+        let mut reference = std::collections::HashMap::new();
+        for (name, val) in &front_before.entries {
+            reference.insert(name.clone(), val.clone());
+        }
+        let mut v = |p: &mut Param, trainable: bool| {
+            if !trainable && reference[&p.name] != p.value {
+                changed_frozen.push(p.name.clone());
+            }
+        };
+        target.visit_params(&mut v);
+        assert!(changed_frozen.is_empty(), "frozen params changed: {changed_frozen:?}");
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut a = net();
+        a.freeze = FreezePoint::paper_partial();
+        let snap = WeightSnapshot::capture(&mut a, SnapshotScope::TrainableOnly);
+        let encoded = snap.encode();
+        assert_eq!(encoded.len(), snap.encoded_size());
+        let decoded = WeightSnapshot::decode(&encoded, SnapshotScope::TrainableOnly).unwrap();
+        assert_eq!(decoded.entry_count(), snap.entry_count());
+        assert_eq!(decoded.scalar_count(), snap.scalar_count());
+        // Applying the decoded snapshot reproduces the original values.
+        let mut b = StudentNet::new(StudentConfig {
+            seed: 7,
+            ..StudentConfig::tiny()
+        })
+        .unwrap();
+        b.freeze = FreezePoint::paper_partial();
+        decoded.apply(&mut b).unwrap();
+        let snap_b = WeightSnapshot::capture(&mut b, SnapshotScope::TrainableOnly);
+        assert!(snap.distance(&snap_b).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn decode_rejects_truncated_input() {
+        let mut a = net();
+        let snap = WeightSnapshot::capture(&mut a, SnapshotScope::Full);
+        let encoded = snap.encode();
+        let truncated = encoded.slice(0..encoded.len() / 2);
+        assert!(WeightSnapshot::decode(&truncated, SnapshotScope::Full).is_err());
+        let empty = Bytes::new();
+        assert!(WeightSnapshot::decode(&empty, SnapshotScope::Full).is_err());
+    }
+
+    #[test]
+    fn distance_detects_changes() {
+        let mut a = net();
+        let snap1 = WeightSnapshot::capture(&mut a, SnapshotScope::Full);
+        // Perturb one parameter.
+        let noise = random::uniform(Shape::vector(1), 0.5, 1.0, 50).data()[0];
+        let mut v = |p: &mut Param, _| {
+            if p.name == "out3.bias" {
+                p.value.data_mut()[0] += noise;
+            }
+        };
+        a.visit_params(&mut v);
+        let snap2 = WeightSnapshot::capture(&mut a, SnapshotScope::Full);
+        let d = snap1.distance(&snap2).unwrap();
+        assert!((d - noise).abs() < 1e-5);
+    }
+
+    #[test]
+    fn payload_sizes_track_freeze_point() {
+        let mut a = net();
+        a.freeze = FreezePoint::None;
+        let all = PayloadSizes::of(&mut a);
+        assert_eq!(all.trainable_params, all.total_params);
+        a.freeze = FreezePoint::paper_partial();
+        let partial = PayloadSizes::of(&mut a);
+        assert!(partial.trainable_params < partial.total_params);
+        assert_eq!(partial.total_params, all.total_params);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the NN substrate invariants ShadowTutor relies on.
+
+use proptest::prelude::*;
+use st_nn::loss::{weighted_cross_entropy, WeightMap};
+use st_nn::metrics::{miou, ConfusionMatrix};
+use st_nn::snapshot::{PayloadSizes, SnapshotScope, WeightSnapshot};
+use st_nn::student::{FreezePoint, Stage, StudentConfig, StudentNet};
+use st_nn::Param;
+use st_tensor::{random, Shape};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A prediction identical to the label always scores mIoU = 1, and mIoU
+    /// is symmetric in prediction/label.
+    #[test]
+    fn miou_identity_and_symmetry(labels in prop::collection::vec(0usize..5, 1..200)) {
+        let perfect = miou(&labels, &labels, 5).unwrap();
+        prop_assert!((perfect.value - 1.0).abs() < 1e-12);
+        let shifted: Vec<usize> = labels.iter().map(|&l| (l + 1) % 5).collect();
+        let a = miou(&shifted, &labels, 5).unwrap();
+        let b = miou(&labels, &shifted, 5).unwrap();
+        prop_assert!((a.value - b.value).abs() < 1e-12);
+        prop_assert!(a.value >= 0.0 && a.value <= 1.0);
+    }
+
+    /// Pixel accuracy and mIoU agree on the extremes.
+    #[test]
+    fn confusion_matrix_extremes(labels in prop::collection::vec(0usize..3, 1..100)) {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.update(&labels, &labels).unwrap();
+        prop_assert!((cm.pixel_accuracy() - 1.0).abs() < 1e-12);
+        let wrong: Vec<usize> = labels.iter().map(|&l| (l + 1) % 3).collect();
+        let mut cm2 = ConfusionMatrix::new(3);
+        cm2.update(&wrong, &labels).unwrap();
+        prop_assert_eq!(cm2.pixel_accuracy(), 0.0);
+        prop_assert_eq!(cm2.mean_iou(true).value, 0.0);
+    }
+
+    /// The cross-entropy loss is non-negative and its gradient sums to ~zero
+    /// over channels for every pixel (softmax gradient property).
+    #[test]
+    fn cross_entropy_gradient_structure(seed in any::<u64>()) {
+        let logits = random::uniform(Shape::nchw(1, 4, 3, 3), -2.0, 2.0, seed);
+        let labels: Vec<usize> = (0..9).map(|i| (i + seed as usize) % 4).collect();
+        let weights = WeightMap::uniform(9);
+        let (loss, grad) = weighted_cross_entropy(&logits, &labels, &weights).unwrap();
+        prop_assert!(loss >= 0.0);
+        let plane = 9;
+        for p in 0..plane {
+            let channel_sum: f32 = (0..4).map(|c| grad.data()[c * plane + p]).sum();
+            prop_assert!(channel_sum.abs() < 1e-4, "gradient over channels must sum to zero");
+        }
+    }
+
+    /// Loss weights only take the two values {1, OBJECT_WEIGHT} and weighting
+    /// never decreases the count of emphasised pixels as the radius grows.
+    #[test]
+    fn weight_map_monotone_in_radius(seed in any::<u64>()) {
+        let h = 8usize;
+        let w = 8usize;
+        let labels: Vec<usize> = (0..h * w).map(|i| usize::from((i * 7 + seed as usize) % 13 == 0)).collect();
+        let small = WeightMap::from_labels(&labels, h, w, 0, 1).unwrap();
+        let large = WeightMap::from_labels(&labels, h, w, 0, 3).unwrap();
+        let count = |m: &WeightMap| m.weights().iter().filter(|&&v| v > 1.0).count();
+        prop_assert!(count(&large) >= count(&small));
+        for &v in small.weights() {
+            prop_assert!(v == 1.0 || v == st_nn::loss::OBJECT_WEIGHT);
+        }
+    }
+
+    /// Partial snapshots are always a strict subset of full snapshots (fewer
+    /// entries, fewer bytes), and applying a full snapshot makes two students
+    /// with different seeds identical.
+    #[test]
+    fn snapshot_subset_and_identity(seed_a in 0u64..500, seed_b in 500u64..1000) {
+        let mut a = StudentNet::new(StudentConfig { seed: seed_a, ..StudentConfig::tiny() }).unwrap();
+        a.freeze = FreezePoint::paper_partial();
+        let sizes = PayloadSizes::of(&mut a);
+        prop_assert!(sizes.partial_bytes < sizes.full_bytes);
+        prop_assert!(sizes.trainable_params < sizes.total_params);
+
+        let full = WeightSnapshot::capture(&mut a, SnapshotScope::Full);
+        let partial = WeightSnapshot::capture(&mut a, SnapshotScope::TrainableOnly);
+        prop_assert!(partial.entry_count() < full.entry_count());
+
+        let mut b = StudentNet::new(StudentConfig { seed: seed_b, ..StudentConfig::tiny() }).unwrap();
+        b.freeze = FreezePoint::paper_partial();
+        full.apply(&mut b).unwrap();
+        let b_full = WeightSnapshot::capture(&mut b, SnapshotScope::Full);
+        prop_assert!(full.distance(&b_full).unwrap() < 1e-9);
+    }
+
+    /// Freeze points partition the parameters: trainable + frozen = total,
+    /// and later freeze boundaries never increase the trainable count.
+    #[test]
+    fn freeze_point_partition(seed in 0u64..200) {
+        let mut net = StudentNet::new(StudentConfig { seed, ..StudentConfig::tiny() }).unwrap();
+        let total = net.param_count();
+        let mut previous = usize::MAX;
+        for stage in [Stage::Sb3, Stage::Sb5, Stage::Out1, Stage::Out3] {
+            net.freeze = FreezePoint::TrainFrom(stage);
+            let trainable = net.trainable_param_count();
+            let mut frozen = 0usize;
+            let mut v = |p: &mut Param, t: bool| {
+                if !t {
+                    frozen += p.numel();
+                }
+            };
+            net.visit_params(&mut v);
+            prop_assert_eq!(trainable + frozen, total);
+            prop_assert!(trainable <= previous, "later freeze points must not train more");
+            previous = trainable;
+        }
+    }
+
+    /// Inference is deterministic: the same input through the same weights
+    /// always yields the same prediction.
+    #[test]
+    fn inference_is_deterministic(seed in any::<u64>()) {
+        let net = StudentNet::new(StudentConfig::tiny()).unwrap();
+        let x = random::uniform(Shape::nchw(1, 3, 16, 16), 0.0, 1.0, seed);
+        let a = net.predict(&x).unwrap();
+        let b = net.predict(&x).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,23 @@
+//! # st-sim
+//!
+//! Virtual-time substrate for deterministic throughput/traffic experiments.
+//!
+//! The paper's throughput and traffic numbers are functions of component
+//! latencies (Table 1: `t_si`, `t_sd`, `t_ti`, `t_net`) and message sizes,
+//! not of the host machine's wall clock. This crate provides:
+//!
+//! * [`VirtualClock`] — a monotonically advancing simulated clock with
+//!   explicit event accounting.
+//! * [`LatencyProfile`] — the per-component latency table. The
+//!   paper-calibrated profile reproduces the measurements of §5.3
+//!   (`t_si` = 143 ms, `t_sd` = 13 ms partial / 18 ms full, `t_ti` = 44 ms);
+//!   a "measured" profile can be filled in from Criterion runs on the host.
+//! * [`Concurrency`] — whether the modelled client can overlap student
+//!   inference with network transfers, which is exactly the degree of freedom
+//!   that separates the lower and upper bounds of §4.4.
+
+pub mod clock;
+pub mod profile;
+
+pub use clock::{EventKind, EventLog, VirtualClock};
+pub use profile::{Concurrency, LatencyProfile};

@@ -1,0 +1,146 @@
+//! A CNN teacher: a wider instance of the student architecture.
+//!
+//! This teacher exists to exercise the *full* distillation code path
+//! (teacher forward pass → pseudo-label → student training) with a genuinely
+//! learned model rather than the oracle. It is pre-trained on frames drawn
+//! from the same generator family ("public education" in the paper's terms)
+//! and then frozen; at serving time it only runs inference on key frames.
+
+use crate::{logits_to_labels, Result, Teacher};
+use st_nn::loss::{weighted_cross_entropy, WeightMap};
+use st_nn::optim::Adam;
+use st_nn::student::{FreezePoint, StudentConfig, StudentNet};
+use st_video::{Frame, VideoGenerator};
+
+/// A CNN teacher built from a widened student network.
+#[derive(Debug)]
+pub struct CnnTeacher {
+    net: StudentNet,
+    latency: f64,
+    param_count: usize,
+}
+
+impl CnnTeacher {
+    /// Create an untrained CNN teacher with roughly `width_multiple`× the
+    /// tiny student's channel widths.
+    pub fn untrained(width_multiple: usize, seed: u64) -> Result<Self> {
+        let base = StudentConfig::tiny();
+        let m = width_multiple.max(1);
+        let config = StudentConfig {
+            c_stem: base.c_stem * m,
+            c_enc1: base.c_enc1 * m,
+            c_enc2: base.c_enc2 * m,
+            c_dec1: base.c_dec1 * m,
+            c_dec2: base.c_dec2 * m,
+            c_head: base.c_head * m,
+            seed,
+            ..base
+        };
+        let mut net = StudentNet::new(config)?;
+        net.freeze = FreezePoint::None;
+        let param_count = net.param_count();
+        Ok(CnnTeacher {
+            net,
+            latency: 0.044,
+            param_count,
+        })
+    }
+
+    /// Pre-train the teacher on `steps` frames drawn from `generator`, using
+    /// the generator's ground truth as supervision ("public education").
+    pub fn pretrain(&mut self, generator: &mut VideoGenerator, steps: usize, lr: f32) -> Result<f32> {
+        let mut opt = Adam::new(lr);
+        let mut last_loss = 0.0f32;
+        for _ in 0..steps {
+            let frame = generator.next_frame();
+            let logits = self.net.forward_train(&frame.image)?;
+            let weights = WeightMap::from_labels(
+                &frame.ground_truth,
+                frame.height,
+                frame.width,
+                0,
+                1,
+            )?;
+            let (loss, grad) = weighted_cross_entropy(&logits, &frame.ground_truth, &weights)?;
+            self.net.backward(&grad)?;
+            opt.step(&mut self.net);
+            last_loss = loss;
+        }
+        Ok(last_loss)
+    }
+
+    /// Override the nominal inference latency (seconds).
+    pub fn with_latency(mut self, latency: f64) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Access the underlying network (e.g. to inspect parameter counts).
+    pub fn network(&self) -> &StudentNet {
+        &self.net
+    }
+}
+
+impl Teacher for CnnTeacher {
+    fn pseudo_label(&mut self, frame: &Frame) -> Result<Vec<usize>> {
+        let logits = self.net.forward_inference(&frame.image)?;
+        logits_to_labels(&logits)
+    }
+
+    fn inference_latency(&self) -> f64 {
+        self.latency
+    }
+
+    fn param_count(&self) -> usize {
+        self.param_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_video::{CameraMotion, SceneKind, VideoCategory, VideoConfig};
+
+    fn generator(seed: u64) -> VideoGenerator {
+        let cat = VideoCategory {
+            camera: CameraMotion::Fixed,
+            scene: SceneKind::People,
+        };
+        VideoGenerator::new(VideoConfig::for_category(cat, 32, 24, seed)).unwrap()
+    }
+
+    #[test]
+    fn untrained_teacher_produces_valid_labels() {
+        let mut t = CnnTeacher::untrained(2, 1).unwrap();
+        let mut g = generator(2);
+        let f = g.next_frame();
+        let labels = t.pseudo_label(&f).unwrap();
+        assert_eq!(labels.len(), f.ground_truth.len());
+        assert!(labels.iter().all(|&l| l < st_video::NUM_CLASSES));
+    }
+
+    #[test]
+    fn wider_teacher_has_more_params_than_tiny_student() {
+        let t = CnnTeacher::untrained(2, 1).unwrap();
+        let mut tiny = StudentNet::new(StudentConfig::tiny()).unwrap();
+        assert!(t.param_count() > tiny.param_count());
+        assert_eq!(t.param_count(), t.network().config.num_classes.max(1) * 0 + t.param_count());
+    }
+
+    #[test]
+    fn pretraining_reduces_loss() {
+        let mut t = CnnTeacher::untrained(1, 3).unwrap();
+        let mut g = generator(4);
+        // First step's loss vs the loss after a few steps on the same stream.
+        let first = t.pretrain(&mut g, 1, 0.01).unwrap();
+        let later = t.pretrain(&mut g, 6, 0.01).unwrap();
+        assert!(later.is_finite());
+        assert!(later < first * 1.5, "pre-training diverged: {first} -> {later}");
+    }
+
+    #[test]
+    fn latency_override() {
+        let t = CnnTeacher::untrained(1, 1).unwrap().with_latency(0.2);
+        assert!((t.inference_latency() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type shared by all tensor operations.
+
+use std::fmt;
+
+/// Errors produced by tensor construction and tensor operations.
+///
+/// Shape mismatches are by far the most common failure mode; they carry the
+/// offending shapes (as plain `Vec<usize>` so the error type stays cheap to
+/// construct) and a short description of the operation that failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The two shapes involved in an operation are incompatible.
+    ShapeMismatch {
+        /// Operation name, e.g. `"add"` or `"conv2d"`.
+        op: &'static str,
+        /// Left-hand-side / primary shape.
+        lhs: Vec<usize>,
+        /// Right-hand-side / secondary shape.
+        rhs: Vec<usize>,
+    },
+    /// The data buffer length does not match the number of elements implied
+    /// by the shape.
+    LengthMismatch {
+        /// Expected number of elements.
+        expected: usize,
+        /// Actual buffer length.
+        actual: usize,
+    },
+    /// An index is out of bounds for the given dimension.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Dimension size.
+        len: usize,
+    },
+    /// A configuration value is invalid (e.g. zero stride, empty kernel).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in `{op}`: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer length mismatch: expected {expected}, got {actual}")
+            }
+            TensorError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for dimension of size {len}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            op: "add",
+            lhs: vec![1, 2],
+            rhs: vec![3],
+        };
+        let s = e.to_string();
+        assert!(s.contains("add"));
+        assert!(s.contains("[1, 2]"));
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        assert!(e.to_string().contains("expected 6"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err<E: std::error::Error>(_: E) {}
+        takes_err(TensorError::InvalidArgument("x".into()));
+    }
+}

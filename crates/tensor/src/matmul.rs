@@ -1,0 +1,223 @@
+//! Blocked GEMM kernels used by the im2col convolution lowering.
+//!
+//! Three variants are provided because the convolution backward passes need
+//! products against transposed operands and materialising the transpose would
+//! double memory traffic on the (already large) im2col buffers:
+//!
+//! * [`matmul`]     — `C = A (M×K) · B (K×N)`
+//! * [`matmul_tn`]  — `C = Aᵀ (M×K stored as K×M) · B (K×N)`
+//! * [`matmul_nt`]  — `C = A (M×K) · Bᵀ (N×K stored row-major)`
+//!
+//! The kernels are cache-blocked over `K` and keep the innermost loop over
+//! `N` contiguous so the auto-vectoriser can use SIMD on the accumulation.
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Cache block size over the reduction dimension.
+const K_BLOCK: usize = 64;
+
+fn check_matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    t.shape().as_matrix().map_err(|_| TensorError::ShapeMismatch {
+        op,
+        lhs: t.shape().dims().to_vec(),
+        rhs: vec![0, 0],
+    })
+}
+
+/// `C = A · B` for row-major matrices `A: (m, k)`, `B: (k, n)`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = check_matrix(a, "matmul")?;
+    let (kb, n) = check_matrix(b, "matmul")?;
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for k0 in (0..k).step_by(K_BLOCK) {
+        let k1 = (k0 + K_BLOCK).min(k);
+        for i in 0..m {
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for kk in k0..k1 {
+                let aik = ad[i * k + kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &bd[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += aik * bv;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(Shape::matrix(m, n), out)
+}
+
+/// `C = Aᵀ · B` where `A` is stored as `(k, m)` and `B` as `(k, n)`.
+///
+/// Result is `(m, n)`. Used for the convolution weight gradient
+/// (`dW = dOutᵀ · im2col` style products).
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m) = check_matrix(a, "matmul_tn")?;
+    let (kb, n) = check_matrix(b, "matmul_tn")?;
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_tn",
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    // Iterate over k outermost: both A and B rows are contiguous in k.
+    for kk in 0..k {
+        let a_row = &ad[kk * m..(kk + 1) * m];
+        let b_row = &bd[kk * n..(kk + 1) * n];
+        for (i, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += aik * bv;
+            }
+        }
+    }
+    Tensor::from_vec(Shape::matrix(m, n), out)
+}
+
+/// `C = A · Bᵀ` where `A` is `(m, k)` and `B` is `(n, k)`, both row-major.
+///
+/// Result is `(m, n)`. Used for the convolution input gradient
+/// (`dCol = Wᵀ · dOut` style products) where the weight matrix is naturally
+/// stored `(out_c, in_c*kh*kw)`.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = check_matrix(a, "matmul_nt")?;
+    let (n, kb) = check_matrix(b, "matmul_nt")?;
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_nt",
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let a_row = &ad[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+    Tensor::from_vec(Shape::matrix(m, n), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random;
+
+    fn mat(rows: usize, cols: usize, data: &[f32]) -> Tensor {
+        Tensor::from_vec(Shape::matrix(rows, cols), data.to_vec()).unwrap()
+    }
+
+    /// Reference O(mnk) implementation for cross-checking.
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = a.shape().as_matrix().unwrap();
+        let (_, n) = b.shape().as_matrix().unwrap();
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.data()[i * k + kk] * b.data()[kk * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        mat(m, n, &out)
+    }
+
+    fn transpose(t: &Tensor) -> Tensor {
+        let (r, c) = t.shape().as_matrix().unwrap();
+        let mut out = vec![0.0; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = t.data()[i * c + j];
+            }
+        }
+        mat(c, r, &out)
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = mat(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = mat(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = mat(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = mat(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(matmul(&a, &i).unwrap(), a);
+        assert_eq!(matmul(&i, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatch() {
+        let a = Tensor::zeros(Shape::matrix(2, 3));
+        let b = Tensor::zeros(Shape::matrix(2, 3));
+        assert!(matmul(&a, &b).is_err());
+        let v = Tensor::zeros(Shape::vector(3));
+        assert!(matmul(&a, &v).is_err());
+    }
+
+    #[test]
+    fn blocked_matches_naive_random() {
+        let a = random::uniform(Shape::matrix(17, 33), -1.0, 1.0, 1);
+        let b = random::uniform(Shape::matrix(33, 9), -1.0, 1.0, 2);
+        let fast = matmul(&a, &b).unwrap();
+        let slow = naive(&a, &b);
+        for (x, y) in fast.data().iter().zip(slow.data().iter()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let a = random::uniform(Shape::matrix(13, 7), -1.0, 1.0, 3); // stored (k=13, m=7)
+        let b = random::uniform(Shape::matrix(13, 11), -1.0, 1.0, 4);
+        let fast = matmul_tn(&a, &b).unwrap();
+        let slow = naive(&transpose(&a), &b);
+        assert_eq!(fast.shape().dims(), &[7, 11]);
+        for (x, y) in fast.data().iter().zip(slow.data().iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let a = random::uniform(Shape::matrix(5, 13), -1.0, 1.0, 5);
+        let b = random::uniform(Shape::matrix(9, 13), -1.0, 1.0, 6); // (n=9, k=13)
+        let fast = matmul_nt(&a, &b).unwrap();
+        let slow = naive(&a, &transpose(&b));
+        assert_eq!(fast.shape().dims(), &[5, 9]);
+        for (x, y) in fast.data().iter().zip(slow.data().iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Pooling and up-sampling operators with backward passes.
+//!
+//! The student decoder up-samples low-resolution feature maps back to the
+//! skip-connection resolution before concatenation, and the segmentation
+//! head up-samples logits back to the input resolution, so nearest-neighbour
+//! up-sampling (and its adjoint, which is exactly average-style scatter
+//! accumulation) is the workhorse here. Average pooling is provided for the
+//! optional CNN teacher's wider encoder.
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Average pooling with a square window of size `k` and stride `k`
+/// (non-overlapping).
+pub fn avg_pool2d(input: &Tensor, k: usize) -> Result<Tensor> {
+    if k == 0 {
+        return Err(TensorError::InvalidArgument("pool window must be non-zero".into()));
+    }
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    let oh = h / k;
+    let ow = w / k;
+    if oh == 0 || ow == 0 {
+        return Err(TensorError::InvalidArgument(format!(
+            "input {h}x{w} too small for pool window {k}"
+        )));
+    }
+    let mut out = Tensor::zeros(Shape::nchw(n, c, oh, ow));
+    let inv = 1.0 / (k * k) as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            acc += input.at4(ni, ci, oy * k + dy, ox * k + dx);
+                        }
+                    }
+                    out.set4(ni, ci, oy, ox, acc * inv);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backward pass of [`avg_pool2d`]: spread each output gradient uniformly
+/// over its `k×k` window.
+pub fn avg_pool2d_backward(grad_out: &Tensor, k: usize, in_h: usize, in_w: usize) -> Result<Tensor> {
+    let (n, c, oh, ow) = grad_out.shape().as_nchw()?;
+    let mut out = Tensor::zeros(Shape::nchw(n, c, in_h, in_w));
+    let inv = 1.0 / (k * k) as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = grad_out.at4(ni, ci, oy, ox) * inv;
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            let y = oy * k + dy;
+                            let x = ox * k + dx;
+                            if y < in_h && x < in_w {
+                                let cur = out.at4(ni, ci, y, x);
+                                out.set4(ni, ci, y, x, cur + g);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Nearest-neighbour up-sampling by an integer factor.
+pub fn upsample_nearest(input: &Tensor, factor: usize) -> Result<Tensor> {
+    if factor == 0 {
+        return Err(TensorError::InvalidArgument("upsample factor must be non-zero".into()));
+    }
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    let oh = h * factor;
+    let ow = w * factor;
+    let mut out = Tensor::zeros(Shape::nchw(n, c, oh, ow));
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                let iy = oy / factor;
+                for ox in 0..ow {
+                    out.set4(ni, ci, oy, ox, input.at4(ni, ci, iy, ox / factor));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backward pass of [`upsample_nearest`]: each input position accumulates the
+/// gradients of all output positions it was copied to.
+pub fn upsample_nearest_backward(grad_out: &Tensor, factor: usize) -> Result<Tensor> {
+    if factor == 0 {
+        return Err(TensorError::InvalidArgument("upsample factor must be non-zero".into()));
+    }
+    let (n, c, oh, ow) = grad_out.shape().as_nchw()?;
+    if oh % factor != 0 || ow % factor != 0 {
+        return Err(TensorError::InvalidArgument(format!(
+            "gradient size {oh}x{ow} not divisible by factor {factor}"
+        )));
+    }
+    let h = oh / factor;
+    let w = ow / factor;
+    let mut out = Tensor::zeros(Shape::nchw(n, c, h, w));
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                let iy = oy / factor;
+                for ox in 0..ow {
+                    let ix = ox / factor;
+                    let cur = out.at4(ni, ci, iy, ix);
+                    out.set4(ni, ci, iy, ix, cur + grad_out.at4(ni, ci, oy, ox));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Down-sample a label map (`H*W` class indices) by taking the top-left
+/// sample of each `factor×factor` block. Used when supervising the student at
+/// a reduced output resolution.
+pub fn downsample_labels(labels: &[usize], h: usize, w: usize, factor: usize) -> Result<Vec<usize>> {
+    if factor == 0 || h % factor != 0 || w % factor != 0 {
+        return Err(TensorError::InvalidArgument(format!(
+            "label map {h}x{w} not divisible by factor {factor}"
+        )));
+    }
+    if labels.len() != h * w {
+        return Err(TensorError::LengthMismatch {
+            expected: h * w,
+            actual: labels.len(),
+        });
+    }
+    let oh = h / factor;
+    let ow = w / factor;
+    let mut out = Vec::with_capacity(oh * ow);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            out.push(labels[(oy * factor) * w + ox * factor]);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random;
+
+    #[test]
+    fn avg_pool_known_values() {
+        let x = Tensor::from_vec(
+            Shape::nchw(1, 1, 2, 4),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+        )
+        .unwrap();
+        let y = avg_pool2d(&x, 2).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 1, 2]);
+        assert_eq!(y.data(), &[3.5, 5.5]);
+    }
+
+    #[test]
+    fn avg_pool_rejects_bad_window() {
+        let x = Tensor::zeros(Shape::nchw(1, 1, 2, 2));
+        assert!(avg_pool2d(&x, 0).is_err());
+        assert!(avg_pool2d(&x, 4).is_err());
+    }
+
+    #[test]
+    fn upsample_then_pool_is_identity() {
+        let x = random::uniform(Shape::nchw(1, 3, 4, 5), -1.0, 1.0, 1);
+        let up = upsample_nearest(&x, 2).unwrap();
+        assert_eq!(up.shape().dims(), &[1, 3, 8, 10]);
+        let back = avg_pool2d(&up, 2).unwrap();
+        for (a, b) in x.data().iter().zip(back.data().iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn upsample_backward_is_adjoint() {
+        // <up(x), y> == <x, up_backward(y)>
+        let x = random::uniform(Shape::nchw(1, 2, 3, 3), -1.0, 1.0, 2);
+        let up = upsample_nearest(&x, 2).unwrap();
+        let y = random::uniform(up.shape().clone(), -1.0, 1.0, 3);
+        let lhs = up.mul(&y).unwrap().sum();
+        let back = upsample_nearest_backward(&y, 2).unwrap();
+        let rhs = x.mul(&back).unwrap().sum();
+        assert!((lhs - rhs).abs() < 1e-3);
+    }
+
+    #[test]
+    fn avg_pool_backward_is_adjoint() {
+        let x = random::uniform(Shape::nchw(1, 2, 4, 6), -1.0, 1.0, 4);
+        let pooled = avg_pool2d(&x, 2).unwrap();
+        let y = random::uniform(pooled.shape().clone(), -1.0, 1.0, 5);
+        let lhs = pooled.mul(&y).unwrap().sum();
+        let back = avg_pool2d_backward(&y, 2, 4, 6).unwrap();
+        let rhs = x.mul(&back).unwrap().sum();
+        assert!((lhs - rhs).abs() < 1e-3);
+    }
+
+    #[test]
+    fn upsample_backward_rejects_indivisible() {
+        let g = Tensor::zeros(Shape::nchw(1, 1, 3, 3));
+        assert!(upsample_nearest_backward(&g, 2).is_err());
+    }
+
+    #[test]
+    fn label_downsampling() {
+        let labels: Vec<usize> = (0..16).collect();
+        let down = downsample_labels(&labels, 4, 4, 2).unwrap();
+        assert_eq!(down, vec![0, 2, 8, 10]);
+        assert!(downsample_labels(&labels, 4, 4, 3).is_err());
+        assert!(downsample_labels(&labels[..15], 4, 4, 2).is_err());
+    }
+}

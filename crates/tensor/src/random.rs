@@ -1,0 +1,98 @@
+//! Deterministic random tensor constructors.
+//!
+//! Every constructor takes an explicit `u64` seed so that experiments,
+//! property tests, and the benchmark harness are fully reproducible run to
+//! run. Normal variates are generated with the Box–Muller transform (the
+//! `rand` crate alone, without `rand_distr`, only provides uniform floats).
+
+use crate::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Uniform random tensor in `[lo, hi)`.
+pub fn uniform(shape: Shape, lo: f32, hi: f32, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = shape.numel();
+    let data = (0..n)
+        .map(|_| lo + (hi - lo) * rng.random::<f32>())
+        .collect();
+    Tensor::from_vec(shape, data).expect("length matches shape by construction")
+}
+
+/// Standard-normal random tensor scaled by `std` and shifted by `mean`.
+pub fn normal(shape: Shape, mean: f32, std: f32, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = shape.numel();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        // Box-Muller: two uniforms -> two independent standard normals.
+        let u1: f32 = rng.random::<f32>().max(1e-12);
+        let u2: f32 = rng.random::<f32>();
+        let r = (-2.0f32 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(mean + std * r * theta.cos());
+        if data.len() < n {
+            data.push(mean + std * r * theta.sin());
+        }
+    }
+    Tensor::from_vec(shape, data).expect("length matches shape by construction")
+}
+
+/// Kaiming/He normal initialisation for convolution kernels.
+///
+/// `fan_in` should be `in_channels * kernel_h * kernel_w`; the returned
+/// tensor has standard deviation `sqrt(2 / fan_in)`, appropriate for layers
+/// followed by ReLU activations.
+pub fn kaiming(shape: Shape, fan_in: usize, seed: u64) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    normal(shape, 0.0, std, seed)
+}
+
+/// A deterministic RNG for callers that need scalar draws alongside tensors.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_in_range_and_deterministic() {
+        let a = uniform(Shape::vector(1000), -2.0, 3.0, 42);
+        assert!(a.data().iter().all(|&x| (-2.0..3.0).contains(&x)));
+        let b = uniform(Shape::vector(1000), -2.0, 3.0, 42);
+        assert_eq!(a, b);
+        let c = uniform(Shape::vector(1000), -2.0, 3.0, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn normal_moments_roughly_correct() {
+        let a = normal(Shape::vector(20_000), 1.0, 2.0, 7);
+        let mean = a.mean();
+        let var = a.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+            / a.numel() as f32;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+        assert!(a.all_finite());
+    }
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let small_fan = kaiming(Shape::vector(10_000), 9, 1);
+        let big_fan = kaiming(Shape::vector(10_000), 900, 1);
+        let std = |t: &Tensor| {
+            let m = t.mean();
+            (t.data().iter().map(|x| (x - m) * (x - m)).sum::<f32>() / t.numel() as f32).sqrt()
+        };
+        assert!(std(&small_fan) > 5.0 * std(&big_fan));
+    }
+
+    #[test]
+    fn odd_length_normal_filled() {
+        let a = normal(Shape::vector(7), 0.0, 1.0, 3);
+        assert_eq!(a.numel(), 7);
+        assert!(a.all_finite());
+    }
+}

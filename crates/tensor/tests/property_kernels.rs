@@ -1,0 +1,133 @@
+//! Property-based tests of the tensor kernels.
+//!
+//! These check the algebraic identities the NN layers rely on: linearity of
+//! GEMM, adjointness of im2col/col2im and of up-sampling, shape preservation
+//! of elementwise operations, and normalisation of softmax — over randomly
+//! drawn shapes and contents.
+
+use proptest::prelude::*;
+use st_tensor::conv::{col2im, conv2d_forward, im2col, Conv2dSpec};
+use st_tensor::{matmul, ops, pool, random, Shape, Tensor};
+
+fn tensor_strategy(max: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max, 1..=max, any::<u64>()).prop_map(|(r, c, seed)| {
+        random::uniform(Shape::matrix(r, c), -2.0, 2.0, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn elementwise_add_commutes(a in tensor_strategy(12), seed in any::<u64>()) {
+        let b = random::uniform(a.shape().clone(), -2.0, 2.0, seed);
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn scale_is_linear(a in tensor_strategy(12), alpha in -3.0f32..3.0, beta in -3.0f32..3.0) {
+        let lhs = a.scale(alpha + beta);
+        let rhs = a.scale(alpha).add(&a.scale(beta)).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in any::<u64>()
+    ) {
+        let a = random::uniform(Shape::matrix(m, k), -1.0, 1.0, seed);
+        let b1 = random::uniform(Shape::matrix(k, n), -1.0, 1.0, seed.wrapping_add(1));
+        let b2 = random::uniform(Shape::matrix(k, n), -1.0, 1.0, seed.wrapping_add(2));
+        let lhs = matmul::matmul(&a, &b1.add(&b2).unwrap()).unwrap();
+        let rhs = matmul::matmul(&a, &b1).unwrap().add(&matmul::matmul(&a, &b2).unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_are_adjoint(
+        c in 1usize..4, h in 4usize..10, w in 4usize..10, stride in 1usize..3, seed in any::<u64>()
+    ) {
+        let spec = Conv2dSpec::square(c, 1, 3, stride);
+        let x = random::uniform(Shape::nchw(1, c, h, w), -1.0, 1.0, seed);
+        let cols = im2col(&x, &spec).unwrap();
+        let y = random::uniform(cols.shape().clone(), -1.0, 1.0, seed.wrapping_add(7));
+        let lhs = cols.mul(&y).unwrap().sum();
+        let rhs = x.mul(&col2im(&y, &spec, h, w).unwrap()).unwrap().sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv_is_linear_in_the_input(
+        h in 4usize..9, w in 4usize..9, seed in any::<u64>()
+    ) {
+        let spec = Conv2dSpec::square(2, 3, 3, 1);
+        let weight = random::uniform(spec.weight_shape(), -0.5, 0.5, seed);
+        let x1 = random::uniform(Shape::nchw(1, 2, h, w), -1.0, 1.0, seed.wrapping_add(1));
+        let x2 = random::uniform(Shape::nchw(1, 2, h, w), -1.0, 1.0, seed.wrapping_add(2));
+        let (y_sum, _) = conv2d_forward(&x1.add(&x2).unwrap(), &weight, None, &spec).unwrap();
+        let (y1, _) = conv2d_forward(&x1, &weight, None, &spec).unwrap();
+        let (y2, _) = conv2d_forward(&x2, &weight, None, &spec).unwrap();
+        let expected = y1.add(&y2).unwrap();
+        for (a, b) in y_sum.data().iter().zip(expected.data().iter()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_is_normalised_and_shift_invariant(
+        c in 2usize..6, h in 1usize..5, w in 1usize..5, shift in -10.0f32..10.0, seed in any::<u64>()
+    ) {
+        let x = random::uniform(Shape::nchw(1, c, h, w), -5.0, 5.0, seed);
+        let s = ops::softmax_channels(&x).unwrap();
+        let plane = h * w;
+        for p in 0..plane {
+            let total: f32 = (0..c).map(|ci| s.data()[ci * plane + p]).sum();
+            prop_assert!((total - 1.0).abs() < 1e-4);
+        }
+        // Adding a constant to every logit leaves the softmax unchanged.
+        let shifted = ops::softmax_channels(&x.map(|v| v + shift)).unwrap();
+        for (a, b) in s.data().iter().zip(shifted.data().iter()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn upsample_then_avgpool_recovers_the_input(
+        c in 1usize..4, h in 1usize..6, w in 1usize..6, factor in 1usize..4, seed in any::<u64>()
+    ) {
+        let x = random::uniform(Shape::nchw(1, c, h, w), -1.0, 1.0, seed);
+        let up = pool::upsample_nearest(&x, factor).unwrap();
+        let back = pool::avg_pool2d(&up, factor).unwrap();
+        prop_assert_eq!(back.shape(), x.shape());
+        for (a, b) in x.data().iter().zip(back.data().iter()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn concat_then_slice_round_trips(
+        c1 in 1usize..5, c2 in 1usize..5, h in 1usize..5, w in 1usize..5, seed in any::<u64>()
+    ) {
+        let a = random::uniform(Shape::nchw(1, c1, h, w), -1.0, 1.0, seed);
+        let b = random::uniform(Shape::nchw(1, c2, h, w), -1.0, 1.0, seed.wrapping_add(3));
+        let cat = Tensor::concat_channels(&[&a, &b]).unwrap();
+        prop_assert_eq!(cat.slice_channels(0, c1).unwrap(), a);
+        prop_assert_eq!(cat.slice_channels(c1, c2).unwrap(), b);
+    }
+
+    #[test]
+    fn argmax_is_consistent_with_softmax(
+        c in 2usize..6, h in 1usize..4, w in 1usize..4, seed in any::<u64>()
+    ) {
+        let x = random::uniform(Shape::nchw(1, c, h, w), -3.0, 3.0, seed);
+        let labels_logits = x.argmax_channels().unwrap();
+        let labels_probs = ops::softmax_channels(&x).unwrap().argmax_channels().unwrap();
+        prop_assert_eq!(labels_logits, labels_probs);
+    }
+}

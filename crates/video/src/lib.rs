@@ -1,0 +1,42 @@
+//! # st-video
+//!
+//! Procedural, LVS-like video substrate for the ShadowTutor reproduction.
+//!
+//! The paper evaluates on the Long Video Segmentation (LVS) dataset: 720p
+//! videos at 25–30 FPS labelled with 8 actively moving object classes, split
+//! into seven camera × scene categories (fixed/moving/egocentric ×
+//! animals/people/street). That dataset is not available offline, so this
+//! crate generates videos with the same *structure*: textured moving objects
+//! of 8 foreground classes over a per-scene background, under three camera
+//! motion models, with a per-frame ground-truth segmentation mask and
+//! controllable temporal coherence (object speed, camera motion, scene-change
+//! rate).
+//!
+//! Everything that matters to ShadowTutor — how quickly a scene decorrelates
+//! from the last key frame, how class content differs per category, and how
+//! frame rate resampling stretches temporal distance — is explicitly
+//! parameterised, so key-frame ratios and accuracy trends per category have
+//! the same qualitative shape as the paper's.
+//!
+//! Modules:
+//!
+//! * [`classes`] — the 8 LVS object classes plus background.
+//! * [`scene`] — camera-motion and scene-kind taxonomy (the 7 categories).
+//! * [`object`] — moving textured objects and their dynamics.
+//! * [`generator`] — the frame generator ([`generator::VideoGenerator`]).
+//! * [`resample`] — frame-rate resampling (the paper's 7 FPS experiment).
+//! * [`dataset`] — ready-made category configs and the named Figure-4 videos.
+
+pub mod classes;
+pub mod dataset;
+pub mod generator;
+pub mod object;
+pub mod resample;
+pub mod scene;
+
+pub use classes::{SegClass, NUM_CLASSES};
+pub use generator::{Frame, VideoConfig, VideoGenerator};
+pub use scene::{CameraMotion, SceneKind, VideoCategory};
+
+/// Result alias re-using the tensor error type.
+pub type Result<T> = st_tensor::Result<T>;

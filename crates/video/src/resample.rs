@@ -1,0 +1,123 @@
+//! Frame-rate resampling.
+//!
+//! Section 6.5 of the paper re-samples every video to 7 FPS (keeping every
+//! fourth frame of a 28 FPS stream) to stretch the temporal distance between
+//! adjacent frames and test whether ShadowTutor still works when coherence is
+//! weaker. [`Resampler`] wraps any frame iterator and performs exactly that
+//! stride-based decimation, renumbering frames so downstream consumers see a
+//! contiguous stream.
+
+use crate::generator::Frame;
+use crate::Result;
+use st_tensor::TensorError;
+
+/// Stride-decimating frame resampler.
+#[derive(Debug, Clone)]
+pub struct Resampler<I> {
+    inner: I,
+    keep_every: usize,
+    emitted: usize,
+}
+
+impl<I: Iterator<Item = Frame>> Resampler<I> {
+    /// Keep one frame out of every `keep_every` source frames.
+    pub fn new(inner: I, keep_every: usize) -> Result<Self> {
+        if keep_every == 0 {
+            return Err(TensorError::InvalidArgument("keep_every must be non-zero".into()));
+        }
+        Ok(Resampler {
+            inner,
+            keep_every,
+            emitted: 0,
+        })
+    }
+
+    /// Build a resampler that converts a `source_fps` stream to approximately
+    /// `target_fps` (e.g. 28 → 7 keeps every 4th frame, as in §6.5).
+    pub fn to_fps(inner: I, source_fps: f64, target_fps: f64) -> Result<Self> {
+        if target_fps <= 0.0 || source_fps <= 0.0 {
+            return Err(TensorError::InvalidArgument("fps must be positive".into()));
+        }
+        let keep_every = (source_fps / target_fps).round().max(1.0) as usize;
+        Resampler::new(inner, keep_every)
+    }
+
+    /// The decimation stride.
+    pub fn stride(&self) -> usize {
+        self.keep_every
+    }
+}
+
+impl<I: Iterator<Item = Frame>> Iterator for Resampler<I> {
+    type Item = Frame;
+
+    fn next(&mut self) -> Option<Frame> {
+        // Keep the first of every `keep_every` frames.
+        let mut frame = self.inner.next()?;
+        for _ in 1..self.keep_every {
+            // Discard the in-between frames (they are still generated so the
+            // world advances by the same amount of "time").
+            if self.inner.next().is_none() {
+                break;
+            }
+        }
+        frame.index = self.emitted;
+        self.emitted += 1;
+        Some(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{VideoConfig, VideoGenerator};
+    use crate::scene::{CameraMotion, SceneKind, VideoCategory};
+
+    fn gen(seed: u64) -> VideoGenerator {
+        let cat = VideoCategory {
+            camera: CameraMotion::Fixed,
+            scene: SceneKind::People,
+        };
+        VideoGenerator::new(VideoConfig::for_category(cat, 32, 24, seed)).unwrap()
+    }
+
+    #[test]
+    fn keeps_every_kth_frame() {
+        let source: Vec<Frame> = gen(1).take_frames(12);
+        let resampled: Vec<Frame> = Resampler::new(gen(1), 4).unwrap().take(3).collect();
+        assert_eq!(resampled.len(), 3);
+        // Resampled frame i equals source frame 4*i (images identical).
+        for (i, f) in resampled.iter().enumerate() {
+            assert_eq!(f.index, i, "renumbered index");
+            assert_eq!(f.image, source[i * 4].image);
+        }
+    }
+
+    #[test]
+    fn to_fps_computes_stride() {
+        let r = Resampler::to_fps(gen(2), 28.0, 7.0).unwrap();
+        assert_eq!(r.stride(), 4);
+        let r2 = Resampler::to_fps(gen(2), 25.0, 25.0).unwrap();
+        assert_eq!(r2.stride(), 1);
+        assert!(Resampler::to_fps(gen(2), 28.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_stride() {
+        assert!(Resampler::new(gen(3), 0).is_err());
+    }
+
+    #[test]
+    fn resampled_stream_is_less_coherent() {
+        let diff = |a: &Frame, b: &Frame| {
+            a.ground_truth
+                .iter()
+                .zip(b.ground_truth.iter())
+                .filter(|(x, y)| x != y)
+                .count()
+        };
+        let native: Vec<Frame> = gen(4).take_frames(2);
+        let resampled: Vec<Frame> = Resampler::new(gen(4), 4).unwrap().take(2).collect();
+        assert!(diff(&resampled[0], &resampled[1]) >= diff(&native[0], &native[1]));
+    }
+}

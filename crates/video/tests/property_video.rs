@@ -1,0 +1,91 @@
+//! Property-based tests of the video generator's guarantees: determinism,
+//! valid labels, temporal coherence, and resampling equivalence.
+
+use proptest::prelude::*;
+use st_video::dataset::{category_videos, Resolution};
+use st_video::resample::Resampler;
+use st_video::{Frame, VideoCategory, VideoConfig, VideoGenerator, NUM_CLASSES};
+
+fn any_category() -> impl Strategy<Value = VideoCategory> {
+    (0usize..7).prop_map(|i| VideoCategory::paper_categories()[i])
+}
+
+fn label_diff(a: &Frame, b: &Frame) -> usize {
+    a.ground_truth
+        .iter()
+        .zip(b.ground_truth.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every frame has valid labels, unit-range pixels, and matching sizes.
+    #[test]
+    fn frames_are_always_well_formed(category in any_category(), seed in any::<u64>()) {
+        let config = VideoConfig::for_category(category, 32, 24, seed);
+        let mut generator = VideoGenerator::new(config).unwrap();
+        for _ in 0..6 {
+            let frame = generator.next_frame();
+            prop_assert_eq!(frame.ground_truth.len(), 32 * 24);
+            prop_assert_eq!(frame.image.shape().dims(), &[1, 3, 24, 32]);
+            prop_assert!(frame.ground_truth.iter().all(|&c| c < NUM_CLASSES));
+            prop_assert!(frame.image.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+            prop_assert!(frame.image.all_finite());
+        }
+    }
+
+    /// The same seed reproduces the identical stream; different seeds differ.
+    #[test]
+    fn streams_are_deterministic_per_seed(category in any_category(), seed in any::<u64>()) {
+        let config = VideoConfig::for_category(category, 32, 24, seed);
+        let a: Vec<Frame> = VideoGenerator::new(config).unwrap().take_frames(4);
+        let b: Vec<Frame> = VideoGenerator::new(config).unwrap().take_frames(4);
+        for (fa, fb) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(&fa.image, &fb.image);
+            prop_assert_eq!(&fa.ground_truth, &fb.ground_truth);
+        }
+    }
+
+    /// Adjacent frames never differ by more than a bounded fraction of the
+    /// pixels away from scene changes — the temporal-coherence property the
+    /// whole system exploits.
+    #[test]
+    fn adjacent_frames_are_coherent(category in any_category(), seed in any::<u64>()) {
+        let mut config = VideoConfig::for_category(category, 32, 24, seed);
+        config.scene_change_interval = 0; // isolate smooth motion
+        let frames: Vec<Frame> = VideoGenerator::new(config).unwrap().take_frames(5);
+        for pair in frames.windows(2) {
+            let changed = label_diff(&pair[0], &pair[1]);
+            prop_assert!(
+                (changed as f64) < 0.35 * pair[0].ground_truth.len() as f64,
+                "adjacent frames differ on {changed} pixels"
+            );
+        }
+    }
+
+    /// Resampling at stride k yields exactly the frames the native stream
+    /// produces at indices 0, k, 2k, ...
+    #[test]
+    fn resampling_matches_decimation(category in any_category(), seed in any::<u64>(), k in 2usize..5) {
+        let config = VideoConfig::for_category(category, 32, 24, seed);
+        let native: Vec<Frame> = VideoGenerator::new(config).unwrap().take_frames(2 * k + 1);
+        let resampled: Vec<Frame> = Resampler::new(VideoGenerator::new(config).unwrap(), k)
+            .unwrap()
+            .take(3)
+            .collect();
+        for (i, frame) in resampled.iter().enumerate() {
+            prop_assert_eq!(&frame.image, &native[i * k].image);
+            prop_assert_eq!(frame.index, i);
+        }
+    }
+}
+
+#[test]
+fn category_dataset_is_stable_across_calls() {
+    let a = category_videos(Resolution::Tiny, 5);
+    let b = category_videos(Resolution::Tiny, 5);
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 7);
+}
