@@ -1,0 +1,41 @@
+//! End-to-end smoke test of the `reproduce` binary: run it on the smallest
+//! workload and check it exits cleanly with the expected table output.
+
+use std::process::Command;
+
+#[test]
+fn reproduce_binary_runs_end_to_end_on_a_tiny_workload() {
+    let output = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(["smoke", "table4"])
+        .output()
+        .expect("reproduce binary should spawn");
+    assert!(
+        output.status.success(),
+        "reproduce exited with {:?}\nstderr: {}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("Table 4: data transmitted on each key frame"),
+        "missing table header in output:\n{stdout}"
+    );
+    assert!(stdout.contains("To Server"), "missing table rows:\n{stdout}");
+    assert!(
+        stdout.contains("total wall time"),
+        "missing completion footer:\n{stdout}"
+    );
+}
+
+#[test]
+fn reproduce_binary_rejects_nothing_and_defaults_sanely() {
+    // An unknown target simply produces no tables but must still exit 0 with
+    // the harness banner (argument parsing is permissive by design).
+    let output = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(["smoke", "no_such_table"])
+        .output()
+        .expect("reproduce binary should spawn");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("ShadowTutor reproduction harness"));
+}

@@ -205,14 +205,14 @@ impl ExperimentRecord {
     }
 }
 
+/// One column of [`format_table`]: a header plus the closure extracting the
+/// cell value from a record.
+pub type TableColumn<'a> = (&'a str, &'a dyn Fn(&ExperimentRecord) -> String);
+
 /// Format a set of records as an aligned text table, one record per row.
 ///
 /// `columns` maps a header to a closure extracting the cell value.
-pub fn format_table(
-    title: &str,
-    records: &[ExperimentRecord],
-    columns: &[(&str, &dyn Fn(&ExperimentRecord) -> String)],
-) -> String {
+pub fn format_table(title: &str, records: &[ExperimentRecord], columns: &[TableColumn<'_>]) -> String {
     let mut out = String::new();
     out.push_str(title);
     out.push('\n');

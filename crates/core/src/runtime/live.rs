@@ -78,27 +78,25 @@ pub fn run_live(
         server_tp
             .send(ServerToClient::InitialStudent { payload }, bytes)
             .ok();
-        // Lines 2-7: serve key frames until shutdown.
-        loop {
-            match server_tp.recv_timeout(Duration::from_secs(30)) {
-                Ok(ClientToServer::KeyFrame { frame_index, payload: _ }) => {
-                    let Some(frame) = server_frames.get(&frame_index) else {
-                        continue;
-                    };
-                    let response = server.handle_key_frame(frame)?;
-                    let payload = Payload::with_data(response.update.encode());
-                    let bytes = payload.bytes;
-                    let msg = ServerToClient::StudentUpdate {
-                        frame_index,
-                        metric: response.metric,
-                        distill_steps: response.outcome.steps,
-                        payload,
-                    };
-                    if server_tp.send(msg, bytes).is_err() {
-                        break;
-                    }
-                }
-                Ok(ClientToServer::Shutdown) | Err(_) => break,
+        // Lines 2-7: serve key frames until shutdown (a Shutdown message,
+        // a receive error, or a dead peer all end the loop).
+        while let Ok(ClientToServer::KeyFrame { frame_index, payload: _ }) =
+            server_tp.recv_timeout(Duration::from_secs(30))
+        {
+            let Some(frame) = server_frames.get(&frame_index) else {
+                continue;
+            };
+            let response = server.handle_key_frame(frame)?;
+            let payload = Payload::with_data(response.update.encode());
+            let bytes = payload.bytes;
+            let msg = ServerToClient::StudentUpdate {
+                frame_index,
+                metric: response.metric,
+                distill_steps: response.outcome.steps,
+                payload,
+            };
+            if server_tp.send(msg, bytes).is_err() {
+                break;
             }
         }
         Ok((server.key_frames_processed(), server.distill_steps_taken()))

@@ -55,27 +55,42 @@ pub fn train_student(
     let prediction = student.predict(&frame.image)?;
     let initial_metric = miou(&prediction, pseudo_label, classes)?.value;
     let mut best_metric = initial_metric;
-    let mut best_weights: Option<WeightSnapshot> = None;
     let mut steps = 0usize;
     let mut final_loss = 0.0f32;
 
     // Line 4: skip training entirely when the student is already good enough.
     if best_metric < config.threshold {
+        // Snapshot the starting weights so that a loop in which *every* step
+        // degrades the metric still restores them at the end (the doc promise
+        // "left holding the best weights observed" includes the initial ones).
+        let mut best_weights: WeightSnapshot =
+            WeightSnapshot::capture(student, SnapshotScope::TrainableOnly);
+        // Whether `best_weights` already equals the student's live weights
+        // (true after every capture, false after every optimizer step) — lets
+        // the final restore be skipped when the last step was the best.
+        let mut best_is_current = true;
         for _ in 0..config.max_updates {
             // Lines 6-9: one optimization step on the distillation loss.
             let logits = student.forward_train(&frame.image)?;
             let (loss, grad) = weighted_cross_entropy(&logits, pseudo_label, &weights)?;
             student.backward(&grad)?;
             optimizer.step(student);
+            best_is_current = false;
             steps += 1;
             final_loss = loss;
 
-            // Lines 9-14: re-evaluate and keep the best student.
+            // Lines 9-14: re-evaluate and keep the best student. Ties keep
+            // the *latest* weights: the argmax-based metric often plateaus
+            // while the loss still falls, and rolling back to the first
+            // plateau snapshot would silently discard that progress on every
+            // key frame (the student would never escape the plateau no
+            // matter how many key frames it trains on).
             let prediction = student.predict(&frame.image)?;
             let metric = miou(&prediction, pseudo_label, classes)?.value;
-            if metric > best_metric {
+            if metric >= best_metric {
                 best_metric = metric;
-                best_weights = Some(WeightSnapshot::capture(student, SnapshotScope::TrainableOnly));
+                best_weights = WeightSnapshot::capture(student, SnapshotScope::TrainableOnly);
+                best_is_current = true;
             }
             // Lines 15-17: early exit once the threshold is reached.
             if metric > config.threshold {
@@ -83,8 +98,8 @@ pub fn train_student(
             }
         }
         // Restore the best weights if the last step was not the best.
-        if let Some(snapshot) = best_weights {
-            snapshot.apply(student)?;
+        if !best_is_current {
+            best_weights.apply(student)?;
         }
     }
 

@@ -106,6 +106,35 @@ impl StudentBlock {
         x.add(&shortcut)
     }
 
+    /// [`StudentBlock::forward_train`] when `train`, otherwise a cache-free
+    /// [`StudentBlock::forward_inference`] (stale training caches dropped).
+    pub fn forward_mode(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        if train {
+            self.forward_train(input)
+        } else {
+            self.clear_caches();
+            self.forward_inference(input)
+        }
+    }
+
+    /// Drop every layer's forward cache (frees im2col and activation buffers
+    /// kept for a backward pass that frozen blocks never run).
+    pub fn clear_caches(&mut self) {
+        self.cache_block_input = None;
+        self.bn.clear_cache();
+        self.relu_bn = Relu::new();
+        self.conv33.clear_cache();
+        self.relu33 = Relu::new();
+        self.conv31.clear_cache();
+        self.relu31 = Relu::new();
+        self.conv13.clear_cache();
+        self.relu13 = Relu::new();
+        self.conv11.clear_cache();
+        if let Some(p) = &mut self.proj {
+            p.clear_cache();
+        }
+    }
+
     /// Inference-mode forward pass (running statistics, no caches).
     pub fn forward_inference(&self, input: &Tensor) -> Result<Tensor> {
         let x = self.bn.forward_inference(input)?;
@@ -172,6 +201,12 @@ impl StudentBlock {
         n
     }
 
+    /// Visit the block's non-parameter state (the batch-norm running
+    /// statistics) in a stable order.
+    pub fn visit_buffers(&mut self, visitor: &mut dyn FnMut(&str, &mut Tensor, bool), trainable: bool) {
+        self.bn.visit_buffers(visitor, trainable);
+    }
+
     /// Visit all parameters in a stable order.
     pub fn visit_params(&mut self, visitor: &mut dyn ParamVisitor, trainable: bool) {
         self.bn.visit_params(visitor, trainable);
@@ -224,7 +259,7 @@ mod tests {
             if !p.grad.all_finite() || p.grad.norm() == 0.0 {
                 // Bias terms of later convs always receive gradient; batch-norm
                 // beta too. Zero gradients indicate a wiring bug.
-                all_have_grad = p.name.contains("proj") || false;
+                all_have_grad = p.name.contains("proj");
             }
         };
         b.visit_params(&mut v, true);

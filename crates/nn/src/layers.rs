@@ -66,6 +66,17 @@ impl Conv2d {
         Ok(out)
     }
 
+    /// [`Conv2d::forward`] when `train`, otherwise a cache-free
+    /// [`Conv2d::forward_inference`] (any stale training cache is dropped).
+    pub fn forward_mode(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
+        if train {
+            self.forward(input)
+        } else {
+            self.cache = None;
+            self.forward_inference(input)
+        }
+    }
+
     /// Backward pass. Accumulates weight/bias gradients and, when
     /// `need_input_grad` is true, returns the gradient w.r.t. the layer
     /// input.
@@ -295,6 +306,28 @@ impl BatchNorm2d {
         Ok(Some(gin))
     }
 
+    /// Drop the forward cache (frees the normalised-activation buffer).
+    pub fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+
+    /// Visit the layer's non-parameter state (running statistics) with stable
+    /// names derived from the layer name (`{name}.running_mean` / `.running_var`).
+    ///
+    /// Running statistics are not parameters — the optimizer must never touch
+    /// them — but they are part of the weights a serving client needs, so
+    /// snapshots include them.
+    pub fn visit_buffers(&mut self, visitor: &mut dyn FnMut(&str, &mut Tensor, bool), trainable: bool) {
+        let prefix = self
+            .gamma
+            .name
+            .strip_suffix(".gamma")
+            .unwrap_or(&self.gamma.name)
+            .to_string();
+        visitor(&format!("{prefix}.running_mean"), &mut self.running_mean, trainable);
+        visitor(&format!("{prefix}.running_var"), &mut self.running_var, trainable);
+    }
+
     /// Number of parameters (gamma + beta).
     pub fn param_count(&self) -> usize {
         2 * self.channels
@@ -329,6 +362,17 @@ impl Relu {
     /// Forward pass without caching.
     pub fn forward_inference(&self, input: &Tensor) -> Tensor {
         ops::relu(input)
+    }
+
+    /// [`Relu::forward`] when `train`, otherwise a cache-free
+    /// [`Relu::forward_inference`] (any stale training cache is dropped).
+    pub fn forward_mode(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.forward(input)
+        } else {
+            self.cache = None;
+            self.forward_inference(input)
+        }
     }
 
     /// Backward pass using the cached forward input.

@@ -86,15 +86,15 @@ impl ConfusionMatrix {
         let ious = self.per_class_iou();
         let mut acc = 0.0f64;
         let mut n = 0usize;
-        for c in 0..self.classes {
+        for (c, class_iou) in ious.iter().enumerate() {
             let label_total: u64 = (0..self.classes).map(|p| self.count(c, p)).sum();
             let include = if present_only {
                 label_total > 0
             } else {
-                ious[c].is_some()
+                class_iou.is_some()
             };
             if include {
-                if let Some(iou) = ious[c] {
+                if let Some(iou) = *class_iou {
                     acc += iou;
                     n += 1;
                 } else {

@@ -4,8 +4,11 @@
 //! the server only has to ship that slice of the weights back to the client
 //! (§4.2: "it suffices to communicate only the weights that changed"). A
 //! [`WeightSnapshot`] captures either the full parameter set or only the
-//! trainable subset; [`WeightSnapshot::encode`] produces the wire format
-//! whose length is exactly the "To Client" payload of Table 4.
+//! trainable subset — plus the batch-norm running statistics of the in-scope
+//! stages, which training forwards update and eval-mode serving depends on.
+//! [`WeightSnapshot::encode`] produces the wire format measured as the
+//! "To Client" payload of Table 4 (the paper counts parameters only; the
+//! running statistics add `2 * channels` floats per in-scope batch norm).
 //!
 //! The encoding is a simple deterministic framing:
 //! `u32 entry-count`, then per entry `u32 name-length`, name bytes,
@@ -36,18 +39,30 @@ pub struct WeightSnapshot {
 
 impl WeightSnapshot {
     /// Capture a snapshot of `net` with the given scope.
+    ///
+    /// Besides the parameters, the snapshot carries the batch-norm *running
+    /// statistics* of the in-scope stages: they are updated by every training
+    /// forward pass, the serving client's inference mode depends on them, and
+    /// restoring a snapshot that omitted them would leave the student
+    /// behaving differently from the state the snapshot was taken in.
     pub fn capture(net: &mut StudentNet, scope: SnapshotScope) -> Self {
+        let include = |trainable: bool| match scope {
+            SnapshotScope::Full => true,
+            SnapshotScope::TrainableOnly => trainable,
+        };
         let mut entries = Vec::new();
         let mut v = |p: &mut Param, trainable: bool| {
-            let include = match scope {
-                SnapshotScope::Full => true,
-                SnapshotScope::TrainableOnly => trainable,
-            };
-            if include {
+            if include(trainable) {
                 entries.push((p.name.clone(), p.value.clone()));
             }
         };
         net.visit_params(&mut v);
+        let mut b = |name: &str, value: &mut Tensor, trainable: bool| {
+            if include(trainable) {
+                entries.push((name.to_string(), value.clone()));
+            }
+        };
+        net.visit_buffers(&mut b);
         WeightSnapshot { entries, scope }
     }
 
@@ -56,7 +71,8 @@ impl WeightSnapshot {
         self.scope
     }
 
-    /// Number of parameter tensors in the snapshot.
+    /// Number of entries in the snapshot (parameter tensors plus batch-norm
+    /// running-stat buffers).
     pub fn entry_count(&self) -> usize {
         self.entries.len()
     }
@@ -75,42 +91,46 @@ impl WeightSnapshot {
             .sum::<usize>()
     }
 
-    /// Apply the snapshot's values onto `net`, matching parameters by name.
+    /// Apply the snapshot's values onto `net`, matching entries by name.
     ///
-    /// Parameters not present in the snapshot are left untouched (this is how
-    /// the client applies a partial update). Returns the number of parameters
-    /// updated; errors if a named parameter exists but has a different shape.
+    /// Entries cover parameters and batch-norm running statistics; anything
+    /// not present in the snapshot is left untouched (this is how the client
+    /// applies a partial update). Returns the number of entries applied;
+    /// errors if a named entry exists but has a different element count.
     pub fn apply(&self, net: &mut StudentNet) -> Result<usize> {
         let mut applied = 0usize;
         let mut error: Option<TensorError> = None;
         {
             let entries = &self.entries;
-            let mut v = |p: &mut Param, _trainable: bool| {
+            // Decoded snapshots carry flat tensors; accept any layout with
+            // the right element count and restore the target's shape.
+            let mut restore = |name: &str, target: &mut Tensor| {
                 if error.is_some() {
                     return;
                 }
-                if let Some((_, value)) = entries.iter().find(|(name, _)| name == &p.name) {
-                    // Decoded snapshots carry flat tensors; accept any layout
-                    // with the right element count and restore the target's
-                    // shape.
-                    if value.numel() != p.value.numel() {
+                if let Some((_, value)) = entries.iter().find(|(n, _)| n == name) {
+                    if value.numel() != target.numel() {
                         error = Some(TensorError::ShapeMismatch {
                             op: "snapshot_apply",
                             lhs: value.shape().dims().to_vec(),
-                            rhs: p.value.shape().dims().to_vec(),
+                            rhs: target.shape().dims().to_vec(),
                         });
                         return;
                     }
-                    match value.reshape(p.value.shape().clone()) {
+                    match value.reshape(target.shape().clone()) {
                         Ok(v) => {
-                            p.value = v;
+                            *target = v;
                             applied += 1;
                         }
                         Err(e) => error = Some(e),
                     }
                 }
             };
+            let mut v = |p: &mut Param, _trainable: bool| restore(&p.name, &mut p.value);
             net.visit_params(&mut v);
+            let mut b =
+                |name: &str, value: &mut Tensor, _trainable: bool| restore(name, value);
+            net.visit_buffers(&mut b);
         }
         if let Some(e) = error {
             return Err(e);
@@ -328,6 +348,47 @@ mod tests {
         assert!(WeightSnapshot::decode(&truncated, SnapshotScope::Full).is_err());
         let empty = Bytes::new();
         assert!(WeightSnapshot::decode(&empty, SnapshotScope::Full).is_err());
+    }
+
+    #[test]
+    fn snapshot_restores_batchnorm_running_stats() {
+        use st_tensor::random;
+        // Capture, drift the running stats with training forwards, restore:
+        // inference behavior must match the captured state again.
+        let mut a = net();
+        a.freeze = FreezePoint::paper_partial();
+        // The classifier head is zero-initialised (all logits identically 0),
+        // which would mask any drift; nudge it off zero first.
+        let mut nudge = |p: &mut Param, _t: bool| {
+            if p.name == "out3.weight" {
+                for x in p.value.data_mut() {
+                    *x = 0.05;
+                }
+            }
+        };
+        a.visit_params(&mut nudge);
+        let snap = WeightSnapshot::capture(&mut a, SnapshotScope::TrainableOnly);
+        assert!(
+            snap.entry_count() > 0,
+            "snapshot should contain entries"
+        );
+        let x = random::uniform(st_tensor::Shape::nchw(1, 3, 16, 16), 0.0, 1.0, 31);
+        let before = a.forward_inference(&x).unwrap();
+        for _ in 0..5 {
+            let y = random::uniform(st_tensor::Shape::nchw(1, 3, 16, 16), 0.3, 0.9, 32);
+            a.forward_train(&y).unwrap();
+        }
+        let drifted = a.forward_inference(&x).unwrap();
+        assert!(
+            before.sub(&drifted).unwrap().norm() > 0.0,
+            "training forwards should drift the trainable running stats"
+        );
+        snap.apply(&mut a).unwrap();
+        let restored = a.forward_inference(&x).unwrap();
+        assert!(
+            before.sub(&restored).unwrap().norm() < 1e-6,
+            "restoring the snapshot must restore inference behavior"
+        );
     }
 
     #[test]

@@ -259,11 +259,18 @@ impl StudentNet {
             Conv2dSpec::square(config.c_head, config.c_head, 3, 1),
             s + 10,
         )?;
-        let out3 = Conv2d::new(
+        let mut out3 = Conv2d::new(
             "out3",
             Conv2dSpec::square(config.c_head, config.num_classes, 1, 1),
             s + 11,
         )?;
+        // Zero-init the classifier head (standard for segmentation heads):
+        // training then starts from uniform class probabilities instead of
+        // large random logits. With Kaiming init here, the first ~30-50
+        // distillation steps are spent just unlearning the random logits,
+        // which is longer than one whole key-frame budget (MAX_UPDATES = 8)
+        // and stalls shadow education on every stream.
+        out3.weight.value = Tensor::zeros(out3.weight.value.shape().clone());
         Ok(StudentNet {
             config,
             freeze: FreezePoint::paper_partial(),
@@ -305,26 +312,36 @@ impl StudentNet {
 
     /// Training-mode forward pass producing per-pixel class logits of the
     /// same spatial size as the input.
+    ///
+    /// Stages frozen under the current freeze point run in *inference* mode:
+    /// freezing is prefix-contiguous, so no gradient ever reaches them, and
+    /// running their batch-norms with batch statistics would (a) keep
+    /// perturbing the running statistics every training forward and (b) make
+    /// the trained (batch-stat) features diverge from the served (eval-mode)
+    /// features the client actually uses. Frozen means frozen: fixed
+    /// statistics, identical activations in training and inference mode.
     pub fn forward_train(&mut self, input: &Tensor) -> Result<Tensor> {
         let (h, w) = self.check_input(input)?;
-        let x = self.in1.forward(input)?;
-        let x = self.relu_in1.forward(&x);
-        let x = self.in2.forward(&x)?;
-        let x = self.relu_in2.forward(&x);
-        let sb1_out = self.sb1.forward_train(&x)?;
-        let sb2_out = self.sb2.forward_train(&sb1_out)?;
-        let x = self.sb3.forward_train(&sb2_out)?;
-        let x = self.sb4.forward_train(&x)?;
+        let freeze = self.freeze;
+        let t = |s: Stage| freeze.trainable(s);
+        let x = self.in1.forward_mode(input, t(Stage::In1))?;
+        let x = self.relu_in1.forward_mode(&x, t(Stage::In1));
+        let x = self.in2.forward_mode(&x, t(Stage::In2))?;
+        let x = self.relu_in2.forward_mode(&x, t(Stage::In2));
+        let sb1_out = self.sb1.forward_mode(&x, t(Stage::Sb1))?;
+        let sb2_out = self.sb2.forward_mode(&sb1_out, t(Stage::Sb2))?;
+        let x = self.sb3.forward_mode(&sb2_out, t(Stage::Sb3))?;
+        let x = self.sb4.forward_mode(&x, t(Stage::Sb4))?;
         let cat5 = Tensor::concat_channels(&[&x, &sb2_out])?;
-        let x = self.sb5.forward_train(&cat5)?;
+        let x = self.sb5.forward_mode(&cat5, t(Stage::Sb5))?;
         let x = pool::upsample_nearest(&x, 2)?;
         let cat6 = Tensor::concat_channels(&[&x, &sb1_out])?;
-        let x = self.sb6.forward_train(&cat6)?;
-        let x = self.out1.forward(&x)?;
-        let x = self.relu_out1.forward(&x);
-        let x = self.out2.forward(&x)?;
-        let x = self.relu_out2.forward(&x);
-        let logits_half = self.out3.forward(&x)?;
+        let x = self.sb6.forward_mode(&cat6, t(Stage::Sb6))?;
+        let x = self.out1.forward_mode(&x, t(Stage::Out1))?;
+        let x = self.relu_out1.forward_mode(&x, t(Stage::Out1));
+        let x = self.out2.forward_mode(&x, t(Stage::Out2))?;
+        let x = self.relu_out2.forward_mode(&x, t(Stage::Out2));
+        let logits_half = self.out3.forward_mode(&x, t(Stage::Out3))?;
         self.cache = Some(ForwardCache {
             sb1_out_channels: sb1_out.shape().dim(1),
             sb2_out_channels: sb2_out.shape().dim(1),
@@ -434,12 +451,27 @@ impl StudentNet {
         let g_sb4 = g.slice_channels(0, c_sb4)?;
         let g_sb2_skip = g.slice_channels(c_sb4, cache.sb2_out_channels)?;
 
-        // SB4, SB3 (gradient always needs to keep flowing below them if we got here).
-        let g = self
-            .sb4
-            .backward(&g_sb4, true)?
-            .expect("input grad requested");
-        let mut g = self.sb3.backward(&g, true)?.expect("input grad requested");
+        // SB4, SB3: guarded like every other stage — under e.g.
+        // TrainFrom(Sb4) the pass must stop here (sb3 is frozen, ran in
+        // inference mode, and has no caches to backprop through).
+        let g = if trainable(Stage::Sb4) || need_below(Stage::Sb4.index()) {
+            self.sb4.backward(&g_sb4, need_below(Stage::Sb4.index()))?
+        } else {
+            None
+        };
+        let g = match g {
+            Some(g) => g,
+            None => return Ok(()),
+        };
+        let g = if trainable(Stage::Sb3) || need_below(Stage::Sb3.index()) {
+            self.sb3.backward(&g, need_below(Stage::Sb3.index()))?
+        } else {
+            None
+        };
+        let mut g = match g {
+            Some(g) => g,
+            None => return Ok(()),
+        };
         // Merge the SB2 skip gradient with the main-path gradient into SB2.
         g.add_assign(&g_sb2_skip)?;
 
@@ -491,6 +523,18 @@ impl StudentNet {
         self.out1.visit_params(visitor, f.trainable(Stage::Out1));
         self.out2.visit_params(visitor, f.trainable(Stage::Out2));
         self.out3.visit_params(visitor, f.trainable(Stage::Out3));
+    }
+
+    /// Visit every non-parameter buffer (batch-norm running statistics) with
+    /// its stage's trainability, in forward stage order.
+    pub fn visit_buffers(&mut self, visitor: &mut dyn FnMut(&str, &mut Tensor, bool)) {
+        let f = self.freeze;
+        self.sb1.visit_buffers(visitor, f.trainable(Stage::Sb1));
+        self.sb2.visit_buffers(visitor, f.trainable(Stage::Sb2));
+        self.sb3.visit_buffers(visitor, f.trainable(Stage::Sb3));
+        self.sb4.visit_buffers(visitor, f.trainable(Stage::Sb4));
+        self.sb5.visit_buffers(visitor, f.trainable(Stage::Sb5));
+        self.sb6.visit_buffers(visitor, f.trainable(Stage::Sb6));
     }
 
     /// Total parameter count.
@@ -608,10 +652,61 @@ mod tests {
     }
 
     #[test]
+    fn partial_backward_works_at_every_freeze_point() {
+        // Regression: frozen stages run cache-free in forward_train, so the
+        // backward pass must stop at the freeze boundary for *every* choice
+        // of TrainFrom stage (TrainFrom(Sb4) used to descend into cache-less
+        // sb3 and error).
+        for stage in Stage::ALL {
+            let mut net = StudentNet::new(StudentConfig::tiny()).unwrap();
+            net.freeze = FreezePoint::TrainFrom(stage);
+            // Nudge the zero-initialised head off zero so gradient actually
+            // flows below out3 — otherwise the frozen/trainable assertions
+            // are vacuous (everything below the head would get zero grad).
+            let mut nudge = |p: &mut Param, _t: bool| {
+                if p.name == "out3.weight" {
+                    for v in p.value.data_mut() {
+                        *v = 0.05;
+                    }
+                }
+            };
+            net.visit_params(&mut nudge);
+            let x = input(16, 16, 9);
+            let y = net.forward_train(&x).unwrap();
+            net.backward(&Tensor::ones(y.shape().clone()))
+                .unwrap_or_else(|e| panic!("backward failed at TrainFrom({stage:?}): {e}"));
+            let mut frozen_grad = 0.0f32;
+            let mut trainable_grad = 0.0f32;
+            let mut v = |p: &mut Param, t: bool| {
+                if t {
+                    trainable_grad += p.grad.sq_norm();
+                } else {
+                    frozen_grad += p.grad.sq_norm();
+                }
+            };
+            net.visit_params(&mut v);
+            assert_eq!(frozen_grad, 0.0, "frozen grad leaked at TrainFrom({stage:?})");
+            assert!(trainable_grad > 0.0, "no trainable grad at TrainFrom({stage:?})");
+        }
+    }
+
+    #[test]
     fn full_backward_touches_everything() {
         let mut net = StudentNet::new(StudentConfig::tiny()).unwrap();
         net.freeze = FreezePoint::None;
         let x = input(16, 16, 4);
+        // The classifier head is zero-initialised, so the very first backward
+        // sends no gradient below out3. Nudge the head off zero first, then
+        // check that gradient reaches every parameter.
+        let y = net.forward_train(&x).unwrap();
+        net.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        let mut v = |p: &mut Param, _t: bool| {
+            if p.name == "out3.weight" {
+                p.value.add_assign(&p.grad).unwrap();
+            }
+            p.zero_grad();
+        };
+        net.visit_params(&mut v);
         let y = net.forward_train(&x).unwrap();
         net.backward(&Tensor::ones(y.shape().clone())).unwrap();
         let mut zero_grad_params = vec![];

@@ -59,7 +59,7 @@ proptest! {
     fn weight_map_monotone_in_radius(seed in any::<u64>()) {
         let h = 8usize;
         let w = 8usize;
-        let labels: Vec<usize> = (0..h * w).map(|i| usize::from((i * 7 + seed as usize) % 13 == 0)).collect();
+        let labels: Vec<usize> = (0..h * w).map(|i| usize::from((i * 7 + seed as usize).is_multiple_of(13))).collect();
         let small = WeightMap::from_labels(&labels, h, w, 0, 1).unwrap();
         let large = WeightMap::from_labels(&labels, h, w, 0, 3).unwrap();
         let count = |m: &WeightMap| m.weights().iter().filter(|&&v| v > 1.0).count();

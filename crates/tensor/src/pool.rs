@@ -127,7 +127,7 @@ pub fn upsample_nearest_backward(grad_out: &Tensor, factor: usize) -> Result<Ten
 /// sample of each `factor×factor` block. Used when supervising the student at
 /// a reduced output resolution.
 pub fn downsample_labels(labels: &[usize], h: usize, w: usize, factor: usize) -> Result<Vec<usize>> {
-    if factor == 0 || h % factor != 0 || w % factor != 0 {
+    if factor == 0 || !h.is_multiple_of(factor) || !w.is_multiple_of(factor) {
         return Err(TensorError::InvalidArgument(format!(
             "label map {h}x{w} not divisible by factor {factor}"
         )));

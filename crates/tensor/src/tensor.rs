@@ -373,7 +373,7 @@ impl Tensor {
         }
         let plane = h * w;
         let mut out = vec![0usize; plane];
-        for p in 0..plane {
+        for (p, slot) in out.iter_mut().enumerate() {
             let mut best = f32::NEG_INFINITY;
             let mut best_c = 0usize;
             for ci in 0..c {
@@ -383,7 +383,7 @@ impl Tensor {
                     best_c = ci;
                 }
             }
-            out[p] = best_c;
+            *slot = best_c;
         }
         Ok(out)
     }

@@ -84,7 +84,7 @@ impl VideoConfig {
         if self.width == 0 || self.height == 0 {
             return Err(TensorError::InvalidArgument("frame size must be non-zero".into()));
         }
-        if self.width % 4 != 0 || self.height % 4 != 0 {
+        if !self.width.is_multiple_of(4) || !self.height.is_multiple_of(4) {
             return Err(TensorError::InvalidArgument(format!(
                 "frame size must be divisible by 4, got {}x{}",
                 self.width, self.height
@@ -205,7 +205,7 @@ impl VideoGenerator {
         self.background_phase += 0.02;
         if self.config.scene_change_interval > 0
             && self.frame_index > 0
-            && self.frame_index % self.config.scene_change_interval == 0
+            && self.frame_index.is_multiple_of(self.config.scene_change_interval)
         {
             self.scene_change();
         }

@@ -1,0 +1,174 @@
+//! Offline stand-in for `crossbeam`, built entirely on `std`.
+//!
+//! Two pieces of crossbeam are used by the workspace and both have direct
+//! std equivalents since Rust 1.63:
+//!
+//! * [`scope`] — scoped threads, implemented over [`std::thread::scope`].
+//!   The one API difference is panic handling: crossbeam returns `Err` when
+//!   a child panics, while std propagates the panic out of the scope. Callers
+//!   here immediately `.expect()` the result, so both surface a panic either
+//!   way.
+//! * [`channel`] — unbounded MPSC channels over [`std::sync::mpsc`], with
+//!   crossbeam's error-type names (`TryRecvError`, `RecvTimeoutError`).
+
+use std::any::Any;
+
+/// A scope handle for spawning threads that may borrow from the enclosing
+/// stack frame.
+///
+/// Unlike crossbeam, the spawn closure receives this handle *by value* (it is
+/// `Copy`); every call site in the workspace ignores the argument (`|_| ...`),
+/// so the difference is invisible.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives a copy of the scope handle
+    /// so nested spawns remain possible.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        self.inner.spawn(move || f(handle))
+    }
+}
+
+/// Create a scope for spawning borrowing threads; all threads are joined
+/// before this returns. Mirrors `crossbeam::scope`.
+///
+/// # Errors
+///
+/// The real crossbeam returns `Err` if any unjoined child panicked; this
+/// implementation instead lets [`std::thread::scope`] propagate the panic, so
+/// the `Result` is always `Ok` when it is returned at all.
+#[allow(clippy::missing_panics_doc)]
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+pub mod channel {
+    //! Unbounded MPSC channels with crossbeam's API names.
+
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Sending half of an unbounded channel.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// Receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned by [`Sender::send`] when the receiver is gone; carries
+    /// the unsent message like crossbeam's.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is currently queued.
+        Empty,
+        /// All senders have been dropped and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no message.
+        Timeout,
+        /// All senders have been dropped and the queue is drained.
+        Disconnected,
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Queue a message; fails only if the receiver was dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocking receive with a timeout.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Blocking receive.
+        pub fn recv(&self) -> Result<T, RecvTimeoutError> {
+            self.0.recv().map_err(|_| RecvTimeoutError::Disconnected)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    #[test]
+    fn scope_joins_and_borrows() {
+        let mut data = [0u32; 8];
+        super::scope(|s| {
+            for chunk in data.chunks_mut(2) {
+                s.spawn(move |_| {
+                    for x in chunk.iter_mut() {
+                        *x += 1;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(data.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn scope_collects_join_results() {
+        let out: Vec<u32> = super::scope(|s| {
+            let handles: Vec<_> = (0..4).map(|i| s.spawn(move |_| i * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        assert_eq!(out, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn channel_round_trip_and_errors() {
+        use super::channel::{unbounded, RecvTimeoutError, TryRecvError};
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+}

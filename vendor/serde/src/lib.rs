@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates.io access, and nothing in the workspace
+//! serializes values yet: `Serialize`/`Deserialize` appear only in derive
+//! position and in one trait-bound assertion. This stub keeps that surface
+//! compiling — the traits are markers blanket-implemented for every type, and
+//! the derives (re-exported from the sibling `serde_derive` stub) expand to
+//! nothing. Replacing both `vendor/` crates with the real serde is a
+//! manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The container this repo builds in has no access to crates.io, so the real
+//! serde cannot be vendored. Nothing in the workspace actually serializes
+//! values yet — `#[derive(Serialize, Deserialize)]` appears only so the types
+//! are ready for a real wire format later — so the derives can expand to
+//! nothing. The sibling `serde` stub provides blanket trait impls, which
+//! keeps `T: serde::Serialize` bounds satisfied for every derived type.
+//!
+//! Swapping in the real serde later requires only replacing the two `vendor/`
+//! crates; no source change in the workspace.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (including `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (including `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
