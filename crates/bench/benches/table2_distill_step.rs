@@ -33,8 +33,8 @@ fn distill_step_benchmark(c: &mut Criterion) {
     for mode in [DistillationMode::Partial, DistillationMode::Full] {
         let config = ShadowTutorConfig {
             mode,
-            max_updates: 1,     // exactly one optimization step per call
-            threshold: 0.999,   // never skip the step
+            max_updates: 1,   // exactly one optimization step per call
+            threshold: 0.999, // never skip the step
             ..ShadowTutorConfig::paper()
         };
         group.bench_function(format!("one_step_{}", mode.label()), |bench| {

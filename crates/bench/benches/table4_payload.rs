@@ -18,9 +18,7 @@ fn payload_benchmark(c: &mut Criterion) {
     student.freeze = DistillationMode::Partial.freeze_point();
 
     group.bench_function("encode_partial_snapshot", |bench| {
-        bench.iter(|| {
-            WeightSnapshot::capture(&mut student, SnapshotScope::TrainableOnly).encode()
-        })
+        bench.iter(|| WeightSnapshot::capture(&mut student, SnapshotScope::TrainableOnly).encode())
     });
     group.bench_function("encode_full_snapshot", |bench| {
         bench.iter(|| WeightSnapshot::capture(&mut student, SnapshotScope::Full).encode())

@@ -23,7 +23,14 @@ fn accuracy_benchmark(c: &mut Criterion) {
     let a = gen.next_frame();
     let b = gen.next_frame();
     group.bench_function("miou_64x48", |bench| {
-        bench.iter(|| miou(black_box(&a.ground_truth), black_box(&b.ground_truth), NUM_CLASSES).unwrap())
+        bench.iter(|| {
+            miou(
+                black_box(&a.ground_truth),
+                black_box(&b.ground_truth),
+                NUM_CLASSES,
+            )
+            .unwrap()
+        })
     });
     group.finish();
 

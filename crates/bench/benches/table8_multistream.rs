@@ -1,0 +1,104 @@
+//! Table 8 (new in this reproduction, no paper counterpart) — multi-stream
+//! serving: throughput and server queueing versus concurrent stream count.
+//!
+//! The paper evaluates one client per server; this bench drives the sharded
+//! [`shadowtutor::serve::ServerPool`] with 1–8 concurrent client streams and
+//! reports aggregate frames per wall-clock second, the mean server-side
+//! queue wait per key frame, and the mean co-scheduled teacher batch size.
+//! Criterion additionally measures the latency of one batched shard step —
+//! the unit of work a pool worker performs per co-scheduled batch.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use shadowtutor::config::ShadowTutorConfig;
+use shadowtutor::runtime::live::{run_live_multi, StreamSpec};
+use shadowtutor::serve::{PoolConfig, ServeShard, ShardJob};
+use st_nn::student::{StudentConfig, StudentNet};
+use st_teacher::OracleTeacher;
+use st_video::dataset::tiny_stream as frames_for;
+use st_video::SceneKind;
+
+const SCENES: [SceneKind; 3] = [SceneKind::People, SceneKind::Animals, SceneKind::Street];
+
+fn specs(streams: usize, frames_per_stream: usize) -> Vec<StreamSpec> {
+    (0..streams)
+        .map(|i| {
+            let scene = SCENES[i % SCENES.len()];
+            StreamSpec {
+                stream_id: i as u64,
+                label: format!("stream-{i}"),
+                frames: frames_for(scene, 8_000 + i as u64, frames_per_stream),
+            }
+        })
+        .collect()
+}
+
+/// A shard with `streams` registered sessions and one key-frame job each.
+fn loaded_shard(streams: usize) -> (ServeShard<OracleTeacher>, Vec<ShardJob>) {
+    let mut shard = ServeShard::new(
+        ShadowTutorConfig::paper(),
+        StudentNet::new(StudentConfig::tiny()).unwrap(),
+        OracleTeacher::perfect(17),
+        0.013,
+    );
+    let mut jobs = Vec::with_capacity(streams);
+    for i in 0..streams {
+        let frames = frames_for(SCENES[i % SCENES.len()], 9_000 + i as u64, 1);
+        let frame_index = frames[0].index;
+        shard.register(i as u64, frames.into_iter().map(|f| (f.index, f)).collect());
+        jobs.push(ShardJob {
+            stream_id: i as u64,
+            frame_index,
+        });
+    }
+    (shard, jobs)
+}
+
+fn multistream_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table8_multistream");
+    group.sample_size(10);
+    group.bench_function("shard_step_batch1", |bench| {
+        bench.iter_batched(
+            || loaded_shard(1),
+            |(mut shard, jobs)| shard.process_batch(&jobs).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("shard_step_batch4", |bench| {
+        bench.iter_batched(
+            || loaded_shard(4),
+            |(mut shard, jobs)| shard.process_batch(&jobs).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+
+    // Throughput vs stream count, two shards (the default pool) — what a
+    // production deployment would watch while scaling stream admission.
+    let student = StudentNet::new(StudentConfig::tiny()).unwrap();
+    println!("\nTable 8 — multi-stream serving vs stream count (2 shards, wall clock)");
+    println!(
+        "{:>7}  {:>9}  {:>14}  {:>11}  {:>10}",
+        "streams", "agg FPS", "wait/key (ms)", "mean batch", "key frames"
+    );
+    for &streams in &[1usize, 2, 4, 8] {
+        let outcome = run_live_multi(
+            ShadowTutorConfig::paper(),
+            specs(streams, 16),
+            student.clone(),
+            PoolConfig::with_shards(2),
+            |shard| OracleTeacher::perfect(600 + shard as u64),
+        )
+        .unwrap();
+        println!(
+            "{:>7}  {:>9.1}  {:>14.3}  {:>11.2}  {:>10}",
+            streams,
+            outcome.aggregate_fps(),
+            1e3 * outcome.mean_queue_wait_secs(),
+            outcome.pool.mean_batch_size(),
+            outcome.pool.total_key_frames(),
+        );
+    }
+}
+
+criterion_group!(benches, multistream_benchmark);
+criterion_main!(benches);

@@ -4,17 +4,22 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [scale] [target...]
+//! reproduce [scale] [target...] [--json <path>]
 //!
 //! scale   smoke | default | extended      (default: default)
 //! target  table2 table3 table4 table5 table6 table7 figure4 bounds ablation all
 //!         (default: all)
+//! --json  also write every reproduced table as JSON to <path>
+//!         (CI uploads this as the run's machine-readable artifact)
 //! ```
 //!
 //! Example: `cargo run --release -p st-bench --bin reproduce -- smoke table6`
 
 use st_bench::figures::figure4;
-use st_bench::tables::{ablation_stride, bounds_check, table2, table4, table6, table7, tables_3_and_5};
+use st_bench::json::run_to_json;
+use st_bench::tables::{
+    ablation_stride, bounds_check, table2, table4, table6, table7, tables_3_and_5, TableOutput,
+};
 use st_bench::{ExperimentScale, SharedSetup};
 use std::time::Instant;
 
@@ -22,8 +27,16 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = ExperimentScale::Default;
     let mut targets: Vec<String> = Vec::new();
-    for arg in &args {
-        if let Some(s) = ExperimentScale::parse(arg) {
+    let mut json_path: Option<String> = None;
+    let mut args_iter = args.iter();
+    while let Some(arg) = args_iter.next() {
+        if arg == "--json" {
+            json_path = args_iter.next().cloned();
+            if json_path.is_none() {
+                eprintln!("--json requires a path argument");
+                std::process::exit(2);
+            }
+        } else if let Some(s) = ExperimentScale::parse(arg) {
             scale = s;
         } else {
             targets.push(arg.clone());
@@ -40,46 +53,57 @@ fn main() {
     let setup = SharedSetup::new(scale);
     println!("setup ready in {:.1}s\n", start.elapsed().as_secs_f64());
 
+    let mut produced: Vec<TableOutput> = Vec::new();
+    let emit = |table: TableOutput, produced: &mut Vec<TableOutput>| {
+        println!("{}", table.text);
+        produced.push(table);
+    };
+
     if want("table2") {
-        let t = table2(&setup);
-        println!("{}", t.text);
+        emit(table2(&setup), &mut produced);
     }
     if want("table4") {
-        let t = table4();
-        println!("{}", t.text);
+        emit(table4(), &mut produced);
     }
     let mut throughput = None;
     if want("table3") || want("table5") || want("bounds") {
         let t = tables_3_and_5(&setup);
         if want("table3") {
-            println!("{}", t.table3.text);
+            emit(t.table3.clone(), &mut produced);
         }
         if want("table5") {
-            println!("{}", t.table5.text);
+            emit(t.table5.clone(), &mut produced);
         }
         throughput = Some(t);
     }
     if want("bounds") {
         if let Some(t) = &throughput {
-            let b = bounds_check(&setup, &t.partial_records);
-            println!("{}", b.text);
+            emit(bounds_check(&setup, &t.partial_records), &mut produced);
         }
     }
     if want("table6") {
-        let t = table6(&setup);
-        println!("{}", t.text);
+        emit(table6(&setup), &mut produced);
     }
     if want("table7") {
-        let t = table7(&setup);
-        println!("{}", t.text);
+        emit(table7(&setup), &mut produced);
     }
     if want("figure4") {
         let f = figure4(&setup);
         println!("{}", f.render());
     }
     if want("ablation") {
-        let t = ablation_stride(&setup);
-        println!("{}", t.text);
+        emit(ablation_stride(&setup), &mut produced);
     }
-    println!("total wall time: {:.1}s", start.elapsed().as_secs_f64());
+    let total = start.elapsed().as_secs_f64();
+    println!("total wall time: {total:.1}s");
+
+    if let Some(path) = json_path {
+        let scale_label = format!("{scale:?}").to_lowercase();
+        let json = run_to_json(&scale_label, &produced, total);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote JSON artifact: {path}");
+    }
 }

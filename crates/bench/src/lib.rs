@@ -14,6 +14,7 @@
 //! everything in one pass.
 
 pub mod figures;
+pub mod json;
 pub mod tables;
 pub mod workloads;
 

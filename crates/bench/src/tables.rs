@@ -114,11 +114,17 @@ pub fn table2(setup: &SharedSetup) -> TableOutput {
     out.columns = vec![
         (
             "Partial".to_string(),
-            vec![setup.latency.distill_step_partial * 1e3, mean_steps(&partial_runs)],
+            vec![
+                setup.latency.distill_step_partial * 1e3,
+                mean_steps(&partial_runs),
+            ],
         ),
         (
             "Full".to_string(),
-            vec![setup.latency.distill_step_full * 1e3, mean_steps(&full_runs)],
+            vec![
+                setup.latency.distill_step_full * 1e3,
+                mean_steps(&full_runs),
+            ],
         ),
     ];
     let mut table = TableOutput {
@@ -172,7 +178,10 @@ pub fn tables_3_and_5(setup: &SharedSetup) -> ThroughputTables {
     let (frame_bytes, update_bytes) = setup.paper_payload(DistillationMode::Partial);
     let mut t5 = TableOutput::new("Table 5");
     t5.row_labels = partial.iter().map(|r| r.label.clone()).collect();
-    let partial_ratio: Vec<f64> = partial.iter().map(|r| r.key_frame_ratio_percent()).collect();
+    let partial_ratio: Vec<f64> = partial
+        .iter()
+        .map(|r| r.key_frame_ratio_percent())
+        .collect();
     let full_ratio: Vec<f64> = full.iter().map(|r| r.key_frame_ratio_percent()).collect();
     let partial_traffic: Vec<f64> = partial
         .iter()
@@ -190,7 +199,10 @@ pub fn tables_3_and_5(setup: &SharedSetup) -> ThroughputTables {
         ("KF% Partial".to_string(), partial_ratio),
         ("KF% Full".to_string(), full_ratio),
         ("Traffic Partial (Mbps)".to_string(), partial_traffic),
-        ("Traffic Naive (Mbps)".to_string(), vec![naive_traffic_mbps; partial.len()]),
+        (
+            "Traffic Naive (Mbps)".to_string(),
+            vec![naive_traffic_mbps; partial.len()],
+        ),
     ];
     t5.render("Table 5: key-frame ratio (%) and network traffic (Mbps, paper-scale replay)");
 
@@ -214,7 +226,11 @@ pub fn table4() -> TableOutput {
     let naive = NaiveTraffic::for_frame(1280, 720);
 
     let mut out = TableOutput::new("Table 4");
-    out.row_labels = vec!["To Server".to_string(), "To Client".to_string(), "Total".to_string()];
+    out.row_labels = vec![
+        "To Server".to_string(),
+        "To Client".to_string(),
+        "Total".to_string(),
+    ];
     let (pu, pd, pt) = partial.megabytes();
     let (fu, fd, ft) = full.megabytes();
     let nu = naive.to_server_bytes as f64 / 1e6;
@@ -265,8 +281,14 @@ pub fn table7(setup: &SharedSetup) -> TableOutput {
     let mut out = TableOutput::new("Table 7");
     out.row_labels = p1.iter().map(|r| r.label.clone()).collect();
     out.columns = vec![
-        ("P-1".to_string(), p1.iter().map(|r| r.mean_miou_percent()).collect()),
-        ("P-8".to_string(), p8.iter().map(|r| r.mean_miou_percent()).collect()),
+        (
+            "P-1".to_string(),
+            p1.iter().map(|r| r.mean_miou_percent()).collect(),
+        ),
+        (
+            "P-8".to_string(),
+            p8.iter().map(|r| r.mean_miou_percent()).collect(),
+        ),
         (
             "KF%".to_string(),
             p1.iter().map(|r| r.key_frame_ratio_percent()).collect(),
@@ -385,9 +407,18 @@ mod tests {
         // Uplink frame ≈ 2.76 MB (paper: 2.637 MB measured after encoding).
         let partial = t.column("Partial").unwrap();
         let full = t.column("Full").unwrap();
-        assert!((partial[0] - 2.76).abs() < 0.2, "frame {:.3} MB", partial[0]);
+        assert!(
+            (partial[0] - 2.76).abs() < 0.2,
+            "frame {:.3} MB",
+            partial[0]
+        );
         // Partial downlink is several times smaller than full downlink.
-        assert!(partial[1] < full[1] / 2.5, "partial {} vs full {}", partial[1], full[1]);
+        assert!(
+            partial[1] < full[1] / 2.5,
+            "partial {} vs full {}",
+            partial[1],
+            full[1]
+        );
         // Totals are the sums.
         assert!((partial[2] - partial[0] - partial[1]).abs() < 1e-9);
         assert_eq!(t.row_labels.len(), 3);

@@ -179,7 +179,13 @@ impl SharedSetup {
                 let mut video =
                     VideoGenerator::new(descriptor.config).expect("valid descriptor config");
                 runtime
-                    .run(&descriptor.name, &mut video, frames, self.checkpoint.clone(), teacher)
+                    .run(
+                        &descriptor.name,
+                        &mut video,
+                        frames,
+                        self.checkpoint.clone(),
+                        teacher,
+                    )
                     .expect("sim run")
             }
             Variant::Wild => {
@@ -198,15 +204,26 @@ impl SharedSetup {
             Variant::Naive => {
                 let mut video =
                     VideoGenerator::new(descriptor.config).expect("valid descriptor config");
-                run_naive(&descriptor.name, &mut video, frames, teacher, &self.latency, &self.link)
-                    .expect("naive run")
+                run_naive(
+                    &descriptor.name,
+                    &mut video,
+                    frames,
+                    teacher,
+                    &self.latency,
+                    &self.link,
+                )
+                .expect("naive run")
             }
         }
     }
 
     /// Run one variant over a 7-FPS resampled version of a descriptor
     /// (the §6.5 real-time experiment).
-    pub fn run_resampled(&self, descriptor: &VideoDescriptor, variant: Variant) -> ExperimentRecord {
+    pub fn run_resampled(
+        &self,
+        descriptor: &VideoDescriptor,
+        variant: Variant,
+    ) -> ExperimentRecord {
         let frames = self.scale.frames();
         let teacher = OracleTeacher::perfect(descriptor.config.seed ^ 0x7171);
         let source = VideoGenerator::new(descriptor.config).expect("valid descriptor config");
@@ -222,7 +239,13 @@ impl SharedSetup {
                     .with_delay_model(DelayModel::Frames(delay))
                     .with_link(self.link);
                 runtime
-                    .run(&descriptor.name, &mut video, frames, self.checkpoint.clone(), teacher)
+                    .run(
+                        &descriptor.name,
+                        &mut video,
+                        frames,
+                        self.checkpoint.clone(),
+                        teacher,
+                    )
                     .expect("resampled sim run")
             }
             Variant::Wild => run_wild(
@@ -261,9 +284,18 @@ mod tests {
 
     #[test]
     fn scale_parsing_and_sizes() {
-        assert_eq!(ExperimentScale::parse("smoke"), Some(ExperimentScale::Smoke));
-        assert_eq!(ExperimentScale::parse("default"), Some(ExperimentScale::Default));
-        assert_eq!(ExperimentScale::parse("extended"), Some(ExperimentScale::Extended));
+        assert_eq!(
+            ExperimentScale::parse("smoke"),
+            Some(ExperimentScale::Smoke)
+        );
+        assert_eq!(
+            ExperimentScale::parse("default"),
+            Some(ExperimentScale::Default)
+        );
+        assert_eq!(
+            ExperimentScale::parse("extended"),
+            Some(ExperimentScale::Extended)
+        );
         assert_eq!(ExperimentScale::parse("bogus"), None);
         assert!(ExperimentScale::Extended.frames() > ExperimentScale::Smoke.frames());
     }

@@ -20,7 +20,10 @@ fn reproduce_binary_runs_end_to_end_on_a_tiny_workload() {
         stdout.contains("Table 4: data transmitted on each key frame"),
         "missing table header in output:\n{stdout}"
     );
-    assert!(stdout.contains("To Server"), "missing table rows:\n{stdout}");
+    assert!(
+        stdout.contains("To Server"),
+        "missing table rows:\n{stdout}"
+    );
     assert!(
         stdout.contains("total wall time"),
         "missing completion footer:\n{stdout}"

@@ -42,10 +42,16 @@ where
         traffic = NaiveTraffic::for_frame(frame.width, frame.height);
         // Every frame: upload, teacher inference, download. No overlap is
         // possible because the client cannot show a result before it returns.
-        clock.advance(link.uplink_time(traffic.to_server_bytes), EventKind::NetworkTransfer);
+        clock.advance(
+            link.uplink_time(traffic.to_server_bytes),
+            EventKind::NetworkTransfer,
+        );
         let _label = teacher.pseudo_label(&frame)?;
         clock.advance(latency.teacher_inference, EventKind::TeacherInference);
-        clock.advance(link.downlink_time(traffic.to_client_bytes), EventKind::NetworkTransfer);
+        clock.advance(
+            link.downlink_time(traffic.to_client_bytes),
+            EventKind::NetworkTransfer,
+        );
         uplink_bytes += traffic.to_server_bytes;
         downlink_bytes += traffic.to_client_bytes;
         frame_records.push(FrameRecord {
@@ -188,7 +194,10 @@ mod tests {
         )
         .unwrap();
         let per_frame = record.total_time / record.frames as f64;
-        assert!(per_frame > 0.044 && per_frame < 0.08, "per frame {per_frame}");
+        assert!(
+            per_frame > 0.044 && per_frame < 0.08,
+            "per frame {per_frame}"
+        );
     }
 
     #[test]
@@ -215,6 +224,11 @@ mod tests {
             &LinkModel::symmetric_mbps(1.0),
         )
         .unwrap();
-        assert!(slow.fps() < fast.fps(), "slow {} vs fast {}", slow.fps(), fast.fps());
+        assert!(
+            slow.fps() < fast.fps(),
+            "slow {} vs fast {}",
+            slow.fps(),
+            fast.fps()
+        );
     }
 }

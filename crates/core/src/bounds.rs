@@ -137,15 +137,13 @@ pub fn choose_max_updates(
     min_fps: f64,
     search_limit: usize,
 ) -> Option<usize> {
-    (1..=search_limit)
-        .rev()
-        .find(|&max_updates| {
-            let candidate = ShadowTutorConfig {
-                max_updates,
-                ..*config
-            };
-            throughput_bounds(&candidate, inputs).lower_fps > min_fps
-        })
+    (1..=search_limit).rev().find(|&max_updates| {
+        let candidate = ShadowTutorConfig {
+            max_updates,
+            ..*config
+        };
+        throughput_bounds(&candidate, inputs).lower_fps > min_fps
+    })
 }
 
 #[cfg(test)]
@@ -159,7 +157,11 @@ mod tests {
         let config = ShadowTutorConfig::paper();
         let inputs = BoundInputs::paper();
         let bounds = throughput_bounds(&config, &inputs);
-        assert!((bounds.upper_fps - 6.99).abs() < 0.05, "upper {}", bounds.upper_fps);
+        assert!(
+            (bounds.upper_fps - 6.99).abs() < 0.05,
+            "upper {}",
+            bounds.upper_fps
+        );
         assert!(bounds.lower_fps > 5.0, "lower {}", bounds.lower_fps);
         assert!(bounds.lower_fps < bounds.upper_fps);
     }
@@ -172,8 +174,16 @@ mod tests {
         let config = ShadowTutorConfig::paper();
         let inputs = BoundInputs::paper();
         let bounds = traffic_bounds(&config, &inputs);
-        assert!((bounds.lower_mbps() - 2.53).abs() < 0.1, "lower {}", bounds.lower_mbps());
-        assert!((bounds.upper_mbps() - 21.2).abs() < 0.8, "upper {}", bounds.upper_mbps());
+        assert!(
+            (bounds.lower_mbps() - 2.53).abs() < 0.1,
+            "lower {}",
+            bounds.lower_mbps()
+        );
+        assert!(
+            (bounds.upper_mbps() - 21.2).abs() < 0.8,
+            "upper {}",
+            bounds.upper_mbps()
+        );
         // The paper's measured averages (Table 5) lie inside.
         for measured in [7.51, 3.14, 12.27, 4.06, 5.51, 18.19, 8.70, 6.19] {
             assert!(bounds.contains_mbps(measured), "{measured} outside bounds");

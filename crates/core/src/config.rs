@@ -91,7 +91,9 @@ impl ShadowTutorConfig {
             )));
         }
         if self.learning_rate <= 0.0 {
-            return Err(TensorError::InvalidArgument("learning rate must be positive".into()));
+            return Err(TensorError::InvalidArgument(
+                "learning rate must be positive".into(),
+            ));
         }
         Ok(())
     }

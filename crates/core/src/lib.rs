@@ -20,6 +20,9 @@
 //! * [`train`] — server-side student training on one key frame (Algorithm 1).
 //! * [`server`] / [`client`] — the per-role state machines (Algorithms 3, 4),
 //!   shared by both runtimes.
+//! * [`serve`] — the multi-stream server runtime: a sharded pool of worker
+//!   threads, one distillation session per client stream, with teacher
+//!   forward passes batched across co-scheduled key frames.
 //! * [`runtime`] — a deterministic **virtual-time runtime** (used by every
 //!   table/figure reproduction) and a **threaded live runtime** built on
 //!   crossbeam channels (client and server as real threads).
@@ -38,6 +41,7 @@ pub mod config;
 pub mod pretrain;
 pub mod report;
 pub mod runtime;
+pub mod serve;
 pub mod server;
 pub mod stride;
 pub mod train;

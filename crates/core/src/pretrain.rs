@@ -71,7 +71,10 @@ pub struct PretrainReport {
 /// Pre-train a fresh student ("public education") and return it with the
 /// report. The student is trained with *all* parameters trainable; the caller
 /// sets the deployment freeze point afterwards.
-pub fn pretrain_student(config: StudentConfig, pretrain: &PretrainConfig) -> Result<(StudentNet, PretrainReport)> {
+pub fn pretrain_student(
+    config: StudentConfig,
+    pretrain: &PretrainConfig,
+) -> Result<(StudentNet, PretrainReport)> {
     let mut student = StudentNet::new(config)?;
     student.freeze = FreezePoint::None;
     let mut optimizer = Adam::new(pretrain.learning_rate);
@@ -104,13 +107,21 @@ pub fn pretrain_student(config: StudentConfig, pretrain: &PretrainConfig) -> Res
             tail_loss += loss;
             tail_count += 1;
             let pred = student.predict(&frame.image)?;
-            tail_miou.push(miou(&pred, &frame.ground_truth, student.config.num_classes)?);
+            tail_miou.push(miou(
+                &pred,
+                &frame.ground_truth,
+                student.config.num_classes,
+            )?);
         }
     }
 
     let report = PretrainReport {
         steps: pretrain.steps,
-        final_loss: if tail_count > 0 { tail_loss / tail_count as f32 } else { 0.0 },
+        final_loss: if tail_count > 0 {
+            tail_loss / tail_count as f32
+        } else {
+            0.0
+        },
         final_miou: tail_miou.average(),
     };
     Ok((student, report))

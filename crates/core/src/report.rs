@@ -212,7 +212,11 @@ pub type TableColumn<'a> = (&'a str, &'a dyn Fn(&ExperimentRecord) -> String);
 /// Format a set of records as an aligned text table, one record per row.
 ///
 /// `columns` maps a header to a closure extracting the cell value.
-pub fn format_table(title: &str, records: &[ExperimentRecord], columns: &[TableColumn<'_>]) -> String {
+pub fn format_table(
+    title: &str,
+    records: &[ExperimentRecord],
+    columns: &[TableColumn<'_>],
+) -> String {
     let mut out = String::new();
     out.push_str(title);
     out.push('\n');
@@ -247,7 +251,12 @@ pub fn format_table(title: &str, records: &[ExperimentRecord], columns: &[TableC
 #[cfg(test)]
 mod tests {
     use super::*;
-    fn record(frames: usize, key_frames: usize, steps_per_key: usize, time: f64) -> ExperimentRecord {
+    fn record(
+        frames: usize,
+        key_frames: usize,
+        steps_per_key: usize,
+        time: f64,
+    ) -> ExperimentRecord {
         let frame_records = (0..frames)
             .map(|i| FrameRecord {
                 index: i,
@@ -332,7 +341,10 @@ mod tests {
         let slow = r.replay_fps(&LinkModel::symmetric_mbps(8.0), Concurrency::Full);
         assert!(slow < fps);
         let at40 = r.replay_fps(&LinkModel::symmetric_mbps(40.0), Concurrency::Full);
-        assert!(at40 > 0.85 * fps, "throughput should be retained at 40 Mbps: {at40} vs {fps}");
+        assert!(
+            at40 > 0.85 * fps,
+            "throughput should be retained at 40 Mbps: {at40} vs {fps}"
+        );
     }
 
     #[test]

@@ -1,24 +1,37 @@
 //! The threaded live runtime: client and server as real OS threads.
 //!
 //! The paper implements ShadowTutor as two OpenMPI ranks exchanging
-//! non-blocking messages. Here the two roles run as real threads connected by
-//! the [`st_net::transport::DuplexTransport`] channel pair; the client sends
-//! key frames without blocking, keeps serving frames, polls for the update,
-//! and blocks only after deferring for `MIN_STRIDE` frames — the same logic
-//! as the virtual-time runtime, but with genuine concurrency and wall-clock
-//! timing (optionally stretched by a link-delay injector).
+//! non-blocking messages. Here the roles run as real threads connected by
+//! channel transports; the client sends key frames without blocking, keeps
+//! serving frames, polls for the update, and blocks only after deferring for
+//! `MIN_STRIDE` frames — the same logic as the virtual-time runtime, but with
+//! genuine concurrency and wall-clock timing (optionally stretched by a
+//! link-delay injector).
 //!
-//! This runtime exists to demonstrate that the protocol and state machines
-//! work under real asynchrony; the tables and figures are produced by the
-//! deterministic virtual-time runtime instead.
+//! Two topologies are provided:
+//!
+//! * [`run_live`] — one client thread against one dedicated server thread
+//!   over a [`st_net::transport::DuplexTransport`] pair (the paper's setup).
+//! * [`run_live_multi`] — M client threads against one sharded
+//!   [`crate::serve::ServerPool`], each stream multiplexed onto its shard's
+//!   queue with stream-tagged messages. This is the server-contention
+//!   scenario the paper does not evaluate; the pool's queueing statistics
+//!   are compared against the analytic [`st_sim::ContentionModel`].
+//!
+//! Both topologies drive the *same* client state machine through the
+//! [`st_net::ClientEndpoint`] trait, so protocol behaviour cannot drift
+//! between them. These runtimes exist to demonstrate that the protocol and
+//! state machines work under real asynchrony; the tables and figures are
+//! produced by the deterministic virtual-time runtime instead.
 
 use crate::client::ClientState;
 use crate::config::{DistillationMode, ShadowTutorConfig};
 use crate::report::{ExperimentRecord, FrameRecord, KeyFrameRecord};
+use crate::serve::{PoolConfig, PoolStats, ServerPool};
 use crate::server::ServerState;
 use crate::Result;
-use st_net::transport::DuplexTransport;
-use st_net::{ClientToServer, Payload, ServerToClient};
+use st_net::transport::ClientEndpoint;
+use st_net::{ClientToServer, Payload, ServerToClient, StreamId};
 use st_nn::metrics::miou;
 use st_nn::snapshot::{SnapshotScope, WeightSnapshot};
 use st_nn::student::StudentNet;
@@ -36,74 +49,70 @@ pub struct LiveRunOutcome {
     pub server_key_frames: usize,
     /// Total distillation steps the server took.
     pub server_distill_steps: usize,
+    /// Full snapshot of the client's student after the last frame — what the
+    /// stream would keep serving with. Lets tests assert that concurrent
+    /// streams do not bleed weights into each other.
+    pub final_student: WeightSnapshot,
 }
 
-/// Run ShadowTutor with a real client thread and a real server thread over
-/// an in-process transport. Frames are drawn from `frames` (pre-generated so
-/// the video source does not add nondeterminism between the roles).
-pub fn run_live(
-    config: ShadowTutorConfig,
-    frames: Vec<Frame>,
-    student: StudentNet,
-    teacher: OracleTeacher,
-    label: &str,
-) -> Result<LiveRunOutcome> {
-    config.validate()?;
-    let (mut client_tp, mut server_tp) =
-        DuplexTransport::<ClientToServer, ServerToClient>::pair();
+/// One client stream fed to [`run_live_multi`].
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// Stream identifier (also selects the shard: `stream_id % shards`).
+    pub stream_id: StreamId,
+    /// Label recorded on the stream's [`ExperimentRecord`].
+    pub label: String,
+    /// The pre-generated frames of the stream.
+    pub frames: Vec<Frame>,
+}
 
-    let partial = matches!(config.mode, DistillationMode::Partial);
-    let latency = LatencyProfile::paper();
-    let server_student = student.clone();
-    let server_config = config;
-    // The key-frame message carries the encoded pixels for realistic wire
-    // sizes, but the in-process server resolves the actual frame content by
-    // index from this pre-shared copy of the stream (re-decoding would only
-    // add quantisation noise to the demo).
-    let server_frames: std::collections::HashMap<usize, Frame> =
-        frames.iter().map(|f| (f.index, f.clone())).collect();
+/// Outcome of a multi-stream live run against a server pool.
+#[derive(Debug)]
+pub struct MultiLiveOutcome {
+    /// Per-stream outcomes, in the order the streams were passed in.
+    pub streams: Vec<LiveRunOutcome>,
+    /// Server-pool statistics (queueing, batching, per-stream counters,
+    /// final server-side checkpoints).
+    pub pool: PoolStats,
+    /// Wall-clock duration of the whole run (pool spawn to pool join).
+    pub wall_time: f64,
+}
 
-    // ---------------- server thread (Algorithm 3) ----------------
-    let server_handle = std::thread::spawn(move || -> Result<(usize, usize)> {
-        let mut server = ServerState::new(
-            server_config,
-            server_student,
-            teacher,
-            latency.distill_step(partial),
-        );
-        // Line 1: send the initial full checkpoint.
-        let initial = server.initial_checkpoint();
-        let payload = Payload::with_data(initial.encode());
-        let bytes = payload.bytes;
-        server_tp
-            .send(ServerToClient::InitialStudent { payload }, bytes)
-            .ok();
-        // Lines 2-7: serve key frames until shutdown (a Shutdown message,
-        // a receive error, or a dead peer all end the loop).
-        while let Ok(ClientToServer::KeyFrame { frame_index, payload: _ }) =
-            server_tp.recv_timeout(Duration::from_secs(30))
-        {
-            let Some(frame) = server_frames.get(&frame_index) else {
-                continue;
-            };
-            let response = server.handle_key_frame(frame)?;
-            let payload = Payload::with_data(response.update.encode());
-            let bytes = payload.bytes;
-            let msg = ServerToClient::StudentUpdate {
-                frame_index,
-                metric: response.metric,
-                distill_steps: response.outcome.steps,
-                payload,
-            };
-            if server_tp.send(msg, bytes).is_err() {
-                break;
-            }
+impl MultiLiveOutcome {
+    /// Aggregate frames served per wall-clock second across all streams.
+    pub fn aggregate_fps(&self) -> f64 {
+        let frames: usize = self.streams.iter().map(|s| s.record.frames).sum();
+        if self.wall_time <= 0.0 {
+            0.0
+        } else {
+            frames as f64 / self.wall_time
         }
-        Ok((server.key_frames_processed(), server.distill_steps_taken()))
-    });
+    }
 
-    // ---------------- client (Algorithm 4), on this thread ----------------
-    let mut client_student = student;
+    /// Mean wall-clock queue wait per key frame at the server, seconds.
+    pub fn mean_queue_wait_secs(&self) -> f64 {
+        self.pool.mean_queue_wait_secs()
+    }
+}
+
+/// Everything the client loop produced for one stream.
+struct ClientLoopOutput {
+    record: ExperimentRecord,
+    final_student: WeightSnapshot,
+}
+
+/// Algorithm 4 driven over any [`ClientEndpoint`]: wait for the initial
+/// checkpoint, serve every frame, send key frames asynchronously, apply
+/// updates as they arrive (blocking only after `MIN_STRIDE` deferred
+/// frames), and finish with a `Shutdown`.
+fn drive_client<E: ClientEndpoint>(
+    config: ShadowTutorConfig,
+    frames: &[Frame],
+    mut client_student: StudentNet,
+    endpoint: &mut E,
+    label: &str,
+    variant_prefix: &str,
+) -> Result<ClientLoopOutput> {
     client_student.freeze = config.mode.freeze_point();
     let mut client = ClientState::new(config);
     let mut frame_records = Vec::with_capacity(frames.len());
@@ -116,7 +125,7 @@ pub fn run_live(
     let started = Instant::now();
 
     // Wait for the initial checkpoint.
-    match client_tp.recv_timeout(Duration::from_secs(30)) {
+    match endpoint.recv_timeout(Duration::from_secs(30)) {
         Ok(ServerToClient::InitialStudent { payload }) => {
             if let Some(data) = payload.data {
                 let snapshot = WeightSnapshot::decode(&data, SnapshotScope::Full)?;
@@ -129,14 +138,14 @@ pub fn run_live(
     }
 
     let mut pending_metric: Option<(usize, f64, usize)> = None;
-    for (processed, frame) in frames.iter().enumerate() {
+    for frame in frames {
         frame_bytes = frame.raw_rgb_bytes();
         let decision = client.begin_frame();
         if decision.is_key_frame {
             let payload = Payload::with_data(encode_frame(frame));
             let bytes = payload.bytes;
             uplink_bytes += bytes;
-            client_tp
+            endpoint
                 .send(
                     ClientToServer::KeyFrame {
                         frame_index: frame.index,
@@ -155,9 +164,9 @@ pub fn run_live(
         let mut waited = false;
         let incoming = if decision.must_wait_for_update && client.update_outstanding() {
             waited = true;
-            client_tp.recv_timeout(Duration::from_secs(30)).ok()
+            endpoint.recv_timeout(Duration::from_secs(30)).ok()
         } else {
-            client_tp.try_recv().ok().flatten()
+            endpoint.try_recv().ok().flatten()
         };
         if let Some(ServerToClient::StudentUpdate {
             frame_index,
@@ -193,20 +202,14 @@ pub fn run_live(
             miou: value,
             waited,
         });
-        let _ = processed;
     }
-    client_tp.send(ClientToServer::Shutdown, 1).ok();
+    endpoint.send(ClientToServer::Shutdown, 1).ok();
     let elapsed = started.elapsed().as_secs_f64();
-    drop(client_tp);
 
-    let (server_key_frames, server_distill_steps) = server_handle
-        .join()
-        .map_err(|_| st_tensor::TensorError::InvalidArgument("server thread panicked".into()))?
-        .unwrap_or((0, 0));
-
+    let final_student = WeightSnapshot::capture(&mut client_student, SnapshotScope::Full);
     let record = ExperimentRecord {
         label: label.to_string(),
-        variant: format!("live-{}", config.mode.label()),
+        variant: format!("{variant_prefix}-{}", config.mode.label()),
         frames: frame_records.len(),
         frame_records,
         key_frames: key_records,
@@ -218,10 +221,191 @@ pub fn run_live(
         config,
         latency: LatencyProfile::paper(),
     };
-    Ok(LiveRunOutcome {
+    Ok(ClientLoopOutput {
         record,
+        final_student,
+    })
+}
+
+/// Run ShadowTutor with a real client thread and a real server thread over
+/// an in-process transport. Frames are drawn from `frames` (pre-generated so
+/// the video source does not add nondeterminism between the roles).
+pub fn run_live(
+    config: ShadowTutorConfig,
+    frames: Vec<Frame>,
+    student: StudentNet,
+    teacher: OracleTeacher,
+    label: &str,
+) -> Result<LiveRunOutcome> {
+    config.validate()?;
+    let (mut client_tp, mut server_tp) =
+        st_net::transport::DuplexTransport::<ClientToServer, ServerToClient>::pair();
+
+    let partial = matches!(config.mode, DistillationMode::Partial);
+    let latency = LatencyProfile::paper();
+    let server_student = student.clone();
+    let server_config = config;
+    // The key-frame message carries the encoded pixels for realistic wire
+    // sizes, but the in-process server resolves the actual frame content by
+    // index from this pre-shared copy of the stream (re-decoding would only
+    // add quantisation noise to the demo).
+    let server_frames: std::collections::HashMap<usize, Frame> =
+        frames.iter().map(|f| (f.index, f.clone())).collect();
+
+    // ---------------- server thread (Algorithm 3) ----------------
+    let server_handle = std::thread::spawn(move || -> Result<(usize, usize)> {
+        let mut server = ServerState::new(
+            server_config,
+            server_student,
+            teacher,
+            latency.distill_step(partial),
+        );
+        // Line 1: send the initial full checkpoint.
+        let initial = server.initial_checkpoint();
+        let payload = Payload::with_data(initial.encode());
+        let bytes = payload.bytes;
+        server_tp
+            .send(ServerToClient::InitialStudent { payload }, bytes)
+            .ok();
+        // Lines 2-7: serve key frames until shutdown (a Shutdown message,
+        // a receive error, or a dead peer all end the loop).
+        while let Ok(ClientToServer::KeyFrame {
+            frame_index,
+            payload: _,
+        }) = server_tp.recv_timeout(Duration::from_secs(30))
+        {
+            let Some(frame) = server_frames.get(&frame_index) else {
+                continue;
+            };
+            let response = server.handle_key_frame(frame)?;
+            let payload = Payload::with_data(response.update.encode());
+            let bytes = payload.bytes;
+            let msg = ServerToClient::StudentUpdate {
+                frame_index,
+                metric: response.metric,
+                distill_steps: response.outcome.steps,
+                payload,
+            };
+            if server_tp.send(msg, bytes).is_err() {
+                break;
+            }
+        }
+        Ok((server.key_frames_processed(), server.distill_steps_taken()))
+    });
+
+    // ---------------- client (Algorithm 4), on this thread ----------------
+    let output = drive_client(config, &frames, student, &mut client_tp, label, "live")?;
+    drop(client_tp);
+
+    let (server_key_frames, server_distill_steps) = server_handle
+        .join()
+        .map_err(|_| st_tensor::TensorError::InvalidArgument("server thread panicked".into()))?
+        .unwrap_or((0, 0));
+
+    Ok(LiveRunOutcome {
+        record: output.record,
         server_key_frames,
         server_distill_steps,
+        final_student: output.final_student,
+    })
+}
+
+/// Run M concurrent client streams against one sharded server pool.
+///
+/// Every stream starts from the same pre-trained `student` checkpoint; the
+/// pool keeps one isolated distillation session per stream and batches
+/// teacher forward passes across streams that land on the same shard. Each
+/// shard's teacher comes from `teacher_factory(shard_index)`.
+pub fn run_live_multi<T, F>(
+    config: ShadowTutorConfig,
+    streams: Vec<StreamSpec>,
+    student: StudentNet,
+    pool_config: PoolConfig,
+    teacher_factory: F,
+) -> Result<MultiLiveOutcome>
+where
+    T: Teacher + Send + 'static,
+    F: FnMut(usize) -> T,
+{
+    config.validate()?;
+    pool_config.validate()?;
+    // Duplicate ids would silently replace each other's pool registration
+    // (the second connect overwrites the first stream's downlink), so the
+    // resulting transport error would point nowhere near the cause — fail
+    // fast instead.
+    let mut seen = std::collections::HashSet::new();
+    for spec in &streams {
+        if !seen.insert(spec.stream_id) {
+            return Err(st_tensor::TensorError::InvalidArgument(format!(
+                "duplicate stream id {} in run_live_multi specs",
+                spec.stream_id
+            )));
+        }
+    }
+    let partial = matches!(config.mode, DistillationMode::Partial);
+    let latency = LatencyProfile::paper();
+    let started = Instant::now();
+
+    let pool = ServerPool::spawn(
+        config,
+        pool_config,
+        student.clone(),
+        latency.distill_step(partial),
+        teacher_factory,
+    )?;
+
+    // Connect every stream up front, then drive each client on its own
+    // thread. The scope borrows the specs and the shared checkpoint.
+    let mut outputs: Vec<Result<ClientLoopOutput>> = Vec::with_capacity(streams.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(streams.len());
+        for spec in &streams {
+            let mut endpoint = pool.connect(spec.stream_id, &spec.frames);
+            let checkpoint = student.clone();
+            handles.push(scope.spawn(move || {
+                let result = drive_client(
+                    config,
+                    &spec.frames,
+                    checkpoint,
+                    &mut endpoint,
+                    &spec.label,
+                    "live-multi",
+                );
+                drop(endpoint);
+                result
+            }));
+        }
+        for handle in handles {
+            outputs.push(handle.join().unwrap_or_else(|_| {
+                Err(st_tensor::TensorError::InvalidArgument(
+                    "client thread panicked".into(),
+                ))
+            }));
+        }
+    });
+
+    let pool_stats = pool.join()?;
+    let wall_time = started.elapsed().as_secs_f64();
+
+    let mut per_stream = Vec::with_capacity(outputs.len());
+    for (spec, output) in streams.iter().zip(outputs) {
+        let output = output?;
+        let server = pool_stats
+            .streams
+            .get(&spec.stream_id)
+            .copied()
+            .unwrap_or_default();
+        per_stream.push(LiveRunOutcome {
+            record: output.record,
+            server_key_frames: server.key_frames,
+            server_distill_steps: server.distill_steps,
+            final_student: output.final_student,
+        });
+    }
+    Ok(MultiLiveOutcome {
+        streams: per_stream,
+        pool: pool_stats,
+        wall_time,
     })
 }
 
@@ -238,27 +422,18 @@ fn encode_frame(frame: &Frame) -> bytes::Bytes {
 mod tests {
     use super::*;
     use st_nn::student::StudentConfig;
-    use st_video::{CameraMotion, SceneKind, VideoCategory, VideoConfig, VideoGenerator};
+    use st_video::dataset::tiny_stream as frames_for;
+    use st_video::SceneKind;
 
     #[test]
     fn encode_frame_matches_raw_size() {
-        let cat = VideoCategory {
-            camera: CameraMotion::Fixed,
-            scene: SceneKind::People,
-        };
-        let mut gen = VideoGenerator::new(VideoConfig::for_category(cat, 32, 24, 1)).unwrap();
-        let f = gen.next_frame();
-        assert_eq!(encode_frame(&f).len(), f.raw_rgb_bytes());
+        let f = &frames_for(SceneKind::People, 1, 1)[0];
+        assert_eq!(encode_frame(f).len(), f.raw_rgb_bytes());
     }
 
     #[test]
     fn live_run_completes_with_real_threads() {
-        let cat = VideoCategory {
-            camera: CameraMotion::Fixed,
-            scene: SceneKind::People,
-        };
-        let mut gen = VideoGenerator::new(VideoConfig::for_category(cat, 32, 24, 2)).unwrap();
-        let frames = gen.take_frames(20);
+        let frames = frames_for(SceneKind::People, 2, 20);
         let student = StudentNet::new(StudentConfig::tiny()).unwrap();
         let outcome = run_live(
             ShadowTutorConfig::paper(),
@@ -272,5 +447,72 @@ mod tests {
         assert!(outcome.record.total_time > 0.0);
         assert!(outcome.record.frame_records[0].is_key_frame);
         assert!(outcome.record.uplink_bytes > 0);
+        assert_eq!(outcome.final_student.scope(), SnapshotScope::Full);
+        assert!(outcome.final_student.entry_count() > 0);
+    }
+
+    #[test]
+    fn multi_run_rejects_duplicate_stream_ids() {
+        let student = StudentNet::new(StudentConfig::tiny()).unwrap();
+        let spec = StreamSpec {
+            stream_id: 7,
+            label: "dup".into(),
+            frames: frames_for(SceneKind::People, 5, 4),
+        };
+        let err = run_live_multi(
+            ShadowTutorConfig::paper(),
+            vec![spec.clone(), spec],
+            student,
+            PoolConfig::with_shards(2),
+            |_| OracleTeacher::perfect(1),
+        )
+        .unwrap_err();
+        assert!(format!("{err:?}").contains("duplicate stream id"));
+    }
+
+    #[test]
+    fn multi_run_completes_with_two_streams() {
+        let student = StudentNet::new(StudentConfig::tiny()).unwrap();
+        let streams = vec![
+            StreamSpec {
+                stream_id: 0,
+                label: "people".into(),
+                frames: frames_for(SceneKind::People, 3, 16),
+            },
+            StreamSpec {
+                stream_id: 1,
+                label: "animals".into(),
+                frames: frames_for(SceneKind::Animals, 4, 16),
+            },
+        ];
+        let outcome = run_live_multi(
+            ShadowTutorConfig::paper(),
+            streams,
+            student,
+            PoolConfig::with_shards(2),
+            |shard| OracleTeacher::perfect(10 + shard as u64),
+        )
+        .unwrap();
+        assert_eq!(outcome.streams.len(), 2);
+        for stream in &outcome.streams {
+            assert_eq!(stream.record.frames, 16);
+            assert!(stream.record.frame_records[0].is_key_frame);
+            assert!(stream.server_key_frames >= 1);
+            // The last update can still be in flight when the stream ends, so
+            // the server may have processed one more key frame than the
+            // client managed to apply.
+            assert!(stream.server_key_frames >= stream.record.key_frame_count());
+        }
+        assert!(outcome.aggregate_fps() > 0.0);
+        assert_eq!(
+            outcome.pool.total_key_frames(),
+            outcome
+                .streams
+                .iter()
+                .map(|s| s.server_key_frames)
+                .sum::<usize>()
+        );
+        assert_eq!(outcome.pool.final_checkpoints.len(), 2);
+        assert!(outcome.wall_time > 0.0);
     }
 }

@@ -13,6 +13,10 @@
 //!   OpenMPI ranks), optionally through a delay injector that emulates a
 //!   bandwidth-limited link in wall-clock time. Used by the live example and
 //!   the cross-crate integration tests that exercise real concurrency.
+//!   Besides the paper's one-client topology ([`live::run_live`]) it can run
+//!   M concurrent streams against a sharded server pool
+//!   ([`live::run_live_multi`]), the scenario the `crate::serve` module
+//!   exists for.
 
 pub mod live;
 pub mod sim;

@@ -172,7 +172,8 @@ impl SimRuntime {
             let prediction = client_student.predict(&frame.image)?;
             clock.advance(self.latency.student_inference, EventKind::StudentInference);
             let reference = server.teacher_mut().pseudo_label(&frame)?;
-            let frame_miou = miou(&prediction, &reference, client_student.config.num_classes)?.value;
+            let frame_miou =
+                miou(&prediction, &reference, client_student.config.num_classes)?.value;
 
             // Apply the update if it has arrived; block for it if the client
             // has deferred for MIN_STRIDE frames already (Algorithm 4, 14-22).
@@ -264,7 +265,13 @@ mod tests {
         let runtime = SimRuntime::paper(DistillationMode::Partial);
         let mut gen = video(SceneKind::People, 1);
         let record = runtime
-            .run("fixed/people", &mut gen, 40, student(), OracleTeacher::perfect(1))
+            .run(
+                "fixed/people",
+                &mut gen,
+                40,
+                student(),
+                OracleTeacher::perfect(1),
+            )
             .unwrap();
         assert_eq!(record.frames, 40);
         assert_eq!(record.frame_records.len(), 40);
@@ -275,10 +282,19 @@ mod tests {
         // First frame is always a key frame.
         assert!(record.frame_records[0].is_key_frame);
         // Uplink bytes = key frames * frame size.
-        assert_eq!(record.uplink_bytes, record.key_frame_count() * record.frame_bytes);
-        assert_eq!(record.downlink_bytes, record.key_frame_count() * record.update_bytes);
+        assert_eq!(
+            record.uplink_bytes,
+            record.key_frame_count() * record.frame_bytes
+        );
+        assert_eq!(
+            record.downlink_bytes,
+            record.key_frame_count() * record.update_bytes
+        );
         // All mIoU values are valid.
-        assert!(record.frame_records.iter().all(|f| (0.0..=1.0).contains(&f.miou)));
+        assert!(record
+            .frame_records
+            .iter()
+            .all(|f| (0.0..=1.0).contains(&f.miou)));
     }
 
     #[test]
@@ -303,12 +319,18 @@ mod tests {
         // The paper's core accuracy claim (Table 6): the same pre-trained
         // student is dramatically better with intermittent distillation than
         // without it. Run both on identical streams and compare.
-        let runtime = SimRuntime::paper(DistillationMode::Partial)
-            .with_delay_model(DelayModel::Frames(1));
+        let runtime =
+            SimRuntime::paper(DistillationMode::Partial).with_delay_model(DelayModel::Frames(1));
         let checkpoint = student();
         let mut gen_shadow = video(SceneKind::People, 3);
         let shadow = runtime
-            .run("p", &mut gen_shadow, 80, checkpoint.clone(), OracleTeacher::perfect(2))
+            .run(
+                "p",
+                &mut gen_shadow,
+                80,
+                checkpoint.clone(),
+                OracleTeacher::perfect(2),
+            )
             .unwrap();
         let mut gen_wild = video(SceneKind::People, 3);
         let wild = crate::baseline::run_wild(
@@ -332,14 +354,18 @@ mod tests {
     fn frame_delay_model_controls_arrival() {
         // With a 1-frame delay the update from key frame 0 must be applied by
         // frame 1; with an 8-frame delay not before frame 8.
-        let fast = SimRuntime::paper(DistillationMode::Partial)
-            .with_delay_model(DelayModel::Frames(1));
-        let slow = SimRuntime::paper(DistillationMode::Partial)
-            .with_delay_model(DelayModel::Frames(8));
+        let fast =
+            SimRuntime::paper(DistillationMode::Partial).with_delay_model(DelayModel::Frames(1));
+        let slow =
+            SimRuntime::paper(DistillationMode::Partial).with_delay_model(DelayModel::Frames(8));
         let mut gen_a = video(SceneKind::Animals, 4);
         let mut gen_b = video(SceneKind::Animals, 4);
-        let ra = fast.run("a", &mut gen_a, 20, student(), OracleTeacher::perfect(3)).unwrap();
-        let rb = slow.run("b", &mut gen_b, 20, student(), OracleTeacher::perfect(3)).unwrap();
+        let ra = fast
+            .run("a", &mut gen_a, 20, student(), OracleTeacher::perfect(3))
+            .unwrap();
+        let rb = slow
+            .run("b", &mut gen_b, 20, student(), OracleTeacher::perfect(3))
+            .unwrap();
         // Both complete and record the same number of frames.
         assert_eq!(ra.frames, rb.frames);
         // The slow-delay run can never apply updates earlier, so its count of
@@ -355,19 +381,44 @@ mod tests {
             .with_link(st_net::LinkModel::symmetric_mbps(4.0));
         let mut gen_a = video(SceneKind::Street, 5);
         let mut gen_b = video(SceneKind::Street, 5);
-        let ra = normal.run("a", &mut gen_a, 48, student(), OracleTeacher::perfect(4)).unwrap();
-        let rb = narrow.run("b", &mut gen_b, 48, student(), OracleTeacher::perfect(4)).unwrap();
-        assert!(rb.fps() <= ra.fps() + 1e-9, "narrow {} vs normal {}", rb.fps(), ra.fps());
+        let ra = normal
+            .run("a", &mut gen_a, 48, student(), OracleTeacher::perfect(4))
+            .unwrap();
+        let rb = narrow
+            .run("b", &mut gen_b, 48, student(), OracleTeacher::perfect(4))
+            .unwrap();
+        assert!(
+            rb.fps() <= ra.fps() + 1e-9,
+            "narrow {} vs normal {}",
+            rb.fps(),
+            ra.fps()
+        );
     }
 
     #[test]
     fn street_needs_more_key_frames_than_people() {
-        let runtime = SimRuntime::paper(DistillationMode::Partial)
-            .with_delay_model(DelayModel::Frames(1));
+        let runtime =
+            SimRuntime::paper(DistillationMode::Partial).with_delay_model(DelayModel::Frames(1));
         let mut people = video(SceneKind::People, 6);
         let mut street = video(SceneKind::Street, 6);
-        let rp = runtime.run("people", &mut people, 120, student(), OracleTeacher::perfect(5)).unwrap();
-        let rs = runtime.run("street", &mut street, 120, student(), OracleTeacher::perfect(5)).unwrap();
+        let rp = runtime
+            .run(
+                "people",
+                &mut people,
+                120,
+                student(),
+                OracleTeacher::perfect(5),
+            )
+            .unwrap();
+        let rs = runtime
+            .run(
+                "street",
+                &mut street,
+                120,
+                student(),
+                OracleTeacher::perfect(5),
+            )
+            .unwrap();
         assert!(
             rs.key_frame_ratio_percent() >= rp.key_frame_ratio_percent(),
             "street {}% vs people {}%",

@@ -1,0 +1,888 @@
+//! The multi-stream server runtime: a sharded pool of distillation workers.
+//!
+//! The paper evaluates one client per server, but the server is the shared,
+//! expensive side of the system. This module turns the single-stream
+//! [`crate::server::ServerState`] into a multi-tenant service:
+//!
+//! * [`ServeShard`] owns one teacher and one [`DistillSession`] per client
+//!   stream assigned to it. Key frames from different streams that arrive
+//!   close together are *co-scheduled*: the teacher labels them in one
+//!   batched forward pass ([`st_teacher::Teacher::pseudo_label_batch`]) whose
+//!   virtual cost is amortized across the batch, and then each stream's
+//!   session distills its own student on its own pseudo-label. Streams never
+//!   share weights — isolation is structural.
+//! * [`ServerPool`] spawns one worker thread per shard, assigns streams to
+//!   shards round-robin by stream id, and funnels each client's uplink into
+//!   the owning shard's queue as [`st_net::StreamTagged`] traffic. Clients
+//!   talk to the pool through [`StreamClient`], which implements the same
+//!   [`st_net::ClientEndpoint`] surface as the single-stream transport, so
+//!   the client-side state machine is byte-for-byte the one Algorithm 4 uses.
+//!
+//! The pool reports [`PoolStats`]: per-shard queueing/batching/latency
+//! counters plus per-stream key-frame totals and final server-side
+//! checkpoints, which the contention experiments compare against the
+//! analytic [`st_sim::ContentionModel`].
+
+use crate::config::ShadowTutorConfig;
+use crate::server::{DistillSession, KeyFrameResponse};
+use crate::Result;
+use st_net::transport::ClientEndpoint;
+use st_net::{ClientToServer, Payload, ServerToClient, StreamId, StreamTagged, TransportError};
+use st_nn::snapshot::WeightSnapshot;
+use st_nn::student::StudentNet;
+use st_teacher::Teacher;
+use st_tensor::TensorError;
+use st_video::Frame;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`ServerPool`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolConfig {
+    /// Number of shards (worker threads). Streams are assigned to shard
+    /// `stream_id % shards`.
+    pub shards: usize,
+    /// Maximum key frames co-scheduled into one batched teacher forward.
+    pub max_batch: usize,
+    /// How long a worker blocks waiting for traffic before re-checking for
+    /// shutdown (also the bound on how stale a dead client can leave a shard).
+    pub recv_timeout: Duration,
+}
+
+impl PoolConfig {
+    /// A small pool: two shards, up to four co-scheduled key frames.
+    pub fn default_pool() -> Self {
+        PoolConfig {
+            shards: 2,
+            max_batch: 4,
+            recv_timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// A pool with a given shard count and the default batching.
+    pub fn with_shards(shards: usize) -> Self {
+        PoolConfig {
+            shards,
+            ..Self::default_pool()
+        }
+    }
+
+    /// Validate parameter consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.shards == 0 {
+            return Err(TensorError::InvalidArgument(
+                "pool needs at least one shard".into(),
+            ));
+        }
+        if self.max_batch == 0 {
+            return Err(TensorError::InvalidArgument(
+                "max_batch must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The shard a stream id maps to.
+    pub fn shard_of(&self, stream_id: StreamId) -> usize {
+        (stream_id % self.shards as u64) as usize
+    }
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self::default_pool()
+    }
+}
+
+/// Server-side counters for one stream, reported when the stream finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamServerStats {
+    /// Key frames the stream's session processed.
+    pub key_frames: usize,
+    /// Total distillation steps the session took.
+    pub distill_steps: usize,
+}
+
+/// Queueing/batching/latency counters of one shard worker.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ShardStats {
+    /// Key frames processed by this shard.
+    pub key_frames: usize,
+    /// Total distillation steps across the shard's streams.
+    pub distill_steps: usize,
+    /// Batched teacher forward passes taken.
+    pub teacher_batches: usize,
+    /// Largest co-scheduled batch observed.
+    pub max_batch_observed: usize,
+    /// Total wall-clock time messages spent queued before processing began.
+    pub queue_wait_total: Duration,
+    /// Largest single queue wait observed.
+    pub queue_wait_max: Duration,
+    /// Wall-clock time the worker spent actively processing batches.
+    pub busy_time: Duration,
+    /// Total stream-tagged uplink bytes this shard received.
+    pub uplink_bytes: usize,
+    /// Sum of virtual `server_time` charged to responses (teacher share +
+    /// distillation steps).
+    pub virtual_server_time: f64,
+    /// Virtual teacher time saved by batching, versus labelling every key
+    /// frame with a solo forward pass.
+    pub teacher_time_saved: f64,
+}
+
+impl ShardStats {
+    /// Mean co-scheduled batch size (0.0 when the shard never processed a
+    /// batch; at least 1.0 otherwise).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.teacher_batches == 0 {
+            0.0
+        } else {
+            self.key_frames as f64 / self.teacher_batches as f64
+        }
+    }
+
+    /// Mean wall-clock queue wait per key frame in seconds.
+    pub fn mean_queue_wait_secs(&self) -> f64 {
+        if self.key_frames == 0 {
+            0.0
+        } else {
+            self.queue_wait_total.as_secs_f64() / self.key_frames as f64
+        }
+    }
+}
+
+/// Aggregate statistics of a pool run, collected at [`ServerPool::join`].
+#[derive(Debug)]
+pub struct PoolStats {
+    /// Per-shard counters, indexed by shard.
+    pub shards: Vec<ShardStats>,
+    /// Per-stream counters.
+    pub streams: HashMap<StreamId, StreamServerStats>,
+    /// Final full server-side checkpoint of every finished stream.
+    pub final_checkpoints: HashMap<StreamId, WeightSnapshot>,
+}
+
+impl PoolStats {
+    /// Key frames processed across all shards.
+    pub fn total_key_frames(&self) -> usize {
+        self.shards.iter().map(|s| s.key_frames).sum()
+    }
+
+    /// Distillation steps across all shards.
+    pub fn total_distill_steps(&self) -> usize {
+        self.shards.iter().map(|s| s.distill_steps).sum()
+    }
+
+    /// Mean co-scheduled batch size across shards (0.0 when no batch was
+    /// ever processed; at least 1.0 otherwise).
+    pub fn mean_batch_size(&self) -> f64 {
+        let batches: usize = self.shards.iter().map(|s| s.teacher_batches).sum();
+        if batches == 0 {
+            0.0
+        } else {
+            self.total_key_frames() as f64 / batches as f64
+        }
+    }
+
+    /// Mean wall-clock queue wait per key frame in seconds.
+    pub fn mean_queue_wait_secs(&self) -> f64 {
+        let total: f64 = self
+            .shards
+            .iter()
+            .map(|s| s.queue_wait_total.as_secs_f64())
+            .sum();
+        let k = self.total_key_frames();
+        if k == 0 {
+            0.0
+        } else {
+            total / k as f64
+        }
+    }
+
+    /// Virtual teacher time saved by batching across all shards.
+    pub fn teacher_time_saved(&self) -> f64 {
+        self.shards.iter().map(|s| s.teacher_time_saved).sum()
+    }
+}
+
+/// One stream's registration state inside a shard.
+struct StreamEntry {
+    session: DistillSession,
+    /// The pre-shared frame content, keyed by frame index (the key-frame
+    /// message carries encoded pixels for realistic wire sizes; the
+    /// in-process shard resolves content by index, as the single-stream live
+    /// runtime does).
+    frames: HashMap<usize, Frame>,
+}
+
+/// A key-frame job drained from the shard queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardJob {
+    /// The stream the key frame belongs to.
+    pub stream_id: StreamId,
+    /// Index of the frame in that stream.
+    pub frame_index: usize,
+}
+
+/// One shard: a shared teacher plus one distillation session per stream.
+///
+/// The shard is a synchronous state machine — the worker thread in
+/// [`ServerPool`] drives it from a queue, and tests can drive it directly.
+pub struct ServeShard<T: Teacher> {
+    config: ShadowTutorConfig,
+    distill_step_latency: f64,
+    template: StudentNet,
+    teacher: T,
+    sessions: HashMap<StreamId, StreamEntry>,
+    stats: ShardStats,
+}
+
+impl<T: Teacher> ServeShard<T> {
+    /// Create a shard serving sessions cloned from `template`.
+    pub fn new(
+        config: ShadowTutorConfig,
+        template: StudentNet,
+        teacher: T,
+        distill_step_latency: f64,
+    ) -> Self {
+        ServeShard {
+            config,
+            distill_step_latency,
+            template,
+            teacher,
+            sessions: HashMap::new(),
+            stats: ShardStats::default(),
+        }
+    }
+
+    /// Register a stream: create its session and return the initial full
+    /// checkpoint (Algorithm 3, line 1, per stream).
+    pub fn register(
+        &mut self,
+        stream_id: StreamId,
+        frames: HashMap<usize, Frame>,
+    ) -> WeightSnapshot {
+        let entry = self
+            .sessions
+            .entry(stream_id)
+            .or_insert_with(|| StreamEntry {
+                session: DistillSession::new(
+                    self.config,
+                    self.template.clone(),
+                    self.distill_step_latency,
+                ),
+                frames: HashMap::new(),
+            });
+        entry.frames = frames;
+        entry.session.initial_checkpoint()
+    }
+
+    /// Number of streams currently registered.
+    pub fn stream_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Process a co-scheduled batch of key frames: one batched teacher
+    /// forward across the batch, then per-stream distillation in arrival
+    /// order. Jobs whose stream or frame is unknown are skipped.
+    pub fn process_batch(
+        &mut self,
+        jobs: &[ShardJob],
+    ) -> Result<Vec<(StreamId, usize, KeyFrameResponse)>> {
+        // Resolve which jobs are known; drop the rest. Frames stay where
+        // they are — they are borrowed for labelling and distillation, never
+        // copied (a frame is the whole RGB tensor plus its ground truth).
+        let resolved: Vec<ShardJob> = jobs
+            .iter()
+            .filter(|job| {
+                self.sessions
+                    .get(&job.stream_id)
+                    .is_some_and(|e| e.frames.contains_key(&job.frame_index))
+            })
+            .copied()
+            .collect();
+        if resolved.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        // One teacher forward pass amortized over the co-scheduled frames.
+        let batch = resolved.len();
+        let labels = {
+            let frame_refs: Vec<&Frame> = resolved
+                .iter()
+                .map(|job| &self.sessions[&job.stream_id].frames[&job.frame_index])
+                .collect();
+            self.teacher.pseudo_label_batch(&frame_refs)?
+        };
+        let solo_cost = batch as f64 * self.teacher.inference_latency();
+        let batched_cost = self.teacher.batched_inference_latency(batch);
+        let teacher_share = batched_cost / batch as f64;
+        self.stats.teacher_batches += 1;
+        self.stats.max_batch_observed = self.stats.max_batch_observed.max(batch);
+        self.stats.teacher_time_saved += solo_cost - batched_cost;
+
+        let mut out = Vec::with_capacity(batch);
+        for (job, label) in resolved.into_iter().zip(labels) {
+            let entry = self
+                .sessions
+                .get_mut(&job.stream_id)
+                .expect("session present: resolved above");
+            // Split the entry so the frame borrow and the mutable session
+            // borrow coexist.
+            let StreamEntry { session, frames } = entry;
+            let frame = frames
+                .get(&job.frame_index)
+                .expect("frame present: resolved above");
+            let response = session.distill(frame, &label, teacher_share)?;
+            self.stats.key_frames += 1;
+            self.stats.distill_steps += response.outcome.steps;
+            self.stats.virtual_server_time += response.server_time;
+            out.push((job.stream_id, job.frame_index, response));
+        }
+        Ok(out)
+    }
+
+    /// Finish a stream: remove its session, returning the final full
+    /// checkpoint and the stream's counters.
+    pub fn finish(&mut self, stream_id: StreamId) -> Option<(WeightSnapshot, StreamServerStats)> {
+        self.sessions.remove(&stream_id).map(|mut entry| {
+            let checkpoint = entry.session.initial_checkpoint();
+            let stats = StreamServerStats {
+                key_frames: entry.session.key_frames_processed(),
+                distill_steps: entry.session.distill_steps_taken(),
+            };
+            (checkpoint, stats)
+        })
+    }
+
+    /// The shard's counters so far.
+    pub fn stats(&self) -> ShardStats {
+        self.stats
+    }
+
+    /// The teacher shared by this shard's streams.
+    pub fn teacher_mut(&mut self) -> &mut T {
+        &mut self.teacher
+    }
+}
+
+/// A stream-tagged uplink message queued at a shard.
+#[derive(Clone)]
+struct Envelope {
+    tagged: StreamTagged<ClientToServer>,
+    bytes: usize,
+    enqueued_at: Instant,
+}
+
+/// The sending half of one stream's downlink (wire size + message).
+type Downlink = crossbeam::channel::Sender<(usize, ServerToClient)>;
+
+/// Per-stream connection state the worker looks up when a `Register`
+/// message arrives: the downlink back to the client and the pre-shared
+/// frame content.
+struct StreamLink {
+    downlink: Downlink,
+    frames: HashMap<usize, Frame>,
+}
+
+type Registry = Arc<Mutex<HashMap<StreamId, StreamLink>>>;
+
+/// What one worker thread hands back when the pool joins.
+struct ShardOutput {
+    stats: ShardStats,
+    streams: HashMap<StreamId, StreamServerStats>,
+    final_checkpoints: HashMap<StreamId, WeightSnapshot>,
+}
+
+/// The client's endpoint onto the pool: same surface as the single-stream
+/// transport, but every uplink message is stream-tagged and lands in the
+/// owning shard's queue.
+pub struct StreamClient {
+    stream_id: StreamId,
+    uplink: crossbeam::channel::Sender<Envelope>,
+    downlink: crossbeam::channel::Receiver<(usize, ServerToClient)>,
+}
+
+impl StreamClient {
+    /// The stream this client speaks for.
+    pub fn stream_id(&self) -> StreamId {
+        self.stream_id
+    }
+}
+
+impl ClientEndpoint for StreamClient {
+    fn send(
+        &mut self,
+        message: ClientToServer,
+        bytes: usize,
+    ) -> std::result::Result<(), TransportError> {
+        self.uplink
+            .send(Envelope {
+                tagged: StreamTagged::new(self.stream_id, message),
+                bytes: StreamTagged::<ClientToServer>::tagged_bytes(bytes),
+                enqueued_at: Instant::now(),
+            })
+            .map_err(|_| TransportError::Disconnected)
+    }
+
+    fn try_recv(&mut self) -> std::result::Result<Option<ServerToClient>, TransportError> {
+        match self.downlink.try_recv() {
+            Ok((_bytes, msg)) => Ok(Some(msg)),
+            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                Err(TransportError::Disconnected)
+            }
+        }
+    }
+
+    fn recv_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> std::result::Result<ServerToClient, TransportError> {
+        match self.downlink.recv_timeout(timeout) {
+            Ok((_bytes, msg)) => Ok(msg),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(TransportError::Timeout),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(TransportError::Disconnected)
+            }
+        }
+    }
+}
+
+/// A sharded pool of distillation workers serving many client streams.
+pub struct ServerPool {
+    pool_config: PoolConfig,
+    uplinks: Vec<crossbeam::channel::Sender<Envelope>>,
+    registries: Vec<Registry>,
+    workers: Vec<std::thread::JoinHandle<Result<ShardOutput>>>,
+}
+
+impl ServerPool {
+    /// Spawn `pool_config.shards` worker threads. Each shard gets its own
+    /// teacher from `teacher_factory(shard_index)` and serves sessions cloned
+    /// from `template`.
+    pub fn spawn<T, F>(
+        config: ShadowTutorConfig,
+        pool_config: PoolConfig,
+        template: StudentNet,
+        distill_step_latency: f64,
+        mut teacher_factory: F,
+    ) -> Result<ServerPool>
+    where
+        T: Teacher + Send + 'static,
+        F: FnMut(usize) -> T,
+    {
+        config.validate()?;
+        pool_config.validate()?;
+        let mut uplinks = Vec::with_capacity(pool_config.shards);
+        let mut registries = Vec::with_capacity(pool_config.shards);
+        let mut workers = Vec::with_capacity(pool_config.shards);
+        for shard_index in 0..pool_config.shards {
+            let (tx, rx) = crossbeam::channel::unbounded::<Envelope>();
+            let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
+            let shard = ServeShard::new(
+                config,
+                template.clone(),
+                teacher_factory(shard_index),
+                distill_step_latency,
+            );
+            let worker_registry = Arc::clone(&registry);
+            let max_batch = pool_config.max_batch;
+            let recv_timeout = pool_config.recv_timeout;
+            workers.push(std::thread::spawn(move || {
+                run_worker(shard, rx, worker_registry, max_batch, recv_timeout)
+            }));
+            uplinks.push(tx);
+            registries.push(registry);
+        }
+        Ok(ServerPool {
+            pool_config,
+            uplinks,
+            registries,
+            workers,
+        })
+    }
+
+    /// The pool's configuration.
+    pub fn config(&self) -> PoolConfig {
+        self.pool_config
+    }
+
+    /// Connect a new stream: pre-share its frame content with the owning
+    /// shard, enqueue its `Register` message, and return the client's
+    /// endpoint. The first downlink message is the initial student
+    /// checkpoint.
+    pub fn connect(&self, stream_id: StreamId, frames: &[Frame]) -> StreamClient {
+        let shard = self.pool_config.shard_of(stream_id);
+        let (down_tx, down_rx) = crossbeam::channel::unbounded();
+        let content: HashMap<usize, Frame> = frames.iter().map(|f| (f.index, f.clone())).collect();
+        self.registries[shard]
+            .lock()
+            .expect("registry lock")
+            .insert(
+                stream_id,
+                StreamLink {
+                    downlink: down_tx,
+                    frames: content,
+                },
+            );
+        let mut client = StreamClient {
+            stream_id,
+            uplink: self.uplinks[shard].clone(),
+            downlink: down_rx,
+        };
+        // Registration is the client's first uplink message; sending it here
+        // lets callers immediately block on the initial checkpoint.
+        client
+            .send(
+                ClientToServer::Register,
+                st_net::message::MESSAGE_OVERHEAD_BYTES,
+            )
+            .expect("worker alive at connect time");
+        client
+    }
+
+    /// Drop the pool's uplink handles and join every worker, collecting the
+    /// aggregate statistics. Clients must have dropped (or finished with)
+    /// their `StreamClient`s for the workers' queues to disconnect.
+    pub fn join(self) -> Result<PoolStats> {
+        drop(self.uplinks);
+        drop(self.registries);
+        let mut stats = PoolStats {
+            shards: Vec::with_capacity(self.workers.len()),
+            streams: HashMap::new(),
+            final_checkpoints: HashMap::new(),
+        };
+        for worker in self.workers {
+            let output = worker
+                .join()
+                .map_err(|_| TensorError::InvalidArgument("shard worker panicked".into()))??;
+            stats.shards.push(output.stats);
+            stats.streams.extend(output.streams);
+            stats.final_checkpoints.extend(output.final_checkpoints);
+        }
+        Ok(stats)
+    }
+}
+
+/// The shard worker loop: drain a co-scheduled batch from the queue, handle
+/// registrations and shutdowns in arrival order, batch the key frames
+/// through the shard, and push responses onto each stream's downlink.
+fn run_worker<T: Teacher>(
+    mut shard: ServeShard<T>,
+    rx: crossbeam::channel::Receiver<Envelope>,
+    registry: Registry,
+    max_batch: usize,
+    recv_timeout: Duration,
+) -> Result<ShardOutput> {
+    let mut downlinks: HashMap<StreamId, Downlink> = HashMap::new();
+    let mut streams: HashMap<StreamId, StreamServerStats> = HashMap::new();
+    let mut final_checkpoints: HashMap<StreamId, WeightSnapshot> = HashMap::new();
+    // Wall-clock accounting lives here, not in the shard: the shard only
+    // tracks what it can see (batching and virtual time), and the two sets
+    // of counters are merged once on exit.
+    let mut queue_wait_total = Duration::ZERO;
+    let mut queue_wait_max = Duration::ZERO;
+    let mut busy_time = Duration::ZERO;
+    let mut uplink_bytes = 0usize;
+    loop {
+        let first = match rx.recv_timeout(recv_timeout) {
+            Ok(envelope) => envelope,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+        };
+        // `max_batch` bounds the *key frames* co-scheduled into one teacher
+        // forward; control messages (Register/Shutdown) ride along without
+        // consuming batch slots.
+        let is_key_frame =
+            |e: &Envelope| matches!(e.tagged.message, ClientToServer::KeyFrame { .. });
+        let mut key_frames_drained = usize::from(is_key_frame(&first));
+        let mut batch = vec![first];
+        while key_frames_drained < max_batch {
+            match rx.try_recv() {
+                Ok(envelope) => {
+                    key_frames_drained += usize::from(is_key_frame(&envelope));
+                    batch.push(envelope);
+                }
+                Err(_) => break,
+            }
+        }
+
+        let started = Instant::now();
+        let mut jobs: Vec<ShardJob> = Vec::new();
+        for envelope in &batch {
+            let wait = started.saturating_duration_since(envelope.enqueued_at);
+            uplink_bytes += envelope.bytes;
+            if matches!(envelope.tagged.message, ClientToServer::KeyFrame { .. }) {
+                queue_wait_total += wait;
+                queue_wait_max = queue_wait_max.max(wait);
+            }
+        }
+        for envelope in batch {
+            let stream_id = envelope.tagged.stream_id;
+            match envelope.tagged.message {
+                ClientToServer::Register => {
+                    let Some(link) = registry.lock().expect("registry lock").remove(&stream_id)
+                    else {
+                        continue; // register without connect: ignore
+                    };
+                    let initial = shard.register(stream_id, link.frames);
+                    let payload = Payload::with_data(initial.encode());
+                    let bytes = payload.bytes;
+                    let _ = link
+                        .downlink
+                        .send((bytes, ServerToClient::InitialStudent { payload }));
+                    downlinks.insert(stream_id, link.downlink);
+                }
+                ClientToServer::KeyFrame {
+                    frame_index,
+                    payload: _,
+                } => {
+                    jobs.push(ShardJob {
+                        stream_id,
+                        frame_index,
+                    });
+                }
+                ClientToServer::Shutdown => {
+                    // Flush any key frames queued ahead of the shutdown so the
+                    // stream's last updates are not lost.
+                    flush_jobs(&mut shard, &mut jobs, &downlinks)?;
+                    if let Some((checkpoint, stream_stats)) = shard.finish(stream_id) {
+                        streams.insert(stream_id, stream_stats);
+                        final_checkpoints.insert(stream_id, checkpoint);
+                    }
+                    downlinks.remove(&stream_id);
+                }
+            }
+        }
+        flush_jobs(&mut shard, &mut jobs, &downlinks)?;
+        busy_time += started.elapsed();
+    }
+    let mut stats = shard.stats();
+    stats.queue_wait_total = queue_wait_total;
+    stats.queue_wait_max = queue_wait_max;
+    stats.busy_time = busy_time;
+    stats.uplink_bytes = uplink_bytes;
+    Ok(ShardOutput {
+        stats,
+        streams,
+        final_checkpoints,
+    })
+}
+
+/// Run the queued key-frame jobs through the shard and send each response to
+/// its stream's downlink. Clears `jobs`.
+fn flush_jobs<T: Teacher>(
+    shard: &mut ServeShard<T>,
+    jobs: &mut Vec<ShardJob>,
+    downlinks: &HashMap<StreamId, Downlink>,
+) -> Result<()> {
+    if jobs.is_empty() {
+        return Ok(());
+    }
+    let responses = shard.process_batch(jobs)?;
+    jobs.clear();
+    for (stream_id, frame_index, response) in responses {
+        let Some(downlink) = downlinks.get(&stream_id) else {
+            continue;
+        };
+        let payload = Payload::with_data(response.update.encode());
+        let bytes = payload.bytes;
+        let msg = ServerToClient::StudentUpdate {
+            frame_index,
+            metric: response.metric,
+            distill_steps: response.outcome.steps,
+            payload,
+        };
+        // A client that hung up mid-stream only loses its own updates.
+        let _ = downlink.send((bytes, msg));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_nn::student::StudentConfig;
+    use st_teacher::OracleTeacher;
+    use st_video::dataset::tiny_stream as frames_for;
+    use st_video::SceneKind;
+
+    fn shard() -> ServeShard<OracleTeacher> {
+        ServeShard::new(
+            ShadowTutorConfig::paper(),
+            StudentNet::new(StudentConfig::tiny()).unwrap(),
+            OracleTeacher::perfect(5),
+            0.013,
+        )
+    }
+
+    #[test]
+    fn pool_config_validates_and_routes() {
+        assert!(PoolConfig::default_pool().validate().is_ok());
+        assert!(PoolConfig {
+            shards: 0,
+            ..PoolConfig::default_pool()
+        }
+        .validate()
+        .is_err());
+        assert!(PoolConfig {
+            max_batch: 0,
+            ..PoolConfig::default_pool()
+        }
+        .validate()
+        .is_err());
+        let p = PoolConfig::with_shards(3);
+        assert_eq!(p.shard_of(0), 0);
+        assert_eq!(p.shard_of(4), 1);
+        assert_eq!(p.shard_of(5), 2);
+    }
+
+    #[test]
+    fn shard_keeps_streams_isolated() {
+        let mut s = shard();
+        let people = frames_for(SceneKind::People, 11, 2);
+        let animals = frames_for(SceneKind::Animals, 12, 2);
+        let init_a = s.register(1, people.iter().map(|f| (f.index, f.clone())).collect());
+        let init_b = s.register(2, animals.iter().map(|f| (f.index, f.clone())).collect());
+        // Both sessions start from the same template checkpoint.
+        assert!(init_a.distance(&init_b).unwrap() < 1e-9);
+        assert_eq!(s.stream_count(), 2);
+
+        // Distill stream 1 only; stream 2's weights must not move.
+        let responses = s
+            .process_batch(&[ShardJob {
+                stream_id: 1,
+                frame_index: people[0].index,
+            }])
+            .unwrap();
+        assert_eq!(responses.len(), 1);
+        assert!(responses[0].2.outcome.steps >= 1);
+        let (ckpt_b, stats_b) = s.finish(2).unwrap();
+        assert_eq!(stats_b.key_frames, 0);
+        assert!(ckpt_b.distance(&init_b).unwrap() < 1e-9);
+        let (ckpt_a, stats_a) = s.finish(1).unwrap();
+        assert_eq!(stats_a.key_frames, 1);
+        assert!(ckpt_a.distance(&init_a).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn batched_labels_amortize_teacher_time() {
+        let mut s = shard();
+        let people = frames_for(SceneKind::People, 21, 2);
+        let street = frames_for(SceneKind::Street, 22, 2);
+        s.register(1, people.iter().map(|f| (f.index, f.clone())).collect());
+        s.register(2, street.iter().map(|f| (f.index, f.clone())).collect());
+        let responses = s
+            .process_batch(&[
+                ShardJob {
+                    stream_id: 1,
+                    frame_index: people[0].index,
+                },
+                ShardJob {
+                    stream_id: 2,
+                    frame_index: street[0].index,
+                },
+            ])
+            .unwrap();
+        assert_eq!(responses.len(), 2);
+        let stats = s.stats();
+        assert_eq!(stats.teacher_batches, 1);
+        assert_eq!(stats.key_frames, 2);
+        assert_eq!(stats.max_batch_observed, 2);
+        // Batching two frames must be cheaper than two solo forwards.
+        assert!(stats.teacher_time_saved > 0.0);
+        // The amortized teacher share charged per response is below t_ti.
+        let solo = OracleTeacher::perfect(0).inference_latency();
+        for (_, _, r) in &responses {
+            assert!(r.server_time < solo + r.outcome.steps as f64 * 0.013 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn unknown_jobs_are_skipped() {
+        let mut s = shard();
+        let people = frames_for(SceneKind::People, 31, 1);
+        s.register(1, people.iter().map(|f| (f.index, f.clone())).collect());
+        let responses = s
+            .process_batch(&[
+                ShardJob {
+                    stream_id: 9,
+                    frame_index: 0,
+                }, // unknown stream
+                ShardJob {
+                    stream_id: 1,
+                    frame_index: 999,
+                }, // unknown frame
+            ])
+            .unwrap();
+        assert!(responses.is_empty());
+        assert_eq!(s.stats().teacher_batches, 0);
+        assert!(s.finish(9).is_none());
+    }
+
+    #[test]
+    fn pool_serves_two_streams_end_to_end() {
+        let pool = ServerPool::spawn(
+            ShadowTutorConfig::paper(),
+            PoolConfig {
+                shards: 2,
+                max_batch: 4,
+                recv_timeout: Duration::from_millis(200),
+            },
+            StudentNet::new(StudentConfig::tiny()).unwrap(),
+            0.013,
+            |shard| OracleTeacher::perfect(100 + shard as u64),
+        )
+        .unwrap();
+        let streams: Vec<(StreamId, Vec<Frame>)> = vec![
+            (0, frames_for(SceneKind::People, 41, 3)),
+            (1, frames_for(SceneKind::Animals, 42, 3)),
+        ];
+        let mut clients: Vec<StreamClient> = streams
+            .iter()
+            .map(|(id, frames)| pool.connect(*id, frames))
+            .collect();
+        for (client, (_, frames)) in clients.iter_mut().zip(&streams) {
+            // Initial checkpoint arrives first.
+            let initial = client.recv_timeout(Duration::from_secs(10)).unwrap();
+            assert!(matches!(initial, ServerToClient::InitialStudent { .. }));
+            // One key frame each.
+            let payload = Payload::sized(frames[0].raw_rgb_bytes());
+            let bytes = payload.bytes;
+            client
+                .send(
+                    ClientToServer::KeyFrame {
+                        frame_index: frames[0].index,
+                        payload,
+                    },
+                    bytes,
+                )
+                .unwrap();
+            let update = client.recv_timeout(Duration::from_secs(10)).unwrap();
+            match update {
+                ServerToClient::StudentUpdate {
+                    frame_index,
+                    metric,
+                    distill_steps,
+                    ..
+                } => {
+                    assert_eq!(frame_index, frames[0].index);
+                    assert!((0.0..=1.0).contains(&metric));
+                    assert!(distill_steps <= ShadowTutorConfig::paper().max_updates);
+                }
+                other => panic!("expected StudentUpdate, got {other:?}"),
+            }
+            client.send(ClientToServer::Shutdown, 1).unwrap();
+        }
+        drop(clients);
+        let stats = pool.join().unwrap();
+        assert_eq!(stats.total_key_frames(), 2);
+        assert_eq!(stats.streams.len(), 2);
+        assert_eq!(stats.final_checkpoints.len(), 2);
+        assert!(stats.streams.values().all(|s| s.key_frames == 1));
+        // Streams 0 and 1 land on different shards.
+        assert!(stats.shards.iter().all(|s| s.key_frames == 1));
+    }
+}

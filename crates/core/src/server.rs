@@ -8,6 +8,13 @@
 //! used by the virtual-time runtime (which calls [`ServerState::handle_key_frame`]
 //! directly) and the threaded live runtime (which drives it from a message
 //! loop).
+//!
+//! The per-stream half of that state — the trainable student copy, its
+//! optimizer, and the counters — lives in [`DistillSession`] so the
+//! multi-stream server pool ([`crate::serve`]) can keep one session per
+//! client stream while sharing a single teacher across the streams of a
+//! shard. [`ServerState`] composes one teacher with one session and is the
+//! single-stream view used by the original runtimes.
 
 use crate::config::{DistillationMode, ShadowTutorConfig};
 use crate::train::{train_student, TrainOutcome};
@@ -33,11 +40,15 @@ pub struct KeyFrameResponse {
     pub server_time: f64,
 }
 
-/// Server-side state: teacher + trainable student copy + optimizer.
-pub struct ServerState<T: Teacher> {
+/// The teacher-independent, per-stream half of the server: the trainable
+/// student copy, its optimizer, and the distillation counters.
+///
+/// One session exists per client stream. The single-stream [`ServerState`]
+/// owns exactly one; the multi-stream shard in [`crate::serve`] owns one per
+/// stream and feeds them pseudo-labels produced by a shared teacher.
+pub struct DistillSession {
     /// Algorithm parameters.
     pub config: ShadowTutorConfig,
-    teacher: T,
     student: StudentNet,
     optimizer: Adam,
     /// Latency of one distillation step (seconds of virtual time).
@@ -46,22 +57,20 @@ pub struct ServerState<T: Teacher> {
     total_distill_steps: usize,
 }
 
-impl<T: Teacher> ServerState<T> {
-    /// Create a server from a pre-trained student checkpoint and a teacher.
+impl DistillSession {
+    /// Create a session from a pre-trained student checkpoint.
     ///
     /// The student's freeze point is set according to the configured
     /// distillation mode.
     pub fn new(
         config: ShadowTutorConfig,
         mut student: StudentNet,
-        teacher: T,
         distill_step_latency: f64,
     ) -> Self {
         student.freeze = config.mode.freeze_point();
         let optimizer = Adam::new(config.learning_rate);
-        ServerState {
+        DistillSession {
             config,
-            teacher,
             student,
             optimizer,
             distill_step_latency,
@@ -70,8 +79,8 @@ impl<T: Teacher> ServerState<T> {
         }
     }
 
-    /// The initial full student checkpoint the server sends when the system
-    /// starts (Algorithm 3, line 1).
+    /// The initial full student checkpoint the server sends when the stream
+    /// is registered (Algorithm 3, line 1).
     pub fn initial_checkpoint(&mut self) -> WeightSnapshot {
         WeightSnapshot::capture(&mut self.student, SnapshotScope::Full)
     }
@@ -85,14 +94,23 @@ impl<T: Teacher> ServerState<T> {
         }
     }
 
-    /// Handle one key frame (Algorithm 3, lines 3-6).
-    pub fn handle_key_frame(&mut self, frame: &Frame) -> Result<KeyFrameResponse> {
-        let pseudo_label = self.teacher.pseudo_label(frame)?;
+    /// Train the session's student on one key frame against an
+    /// already-computed pseudo-label (Algorithm 3, lines 4-6).
+    ///
+    /// `teacher_time` is the virtual time charged for producing the
+    /// pseudo-label — the full `t_ti` for a solo inference, or the amortized
+    /// share of a batched teacher forward pass under the multi-stream pool.
+    pub fn distill(
+        &mut self,
+        frame: &Frame,
+        pseudo_label: &[usize],
+        teacher_time: f64,
+    ) -> Result<KeyFrameResponse> {
         let outcome = train_student(
             &mut self.student,
             &mut self.optimizer,
             frame,
-            &pseudo_label,
+            pseudo_label,
             &self.config,
         )?;
         let scope = match self.config.mode {
@@ -106,14 +124,8 @@ impl<T: Teacher> ServerState<T> {
             update,
             metric: outcome.best_metric,
             outcome,
-            server_time: self.teacher.inference_latency()
-                + outcome.steps as f64 * self.distill_step_latency,
+            server_time: teacher_time + outcome.steps as f64 * self.distill_step_latency,
         })
-    }
-
-    /// The teacher owned by the server (e.g. to label evaluation frames).
-    pub fn teacher_mut(&mut self) -> &mut T {
-        &mut self.teacher
     }
 
     /// Total key frames processed so far.
@@ -133,6 +145,71 @@ impl<T: Teacher> ServerState<T> {
         } else {
             self.total_distill_steps as f64 / self.total_key_frames as f64
         }
+    }
+}
+
+/// Server-side state: teacher + trainable student copy + optimizer.
+pub struct ServerState<T: Teacher> {
+    /// Algorithm parameters.
+    pub config: ShadowTutorConfig,
+    teacher: T,
+    session: DistillSession,
+}
+
+impl<T: Teacher> ServerState<T> {
+    /// Create a server from a pre-trained student checkpoint and a teacher.
+    ///
+    /// The student's freeze point is set according to the configured
+    /// distillation mode.
+    pub fn new(
+        config: ShadowTutorConfig,
+        student: StudentNet,
+        teacher: T,
+        distill_step_latency: f64,
+    ) -> Self {
+        ServerState {
+            config,
+            teacher,
+            session: DistillSession::new(config, student, distill_step_latency),
+        }
+    }
+
+    /// The initial full student checkpoint the server sends when the system
+    /// starts (Algorithm 3, line 1).
+    pub fn initial_checkpoint(&mut self) -> WeightSnapshot {
+        self.session.initial_checkpoint()
+    }
+
+    /// Wire sizes of the per-key-frame student payload under the current mode.
+    pub fn update_payload_bytes(&mut self) -> usize {
+        self.session.update_payload_bytes()
+    }
+
+    /// Handle one key frame (Algorithm 3, lines 3-6).
+    pub fn handle_key_frame(&mut self, frame: &Frame) -> Result<KeyFrameResponse> {
+        let pseudo_label = self.teacher.pseudo_label(frame)?;
+        self.session
+            .distill(frame, &pseudo_label, self.teacher.inference_latency())
+    }
+
+    /// The teacher owned by the server (e.g. to label evaluation frames).
+    pub fn teacher_mut(&mut self) -> &mut T {
+        &mut self.teacher
+    }
+
+    /// Total key frames processed so far.
+    pub fn key_frames_processed(&self) -> usize {
+        self.session.key_frames_processed()
+    }
+
+    /// Total distillation steps taken so far.
+    pub fn distill_steps_taken(&self) -> usize {
+        self.session.distill_steps_taken()
+    }
+
+    /// Mean distillation steps per key frame (Table 2's second row).
+    pub fn mean_distill_steps(&self) -> f64 {
+        self.session.mean_distill_steps()
     }
 }
 
@@ -175,6 +252,41 @@ mod tests {
     }
 
     #[test]
+    fn distill_session_matches_server_state_on_the_same_stream() {
+        // ServerState is DistillSession + a teacher; driving the session
+        // directly with the teacher's labels must be weight-for-weight
+        // identical to the composed state machine.
+        let mut composed = server(DistillationMode::Partial);
+        let mut session = DistillSession::new(
+            composed.config,
+            StudentNet::new(StudentConfig::tiny()).unwrap(),
+            0.013,
+        );
+        let mut teacher = OracleTeacher::perfect(7);
+        let mut gen = generator();
+        for _ in 0..3 {
+            let frame = gen.next_frame();
+            let via_state = composed.handle_key_frame(&frame).unwrap();
+            let label = teacher.pseudo_label(&frame).unwrap();
+            let via_session = session
+                .distill(&frame, &label, teacher.inference_latency())
+                .unwrap();
+            assert_eq!(via_state.outcome.steps, via_session.outcome.steps);
+            assert!((via_state.metric - via_session.metric).abs() < 1e-12);
+            assert!((via_state.server_time - via_session.server_time).abs() < 1e-12);
+            assert!(via_state.update.distance(&via_session.update).unwrap() < 1e-9);
+        }
+        assert_eq!(
+            session.key_frames_processed(),
+            composed.key_frames_processed()
+        );
+        assert_eq!(
+            session.distill_steps_taken(),
+            composed.distill_steps_taken()
+        );
+    }
+
+    #[test]
     fn partial_update_payload_is_smaller_than_full() {
         let mut partial = server(DistillationMode::Partial);
         let mut full = server(DistillationMode::Full);
@@ -205,7 +317,11 @@ mod tests {
             let mut fresh = server(DistillationMode::Partial);
             let mut gen2 = generator();
             let frame = gen2.next_frame();
-            fresh.handle_key_frame(&frame).unwrap().outcome.initial_metric
+            fresh
+                .handle_key_frame(&frame)
+                .unwrap()
+                .outcome
+                .initial_metric
         };
         // After several key frames of a coherent scene the student's
         // *pre-training* metric should exceed a fresh student's.

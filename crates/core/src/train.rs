@@ -134,7 +134,13 @@ mod tests {
             mode,
             ..ShadowTutorConfig::paper()
         };
-        (student, Adam::new(config.learning_rate), frame, label, config)
+        (
+            student,
+            Adam::new(config.learning_rate),
+            frame,
+            label,
+            config,
+        )
     }
 
     #[test]
@@ -162,7 +168,10 @@ mod tests {
         }
         // After several key-frame trainings on the *same* frame the student
         // should overfit it well (this is exactly the paper's premise).
-        assert!(last > 0.5, "student failed to overfit a single frame: {last}");
+        assert!(
+            last > 0.5,
+            "student failed to overfit a single frame: {last}"
+        );
         // And once the threshold is exceeded, training is skipped (d = 0).
         if last > config.threshold {
             let out = train_student(&mut student, &mut opt, &frame, &label, &config).unwrap();

@@ -25,8 +25,10 @@ pub mod message;
 pub mod transport;
 
 pub use link::{Bandwidth, LinkModel};
-pub use message::{ClientToServer, KeyFrameTraffic, NaiveTraffic, Payload, ServerToClient};
-pub use transport::{DuplexTransport, TransportError};
+pub use message::{
+    ClientToServer, KeyFrameTraffic, NaiveTraffic, Payload, ServerToClient, StreamId, StreamTagged,
+};
+pub use transport::{ClientEndpoint, DuplexTransport, TransportError};
 
 /// Result alias re-using the tensor error type for shape-ish failures.
 pub type Result<T> = st_tensor::Result<T>;

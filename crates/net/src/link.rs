@@ -21,7 +21,9 @@ impl Bandwidth {
 
     /// Bandwidth from bits per second.
     pub fn from_bps(bps: f64) -> Self {
-        Bandwidth { bits_per_second: bps }
+        Bandwidth {
+            bits_per_second: bps,
+        }
     }
 
     /// Megabits per second.
@@ -131,7 +133,10 @@ mod tests {
         let fast = LinkModel::symmetric_mbps(80.0);
         let slow = LinkModel::symmetric_mbps(8.0);
         assert!(slow.uplink_time(1_000_000) > fast.uplink_time(1_000_000));
-        assert!(slow.key_frame_round_trip(1_000_000, 100_000) > fast.key_frame_round_trip(1_000_000, 100_000));
+        assert!(
+            slow.key_frame_round_trip(1_000_000, 100_000)
+                > fast.key_frame_round_trip(1_000_000, 100_000)
+        );
     }
 
     #[test]

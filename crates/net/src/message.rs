@@ -51,6 +51,11 @@ impl Payload {
 /// Client → server messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClientToServer {
+    /// Announce a new stream. The multi-stream server pool creates the
+    /// stream's distillation session and replies with
+    /// [`ServerToClient::InitialStudent`]; the single-stream server sends the
+    /// initial checkpoint unprompted and never sees this variant.
+    Register,
     /// A key frame to distill on. Carries the frame index for bookkeeping and
     /// the encoded frame payload.
     KeyFrame {
@@ -61,6 +66,43 @@ pub enum ClientToServer {
     },
     /// The client is done with the stream; the server loop should exit.
     Shutdown,
+}
+
+/// Identifier of one client stream multiplexed onto a shared server.
+pub type StreamId = u64;
+
+/// A message tagged with the stream it belongs to.
+///
+/// The multi-stream server pool funnels every client's uplink into one
+/// queue per shard; the tag is what routes a message to the right
+/// per-stream distillation session and routes the response back. Tagging
+/// costs [`STREAM_TAG_BYTES`] extra on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamTagged<M> {
+    /// The originating (or destination) stream.
+    pub stream_id: StreamId,
+    /// The wrapped message.
+    pub message: M,
+}
+
+/// Wire overhead of the stream tag (a fixed-width stream id).
+pub const STREAM_TAG_BYTES: usize = 8;
+
+impl<M> StreamTagged<M> {
+    /// Tag `message` as belonging to `stream_id`.
+    pub fn new(stream_id: StreamId, message: M) -> Self {
+        StreamTagged { stream_id, message }
+    }
+
+    /// Wire size of the tagged message given the inner message's size.
+    pub fn tagged_bytes(inner_bytes: usize) -> usize {
+        inner_bytes + STREAM_TAG_BYTES
+    }
+
+    /// Discard the tag, keeping the inner message.
+    pub fn into_inner(self) -> M {
+        self.message
+    }
 }
 
 /// Server → client messages.
@@ -189,17 +231,37 @@ mod tests {
     }
 
     #[test]
+    fn stream_tagging_round_trips_and_adds_fixed_overhead() {
+        let inner = ClientToServer::KeyFrame {
+            frame_index: 9,
+            payload: Payload::sized(100),
+        };
+        let tagged = StreamTagged::new(3, inner.clone());
+        assert_eq!(tagged.stream_id, 3);
+        assert_eq!(
+            StreamTagged::<ClientToServer>::tagged_bytes(100),
+            100 + STREAM_TAG_BYTES
+        );
+        assert_eq!(tagged.into_inner(), inner);
+        let reg = StreamTagged::new(7, ClientToServer::Register);
+        assert_eq!(reg.message, ClientToServer::Register);
+    }
+
+    #[test]
     fn message_variants_carry_payloads() {
         let m = ClientToServer::KeyFrame {
             frame_index: 5,
             payload: Payload::sized(10),
         };
         match m {
-            ClientToServer::KeyFrame { frame_index, payload } => {
+            ClientToServer::KeyFrame {
+                frame_index,
+                payload,
+            } => {
                 assert_eq!(frame_index, 5);
                 assert!(payload.bytes > 10);
             }
-            ClientToServer::Shutdown => panic!("wrong variant"),
+            ClientToServer::Register | ClientToServer::Shutdown => panic!("wrong variant"),
         }
         let s = ServerToClient::StudentUpdate {
             frame_index: 5,
@@ -207,7 +269,12 @@ mod tests {
             distill_steps: 3,
             payload: Payload::sized(100),
         };
-        if let ServerToClient::StudentUpdate { metric, distill_steps, .. } = s {
+        if let ServerToClient::StudentUpdate {
+            metric,
+            distill_steps,
+            ..
+        } = s
+        {
             assert!(metric > 0.0 && distill_steps == 3);
         } else {
             panic!("wrong variant");

@@ -58,6 +58,35 @@ impl DelayInjector {
     }
 }
 
+/// The client-side view of a transport: what Algorithm 4's message loop
+/// needs, independently of whether the peer is a dedicated server thread
+/// (the single-stream [`DuplexTransport`]) or a stream-multiplexed worker
+/// pool (the `shadowtutor` crate's `StreamClient`).
+pub trait ClientEndpoint {
+    /// Send a client → server message annotated with its wire size.
+    fn send(&mut self, message: crate::ClientToServer, bytes: usize) -> Result<(), TransportError>;
+
+    /// Non-blocking receive. `Ok(None)` means no message is waiting.
+    fn try_recv(&mut self) -> Result<Option<crate::ServerToClient>, TransportError>;
+
+    /// Blocking receive with a timeout.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<crate::ServerToClient, TransportError>;
+}
+
+impl ClientEndpoint for DuplexTransport<crate::ClientToServer, crate::ServerToClient> {
+    fn send(&mut self, message: crate::ClientToServer, bytes: usize) -> Result<(), TransportError> {
+        DuplexTransport::send(self, message, bytes)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<crate::ServerToClient>, TransportError> {
+        DuplexTransport::try_recv(self)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<crate::ServerToClient, TransportError> {
+        DuplexTransport::recv_timeout(self, timeout)
+    }
+}
+
 /// One endpoint of a bidirectional, typed channel pair.
 #[derive(Debug)]
 pub struct DuplexTransport<TSend, TRecv> {

@@ -39,7 +39,13 @@ impl StudentBlock {
     /// Create a block mapping `in_channels` to `out_channels` at `stride`.
     ///
     /// The three middle convolutions all use `out_channels` as their width.
-    pub fn new(name: &str, in_channels: usize, out_channels: usize, stride: usize, seed: u64) -> Result<Self> {
+    pub fn new(
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        stride: usize,
+        seed: u64,
+    ) -> Result<Self> {
         let conv33 = Conv2d::new(
             &format!("{name}.conv33"),
             Conv2dSpec::square(in_channels, out_channels, 3, stride),
@@ -157,14 +163,26 @@ impl StudentBlock {
     /// with respect to the block input when `need_input_grad` is true.
     pub fn backward(&mut self, grad_out: &Tensor, need_input_grad: bool) -> Result<Option<Tensor>> {
         // Main path.
-        let g = self.conv11.backward(grad_out, true)?.expect("input grad requested");
+        let g = self
+            .conv11
+            .backward(grad_out, true)?
+            .expect("input grad requested");
         let g = self.relu13.backward(&g)?;
-        let g = self.conv13.backward(&g, true)?.expect("input grad requested");
+        let g = self
+            .conv13
+            .backward(&g, true)?
+            .expect("input grad requested");
         let g = self.relu31.backward(&g)?;
-        let g = self.conv31.backward(&g, true)?.expect("input grad requested");
+        let g = self
+            .conv31
+            .backward(&g, true)?
+            .expect("input grad requested");
         let g = self.relu33.backward(&g)?;
         // Whether the BN/conv33 front needs to propagate further down.
-        let g = self.conv33.backward(&g, true)?.expect("input grad requested");
+        let g = self
+            .conv33
+            .backward(&g, true)?
+            .expect("input grad requested");
         let g = self.relu_bn.backward(&g)?;
         let main_in_grad = self.bn.backward(&g, need_input_grad)?;
 
@@ -203,7 +221,11 @@ impl StudentBlock {
 
     /// Visit the block's non-parameter state (the batch-norm running
     /// statistics) in a stable order.
-    pub fn visit_buffers(&mut self, visitor: &mut dyn FnMut(&str, &mut Tensor, bool), trainable: bool) {
+    pub fn visit_buffers(
+        &mut self,
+        visitor: &mut dyn FnMut(&str, &mut Tensor, bool),
+        trainable: bool,
+    ) {
         self.bn.visit_buffers(visitor, trainable);
     }
 
@@ -251,7 +273,10 @@ mod tests {
         let mut b = StudentBlock::new("sb", 3, 6, 1, 4).unwrap();
         let x = random::uniform(Shape::nchw(1, 3, 6, 6), -1.0, 1.0, 5);
         let y = b.forward_train(&x).unwrap();
-        let gin = b.backward(&Tensor::ones(y.shape().clone()), true).unwrap().unwrap();
+        let gin = b
+            .backward(&Tensor::ones(y.shape().clone()), true)
+            .unwrap()
+            .unwrap();
         assert_eq!(gin.shape(), x.shape());
         assert!(gin.all_finite());
         let mut all_have_grad = true;

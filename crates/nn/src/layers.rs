@@ -49,8 +49,12 @@ impl Conv2d {
     /// Forward pass, caching the im2col buffer for the next backward call.
     pub fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
         let (_, _, h, w) = input.shape().as_nchw()?;
-        let (out, columns) =
-            conv2d_forward(input, &self.weight.value, Some(&self.bias.value), &self.spec)?;
+        let (out, columns) = conv2d_forward(
+            input,
+            &self.weight.value,
+            Some(&self.bias.value),
+            &self.spec,
+        )?;
         self.cache = Some(ConvCache {
             columns,
             input_h: h,
@@ -61,8 +65,12 @@ impl Conv2d {
 
     /// Forward pass without caching (inference only, lower memory).
     pub fn forward_inference(&self, input: &Tensor) -> Result<Tensor> {
-        let (out, _) =
-            conv2d_forward(input, &self.weight.value, Some(&self.bias.value), &self.spec)?;
+        let (out, _) = conv2d_forward(
+            input,
+            &self.weight.value,
+            Some(&self.bias.value),
+            &self.spec,
+        )?;
         Ok(out)
     }
 
@@ -149,8 +157,14 @@ impl BatchNorm2d {
     pub fn new(name: &str, channels: usize) -> Self {
         BatchNorm2d {
             channels,
-            gamma: Param::new(format!("{name}.gamma"), Tensor::ones(Shape::vector(channels))),
-            beta: Param::new(format!("{name}.beta"), Tensor::zeros(Shape::vector(channels))),
+            gamma: Param::new(
+                format!("{name}.gamma"),
+                Tensor::ones(Shape::vector(channels)),
+            ),
+            beta: Param::new(
+                format!("{name}.beta"),
+                Tensor::zeros(Shape::vector(channels)),
+            ),
             running_mean: Tensor::zeros(Shape::vector(channels)),
             running_var: Tensor::ones(Shape::vector(channels)),
             momentum: 0.1,
@@ -185,11 +199,13 @@ impl BatchNorm2d {
             for ci in 0..c {
                 let slice = &xin[ci * plane..(ci + 1) * plane];
                 let mean = slice.iter().sum::<f32>() / plane as f32;
-                let var =
-                    slice.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / plane as f32;
+                let var = slice.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / plane as f32;
                 let inv_std = 1.0 / (var + self.eps).sqrt();
                 inv_stds[ci] = inv_std;
-                for (o, &x) in xh[ci * plane..(ci + 1) * plane].iter_mut().zip(slice.iter()) {
+                for (o, &x) in xh[ci * plane..(ci + 1) * plane]
+                    .iter_mut()
+                    .zip(slice.iter())
+                {
                     *o = (x - mean) * inv_std;
                 }
                 // Running stats update.
@@ -317,15 +333,27 @@ impl BatchNorm2d {
     /// Running statistics are not parameters — the optimizer must never touch
     /// them — but they are part of the weights a serving client needs, so
     /// snapshots include them.
-    pub fn visit_buffers(&mut self, visitor: &mut dyn FnMut(&str, &mut Tensor, bool), trainable: bool) {
+    pub fn visit_buffers(
+        &mut self,
+        visitor: &mut dyn FnMut(&str, &mut Tensor, bool),
+        trainable: bool,
+    ) {
         let prefix = self
             .gamma
             .name
             .strip_suffix(".gamma")
             .unwrap_or(&self.gamma.name)
             .to_string();
-        visitor(&format!("{prefix}.running_mean"), &mut self.running_mean, trainable);
-        visitor(&format!("{prefix}.running_var"), &mut self.running_var, trainable);
+        visitor(
+            &format!("{prefix}.running_mean"),
+            &mut self.running_mean,
+            trainable,
+        );
+        visitor(
+            &format!("{prefix}.running_var"),
+            &mut self.running_var,
+            trainable,
+        );
     }
 
     /// Number of parameters (gamma + beta).
@@ -441,7 +469,8 @@ mod tests {
         for c in 0..3 {
             let slice = &y.data()[c * plane..(c + 1) * plane];
             let mean: f32 = slice.iter().sum::<f32>() / plane as f32;
-            let var: f32 = slice.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / plane as f32;
+            let var: f32 =
+                slice.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / plane as f32;
             assert!(mean.abs() < 1e-3, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var {var}");
         }

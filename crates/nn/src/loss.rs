@@ -31,7 +31,13 @@ impl WeightMap {
     /// non-background pixel get weight [`OBJECT_WEIGHT`], everything else 1.
     ///
     /// `background_class` is the class index treated as background.
-    pub fn from_labels(labels: &[usize], h: usize, w: usize, background_class: usize, radius: usize) -> Result<Self> {
+    pub fn from_labels(
+        labels: &[usize],
+        h: usize,
+        w: usize,
+        background_class: usize,
+        radius: usize,
+    ) -> Result<Self> {
         if labels.len() != h * w {
             return Err(TensorError::LengthMismatch {
                 expected: h * w,
@@ -137,7 +143,11 @@ pub fn pixel_accuracy(pred: &[usize], label: &[usize]) -> f32 {
     if pred.is_empty() || pred.len() != label.len() {
         return 0.0;
     }
-    let correct = pred.iter().zip(label.iter()).filter(|(a, b)| a == b).count();
+    let correct = pred
+        .iter()
+        .zip(label.iter())
+        .filter(|(a, b)| a == b)
+        .count();
     correct as f32 / pred.len() as f32
 }
 

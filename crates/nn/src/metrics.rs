@@ -284,8 +284,14 @@ mod tests {
     fn accumulator_averages_frames() {
         let mut acc = MiouAccumulator::new();
         assert_eq!(acc.average(), 0.0);
-        acc.push(MeanIou { value: 0.5, classes_counted: 2 });
-        acc.push(MeanIou { value: 1.0, classes_counted: 3 });
+        acc.push(MeanIou {
+            value: 0.5,
+            classes_counted: 2,
+        });
+        acc.push(MeanIou {
+            value: 1.0,
+            classes_counted: 3,
+        });
         assert!((acc.average() - 0.75).abs() < 1e-12);
         assert_eq!(acc.frames(), 2);
         assert!((acc.average_percent() - 75.0).abs() < 1e-9);

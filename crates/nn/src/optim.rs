@@ -49,7 +49,9 @@ impl Sgd {
                     v.add_assign(&p.grad).expect("velocity shape matches grad");
                     p.value.axpy(-lr, v).expect("param shape matches velocity");
                 } else {
-                    p.value.axpy(-lr, &p.grad).expect("param shape matches grad");
+                    p.value
+                        .axpy(-lr, &p.grad)
+                        .expect("param shape matches grad");
                 }
             }
             p.zero_grad();
@@ -159,7 +161,13 @@ mod tests {
         (net, x, labels)
     }
 
-    fn train_loss(net: &mut StudentNet, x: &st_tensor::Tensor, labels: &[usize], steps: usize, mut do_step: impl FnMut(&mut StudentNet)) -> (f32, f32) {
+    fn train_loss(
+        net: &mut StudentNet,
+        x: &st_tensor::Tensor,
+        labels: &[usize],
+        steps: usize,
+        mut do_step: impl FnMut(&mut StudentNet),
+    ) -> (f32, f32) {
         let weights = WeightMap::uniform(16 * 16);
         let logits0 = net.forward_train(x).unwrap();
         let (loss0, _) = weighted_cross_entropy(&logits0, labels, &weights).unwrap();
@@ -180,7 +188,10 @@ mod tests {
         net.freeze = FreezePoint::None;
         let mut opt = Adam::new(0.01);
         let (loss0, loss1) = train_loss(&mut net, &x, &labels, 10, |n| opt.step(n));
-        assert!(loss1 < loss0 * 0.9, "Adam failed to reduce loss: {loss0} -> {loss1}");
+        assert!(
+            loss1 < loss0 * 0.9,
+            "Adam failed to reduce loss: {loss0} -> {loss1}"
+        );
         assert_eq!(opt.steps_taken(), 10);
     }
 
@@ -190,7 +201,10 @@ mod tests {
         net.freeze = FreezePoint::None;
         let mut opt = Sgd::new(0.005, 0.9);
         let (loss0, loss1) = train_loss(&mut net, &x, &labels, 15, |n| opt.step(n));
-        assert!(loss1 < loss0, "SGD failed to reduce loss: {loss0} -> {loss1}");
+        assert!(
+            loss1 < loss0,
+            "SGD failed to reduce loss: {loss0} -> {loss1}"
+        );
     }
 
     #[test]

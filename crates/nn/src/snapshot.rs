@@ -128,8 +128,7 @@ impl WeightSnapshot {
             };
             let mut v = |p: &mut Param, _trainable: bool| restore(&p.name, &mut p.value);
             net.visit_params(&mut v);
-            let mut b =
-                |name: &str, value: &mut Tensor, _trainable: bool| restore(name, value);
+            let mut b = |name: &str, value: &mut Tensor, _trainable: bool| restore(name, value);
             net.visit_buffers(&mut b);
         }
         if let Some(e) = error {
@@ -181,27 +180,37 @@ impl WeightSnapshot {
     pub fn decode(bytes: &Bytes, scope: SnapshotScope) -> Result<Self> {
         let mut buf = bytes.clone();
         if buf.remaining() < 4 {
-            return Err(TensorError::InvalidArgument("snapshot truncated (header)".into()));
+            return Err(TensorError::InvalidArgument(
+                "snapshot truncated (header)".into(),
+            ));
         }
         let count = buf.get_u32_le() as usize;
         let mut entries = Vec::with_capacity(count);
         for _ in 0..count {
             if buf.remaining() < 4 {
-                return Err(TensorError::InvalidArgument("snapshot truncated (name len)".into()));
+                return Err(TensorError::InvalidArgument(
+                    "snapshot truncated (name len)".into(),
+                ));
             }
             let name_len = buf.get_u32_le() as usize;
             if buf.remaining() < name_len {
-                return Err(TensorError::InvalidArgument("snapshot truncated (name)".into()));
+                return Err(TensorError::InvalidArgument(
+                    "snapshot truncated (name)".into(),
+                ));
             }
             let name_bytes = buf.copy_to_bytes(name_len);
             let name = String::from_utf8(name_bytes.to_vec())
                 .map_err(|_| TensorError::InvalidArgument("snapshot name not UTF-8".into()))?;
             if buf.remaining() < 4 {
-                return Err(TensorError::InvalidArgument("snapshot truncated (value len)".into()));
+                return Err(TensorError::InvalidArgument(
+                    "snapshot truncated (value len)".into(),
+                ));
             }
             let numel = buf.get_u32_le() as usize;
             if buf.remaining() < 4 * numel {
-                return Err(TensorError::InvalidArgument("snapshot truncated (values)".into()));
+                return Err(TensorError::InvalidArgument(
+                    "snapshot truncated (values)".into(),
+                ));
             }
             let mut values = Vec::with_capacity(numel);
             for _ in 0..numel {
@@ -314,7 +323,10 @@ mod tests {
             }
         };
         target.visit_params(&mut v);
-        assert!(changed_frozen.is_empty(), "frozen params changed: {changed_frozen:?}");
+        assert!(
+            changed_frozen.is_empty(),
+            "frozen params changed: {changed_frozen:?}"
+        );
     }
 
     #[test]
@@ -368,10 +380,7 @@ mod tests {
         };
         a.visit_params(&mut nudge);
         let snap = WeightSnapshot::capture(&mut a, SnapshotScope::TrainableOnly);
-        assert!(
-            snap.entry_count() > 0,
-            "snapshot should contain entries"
-        );
+        assert!(snap.entry_count() > 0, "snapshot should contain entries");
         let x = random::uniform(st_tensor::Shape::nchw(1, 3, 16, 16), 0.0, 1.0, 31);
         let before = a.forward_inference(&x).unwrap();
         for _ in 0..5 {

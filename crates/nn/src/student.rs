@@ -80,7 +80,10 @@ impl Stage {
 
     /// Position of the stage in forward order.
     pub fn index(self) -> usize {
-        Stage::ALL.iter().position(|&s| s == self).expect("stage in ALL")
+        Stage::ALL
+            .iter()
+            .position(|&s| s == self)
+            .expect("stage in ALL")
     }
 }
 
@@ -398,25 +401,25 @@ impl StudentNet {
         debug_assert_eq!(g.shape().dim(2), cache.head_h);
         debug_assert_eq!(g.shape().dim(3), cache.head_w);
 
-        let g = self
-            .out3
-            .backward_if(&g, trainable(Stage::Out3), need_below(Stage::Out3.index()))?;
+        let g =
+            self.out3
+                .backward_if(&g, trainable(Stage::Out3), need_below(Stage::Out3.index()))?;
         let g = match g {
             Some(g) => g,
             None => return Ok(()),
         };
         let g = self.relu_out2.backward(&g)?;
-        let g = self
-            .out2
-            .backward_if(&g, trainable(Stage::Out2), need_below(Stage::Out2.index()))?;
+        let g =
+            self.out2
+                .backward_if(&g, trainable(Stage::Out2), need_below(Stage::Out2.index()))?;
         let g = match g {
             Some(g) => g,
             None => return Ok(()),
         };
         let g = self.relu_out1.backward(&g)?;
-        let g = self
-            .out1
-            .backward_if(&g, trainable(Stage::Out1), need_below(Stage::Out1.index()))?;
+        let g =
+            self.out1
+                .backward_if(&g, trainable(Stage::Out1), need_below(Stage::Out1.index()))?;
         let g = match g {
             Some(g) => g,
             None => return Ok(()),
@@ -584,7 +587,12 @@ impl Conv2d {
     /// network that situation never arises for the frozen front (freezing is
     /// prefix-contiguous), so a fully frozen call with `need_input == false`
     /// is a no-op.
-    fn backward_if(&mut self, grad_out: &Tensor, train: bool, need_input: bool) -> Result<Option<Tensor>> {
+    fn backward_if(
+        &mut self,
+        grad_out: &Tensor,
+        train: bool,
+        need_input: bool,
+    ) -> Result<Option<Tensor>> {
         if !train && !need_input {
             return Ok(None);
         }
@@ -647,8 +655,14 @@ mod tests {
             }
         };
         net.visit_params(&mut v);
-        assert_eq!(frozen_grad, 0.0, "frozen parameters must not receive gradient");
-        assert!(trainable_grad > 0.0, "decoder parameters must receive gradient");
+        assert_eq!(
+            frozen_grad, 0.0,
+            "frozen parameters must not receive gradient"
+        );
+        assert!(
+            trainable_grad > 0.0,
+            "decoder parameters must receive gradient"
+        );
     }
 
     #[test]
@@ -685,8 +699,14 @@ mod tests {
                 }
             };
             net.visit_params(&mut v);
-            assert_eq!(frozen_grad, 0.0, "frozen grad leaked at TrainFrom({stage:?})");
-            assert!(trainable_grad > 0.0, "no trainable grad at TrainFrom({stage:?})");
+            assert_eq!(
+                frozen_grad, 0.0,
+                "frozen grad leaked at TrainFrom({stage:?})"
+            );
+            assert!(
+                trainable_grad > 0.0,
+                "no trainable grad at TrainFrom({stage:?})"
+            );
         }
     }
 
@@ -733,7 +753,10 @@ mod tests {
         let frac = trainable as f64 / total as f64;
         // Paper reports 21.4%; the reproduction's widths give the same order.
         assert!(frac > 0.05 && frac < 0.5, "trainable fraction {frac}");
-        assert!(total > 300_000, "paper-scale student should be ~0.5M params, got {total}");
+        assert!(
+            total > 300_000,
+            "paper-scale student should be ~0.5M params, got {total}"
+        );
     }
 
     #[test]

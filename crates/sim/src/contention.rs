@@ -1,0 +1,214 @@
+//! Analytic model of server-side contention under multi-stream serving.
+//!
+//! The paper's execution-time model (§4.4) assumes a dedicated server: the
+//! key-frame round trip is `t_net + t_ti + d·t_sd` and the only question is
+//! how much of it the client hides behind its own inference
+//! ([`crate::Concurrency`]). When S streams share a pool of W workers, two
+//! new terms appear:
+//!
+//! * **queueing** — a key frame may find its shard's worker busy with other
+//!   streams' key frames, adding waiting time to the round trip;
+//! * **batch amortization** — co-scheduled key frames share one (batched)
+//!   teacher forward pass, which *reduces* the teacher component per frame.
+//!
+//! [`ContentionModel`] captures both with a deliberately coarse M/D/c-style
+//! approximation: it is meant to predict orderings and rough magnitudes
+//! (more streams per worker → longer waits; more workers → shorter), which
+//! the live server-pool experiments sanity-check their measurements against.
+
+use crate::profile::{Concurrency, LatencyProfile};
+use serde::{Deserialize, Serialize};
+
+/// Default marginal cost of each additional co-scheduled frame in a batched
+/// teacher forward, as a fraction of a solo forward. This is the single
+/// source of truth shared by the analytic [`ContentionModel`] and the
+/// default `Teacher::batched_inference_latency` in `st-teacher` — tune it in
+/// one place and both the live pool's accounting and the model move
+/// together.
+pub const DEFAULT_BATCH_MARGINAL_COST: f64 = 0.2;
+
+/// Contention model for S streams sharing W distillation workers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContentionModel {
+    /// Number of worker threads (shards) serving key frames.
+    pub workers: usize,
+    /// Marginal cost of each additional co-scheduled frame in a batched
+    /// teacher forward, as a fraction of a solo forward (GPU teachers are
+    /// strongly sub-linear; [`DEFAULT_BATCH_MARGINAL_COST`] matches the
+    /// default `Teacher::batched_inference_latency`).
+    pub batch_marginal_cost: f64,
+}
+
+impl ContentionModel {
+    /// A model with the default batching assumption.
+    pub fn with_workers(workers: usize) -> Self {
+        ContentionModel {
+            workers: workers.max(1),
+            batch_marginal_cost: DEFAULT_BATCH_MARGINAL_COST,
+        }
+    }
+
+    /// Server service time of one key frame: the (possibly amortized)
+    /// teacher share plus `steps` distillation steps.
+    ///
+    /// `batch` is the expected number of co-scheduled key frames; `batch <=
+    /// 1` means no amortization.
+    pub fn service_time(
+        &self,
+        profile: &LatencyProfile,
+        partial: bool,
+        mean_steps: f64,
+        batch: f64,
+    ) -> f64 {
+        let b = batch.max(1.0);
+        let teacher = profile.teacher_inference * (1.0 + self.batch_marginal_cost * (b - 1.0)) / b;
+        teacher + mean_steps * profile.distill_step(partial)
+    }
+
+    /// Utilization of the worker pool: fraction of worker time consumed by
+    /// key-frame service, given `streams` clients that each produce a key
+    /// frame every `inter_arrival` seconds needing `service` seconds of work.
+    pub fn utilization(&self, streams: usize, service: f64, inter_arrival: f64) -> f64 {
+        if inter_arrival <= 0.0 {
+            return f64::INFINITY;
+        }
+        streams as f64 * service / (self.workers as f64 * inter_arrival)
+    }
+
+    /// Expected queueing delay before a key frame's service starts.
+    ///
+    /// M/D/c-flavoured approximation: delay ≈ ρ/(1−ρ) · service/2 for
+    /// utilization ρ < 1, saturating at one full busy period per competing
+    /// stream when the pool is overloaded. Exact queueing theory is beside
+    /// the point — the live pool's measured waits are compared against this
+    /// for *ordering* and order-of-magnitude agreement.
+    pub fn queueing_delay(&self, streams: usize, service: f64, inter_arrival: f64) -> f64 {
+        let rho = self.utilization(streams, service, inter_arrival);
+        let competitors = ((streams as f64 / self.workers as f64) - 1.0).max(0.0);
+        let saturated = competitors * service;
+        if rho >= 1.0 {
+            saturated
+        } else {
+            (rho / (1.0 - rho) * service / 2.0).min(saturated)
+        }
+    }
+
+    /// The key-frame round trip under contention: network + queueing +
+    /// service.
+    #[allow(clippy::too_many_arguments)]
+    pub fn round_trip(
+        &self,
+        profile: &LatencyProfile,
+        partial: bool,
+        mean_steps: f64,
+        batch: f64,
+        streams: usize,
+        inter_arrival: f64,
+        t_net: f64,
+    ) -> f64 {
+        let service = self.service_time(profile, partial, mean_steps, batch);
+        t_net + self.queueing_delay(streams, service, inter_arrival) + service
+    }
+
+    /// Predicted per-stream execution time of the `min_stride` frames after
+    /// a key frame, plugging the contended round trip into the paper's
+    /// [`Concurrency`] model (§4.4).
+    #[allow(clippy::too_many_arguments)]
+    pub fn t_c(
+        &self,
+        concurrency: Concurrency,
+        profile: &LatencyProfile,
+        partial: bool,
+        min_stride: usize,
+        mean_steps: f64,
+        batch: f64,
+        streams: usize,
+        inter_arrival: f64,
+        t_net: f64,
+    ) -> f64 {
+        let rt = self.round_trip(
+            profile,
+            partial,
+            mean_steps,
+            batch,
+            streams,
+            inter_arrival,
+            t_net,
+        );
+        concurrency.t_c(min_stride, profile.student_inference, rt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(workers: usize) -> ContentionModel {
+        ContentionModel::with_workers(workers)
+    }
+
+    #[test]
+    fn batching_amortizes_the_teacher_share() {
+        let p = LatencyProfile::paper();
+        let solo = model(1).service_time(&p, true, 4.0, 1.0);
+        let batched = model(1).service_time(&p, true, 4.0, 4.0);
+        assert!(batched < solo, "batched {batched} vs solo {solo}");
+        // Distillation steps are not amortized — only the teacher is.
+        let floor = 4.0 * p.distill_step(true);
+        assert!(batched > floor);
+        // batch <= 1 is a no-op.
+        assert!((model(1).service_time(&p, true, 4.0, 0.0) - solo).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_streams_per_worker_mean_longer_waits() {
+        let p = LatencyProfile::paper();
+        let service = model(1).service_time(&p, true, 4.0, 1.0);
+        let inter = 8.0 * p.student_inference; // a key frame every MIN_STRIDE frames
+        let m = model(1);
+        let one = m.queueing_delay(1, service, inter);
+        let four = m.queueing_delay(4, service, inter);
+        let eight = m.queueing_delay(8, service, inter);
+        assert!(one <= four && four <= eight, "{one} {four} {eight}");
+        assert!(eight > 0.0);
+    }
+
+    #[test]
+    fn more_workers_mean_shorter_waits() {
+        let p = LatencyProfile::paper();
+        let service = model(1).service_time(&p, true, 4.0, 1.0);
+        let inter = 8.0 * p.student_inference;
+        let w1 = model(1).queueing_delay(4, service, inter);
+        let w2 = model(2).queueing_delay(4, service, inter);
+        let w4 = model(4).queueing_delay(4, service, inter);
+        assert!(w1 >= w2 && w2 >= w4, "{w1} {w2} {w4}");
+        // With one worker per stream there is (almost) nothing to wait for.
+        assert!(w4 < w1 + 1e-12);
+    }
+
+    #[test]
+    fn overload_saturates_instead_of_diverging() {
+        let p = LatencyProfile::paper();
+        let service = model(1).service_time(&p, true, 8.0, 1.0);
+        // Arrivals far faster than service: utilization >> 1.
+        let delay = model(1).queueing_delay(16, service, service / 100.0);
+        assert!(delay.is_finite());
+        assert!((delay - 15.0 * service).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contended_round_trip_feeds_the_concurrency_bounds() {
+        let p = LatencyProfile::paper();
+        let m = model(2);
+        let inter = 8.0 * p.student_inference;
+        let uncontended = m.t_c(Concurrency::Full, &p, true, 8, 4.0, 1.0, 2, inter, 0.05);
+        let contended = m.t_c(Concurrency::Full, &p, true, 8, 4.0, 1.0, 16, inter, 0.05);
+        // More streams can only lengthen (or leave unchanged) the round trip,
+        // and Full concurrency keeps t_c at least the inference floor.
+        assert!(contended >= uncontended - 1e-12);
+        assert!(uncontended >= 8.0 * p.student_inference - 1e-12);
+        // The §4.4 ordering survives contention.
+        let none = m.t_c(Concurrency::None, &p, true, 8, 4.0, 1.0, 16, inter, 0.05);
+        assert!(none >= contended);
+    }
+}

@@ -15,9 +15,14 @@
 //! * [`Concurrency`] — whether the modelled client can overlap student
 //!   inference with network transfers, which is exactly the degree of freedom
 //!   that separates the lower and upper bounds of §4.4.
+//! * [`ContentionModel`] — the multi-stream extension of §4.4: queueing and
+//!   teacher-batch amortization when S streams share W distillation workers,
+//!   used to sanity-check the live server pool's measured waits.
 
 pub mod clock;
+pub mod contention;
 pub mod profile;
 
 pub use clock::{EventKind, EventLog, VirtualClock};
+pub use contention::{ContentionModel, DEFAULT_BATCH_MARGINAL_COST};
 pub use profile::{Concurrency, LatencyProfile};

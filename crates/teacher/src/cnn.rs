@@ -48,19 +48,19 @@ impl CnnTeacher {
 
     /// Pre-train the teacher on `steps` frames drawn from `generator`, using
     /// the generator's ground truth as supervision ("public education").
-    pub fn pretrain(&mut self, generator: &mut VideoGenerator, steps: usize, lr: f32) -> Result<f32> {
+    pub fn pretrain(
+        &mut self,
+        generator: &mut VideoGenerator,
+        steps: usize,
+        lr: f32,
+    ) -> Result<f32> {
         let mut opt = Adam::new(lr);
         let mut last_loss = 0.0f32;
         for _ in 0..steps {
             let frame = generator.next_frame();
             let logits = self.net.forward_train(&frame.image)?;
-            let weights = WeightMap::from_labels(
-                &frame.ground_truth,
-                frame.height,
-                frame.width,
-                0,
-                1,
-            )?;
+            let weights =
+                WeightMap::from_labels(&frame.ground_truth, frame.height, frame.width, 0, 1)?;
             let (loss, grad) = weighted_cross_entropy(&logits, &frame.ground_truth, &weights)?;
             self.net.backward(&grad)?;
             opt.step(&mut self.net);
@@ -137,7 +137,10 @@ mod tests {
         let first = t.pretrain(&mut g, 1, 0.01).unwrap();
         let later = t.pretrain(&mut g, 6, 0.01).unwrap();
         assert!(later.is_finite());
-        assert!(later < first * 1.5, "pre-training diverged: {first} -> {later}");
+        assert!(
+            later < first * 1.5,
+            "pre-training diverged: {first} -> {later}"
+        );
     }
 
     #[test]

@@ -63,13 +63,19 @@ impl Conv2dSpec {
     /// Validate the specification (non-zero kernel and stride).
     pub fn validate(&self) -> Result<()> {
         if self.kernel_h == 0 || self.kernel_w == 0 {
-            return Err(TensorError::InvalidArgument("kernel size must be non-zero".into()));
+            return Err(TensorError::InvalidArgument(
+                "kernel size must be non-zero".into(),
+            ));
         }
         if self.stride_h == 0 || self.stride_w == 0 {
-            return Err(TensorError::InvalidArgument("stride must be non-zero".into()));
+            return Err(TensorError::InvalidArgument(
+                "stride must be non-zero".into(),
+            ));
         }
         if self.in_channels == 0 || self.out_channels == 0 {
-            return Err(TensorError::InvalidArgument("channel counts must be non-zero".into()));
+            return Err(TensorError::InvalidArgument(
+                "channel counts must be non-zero".into(),
+            ));
         }
         Ok(())
     }
@@ -83,7 +89,12 @@ impl Conv2dSpec {
 
     /// Shape of the weight tensor: `(out_c, in_c, kh, kw)`.
     pub fn weight_shape(&self) -> Shape {
-        Shape::new(&[self.out_channels, self.in_channels, self.kernel_h, self.kernel_w])
+        Shape::new(&[
+            self.out_channels,
+            self.in_channels,
+            self.kernel_h,
+            self.kernel_w,
+        ])
     }
 
     /// Number of weight parameters (excluding bias).
@@ -317,7 +328,12 @@ mod tests {
     use crate::random;
 
     /// Direct (non-im2col) convolution used as a reference.
-    fn naive_conv(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: &Conv2dSpec) -> Tensor {
+    fn naive_conv(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        spec: &Conv2dSpec,
+    ) -> Tensor {
         let (_, c, h, w) = input.shape().as_nchw().unwrap();
         let (oh, ow) = spec.output_size(h, w);
         let mut out = Tensor::zeros(Shape::nchw(1, spec.out_channels, oh, ow));
@@ -424,8 +440,7 @@ mod tests {
         };
 
         let (_, cols) = conv2d_forward(&input, &weight, Some(&bias), &spec).unwrap();
-        let grads =
-            conv2d_backward(&coeff, &cols, &weight, &spec, 5, 6, true).unwrap();
+        let grads = conv2d_backward(&coeff, &cols, &weight, &spec, 5, 6, true).unwrap();
 
         let eps = 1e-2f32;
         // Check a sample of weight gradients.
@@ -436,7 +451,10 @@ mod tests {
             wm.data_mut()[idx] -= eps;
             let num = (loss(&input, &wp, &bias) - loss(&input, &wm, &bias)) / (2.0 * eps);
             let ana = grads.weight.data()[idx];
-            assert!((num - ana).abs() < 2e-2, "weight[{idx}]: num {num} vs ana {ana}");
+            assert!(
+                (num - ana).abs() < 2e-2,
+                "weight[{idx}]: num {num} vs ana {ana}"
+            );
         }
         // Check a sample of input gradients.
         let gin = grads.input.unwrap();
@@ -447,7 +465,10 @@ mod tests {
             im.data_mut()[idx] -= eps;
             let num = (loss(&ip, &weight, &bias) - loss(&im, &weight, &bias)) / (2.0 * eps);
             let ana = gin.data()[idx];
-            assert!((num - ana).abs() < 2e-2, "input[{idx}]: num {num} vs ana {ana}");
+            assert!(
+                (num - ana).abs() < 2e-2,
+                "input[{idx}]: num {num} vs ana {ana}"
+            );
         }
         // Check bias gradients.
         for idx in 0..3 {
@@ -457,7 +478,10 @@ mod tests {
             bm.data_mut()[idx] -= eps;
             let num = (loss(&input, &weight, &bp) - loss(&input, &weight, &bm)) / (2.0 * eps);
             let ana = grads.bias.data()[idx];
-            assert!((num - ana).abs() < 2e-2, "bias[{idx}]: num {num} vs ana {ana}");
+            assert!(
+                (num - ana).abs() < 2e-2,
+                "bias[{idx}]: num {num} vs ana {ana}"
+            );
         }
     }
 

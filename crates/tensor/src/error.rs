@@ -44,7 +44,10 @@ impl fmt::Display for TensorError {
                 write!(f, "shape mismatch in `{op}`: {lhs:?} vs {rhs:?}")
             }
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "buffer length mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "buffer length mismatch: expected {expected}, got {actual}"
+                )
             }
             TensorError::IndexOutOfBounds { index, len } => {
                 write!(f, "index {index} out of bounds for dimension of size {len}")

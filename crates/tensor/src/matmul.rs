@@ -17,11 +17,13 @@ use crate::{Result, Shape, Tensor, TensorError};
 const K_BLOCK: usize = 64;
 
 fn check_matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
-    t.shape().as_matrix().map_err(|_| TensorError::ShapeMismatch {
-        op,
-        lhs: t.shape().dims().to_vec(),
-        rhs: vec![0, 0],
-    })
+    t.shape()
+        .as_matrix()
+        .map_err(|_| TensorError::ShapeMismatch {
+            op,
+            lhs: t.shape().dims().to_vec(),
+            rhs: vec![0, 0],
+        })
 }
 
 /// `C = A · B` for row-major matrices `A: (m, k)`, `B: (k, n)`.

@@ -31,7 +31,11 @@ pub fn leaky_relu(x: &Tensor, alpha: f32) -> Tensor {
 }
 
 /// Leaky ReLU backward.
-pub fn leaky_relu_backward(grad_out: &Tensor, forward_input: &Tensor, alpha: f32) -> Result<Tensor> {
+pub fn leaky_relu_backward(
+    grad_out: &Tensor,
+    forward_input: &Tensor,
+    alpha: f32,
+) -> Result<Tensor> {
     if !grad_out.shape().same_as(forward_input.shape()) {
         return Err(TensorError::ShapeMismatch {
             op: "leaky_relu_backward",

@@ -105,7 +105,10 @@ where
                 s.spawn(move |_| piece.iter().fold(identity, |acc, &x| combine(acc, map(x))))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
     .expect("scoped worker panicked");
     partials.into_iter().fold(identity, combine)

@@ -13,7 +13,9 @@ use crate::{Result, Shape, Tensor, TensorError};
 /// (non-overlapping).
 pub fn avg_pool2d(input: &Tensor, k: usize) -> Result<Tensor> {
     if k == 0 {
-        return Err(TensorError::InvalidArgument("pool window must be non-zero".into()));
+        return Err(TensorError::InvalidArgument(
+            "pool window must be non-zero".into(),
+        ));
     }
     let (n, c, h, w) = input.shape().as_nchw()?;
     let oh = h / k;
@@ -45,7 +47,12 @@ pub fn avg_pool2d(input: &Tensor, k: usize) -> Result<Tensor> {
 
 /// Backward pass of [`avg_pool2d`]: spread each output gradient uniformly
 /// over its `k×k` window.
-pub fn avg_pool2d_backward(grad_out: &Tensor, k: usize, in_h: usize, in_w: usize) -> Result<Tensor> {
+pub fn avg_pool2d_backward(
+    grad_out: &Tensor,
+    k: usize,
+    in_h: usize,
+    in_w: usize,
+) -> Result<Tensor> {
     let (n, c, oh, ow) = grad_out.shape().as_nchw()?;
     let mut out = Tensor::zeros(Shape::nchw(n, c, in_h, in_w));
     let inv = 1.0 / (k * k) as f32;
@@ -74,7 +81,9 @@ pub fn avg_pool2d_backward(grad_out: &Tensor, k: usize, in_h: usize, in_w: usize
 /// Nearest-neighbour up-sampling by an integer factor.
 pub fn upsample_nearest(input: &Tensor, factor: usize) -> Result<Tensor> {
     if factor == 0 {
-        return Err(TensorError::InvalidArgument("upsample factor must be non-zero".into()));
+        return Err(TensorError::InvalidArgument(
+            "upsample factor must be non-zero".into(),
+        ));
     }
     let (n, c, h, w) = input.shape().as_nchw()?;
     let oh = h * factor;
@@ -97,7 +106,9 @@ pub fn upsample_nearest(input: &Tensor, factor: usize) -> Result<Tensor> {
 /// gradients of all output positions it was copied to.
 pub fn upsample_nearest_backward(grad_out: &Tensor, factor: usize) -> Result<Tensor> {
     if factor == 0 {
-        return Err(TensorError::InvalidArgument("upsample factor must be non-zero".into()));
+        return Err(TensorError::InvalidArgument(
+            "upsample factor must be non-zero".into(),
+        ));
     }
     let (n, c, oh, ow) = grad_out.shape().as_nchw()?;
     if oh % factor != 0 || ow % factor != 0 {
@@ -126,7 +137,12 @@ pub fn upsample_nearest_backward(grad_out: &Tensor, factor: usize) -> Result<Ten
 /// Down-sample a label map (`H*W` class indices) by taking the top-left
 /// sample of each `factor×factor` block. Used when supervising the student at
 /// a reduced output resolution.
-pub fn downsample_labels(labels: &[usize], h: usize, w: usize, factor: usize) -> Result<Vec<usize>> {
+pub fn downsample_labels(
+    labels: &[usize],
+    h: usize,
+    w: usize,
+    factor: usize,
+) -> Result<Vec<usize>> {
     if factor == 0 || !h.is_multiple_of(factor) || !w.is_multiple_of(factor) {
         return Err(TensorError::InvalidArgument(format!(
             "label map {h}x{w} not divisible by factor {factor}"

@@ -71,7 +71,11 @@ mod tests {
     fn normal_moments_roughly_correct() {
         let a = normal(Shape::vector(20_000), 1.0, 2.0, 7);
         let mean = a.mean();
-        let var = a.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = a
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / a.numel() as f32;
         assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");

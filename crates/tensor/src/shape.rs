@@ -112,7 +112,10 @@ impl Shape {
         let strides = self.strides();
         for (i, (&ix, &dim)) in index.iter().zip(self.dims.iter()).enumerate() {
             if ix >= dim {
-                return Err(TensorError::IndexOutOfBounds { index: ix, len: dim });
+                return Err(TensorError::IndexOutOfBounds {
+                    index: ix,
+                    len: dim,
+                });
             }
             off += ix * strides[i];
         }

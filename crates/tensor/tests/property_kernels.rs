@@ -10,9 +10,8 @@ use st_tensor::conv::{col2im, conv2d_forward, im2col, Conv2dSpec};
 use st_tensor::{matmul, ops, pool, random, Shape, Tensor};
 
 fn tensor_strategy(max: usize) -> impl Strategy<Value = Tensor> {
-    (1..=max, 1..=max, any::<u64>()).prop_map(|(r, c, seed)| {
-        random::uniform(Shape::matrix(r, c), -2.0, 2.0, seed)
-    })
+    (1..=max, 1..=max, any::<u64>())
+        .prop_map(|(r, c, seed)| random::uniform(Shape::matrix(r, c), -2.0, 2.0, seed))
 }
 
 proptest! {

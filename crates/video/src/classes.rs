@@ -48,7 +48,10 @@ impl SegClass {
 
     /// Label index of this class (background is 0).
     pub fn index(self) -> usize {
-        SegClass::ALL.iter().position(|&c| c == self).expect("class in ALL")
+        SegClass::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("class in ALL")
     }
 
     /// Class for a label index.

@@ -50,6 +50,20 @@ impl Resolution {
     }
 }
 
+/// A fixed-camera stream of `n` pre-generated tiny (32×24) frames for the
+/// given scene — the standard fixture the tests and benches build concurrent
+/// stream workloads from.
+pub fn tiny_stream(scene: SceneKind, seed: u64, n: usize) -> Vec<crate::Frame> {
+    let cat = VideoCategory {
+        camera: CameraMotion::Fixed,
+        scene,
+    };
+    let (w, h) = Resolution::Tiny.dims();
+    let mut gen = crate::VideoGenerator::new(VideoConfig::for_category(cat, w, h, seed))
+        .expect("tiny fixture config is valid");
+    gen.take_frames(n)
+}
+
 /// One video per paper category.
 pub fn category_videos(resolution: Resolution, seed: u64) -> Vec<VideoDescriptor> {
     let (w, h) = resolution.dims();
@@ -68,25 +82,66 @@ pub fn category_videos(resolution: Resolution, seed: u64) -> Vec<VideoDescriptor
 pub fn figure4_videos(resolution: Resolution, seed: u64) -> Vec<VideoDescriptor> {
     let (w, h) = resolution.dims();
     let scale = w as f32 / 100.0;
-    let mk = |name: &str, camera, scene, speed_mult: f32, objects: usize, change: usize, off: u64| {
-        let cat = VideoCategory { camera, scene };
-        let mut config = VideoConfig::for_category(cat, w, h, seed.wrapping_add(off));
-        config.object_speed = scene_speed(scene) * speed_mult * scale;
-        config.object_count = objects;
-        config.scene_change_interval = change;
-        VideoDescriptor {
-            name: name.to_string(),
-            config,
-        }
-    };
+    let mk =
+        |name: &str, camera, scene, speed_mult: f32, objects: usize, change: usize, off: u64| {
+            let cat = VideoCategory { camera, scene };
+            let mut config = VideoConfig::for_category(cat, w, h, seed.wrapping_add(off));
+            config.object_speed = scene_speed(scene) * speed_mult * scale;
+            config.object_count = objects;
+            config.scene_change_interval = change;
+            VideoDescriptor {
+                name: name.to_string(),
+                config,
+            }
+        };
     vec![
         // Fixed camera on a slow people scene: almost nothing changes.
-        mk("softball", CameraMotion::Fixed, SceneKind::People, 0.5, 2, 600, 1),
-        mk("figure_skating", CameraMotion::Moving, SceneKind::People, 0.9, 2, 350, 2),
-        mk("ice_hockey", CameraMotion::Moving, SceneKind::People, 1.6, 4, 220, 3),
-        mk("drone", CameraMotion::Moving, SceneKind::Street, 1.2, 5, 160, 4),
+        mk(
+            "softball",
+            CameraMotion::Fixed,
+            SceneKind::People,
+            0.5,
+            2,
+            600,
+            1,
+        ),
+        mk(
+            "figure_skating",
+            CameraMotion::Moving,
+            SceneKind::People,
+            0.9,
+            2,
+            350,
+            2,
+        ),
+        mk(
+            "ice_hockey",
+            CameraMotion::Moving,
+            SceneKind::People,
+            1.6,
+            4,
+            220,
+            3,
+        ),
+        mk(
+            "drone",
+            CameraMotion::Moving,
+            SceneKind::Street,
+            1.2,
+            5,
+            160,
+            4,
+        ),
         // Street CCTV with many fast objects and frequent content changes.
-        mk("southbeach", CameraMotion::Fixed, SceneKind::Street, 1.8, 8, 80, 5),
+        mk(
+            "southbeach",
+            CameraMotion::Fixed,
+            SceneKind::Street,
+            1.8,
+            8,
+            80,
+            5,
+        ),
     ]
 }
 
@@ -126,7 +181,12 @@ mod tests {
 
     #[test]
     fn resolutions_are_student_compatible() {
-        for r in [Resolution::Tiny, Resolution::Small, Resolution::Medium, Resolution::PaperHd] {
+        for r in [
+            Resolution::Tiny,
+            Resolution::Small,
+            Resolution::Medium,
+            Resolution::PaperHd,
+        ] {
             let (w, h) = r.dims();
             assert_eq!(w % 4, 0);
             assert_eq!(h % 4, 0);

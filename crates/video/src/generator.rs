@@ -82,7 +82,9 @@ impl VideoConfig {
     /// Validate resolution constraints.
     pub fn validate(&self) -> Result<()> {
         if self.width == 0 || self.height == 0 {
-            return Err(TensorError::InvalidArgument("frame size must be non-zero".into()));
+            return Err(TensorError::InvalidArgument(
+                "frame size must be non-zero".into(),
+            ));
         }
         if !self.width.is_multiple_of(4) || !self.height.is_multiple_of(4) {
             return Err(TensorError::InvalidArgument(format!(
@@ -120,7 +122,13 @@ impl VideoGenerator {
         let objects = (0..config.object_count)
             .map(|i| {
                 let class = classes[i % classes.len()];
-                MovingObject::spawn(class, config.width, config.height, config.object_speed, &mut rng)
+                MovingObject::spawn(
+                    class,
+                    config.width,
+                    config.height,
+                    config.object_speed,
+                    &mut rng,
+                )
             })
             .collect();
         let cam_drift_angle = rng.random::<f32>() * std::f32::consts::TAU;
@@ -137,7 +145,12 @@ impl VideoGenerator {
     }
 
     /// Convenience: a generator for a paper category at a given resolution.
-    pub fn for_category(category: VideoCategory, width: usize, height: usize, seed: u64) -> Result<Self> {
+    pub fn for_category(
+        category: VideoCategory,
+        width: usize,
+        height: usize,
+        seed: u64,
+    ) -> Result<Self> {
         VideoGenerator::new(VideoConfig::for_category(category, width, height, seed))
     }
 
@@ -154,7 +167,8 @@ impl VideoGenerator {
         // must relearn at key frames.
         let gx = (x + self.cam_x) * 0.07;
         let gy = (y + self.cam_y) * 0.05;
-        let pattern = 0.5 + 0.25 * (gx + self.background_phase).sin() * (gy - self.background_phase * 0.7).cos();
+        let pattern = 0.5
+            + 0.25 * (gx + self.background_phase).sin() * (gy - self.background_phase * 0.7).cos();
         [
             (base[0] + scene_tint[0]) * pattern,
             (base[1] + scene_tint[1]) * pattern,
@@ -205,7 +219,9 @@ impl VideoGenerator {
         self.background_phase += 0.02;
         if self.config.scene_change_interval > 0
             && self.frame_index > 0
-            && self.frame_index.is_multiple_of(self.config.scene_change_interval)
+            && self
+                .frame_index
+                .is_multiple_of(self.config.scene_change_interval)
         {
             self.scene_change();
         }
@@ -323,7 +339,9 @@ mod tests {
 
     #[test]
     fn frame_indices_increase() {
-        let frames = VideoGenerator::new(small_config(2)).unwrap().take_frames(10);
+        let frames = VideoGenerator::new(small_config(2))
+            .unwrap()
+            .take_frames(10);
         for (i, f) in frames.iter().enumerate() {
             assert_eq!(f.index, i);
         }

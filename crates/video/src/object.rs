@@ -117,7 +117,13 @@ impl MovingObject {
 
     /// Bounding box `(x0, y0, x1, y1)` clipped to a `w × h` frame under a
     /// camera offset; `None` when the object is entirely off-screen.
-    pub fn bbox(&self, w: usize, h: usize, cam_x: f32, cam_y: f32) -> Option<(usize, usize, usize, usize)> {
+    pub fn bbox(
+        &self,
+        w: usize,
+        h: usize,
+        cam_x: f32,
+        cam_y: f32,
+    ) -> Option<(usize, usize, usize, usize)> {
         let x0 = (self.x - cam_x - self.half_w).floor().max(0.0);
         let y0 = (self.y - cam_y - self.half_h).floor().max(0.0);
         let x1 = (self.x - cam_x + self.half_w).ceil().min(w as f32 - 1.0);

@@ -23,7 +23,9 @@ impl<I: Iterator<Item = Frame>> Resampler<I> {
     /// Keep one frame out of every `keep_every` source frames.
     pub fn new(inner: I, keep_every: usize) -> Result<Self> {
         if keep_every == 0 {
-            return Err(TensorError::InvalidArgument("keep_every must be non-zero".into()));
+            return Err(TensorError::InvalidArgument(
+                "keep_every must be non-zero".into(),
+            ));
         }
         Ok(Resampler {
             inner,

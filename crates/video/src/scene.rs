@@ -69,11 +69,7 @@ impl SceneKind {
                 SegClass::Giraffe,
             ],
             SceneKind::People => &[SegClass::Person, SegClass::Bicycle],
-            SceneKind::Street => &[
-                SegClass::Automobile,
-                SegClass::Person,
-                SegClass::Bicycle,
-            ],
+            SceneKind::Street => &[SegClass::Automobile, SegClass::Person, SegClass::Bicycle],
         }
     }
 
@@ -131,13 +127,34 @@ impl VideoCategory {
     /// The seven categories evaluated in the paper (Tables 3, 5, 6, 7).
     pub fn paper_categories() -> Vec<VideoCategory> {
         vec![
-            VideoCategory { camera: CameraMotion::Fixed, scene: SceneKind::Animals },
-            VideoCategory { camera: CameraMotion::Fixed, scene: SceneKind::People },
-            VideoCategory { camera: CameraMotion::Fixed, scene: SceneKind::Street },
-            VideoCategory { camera: CameraMotion::Moving, scene: SceneKind::Animals },
-            VideoCategory { camera: CameraMotion::Moving, scene: SceneKind::People },
-            VideoCategory { camera: CameraMotion::Moving, scene: SceneKind::Street },
-            VideoCategory { camera: CameraMotion::Egocentric, scene: SceneKind::People },
+            VideoCategory {
+                camera: CameraMotion::Fixed,
+                scene: SceneKind::Animals,
+            },
+            VideoCategory {
+                camera: CameraMotion::Fixed,
+                scene: SceneKind::People,
+            },
+            VideoCategory {
+                camera: CameraMotion::Fixed,
+                scene: SceneKind::Street,
+            },
+            VideoCategory {
+                camera: CameraMotion::Moving,
+                scene: SceneKind::Animals,
+            },
+            VideoCategory {
+                camera: CameraMotion::Moving,
+                scene: SceneKind::People,
+            },
+            VideoCategory {
+                camera: CameraMotion::Moving,
+                scene: SceneKind::Street,
+            },
+            VideoCategory {
+                camera: CameraMotion::Egocentric,
+                scene: SceneKind::People,
+            },
         ]
     }
 
@@ -173,8 +190,12 @@ mod tests {
     fn street_is_the_most_dynamic() {
         assert!(SceneKind::Street.typical_speed() > SceneKind::Animals.typical_speed());
         assert!(SceneKind::Animals.typical_speed() > SceneKind::People.typical_speed());
-        assert!(SceneKind::Street.scene_change_interval() < SceneKind::People.scene_change_interval());
-        assert!(SceneKind::Street.typical_object_count() > SceneKind::People.typical_object_count());
+        assert!(
+            SceneKind::Street.scene_change_interval() < SceneKind::People.scene_change_interval()
+        );
+        assert!(
+            SceneKind::Street.typical_object_count() > SceneKind::People.typical_object_count()
+        );
     }
 
     #[test]

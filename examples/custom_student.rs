@@ -24,7 +24,14 @@ fn main() {
         "{:<22} {:>14} {:>16}",
         "train from stage", "trainable %", "update KB/keyfr."
     );
-    for stage in [Stage::Sb3, Stage::Sb4, Stage::Sb5, Stage::Sb6, Stage::Out1, Stage::Out3] {
+    for stage in [
+        Stage::Sb3,
+        Stage::Sb4,
+        Stage::Sb5,
+        Stage::Sb6,
+        Stage::Out1,
+        Stage::Out3,
+    ] {
         paper_student.freeze = FreezePoint::TrainFrom(stage);
         let sizes = PayloadSizes::of(&mut paper_student);
         println!(
@@ -68,7 +75,13 @@ fn main() {
         .with_delay_model(DelayModel::Frames(1));
         let mut video = VideoGenerator::new(video_config).expect("video config");
         let record = runtime
-            .run(&category.label(), &mut video, frames, student.clone(), OracleTeacher::perfect(8))
+            .run(
+                &category.label(),
+                &mut video,
+                frames,
+                student.clone(),
+                OracleTeacher::perfect(8),
+            )
             .expect("sim run");
         println!(
             "{:<30} mIoU {:>5.1}%  key frames {:>5.2}%  mean steps {:>4.2}  update {:>7.1} KB",

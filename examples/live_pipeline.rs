@@ -29,7 +29,10 @@ fn main() {
     let mut generator = VideoGenerator::new(config).expect("video config");
     let stream = generator.take_frames(frames);
 
-    println!("processing {frames} frames of {} with a live client/server pair...", category.label());
+    println!(
+        "processing {frames} frames of {} with a live client/server pair...",
+        category.label()
+    );
     let outcome = run_live(
         ShadowTutorConfig::paper(),
         stream,
@@ -40,12 +43,26 @@ fn main() {
     .expect("live run");
 
     let record = &outcome.record;
-    println!("\nclient wall-clock time : {:.2} s ({:.1} frames/s of real compute)", record.total_time, record.fps());
-    println!("mean IoU vs teacher    : {:.1}%", record.mean_miou_percent());
-    println!("key frames sent        : {} ({:.1}% of frames)", record.key_frame_count(), record.key_frame_ratio_percent());
+    println!(
+        "\nclient wall-clock time : {:.2} s ({:.1} frames/s of real compute)",
+        record.total_time,
+        record.fps()
+    );
+    println!(
+        "mean IoU vs teacher    : {:.1}%",
+        record.mean_miou_percent()
+    );
+    println!(
+        "key frames sent        : {} ({:.1}% of frames)",
+        record.key_frame_count(),
+        record.key_frame_ratio_percent()
+    );
     println!("server key frames      : {}", outcome.server_key_frames);
     println!("server distill steps   : {}", outcome.server_distill_steps);
-    println!("uplink / downlink bytes: {} / {}", record.uplink_bytes, record.downlink_bytes);
+    println!(
+        "uplink / downlink bytes: {} / {}",
+        record.uplink_bytes, record.downlink_bytes
+    );
     println!("\nThe client never blocked on the server except when an update was still in");
     println!("flight MIN_STRIDE frames after its key frame — the paper's asynchronous");
     println!("inference in action, now with genuine thread-level concurrency.");

@@ -38,11 +38,20 @@ fn main() {
     };
     let config = VideoConfig::for_category(category, 32, 24, 42);
 
-    println!("\nrunning ShadowTutor (partial distillation) on {frames} frames of {}...", category.label());
+    println!(
+        "\nrunning ShadowTutor (partial distillation) on {frames} frames of {}...",
+        category.label()
+    );
     let runtime = SimRuntime::paper(DistillationMode::Partial).with_delay_model(DelayModel::Timing);
     let mut video = VideoGenerator::new(config).expect("video config");
     let record = runtime
-        .run(&category.label(), &mut video, frames, student.clone(), OracleTeacher::perfect(1))
+        .run(
+            &category.label(),
+            &mut video,
+            frames,
+            student.clone(),
+            OracleTeacher::perfect(1),
+        )
         .expect("sim run");
 
     println!("\nrunning the wild (no distillation) and naive-offloading baselines...");

@@ -24,9 +24,18 @@ fn main() {
         pretrain_student(StudentConfig::tiny(), &PretrainConfig::quick()).expect("pre-training");
 
     let categories = [
-        VideoCategory { camera: CameraMotion::Fixed, scene: SceneKind::People },
-        VideoCategory { camera: CameraMotion::Moving, scene: SceneKind::Animals },
-        VideoCategory { camera: CameraMotion::Moving, scene: SceneKind::Street },
+        VideoCategory {
+            camera: CameraMotion::Fixed,
+            scene: SceneKind::People,
+        },
+        VideoCategory {
+            camera: CameraMotion::Moving,
+            scene: SceneKind::Animals,
+        },
+        VideoCategory {
+            camera: CameraMotion::Moving,
+            scene: SceneKind::Street,
+        },
     ];
 
     println!(
@@ -41,14 +50,26 @@ fn main() {
         // Native-rate stream.
         let mut native_video = VideoGenerator::new(config).expect("video config");
         let native = runtime
-            .run(&category.label(), &mut native_video, frames, student.clone(), OracleTeacher::perfect(3))
+            .run(
+                &category.label(),
+                &mut native_video,
+                frames,
+                student.clone(),
+                OracleTeacher::perfect(3),
+            )
             .expect("native run");
 
         // 7 FPS resampled stream (28 FPS source -> keep every 4th frame).
         let source = VideoGenerator::new(config).expect("video config");
         let mut resampled_video = Resampler::to_fps(source, config.fps, 7.0).expect("resampler");
         let resampled = runtime
-            .run(&category.label(), &mut resampled_video, frames, student.clone(), OracleTeacher::perfect(3))
+            .run(
+                &category.label(),
+                &mut resampled_video,
+                frames,
+                student.clone(),
+                OracleTeacher::perfect(3),
+            )
             .expect("resampled run");
 
         println!(

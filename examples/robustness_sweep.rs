@@ -32,11 +32,20 @@ fn main() {
         scene: SceneKind::Street,
     };
     let config = VideoConfig::for_category(category, 32, 24, 7);
-    println!("collecting the distillation trace on {frames} frames of {}...", category.label());
+    println!(
+        "collecting the distillation trace on {frames} frames of {}...",
+        category.label()
+    );
     let runtime = SimRuntime::paper(DistillationMode::Partial).with_delay_model(DelayModel::Timing);
     let mut video = VideoGenerator::new(config).expect("video config");
     let record = runtime
-        .run(&category.label(), &mut video, frames, student, OracleTeacher::perfect(2))
+        .run(
+            &category.label(),
+            &mut video,
+            frames,
+            student,
+            OracleTeacher::perfect(2),
+        )
         .expect("sim run");
     println!(
         "trace: {} key frames ({:.1}% of frames), {:.2} mean distillation steps",

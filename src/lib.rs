@@ -6,6 +6,8 @@
 //! should depend on the individual crates (`shadowtutor`, `st-nn`,
 //! `st-video`, ...) directly.
 
+pub mod testsupport;
+
 pub use shadowtutor;
 pub use st_net;
 pub use st_nn;

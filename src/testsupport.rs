@@ -1,0 +1,53 @@
+//! Shared fixtures for the cross-crate integration tests.
+//!
+//! Several integration tests need a "publicly educated" student checkpoint
+//! (§4.1.3) and previously each re-ran [`pretrain_student`] from scratch —
+//! tens of seconds of redundant conv work per test binary. The fixture here
+//! pre-trains **once per process** behind a [`OnceLock`] and hands out
+//! clones, exactly as a deployment would stamp serving replicas from one
+//! pre-trained artifact.
+
+use shadowtutor::pretrain::{pretrain_student, PretrainConfig, PretrainReport};
+use st_nn::student::{StudentConfig, StudentNet};
+use std::sync::OnceLock;
+
+static PRETRAINED: OnceLock<(StudentNet, PretrainReport)> = OnceLock::new();
+
+/// The shared pre-training recipe: 40 quick steps of the tiny student, the
+/// strongest configuration the seed tests used.
+pub fn shared_pretrain_config() -> PretrainConfig {
+    PretrainConfig {
+        steps: 40,
+        ..PretrainConfig::quick()
+    }
+}
+
+/// A clone of the process-wide pre-trained student checkpoint (built lazily
+/// on first use) plus the pre-training report.
+pub fn pretrained_student() -> (StudentNet, PretrainReport) {
+    let (student, report) = PRETRAINED.get_or_init(|| {
+        pretrain_student(StudentConfig::tiny(), &shared_pretrain_config())
+            .expect("pre-training the shared checkpoint")
+    });
+    (student.clone(), *report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_cached_and_cloned() {
+        let (a, report_a) = pretrained_student();
+        let (b, report_b) = pretrained_student();
+        assert_eq!(report_a, report_b);
+        // Clones are independent objects with identical weights.
+        let mut a = a;
+        let mut b = b;
+        let sa =
+            st_nn::snapshot::WeightSnapshot::capture(&mut a, st_nn::snapshot::SnapshotScope::Full);
+        let sb =
+            st_nn::snapshot::WeightSnapshot::capture(&mut b, st_nn::snapshot::SnapshotScope::Full);
+        assert!(sa.distance(&sb).unwrap() < 1e-12);
+    }
+}

@@ -93,7 +93,12 @@ fn synthetic_trace() -> shadowtutor::ExperimentRecord {
         variant: "partial".into(),
         frames,
         frame_records: (0..frames)
-            .map(|i| FrameRecord { index: i, is_key_frame: i % key_every == 0, miou: 0.7, waited: false })
+            .map(|i| FrameRecord {
+                index: i,
+                is_key_frame: i % key_every == 0,
+                miou: 0.7,
+                waited: false,
+            })
             .collect(),
         key_frames: (0..frames / key_every)
             .map(|i| KeyFrameRecord {
@@ -136,7 +141,12 @@ fn measured_traffic_and_throughput_respect_the_paper_bounds() {
     let update_bytes = 395_000;
     let scaled = record.with_payload_sizes(frame_bytes, update_bytes);
     let t_net = link.key_frame_round_trip(frame_bytes, update_bytes);
-    let inputs = BoundInputs::new(&st_sim::LatencyProfile::paper(), true, t_net, frame_bytes + update_bytes);
+    let inputs = BoundInputs::new(
+        &st_sim::LatencyProfile::paper(),
+        true,
+        t_net,
+        frame_bytes + update_bytes,
+    );
 
     let fps = scaled.replay_fps(&link, Concurrency::Full);
     let tp_bounds = throughput_bounds(&config, &inputs);

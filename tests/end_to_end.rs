@@ -1,16 +1,18 @@
 //! Cross-crate integration tests: the full pipeline from video generation
-//! through the teacher, the student, the runtimes, and the report layer.
+//! through the teacher, the student, the runtimes (including the
+//! multi-stream server pool), and the report layer.
 
 use shadowtutor::baseline::{run_naive, run_wild};
 use shadowtutor::config::{DistillationMode, ShadowTutorConfig};
-use shadowtutor::pretrain::{pretrain_student, PretrainConfig};
-use shadowtutor::runtime::live::run_live;
+use shadowtutor::runtime::live::{run_live, run_live_multi, StreamSpec};
 use shadowtutor::runtime::sim::{DelayModel, SimRuntime};
+use shadowtutor::serve::PoolConfig;
+use shadowtutor_repro::testsupport::pretrained_student;
 use st_net::LinkModel;
 use st_nn::student::{StudentConfig, StudentNet};
-use st_sim::LatencyProfile;
+use st_sim::{Concurrency, ContentionModel, LatencyProfile};
 use st_teacher::OracleTeacher;
-use st_video::dataset::{category_videos, Resolution};
+use st_video::dataset::{category_videos, tiny_stream as frames_for, Resolution};
 use st_video::{CameraMotion, SceneKind, VideoCategory, VideoConfig, VideoGenerator};
 
 fn people_video(seed: u64) -> VideoGenerator {
@@ -26,21 +28,20 @@ fn shadow_education_recovers_most_of_the_teacher_accuracy() {
     // The paper's central accuracy claim in miniature: a pre-trained student
     // that fails on its own gets close(r) to the teacher once it is
     // intermittently distilled on the target stream.
-    let (student, _) = pretrain_student(
-        StudentConfig::tiny(),
-        &PretrainConfig {
-            steps: 40,
-            ..PretrainConfig::quick()
-        },
-    )
-    .unwrap();
+    let (student, _) = pretrained_student();
 
     let frames = 120;
     let runtime =
         SimRuntime::paper(DistillationMode::Partial).with_delay_model(DelayModel::Frames(1));
     let mut shadow_video = people_video(3);
     let shadow = runtime
-        .run("people", &mut shadow_video, frames, student.clone(), OracleTeacher::perfect(9))
+        .run(
+            "people",
+            &mut shadow_video,
+            frames,
+            student.clone(),
+            OracleTeacher::perfect(9),
+        )
         .unwrap();
 
     let mut wild_video = people_video(3);
@@ -77,19 +78,18 @@ fn shadow_education_recovers_most_of_the_teacher_accuracy() {
 
 #[test]
 fn shadowtutor_transfers_far_less_data_than_naive_offloading() {
-    let (student, _) = pretrain_student(
-        StudentConfig::tiny(),
-        &PretrainConfig {
-            steps: 20,
-            ..PretrainConfig::quick()
-        },
-    )
-    .unwrap();
+    let (student, _) = pretrained_student();
     let frames = 96;
     let runtime = SimRuntime::paper(DistillationMode::Partial);
     let mut shadow_video = people_video(5);
     let shadow = runtime
-        .run("people", &mut shadow_video, frames, student, OracleTeacher::perfect(2))
+        .run(
+            "people",
+            &mut shadow_video,
+            frames,
+            student,
+            OracleTeacher::perfect(2),
+        )
         .unwrap();
     let mut naive_video = people_video(5);
     let naive = run_naive(
@@ -123,14 +123,7 @@ fn shadowtutor_transfers_far_less_data_than_naive_offloading() {
 #[test]
 fn throughput_ordering_matches_the_paper_at_paper_scale_replay() {
     // Partial >= Full > Naive in FPS when replayed at paper payload sizes.
-    let (student, _) = pretrain_student(
-        StudentConfig::tiny(),
-        &PretrainConfig {
-            steps: 20,
-            ..PretrainConfig::quick()
-        },
-    )
-    .unwrap();
+    let (student, _) = pretrained_student();
     let frames = 96;
     let link = LinkModel::paper_default();
 
@@ -138,7 +131,13 @@ fn throughput_ordering_matches_the_paper_at_paper_scale_replay() {
         let runtime = SimRuntime::paper(mode).with_delay_model(DelayModel::Frames(8));
         let mut video = people_video(seed);
         runtime
-            .run("people", &mut video, frames, student.clone(), OracleTeacher::perfect(4))
+            .run(
+                "people",
+                &mut video,
+                frames,
+                student.clone(),
+                OracleTeacher::perfect(4),
+            )
             .unwrap()
     };
     let partial = run(DistillationMode::Partial, 6);
@@ -158,9 +157,18 @@ fn throughput_ordering_matches_the_paper_at_paper_scale_replay() {
             + link.downlink_time(traffic.to_client_bytes))
     };
 
-    assert!(partial_fps > naive_fps * 2.0, "partial {partial_fps:.2} vs naive {naive_fps:.2}");
-    assert!(full_fps > naive_fps, "full {full_fps:.2} vs naive {naive_fps:.2}");
-    assert!(partial_fps >= full_fps * 0.95, "partial {partial_fps:.2} vs full {full_fps:.2}");
+    assert!(
+        partial_fps > naive_fps * 2.0,
+        "partial {partial_fps:.2} vs naive {naive_fps:.2}"
+    );
+    assert!(
+        full_fps > naive_fps,
+        "full {full_fps:.2} vs naive {naive_fps:.2}"
+    );
+    assert!(
+        partial_fps >= full_fps * 0.95,
+        "partial {partial_fps:.2} vs full {full_fps:.2}"
+    );
 }
 
 #[test]
@@ -177,7 +185,13 @@ fn live_and_sim_runtimes_agree_on_protocol_behaviour() {
     let runtime = SimRuntime::paper(DistillationMode::Partial);
     let mut sim_video = VideoGenerator::new(config).unwrap();
     let sim = runtime
-        .run("animals", &mut sim_video, frames, student.clone(), OracleTeacher::perfect(7))
+        .run(
+            "animals",
+            &mut sim_video,
+            frames,
+            student.clone(),
+            OracleTeacher::perfect(7),
+        )
         .unwrap();
 
     // Live runtime over the same frames.
@@ -200,8 +214,228 @@ fn live_and_sim_runtimes_agree_on_protocol_behaviour() {
     assert!(sim.frame_records[0].is_key_frame);
     assert!(live.record.frame_records[0].is_key_frame);
     let diff = (sim.key_frame_count() as i64 - live.record.key_frame_count() as i64).abs();
-    assert!(diff <= 3, "sim {} vs live {} key frames", sim.key_frame_count(), live.record.key_frame_count());
+    assert!(
+        diff <= 3,
+        "sim {} vs live {} key frames",
+        sim.key_frame_count(),
+        live.record.key_frame_count()
+    );
     assert_eq!(live.server_key_frames, live.record.key_frame_count());
+}
+
+fn multi_specs(frames_per_stream: usize) -> Vec<StreamSpec> {
+    // Four concurrent streams with deliberately different scene content, so
+    // any cross-stream weight bleed would be visible in the checkpoints.
+    vec![
+        StreamSpec {
+            stream_id: 0,
+            label: "people-a".into(),
+            frames: frames_for(SceneKind::People, 51, frames_per_stream),
+        },
+        StreamSpec {
+            stream_id: 1,
+            label: "animals".into(),
+            frames: frames_for(SceneKind::Animals, 52, frames_per_stream),
+        },
+        StreamSpec {
+            stream_id: 2,
+            label: "street".into(),
+            frames: frames_for(SceneKind::Street, 53, frames_per_stream),
+        },
+        StreamSpec {
+            stream_id: 3,
+            label: "people-b".into(),
+            frames: frames_for(SceneKind::People, 54, frames_per_stream),
+        },
+    ]
+}
+
+#[test]
+fn multi_stream_pool_isolates_streams_and_matches_single_stream_runs() {
+    let (student, _) = pretrained_student();
+    let config = ShadowTutorConfig::paper();
+    let specs = multi_specs(32);
+
+    // Four concurrent clients against a two-shard pool: two streams per
+    // shard, so teacher batching and per-shard multiplexing are exercised.
+    let multi = run_live_multi(
+        config,
+        specs.clone(),
+        student.clone(),
+        PoolConfig::with_shards(2),
+        |shard| OracleTeacher::perfect(700 + shard as u64),
+    )
+    .unwrap();
+    assert_eq!(multi.streams.len(), 4);
+    for (outcome, spec) in multi.streams.iter().zip(&specs) {
+        assert_eq!(outcome.record.frames, spec.frames.len(), "{}", spec.label);
+        assert!(outcome.server_key_frames >= 1, "{}", spec.label);
+    }
+
+    // Per-stream isolation: serve each stream alone (same pool machinery,
+    // one stream, one shard) as its baseline. Exact checkpoint equality
+    // cannot be asserted on a wall-clock runtime — whether an update lands
+    // one frame earlier or later can shift the key-frame schedule — so the
+    // bleed check is relative: a stream's pooled checkpoint must stay far
+    // closer to its own solo baseline than to any *other* scene's baseline,
+    // and accuracy/key-frame counts must agree within a small tolerance.
+    // (Exact, deterministic isolation is asserted at the `ServeShard` layer
+    // in `shadowtutor::serve`'s unit tests.)
+    let solos: Vec<_> = specs
+        .iter()
+        .map(|spec| {
+            run_live_multi(
+                config,
+                vec![spec.clone()],
+                student.clone(),
+                PoolConfig::with_shards(1),
+                |_| OracleTeacher::perfect(900),
+            )
+            .unwrap()
+        })
+        .collect();
+    let scene_of = |label: &str| label.split('-').next().unwrap().to_string();
+    for (outcome, spec) in multi.streams.iter().zip(&specs) {
+        let solo = &solos[spec.stream_id as usize];
+        let solo_outcome = &solo.streams[0];
+        let multi_ckpt = &multi.pool.final_checkpoints[&spec.stream_id];
+        let own_distance = multi_ckpt
+            .distance(&solo.pool.final_checkpoints[&spec.stream_id])
+            .unwrap();
+        for (other, other_solo) in specs.iter().zip(&solos) {
+            if scene_of(&other.label) == scene_of(&spec.label) {
+                continue;
+            }
+            let cross_distance = multi_ckpt
+                .distance(&other_solo.pool.final_checkpoints[&other.stream_id])
+                .unwrap();
+            assert!(
+                own_distance < cross_distance,
+                "{}: pooled checkpoint is closer to {}'s baseline ({own_distance} vs {cross_distance}) — cross-stream weight bleed",
+                spec.label,
+                other.label
+            );
+        }
+        let miou_multi = outcome.record.mean_miou_percent();
+        let miou_solo = solo_outcome.record.mean_miou_percent();
+        assert!(
+            (miou_multi - miou_solo).abs() < 5.0,
+            "{}: pooled {miou_multi:.1}% vs solo {miou_solo:.1}%",
+            spec.label
+        );
+        let key_diff =
+            (outcome.server_key_frames as i64 - solo_outcome.server_key_frames as i64).abs();
+        assert!(
+            key_diff <= 2,
+            "{}: pooled {} vs solo {} server key frames",
+            spec.label,
+            outcome.server_key_frames,
+            solo_outcome.server_key_frames
+        );
+    }
+
+    // And the pool topology agrees with the paper's one-client topology: the
+    // same stream through the classic thread-per-role runtime lands on the
+    // same accuracy.
+    let classic = run_live(
+        config,
+        specs[0].frames.clone(),
+        student.clone(),
+        OracleTeacher::perfect(1000),
+        "classic-baseline",
+    )
+    .unwrap();
+    let miou_classic = classic.record.mean_miou_percent();
+    let miou_pooled = multi.streams[0].record.mean_miou_percent();
+    assert!(
+        (miou_pooled - miou_classic).abs() < 5.0,
+        "pooled {miou_pooled:.1}% vs classic {miou_classic:.1}%"
+    );
+
+    // Teacher batching across co-scheduled streams actually happened and
+    // saved virtual teacher time.
+    assert!(multi.pool.mean_batch_size() >= 1.0);
+    assert!(multi.pool.teacher_time_saved() >= 0.0);
+}
+
+#[test]
+fn live_server_contention_is_sane_against_the_sim_concurrency_model() {
+    let (student, _) = pretrained_student();
+    let config = ShadowTutorConfig::paper();
+
+    // The same four streams against one worker (maximum contention) and
+    // four workers (no sharing).
+    let run = |shards: usize| {
+        run_live_multi(
+            config,
+            multi_specs(24),
+            student.clone(),
+            PoolConfig::with_shards(shards),
+            |shard| OracleTeacher::perfect(800 + shard as u64),
+        )
+        .unwrap()
+    };
+    let contended = run(1);
+    let spread = run(4);
+    for outcome in contended.streams.iter().chain(spread.streams.iter()) {
+        assert_eq!(outcome.record.frames, 24);
+    }
+    assert!(contended.aggregate_fps() > 0.0);
+    assert!(spread.aggregate_fps() > 0.0);
+
+    // st-sim's contention model, fed with what the live run measured (mean
+    // distillation steps, mean co-scheduled batch), predicts longer queueing
+    // on one worker than on four...
+    let profile = LatencyProfile::paper();
+    let key_frames = contended.pool.total_key_frames().max(1);
+    let mean_steps = contended.pool.total_distill_steps() as f64 / key_frames as f64;
+    let mean_batch = contended.pool.mean_batch_size().max(1.0);
+    let inter_arrival = config.min_stride as f64 * profile.student_inference;
+    let m1 = ContentionModel::with_workers(1);
+    let m4 = ContentionModel::with_workers(4);
+    let service = m1.service_time(&profile, true, mean_steps, mean_batch);
+    let predicted_contended = m1.queueing_delay(4, service, inter_arrival);
+    let predicted_spread = m4.queueing_delay(4, service, inter_arrival);
+    assert!(
+        predicted_contended >= predicted_spread,
+        "model: {predicted_contended} vs {predicted_spread}"
+    );
+
+    // ...and the live pool's measured wall-clock waits point the same way
+    // (a small epsilon absorbs scheduler noise when both are ~zero).
+    let measured_contended = contended.mean_queue_wait_secs();
+    let measured_spread = spread.mean_queue_wait_secs();
+    assert!(
+        measured_contended + 1e-4 >= measured_spread,
+        "measured: {measured_contended}s vs {measured_spread}s"
+    );
+
+    // Plugging the contended round trip into the §4.4 concurrency bounds
+    // keeps their ordering: no overlap is never faster than full overlap.
+    let t_net = 0.05;
+    let t_c_none = m1.t_c(
+        Concurrency::None,
+        &profile,
+        true,
+        config.min_stride,
+        mean_steps,
+        mean_batch,
+        4,
+        inter_arrival,
+        t_net,
+    );
+    let t_c_full = m1.t_c(
+        Concurrency::Full,
+        &profile,
+        true,
+        config.min_stride,
+        mean_steps,
+        mean_batch,
+        4,
+        inter_arrival,
+        t_net,
+    );
+    assert!(t_c_none >= t_c_full);
 }
 
 #[test]
@@ -212,7 +446,13 @@ fn all_seven_categories_run_and_report_valid_metrics() {
     for descriptor in category_videos(Resolution::Tiny, 123) {
         let mut video = VideoGenerator::new(descriptor.config).unwrap();
         let record = runtime
-            .run(&descriptor.name, &mut video, 24, student.clone(), OracleTeacher::perfect(11))
+            .run(
+                &descriptor.name,
+                &mut video,
+                24,
+                student.clone(),
+                OracleTeacher::perfect(11),
+            )
             .unwrap();
         assert_eq!(record.frames, 24, "{}", descriptor.name);
         assert!(record.key_frame_count() >= 1);
