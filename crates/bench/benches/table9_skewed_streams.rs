@@ -1,0 +1,75 @@
+//! Table 9 (new in this reproduction, no paper counterpart) — fairness under
+//! skewed arrivals: one hot stream sending a multiple of the base key-frame
+//! rate against the fair (deficit-round-robin + admission-control) server
+//! pool, sweeping the hot-stream share and reporting per-class p50/p99 round
+//! trips, server-side queue waits, throttle/drop counts, and the analytic
+//! skewed-contention predictions.
+//!
+//! Criterion additionally measures the scheduler hot path: one
+//! deficit-round-robin drain over a deeply skewed backlog.
+//!
+//! Knobs (for CI's tiny smoke sweep):
+//!
+//! * `TABLE9_SWEEP=smoke` shrinks the sweep and per-stream key-frame counts.
+//! * `TABLE9_JSON=<path>` additionally writes the table as JSON (uploaded
+//!   next to the reproduce artifact).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shadowtutor::serve::FairScheduler;
+use st_bench::json::table_to_json;
+use st_bench::tables::table9_skewed;
+use std::time::Instant;
+
+/// A scheduler with one hot stream holding a deep backlog plus cold
+/// single-job streams — the drain pattern the worker runs per batch.
+fn loaded_scheduler() -> FairScheduler {
+    let mut scheduler = FairScheduler::new(1);
+    let now = Instant::now();
+    for i in 0..64 {
+        scheduler.push(0, i, now);
+    }
+    for stream in 1..8u64 {
+        scheduler.push(stream, 0, now);
+    }
+    scheduler
+}
+
+fn skewed_streams_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table9_skewed_streams");
+    group.sample_size(10);
+    group.bench_function("drr_drain_batch8", |bench| {
+        bench.iter(|| {
+            let mut scheduler = loaded_scheduler();
+            let mut drained = 0usize;
+            while !scheduler.is_empty() {
+                drained += scheduler.next_batch(8).len();
+            }
+            drained
+        })
+    });
+    group.finish();
+
+    // The fairness sweep itself: hot-stream share vs per-class round trips.
+    let smoke = std::env::var("TABLE9_SWEEP").as_deref() == Ok("smoke");
+    let (sweep, streams, key_frames): (&[usize], usize, usize) = if smoke {
+        (&[1, 8], 4, 2)
+    } else {
+        (&[1, 4, 8], 4, 6)
+    };
+    let table = table9_skewed(sweep, streams, key_frames);
+    println!("\n{}", table.text);
+
+    if let Ok(path) = std::env::var("TABLE9_JSON") {
+        let json = table_to_json(&table);
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("wrote JSON artifact: {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+criterion_group!(benches, skewed_streams_benchmark);
+criterion_main!(benches);

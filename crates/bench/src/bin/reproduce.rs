@@ -4,13 +4,16 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [scale] [target...] [--json <path>]
+//! reproduce [scale] [target...] [--json <path>] [--skew <multiplier>]
 //!
 //! scale   smoke | default | extended      (default: default)
-//! target  table2 table3 table4 table5 table6 table7 figure4 bounds ablation all
-//!         (default: all)
+//! target  table2 table3 table4 table5 table6 table7 table9 figure4 bounds
+//!         ablation all                    (default: all)
 //! --json  also write every reproduced table as JSON to <path>
 //!         (CI uploads this as the run's machine-readable artifact)
+//! --skew  hot-stream multiplier for the table9 skewed-arrival sweep; also
+//!         recorded in the JSON schema's `skew` field (default 8 when the
+//!         table9 target is requested without --skew)
 //! ```
 //!
 //! Example: `cargo run --release -p st-bench --bin reproduce -- smoke table6`
@@ -18,7 +21,8 @@
 use st_bench::figures::figure4;
 use st_bench::json::run_to_json;
 use st_bench::tables::{
-    ablation_stride, bounds_check, table2, table4, table6, table7, tables_3_and_5, TableOutput,
+    ablation_stride, bounds_check, table2, table4, table6, table7, table9_skewed, tables_3_and_5,
+    TableOutput,
 };
 use st_bench::{ExperimentScale, SharedSetup};
 use std::time::Instant;
@@ -28,6 +32,7 @@ fn main() {
     let mut scale = ExperimentScale::Default;
     let mut targets: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
+    let mut skew: Option<usize> = None;
     let mut args_iter = args.iter();
     while let Some(arg) = args_iter.next() {
         if arg == "--json" {
@@ -36,6 +41,16 @@ fn main() {
                 eprintln!("--json requires a path argument");
                 std::process::exit(2);
             }
+        } else if arg == "--skew" {
+            let Some(value) = args_iter.next().and_then(|v| v.parse::<usize>().ok()) else {
+                eprintln!("--skew requires a positive integer multiplier");
+                std::process::exit(2);
+            };
+            if value == 0 {
+                eprintln!("--skew requires a positive integer multiplier");
+                std::process::exit(2);
+            }
+            skew = Some(value);
         } else if let Some(s) = ExperimentScale::parse(arg) {
             scale = s;
         } else {
@@ -94,12 +109,24 @@ fn main() {
     if want("ablation") {
         emit(ablation_stride(&setup), &mut produced);
     }
+    if want("table9") || skew.is_some() {
+        // The skewed-arrival fairness sweep runs the live pool under an
+        // adversarial hot stream; --skew sets the top multiplier.
+        let top = skew.unwrap_or(8).max(1);
+        let sweep: Vec<usize> = if top == 1 { vec![1] } else { vec![1, top] };
+        let (streams, key_frames) = match scale {
+            ExperimentScale::Smoke => (4, 3),
+            ExperimentScale::Default => (4, 6),
+            ExperimentScale::Extended => (8, 10),
+        };
+        emit(table9_skewed(&sweep, streams, key_frames), &mut produced);
+    }
     let total = start.elapsed().as_secs_f64();
     println!("total wall time: {total:.1}s");
 
     if let Some(path) = json_path {
         let scale_label = format!("{scale:?}").to_lowercase();
-        let json = run_to_json(&scale_label, &produced, total);
+        let json = run_to_json(&scale_label, skew, &produced, total);
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);

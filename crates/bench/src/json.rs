@@ -65,13 +65,25 @@ pub fn table_to_json(table: &TableOutput) -> String {
     out
 }
 
-/// Render a full reproduce run (scale label + tables + wall time) as JSON.
-pub fn run_to_json(scale: &str, tables: &[TableOutput], total_seconds: f64) -> String {
+/// Render a full reproduce run (scale label + skew knob + tables + wall
+/// time) as JSON.
+///
+/// `skew` is the hot-stream multiplier the run's skewed-arrival sweep
+/// (`reproduce --skew N`, Table 9) was driven with; `None` renders as
+/// `null`, so consumers can tell "no skew sweep ran" from "ran at 1x".
+pub fn run_to_json(
+    scale: &str,
+    skew: Option<usize>,
+    tables: &[TableOutput],
+    total_seconds: f64,
+) -> String {
     let mut out = String::new();
+    let skew_json = skew.map_or("null".to_string(), |s| s.to_string());
     let _ = write!(
         out,
-        "{{\"scale\":\"{}\",\"total_seconds\":{},\"tables\":[",
+        "{{\"scale\":\"{}\",\"skew\":{},\"total_seconds\":{},\"tables\":[",
         escape(scale),
+        skew_json,
         number(total_seconds)
     );
     for (i, table) in tables.iter().enumerate() {
@@ -115,9 +127,18 @@ mod tests {
 
     #[test]
     fn runs_embed_every_table() {
-        let json = run_to_json("smoke", &[table(), table()], 12.5);
-        assert!(json.starts_with("{\"scale\":\"smoke\",\"total_seconds\":12.5"));
+        let json = run_to_json("smoke", None, &[table(), table()], 12.5);
+        assert!(json.starts_with("{\"scale\":\"smoke\",\"skew\":null,\"total_seconds\":12.5"));
         assert_eq!(json.matches("\"id\":\"Table X\"").count(), 2);
+    }
+
+    #[test]
+    fn skew_knob_lands_in_the_schema() {
+        let json = run_to_json("smoke", Some(8), &[table()], 1.0);
+        assert!(json.contains("\"skew\":8,"));
+        // Balanced braces/brackets with the new field in place.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

@@ -8,12 +8,16 @@
 use crate::workloads::{SharedSetup, Variant};
 use shadowtutor::bounds::{throughput_bounds, traffic_bounds, BoundInputs};
 use shadowtutor::config::{DistillationMode, ShadowTutorConfig};
+use shadowtutor::loadgen::{percentile, run_skewed_load, PacedTeacher, SkewedLoadSpec};
+use shadowtutor::serve::PoolConfig;
 use shadowtutor::stride::StridePolicy;
 use shadowtutor::ExperimentRecord;
 use st_net::{KeyFrameTraffic, LinkModel, NaiveTraffic};
 use st_nn::snapshot::PayloadSizes;
 use st_nn::student::{StudentConfig, StudentNet};
-use st_sim::Concurrency;
+use st_sim::{Concurrency, ContentionModel};
+use st_teacher::OracleTeacher;
+use std::time::Duration;
 
 /// A reproduced table: a human-readable rendering plus machine-readable rows.
 #[derive(Debug, Clone)]
@@ -393,6 +397,116 @@ pub fn ablation_stride(setup: &SharedSetup) -> TableOutput {
         ("KF %".to_string(), ratio_col),
     ];
     out.render("Ablation: key-frame scheduling policies (moving/street)");
+    out
+}
+
+/// Table 9 (new in this reproduction, no paper counterpart) — fairness under
+/// skewed arrivals: per-stream round trips and server-side queue waits when
+/// one hot stream sends a multiple of the base key-frame rate against a
+/// one-shard pool, next to the analytic skewed-contention predictions
+/// (cold-stream fair delay vs what a FIFO drain would have cost everyone).
+///
+/// `multipliers` is the hot-stream sweep (e.g. `[1, 4, 8]`); `streams` and
+/// `key_frames_per_stream` size the run (the `--skew` smoke sweep in CI uses
+/// tiny values).
+pub fn table9_skewed(
+    multipliers: &[usize],
+    streams: usize,
+    key_frames_per_stream: usize,
+) -> TableOutput {
+    let mut out = TableOutput::new("Table 9");
+    let mut cold_p50 = Vec::new();
+    let mut cold_p99 = Vec::new();
+    let mut hot_p50 = Vec::new();
+    let mut cold_wait = Vec::new();
+    let mut hot_wait = Vec::new();
+    let mut throttled = Vec::new();
+    let mut dropped = Vec::new();
+    let mut model_cold = Vec::new();
+    let mut model_fifo = Vec::new();
+    // Real wall-clock teacher pacing so queueing is physical; the base send
+    // interval leaves a one-shard pool comfortably underloaded at 1x and
+    // saturated by the hot stream at 8x.
+    let pace = Duration::from_millis(2);
+    let send_interval = Duration::from_millis(20);
+    let student = StudentNet::new(StudentConfig::tiny()).expect("tiny student");
+    for &multiplier in multipliers {
+        let outcome = run_skewed_load(
+            ShadowTutorConfig::paper(),
+            PoolConfig {
+                shards: 1,
+                recv_timeout: Duration::from_millis(200),
+                ..PoolConfig::default_pool()
+            },
+            student.clone(),
+            0.013,
+            |shard| PacedTeacher::new(OracleTeacher::perfect(1700 + shard as u64), pace),
+            SkewedLoadSpec {
+                streams,
+                hot_multiplier: multiplier,
+                key_frames_per_stream,
+                send_interval,
+                seed: 4242 + multiplier as u64,
+            },
+        )
+        .expect("skewed load run");
+
+        let cold_rts: Vec<f64> = outcome
+            .cold()
+            .iter()
+            .flat_map(|r| r.round_trips.iter().copied().map(|s| 1e3 * s))
+            .collect();
+        let hot_rts: Vec<f64> = outcome.hot().round_trips.iter().map(|s| 1e3 * s).collect();
+        let mean_wait_ms = |ids: &mut dyn Iterator<Item = u64>| -> f64 {
+            let waits: Vec<f64> = ids
+                .filter_map(|id| outcome.pool.streams.get(&id))
+                .map(|s| 1e3 * s.mean_queue_wait_secs())
+                .collect();
+            if waits.is_empty() {
+                0.0
+            } else {
+                waits.iter().sum::<f64>() / waits.len() as f64
+            }
+        };
+
+        // Feed the model the *measured* mean per-key-frame service time so
+        // its predictions are in the same wall-clock units as the run.
+        let key_frames = outcome.pool.total_key_frames().max(1);
+        let busy: f64 = outcome
+            .pool
+            .shards
+            .iter()
+            .map(|s| s.busy_time.as_secs_f64())
+            .sum();
+        let service = busy / key_frames as f64;
+        let model = ContentionModel::with_workers(1);
+        let inter = send_interval.as_secs_f64();
+
+        out.row_labels.push(format!("hot x{multiplier}"));
+        cold_p50.push(percentile(&cold_rts, 50.0));
+        cold_p99.push(percentile(&cold_rts, 99.0));
+        hot_p50.push(percentile(&hot_rts, 50.0));
+        cold_wait.push(mean_wait_ms(&mut (1..streams as u64)));
+        hot_wait.push(mean_wait_ms(&mut std::iter::once(0u64)));
+        throttled.push(outcome.pool.throttled() as f64);
+        dropped.push(outcome.pool.dropped_jobs() as f64);
+        model_cold.push(1e3 * model.skewed_delay_cold_fair(streams, service, inter));
+        model_fifo.push(1e3 * model.skewed_delay_fifo(streams, multiplier as f64, service, inter));
+    }
+    out.columns = vec![
+        ("cold p50 ms".to_string(), cold_p50),
+        ("cold p99 ms".to_string(), cold_p99),
+        ("hot p50 ms".to_string(), hot_p50),
+        ("cold wait ms".to_string(), cold_wait),
+        ("hot wait ms".to_string(), hot_wait),
+        ("throttled".to_string(), throttled),
+        ("dropped".to_string(), dropped),
+        ("model cold ms".to_string(), model_cold),
+        ("model FIFO ms".to_string(), model_fifo),
+    ];
+    out.render(&format!(
+        "Table 9 — fairness under skewed arrivals ({streams} streams, 1 shard, DRR + admission control)"
+    ));
     out
 }
 

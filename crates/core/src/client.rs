@@ -41,6 +41,7 @@ pub struct ClientState {
     frames_since_key: usize,
     key_frames_sent: usize,
     updates_applied: usize,
+    updates_abandoned: usize,
     waits: usize,
 }
 
@@ -55,6 +56,7 @@ impl ClientState {
             frames_since_key: 0,
             key_frames_sent: 0,
             updates_applied: 0,
+            updates_abandoned: 0,
             waits: 0,
             policy: StridePolicy::Adaptive,
             config,
@@ -123,6 +125,26 @@ impl ClientState {
         self.stride = self.policy.next(&self.config, self.stride, metric);
         self.update_outstanding = false;
         self.updates_applied += 1;
+    }
+
+    /// Record that the in-flight update will never arrive — the server
+    /// throttled or dropped the key frame — and fall back to local-only
+    /// inference.
+    ///
+    /// The stride is left unchanged (there is no post-training metric to
+    /// feed Algorithm 2), so the next key frame is still sent on the current
+    /// schedule; the client just stops waiting for this one. A no-op when no
+    /// update is outstanding, so late rejection messages are harmless.
+    pub fn abandon_update(&mut self) {
+        if self.update_outstanding {
+            self.update_outstanding = false;
+            self.updates_abandoned += 1;
+        }
+    }
+
+    /// Number of in-flight updates abandoned after a server throttle/drop.
+    pub fn updates_abandoned(&self) -> usize {
+        self.updates_abandoned
     }
 
     /// Number of frames processed since the last key frame (including it).
@@ -254,6 +276,36 @@ mod tests {
         for pair in keys.windows(2) {
             assert_eq!(pair[1] - pair[0], 16);
         }
+    }
+
+    #[test]
+    fn abandoned_update_unblocks_without_touching_the_stride() {
+        let mut s = state();
+        let d0 = s.begin_frame();
+        assert!(d0.is_key_frame);
+        assert!(s.update_outstanding());
+        let stride_before = s.stride();
+        // The server throttled the key frame: local fallback.
+        s.abandon_update();
+        assert!(!s.update_outstanding());
+        assert_eq!(s.stride(), stride_before);
+        assert_eq!(s.updates_abandoned(), 1);
+        assert_eq!(s.updates_applied(), 0);
+        // Abandoning again is a no-op (late Throttle after the fact).
+        s.abandon_update();
+        assert_eq!(s.updates_abandoned(), 1);
+        // With nothing outstanding, even the deferral-deadline frame
+        // (frames_since_key == MIN_STRIDE) does not force a wait.
+        for i in 1..s.config.min_stride {
+            let d = s.begin_frame();
+            assert!(!d.is_key_frame, "frame {i}");
+            assert!(!d.must_wait_for_update, "frame {i}");
+        }
+        assert_eq!(s.forced_waits(), 0);
+        // The schedule still sends the next key frame on the unchanged stride.
+        let d = s.begin_frame();
+        assert!(d.is_key_frame);
+        assert_eq!(s.key_frames_sent(), 2);
     }
 
     #[test]

@@ -22,7 +22,12 @@
 //!   shared by both runtimes.
 //! * [`serve`] — the multi-stream server runtime: a sharded pool of worker
 //!   threads, one distillation session per client stream, with teacher
-//!   forward passes batched across co-scheduled key frames.
+//!   forward passes batched across co-scheduled key frames, fair
+//!   deficit-round-robin batching, per-stream admission control, and
+//!   load-adaptive co-scheduling.
+//! * [`loadgen`] — an open-loop skewed load generator (one hot stream at a
+//!   multiple of the base key-frame rate) measuring per-stream round trips
+//!   against a live pool; used by the fairness tests and benches.
 //! * [`runtime`] — a deterministic **virtual-time runtime** (used by every
 //!   table/figure reproduction) and a **threaded live runtime** built on
 //!   crossbeam channels (client and server as real threads).
@@ -38,6 +43,7 @@ pub mod baseline;
 pub mod bounds;
 pub mod client;
 pub mod config;
+pub mod loadgen;
 pub mod pretrain;
 pub mod report;
 pub mod runtime;
@@ -46,7 +52,7 @@ pub mod server;
 pub mod stride;
 pub mod train;
 
-pub use config::{DistillationMode, PaperConstants, ShadowTutorConfig};
+pub use config::{DistillationMode, PaperConstants, PlacementPolicy, ShadowTutorConfig};
 pub use report::{ExperimentRecord, FrameRecord, KeyFrameRecord};
 pub use runtime::sim::{DelayModel, SimRuntime};
 pub use stride::next_stride;

@@ -1,0 +1,458 @@
+//! Open-loop skewed load generation against a live [`ServerPool`].
+//!
+//! The cooperative client of Algorithm 4 sends at most one key frame per
+//! stride, so it can never expose unfairness in the pool. This module drives
+//! the pool with *raw* [`StreamClient`] endpoints instead: every stream
+//! sends key frames on a fixed open-loop schedule, and one **hot** stream
+//! sends at a multiple of the base rate — the adversarial arrival pattern
+//! the paper's §4.4 concurrency analysis (and our
+//! [`st_sim::ContentionModel`]) assumes away. The generator measures what
+//! each stream actually experienced: client-observed round trips per
+//! serviced key frame, plus throttle/drop counts from the pool's admission
+//! control.
+//!
+//! Used by the fairness end-to-end tests and the `table9_skewed_streams`
+//! bench; [`PacedTeacher`] makes the teacher's wall-clock cost real (and
+//! sub-linear in batch size) so queueing is physical rather than simulated.
+
+use crate::config::ShadowTutorConfig;
+use crate::serve::{PoolConfig, PoolStats, ServerPool, StreamClient};
+use crate::Result;
+use st_net::transport::ClientEndpoint;
+use st_net::{ClientToServer, Payload, ServerToClient, StreamId, TransportError};
+use st_nn::student::StudentNet;
+use st_teacher::Teacher;
+use st_tensor::TensorError;
+use st_video::dataset::tiny_stream;
+use st_video::{Frame, SceneKind};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// A teacher whose forward passes cost real wall-clock time.
+///
+/// Wraps any [`Teacher`] and sleeps `forward_pause` per solo forward; a
+/// batched forward sleeps `forward_pause * (1 + 0.2 (b - 1))` — the same
+/// sub-linear shape as the default virtual
+/// [`Teacher::batched_inference_latency`] — so co-scheduling pays off in
+/// wall-clock terms too. The *virtual* latencies still come from the inner
+/// teacher, keeping the analytic accounting unchanged.
+pub struct PacedTeacher<T: Teacher> {
+    inner: T,
+    forward_pause: Duration,
+}
+
+impl<T: Teacher> PacedTeacher<T> {
+    /// Pace `inner` at `forward_pause` wall-clock per solo forward.
+    pub fn new(inner: T, forward_pause: Duration) -> Self {
+        PacedTeacher {
+            inner,
+            forward_pause,
+        }
+    }
+}
+
+impl<T: Teacher> Teacher for PacedTeacher<T> {
+    fn pseudo_label(&mut self, frame: &Frame) -> st_teacher::Result<Vec<usize>> {
+        std::thread::sleep(self.forward_pause);
+        self.inner.pseudo_label(frame)
+    }
+
+    fn pseudo_label_batch(&mut self, frames: &[&Frame]) -> st_teacher::Result<Vec<Vec<usize>>> {
+        if !frames.is_empty() {
+            let scaled = 1.0 + 0.2 * (frames.len() as f64 - 1.0);
+            std::thread::sleep(self.forward_pause.mul_f64(scaled));
+        }
+        frames.iter().map(|f| self.inner.pseudo_label(f)).collect()
+    }
+
+    fn inference_latency(&self) -> f64 {
+        self.inner.inference_latency()
+    }
+
+    fn batched_inference_latency(&self, batch: usize) -> f64 {
+        self.inner.batched_inference_latency(batch)
+    }
+
+    fn param_count(&self) -> usize {
+        self.inner.param_count()
+    }
+}
+
+/// Parameters of one skewed-load run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkewedLoadSpec {
+    /// Total client streams; stream 0 is the hot one.
+    pub streams: usize,
+    /// The hot stream sends this multiple of the base key-frame rate
+    /// (1 = uniform load).
+    pub hot_multiplier: usize,
+    /// Key frames each *cold* stream sends (the hot stream sends
+    /// `hot_multiplier` times as many over the same wall-clock window).
+    pub key_frames_per_stream: usize,
+    /// Gap between a cold stream's sends — the base inter-arrival time.
+    pub send_interval: Duration,
+    /// Seed for the synthetic frame content.
+    pub seed: u64,
+}
+
+impl SkewedLoadSpec {
+    /// Validate parameter consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.streams == 0 || self.hot_multiplier == 0 || self.key_frames_per_stream == 0 {
+            return Err(TensorError::InvalidArgument(
+                "skewed load needs at least one stream, 1x multiplier, one key frame".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One stream's client-side view of a skewed-load run.
+#[derive(Debug, Clone)]
+pub struct StreamLoadReport {
+    /// The stream.
+    pub stream_id: StreamId,
+    /// Whether this was the hot stream.
+    pub hot: bool,
+    /// Key frames sent.
+    pub sent: usize,
+    /// `StudentUpdate`s received.
+    pub updates: usize,
+    /// `Throttle`s received (admission control rejected the key frame).
+    pub throttled: usize,
+    /// `Dropped`s received.
+    pub dropped: usize,
+    /// Client-observed round trip (send → update) per serviced key frame,
+    /// in seconds, in completion order.
+    pub round_trips: Vec<f64>,
+}
+
+impl StreamLoadReport {
+    /// Mean round trip over the serviced key frames (0.0 when none).
+    pub fn mean_round_trip(&self) -> f64 {
+        if self.round_trips.is_empty() {
+            0.0
+        } else {
+            self.round_trips.iter().sum::<f64>() / self.round_trips.len() as f64
+        }
+    }
+
+    /// The `p`-th percentile round trip (`p` in `[0, 100]`; 0.0 when no key
+    /// frame was serviced).
+    pub fn percentile_round_trip(&self, p: f64) -> f64 {
+        percentile(&self.round_trips, p)
+    }
+}
+
+/// The `p`-th percentile of an unsorted sample by nearest-rank rounding
+/// (`p` in `[0, 100]`; 0.0 when the sample is empty). Shared by the
+/// per-stream reports here and the Table 9 aggregation in `st-bench`.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    sorted[rank.round() as usize]
+}
+
+/// Outcome of a skewed-load run: per-stream client measurements plus the
+/// pool's own statistics.
+#[derive(Debug)]
+pub struct SkewedLoadOutcome {
+    /// Per-stream reports, indexed by stream id (stream 0 is hot).
+    pub streams: Vec<StreamLoadReport>,
+    /// Server-pool statistics (per-stream waits, throttles, drops).
+    pub pool: PoolStats,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_time: f64,
+}
+
+impl SkewedLoadOutcome {
+    /// The hot stream's report.
+    pub fn hot(&self) -> &StreamLoadReport {
+        &self.streams[0]
+    }
+
+    /// The cold streams' reports.
+    pub fn cold(&self) -> &[StreamLoadReport] {
+        &self.streams[1..]
+    }
+}
+
+const SCENES: [SceneKind; 3] = [SceneKind::People, SceneKind::Animals, SceneKind::Street];
+
+/// Drive a pool with `spec.streams` open-loop clients, stream 0 sending
+/// `spec.hot_multiplier`× the base key-frame rate, and collect per-stream
+/// round trips plus pool statistics.
+pub fn run_skewed_load<T, F>(
+    config: ShadowTutorConfig,
+    pool_config: PoolConfig,
+    student: StudentNet,
+    distill_step_latency: f64,
+    teacher_factory: F,
+    spec: SkewedLoadSpec,
+) -> Result<SkewedLoadOutcome>
+where
+    T: Teacher + Send + 'static,
+    F: FnMut(usize) -> T,
+{
+    spec.validate()?;
+    config.validate()?;
+    pool_config.validate()?;
+    let started = Instant::now();
+    let pool = ServerPool::spawn(
+        config,
+        pool_config,
+        student,
+        distill_step_latency,
+        teacher_factory,
+    )?;
+
+    // Connect every stream up front so placement is deterministic in id
+    // order, then drive each client on its own thread. Each stream gets one
+    // distinct frame per send so round trips match unambiguously by index.
+    let mut clients: Vec<StreamClient> = Vec::with_capacity(spec.streams);
+    let mut frame_sets: Vec<Vec<Frame>> = Vec::with_capacity(spec.streams);
+    for s in 0..spec.streams {
+        let sends = spec.key_frames_per_stream * if s == 0 { spec.hot_multiplier } else { 1 };
+        let frames = tiny_stream(SCENES[s % SCENES.len()], spec.seed + s as u64, sends);
+        clients.push(pool.connect(s as u64, &frames)?);
+        frame_sets.push(frames);
+    }
+
+    let mut reports: Vec<Result<StreamLoadReport>> = Vec::with_capacity(spec.streams);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(spec.streams);
+        for (s, (client, frames)) in clients.into_iter().zip(frame_sets).enumerate() {
+            let hot = s == 0;
+            let interval = if hot {
+                spec.send_interval / spec.hot_multiplier as u32
+            } else {
+                spec.send_interval
+            };
+            handles.push(
+                scope.spawn(move || drive_open_loop(client, frames, interval, s as u64, hot)),
+            );
+        }
+        for handle in handles {
+            reports.push(handle.join().unwrap_or_else(|_| {
+                Err(TensorError::InvalidArgument(
+                    "load-generator client thread panicked".into(),
+                ))
+            }));
+        }
+    });
+
+    let pool_stats = pool.join()?;
+    let wall_time = started.elapsed().as_secs_f64();
+    let streams = reports.into_iter().collect::<Result<Vec<_>>>()?;
+    Ok(SkewedLoadOutcome {
+        streams,
+        pool: pool_stats,
+        wall_time,
+    })
+}
+
+/// One open-loop client: send every frame on the fixed schedule, absorbing
+/// responses as they arrive, then drain the tail and shut down.
+fn drive_open_loop(
+    mut client: StreamClient,
+    frames: Vec<Frame>,
+    interval: Duration,
+    stream_id: StreamId,
+    hot: bool,
+) -> Result<StreamLoadReport> {
+    let mut report = StreamLoadReport {
+        stream_id,
+        hot,
+        sent: 0,
+        updates: 0,
+        throttled: 0,
+        dropped: 0,
+        round_trips: Vec::with_capacity(frames.len()),
+    };
+    // The initial checkpoint arrives first.
+    client
+        .recv_timeout(Duration::from_secs(30))
+        .map_err(|e| TensorError::InvalidArgument(format!("no initial checkpoint: {e:?}")))?;
+
+    let mut sent_at: HashMap<usize, Instant> = HashMap::with_capacity(frames.len());
+    let mut outstanding = 0usize;
+    for frame in &frames {
+        let payload = Payload::sized(frame.raw_rgb_bytes());
+        let bytes = payload.bytes;
+        sent_at.insert(frame.index, Instant::now());
+        client
+            .send(
+                ClientToServer::KeyFrame {
+                    frame_index: frame.index,
+                    payload,
+                },
+                bytes,
+            )
+            .map_err(|e| TensorError::InvalidArgument(format!("uplink send failed: {e:?}")))?;
+        report.sent += 1;
+        outstanding += 1;
+        while let Ok(Some(message)) = client.try_recv() {
+            absorb(message, &mut sent_at, &mut report, &mut outstanding);
+        }
+        std::thread::sleep(interval);
+    }
+    // The pool answers every key frame (update, throttle, or drop ack);
+    // wait for the stragglers before shutting the stream down.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while outstanding > 0 && Instant::now() < deadline {
+        match client.recv_timeout(Duration::from_millis(200)) {
+            Ok(message) => absorb(message, &mut sent_at, &mut report, &mut outstanding),
+            Err(TransportError::Timeout) => continue,
+            Err(_) => break,
+        }
+    }
+    client.send(ClientToServer::Shutdown, 1).ok();
+    Ok(report)
+}
+
+/// Fold one downlink message into the stream's report.
+fn absorb(
+    message: ServerToClient,
+    sent_at: &mut HashMap<usize, Instant>,
+    report: &mut StreamLoadReport,
+    outstanding: &mut usize,
+) {
+    match message {
+        ServerToClient::StudentUpdate { frame_index, .. } => {
+            if let Some(t0) = sent_at.remove(&frame_index) {
+                report.round_trips.push(t0.elapsed().as_secs_f64());
+            }
+            report.updates += 1;
+            *outstanding = outstanding.saturating_sub(1);
+        }
+        ServerToClient::Throttle { frame_index } => {
+            sent_at.remove(&frame_index);
+            report.throttled += 1;
+            *outstanding = outstanding.saturating_sub(1);
+        }
+        ServerToClient::Dropped { frame_index, .. } => {
+            sent_at.remove(&frame_index);
+            report.dropped += 1;
+            *outstanding = outstanding.saturating_sub(1);
+        }
+        ServerToClient::InitialStudent { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_nn::student::StudentConfig;
+    use st_teacher::OracleTeacher;
+
+    #[test]
+    fn spec_validation_rejects_degenerate_loads() {
+        let good = SkewedLoadSpec {
+            streams: 2,
+            hot_multiplier: 4,
+            key_frames_per_stream: 3,
+            send_interval: Duration::from_millis(5),
+            seed: 1,
+        };
+        assert!(good.validate().is_ok());
+        assert!(SkewedLoadSpec { streams: 0, ..good }.validate().is_err());
+        assert!(SkewedLoadSpec {
+            hot_multiplier: 0,
+            ..good
+        }
+        .validate()
+        .is_err());
+        assert!(SkewedLoadSpec {
+            key_frames_per_stream: 0,
+            ..good
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn paced_teacher_passes_through_labels_and_latencies() {
+        let frames = tiny_stream(SceneKind::People, 7, 1);
+        let mut inner = OracleTeacher::perfect(7);
+        let expected = inner.pseudo_label(&frames[0]).unwrap();
+        let mut paced = PacedTeacher::new(OracleTeacher::perfect(7), Duration::from_micros(10));
+        assert_eq!(paced.pseudo_label(&frames[0]).unwrap(), expected);
+        let batched = paced.pseudo_label_batch(&[&frames[0]]).unwrap();
+        assert_eq!(batched[0], expected);
+        assert_eq!(paced.inference_latency(), inner.inference_latency());
+        assert_eq!(
+            paced.batched_inference_latency(3),
+            inner.batched_inference_latency(3)
+        );
+        assert_eq!(paced.param_count(), inner.param_count());
+    }
+
+    #[test]
+    fn percentiles_interpolate_the_sample_ranks() {
+        let report = StreamLoadReport {
+            stream_id: 0,
+            hot: false,
+            sent: 5,
+            updates: 5,
+            throttled: 0,
+            dropped: 0,
+            round_trips: vec![0.5, 0.1, 0.3, 0.2, 0.4],
+        };
+        assert!((report.mean_round_trip() - 0.3).abs() < 1e-12);
+        assert!((report.percentile_round_trip(0.0) - 0.1).abs() < 1e-12);
+        assert!((report.percentile_round_trip(50.0) - 0.3).abs() < 1e-12);
+        assert!((report.percentile_round_trip(100.0) - 0.5).abs() < 1e-12);
+        let empty = StreamLoadReport {
+            round_trips: Vec::new(),
+            ..report
+        };
+        assert_eq!(empty.percentile_round_trip(99.0), 0.0);
+        assert_eq!(empty.mean_round_trip(), 0.0);
+    }
+
+    #[test]
+    fn skewed_load_accounts_for_every_key_frame() {
+        let outcome = run_skewed_load(
+            ShadowTutorConfig::paper(),
+            PoolConfig {
+                shards: 1,
+                recv_timeout: Duration::from_millis(200),
+                ..PoolConfig::default_pool()
+            },
+            StudentNet::new(StudentConfig::tiny()).unwrap(),
+            0.013,
+            |_| OracleTeacher::perfect(11),
+            SkewedLoadSpec {
+                streams: 2,
+                hot_multiplier: 2,
+                key_frames_per_stream: 3,
+                send_interval: Duration::from_millis(4),
+                seed: 90,
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.streams.len(), 2);
+        assert!(outcome.hot().hot);
+        assert_eq!(outcome.cold().len(), 1);
+        assert_eq!(outcome.hot().sent, 6);
+        assert_eq!(outcome.cold()[0].sent, 3);
+        for report in &outcome.streams {
+            // Every key frame was answered: update, throttle, or drop ack.
+            assert_eq!(
+                report.updates + report.throttled + report.dropped,
+                report.sent,
+                "stream {} lost answers",
+                report.stream_id
+            );
+            assert_eq!(report.round_trips.len(), report.updates);
+            assert!(report.round_trips.iter().all(|rt| *rt >= 0.0));
+        }
+        // Nothing in this scenario is unservable.
+        assert_eq!(outcome.pool.dropped_jobs(), 0);
+        assert!(outcome.wall_time > 0.0);
+    }
+}

@@ -168,20 +168,30 @@ fn drive_client<E: ClientEndpoint>(
         } else {
             endpoint.try_recv().ok().flatten()
         };
-        if let Some(ServerToClient::StudentUpdate {
-            frame_index,
-            metric,
-            distill_steps,
-            payload,
-        }) = incoming
-        {
-            if let Some(data) = payload.data {
-                downlink_bytes += data.len();
-                update_bytes = data.len();
-                let snapshot = WeightSnapshot::decode(&data, SnapshotScope::TrainableOnly)?;
-                snapshot.apply(&mut client_student)?;
+        match incoming {
+            Some(ServerToClient::StudentUpdate {
+                frame_index,
+                metric,
+                distill_steps,
+                payload,
+            }) => {
+                if let Some(data) = payload.data {
+                    downlink_bytes += data.len();
+                    update_bytes = data.len();
+                    let snapshot = WeightSnapshot::decode(&data, SnapshotScope::TrainableOnly)?;
+                    snapshot.apply(&mut client_student)?;
+                }
+                pending_metric = Some((frame_index, metric, distill_steps));
             }
-            pending_metric = Some((frame_index, metric, distill_steps));
+            // Admission control (or a protocol mismatch) rejected the key
+            // frame: no update will come, so fall back to local-only
+            // inference — the student simply keeps serving with its current
+            // weights, exactly what partial distillation already tolerates
+            // between updates — and stop waiting for this exchange.
+            Some(ServerToClient::Throttle { .. }) | Some(ServerToClient::Dropped { .. }) => {
+                client.abandon_update();
+            }
+            _ => {}
         }
         if let Some((frame_index, metric, steps)) = pending_metric.take() {
             if client.update_outstanding() {
@@ -356,11 +366,14 @@ where
 
     // Connect every stream up front, then drive each client on its own
     // thread. The scope borrows the specs and the shared checkpoint.
+    let mut endpoints = Vec::with_capacity(streams.len());
+    for spec in &streams {
+        endpoints.push(pool.connect(spec.stream_id, &spec.frames)?);
+    }
     let mut outputs: Vec<Result<ClientLoopOutput>> = Vec::with_capacity(streams.len());
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(streams.len());
-        for spec in &streams {
-            let mut endpoint = pool.connect(spec.stream_id, &spec.frames);
+        for (spec, mut endpoint) in streams.iter().zip(endpoints) {
             let checkpoint = student.clone();
             handles.push(scope.spawn(move || {
                 let result = drive_client(
@@ -429,6 +442,94 @@ mod tests {
     fn encode_frame_matches_raw_size() {
         let f = &frames_for(SceneKind::People, 1, 1)[0];
         assert_eq!(encode_frame(f).len(), f.raw_rgb_bytes());
+    }
+
+    /// A scripted server half: sends the initial checkpoint, then answers
+    /// every key frame with a `Throttle` instead of a `StudentUpdate`.
+    struct ThrottlingEndpoint {
+        queue: std::collections::VecDeque<ServerToClient>,
+        key_frames_seen: usize,
+        shutdowns_seen: usize,
+    }
+
+    impl ThrottlingEndpoint {
+        fn new() -> Self {
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(ServerToClient::InitialStudent {
+                payload: Payload::sized(0),
+            });
+            ThrottlingEndpoint {
+                queue,
+                key_frames_seen: 0,
+                shutdowns_seen: 0,
+            }
+        }
+    }
+
+    impl ClientEndpoint for ThrottlingEndpoint {
+        fn send(
+            &mut self,
+            message: ClientToServer,
+            _bytes: usize,
+        ) -> std::result::Result<(), st_net::TransportError> {
+            match message {
+                ClientToServer::KeyFrame { frame_index, .. } => {
+                    self.key_frames_seen += 1;
+                    self.queue
+                        .push_back(ServerToClient::Throttle { frame_index });
+                }
+                ClientToServer::Shutdown => self.shutdowns_seen += 1,
+                ClientToServer::Register => {}
+            }
+            Ok(())
+        }
+
+        fn try_recv(
+            &mut self,
+        ) -> std::result::Result<Option<ServerToClient>, st_net::TransportError> {
+            Ok(self.queue.pop_front())
+        }
+
+        fn recv_timeout(
+            &mut self,
+            _timeout: Duration,
+        ) -> std::result::Result<ServerToClient, st_net::TransportError> {
+            self.queue
+                .pop_front()
+                .ok_or(st_net::TransportError::Timeout)
+        }
+    }
+
+    #[test]
+    fn throttled_client_falls_back_to_local_inference() {
+        let frames = frames_for(SceneKind::People, 6, 40);
+        let student = StudentNet::new(StudentConfig::tiny()).unwrap();
+        let mut endpoint = ThrottlingEndpoint::new();
+        let output = drive_client(
+            ShadowTutorConfig::paper(),
+            &frames,
+            student,
+            &mut endpoint,
+            "throttled",
+            "live",
+        )
+        .unwrap();
+        // Every frame was served locally — the run completed without ever
+        // blocking on an update that would never come.
+        assert_eq!(output.record.frames, 40);
+        assert!(output
+            .record
+            .frame_records
+            .iter()
+            .all(|f| (0.0..=1.0).contains(&f.miou)));
+        // No update was ever applied, so the stride stayed at MIN_STRIDE and
+        // a key frame went out every 8 frames — each answered by a throttle.
+        assert_eq!(output.record.key_frames.len(), 0);
+        assert_eq!(endpoint.key_frames_seen, 5);
+        assert_eq!(endpoint.shutdowns_seen, 1);
+        // The throttle cleared the outstanding update each time, so the
+        // deferral deadline never forced a blocking wait.
+        assert!(output.record.frame_records.iter().all(|f| !f.waited));
     }
 
     #[test]

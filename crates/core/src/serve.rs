@@ -11,52 +11,95 @@
 //!   virtual cost is amortized across the batch, and then each stream's
 //!   session distills its own student on its own pseudo-label. Streams never
 //!   share weights — isolation is structural.
-//! * [`ServerPool`] spawns one worker thread per shard, assigns streams to
-//!   shards round-robin by stream id, and funnels each client's uplink into
-//!   the owning shard's queue as [`st_net::StreamTagged`] traffic. Clients
-//!   talk to the pool through [`StreamClient`], which implements the same
-//!   [`st_net::ClientEndpoint`] surface as the single-stream transport, so
-//!   the client-side state machine is byte-for-byte the one Algorithm 4 uses.
+//! * [`ServerPool`] spawns one worker thread per shard, places streams on
+//!   shards per [`PlacementPolicy`] (least-loaded by default, static
+//!   `id % shards` for reproducibility), and funnels each client's uplink
+//!   into the owning shard's queue as [`st_net::StreamTagged`] traffic.
+//!   Clients talk to the pool through [`StreamClient`], which implements the
+//!   same [`st_net::ClientEndpoint`] surface as the single-stream transport,
+//!   so the client-side state machine is byte-for-byte the one Algorithm 4
+//!   uses.
+//!
+//! The pool does **not** trust clients to be well behaved. Three mechanisms
+//! keep a hot stream from starving its shard-mates:
+//!
+//! * **Fair batching** — arriving key frames land in per-stream FIFO queues
+//!   and are drained by deficit round-robin ([`FairScheduler`]): every
+//!   co-scheduled teacher batch takes at most `quantum` jobs per stream per
+//!   round, so batch slots are shared even when one stream has a deep
+//!   backlog.
+//! * **Admission control** — each stream may have at most `max_in_flight`
+//!   key frames queued; excess arrivals are rejected immediately with
+//!   [`st_net::ServerToClient::Throttle`], which the client answers by
+//!   serving the frame with its local (slightly stale) student — the
+//!   fallback the paper's partial/full modes make natural.
+//! * **Adaptive co-scheduling** — the batching window grows and shrinks with
+//!   the observed backlog ([`AdaptiveBatch`]) instead of sitting at the
+//!   static `max_batch`, bounded above by it, and growth stops when the
+//!   teacher's marginal batched-inference cost no longer amortizes.
 //!
 //! The pool reports [`PoolStats`]: per-shard queueing/batching/latency
-//! counters plus per-stream key-frame totals and final server-side
-//! checkpoints, which the contention experiments compare against the
-//! analytic [`st_sim::ContentionModel`].
+//! counters plus per-stream key-frame totals, waits, throttles, drops and
+//! final server-side checkpoints, which the contention experiments compare
+//! against the analytic [`st_sim::ContentionModel`].
 
-use crate::config::ShadowTutorConfig;
+use crate::config::{PlacementPolicy, ShadowTutorConfig};
+pub use crate::server::StreamServerStats;
 use crate::server::{DistillSession, KeyFrameResponse};
 use crate::Result;
+use st_net::message::MESSAGE_OVERHEAD_BYTES;
 use st_net::transport::ClientEndpoint;
-use st_net::{ClientToServer, Payload, ServerToClient, StreamId, StreamTagged, TransportError};
+use st_net::{
+    ClientToServer, DropReason, Payload, ServerToClient, StreamId, StreamTagged, TransportError,
+};
 use st_nn::snapshot::WeightSnapshot;
 use st_nn::student::StudentNet;
 use st_teacher::Teacher;
 use st_tensor::TensorError;
 use st_video::Frame;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Configuration of a [`ServerPool`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PoolConfig {
-    /// Number of shards (worker threads). Streams are assigned to shard
-    /// `stream_id % shards`.
+    /// Number of shards (worker threads).
     pub shards: usize,
-    /// Maximum key frames co-scheduled into one batched teacher forward.
+    /// Ceiling on key frames co-scheduled into one batched teacher forward.
+    /// With `adaptive_batch` the live window starts at 1 and moves with the
+    /// backlog, never exceeding this.
     pub max_batch: usize,
     /// How long a worker blocks waiting for traffic before re-checking for
     /// shutdown (also the bound on how stale a dead client can leave a shard).
     pub recv_timeout: Duration,
+    /// How new streams are assigned to shards.
+    pub placement: PlacementPolicy,
+    /// Per-stream admission cap: at most this many key frames of one stream
+    /// may be queued at its shard; excess arrivals are answered with
+    /// [`ServerToClient::Throttle`] instead of being queued.
+    pub max_in_flight: usize,
+    /// Deficit-round-robin quantum: key frames one stream may contribute to
+    /// a co-scheduled batch per scheduling round.
+    pub quantum: usize,
+    /// Adapt the co-scheduling window to the observed backlog instead of
+    /// always draining up to `max_batch`.
+    pub adaptive_batch: bool,
 }
 
 impl PoolConfig {
-    /// A small pool: two shards, up to four co-scheduled key frames.
+    /// A small pool: two shards, up to four co-scheduled key frames, fair
+    /// batching and admission control on.
     pub fn default_pool() -> Self {
         PoolConfig {
             shards: 2,
             max_batch: 4,
             recv_timeout: Duration::from_secs(30),
+            placement: PlacementPolicy::default(),
+            max_in_flight: 4,
+            quantum: 1,
+            adaptive_batch: true,
         }
     }
 
@@ -80,10 +123,21 @@ impl PoolConfig {
                 "max_batch must be at least 1".into(),
             ));
         }
+        if self.max_in_flight == 0 {
+            return Err(TensorError::InvalidArgument(
+                "max_in_flight must be at least 1 (a stream must be able to queue a key frame)"
+                    .into(),
+            ));
+        }
+        if self.quantum == 0 {
+            return Err(TensorError::InvalidArgument(
+                "quantum must be at least 1".into(),
+            ));
+        }
         Ok(())
     }
 
-    /// The shard a stream id maps to.
+    /// The shard a stream id maps to under static-modulo placement.
     pub fn shard_of(&self, stream_id: StreamId) -> usize {
         (stream_id % self.shards as u64) as usize
     }
@@ -93,15 +147,6 @@ impl Default for PoolConfig {
     fn default() -> Self {
         Self::default_pool()
     }
-}
-
-/// Server-side counters for one stream, reported when the stream finishes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct StreamServerStats {
-    /// Key frames the stream's session processed.
-    pub key_frames: usize,
-    /// Total distillation steps the session took.
-    pub distill_steps: usize,
 }
 
 /// Queueing/batching/latency counters of one shard worker.
@@ -115,7 +160,7 @@ pub struct ShardStats {
     pub teacher_batches: usize,
     /// Largest co-scheduled batch observed.
     pub max_batch_observed: usize,
-    /// Total wall-clock time messages spent queued before processing began.
+    /// Total wall-clock time key frames spent queued before processing began.
     pub queue_wait_total: Duration,
     /// Largest single queue wait observed.
     pub queue_wait_max: Duration,
@@ -129,6 +174,17 @@ pub struct ShardStats {
     /// Virtual teacher time saved by batching, versus labelling every key
     /// frame with a solo forward pass.
     pub teacher_time_saved: f64,
+    /// Key-frame jobs that could not be served (unknown stream or frame,
+    /// e.g. a key frame arriving after its stream's `Shutdown`). Each one
+    /// was answered with [`ServerToClient::Dropped`] when a downlink existed.
+    pub dropped_jobs: usize,
+    /// Key frames rejected by per-stream admission control.
+    pub throttled: usize,
+    /// `Register` messages with no connect-time registry entry (register
+    /// without connect, or a duplicate register racing a finished stream).
+    pub unknown_registers: usize,
+    /// Largest co-scheduling window the adaptive batcher reached.
+    pub batch_limit_peak: usize,
 }
 
 impl ShardStats {
@@ -157,7 +213,8 @@ impl ShardStats {
 pub struct PoolStats {
     /// Per-shard counters, indexed by shard.
     pub shards: Vec<ShardStats>,
-    /// Per-stream counters.
+    /// Per-stream counters (including per-stream queue waits, throttles and
+    /// drops).
     pub streams: HashMap<StreamId, StreamServerStats>,
     /// Final full server-side checkpoint of every finished stream.
     pub final_checkpoints: HashMap<StreamId, WeightSnapshot>,
@@ -172,6 +229,16 @@ impl PoolStats {
     /// Distillation steps across all shards.
     pub fn total_distill_steps(&self) -> usize {
         self.shards.iter().map(|s| s.distill_steps).sum()
+    }
+
+    /// Key-frame jobs dropped (and acked as such) across all shards.
+    pub fn dropped_jobs(&self) -> usize {
+        self.shards.iter().map(|s| s.dropped_jobs).sum()
+    }
+
+    /// Key frames rejected by admission control across all shards.
+    pub fn throttled(&self) -> usize {
+        self.shards.iter().map(|s| s.throttled).sum()
     }
 
     /// Mean co-scheduled batch size across shards (0.0 when no batch was
@@ -225,6 +292,217 @@ pub struct ShardJob {
     pub frame_index: usize,
 }
 
+/// A queued key-frame job with its arrival timestamp, as handed out by the
+/// [`FairScheduler`].
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduledJob {
+    /// The job itself.
+    pub job: ShardJob,
+    /// When the job entered the shard queue (for wait accounting).
+    pub enqueued_at: Instant,
+}
+
+/// Per-stream FIFO queues drained by deficit round-robin.
+///
+/// Every stream with queued key frames sits in a ring; each scheduling round
+/// grants a stream `quantum` units of deficit and pops at most that many of
+/// its jobs into the batch. A hot stream with a deep backlog therefore gets
+/// the same per-round slot count as everyone else, and any queued stream is
+/// served within `ceil(streams / max_batch)` batches — no starvation.
+///
+/// Invariant: `ring` contains exactly the streams with non-empty queues
+/// (maintained by `push`/`next_batch`/`remove_stream`; the structure is
+/// driven by one worker thread).
+pub struct FairScheduler {
+    queues: HashMap<StreamId, VecDeque<ScheduledJob>>,
+    ring: VecDeque<StreamId>,
+    deficits: HashMap<StreamId, usize>,
+    quantum: usize,
+    queued: usize,
+}
+
+impl FairScheduler {
+    /// A scheduler granting `quantum` jobs per stream per round (clamped to
+    /// at least 1).
+    pub fn new(quantum: usize) -> Self {
+        FairScheduler {
+            queues: HashMap::new(),
+            ring: VecDeque::new(),
+            deficits: HashMap::new(),
+            quantum: quantum.max(1),
+            queued: 0,
+        }
+    }
+
+    /// Queue a key-frame job for its stream.
+    pub fn push(&mut self, stream_id: StreamId, frame_index: usize, enqueued_at: Instant) {
+        let queue = self.queues.entry(stream_id).or_default();
+        if queue.is_empty() {
+            self.ring.push_back(stream_id);
+        }
+        queue.push_back(ScheduledJob {
+            job: ShardJob {
+                stream_id,
+                frame_index,
+            },
+            enqueued_at,
+        });
+        self.queued += 1;
+    }
+
+    /// Jobs currently queued for one stream (the admission-control signal).
+    pub fn queued_for(&self, stream_id: StreamId) -> usize {
+        self.queues.get(&stream_id).map_or(0, |q| q.len())
+    }
+
+    /// Total queued jobs across all streams.
+    pub fn len(&self) -> usize {
+        self.queued
+    }
+
+    /// Whether no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queued == 0
+    }
+
+    /// Streams that currently have at least one queued job.
+    pub fn active_streams(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Pop the next co-scheduled batch: at most `max_batch` jobs, drained
+    /// round-robin with per-stream deficits. Returns an empty vector when
+    /// nothing is queued or `max_batch == 0`.
+    pub fn next_batch(&mut self, max_batch: usize) -> Vec<ScheduledJob> {
+        let mut out = Vec::new();
+        while out.len() < max_batch && self.queued > 0 {
+            let Some(stream_id) = self.ring.pop_front() else {
+                break;
+            };
+            let Some(queue) = self.queues.get_mut(&stream_id) else {
+                self.deficits.remove(&stream_id);
+                continue;
+            };
+            let deficit = self.deficits.entry(stream_id).or_insert(0);
+            // A fresh turn is granted the quantum (capped at what is
+            // actually poppable); an interrupted turn resumes its unspent
+            // deficit without a new grant, so it cannot bank credit and hold
+            // the ring head indefinitely.
+            if *deficit == 0 {
+                *deficit = self.quantum.min(queue.len());
+            }
+            while *deficit > 0 && out.len() < max_batch {
+                let Some(job) = queue.pop_front() else {
+                    break;
+                };
+                *deficit -= 1;
+                self.queued -= 1;
+                out.push(job);
+            }
+            let unspent = *deficit;
+            if queue.is_empty() {
+                self.queues.remove(&stream_id);
+                self.deficits.remove(&stream_id);
+            } else if out.len() >= max_batch && unspent > 0 {
+                // Batch filled mid-quantum: the stream keeps its remaining
+                // deficit and its place at the head of the ring.
+                self.ring.push_front(stream_id);
+            } else {
+                // Quantum spent (jobs left): back of the ring, so the next
+                // batch starts with someone else even when this batch could
+                // not look past the head.
+                self.ring.push_back(stream_id);
+            }
+        }
+        out
+    }
+
+    /// Remove a stream entirely (on `Shutdown`), returning its still-queued
+    /// jobs in FIFO order so the caller can flush them before retiring the
+    /// session.
+    pub fn remove_stream(&mut self, stream_id: StreamId) -> Vec<ScheduledJob> {
+        let jobs: Vec<ScheduledJob> = self
+            .queues
+            .remove(&stream_id)
+            .map(|q| q.into_iter().collect())
+            .unwrap_or_default();
+        self.queued -= jobs.len();
+        self.deficits.remove(&stream_id);
+        self.ring.retain(|s| *s != stream_id);
+        jobs
+    }
+}
+
+impl Default for FairScheduler {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+/// Load-adaptive co-scheduling window.
+///
+/// Multiplicative increase/decrease between 1 and the configured `max_batch`
+/// ceiling: the window doubles while the observed backlog exceeds it *and*
+/// the teacher's marginal batched-inference cost still amortizes, and halves
+/// when the backlog falls below half the window (deep windows buy teacher
+/// amortization at the price of per-frame latency, so they are only worth
+/// holding under real queue pressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveBatch {
+    ceiling: usize,
+    current: usize,
+    enabled: bool,
+}
+
+impl AdaptiveBatch {
+    /// A window bounded by `ceiling`; when `enabled` it starts at 1 and
+    /// adapts, otherwise it is pinned to the ceiling (the static behaviour).
+    pub fn new(ceiling: usize, enabled: bool) -> Self {
+        let ceiling = ceiling.max(1);
+        AdaptiveBatch {
+            ceiling,
+            current: if enabled { 1 } else { ceiling },
+            enabled,
+        }
+    }
+
+    /// The current co-scheduling window.
+    pub fn limit(&self) -> usize {
+        self.current
+    }
+
+    /// The configured ceiling.
+    pub fn ceiling(&self) -> usize {
+        self.ceiling
+    }
+
+    /// Feed one observation: the backlog remaining after a batch completed,
+    /// and whether growing the window would still amortize teacher time
+    /// (the marginal batched cost of one more slot is below a solo forward).
+    pub fn observe(&mut self, backlog: usize, growth_pays: bool) {
+        if !self.enabled {
+            return;
+        }
+        if backlog > self.current && growth_pays {
+            self.current = (self.current * 2).min(self.ceiling);
+        } else if backlog < self.current / 2 {
+            self.current = (self.current / 2).max(1);
+        }
+    }
+}
+
+/// Outcome of one co-scheduled batch: per-stream responses plus the jobs
+/// that could not be served (each with its reason).
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// `(stream, frame index, response)` per serviced key frame, in
+    /// scheduling order.
+    pub responses: Vec<(StreamId, usize, KeyFrameResponse)>,
+    /// Jobs whose stream or frame was unknown. Counted in
+    /// [`ShardStats::dropped_jobs`].
+    pub dropped: Vec<(ShardJob, DropReason)>,
+}
+
 /// One shard: a shared teacher plus one distillation session per stream.
 ///
 /// The shard is a synchronous state machine — the worker thread in
@@ -258,24 +536,30 @@ impl<T: Teacher> ServeShard<T> {
 
     /// Register a stream: create its session and return the initial full
     /// checkpoint (Algorithm 3, line 1, per stream).
+    ///
+    /// A duplicate register does **not** clobber the live session or its
+    /// pre-shared frames (the pool rejects duplicate connects before they
+    /// reach the shard); it returns the session's current checkpoint.
     pub fn register(
         &mut self,
         stream_id: StreamId,
         frames: HashMap<usize, Frame>,
     ) -> WeightSnapshot {
-        let entry = self
-            .sessions
-            .entry(stream_id)
-            .or_insert_with(|| StreamEntry {
-                session: DistillSession::new(
-                    self.config,
-                    self.template.clone(),
-                    self.distill_step_latency,
-                ),
-                frames: HashMap::new(),
-            });
-        entry.frames = frames;
-        entry.session.initial_checkpoint()
+        use std::collections::hash_map::Entry;
+        match self.sessions.entry(stream_id) {
+            Entry::Occupied(mut occupied) => occupied.get_mut().session.initial_checkpoint(),
+            Entry::Vacant(vacant) => {
+                let entry = vacant.insert(StreamEntry {
+                    session: DistillSession::new(
+                        self.config,
+                        self.template.clone(),
+                        self.distill_step_latency,
+                    ),
+                    frames,
+                });
+                entry.session.initial_checkpoint()
+            }
+        }
     }
 
     /// Number of streams currently registered.
@@ -283,27 +567,63 @@ impl<T: Teacher> ServeShard<T> {
         self.sessions.len()
     }
 
+    /// Whether a stream has a registered session.
+    pub fn has_stream(&self, stream_id: StreamId) -> bool {
+        self.sessions.contains_key(&stream_id)
+    }
+
+    /// Whether a stream has a registered session *and* the frame was
+    /// pre-shared.
+    pub fn has_frame(&self, stream_id: StreamId, frame_index: usize) -> bool {
+        self.sessions
+            .get(&stream_id)
+            .is_some_and(|e| e.frames.contains_key(&frame_index))
+    }
+
+    /// Ids of all currently registered streams.
+    pub fn session_ids(&self) -> Vec<StreamId> {
+        self.sessions.keys().copied().collect()
+    }
+
+    /// Virtual cost of adding one more slot to a co-scheduled batch of
+    /// `batch` frames.
+    pub fn marginal_batch_cost(&self, batch: usize) -> f64 {
+        self.teacher.batched_inference_latency(batch + 1)
+            - self.teacher.batched_inference_latency(batch)
+    }
+
+    /// Whether growing the co-scheduling window beyond `batch` still
+    /// amortizes teacher time (marginal cost below a solo forward).
+    pub fn batch_growth_pays(&self, batch: usize) -> bool {
+        self.marginal_batch_cost(batch) < self.teacher.inference_latency()
+    }
+
     /// Process a co-scheduled batch of key frames: one batched teacher
-    /// forward across the batch, then per-stream distillation in arrival
-    /// order. Jobs whose stream or frame is unknown are skipped.
-    pub fn process_batch(
-        &mut self,
-        jobs: &[ShardJob],
-    ) -> Result<Vec<(StreamId, usize, KeyFrameResponse)>> {
-        // Resolve which jobs are known; drop the rest. Frames stay where
-        // they are — they are borrowed for labelling and distillation, never
-        // copied (a frame is the whole RGB tensor plus its ground truth).
-        let resolved: Vec<ShardJob> = jobs
-            .iter()
-            .filter(|job| {
-                self.sessions
-                    .get(&job.stream_id)
-                    .is_some_and(|e| e.frames.contains_key(&job.frame_index))
-            })
-            .copied()
-            .collect();
+    /// forward across the batch, then per-stream distillation in scheduling
+    /// order. Jobs whose stream or frame is unknown are returned in
+    /// [`BatchOutcome::dropped`] and counted in
+    /// [`ShardStats::dropped_jobs`] — never silently discarded.
+    pub fn process_batch(&mut self, jobs: &[ShardJob]) -> Result<BatchOutcome> {
+        // Resolve which jobs are known. Frames stay where they are — they
+        // are borrowed for labelling and distillation, never copied (a frame
+        // is the whole RGB tensor plus its ground truth).
+        let mut dropped: Vec<(ShardJob, DropReason)> = Vec::new();
+        let mut resolved: Vec<ShardJob> = Vec::new();
+        for job in jobs {
+            match self.sessions.get(&job.stream_id) {
+                None => dropped.push((*job, DropReason::UnknownStream)),
+                Some(entry) if !entry.frames.contains_key(&job.frame_index) => {
+                    dropped.push((*job, DropReason::UnknownFrame))
+                }
+                Some(_) => resolved.push(*job),
+            }
+        }
+        self.stats.dropped_jobs += dropped.len();
         if resolved.is_empty() {
-            return Ok(Vec::new());
+            return Ok(BatchOutcome {
+                responses: Vec::new(),
+                dropped,
+            });
         }
 
         // One teacher forward pass amortized over the co-scheduled frames.
@@ -340,18 +660,19 @@ impl<T: Teacher> ServeShard<T> {
             self.stats.virtual_server_time += response.server_time;
             out.push((job.stream_id, job.frame_index, response));
         }
-        Ok(out)
+        Ok(BatchOutcome {
+            responses: out,
+            dropped,
+        })
     }
 
     /// Finish a stream: remove its session, returning the final full
-    /// checkpoint and the stream's counters.
+    /// checkpoint and the stream's counters (distillation half only — the
+    /// pool worker merges in waits/throttles/drops).
     pub fn finish(&mut self, stream_id: StreamId) -> Option<(WeightSnapshot, StreamServerStats)> {
         self.sessions.remove(&stream_id).map(|mut entry| {
             let checkpoint = entry.session.initial_checkpoint();
-            let stats = StreamServerStats {
-                key_frames: entry.session.key_frames_processed(),
-                distill_steps: entry.session.distill_steps_taken(),
-            };
+            let stats = entry.session.stats();
             (checkpoint, stats)
         })
     }
@@ -455,6 +776,12 @@ pub struct ServerPool {
     pool_config: PoolConfig,
     uplinks: Vec<crossbeam::channel::Sender<Envelope>>,
     registries: Vec<Registry>,
+    /// Registered-session count per shard, shared with the workers (who
+    /// decrement when a stream finishes) — the least-loaded placement signal.
+    loads: Vec<Arc<AtomicUsize>>,
+    /// Stream → shard placements made so far. A stream id stays reserved for
+    /// the pool's lifetime; reconnecting a finished id needs a new pool.
+    placements: Mutex<HashMap<StreamId, usize>>,
     workers: Vec<std::thread::JoinHandle<Result<ShardOutput>>>,
 }
 
@@ -477,10 +804,12 @@ impl ServerPool {
         pool_config.validate()?;
         let mut uplinks = Vec::with_capacity(pool_config.shards);
         let mut registries = Vec::with_capacity(pool_config.shards);
+        let mut loads = Vec::with_capacity(pool_config.shards);
         let mut workers = Vec::with_capacity(pool_config.shards);
         for shard_index in 0..pool_config.shards {
             let (tx, rx) = crossbeam::channel::unbounded::<Envelope>();
             let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
+            let load = Arc::new(AtomicUsize::new(0));
             let shard = ServeShard::new(
                 config,
                 template.clone(),
@@ -488,18 +817,20 @@ impl ServerPool {
                 distill_step_latency,
             );
             let worker_registry = Arc::clone(&registry);
-            let max_batch = pool_config.max_batch;
-            let recv_timeout = pool_config.recv_timeout;
+            let worker_load = Arc::clone(&load);
             workers.push(std::thread::spawn(move || {
-                run_worker(shard, rx, worker_registry, max_batch, recv_timeout)
+                run_worker(shard, rx, worker_registry, pool_config, worker_load)
             }));
             uplinks.push(tx);
             registries.push(registry);
+            loads.push(load);
         }
         Ok(ServerPool {
             pool_config,
             uplinks,
             registries,
+            loads,
+            placements: Mutex::new(HashMap::new()),
             workers,
         })
     }
@@ -509,12 +840,44 @@ impl ServerPool {
         self.pool_config
     }
 
-    /// Connect a new stream: pre-share its frame content with the owning
-    /// shard, enqueue its `Register` message, and return the client's
-    /// endpoint. The first downlink message is the initial student
-    /// checkpoint.
-    pub fn connect(&self, stream_id: StreamId, frames: &[Frame]) -> StreamClient {
-        let shard = self.pool_config.shard_of(stream_id);
+    /// Current registered-session count of each shard.
+    pub fn shard_loads(&self) -> Vec<usize> {
+        self.loads
+            .iter()
+            .map(|l| l.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// Connect a new stream: choose its shard per the placement policy,
+    /// pre-share its frame content with that shard, enqueue its `Register`
+    /// message, and return the client's endpoint. The first downlink message
+    /// is the initial student checkpoint.
+    ///
+    /// Errors if the stream id is already connected to this pool — a second
+    /// connect would silently clobber the first session's downlink and
+    /// pre-shared frames mid-flight.
+    pub fn connect(&self, stream_id: StreamId, frames: &[Frame]) -> Result<StreamClient> {
+        let shard = {
+            let mut placements = self.placements.lock().expect("placements lock");
+            if placements.contains_key(&stream_id) {
+                return Err(TensorError::InvalidArgument(format!(
+                    "stream {stream_id} is already connected to this pool"
+                )));
+            }
+            let shard = match self.pool_config.placement {
+                PlacementPolicy::StaticModulo => self.pool_config.shard_of(stream_id),
+                PlacementPolicy::LeastLoaded => self
+                    .loads
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, load)| load.load(Ordering::SeqCst))
+                    .map(|(index, _)| index)
+                    .unwrap_or(0),
+            };
+            self.loads[shard].fetch_add(1, Ordering::SeqCst);
+            placements.insert(stream_id, shard);
+            shard
+        };
         let (down_tx, down_rx) = crossbeam::channel::unbounded();
         let content: HashMap<usize, Frame> = frames.iter().map(|f| (f.index, f.clone())).collect();
         self.registries[shard]
@@ -533,14 +896,27 @@ impl ServerPool {
             downlink: down_rx,
         };
         // Registration is the client's first uplink message; sending it here
-        // lets callers immediately block on the initial checkpoint.
-        client
-            .send(
-                ClientToServer::Register,
-                st_net::message::MESSAGE_OVERHEAD_BYTES,
-            )
-            .expect("worker alive at connect time");
-        client
+        // lets callers immediately block on the initial checkpoint. A failed
+        // send (the shard worker died) must roll the placement back, or the
+        // id would be burned and the shard's load over-counted forever.
+        if client
+            .send(ClientToServer::Register, MESSAGE_OVERHEAD_BYTES)
+            .is_err()
+        {
+            self.registries[shard]
+                .lock()
+                .expect("registry lock")
+                .remove(&stream_id);
+            self.loads[shard].fetch_sub(1, Ordering::SeqCst);
+            self.placements
+                .lock()
+                .expect("placements lock")
+                .remove(&stream_id);
+            return Err(TensorError::InvalidArgument(
+                "server pool worker is not accepting connections".into(),
+            ));
+        }
+        Ok(client)
     }
 
     /// Drop the pool's uplink handles and join every worker, collecting the
@@ -566,124 +942,48 @@ impl ServerPool {
     }
 }
 
-/// The shard worker loop: drain a co-scheduled batch from the queue, handle
-/// registrations and shutdowns in arrival order, batch the key frames
-/// through the shard, and push responses onto each stream's downlink.
-fn run_worker<T: Teacher>(
-    mut shard: ServeShard<T>,
-    rx: crossbeam::channel::Receiver<Envelope>,
-    registry: Registry,
-    max_batch: usize,
-    recv_timeout: Duration,
-) -> Result<ShardOutput> {
-    let mut downlinks: HashMap<StreamId, Downlink> = HashMap::new();
-    let mut streams: HashMap<StreamId, StreamServerStats> = HashMap::new();
-    let mut final_checkpoints: HashMap<StreamId, WeightSnapshot> = HashMap::new();
-    // Wall-clock accounting lives here, not in the shard: the shard only
-    // tracks what it can see (batching and virtual time), and the two sets
-    // of counters are merged once on exit.
-    let mut queue_wait_total = Duration::ZERO;
-    let mut queue_wait_max = Duration::ZERO;
-    let mut busy_time = Duration::ZERO;
-    let mut uplink_bytes = 0usize;
-    loop {
-        let first = match rx.recv_timeout(recv_timeout) {
-            Ok(envelope) => envelope,
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
-        };
-        // `max_batch` bounds the *key frames* co-scheduled into one teacher
-        // forward; control messages (Register/Shutdown) ride along without
-        // consuming batch slots.
-        let is_key_frame =
-            |e: &Envelope| matches!(e.tagged.message, ClientToServer::KeyFrame { .. });
-        let mut key_frames_drained = usize::from(is_key_frame(&first));
-        let mut batch = vec![first];
-        while key_frames_drained < max_batch {
-            match rx.try_recv() {
-                Ok(envelope) => {
-                    key_frames_drained += usize::from(is_key_frame(&envelope));
-                    batch.push(envelope);
-                }
-                Err(_) => break,
-            }
-        }
-
-        let started = Instant::now();
-        let mut jobs: Vec<ShardJob> = Vec::new();
-        for envelope in &batch {
-            let wait = started.saturating_duration_since(envelope.enqueued_at);
-            uplink_bytes += envelope.bytes;
-            if matches!(envelope.tagged.message, ClientToServer::KeyFrame { .. }) {
-                queue_wait_total += wait;
-                queue_wait_max = queue_wait_max.max(wait);
-            }
-        }
-        for envelope in batch {
-            let stream_id = envelope.tagged.stream_id;
-            match envelope.tagged.message {
-                ClientToServer::Register => {
-                    let Some(link) = registry.lock().expect("registry lock").remove(&stream_id)
-                    else {
-                        continue; // register without connect: ignore
-                    };
-                    let initial = shard.register(stream_id, link.frames);
-                    let payload = Payload::with_data(initial.encode());
-                    let bytes = payload.bytes;
-                    let _ = link
-                        .downlink
-                        .send((bytes, ServerToClient::InitialStudent { payload }));
-                    downlinks.insert(stream_id, link.downlink);
-                }
-                ClientToServer::KeyFrame {
-                    frame_index,
-                    payload: _,
-                } => {
-                    jobs.push(ShardJob {
-                        stream_id,
-                        frame_index,
-                    });
-                }
-                ClientToServer::Shutdown => {
-                    // Flush any key frames queued ahead of the shutdown so the
-                    // stream's last updates are not lost.
-                    flush_jobs(&mut shard, &mut jobs, &downlinks)?;
-                    if let Some((checkpoint, stream_stats)) = shard.finish(stream_id) {
-                        streams.insert(stream_id, stream_stats);
-                        final_checkpoints.insert(stream_id, checkpoint);
-                    }
-                    downlinks.remove(&stream_id);
-                }
-            }
-        }
-        flush_jobs(&mut shard, &mut jobs, &downlinks)?;
-        busy_time += started.elapsed();
-    }
-    let mut stats = shard.stats();
-    stats.queue_wait_total = queue_wait_total;
-    stats.queue_wait_max = queue_wait_max;
-    stats.busy_time = busy_time;
-    stats.uplink_bytes = uplink_bytes;
-    Ok(ShardOutput {
-        stats,
-        streams,
-        final_checkpoints,
-    })
+/// Per-stream wall-clock accounting the worker keeps alongside the shard
+/// (waits and admission decisions are only visible at the worker).
+#[derive(Debug, Default, Clone, Copy)]
+struct StreamMeter {
+    wait_total: Duration,
+    wait_max: Duration,
+    throttled: usize,
+    dropped: usize,
 }
 
-/// Run the queued key-frame jobs through the shard and send each response to
-/// its stream's downlink. Clears `jobs`.
-fn flush_jobs<T: Teacher>(
+/// Wall-clock accumulators merged into [`ShardStats`] when the worker exits.
+#[derive(Debug, Default)]
+struct WorkerClock {
+    queue_wait_total: Duration,
+    queue_wait_max: Duration,
+    busy_time: Duration,
+}
+
+/// Run one fair co-scheduled batch through the shard and route every
+/// response (update or drop ack) to its stream's downlink.
+fn process_scheduled<T: Teacher>(
     shard: &mut ServeShard<T>,
-    jobs: &mut Vec<ShardJob>,
+    batch: &[ScheduledJob],
     downlinks: &HashMap<StreamId, Downlink>,
+    meters: &mut HashMap<StreamId, StreamMeter>,
+    clock: &mut WorkerClock,
 ) -> Result<()> {
-    if jobs.is_empty() {
+    if batch.is_empty() {
         return Ok(());
     }
-    let responses = shard.process_batch(jobs)?;
-    jobs.clear();
-    for (stream_id, frame_index, response) in responses {
+    let started = Instant::now();
+    for scheduled in batch {
+        let wait = started.saturating_duration_since(scheduled.enqueued_at);
+        clock.queue_wait_total += wait;
+        clock.queue_wait_max = clock.queue_wait_max.max(wait);
+        let meter = meters.entry(scheduled.job.stream_id).or_default();
+        meter.wait_total += wait;
+        meter.wait_max = meter.wait_max.max(wait);
+    }
+    let jobs: Vec<ShardJob> = batch.iter().map(|s| s.job).collect();
+    let outcome = shard.process_batch(&jobs)?;
+    for (stream_id, frame_index, response) in outcome.responses {
         let Some(downlink) = downlinks.get(&stream_id) else {
             continue;
         };
@@ -698,7 +998,243 @@ fn flush_jobs<T: Teacher>(
         // A client that hung up mid-stream only loses its own updates.
         let _ = downlink.send((bytes, msg));
     }
+    for (job, reason) in outcome.dropped {
+        meters.entry(job.stream_id).or_default().dropped += 1;
+        if let Some(downlink) = downlinks.get(&job.stream_id) {
+            let _ = downlink.send((
+                MESSAGE_OVERHEAD_BYTES,
+                ServerToClient::Dropped {
+                    frame_index: job.frame_index,
+                    reason,
+                },
+            ));
+        }
+    }
+    clock.busy_time += started.elapsed();
     Ok(())
+}
+
+/// Credit a door-rejected key frame to the stream's live meter — or, when
+/// the stream has already been retired (the post-`Shutdown` race), directly
+/// to its final [`StreamServerStats`], so the per-stream drop count cannot
+/// silently stay at zero for exactly the frames the accounting exists for.
+fn note_drop(
+    streams: &mut HashMap<StreamId, StreamServerStats>,
+    meters: &mut HashMap<StreamId, StreamMeter>,
+    stream_id: StreamId,
+) {
+    if let Some(stats) = streams.get_mut(&stream_id) {
+        stats.dropped += 1;
+    } else {
+        meters.entry(stream_id).or_default().dropped += 1;
+    }
+}
+
+/// As [`note_drop`], for admission-control throttles.
+fn note_throttle(
+    streams: &mut HashMap<StreamId, StreamServerStats>,
+    meters: &mut HashMap<StreamId, StreamMeter>,
+    stream_id: StreamId,
+) {
+    if let Some(stats) = streams.get_mut(&stream_id) {
+        stats.throttled += 1;
+    } else {
+        meters.entry(stream_id).or_default().throttled += 1;
+    }
+}
+
+/// Retire one stream: pull its session out of the shard, merge the worker's
+/// wait/throttle/drop meter into the stream stats, and release its load slot.
+fn retire<T: Teacher>(
+    shard: &mut ServeShard<T>,
+    stream_id: StreamId,
+    meters: &mut HashMap<StreamId, StreamMeter>,
+    load: &AtomicUsize,
+) -> Option<(WeightSnapshot, StreamServerStats)> {
+    shard.finish(stream_id).map(|(checkpoint, mut stats)| {
+        if let Some(meter) = meters.remove(&stream_id) {
+            stats.queue_wait_total = meter.wait_total;
+            stats.queue_wait_max = meter.wait_max;
+            stats.throttled = meter.throttled;
+            stats.dropped = meter.dropped;
+        }
+        load.fetch_sub(1, Ordering::SeqCst);
+        (checkpoint, stats)
+    })
+}
+
+/// The shard worker loop: fair-queue incoming key frames per stream, handle
+/// registrations and shutdowns in arrival order, drain deficit-round-robin
+/// batches through the shard, and push responses onto each stream's
+/// downlink.
+fn run_worker<T: Teacher>(
+    mut shard: ServeShard<T>,
+    rx: crossbeam::channel::Receiver<Envelope>,
+    registry: Registry,
+    pool_config: PoolConfig,
+    load: Arc<AtomicUsize>,
+) -> Result<ShardOutput> {
+    let mut scheduler = FairScheduler::new(pool_config.quantum);
+    let mut batcher = AdaptiveBatch::new(pool_config.max_batch, pool_config.adaptive_batch);
+    let mut downlinks: HashMap<StreamId, Downlink> = HashMap::new();
+    let mut meters: HashMap<StreamId, StreamMeter> = HashMap::new();
+    let mut streams: HashMap<StreamId, StreamServerStats> = HashMap::new();
+    let mut final_checkpoints: HashMap<StreamId, WeightSnapshot> = HashMap::new();
+    let mut clock = WorkerClock::default();
+    let mut uplink_bytes = 0usize;
+    let mut throttled = 0usize;
+    let mut enqueue_drops = 0usize;
+    let mut unknown_registers = 0usize;
+    let mut batch_limit_peak = batcher.limit();
+    let mut disconnected = false;
+    loop {
+        // Gather traffic. Block only when there is no backlog to work on;
+        // with queued jobs, poll so service keeps flowing between arrivals.
+        let mut incoming: Vec<Envelope> = Vec::new();
+        if scheduler.is_empty() {
+            if disconnected {
+                break;
+            }
+            match rx.recv_timeout(pool_config.recv_timeout) {
+                Ok(envelope) => incoming.push(envelope),
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    disconnected = true;
+                    continue;
+                }
+            }
+        }
+        loop {
+            match rx.try_recv() {
+                Ok(envelope) => incoming.push(envelope),
+                // Empty only means "no more traffic right now"; Disconnected
+                // means every uplink handle is gone and the worker should
+                // flush its backlog and exit. (The seed conflated the two,
+                // deferring shutdown detection to the next recv_timeout
+                // tick.)
+                Err(crossbeam::channel::TryRecvError::Empty) => break,
+                Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+
+        // Control messages in arrival order; key frames into the fair
+        // per-stream queues, gated by admission control.
+        for envelope in incoming {
+            uplink_bytes += envelope.bytes;
+            let stream_id = envelope.tagged.stream_id;
+            match envelope.tagged.message {
+                ClientToServer::Register => {
+                    let Some(link) = registry.lock().expect("registry lock").remove(&stream_id)
+                    else {
+                        // Register without a connect-time registry entry —
+                        // counted instead of silently ignored.
+                        unknown_registers += 1;
+                        continue;
+                    };
+                    let initial = shard.register(stream_id, link.frames);
+                    let payload = Payload::with_data(initial.encode());
+                    let bytes = payload.bytes;
+                    let _ = link
+                        .downlink
+                        .send((bytes, ServerToClient::InitialStudent { payload }));
+                    downlinks.insert(stream_id, link.downlink);
+                }
+                ClientToServer::KeyFrame {
+                    frame_index,
+                    payload: _,
+                } => {
+                    // Unservable jobs are refused at the door with an
+                    // explicit ack instead of being silently filtered later.
+                    let reject = if !shard.has_stream(stream_id) {
+                        Some(DropReason::UnknownStream)
+                    } else if !shard.has_frame(stream_id, frame_index) {
+                        Some(DropReason::UnknownFrame)
+                    } else {
+                        None
+                    };
+                    if let Some(reason) = reject {
+                        enqueue_drops += 1;
+                        note_drop(&mut streams, &mut meters, stream_id);
+                        if let Some(downlink) = downlinks.get(&stream_id) {
+                            let _ = downlink.send((
+                                MESSAGE_OVERHEAD_BYTES,
+                                ServerToClient::Dropped {
+                                    frame_index,
+                                    reason,
+                                },
+                            ));
+                        }
+                        continue;
+                    }
+                    // Admission control: per-stream in-flight cap.
+                    if scheduler.queued_for(stream_id) >= pool_config.max_in_flight {
+                        throttled += 1;
+                        note_throttle(&mut streams, &mut meters, stream_id);
+                        if let Some(downlink) = downlinks.get(&stream_id) {
+                            let _ = downlink.send((
+                                MESSAGE_OVERHEAD_BYTES,
+                                ServerToClient::Throttle { frame_index },
+                            ));
+                        }
+                        continue;
+                    }
+                    scheduler.push(stream_id, frame_index, envelope.enqueued_at);
+                }
+                ClientToServer::Shutdown => {
+                    // Flush the stream's still-queued key frames so its last
+                    // updates are not lost, then retire the session.
+                    let remaining = scheduler.remove_stream(stream_id);
+                    for chunk in remaining.chunks(batcher.limit().max(1)) {
+                        process_scheduled(&mut shard, chunk, &downlinks, &mut meters, &mut clock)?;
+                    }
+                    if let Some((checkpoint, stream_stats)) =
+                        retire(&mut shard, stream_id, &mut meters, &load)
+                    {
+                        streams.insert(stream_id, stream_stats);
+                        final_checkpoints.insert(stream_id, checkpoint);
+                    }
+                    // The downlink stays open so late key frames of this
+                    // stream still receive an explicit Dropped ack.
+                }
+            }
+        }
+
+        // One fair co-scheduled batch per pass; the loop re-polls the uplink
+        // between batches so new arrivals join the next scheduling round.
+        let batch = scheduler.next_batch(batcher.limit());
+        if !batch.is_empty() {
+            process_scheduled(&mut shard, &batch, &downlinks, &mut meters, &mut clock)?;
+            batcher.observe(scheduler.len(), shard.batch_growth_pays(batcher.limit()));
+            batch_limit_peak = batch_limit_peak.max(batcher.limit());
+        }
+    }
+    // Clients that vanished without Shutdown still get their sessions
+    // retired so their checkpoints and counters are reported. (The backlog
+    // is already drained: the loop only exits when the scheduler is empty.)
+    for stream_id in shard.session_ids() {
+        if let Some((checkpoint, stream_stats)) = retire(&mut shard, stream_id, &mut meters, &load)
+        {
+            streams.insert(stream_id, stream_stats);
+            final_checkpoints.insert(stream_id, checkpoint);
+        }
+    }
+    let mut stats = shard.stats();
+    stats.queue_wait_total = clock.queue_wait_total;
+    stats.queue_wait_max = clock.queue_wait_max;
+    stats.busy_time = clock.busy_time;
+    stats.uplink_bytes = uplink_bytes;
+    stats.throttled = throttled;
+    stats.dropped_jobs += enqueue_drops;
+    stats.unknown_registers = unknown_registers;
+    stats.batch_limit_peak = batch_limit_peak;
+    Ok(ShardOutput {
+        stats,
+        streams,
+        final_checkpoints,
+    })
 }
 
 #[cfg(test)]
@@ -718,6 +1254,10 @@ mod tests {
         )
     }
 
+    fn at(offset_ms: u64) -> Instant {
+        Instant::now() + Duration::from_millis(offset_ms)
+    }
+
     #[test]
     fn pool_config_validates_and_routes() {
         assert!(PoolConfig::default_pool().validate().is_ok());
@@ -733,10 +1273,105 @@ mod tests {
         }
         .validate()
         .is_err());
+        assert!(PoolConfig {
+            max_in_flight: 0,
+            ..PoolConfig::default_pool()
+        }
+        .validate()
+        .is_err());
+        assert!(PoolConfig {
+            quantum: 0,
+            ..PoolConfig::default_pool()
+        }
+        .validate()
+        .is_err());
         let p = PoolConfig::with_shards(3);
         assert_eq!(p.shard_of(0), 0);
         assert_eq!(p.shard_of(4), 1);
         assert_eq!(p.shard_of(5), 2);
+    }
+
+    #[test]
+    fn fair_scheduler_round_robins_across_streams() {
+        let mut s = FairScheduler::new(1);
+        // A hot stream with a deep backlog and two cold streams with one
+        // job each.
+        for i in 0..6 {
+            s.push(1, i, at(0));
+        }
+        s.push(2, 100, at(1));
+        s.push(3, 200, at(2));
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.queued_for(1), 6);
+        assert_eq!(s.active_streams(), 3);
+        // A batch of 3 serves every stream once — the hot stream cannot
+        // monopolize the slots.
+        let batch = s.next_batch(3);
+        let streams: Vec<StreamId> = batch.iter().map(|j| j.job.stream_id).collect();
+        assert_eq!(streams, vec![1, 2, 3]);
+        // The cold streams are drained; the rest of the backlog belongs to
+        // the hot stream.
+        let batch = s.next_batch(3);
+        assert!(batch.iter().all(|j| j.job.stream_id == 1));
+        assert_eq!(s.len(), 2);
+        let rest = s.next_batch(10);
+        assert_eq!(rest.len(), 2);
+        assert!(s.is_empty());
+        // FIFO order within the stream.
+        let indices: Vec<usize> = rest.iter().map(|j| j.job.frame_index).collect();
+        assert_eq!(indices, vec![4, 5]);
+    }
+
+    #[test]
+    fn fair_scheduler_removal_returns_fifo_backlog() {
+        let mut s = FairScheduler::new(2);
+        s.push(7, 0, at(0));
+        s.push(7, 1, at(1));
+        s.push(8, 9, at(2));
+        let removed = s.remove_stream(7);
+        assert_eq!(
+            removed
+                .iter()
+                .map(|j| j.job.frame_index)
+                .collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.queued_for(7), 0);
+        // The ring no longer visits the removed stream.
+        let batch = s.next_batch(4);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].job.stream_id, 8);
+        assert!(s.remove_stream(99).is_empty());
+    }
+
+    #[test]
+    fn adaptive_batch_tracks_backlog_within_bounds() {
+        let mut b = AdaptiveBatch::new(8, true);
+        assert_eq!(b.limit(), 1);
+        assert_eq!(b.ceiling(), 8);
+        // Pressure grows the window multiplicatively, up to the ceiling.
+        b.observe(10, true);
+        assert_eq!(b.limit(), 2);
+        b.observe(10, true);
+        b.observe(10, true);
+        assert_eq!(b.limit(), 8);
+        b.observe(100, true);
+        assert_eq!(b.limit(), 8, "never exceeds the ceiling");
+        // An idle queue shrinks it back down.
+        b.observe(0, true);
+        b.observe(0, true);
+        b.observe(0, true);
+        assert_eq!(b.limit(), 1);
+        // Growth is gated on the teacher's marginal cost still amortizing.
+        b.observe(10, false);
+        assert_eq!(b.limit(), 1);
+        // Disabled: pinned to the ceiling regardless of observations.
+        let mut pinned = AdaptiveBatch::new(4, false);
+        assert_eq!(pinned.limit(), 4);
+        pinned.observe(0, true);
+        pinned.observe(0, true);
+        assert_eq!(pinned.limit(), 4);
     }
 
     #[test]
@@ -751,14 +1386,15 @@ mod tests {
         assert_eq!(s.stream_count(), 2);
 
         // Distill stream 1 only; stream 2's weights must not move.
-        let responses = s
+        let outcome = s
             .process_batch(&[ShardJob {
                 stream_id: 1,
                 frame_index: people[0].index,
             }])
             .unwrap();
-        assert_eq!(responses.len(), 1);
-        assert!(responses[0].2.outcome.steps >= 1);
+        assert_eq!(outcome.responses.len(), 1);
+        assert!(outcome.dropped.is_empty());
+        assert!(outcome.responses[0].2.outcome.steps >= 1);
         let (ckpt_b, stats_b) = s.finish(2).unwrap();
         assert_eq!(stats_b.key_frames, 0);
         assert!(ckpt_b.distance(&init_b).unwrap() < 1e-9);
@@ -768,13 +1404,34 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_register_does_not_clobber_the_session() {
+        let mut s = shard();
+        let people = frames_for(SceneKind::People, 13, 2);
+        s.register(1, people.iter().map(|f| (f.index, f.clone())).collect());
+        let outcome = s
+            .process_batch(&[ShardJob {
+                stream_id: 1,
+                frame_index: people[0].index,
+            }])
+            .unwrap();
+        assert_eq!(outcome.responses.len(), 1);
+        // A duplicate register with *empty* frames must neither reset the
+        // session nor lose the pre-shared frames.
+        let ckpt = s.register(1, HashMap::new());
+        assert!(s.has_frame(1, people[1].index), "frames clobbered");
+        let (final_ckpt, stats) = s.finish(1).unwrap();
+        assert_eq!(stats.key_frames, 1, "session reset by duplicate register");
+        assert!(ckpt.distance(&final_ckpt).unwrap() < 1e-9);
+    }
+
+    #[test]
     fn batched_labels_amortize_teacher_time() {
         let mut s = shard();
         let people = frames_for(SceneKind::People, 21, 2);
         let street = frames_for(SceneKind::Street, 22, 2);
         s.register(1, people.iter().map(|f| (f.index, f.clone())).collect());
         s.register(2, street.iter().map(|f| (f.index, f.clone())).collect());
-        let responses = s
+        let outcome = s
             .process_batch(&[
                 ShardJob {
                     stream_id: 1,
@@ -786,7 +1443,7 @@ mod tests {
                 },
             ])
             .unwrap();
-        assert_eq!(responses.len(), 2);
+        assert_eq!(outcome.responses.len(), 2);
         let stats = s.stats();
         assert_eq!(stats.teacher_batches, 1);
         assert_eq!(stats.key_frames, 2);
@@ -795,17 +1452,20 @@ mod tests {
         assert!(stats.teacher_time_saved > 0.0);
         // The amortized teacher share charged per response is below t_ti.
         let solo = OracleTeacher::perfect(0).inference_latency();
-        for (_, _, r) in &responses {
+        for (_, _, r) in &outcome.responses {
             assert!(r.server_time < solo + r.outcome.steps as f64 * 0.013 + 1e-12);
         }
+        // The default teacher's sub-linear batch cost keeps growth paying.
+        assert!(s.batch_growth_pays(2));
+        assert!(s.marginal_batch_cost(2) > 0.0);
     }
 
     #[test]
-    fn unknown_jobs_are_skipped() {
+    fn unknown_jobs_are_acked_not_silently_skipped() {
         let mut s = shard();
         let people = frames_for(SceneKind::People, 31, 1);
         s.register(1, people.iter().map(|f| (f.index, f.clone())).collect());
-        let responses = s
+        let outcome = s
             .process_batch(&[
                 ShardJob {
                     stream_id: 9,
@@ -817,8 +1477,13 @@ mod tests {
                 }, // unknown frame
             ])
             .unwrap();
-        assert!(responses.is_empty());
+        assert!(outcome.responses.is_empty());
+        assert_eq!(outcome.dropped.len(), 2);
+        assert_eq!(outcome.dropped[0].1, DropReason::UnknownStream);
+        assert_eq!(outcome.dropped[1].1, DropReason::UnknownFrame);
         assert_eq!(s.stats().teacher_batches, 0);
+        // The silent-drop bug: the shard now counts every dropped job.
+        assert_eq!(s.stats().dropped_jobs, 2);
         assert!(s.finish(9).is_none());
     }
 
@@ -828,8 +1493,8 @@ mod tests {
             ShadowTutorConfig::paper(),
             PoolConfig {
                 shards: 2,
-                max_batch: 4,
                 recv_timeout: Duration::from_millis(200),
+                ..PoolConfig::default_pool()
             },
             StudentNet::new(StudentConfig::tiny()).unwrap(),
             0.013,
@@ -842,8 +1507,10 @@ mod tests {
         ];
         let mut clients: Vec<StreamClient> = streams
             .iter()
-            .map(|(id, frames)| pool.connect(*id, frames))
+            .map(|(id, frames)| pool.connect(*id, frames).unwrap())
             .collect();
+        // Least-loaded placement spread the two streams over the two shards.
+        assert_eq!(pool.shard_loads(), vec![1, 1]);
         for (client, (_, frames)) in clients.iter_mut().zip(&streams) {
             // Initial checkpoint arrives first.
             let initial = client.recv_timeout(Duration::from_secs(10)).unwrap();
@@ -884,5 +1551,95 @@ mod tests {
         assert!(stats.streams.values().all(|s| s.key_frames == 1));
         // Streams 0 and 1 land on different shards.
         assert!(stats.shards.iter().all(|s| s.key_frames == 1));
+        // Nothing was silently lost in the clean scenario.
+        assert_eq!(stats.dropped_jobs(), 0);
+        assert_eq!(stats.throttled(), 0);
+    }
+
+    #[test]
+    fn pool_rejects_duplicate_connect() {
+        let pool = ServerPool::spawn(
+            ShadowTutorConfig::paper(),
+            PoolConfig {
+                shards: 1,
+                recv_timeout: Duration::from_millis(100),
+                ..PoolConfig::default_pool()
+            },
+            StudentNet::new(StudentConfig::tiny()).unwrap(),
+            0.013,
+            |_| OracleTeacher::perfect(1),
+        )
+        .unwrap();
+        let frames = frames_for(SceneKind::People, 61, 1);
+        let client = pool.connect(5, &frames).unwrap();
+        let Err(err) = pool.connect(5, &frames) else {
+            panic!("duplicate connect must be rejected");
+        };
+        assert!(format!("{err:?}").contains("already connected"));
+        drop(client);
+        pool.join().unwrap();
+    }
+
+    #[test]
+    fn least_loaded_placement_follows_departures() {
+        let pool = ServerPool::spawn(
+            ShadowTutorConfig::paper(),
+            PoolConfig {
+                shards: 2,
+                recv_timeout: Duration::from_millis(100),
+                ..PoolConfig::default_pool()
+            },
+            StudentNet::new(StudentConfig::tiny()).unwrap(),
+            0.013,
+            |shard| OracleTeacher::perfect(300 + shard as u64),
+        )
+        .unwrap();
+        let frames = frames_for(SceneKind::People, 62, 1);
+        // Sequential connects alternate shards...
+        let mut a = pool.connect(10, &frames).unwrap();
+        let _b = pool.connect(11, &frames).unwrap();
+        let _c = pool.connect(12, &frames).unwrap();
+        assert_eq!(pool.shard_loads().iter().sum::<usize>(), 3);
+        assert_eq!(pool.shard_loads(), vec![2, 1]);
+        // ...and a departure frees the slot, steering the next connect to
+        // the drained shard. (Wait for the shutdown to be processed.)
+        a.recv_timeout(Duration::from_secs(10)).unwrap();
+        a.send(ClientToServer::Shutdown, 1).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.shard_loads()[0] != 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pool.shard_loads(), vec![1, 1]);
+        let _d = pool.connect(13, &frames).unwrap();
+        assert_eq!(pool.shard_loads(), vec![2, 1]);
+        drop((a, _b, _c, _d));
+        let stats = pool.join().unwrap();
+        // Every connected stream is accounted for, with or without Shutdown.
+        assert_eq!(stats.streams.len(), 4);
+        assert_eq!(stats.final_checkpoints.len(), 4);
+    }
+
+    #[test]
+    fn static_modulo_placement_is_a_pure_function_of_the_id() {
+        let pool = ServerPool::spawn(
+            ShadowTutorConfig::paper(),
+            PoolConfig {
+                shards: 2,
+                placement: PlacementPolicy::StaticModulo,
+                recv_timeout: Duration::from_millis(100),
+                ..PoolConfig::default_pool()
+            },
+            StudentNet::new(StudentConfig::tiny()).unwrap(),
+            0.013,
+            |shard| OracleTeacher::perfect(400 + shard as u64),
+        )
+        .unwrap();
+        let frames = frames_for(SceneKind::People, 63, 1);
+        // Both even ids land on shard 0 even though shard 1 is empty.
+        let a = pool.connect(0, &frames).unwrap();
+        let b = pool.connect(2, &frames).unwrap();
+        assert_eq!(pool.shard_loads(), vec![2, 0]);
+        drop((a, b));
+        pool.join().unwrap();
     }
 }

@@ -24,6 +24,43 @@ use st_nn::snapshot::{PayloadSizes, SnapshotScope, WeightSnapshot};
 use st_nn::student::StudentNet;
 use st_teacher::Teacher;
 use st_video::Frame;
+use std::time::Duration;
+
+/// Server-side counters for one stream, reported when the stream finishes.
+///
+/// The distillation counters come straight from the stream's
+/// [`DistillSession`] ([`DistillSession::stats`]); the queueing/backpressure
+/// fields are filled in by the pool worker that scheduled the stream, which
+/// is the only place wall-clock waits and admission decisions are visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamServerStats {
+    /// Key frames the stream's session processed.
+    pub key_frames: usize,
+    /// Total distillation steps the session took.
+    pub distill_steps: usize,
+    /// Total wall-clock time the stream's key frames spent queued before
+    /// service began.
+    pub queue_wait_total: Duration,
+    /// Largest single queue wait one of the stream's key frames observed.
+    pub queue_wait_max: Duration,
+    /// Key frames rejected by per-stream admission control
+    /// (`ServerToClient::Throttle`).
+    pub throttled: usize,
+    /// Key frames dropped because the stream or frame was unknown
+    /// (`ServerToClient::Dropped`).
+    pub dropped: usize,
+}
+
+impl StreamServerStats {
+    /// Mean wall-clock queue wait per serviced key frame in seconds.
+    pub fn mean_queue_wait_secs(&self) -> f64 {
+        if self.key_frames == 0 {
+            0.0
+        } else {
+            self.queue_wait_total.as_secs_f64() / self.key_frames as f64
+        }
+    }
+}
 
 /// The server's response to one key frame.
 #[derive(Debug, Clone)]
@@ -144,6 +181,17 @@ impl DistillSession {
             0.0
         } else {
             self.total_distill_steps as f64 / self.total_key_frames as f64
+        }
+    }
+
+    /// The session's counters as the distillation half of
+    /// [`StreamServerStats`] (queueing/backpressure fields are zero; the pool
+    /// worker that owns the stream merges those in).
+    pub fn stats(&self) -> StreamServerStats {
+        StreamServerStats {
+            key_frames: self.total_key_frames,
+            distill_steps: self.total_distill_steps,
+            ..StreamServerStats::default()
         }
     }
 }
@@ -284,6 +332,14 @@ mod tests {
             session.distill_steps_taken(),
             composed.distill_steps_taken()
         );
+        // The session's exported stats carry the distillation half and leave
+        // the pool-worker half (waits, throttles, drops) zeroed.
+        let stats = session.stats();
+        assert_eq!(stats.key_frames, session.key_frames_processed());
+        assert_eq!(stats.distill_steps, session.distill_steps_taken());
+        assert_eq!(stats.throttled, 0);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.mean_queue_wait_secs(), 0.0);
     }
 
     #[test]

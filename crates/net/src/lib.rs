@@ -26,7 +26,8 @@ pub mod transport;
 
 pub use link::{Bandwidth, LinkModel};
 pub use message::{
-    ClientToServer, KeyFrameTraffic, NaiveTraffic, Payload, ServerToClient, StreamId, StreamTagged,
+    ClientToServer, DropReason, KeyFrameTraffic, NaiveTraffic, Payload, ServerToClient, StreamId,
+    StreamTagged,
 };
 pub use transport::{ClientEndpoint, DuplexTransport, TransportError};
 

@@ -105,6 +105,20 @@ impl<M> StreamTagged<M> {
     }
 }
 
+/// Why the server refused (or lost) a key frame instead of serving it.
+///
+/// Sent back in [`ServerToClient::Dropped`] so the client's frame accounting
+/// cannot silently skew: every key frame the client uploads is answered by
+/// exactly one `StudentUpdate`, `Throttle`, or `Dropped`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The stream has no registered session (never registered, or the key
+    /// frame arrived after the stream's `Shutdown`).
+    UnknownStream,
+    /// The stream is registered but the frame index was never pre-shared.
+    UnknownFrame,
+}
+
 /// Server → client messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServerToClient {
@@ -126,6 +140,25 @@ pub enum ServerToClient {
         /// Encoded weight snapshot (trainable subset under partial
         /// distillation, everything under full distillation).
         payload: Payload,
+    },
+    /// Admission control: the stream already has its maximum number of key
+    /// frames in flight, so this one was rejected without being queued. The
+    /// client should fall back to local-only inference for the frame (its
+    /// student simply keeps serving with the current weights) and must not
+    /// wait for a `StudentUpdate`.
+    Throttle {
+        /// Index of the rejected key frame.
+        frame_index: usize,
+    },
+    /// The key frame could not be served at all (see [`DropReason`]). Like
+    /// [`ServerToClient::Throttle`] this clears the client's outstanding
+    /// update; unlike a throttle it indicates a protocol-level mismatch the
+    /// server also counts in its shard statistics.
+    Dropped {
+        /// Index of the dropped key frame.
+        frame_index: usize,
+        /// Why the frame was dropped.
+        reason: DropReason,
     },
 }
 
@@ -245,6 +278,29 @@ mod tests {
         assert_eq!(tagged.into_inner(), inner);
         let reg = StreamTagged::new(7, ClientToServer::Register);
         assert_eq!(reg.message, ClientToServer::Register);
+    }
+
+    #[test]
+    fn throttle_and_drop_identify_the_key_frame() {
+        // Both rejection messages carry the frame index so the client can
+        // reconcile exactly which upload will never be answered by an update.
+        let t = ServerToClient::Throttle { frame_index: 42 };
+        assert!(matches!(t, ServerToClient::Throttle { frame_index: 42 }));
+        let d = ServerToClient::Dropped {
+            frame_index: 7,
+            reason: DropReason::UnknownStream,
+        };
+        match d {
+            ServerToClient::Dropped {
+                frame_index,
+                reason,
+            } => {
+                assert_eq!(frame_index, 7);
+                assert_eq!(reason, DropReason::UnknownStream);
+                assert_ne!(reason, DropReason::UnknownFrame);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
     }
 
     #[test]

@@ -83,14 +83,102 @@ impl ContentionModel {
     /// the point — the live pool's measured waits are compared against this
     /// for *ordering* and order-of-magnitude agreement.
     pub fn queueing_delay(&self, streams: usize, service: f64, inter_arrival: f64) -> f64 {
-        let rho = self.utilization(streams, service, inter_arrival);
-        let competitors = ((streams as f64 / self.workers as f64) - 1.0).max(0.0);
+        self.delay_for(streams as f64, service, inter_arrival)
+    }
+
+    /// The delay law above for a (possibly fractional) effective stream
+    /// count — the shared core of the uniform and skewed predictions.
+    fn delay_for(&self, offered_streams: f64, service: f64, inter_arrival: f64) -> f64 {
+        if inter_arrival <= 0.0 {
+            let competitors = ((offered_streams / self.workers as f64) - 1.0).max(0.0);
+            return competitors * service;
+        }
+        let rho = offered_streams * service / (self.workers as f64 * inter_arrival);
+        let competitors = ((offered_streams / self.workers as f64) - 1.0).max(0.0);
         let saturated = competitors * service;
         if rho >= 1.0 {
             saturated
         } else {
             (rho / (1.0 - rho) * service / 2.0).min(saturated)
         }
+    }
+
+    /// Effective uniform-rate stream count of a skewed population: `streams`
+    /// clients where one hot stream sends `hot_multiplier`× the base
+    /// key-frame rate contributes the same total arrival rate as this many
+    /// well-behaved streams.
+    pub fn skewed_offered_streams(streams: usize, hot_multiplier: f64) -> f64 {
+        if streams == 0 {
+            return 0.0;
+        }
+        (streams - 1) as f64 + hot_multiplier.max(1.0)
+    }
+
+    /// Utilization under a skewed population (one hot stream at
+    /// `hot_multiplier`× the base rate).
+    pub fn skewed_utilization(
+        &self,
+        streams: usize,
+        hot_multiplier: f64,
+        service: f64,
+        inter_arrival: f64,
+    ) -> f64 {
+        self.utilization_rate(
+            Self::skewed_offered_streams(streams, hot_multiplier),
+            service,
+            inter_arrival,
+        )
+    }
+
+    /// Predicted queueing delay under a **FIFO** drain with a skewed
+    /// population: one shared queue, so the hot stream's excess arrivals
+    /// inflate every stream's wait equally — hot and cold alike pay for the
+    /// hot stream's behaviour. This is what PR 2's pool did.
+    pub fn skewed_delay_fifo(
+        &self,
+        streams: usize,
+        hot_multiplier: f64,
+        service: f64,
+        inter_arrival: f64,
+    ) -> f64 {
+        self.delay_for(
+            Self::skewed_offered_streams(streams, hot_multiplier),
+            service,
+            inter_arrival,
+        )
+    }
+
+    /// Predicted queueing delay of a **cold** stream under a fair
+    /// (deficit-round-robin) drain: the scheduler caps the hot stream at its
+    /// per-round share, so a cold stream waits as if the population were
+    /// uniform — independent of the hot multiplier. The fairness property the
+    /// live pool's skew tests assert is exactly this prediction.
+    pub fn skewed_delay_cold_fair(&self, streams: usize, service: f64, inter_arrival: f64) -> f64 {
+        self.delay_for(streams as f64, service, inter_arrival)
+    }
+
+    /// Predicted queueing delay of the **hot** stream under a fair drain: it
+    /// competes for shared slots like everyone else, but its excess arrivals
+    /// queue behind each other — roughly `hot_multiplier − 1` of its own
+    /// jobs ahead of a new one once its fair share is saturated. The hot
+    /// stream bears the cost of its own burstiness instead of spreading it.
+    pub fn skewed_delay_hot_fair(
+        &self,
+        streams: usize,
+        hot_multiplier: f64,
+        service: f64,
+        inter_arrival: f64,
+    ) -> f64 {
+        self.skewed_delay_cold_fair(streams, service, inter_arrival)
+            + (hot_multiplier.max(1.0) - 1.0) * service
+    }
+
+    /// Utilization for a fractional effective stream count.
+    fn utilization_rate(&self, offered_streams: f64, service: f64, inter_arrival: f64) -> f64 {
+        if inter_arrival <= 0.0 {
+            return f64::INFINITY;
+        }
+        offered_streams * service / (self.workers as f64 * inter_arrival)
     }
 
     /// The key-frame round trip under contention: network + queueing +
@@ -194,6 +282,52 @@ mod tests {
         let delay = model(1).queueing_delay(16, service, service / 100.0);
         assert!(delay.is_finite());
         assert!((delay - 15.0 * service).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewed_arrivals_penalize_everyone_under_fifo_but_only_the_hot_stream_under_drr() {
+        let p = LatencyProfile::paper();
+        let service = model(1).service_time(&p, true, 4.0, 1.0);
+        let inter = 8.0 * p.student_inference;
+        let m = model(1);
+        let streams = 4;
+
+        // A 4-stream population with one stream at 8x offers the load of 11
+        // uniform streams.
+        assert!((ContentionModel::skewed_offered_streams(streams, 8.0) - 11.0).abs() < 1e-12);
+        assert_eq!(ContentionModel::skewed_offered_streams(0, 8.0), 0.0);
+
+        // FIFO: the shared queue makes every stream pay for the hot one —
+        // the predicted delay grows with the multiplier.
+        let fifo_1 = m.skewed_delay_fifo(streams, 1.0, service, inter);
+        let fifo_4 = m.skewed_delay_fifo(streams, 4.0, service, inter);
+        let fifo_8 = m.skewed_delay_fifo(streams, 8.0, service, inter);
+        assert!(
+            fifo_1 <= fifo_4 && fifo_4 <= fifo_8,
+            "{fifo_1} {fifo_4} {fifo_8}"
+        );
+        assert!(fifo_8 > fifo_1, "skew must visibly inflate FIFO waits");
+
+        // Fair drain: a cold stream's delay does not depend on the hot
+        // multiplier at all — it matches the uniform-population prediction —
+        // and never exceeds the FIFO delay.
+        let cold = m.skewed_delay_cold_fair(streams, service, inter);
+        assert!((cold - m.queueing_delay(streams, service, inter)).abs() < 1e-12);
+        assert!(cold <= fifo_8 + 1e-12);
+
+        // The hot stream bears its own excess: at 1x it is just another
+        // stream, and its penalty grows with the multiplier.
+        let hot_1 = m.skewed_delay_hot_fair(streams, 1.0, service, inter);
+        let hot_8 = m.skewed_delay_hot_fair(streams, 8.0, service, inter);
+        assert!((hot_1 - cold).abs() < 1e-12);
+        assert!(hot_8 > cold);
+        assert!(hot_8 > hot_1);
+
+        // Utilization bookkeeping follows the offered load.
+        let u_uniform = m.skewed_utilization(streams, 1.0, service, inter);
+        let u_skewed = m.skewed_utilization(streams, 8.0, service, inter);
+        assert!((u_uniform - m.utilization(streams, service, inter)).abs() < 1e-12);
+        assert!(u_skewed > u_uniform);
     }
 
     #[test]

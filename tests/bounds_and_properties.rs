@@ -53,6 +53,62 @@ proptest! {
         prop_assert!(tp.lower_fps > 0.0 && tr.lower_bps > 0.0);
     }
 
+    /// Deficit-round-robin batching never hands the teacher more than
+    /// `max_batch` key frames per forward, conserves every queued job, and
+    /// drains without stalling — for any mix of stream backlogs, quantum,
+    /// and window size.
+    #[test]
+    fn drr_batches_respect_the_cap_and_conserve_jobs(
+        jobs_per_stream in prop::collection::vec(0usize..12, 1..8),
+        max_batch in 1usize..9,
+        quantum in 1usize..4,
+    ) {
+        use shadowtutor::serve::FairScheduler;
+        use std::time::Instant;
+        let mut scheduler = FairScheduler::new(quantum);
+        let now = Instant::now();
+        let total: usize = jobs_per_stream.iter().sum();
+        for (stream, &jobs) in jobs_per_stream.iter().enumerate() {
+            for frame in 0..jobs {
+                scheduler.push(stream as u64, frame, now);
+            }
+        }
+        prop_assert_eq!(scheduler.len(), total);
+        let streams = jobs_per_stream.len();
+        let mut drained = 0usize;
+        let mut batches = 0usize;
+        let mut first_served: Vec<Option<usize>> = vec![None; streams];
+        while !scheduler.is_empty() {
+            let batch = scheduler.next_batch(max_batch);
+            prop_assert!(batch.len() <= max_batch, "batch exceeded max_batch");
+            prop_assert!(!batch.is_empty(), "non-empty scheduler made no progress");
+            for scheduled in &batch {
+                let stream = scheduled.job.stream_id as usize;
+                first_served[stream].get_or_insert(batches);
+            }
+            drained += batch.len();
+            batches += 1;
+            prop_assert!(batches <= total + 1, "drain did not terminate");
+        }
+        prop_assert_eq!(drained, total, "jobs lost or invented by the scheduler");
+        prop_assert!(scheduler.is_empty());
+        // No starvation: every stream with jobs is first served within a
+        // bounded number of batches of the drain's start (each batch serves
+        // the ring head and rotates spent turns to the back).
+        let bound = streams * quantum;
+        for (stream, &jobs) in jobs_per_stream.iter().enumerate() {
+            if jobs > 0 {
+                let first = first_served[stream];
+                prop_assert!(first.is_some(), "stream {} never served", stream);
+                prop_assert!(
+                    first.unwrap() <= bound,
+                    "stream {} first served only at batch {} (bound {})",
+                    stream, first.unwrap(), bound
+                );
+            }
+        }
+    }
+
     /// Weight snapshots encode/decode losslessly for any freeze scope.
     #[test]
     fn snapshot_encoding_round_trips(seed in 0u64..1000, partial in any::<bool>()) {

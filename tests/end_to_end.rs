@@ -4,16 +4,20 @@
 
 use shadowtutor::baseline::{run_naive, run_wild};
 use shadowtutor::config::{DistillationMode, ShadowTutorConfig};
+use shadowtutor::loadgen::{run_skewed_load, PacedTeacher, SkewedLoadSpec};
 use shadowtutor::runtime::live::{run_live, run_live_multi, StreamSpec};
 use shadowtutor::runtime::sim::{DelayModel, SimRuntime};
-use shadowtutor::serve::PoolConfig;
+use shadowtutor::serve::{PoolConfig, ServerPool};
 use shadowtutor_repro::testsupport::pretrained_student;
+use st_net::transport::ClientEndpoint;
 use st_net::LinkModel;
+use st_net::{ClientToServer, DropReason, Payload, ServerToClient};
 use st_nn::student::{StudentConfig, StudentNet};
 use st_sim::{Concurrency, ContentionModel, LatencyProfile};
 use st_teacher::OracleTeacher;
 use st_video::dataset::{category_videos, tiny_stream as frames_for, Resolution};
 use st_video::{CameraMotion, SceneKind, VideoCategory, VideoConfig, VideoGenerator};
+use std::time::Duration;
 
 fn people_video(seed: u64) -> VideoGenerator {
     let cat = VideoCategory {
@@ -436,6 +440,194 @@ fn live_server_contention_is_sane_against_the_sim_concurrency_model() {
         t_net,
     );
     assert!(t_c_none >= t_c_full);
+}
+
+#[test]
+fn hot_stream_cannot_starve_cold_streams() {
+    // A 4-stream, one-shard pool where stream 0 sends 8x the key-frame rate
+    // of the others. Deficit-round-robin batching plus the per-stream
+    // in-flight cap must keep the well-behaved streams fully serviced and
+    // their waits bounded, pushing the cost of the burstiness onto the hot
+    // stream itself.
+    let (student, _) = pretrained_student();
+    let run = |streams: usize, hot_multiplier: usize| {
+        run_skewed_load(
+            ShadowTutorConfig::paper(),
+            PoolConfig {
+                shards: 1,
+                recv_timeout: Duration::from_millis(200),
+                ..PoolConfig::default_pool()
+            },
+            student.clone(),
+            0.013,
+            |shard| {
+                // The 16 ms wall-clock pause per teacher forward makes the
+                // throttle assertion machine-independent: even with free
+                // distillation, a full batch (4 jobs) takes at least
+                // 16 * 1.6 = 25.6 ms, so the shard drains at most one hot
+                // job per 6.4 ms while the 8x hot stream sends one every
+                // 5 ms — its in-flight cap must fill within the run.
+                PacedTeacher::new(
+                    OracleTeacher::perfect(500 + shard as u64),
+                    Duration::from_millis(16),
+                )
+            },
+            SkewedLoadSpec {
+                streams,
+                hot_multiplier,
+                key_frames_per_stream: 5,
+                send_interval: Duration::from_millis(40),
+                seed: 7000 + hot_multiplier as u64,
+            },
+        )
+        .unwrap()
+    };
+
+    // Solo baseline: one well-behaved stream with the pool to itself. Every
+    // cold stream is statistically identical to it.
+    let solo = run(1, 1);
+    let solo_wait = solo.pool.streams[&0].mean_queue_wait_secs();
+
+    let skewed = run(4, 8);
+    // Every cold stream was fully serviced: each of its key frames got a
+    // StudentUpdate — none starved, none throttled, none dropped.
+    for cold in skewed.cold() {
+        assert_eq!(
+            cold.updates, cold.sent,
+            "cold stream {} starved: {} of {} key frames serviced",
+            cold.stream_id, cold.updates, cold.sent
+        );
+        assert_eq!(
+            cold.throttled, 0,
+            "cold stream {} throttled",
+            cold.stream_id
+        );
+        assert_eq!(cold.dropped, 0, "cold stream {} dropped", cold.stream_id);
+    }
+    // Nothing was silently lost in this non-adversarial scenario.
+    assert_eq!(skewed.pool.dropped_jobs(), 0);
+
+    // Bounded waits: no cold stream's mean server-side queue wait exceeds
+    // 3x its solo-run wait, up to the deficit-round-robin service bound as
+    // slack — one DRR cycle is the in-flight batch (`max_batch` jobs) plus
+    // one ring round (one job per stream), each costing the run's measured
+    // mean per-key-frame service time, and an arriving envelope can sit
+    // through a full cycle in the uplink channel before the worker's next
+    // drain pass even sees it, so allow two cycles. (An idle pool's solo
+    // waits are near zero, so a pure ratio would measure OS scheduling
+    // jitter rather than fairness; a FIFO drain without the in-flight cap
+    // would instead let the hot backlog — dozens of jobs — pile up in
+    // front of cold arrivals, blowing far past this bound.)
+    let streams = 4usize;
+    let mean_service = {
+        let busy: f64 = skewed
+            .pool
+            .shards
+            .iter()
+            .map(|s| s.busy_time.as_secs_f64())
+            .sum();
+        busy / skewed.pool.total_key_frames().max(1) as f64
+    };
+    let drr_cycle = (PoolConfig::default_pool().max_batch + streams) as f64 * mean_service;
+    // The extra 100 ms absorbs a preempted-CI-runner stall of the worker
+    // thread; a FIFO drain without the in-flight cap would queue the hot
+    // stream's dozens of jobs ahead of cold arrivals and overshoot this by
+    // hundreds of milliseconds, so the bound still discriminates.
+    let drr_bound = 2.0 * drr_cycle + 0.1;
+    for cold in skewed.cold() {
+        let wait = skewed.pool.streams[&cold.stream_id].mean_queue_wait_secs();
+        assert!(
+            wait <= 3.0 * solo_wait + drr_bound,
+            "cold stream {} mean wait {:.4}s vs solo {:.4}s (DRR bound {:.4}s)",
+            cold.stream_id,
+            wait,
+            solo_wait,
+            drr_bound
+        );
+    }
+
+    // The hot stream bore its own excess: at 8x the base rate against a
+    // paced teacher its in-flight cap had to engage.
+    assert!(
+        skewed.hot().throttled > 0,
+        "admission control never engaged on the hot stream ({} sent)",
+        skewed.hot().sent
+    );
+    // And everything the hot stream sent was still answered explicitly.
+    let hot = skewed.hot();
+    assert_eq!(hot.updates + hot.throttled + hot.dropped, hot.sent);
+}
+
+#[test]
+fn key_frame_after_shutdown_is_acked_and_counted_not_silently_lost() {
+    // The shutdown race from the silent-drop bug: a key frame that reaches
+    // the shard after its stream's Shutdown (here: sent after Shutdown on
+    // the same FIFO uplink) cannot be served — the session is retired — but
+    // it must be *accounted*: dropped_jobs increments and the client gets an
+    // explicit Dropped ack so its frame bookkeeping cannot skew.
+    let pool = ServerPool::spawn(
+        ShadowTutorConfig::paper(),
+        PoolConfig {
+            shards: 1,
+            recv_timeout: Duration::from_millis(200),
+            ..PoolConfig::default_pool()
+        },
+        StudentNet::new(StudentConfig::tiny()).unwrap(),
+        0.013,
+        |_| OracleTeacher::perfect(77),
+    )
+    .unwrap();
+    let frames = frames_for(SceneKind::People, 88, 2);
+    let mut client = pool.connect(3, &frames).unwrap();
+    let initial = client.recv_timeout(Duration::from_secs(10)).unwrap();
+    assert!(matches!(initial, ServerToClient::InitialStudent { .. }));
+
+    let send_key = |client: &mut shadowtutor::serve::StreamClient, index: usize| {
+        let payload = Payload::sized(frames[0].raw_rgb_bytes());
+        let bytes = payload.bytes;
+        client
+            .send(
+                ClientToServer::KeyFrame {
+                    frame_index: index,
+                    payload,
+                },
+                bytes,
+            )
+            .unwrap();
+    };
+    send_key(&mut client, frames[0].index);
+    client.send(ClientToServer::Shutdown, 1).unwrap();
+    send_key(&mut client, frames[1].index);
+
+    // The key frame queued ahead of the Shutdown is flushed, not lost...
+    let update = client.recv_timeout(Duration::from_secs(10)).unwrap();
+    match update {
+        ServerToClient::StudentUpdate { frame_index, .. } => {
+            assert_eq!(frame_index, frames[0].index)
+        }
+        other => panic!("expected StudentUpdate, got {other:?}"),
+    }
+    // ...and the late one gets an explicit drop ack instead of vanishing.
+    let ack = client.recv_timeout(Duration::from_secs(10)).unwrap();
+    match ack {
+        ServerToClient::Dropped {
+            frame_index,
+            reason,
+        } => {
+            assert_eq!(frame_index, frames[1].index);
+            assert_eq!(reason, DropReason::UnknownStream);
+        }
+        other => panic!("expected Dropped, got {other:?}"),
+    }
+    drop(client);
+    let stats = pool.join().unwrap();
+    assert_eq!(stats.dropped_jobs(), 1, "the drop must be counted");
+    assert_eq!(stats.total_key_frames(), 1);
+    assert_eq!(stats.streams[&3].key_frames, 1);
+    // The drop is attributed to the stream even though it was already
+    // retired when the late frame arrived.
+    assert_eq!(stats.streams[&3].dropped, 1);
+    assert_eq!(stats.streams[&3].throttled, 0);
 }
 
 #[test]
