@@ -16,8 +16,10 @@ use st_net::{KeyFrameTraffic, LinkModel, NaiveTraffic};
 use st_nn::snapshot::PayloadSizes;
 use st_nn::student::{StudentConfig, StudentNet};
 use st_sim::{Concurrency, ContentionModel};
-use st_teacher::OracleTeacher;
-use std::time::Duration;
+use st_teacher::{CnnTeacher, OracleTeacher, Teacher};
+use st_video::dataset::tiny_stream;
+use st_video::SceneKind;
+use std::time::{Duration, Instant};
 
 /// A reproduced table: a human-readable rendering plus machine-readable rows.
 #[derive(Debug, Clone)]
@@ -506,6 +508,68 @@ pub fn table9_skewed(
     ];
     out.render(&format!(
         "Table 9 — fairness under skewed arrivals ({streams} streams, 1 shard, DRR + admission control)"
+    ));
+    out
+}
+
+/// Table 10 (new in this reproduction, no paper counterpart) — batched
+/// teacher throughput: wall-clock cost of one genuinely batched
+/// [`CnnTeacher`] forward (`pseudo_label_batch`) as the co-scheduled batch
+/// size grows. This is the kernel-level amortization the multi-stream pool
+/// buys when it co-schedules key frames: per-frame cost must *fall* with
+/// batch size (the CI bench gates on exactly that).
+///
+/// `batch_sizes` is the sweep (e.g. `[1, 2, 4, 8]`); `width_multiple` sizes
+/// the teacher network; `reps` timed repetitions per size (the median is
+/// reported; one untimed warm-up precedes each size).
+pub fn table10_batched(batch_sizes: &[usize], width_multiple: usize, reps: usize) -> TableOutput {
+    let mut out = TableOutput::new("Table 10");
+    let max_batch = batch_sizes.iter().copied().max().unwrap_or(1);
+    let mut teacher = CnnTeacher::untrained(width_multiple, 77).expect("teacher");
+    let frames = tiny_stream(SceneKind::People, 7700, max_batch);
+    let mut medians = Vec::new();
+    for &batch in batch_sizes {
+        let refs: Vec<&st_video::Frame> = frames[..batch].iter().collect();
+        teacher.pseudo_label_batch(&refs).expect("warm-up forward");
+        let mut samples: Vec<f64> = (0..reps.max(1))
+            .map(|_| {
+                let started = Instant::now();
+                std::hint::black_box(teacher.pseudo_label_batch(&refs).expect("timed forward"));
+                started.elapsed().as_secs_f64()
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        medians.push(samples[samples.len() / 2]);
+    }
+    // Baseline for the speedup column: the smallest batch size in the sweep
+    // (batch 1 in the canonical sweep), wherever it appears in the order.
+    let baseline_per_frame = batch_sizes
+        .iter()
+        .zip(&medians)
+        .map(|(&batch, &median)| (batch, median / batch as f64))
+        .min_by_key(|&(batch, _)| batch)
+        .map(|(_, per_frame)| per_frame)
+        .unwrap_or(f64::NAN);
+    let mut total_ms = Vec::new();
+    let mut per_frame_ms = Vec::new();
+    let mut fps = Vec::new();
+    let mut speedup = Vec::new();
+    for (&batch, &median) in batch_sizes.iter().zip(&medians) {
+        let per_frame = median / batch as f64;
+        out.row_labels.push(format!("batch {batch}"));
+        total_ms.push(1e3 * median);
+        per_frame_ms.push(1e3 * per_frame);
+        fps.push(batch as f64 / median);
+        speedup.push(baseline_per_frame / per_frame);
+    }
+    out.columns = vec![
+        ("total ms".to_string(), total_ms),
+        ("per-frame ms".to_string(), per_frame_ms),
+        ("frames/s".to_string(), fps),
+        ("speedup vs solo".to_string(), speedup),
+    ];
+    out.render(&format!(
+        "Table 10 — batched CnnTeacher forward throughput (width x{width_multiple}, 32x24 frames, median of {reps})"
     ));
     out
 }

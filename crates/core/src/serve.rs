@@ -36,12 +36,17 @@
 //! * **Adaptive co-scheduling** — the batching window grows and shrinks with
 //!   the observed backlog ([`AdaptiveBatch`]) instead of sitting at the
 //!   static `max_batch`, bounded above by it, and growth stops when the
-//!   teacher's marginal batched-inference cost no longer amortizes.
+//!   teacher's marginal batched-inference cost no longer amortizes. Every
+//!   batched teacher forward is wall-clock timed ([`TeacherCostProfile`]),
+//!   so once real data exists the growth decision runs on *measured*
+//!   marginal cost and only falls back to the virtual latency model before
+//!   that (or when forwards are too fast to time).
 //!
 //! The pool reports [`PoolStats`]: per-shard queueing/batching/latency
-//! counters plus per-stream key-frame totals, waits, throttles, drops and
-//! final server-side checkpoints, which the contention experiments compare
-//! against the analytic [`st_sim::ContentionModel`].
+//! counters plus per-stream key-frame totals, waits, throttles, drops,
+//! measured teacher wall time and final server-side checkpoints, which the
+//! contention experiments compare against the analytic
+//! [`st_sim::ContentionModel`].
 
 use crate::config::{PlacementPolicy, ShadowTutorConfig};
 pub use crate::server::StreamServerStats;
@@ -185,6 +190,12 @@ pub struct ShardStats {
     pub unknown_registers: usize,
     /// Largest co-scheduling window the adaptive batcher reached.
     pub batch_limit_peak: usize,
+    /// Measured wall-clock time spent inside batched teacher forwards
+    /// ([`st_teacher::Teacher::pseudo_label_batch`]). Unlike
+    /// [`ShardStats::virtual_server_time`], this is real compute, so
+    /// `teacher_wall_time / key_frames` is the *measured* amortized
+    /// per-frame teacher cost batching is supposed to drive down.
+    pub teacher_wall_time: Duration,
 }
 
 impl ShardStats {
@@ -204,6 +215,16 @@ impl ShardStats {
             0.0
         } else {
             self.queue_wait_total.as_secs_f64() / self.key_frames as f64
+        }
+    }
+
+    /// Measured amortized teacher cost per key frame in seconds (wall clock,
+    /// not the virtual model; 0.0 before any key frame was served).
+    pub fn mean_teacher_wall_secs(&self) -> f64 {
+        if self.key_frames == 0 {
+            0.0
+        } else {
+            self.teacher_wall_time.as_secs_f64() / self.key_frames as f64
         }
     }
 }
@@ -270,6 +291,22 @@ impl PoolStats {
     /// Virtual teacher time saved by batching across all shards.
     pub fn teacher_time_saved(&self) -> f64 {
         self.shards.iter().map(|s| s.teacher_time_saved).sum()
+    }
+
+    /// Measured wall-clock teacher time across all shards.
+    pub fn teacher_wall_time(&self) -> Duration {
+        self.shards.iter().map(|s| s.teacher_wall_time).sum()
+    }
+
+    /// Measured amortized teacher cost per key frame in seconds across the
+    /// pool (wall clock, not the virtual model).
+    pub fn mean_teacher_wall_secs(&self) -> f64 {
+        let k = self.total_key_frames();
+        if k == 0 {
+            0.0
+        } else {
+            self.teacher_wall_time().as_secs_f64() / k as f64
+        }
     }
 }
 
@@ -503,6 +540,106 @@ pub struct BatchOutcome {
     pub dropped: Vec<(ShardJob, DropReason)>,
 }
 
+/// Measured wall-clock cost of batched teacher forwards, by batch size.
+///
+/// The shard records the duration of every
+/// [`st_teacher::Teacher::pseudo_label_batch`] call into a per-batch-size
+/// exponential moving average. [`ServeShard::batch_growth_pays`] then judges
+/// window growth on this *measured* marginal-cost data — the slope between
+/// the two largest observed batch sizes — instead of the teacher's virtual
+/// latency model, so the adaptive co-scheduling window tracks what batching
+/// actually buys on the hardware at hand. Until enough sizes have been
+/// observed (or when forwards are too fast to time meaningfully, e.g. the
+/// oracle teacher), the caller falls back to the virtual model.
+#[derive(Debug, Clone)]
+pub struct TeacherCostProfile {
+    /// EMA of batched-forward wall seconds, indexed by batch size.
+    ema: Vec<Option<f64>>,
+}
+
+/// EMA smoothing factor for new batched-forward cost observations.
+const COST_EMA_ALPHA: f64 = 0.3;
+/// Forwards faster than this (seconds) are considered unmeasurable: timer
+/// noise would dominate any marginal-cost estimate.
+const COST_MEASURABLE_FLOOR: f64 = 1e-4;
+
+impl TeacherCostProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        TeacherCostProfile { ema: Vec::new() }
+    }
+
+    /// Record one batched forward of `batch` frames that took `secs`.
+    pub fn record(&mut self, batch: usize, secs: f64) {
+        if batch == 0 || !secs.is_finite() || secs < 0.0 {
+            return;
+        }
+        if self.ema.len() <= batch {
+            self.ema.resize(batch + 1, None);
+        }
+        self.ema[batch] = Some(match self.ema[batch] {
+            Some(prev) => (1.0 - COST_EMA_ALPHA) * prev + COST_EMA_ALPHA * secs,
+            None => secs,
+        });
+    }
+
+    /// Smoothed wall cost of a batched forward of exactly `batch` frames
+    /// (`None` when that size has not been observed).
+    pub fn estimate(&self, batch: usize) -> Option<f64> {
+        self.ema.get(batch).copied().flatten()
+    }
+
+    /// Measured per-frame cost at the largest observed batch size not above
+    /// `batch` (`None` when nothing relevant was observed).
+    pub fn per_frame_at_or_below(&self, batch: usize) -> Option<f64> {
+        self.ema
+            .iter()
+            .enumerate()
+            .take(batch + 1)
+            .rev()
+            .find_map(|(size, ema)| ema.map(|cost| cost / size as f64))
+    }
+
+    /// Whether growing the window beyond `batch` still amortizes, judged on
+    /// measured data: the marginal cost per extra slot — the slope between
+    /// the two largest observed sizes at or below `batch + 1` — must be
+    /// below the measured solo-forward cost. `None` when fewer than two
+    /// sizes have been observed or the forwards are too fast to time
+    /// ([`COST_MEASURABLE_FLOOR`]), in which case the caller should fall
+    /// back to the teacher's virtual latency model.
+    pub fn growth_pays(&self, batch: usize) -> Option<bool> {
+        let solo = self.estimate(1)?;
+        if solo < COST_MEASURABLE_FLOOR {
+            return None;
+        }
+        let mut observed = self
+            .ema
+            .iter()
+            .enumerate()
+            .take(batch + 2)
+            .filter_map(|(size, ema)| ema.map(|cost| (size, cost)));
+        let (mut lo_size, mut lo_cost) = observed.next()?;
+        let (mut hi_size, mut hi_cost) = (lo_size, lo_cost);
+        for (size, cost) in observed {
+            lo_size = hi_size;
+            lo_cost = hi_cost;
+            hi_size = size;
+            hi_cost = cost;
+        }
+        if hi_size == lo_size {
+            return None;
+        }
+        let marginal = (hi_cost - lo_cost) / (hi_size - lo_size) as f64;
+        Some(marginal < solo)
+    }
+}
+
+impl Default for TeacherCostProfile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// One shard: a shared teacher plus one distillation session per stream.
 ///
 /// The shard is a synchronous state machine — the worker thread in
@@ -514,6 +651,7 @@ pub struct ServeShard<T: Teacher> {
     teacher: T,
     sessions: HashMap<StreamId, StreamEntry>,
     stats: ShardStats,
+    costs: TeacherCostProfile,
 }
 
 impl<T: Teacher> ServeShard<T> {
@@ -531,6 +669,7 @@ impl<T: Teacher> ServeShard<T> {
             teacher,
             sessions: HashMap::new(),
             stats: ShardStats::default(),
+            costs: TeacherCostProfile::new(),
         }
     }
 
@@ -593,9 +732,22 @@ impl<T: Teacher> ServeShard<T> {
     }
 
     /// Whether growing the co-scheduling window beyond `batch` still
-    /// amortizes teacher time (marginal cost below a solo forward).
+    /// amortizes teacher time.
+    ///
+    /// Judged on the *measured* marginal batched-forward cost when the shard
+    /// has timed enough batched forwards ([`TeacherCostProfile`]); until
+    /// then — or when forwards are too fast to time — on the teacher's
+    /// virtual latency model (marginal virtual cost below a solo forward).
     pub fn batch_growth_pays(&self, batch: usize) -> bool {
-        self.marginal_batch_cost(batch) < self.teacher.inference_latency()
+        match self.costs.growth_pays(batch) {
+            Some(pays) => pays,
+            None => self.marginal_batch_cost(batch) < self.teacher.inference_latency(),
+        }
+    }
+
+    /// The measured batched-forward cost profile collected so far.
+    pub fn measured_costs(&self) -> &TeacherCostProfile {
+        &self.costs
     }
 
     /// Process a co-scheduled batch of key frames: one batched teacher
@@ -626,8 +778,10 @@ impl<T: Teacher> ServeShard<T> {
             });
         }
 
-        // One teacher forward pass amortized over the co-scheduled frames.
+        // One teacher forward pass amortized over the co-scheduled frames,
+        // timed so the adaptive batcher grows on measured marginal cost.
         let batch = resolved.len();
+        let teacher_started = Instant::now();
         let labels = {
             let frame_refs: Vec<&Frame> = resolved
                 .iter()
@@ -635,6 +789,9 @@ impl<T: Teacher> ServeShard<T> {
                 .collect();
             self.teacher.pseudo_label_batch(&frame_refs)?
         };
+        let teacher_elapsed = teacher_started.elapsed();
+        self.stats.teacher_wall_time += teacher_elapsed;
+        self.costs.record(batch, teacher_elapsed.as_secs_f64());
         let solo_cost = batch as f64 * self.teacher.inference_latency();
         let batched_cost = self.teacher.batched_inference_latency(batch);
         let teacher_share = batched_cost / batch as f64;
@@ -1372,6 +1529,61 @@ mod tests {
         pinned.observe(0, true);
         pinned.observe(0, true);
         assert_eq!(pinned.limit(), 4);
+    }
+
+    #[test]
+    fn cost_profile_judges_growth_on_measured_slope() {
+        let mut p = TeacherCostProfile::new();
+        // No data: the caller must fall back to the virtual model.
+        assert_eq!(p.growth_pays(1), None);
+        p.record(1, 10e-3);
+        assert_eq!(p.growth_pays(1), None, "one size is not a slope");
+        // Sub-linear batching: going 1 -> 4 costs 2 ms/slot vs 10 ms solo.
+        p.record(4, 16e-3);
+        assert_eq!(p.growth_pays(4), Some(true));
+        assert!(p.estimate(4).unwrap() > p.estimate(1).unwrap());
+        assert!(p.per_frame_at_or_below(4).unwrap() < p.estimate(1).unwrap());
+        // Super-linear batching (thrashing teacher): growth must stop.
+        let mut bad = TeacherCostProfile::new();
+        bad.record(1, 10e-3);
+        bad.record(2, 25e-3);
+        assert_eq!(bad.growth_pays(2), Some(false));
+        // Unmeasurably fast forwards (oracle teacher): no measured verdict.
+        let mut fast = TeacherCostProfile::new();
+        fast.record(1, 1e-6);
+        fast.record(2, 2e-6);
+        assert_eq!(fast.growth_pays(2), None);
+        // EMA smooths rather than replaces.
+        let mut ema = TeacherCostProfile::new();
+        ema.record(1, 10e-3);
+        ema.record(1, 20e-3);
+        let est = ema.estimate(1).unwrap();
+        assert!(est > 10e-3 && est < 20e-3, "EMA {est}");
+        // Degenerate observations are ignored.
+        ema.record(0, 1.0);
+        ema.record(3, f64::NAN);
+        assert_eq!(ema.estimate(0), None);
+        assert_eq!(ema.estimate(3), None);
+    }
+
+    #[test]
+    fn shard_records_measured_teacher_cost() {
+        let mut s = shard();
+        let people = frames_for(SceneKind::People, 91, 2);
+        s.register(1, people.iter().map(|f| (f.index, f.clone())).collect());
+        s.process_batch(&[ShardJob {
+            stream_id: 1,
+            frame_index: people[0].index,
+        }])
+        .unwrap();
+        // A real forward happened, so wall time was measured and the cost
+        // profile has a batch-1 sample.
+        assert!(s.stats().teacher_wall_time > Duration::ZERO);
+        assert!(s.stats().mean_teacher_wall_secs() > 0.0);
+        assert!(s.measured_costs().estimate(1).is_some());
+        // The oracle teacher is microsecond-fast, so the measured profile
+        // abstains and growth falls back to the virtual model (which pays).
+        assert!(s.batch_growth_pays(1));
     }
 
     #[test]

@@ -269,6 +269,34 @@ mod tests {
     }
 
     #[test]
+    fn batched_inference_matches_per_frame() {
+        // The block's inference path is built from batched layers (batched
+        // im2col conv, running-stat batch norm, elementwise ReLU and the
+        // residual add), so a stacked forward must equal per-frame forwards
+        // bit-for-bit.
+        let mut b = StudentBlock::new("sb", 3, 6, 2, 9).unwrap();
+        // Nudge the running stats off their init values first.
+        let warm = random::uniform(Shape::nchw(1, 3, 8, 8), -1.0, 1.0, 10);
+        b.forward_train(&warm).unwrap();
+        let frames: Vec<Tensor> = (0..3)
+            .map(|i| random::uniform(Shape::nchw(1, 3, 8, 8), -1.0, 1.0, 20 + i))
+            .collect();
+        let refs: Vec<&Tensor> = frames.iter().collect();
+        let batch = Tensor::stack_batch(&refs).unwrap();
+        let batched = b.forward_inference(&batch).unwrap();
+        assert_eq!(batched.shape().dims(), &[3, 6, 4, 4]);
+        let out_len = 6 * 4 * 4;
+        for (i, frame) in frames.iter().enumerate() {
+            let solo = b.forward_inference(frame).unwrap();
+            assert_eq!(
+                solo.data(),
+                &batched.data()[i * out_len..(i + 1) * out_len],
+                "frame {i} differs from its batched slice"
+            );
+        }
+    }
+
+    #[test]
     fn backward_produces_finite_grads_for_all_params() {
         let mut b = StudentBlock::new("sb", 3, 6, 1, 4).unwrap();
         let x = random::uniform(Shape::nchw(1, 3, 6, 6), -1.0, 1.0, 5);

@@ -238,22 +238,37 @@ impl BatchNorm2d {
     }
 
     /// Forward pass in inference mode: normalise with running statistics.
+    ///
+    /// Accepts any batch size — the running statistics are per-channel
+    /// constants, so each frame normalises independently and a batched call
+    /// is bit-for-bit identical to per-frame calls.
     pub fn forward_inference(&self, input: &Tensor) -> Result<Tensor> {
-        let (c, h, w) = self.check_input(input)?;
+        let (n, c, h, w) = input.shape().as_nchw()?;
+        if c != self.channels {
+            return Err(TensorError::ShapeMismatch {
+                op: "batchnorm",
+                lhs: input.shape().dims().to_vec(),
+                rhs: vec![n, self.channels, 0, 0],
+            });
+        }
         let plane = h * w;
         let mut out = Tensor::zeros(input.shape().clone());
         let xin = input.data();
         let od = out.data_mut();
-        for ci in 0..c {
-            let mean = self.running_mean.data()[ci];
-            let inv_std = 1.0 / (self.running_var.data()[ci] + self.eps).sqrt();
-            let g = self.gamma.value.data()[ci];
-            let b = self.beta.value.data()[ci];
-            for (o, &x) in od[ci * plane..(ci + 1) * plane]
-                .iter_mut()
-                .zip(xin[ci * plane..(ci + 1) * plane].iter())
-            {
-                *o = g * (x - mean) * inv_std + b;
+        for ni in 0..n {
+            let base = ni * c * plane;
+            for ci in 0..c {
+                let mean = self.running_mean.data()[ci];
+                let inv_std = 1.0 / (self.running_var.data()[ci] + self.eps).sqrt();
+                let g = self.gamma.value.data()[ci];
+                let b = self.beta.value.data()[ci];
+                let lo = base + ci * plane;
+                for (o, &x) in od[lo..lo + plane]
+                    .iter_mut()
+                    .zip(xin[lo..lo + plane].iter())
+                {
+                    *o = g * (x - mean) * inv_std + b;
+                }
             }
         }
         Ok(out)

@@ -296,9 +296,13 @@ impl StudentNet {
         })
     }
 
-    fn check_input(&self, input: &Tensor) -> Result<(usize, usize)> {
+    /// Validate a forward input. Training is per-frame (`allow_batch` false:
+    /// batch-norm batch statistics are per-image instance statistics here);
+    /// inference accepts any non-empty batch.
+    fn check_input(&self, input: &Tensor, allow_batch: bool) -> Result<(usize, usize)> {
         let (n, c, h, w) = input.shape().as_nchw()?;
-        if n != 1 || c != self.config.in_channels {
+        let batch_ok = if allow_batch { n >= 1 } else { n == 1 };
+        if !batch_ok || c != self.config.in_channels {
             return Err(TensorError::ShapeMismatch {
                 op: "student_forward",
                 lhs: input.shape().dims().to_vec(),
@@ -324,7 +328,7 @@ impl StudentNet {
     /// features the client actually uses. Frozen means frozen: fixed
     /// statistics, identical activations in training and inference mode.
     pub fn forward_train(&mut self, input: &Tensor) -> Result<Tensor> {
-        let (h, w) = self.check_input(input)?;
+        let (h, w) = self.check_input(input, false)?;
         let freeze = self.freeze;
         let t = |s: Stage| freeze.trainable(s);
         let x = self.in1.forward_mode(input, t(Stage::In1))?;
@@ -354,9 +358,16 @@ impl StudentNet {
         pool::upsample_nearest(&logits_half, 2)
     }
 
-    /// Inference-mode forward pass (running batch-norm statistics, no caches).
+    /// Inference-mode forward pass (running batch-norm statistics, no
+    /// caches).
+    ///
+    /// Accepts a batch: an `(N, C, H, W)` input runs all `N` frames through
+    /// one batched im2col + GEMM per convolution, producing `(N, classes,
+    /// H, W)` logits bit-for-bit identical to `N` single-frame calls — this
+    /// is the forward the batched teacher pool amortizes across co-scheduled
+    /// key frames.
     pub fn forward_inference(&self, input: &Tensor) -> Result<Tensor> {
-        self.check_input(input)?;
+        self.check_input(input, true)?;
         let x = self.in1.forward_inference(input)?;
         let x = self.relu_in1.forward_inference(&x);
         let x = self.in2.forward_inference(&x)?;
@@ -566,7 +577,8 @@ impl StudentNet {
         self.visit_params(&mut v);
     }
 
-    /// Per-pixel predicted class map from full-resolution logits for `input`.
+    /// Per-pixel predicted class map from full-resolution logits for
+    /// `input` (frame-major `N*H*W` indices when the input is batched).
     pub fn predict(&self, input: &Tensor) -> Result<Vec<usize>> {
         let logits = self.forward_inference(input)?;
         logits.argmax_channels()
@@ -636,6 +648,50 @@ mod tests {
         assert!(net.forward_train(&input(15, 24, 1)).is_err());
         let wrong_channels = random::uniform(Shape::nchw(1, 4, 16, 16), 0.0, 1.0, 2);
         assert!(net.forward_train(&wrong_channels).is_err());
+        // Training is per-frame; inference accepts batches.
+        let batch = random::uniform(Shape::nchw(2, 3, 16, 16), 0.0, 1.0, 3);
+        assert!(net.forward_train(&batch).is_err());
+        assert!(net.forward_inference(&batch).is_ok());
+    }
+
+    #[test]
+    fn batched_inference_is_bit_for_bit_per_frame() {
+        // One batched forward must equal N single-frame forwards exactly —
+        // the batched teacher pool depends on this equivalence.
+        let mut net = StudentNet::new(StudentConfig::tiny()).unwrap();
+        // Move the running batch-norm stats and the zero-initialised head
+        // off their init values so the comparison is not vacuous.
+        let warm = input(16, 24, 7);
+        net.forward_train(&warm).unwrap();
+        let mut v = |p: &mut Param, _t: bool| {
+            if p.name == "out3.weight" {
+                for x in p.value.data_mut() {
+                    *x = 0.03;
+                }
+            }
+        };
+        net.visit_params(&mut v);
+        let frames: Vec<Tensor> = (0..3).map(|i| input(16, 24, 40 + i)).collect();
+        let refs: Vec<&Tensor> = frames.iter().collect();
+        let batch = Tensor::stack_batch(&refs).unwrap();
+        let batched = net.forward_inference(&batch).unwrap();
+        assert_eq!(batched.shape().dims(), &[3, 9, 16, 24]);
+        let out_len = 9 * 16 * 24;
+        for (i, frame) in frames.iter().enumerate() {
+            let solo = net.forward_inference(frame).unwrap();
+            assert_eq!(
+                solo.data(),
+                &batched.data()[i * out_len..(i + 1) * out_len],
+                "frame {i} differs from its batched slice"
+            );
+        }
+        // predict on a batch is the frame-major concatenation.
+        let labels = net.predict(&batch).unwrap();
+        assert_eq!(labels.len(), 3 * 16 * 24);
+        assert_eq!(
+            &labels[..16 * 24],
+            net.predict(&frames[0]).unwrap().as_slice()
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::{logits_to_labels, Result, Teacher};
 use st_nn::loss::{weighted_cross_entropy, WeightMap};
 use st_nn::optim::Adam;
 use st_nn::student::{FreezePoint, StudentConfig, StudentNet};
+use st_tensor::Tensor;
 use st_video::{Frame, VideoGenerator};
 
 /// A CNN teacher built from a widened student network.
@@ -87,6 +88,46 @@ impl Teacher for CnnTeacher {
         logits_to_labels(&logits)
     }
 
+    /// A genuinely batched forward: co-scheduled frames of equal resolution
+    /// are stacked into one `(N, C, H, W)` input and run through a single
+    /// batched im2col + GEMM forward pass, so the network-level fixed costs
+    /// (weight packing, buffer allocation, kernel setup) are paid once per
+    /// batch instead of once per frame — and large enough batches cross the
+    /// GEMM's parallel threshold and fan out across cores, which per-frame
+    /// forwards of small frames never do.
+    ///
+    /// Frames of different resolutions are grouped and each group is run
+    /// batched; output order matches the input order. The batched forward is
+    /// bit-for-bit identical to per-frame [`CnnTeacher::pseudo_label`] calls
+    /// (the packed GEMM's per-element accumulation order is independent of
+    /// the batch width).
+    fn pseudo_label_batch(&mut self, frames: &[&Frame]) -> Result<Vec<Vec<usize>>> {
+        let mut out: Vec<Option<Vec<usize>>> = vec![None; frames.len()];
+        // Group frame indices by resolution, preserving first-seen order.
+        let mut groups: Vec<((usize, usize), Vec<usize>)> = Vec::new();
+        for (i, frame) in frames.iter().enumerate() {
+            let key = (frame.height, frame.width);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((key, vec![i])),
+            }
+        }
+        for ((h, w), idxs) in groups {
+            let images: Vec<&Tensor> = idxs.iter().map(|&i| &frames[i].image).collect();
+            let batch = Tensor::stack_batch(&images)?;
+            let logits = self.net.forward_inference(&batch)?;
+            let labels = logits.argmax_channels()?;
+            let plane = h * w;
+            for (slot, &i) in idxs.iter().enumerate() {
+                out[i] = Some(labels[slot * plane..(slot + 1) * plane].to_vec());
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|l| l.expect("every frame labelled"))
+            .collect())
+    }
+
     fn inference_latency(&self) -> f64 {
         self.latency
     }
@@ -117,6 +158,49 @@ mod tests {
         let labels = t.pseudo_label(&f).unwrap();
         assert_eq!(labels.len(), f.ground_truth.len());
         assert!(labels.iter().all(|&l| l < st_video::NUM_CLASSES));
+    }
+
+    #[test]
+    fn batched_labels_match_per_frame_bit_for_bit() {
+        let mut t = CnnTeacher::untrained(2, 5).unwrap();
+        let mut g = generator(6);
+        let frames: Vec<_> = (0..4).map(|_| g.next_frame()).collect();
+        let refs: Vec<&_> = frames.iter().collect();
+        let batched = t.pseudo_label_batch(&refs).unwrap();
+        assert_eq!(batched.len(), frames.len());
+        for (frame, batched_labels) in frames.iter().zip(&batched) {
+            let solo = t.pseudo_label(frame).unwrap();
+            assert_eq!(&solo, batched_labels);
+        }
+    }
+
+    #[test]
+    fn batched_labels_handle_mixed_resolutions() {
+        // Streams of different frame sizes can be co-scheduled onto one
+        // shard; the batched forward groups them by resolution and keeps
+        // the output order aligned with the input order.
+        let mut t = CnnTeacher::untrained(1, 7).unwrap();
+        let mut g_small = generator(8);
+        let cat = VideoCategory {
+            camera: CameraMotion::Fixed,
+            scene: SceneKind::Street,
+        };
+        let mut g_large = VideoGenerator::new(VideoConfig::for_category(cat, 48, 32, 9)).unwrap();
+        let frames = [
+            g_small.next_frame(),
+            g_large.next_frame(),
+            g_small.next_frame(),
+            g_large.next_frame(),
+        ];
+        let refs: Vec<&_> = frames.iter().collect();
+        let batched = t.pseudo_label_batch(&refs).unwrap();
+        for (frame, batched_labels) in frames.iter().zip(&batched) {
+            assert_eq!(batched_labels.len(), frame.height * frame.width);
+            let solo = t.pseudo_label(frame).unwrap();
+            assert_eq!(&solo, batched_labels);
+        }
+        // Empty batches are fine.
+        assert!(t.pseudo_label_batch(&[]).unwrap().is_empty());
     }
 
     #[test]

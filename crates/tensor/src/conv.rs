@@ -112,55 +112,76 @@ impl Conv2dSpec {
     }
 }
 
-/// Lower an input image into the im2col matrix.
+/// Lower a batch of input images into one im2col matrix.
 ///
-/// The result has shape `(in_c * kh * kw, oh * ow)`: each column holds the
-/// receptive field of one output pixel, so the convolution becomes a single
-/// GEMM with the `(out_c, in_c*kh*kw)` weight matrix.
-pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
+/// The result has shape `(in_c * kh * kw, n * oh * ow)`: frame `ni` owns the
+/// contiguous column block `[ni*oh*ow, (ni+1)*oh*ow)`, and each column holds
+/// the receptive field of one output pixel. The whole batch therefore
+/// becomes a *single* GEMM with the `(out_c, in_c*kh*kw)` weight matrix —
+/// the lowering the multi-stream teacher pool uses to label co-scheduled key
+/// frames in one forward pass.
+///
+/// Each frame's column block is computed exactly as the single-frame
+/// lowering would, so batched and per-frame convolutions are bit-for-bit
+/// identical.
+pub fn im2col_batched(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
     spec.validate()?;
     let (n, c, h, w) = input.shape().as_nchw()?;
-    if n != 1 {
+    if n == 0 {
         return Err(TensorError::InvalidArgument(
-            "im2col currently supports batch size 1 (online video inference)".into(),
+            "im2col_batched needs at least one frame".into(),
         ));
     }
     if c != spec.in_channels {
         return Err(TensorError::ShapeMismatch {
             op: "im2col",
             lhs: input.shape().dims().to_vec(),
-            rhs: vec![1, spec.in_channels, 0, 0],
+            rhs: vec![n, spec.in_channels, 0, 0],
         });
     }
     let (oh, ow) = spec.output_size(h, w);
     let rows = c * spec.kernel_h * spec.kernel_w;
-    let cols = oh * ow;
+    let plane = oh * ow;
+    let cols = n * plane;
     let mut out = vec![0.0f32; rows * cols];
     let in_data = input.data();
-    for ci in 0..c {
-        for kh in 0..spec.kernel_h {
-            for kw in 0..spec.kernel_w {
-                let row = (ci * spec.kernel_h + kh) * spec.kernel_w + kw;
-                let out_row = &mut out[row * cols..(row + 1) * cols];
-                for oy in 0..oh {
-                    let iy = (oy * spec.stride_h + kh) as isize - spec.pad_h as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    let in_row_base = (ci * h + iy as usize) * w;
-                    let out_base = oy * ow;
-                    for ox in 0..ow {
-                        let ix = (ox * spec.stride_w + kw) as isize - spec.pad_w as isize;
-                        if ix < 0 || ix >= w as isize {
+    let frame_len = c * h * w;
+    for ni in 0..n {
+        let frame = &in_data[ni * frame_len..(ni + 1) * frame_len];
+        for ci in 0..c {
+            for kh in 0..spec.kernel_h {
+                for kw in 0..spec.kernel_w {
+                    let row = (ci * spec.kernel_h + kh) * spec.kernel_w + kw;
+                    let out_row = &mut out[row * cols + ni * plane..row * cols + (ni + 1) * plane];
+                    for oy in 0..oh {
+                        let iy = (oy * spec.stride_h + kh) as isize - spec.pad_h as isize;
+                        if iy < 0 || iy >= h as isize {
                             continue;
                         }
-                        out_row[out_base + ox] = in_data[in_row_base + ix as usize];
+                        let in_row_base = (ci * h + iy as usize) * w;
+                        let out_base = oy * ow;
+                        for ox in 0..ow {
+                            let ix = (ox * spec.stride_w + kw) as isize - spec.pad_w as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            out_row[out_base + ox] = frame[in_row_base + ix as usize];
+                        }
                     }
                 }
             }
         }
     }
     Tensor::from_vec(Shape::matrix(rows, cols), out)
+}
+
+/// Lower an input image into the im2col matrix.
+///
+/// Thin wrapper over [`im2col_batched`] (any batch size is accepted; the
+/// seed's batch-1 restriction is gone). For a single frame the result has
+/// shape `(in_c * kh * kw, oh * ow)`.
+pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
+    im2col_batched(input, spec)
 }
 
 /// Scatter an im2col-shaped gradient back onto the input image (the adjoint
@@ -205,15 +226,17 @@ pub fn col2im(cols: &Tensor, spec: &Conv2dSpec, h: usize, w: usize) -> Result<Te
     Ok(out)
 }
 
-/// Forward convolution: `output = weight * im2col(input) + bias`.
+/// Forward convolution: `output = weight * im2col(input) + bias`, for a
+/// batch of `n` frames in one GEMM.
 ///
-/// * `input`  — `(1, in_c, h, w)`
+/// * `input`  — `(n, in_c, h, w)`
 /// * `weight` — `(out_c, in_c, kh, kw)`
 /// * `bias`   — `(out_c)` or `None`
 ///
-/// Returns `(output, columns)`; the columns are reused by
-/// [`conv2d_backward`] so each key-frame distillation step lowers the input
-/// only once.
+/// Returns `(output, columns)` with `output` shaped `(n, out_c, oh, ow)`.
+/// The columns are reused by [`conv2d_backward`] so each key-frame
+/// distillation step lowers the input only once (the backward pass is
+/// per-frame: distillation trains on single key frames).
 pub fn conv2d_forward(
     input: &Tensor,
     weight: &Tensor,
@@ -227,14 +250,6 @@ pub fn conv2d_forward(
             rhs: spec.weight_shape().dims().to_vec(),
         });
     }
-    let (_, _, h, w) = input.shape().as_nchw()?;
-    let (oh, ow) = spec.output_size(h, w);
-    let cols = im2col(input, spec)?;
-    let k = spec.in_channels * spec.kernel_h * spec.kernel_w;
-    let w_mat = weight.reshape(Shape::matrix(spec.out_channels, k))?;
-    // (out_c, k) x (k, oh*ow) -> (out_c, oh*ow)
-    let out_mat = crate::matmul::matmul(&w_mat, &cols)?;
-    let mut out = out_mat.reshape(Shape::nchw(1, spec.out_channels, oh, ow))?;
     if let Some(b) = bias {
         if b.numel() != spec.out_channels {
             return Err(TensorError::ShapeMismatch {
@@ -243,12 +258,45 @@ pub fn conv2d_forward(
                 rhs: vec![spec.out_channels],
             });
         }
-        let plane = oh * ow;
+    }
+    let (n, _, h, w) = input.shape().as_nchw()?;
+    let (oh, ow) = spec.output_size(h, w);
+    let cols = im2col_batched(input, spec)?;
+    let k = spec.in_channels * spec.kernel_h * spec.kernel_w;
+    let w_mat = weight.reshape(Shape::matrix(spec.out_channels, k))?;
+    // (out_c, k) x (k, n*oh*ow) -> (out_c, n*oh*ow), frame-major columns.
+    let out_mat = crate::matmul::matmul(&w_mat, &cols)?;
+    let plane = oh * ow;
+    let mut out = if n == 1 {
+        // Single frame (the per-frame training hot path): the GEMM result
+        // *is* the output layout — reshape in place, no copy.
+        out_mat.reshape(Shape::nchw(1, spec.out_channels, oh, ow))?
+    } else {
+        // Batched: the GEMM result is channel-major over frame-major
+        // columns; scatter each (frame, channel) plane into NCHW order.
+        let mut out = Tensor::zeros(Shape::nchw(n, spec.out_channels, oh, ow));
+        let src = out_mat.data();
+        let dst = out.data_mut();
+        for ni in 0..n {
+            for oc in 0..spec.out_channels {
+                let row = &src[oc * n * plane + ni * plane..oc * n * plane + (ni + 1) * plane];
+                dst[(ni * spec.out_channels + oc) * plane
+                    ..(ni * spec.out_channels + oc + 1) * plane]
+                    .copy_from_slice(row);
+            }
+        }
+        out
+    };
+    if let Some(b) = bias {
         let data = out.data_mut();
-        for oc in 0..spec.out_channels {
-            let bv = b.data()[oc];
-            for v in &mut data[oc * plane..(oc + 1) * plane] {
-                *v += bv;
+        for ni in 0..n {
+            for oc in 0..spec.out_channels {
+                let bv = b.data()[oc];
+                for v in &mut data[(ni * spec.out_channels + oc) * plane
+                    ..(ni * spec.out_channels + oc + 1) * plane]
+                {
+                    *v += bv;
+                }
             }
         }
     }
@@ -280,7 +328,14 @@ pub fn conv2d_backward(
     input_w: usize,
     need_input_grad: bool,
 ) -> Result<Conv2dGrads> {
-    let (_, oc, oh, ow) = grad_out.shape().as_nchw()?;
+    let (n, oc, oh, ow) = grad_out.shape().as_nchw()?;
+    if n != 1 {
+        // Distillation trains on single key frames; only the forward/
+        // inference path is batched.
+        return Err(TensorError::InvalidArgument(
+            "conv2d_backward expects a single-frame gradient (training is per-frame)".into(),
+        ));
+    }
     if oc != spec.out_channels {
         return Err(TensorError::ShapeMismatch {
             op: "conv2d_backward",
@@ -494,6 +549,58 @@ mod tests {
         let grads = conv2d_backward(&out, &cols, &weight, &spec, 4, 4, false).unwrap();
         assert!(grads.input.is_none());
         assert!(grads.weight.all_finite());
+    }
+
+    #[test]
+    fn batched_forward_is_bit_for_bit_per_frame() {
+        // The batched lowering packs each frame's columns exactly as the
+        // single-frame lowering does, so outputs must be *identical*, not
+        // just close — the batched teacher pool relies on this.
+        for spec in [
+            Conv2dSpec::square(3, 5, 3, 1),
+            Conv2dSpec::square(2, 4, 3, 2),
+            Conv2dSpec::rect(2, 4, 1, 3),
+        ] {
+            let n = 4;
+            let batch = random::uniform(Shape::nchw(n, spec.in_channels, 8, 10), -1.0, 1.0, 60);
+            let weight = random::uniform(spec.weight_shape(), -0.5, 0.5, 61);
+            let bias = random::uniform(Shape::vector(spec.out_channels), -0.1, 0.1, 62);
+            let (batched, cols) = conv2d_forward(&batch, &weight, Some(&bias), &spec).unwrap();
+            let (oh, ow) = spec.output_size(8, 10);
+            assert_eq!(batched.shape().dims(), &[n, spec.out_channels, oh, ow]);
+            assert_eq!(
+                cols.shape().dims(),
+                &[
+                    spec.in_channels * spec.kernel_h * spec.kernel_w,
+                    n * oh * ow
+                ]
+            );
+            let frame_len = spec.in_channels * 8 * 10;
+            let out_len = spec.out_channels * oh * ow;
+            for ni in 0..n {
+                let frame = Tensor::from_vec(
+                    Shape::nchw(1, spec.in_channels, 8, 10),
+                    batch.data()[ni * frame_len..(ni + 1) * frame_len].to_vec(),
+                )
+                .unwrap();
+                let (solo, _) = conv2d_forward(&frame, &weight, Some(&bias), &spec).unwrap();
+                assert_eq!(
+                    solo.data(),
+                    &batched.data()[ni * out_len..(ni + 1) * out_len],
+                    "frame {ni} differs from its batched slice"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_rejects_batched_gradients() {
+        let spec = Conv2dSpec::square(2, 3, 3, 1);
+        let batch = random::uniform(Shape::nchw(2, 2, 4, 4), -1.0, 1.0, 70);
+        let weight = random::uniform(spec.weight_shape(), -0.5, 0.5, 71);
+        let (out, cols) = conv2d_forward(&batch, &weight, None, &spec).unwrap();
+        let err = conv2d_backward(&out, &cols, &weight, &spec, 4, 4, true).unwrap_err();
+        assert!(format!("{err:?}").contains("per-frame"));
     }
 
     #[test]

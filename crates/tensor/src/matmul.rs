@@ -1,4 +1,5 @@
-//! Blocked GEMM kernels used by the im2col convolution lowering.
+//! Packed, cache-blocked GEMM kernels used by the im2col convolution
+//! lowering.
 //!
 //! Three variants are provided because the convolution backward passes need
 //! products against transposed operands and materialising the transpose would
@@ -8,13 +9,281 @@
 //! * [`matmul_tn`]  — `C = Aᵀ (M×K stored as K×M) · B (K×N)`
 //! * [`matmul_nt`]  — `C = A (M×K) · Bᵀ (N×K stored row-major)`
 //!
-//! The kernels are cache-blocked over `K` and keep the innermost loop over
-//! `N` contiguous so the auto-vectoriser can use SIMD on the accumulation.
+//! All three run through one packed kernel:
+//!
+//! * The reduction dimension is blocked at [`KC`] so the packed panels stay
+//!   cache-resident across the inner loops.
+//! * Per block, `A` is packed into `MR`-row micro-panels laid out `k`-major
+//!   (`apack[kk*MR + i]`), so the microkernel reads it as a contiguous
+//!   stream regardless of whether the source was stored `(m, k)` or
+//!   `(k, m)`; `B` is packed into `NR`-column stripes (`bstripe[kk*NR + j]`)
+//!   the same way. Packing zero-pads ragged edges, so the microkernel has
+//!   no edge branches.
+//! * The microkernel keeps an `MR×NR` accumulator tile in registers and runs
+//!   a branch-free multiply-add over the packed panels — fixed trip counts
+//!   the auto-vectoriser turns into SIMD. (The seed kernel's data-dependent
+//!   `aik == 0.0` skip is gone: it blocked vectorisation and made timing
+//!   input-dependent.)
+//! * Work is split across cores by disjoint `C` column stripes via
+//!   [`crate::parallel::par_ranges`]; each worker packs its own `B` stripes
+//!   and owns its columns of `C`, so no synchronisation is needed inside a
+//!   block. `ST_THREADS` / [`crate::parallel::set_threads`] pin the core
+//!   count.
+//!
+//! Accumulation order over `k` is identical for every output element across
+//! block sizes, thread counts and batch widths, so results are bit-for-bit
+//! reproducible — the batched teacher forward relies on this to match
+//! per-frame forwards exactly.
 
+use crate::parallel;
 use crate::{Result, Shape, Tensor, TensorError};
 
 /// Cache block size over the reduction dimension.
-const K_BLOCK: usize = 64;
+const KC: usize = 256;
+/// Microkernel tile rows (distinct broadcast registers per iteration).
+const MR: usize = 4;
+/// Microkernel tile columns (one or two SIMD vectors wide on most targets).
+const NR: usize = 16;
+/// Minimum multiply-accumulate count before spawning worker threads. Scoped
+/// threads cost tens of microseconds to spawn and join, so only GEMMs with
+/// roughly a millisecond of work (e.g. batched teacher forwards) fan out;
+/// the per-frame student kernels stay serial and overhead-free.
+const PAR_MIN_MACS: usize = 1 << 22;
+
+/// How the `A` operand is stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ALayout {
+    /// `a[(i, kk)] = a[i*k + kk]` — `A` stored `(m, k)` row-major.
+    RowMajor,
+    /// `a[(i, kk)] = a[kk*m + i]` — `A` stored `(k, m)` row-major (the
+    /// `matmul_tn` case; the product uses `Aᵀ`).
+    Transposed,
+}
+
+/// How the `B` operand is stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BLayout {
+    /// `b[(kk, j)] = b[kk*n + j]` — `B` stored `(k, n)` row-major.
+    RowMajor,
+    /// `b[(kk, j)] = b[j*k + kk]` — `B` stored `(n, k)` row-major (the
+    /// `matmul_nt` case; the product uses `Bᵀ`).
+    Transposed,
+}
+
+/// `*mut f32` that may cross the scoped-thread boundary. Workers receive
+/// disjoint column ranges of the output, so concurrent writes never alias.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Accessor method (rather than field access) so closures capture the
+    /// whole `Send + Sync` wrapper, not the bare `*mut f32` field.
+    fn get(self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Pack rows `[0, m)` of the `A` block `k ∈ [k0, k0+kc)` into `MR`-row
+/// micro-panels, `k`-major within each panel, zero-padding the last panel.
+fn pack_a(apack: &mut [f32], a: &[f32], layout: ALayout, m: usize, k: usize, k0: usize, kc: usize) {
+    let panels = m.div_ceil(MR);
+    apack[..panels * MR * kc].fill(0.0);
+    match layout {
+        ALayout::RowMajor => {
+            for p in 0..panels {
+                let i0 = p * MR;
+                let rows = MR.min(m - i0);
+                let base = p * MR * kc;
+                for ii in 0..rows {
+                    let src = &a[(i0 + ii) * k + k0..(i0 + ii) * k + k0 + kc];
+                    for (kk, &v) in src.iter().enumerate() {
+                        apack[base + kk * MR + ii] = v;
+                    }
+                }
+            }
+        }
+        ALayout::Transposed => {
+            for p in 0..panels {
+                let i0 = p * MR;
+                let rows = MR.min(m - i0);
+                let base = p * MR * kc;
+                for kk in 0..kc {
+                    let src = &a[(k0 + kk) * m + i0..(k0 + kk) * m + i0 + rows];
+                    apack[base + kk * MR..base + kk * MR + rows].copy_from_slice(src);
+                }
+            }
+        }
+    }
+}
+
+/// Pack the `B` stripe of columns `[j0, j0+cols)` for `k ∈ [k0, k0+kc)` into
+/// `bstripe[kk*NR + jj]`, zero-padding columns `cols..NR`.
+#[allow(clippy::too_many_arguments)] // flat scalars keep the hot path branch-free
+fn pack_b_stripe(
+    bstripe: &mut [f32],
+    b: &[f32],
+    layout: BLayout,
+    n: usize,
+    k: usize,
+    k0: usize,
+    kc: usize,
+    j0: usize,
+    cols: usize,
+) {
+    bstripe[..kc * NR].fill(0.0);
+    match layout {
+        BLayout::RowMajor => {
+            for kk in 0..kc {
+                let src = &b[(k0 + kk) * n + j0..(k0 + kk) * n + j0 + cols];
+                bstripe[kk * NR..kk * NR + cols].copy_from_slice(src);
+            }
+        }
+        BLayout::Transposed => {
+            for jj in 0..cols {
+                let src = &b[(j0 + jj) * k + k0..(j0 + jj) * k + k0 + kc];
+                for (kk, &v) in src.iter().enumerate() {
+                    bstripe[kk * NR + jj] = v;
+                }
+            }
+        }
+    }
+}
+
+/// Portable register-tiled inner loop: `acc += apanel · bstripe` over `kc`
+/// steps. The `MR×NR` tile is processed as two `MR×(NR/2)` halves so the
+/// live accumulators fit the 16 128-bit registers of baseline x86-64
+/// (SSE2) and aarch64 (NEON) — a single-pass 4×16 tile spills there.
+fn microkernel_portable(kc: usize, apanel: &[f32], bstripe: &[f32], acc: &mut [[f32; NR]; MR]) {
+    const HALF: usize = NR / 2;
+    for half in 0..2 {
+        for (a, b) in apanel
+            .chunks_exact(MR)
+            .zip(bstripe.chunks_exact(NR))
+            .take(kc)
+        {
+            let b = &b[half * HALF..half * HALF + HALF];
+            for ii in 0..MR {
+                let av = a[ii];
+                let row = &mut acc[ii][half * HALF..half * HALF + HALF];
+                for (r, &bv) in row.iter_mut().zip(b.iter()) {
+                    *r += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// AVX2 + FMA specialisation: the full `4×16` tile is eight 256-bit
+/// accumulators, and `mul_add` compiles to `vfmadd` under the enabled
+/// features (without them it would be a libm call — hence the runtime
+/// dispatch in [`microkernel`]).
+///
+/// # Safety
+/// Caller must have verified `avx2` and `fma` support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn microkernel_avx2(kc: usize, apanel: &[f32], bstripe: &[f32], acc: &mut [[f32; NR]; MR]) {
+    // Work on a by-value copy of the tile so LLVM promotes it to registers
+    // for the whole `kc` loop instead of spilling through the `&mut`.
+    let mut tile = *acc;
+    for (a, b) in apanel
+        .chunks_exact(MR)
+        .zip(bstripe.chunks_exact(NR))
+        .take(kc)
+    {
+        for ii in 0..MR {
+            let av = a[ii];
+            let row = &mut tile[ii];
+            for (r, &bv) in row.iter_mut().zip(b.iter()) {
+                *r = bv.mul_add(av, *r);
+            }
+        }
+    }
+    *acc = tile;
+}
+
+/// The register-tiled inner loop, dispatched once per call on the CPU's
+/// capabilities (the detection macro caches its probe in an atomic).
+#[inline]
+fn microkernel(kc: usize, apanel: &[f32], bstripe: &[f32], acc: &mut [[f32; NR]; MR]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            // SAFETY: both required features were just detected.
+            unsafe { microkernel_avx2(kc, apanel, bstripe, acc) };
+            return;
+        }
+    }
+    microkernel_portable(kc, apanel, bstripe, acc)
+}
+
+/// Shared packed GEMM driver: `out += op(A) · op(B)` with `out` pre-zeroed by
+/// the caller. `out` is row-major `(m, n)`.
+#[allow(clippy::too_many_arguments)] // flat scalars keep the hot path branch-free
+fn gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_layout: ALayout,
+    b: &[f32],
+    b_layout: BLayout,
+    out: &mut [f32],
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let panels = m.div_ceil(MR);
+    let mut apack = vec![0.0f32; panels * MR * KC.min(k)];
+    let parallel_ok = parallel::threads() > 1 && m * n * k >= PAR_MIN_MACS;
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    for k0 in (0..k).step_by(KC) {
+        let kc = KC.min(k - k0);
+        pack_a(&mut apack, a, a_layout, m, k, k0, kc);
+        let apack = &apack;
+        let worker = move |j_start: usize, j_end: usize| {
+            let out_base = out_ptr.get();
+            let mut bstripe = vec![0.0f32; kc * NR];
+            let mut j0 = j_start;
+            while j0 < j_end {
+                let cols = NR.min(j_end - j0);
+                pack_b_stripe(&mut bstripe, b, b_layout, n, k, k0, kc, j0, cols);
+                for p in 0..panels {
+                    let i0 = p * MR;
+                    let rows = MR.min(m - i0);
+                    let mut acc = [[0.0f32; NR]; MR];
+                    microkernel(
+                        kc,
+                        &apack[p * MR * kc..(p + 1) * MR * kc],
+                        &bstripe,
+                        &mut acc,
+                    );
+                    for (ii, acc_row) in acc.iter().enumerate().take(rows) {
+                        // SAFETY: this worker exclusively owns columns
+                        // `[j_start, j_end)` of `out` (par_ranges hands out
+                        // disjoint ranges), so the row segments written here
+                        // never overlap another worker's.
+                        let row = unsafe {
+                            std::slice::from_raw_parts_mut(out_base.add((i0 + ii) * n + j0), cols)
+                        };
+                        for (o, &v) in row.iter_mut().zip(acc_row.iter()) {
+                            *o += v;
+                        }
+                    }
+                }
+                j0 += cols;
+            }
+        };
+        if parallel_ok {
+            parallel::par_ranges(n, NR, worker);
+        } else {
+            worker(0, n);
+        }
+    }
+}
 
 fn check_matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     t.shape()
@@ -38,24 +307,16 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for k0 in (0..k).step_by(K_BLOCK) {
-        let k1 = (k0 + K_BLOCK).min(k);
-        for i in 0..m {
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for kk in k0..k1 {
-                let aik = ad[i * k + kk];
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = &bd[kk * n..(kk + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += aik * bv;
-                }
-            }
-        }
-    }
+    gemm(
+        m,
+        n,
+        k,
+        a.data(),
+        ALayout::RowMajor,
+        b.data(),
+        BLayout::RowMajor,
+        &mut out,
+    );
     Tensor::from_vec(Shape::matrix(m, n), out)
 }
 
@@ -74,22 +335,16 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    // Iterate over k outermost: both A and B rows are contiguous in k.
-    for kk in 0..k {
-        let a_row = &ad[kk * m..(kk + 1) * m];
-        let b_row = &bd[kk * n..(kk + 1) * n];
-        for (i, &aik) in a_row.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += aik * bv;
-            }
-        }
-    }
+    gemm(
+        m,
+        n,
+        k,
+        a.data(),
+        ALayout::Transposed,
+        b.data(),
+        BLayout::RowMajor,
+        &mut out,
+    );
     Tensor::from_vec(Shape::matrix(m, n), out)
 }
 
@@ -109,20 +364,16 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for i in 0..m {
-        let a_row = &ad[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            let b_row = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
-                acc += av * bv;
-            }
-            *o = acc;
-        }
-    }
+    gemm(
+        m,
+        n,
+        k,
+        a.data(),
+        ALayout::RowMajor,
+        b.data(),
+        BLayout::Transposed,
+        &mut out,
+    );
     Tensor::from_vec(Shape::matrix(m, n), out)
 }
 
@@ -135,7 +386,8 @@ mod tests {
         Tensor::from_vec(Shape::matrix(rows, cols), data.to_vec()).unwrap()
     }
 
-    /// Reference O(mnk) implementation for cross-checking.
+    /// The seed's reference O(mnk) kernel, kept as the oracle the packed
+    /// kernel is checked against (here and in the crate's property tests).
     fn naive(a: &Tensor, b: &Tensor) -> Tensor {
         let (m, k) = a.shape().as_matrix().unwrap();
         let (_, n) = b.shape().as_matrix().unwrap();
@@ -161,6 +413,13 @@ mod tests {
             }
         }
         mat(c, r, &out)
+    }
+
+    fn assert_close(fast: &Tensor, slow: &Tensor, tol: f32) {
+        assert_eq!(fast.shape(), slow.shape());
+        for (x, y) in fast.data().iter().zip(slow.data().iter()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
     }
 
     #[test]
@@ -192,11 +451,53 @@ mod tests {
     fn blocked_matches_naive_random() {
         let a = random::uniform(Shape::matrix(17, 33), -1.0, 1.0, 1);
         let b = random::uniform(Shape::matrix(33, 9), -1.0, 1.0, 2);
-        let fast = matmul(&a, &b).unwrap();
-        let slow = naive(&a, &b);
-        for (x, y) in fast.data().iter().zip(slow.data().iter()) {
-            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        assert_close(&matmul(&a, &b).unwrap(), &naive(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn packed_matches_naive_off_tile_shapes() {
+        // m, n, k deliberately not multiples of MR/NR/KC, including
+        // single-row/column edges.
+        for (m, k, n, seed) in [
+            (1usize, 1usize, 1usize, 10u64),
+            (3, 5, 17, 11),
+            (5, 7, 15, 12),
+            (MR + 1, KC + 3, NR + 1, 13),
+            (2 * MR - 1, 2 * KC + 5, 3 * NR - 7, 14),
+            (64, 256, 192, 15),
+        ] {
+            let a = random::uniform(Shape::matrix(m, k), -1.0, 1.0, seed);
+            let b = random::uniform(Shape::matrix(k, n), -1.0, 1.0, seed + 100);
+            assert_close(&matmul(&a, &b).unwrap(), &naive(&a, &b), 2e-3);
         }
+    }
+
+    #[test]
+    fn packed_handles_zero_heavy_inputs() {
+        // The seed kernel special-cased zeros; the packed kernel must get
+        // the same answers on sparse-ish inputs without the branch.
+        let mut a = random::uniform(Shape::matrix(9, 40), -1.0, 1.0, 20);
+        for (i, v) in a.data_mut().iter_mut().enumerate() {
+            if i % 3 != 0 {
+                *v = 0.0;
+            }
+        }
+        let b = random::uniform(Shape::matrix(40, 21), -1.0, 1.0, 21);
+        assert_close(&matmul(&a, &b).unwrap(), &naive(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn result_is_independent_of_thread_count() {
+        // Workers split C by column stripes; the k-accumulation order per
+        // element is unchanged, so results are bit-for-bit identical.
+        let a = random::uniform(Shape::matrix(64, 300), -1.0, 1.0, 30);
+        let b = random::uniform(Shape::matrix(300, 100), -1.0, 1.0, 31);
+        crate::parallel::set_threads(1);
+        let serial = matmul(&a, &b).unwrap();
+        crate::parallel::set_threads(4);
+        let parallel = matmul(&a, &b).unwrap();
+        crate::parallel::set_threads(0);
+        assert_eq!(serial.data(), parallel.data());
     }
 
     #[test]
@@ -204,11 +505,19 @@ mod tests {
         let a = random::uniform(Shape::matrix(13, 7), -1.0, 1.0, 3); // stored (k=13, m=7)
         let b = random::uniform(Shape::matrix(13, 11), -1.0, 1.0, 4);
         let fast = matmul_tn(&a, &b).unwrap();
-        let slow = naive(&transpose(&a), &b);
         assert_eq!(fast.shape().dims(), &[7, 11]);
-        for (x, y) in fast.data().iter().zip(slow.data().iter()) {
-            assert!((x - y).abs() < 1e-4);
-        }
+        assert_close(&fast, &naive(&transpose(&a), &b), 1e-4);
+    }
+
+    #[test]
+    fn tn_matches_naive_across_blocks() {
+        let a = random::uniform(Shape::matrix(KC + 37, 29), -1.0, 1.0, 40);
+        let b = random::uniform(Shape::matrix(KC + 37, 19), -1.0, 1.0, 41);
+        assert_close(
+            &matmul_tn(&a, &b).unwrap(),
+            &naive(&transpose(&a), &b),
+            2e-3,
+        );
     }
 
     #[test]
@@ -216,10 +525,18 @@ mod tests {
         let a = random::uniform(Shape::matrix(5, 13), -1.0, 1.0, 5);
         let b = random::uniform(Shape::matrix(9, 13), -1.0, 1.0, 6); // (n=9, k=13)
         let fast = matmul_nt(&a, &b).unwrap();
-        let slow = naive(&a, &transpose(&b));
         assert_eq!(fast.shape().dims(), &[5, 9]);
-        for (x, y) in fast.data().iter().zip(slow.data().iter()) {
-            assert!((x - y).abs() < 1e-4);
-        }
+        assert_close(&fast, &naive(&a, &transpose(&b)), 1e-4);
+    }
+
+    #[test]
+    fn nt_matches_naive_across_blocks() {
+        let a = random::uniform(Shape::matrix(23, KC + 41), -1.0, 1.0, 50);
+        let b = random::uniform(Shape::matrix(31, KC + 41), -1.0, 1.0, 51);
+        assert_close(
+            &matmul_nt(&a, &b).unwrap(),
+            &naive(&a, &transpose(&b)),
+            2e-3,
+        );
     }
 }

@@ -9,20 +9,39 @@
 //! keeps single-core CI deterministic and overhead-free.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Minimum number of items before a parallel split is worthwhile.
 pub const PARALLEL_THRESHOLD: usize = 4096;
 
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Worker count requested via the `ST_THREADS` environment variable
+/// (0 when unset or unparseable). Read once per process.
+fn env_threads() -> usize {
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("ST_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
 
 /// Number of worker threads the helpers will use.
 ///
-/// Defaults to [`std::thread::available_parallelism`], but can be pinned via
-/// [`set_threads`] (useful in benchmarks that model a specific device).
+/// Resolution order: [`set_threads`] override (useful in code that models a
+/// specific device), then the `ST_THREADS` environment variable (useful to
+/// pin a whole benchmark run, e.g. `ST_THREADS=1` for single-core numbers),
+/// then [`std::thread::available_parallelism`].
 pub fn threads() -> usize {
     let over = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if over > 0 {
         return over;
+    }
+    let env = env_threads();
+    if env > 0 {
+        return env;
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -79,6 +98,42 @@ where
         for (i, piece) in data.chunks_mut(chunk_size).enumerate() {
             let f = &f;
             s.spawn(move |_| f(i, piece));
+        }
+    })
+    .expect("scoped worker panicked");
+}
+
+/// Split `[0, total)` into one contiguous range per worker thread — each
+/// range a multiple of `granularity` except possibly the last — and run
+/// `f(start, end)` on every non-empty range, in parallel when there is more
+/// than one range. `f` is called serially as `f(0, total)` when only one
+/// worker is available or `total <= granularity`.
+///
+/// This is the split the packed GEMM uses to hand disjoint column stripes to
+/// workers: the callback owns its index range, not a slice, so kernels whose
+/// per-range output is strided (e.g. a column block of a row-major matrix)
+/// can do their own addressing.
+pub fn par_ranges<F>(total: usize, granularity: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    assert!(granularity > 0, "granularity must be non-zero");
+    let n_threads = threads();
+    if n_threads <= 1 || total <= granularity {
+        if total > 0 {
+            f(0, total);
+        }
+        return;
+    }
+    let units = total.div_ceil(granularity);
+    let per_worker = units.div_ceil(n_threads) * granularity;
+    crossbeam::scope(|s| {
+        let mut start = 0usize;
+        while start < total {
+            let end = (start + per_worker).min(total);
+            let f = &f;
+            s.spawn(move |_| f(start, end));
+            start = end;
         }
     })
     .expect("scoped worker panicked");
@@ -168,5 +223,38 @@ mod tests {
     fn zero_chunk_size_panics() {
         let mut data = vec![0.0f32; 4];
         par_chunks_mut(&mut data, 0, |_, _| {});
+    }
+
+    #[test]
+    fn par_ranges_covers_exactly_once() {
+        use std::sync::Mutex;
+        for total in [0usize, 1, 7, 16, 100, 4097] {
+            for granularity in [1usize, 8, 16] {
+                let hits = Mutex::new(vec![0u32; total]);
+                par_ranges(total, granularity, |start, end| {
+                    assert!(start < end || total == 0);
+                    let mut hits = hits.lock().unwrap();
+                    for h in &mut hits[start..end] {
+                        *h += 1;
+                    }
+                });
+                assert!(
+                    hits.into_inner().unwrap().iter().all(|&h| h == 1),
+                    "total {total} granularity {granularity} not covered exactly once"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn par_ranges_respects_granularity_boundaries() {
+        use std::sync::Mutex;
+        let starts = Mutex::new(Vec::new());
+        par_ranges(100, 16, |start, _end| {
+            starts.lock().unwrap().push(start);
+        });
+        for s in starts.into_inner().unwrap() {
+            assert_eq!(s % 16, 0, "range start {s} not aligned to granularity");
+        }
     }
 }

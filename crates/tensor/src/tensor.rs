@@ -184,6 +184,38 @@ impl Tensor {
         Ok(out)
     }
 
+    /// Stack 4-D tensors along the batch axis.
+    ///
+    /// All inputs must agree on `C`, `H` and `W`; the result's batch size is
+    /// the sum of the inputs' (so `(1, C, H, W)` frames stack into
+    /// `(N, C, H, W)`). This is how the batched teacher forward assembles
+    /// co-scheduled key frames into one input.
+    pub fn stack_batch(tensors: &[&Tensor]) -> Result<Tensor> {
+        if tensors.is_empty() {
+            return Err(TensorError::InvalidArgument(
+                "stack_batch requires at least one tensor".into(),
+            ));
+        }
+        let (_, c, h, w) = tensors[0].shape.as_nchw()?;
+        let mut total_n = 0usize;
+        for t in tensors {
+            let (tn, tc, th, tw) = t.shape.as_nchw()?;
+            if tc != c || th != h || tw != w {
+                return Err(TensorError::ShapeMismatch {
+                    op: "stack_batch",
+                    lhs: tensors[0].shape.dims().to_vec(),
+                    rhs: t.shape.dims().to_vec(),
+                });
+            }
+            total_n += tn;
+        }
+        let mut data = Vec::with_capacity(total_n * c * h * w);
+        for t in tensors {
+            data.extend_from_slice(&t.data);
+        }
+        Tensor::from_vec(Shape::nchw(total_n, c, h, w), data)
+    }
+
     /// Split channels `[start, start+len)` out of a 4-D tensor.
     pub fn slice_channels(&self, start: usize, len: usize) -> Result<Tensor> {
         let (n, c, h, w) = self.shape.as_nchw()?;
@@ -360,30 +392,29 @@ impl Tensor {
         self.data.iter().all(|x| x.is_finite())
     }
 
-    /// Per-pixel argmax over the channel axis of a single-batch NCHW tensor.
+    /// Per-pixel argmax over the channel axis of an NCHW tensor.
     ///
-    /// Returns an `H*W` vector of class indices. Used to turn segmentation
-    /// logits into a label map.
+    /// Returns an `N*H*W` vector of class indices, frame-major (frame `ni`
+    /// owns `[ni*H*W, (ni+1)*H*W)`). Used to turn segmentation logits into
+    /// label maps, one per batched frame.
     pub fn argmax_channels(&self) -> Result<Vec<usize>> {
         let (n, c, h, w) = self.shape.as_nchw()?;
-        if n != 1 {
-            return Err(TensorError::InvalidArgument(
-                "argmax_channels expects batch size 1".into(),
-            ));
-        }
         let plane = h * w;
-        let mut out = vec![0usize; plane];
-        for (p, slot) in out.iter_mut().enumerate() {
-            let mut best = f32::NEG_INFINITY;
-            let mut best_c = 0usize;
-            for ci in 0..c {
-                let v = self.data[ci * plane + p];
-                if v > best {
-                    best = v;
-                    best_c = ci;
+        let mut out = vec![0usize; n * plane];
+        for ni in 0..n {
+            let frame = &self.data[ni * c * plane..(ni + 1) * c * plane];
+            for (p, slot) in out[ni * plane..(ni + 1) * plane].iter_mut().enumerate() {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_c = 0usize;
+                for ci in 0..c {
+                    let v = frame[ci * plane + p];
+                    if v > best {
+                        best = v;
+                        best_c = ci;
+                    }
                 }
+                *slot = best_c;
             }
-            *slot = best_c;
         }
         Ok(out)
     }
@@ -496,6 +527,31 @@ mod tests {
         let b = Tensor::zeros(Shape::nchw(1, 1, 3, 2));
         assert!(Tensor::concat_channels(&[&a, &b]).is_err());
         assert!(Tensor::concat_channels(&[]).is_err());
+    }
+
+    #[test]
+    fn stack_batch_concatenates_frames() {
+        let a = t(&[1, 2, 2, 2], &[1.0; 8]);
+        let b = t(&[1, 2, 2, 2], &[2.0; 8]);
+        let stacked = Tensor::stack_batch(&[&a, &b]).unwrap();
+        assert_eq!(stacked.shape().dims(), &[2, 2, 2, 2]);
+        assert_eq!(&stacked.data()[..8], a.data());
+        assert_eq!(&stacked.data()[8..], b.data());
+        // Mixed shapes are rejected; empty input is rejected.
+        let c = t(&[1, 2, 2, 3], &[0.0; 12]);
+        assert!(Tensor::stack_batch(&[&a, &c]).is_err());
+        assert!(Tensor::stack_batch(&[]).is_err());
+    }
+
+    #[test]
+    fn argmax_channels_handles_batches_frame_major() {
+        // Frame 0: channel 1 wins everywhere; frame 1: channel 0 wins.
+        let mut x = Tensor::zeros(Shape::nchw(2, 2, 1, 2));
+        x.set4(0, 1, 0, 0, 1.0);
+        x.set4(0, 1, 0, 1, 1.0);
+        x.set4(1, 0, 0, 0, 1.0);
+        x.set4(1, 0, 0, 1, 1.0);
+        assert_eq!(x.argmax_channels().unwrap(), vec![1, 1, 0, 0]);
     }
 
     #[test]

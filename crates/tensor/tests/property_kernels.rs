@@ -6,8 +6,36 @@
 //! drawn shapes and contents.
 
 use proptest::prelude::*;
-use st_tensor::conv::{col2im, conv2d_forward, im2col, Conv2dSpec};
+use st_tensor::conv::{col2im, conv2d_forward, im2col, im2col_batched, Conv2dSpec};
 use st_tensor::{matmul, ops, pool, random, Shape, Tensor};
+
+/// Reference O(mnk) GEMM — the oracle the packed kernel is checked against.
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape().as_matrix().unwrap();
+    let (_, n) = b.shape().as_matrix().unwrap();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for kk in 0..k {
+                acc += a.data()[i * k + kk] * b.data()[kk * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(Shape::matrix(m, n), out).unwrap()
+}
+
+fn transpose(t: &Tensor) -> Tensor {
+    let (r, c) = t.shape().as_matrix().unwrap();
+    let mut out = vec![0.0f32; r * c];
+    for i in 0..r {
+        for j in 0..c {
+            out[j * r + i] = t.data()[i * c + j];
+        }
+    }
+    Tensor::from_vec(Shape::matrix(c, r), out).unwrap()
+}
 
 fn tensor_strategy(max: usize) -> impl Strategy<Value = Tensor> {
     (1..=max, 1..=max, any::<u64>())
@@ -45,6 +73,88 @@ proptest! {
         let rhs = matmul::matmul(&a, &b1).unwrap().add(&matmul::matmul(&a, &b2).unwrap()).unwrap();
         for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
             prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// The packed microkernel zero-pads ragged MR/NR/KC edges, so it must
+    /// agree with the reference kernel on *every* shape, not just multiples
+    /// of the tile sizes.
+    #[test]
+    fn packed_matmul_matches_reference_on_arbitrary_shapes(
+        m in 1usize..40, k in 1usize..48, n in 1usize..40, seed in any::<u64>()
+    ) {
+        let a = random::uniform(Shape::matrix(m, k), -1.0, 1.0, seed);
+        let b = random::uniform(Shape::matrix(k, n), -1.0, 1.0, seed.wrapping_add(1));
+        let fast = matmul::matmul(&a, &b).unwrap();
+        let slow = naive_matmul(&a, &b);
+        for (x, y) in fast.data().iter().zip(slow.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn packed_matmul_tn_matches_reference_on_arbitrary_shapes(
+        m in 1usize..24, k in 1usize..48, n in 1usize..24, seed in any::<u64>()
+    ) {
+        let a = random::uniform(Shape::matrix(k, m), -1.0, 1.0, seed); // stored (k, m)
+        let b = random::uniform(Shape::matrix(k, n), -1.0, 1.0, seed.wrapping_add(2));
+        let fast = matmul::matmul_tn(&a, &b).unwrap();
+        let slow = naive_matmul(&transpose(&a), &b);
+        for (x, y) in fast.data().iter().zip(slow.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn packed_matmul_nt_matches_reference_on_arbitrary_shapes(
+        m in 1usize..24, k in 1usize..48, n in 1usize..24, seed in any::<u64>()
+    ) {
+        let a = random::uniform(Shape::matrix(m, k), -1.0, 1.0, seed);
+        let b = random::uniform(Shape::matrix(n, k), -1.0, 1.0, seed.wrapping_add(3)); // (n, k)
+        let fast = matmul::matmul_nt(&a, &b).unwrap();
+        let slow = naive_matmul(&a, &transpose(&b));
+        for (x, y) in fast.data().iter().zip(slow.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// The batched lowering is the per-frame lowering with frame-major
+    /// column blocks: batched convolution must be *bit-for-bit* the
+    /// concatenation of single-frame convolutions.
+    #[test]
+    fn batched_conv_equals_per_frame_bit_for_bit(
+        n in 1usize..5, h in 4usize..9, w in 4usize..9, stride in 1usize..3, seed in any::<u64>()
+    ) {
+        let spec = Conv2dSpec::square(2, 3, 3, stride);
+        let batch = random::uniform(Shape::nchw(n, 2, h, w), -1.0, 1.0, seed);
+        let weight = random::uniform(spec.weight_shape(), -0.5, 0.5, seed.wrapping_add(4));
+        let bias = random::uniform(Shape::vector(3), -0.1, 0.1, seed.wrapping_add(5));
+        let (batched, cols) = conv2d_forward(&batch, &weight, Some(&bias), &spec).unwrap();
+        let (oh, ow) = spec.output_size(h, w);
+        prop_assert_eq!(batched.shape().dims(), &[n, 3, oh, ow]);
+        prop_assert_eq!(cols.shape().dims(), &[2 * 9, n * oh * ow]);
+        let frame_len = 2 * h * w;
+        let out_len = 3 * oh * ow;
+        for ni in 0..n {
+            let frame = Tensor::from_vec(
+                Shape::nchw(1, 2, h, w),
+                batch.data()[ni * frame_len..(ni + 1) * frame_len].to_vec(),
+            ).unwrap();
+            let (solo, solo_cols) = conv2d_forward(&frame, &weight, Some(&bias), &spec).unwrap();
+            prop_assert_eq!(
+                solo.data(),
+                &batched.data()[ni * out_len..(ni + 1) * out_len]
+            );
+            // The frame's column block of the batched im2col is exactly its
+            // single-frame lowering, column by column.
+            let full_cols = im2col_batched(&batch, &spec).unwrap();
+            let plane = oh * ow;
+            for row in 0..2 * 9 {
+                let batched_row = &full_cols.data()[row * n * plane + ni * plane
+                    ..row * n * plane + (ni + 1) * plane];
+                let solo_row = &solo_cols.data()[row * plane..(row + 1) * plane];
+                prop_assert_eq!(batched_row, solo_row);
+            }
         }
     }
 

@@ -224,6 +224,34 @@ fn measured_traffic_and_throughput_respect_the_paper_bounds() {
     );
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The batched CnnTeacher forward must label co-scheduled frames
+    /// *bit-for-bit* identically to per-frame forwards — the server pool's
+    /// amortization is only free if batching never changes an answer. The
+    /// packed GEMM keeps per-element accumulation order independent of the
+    /// batch width, so exact equality (not tolerance) is the contract.
+    #[test]
+    fn pseudo_label_batch_equals_per_frame_bit_for_bit(
+        batch in 1usize..5, seed in 0u64..1000, scene_pick in 0usize..3
+    ) {
+        use st_teacher::{CnnTeacher, Teacher};
+        let scene = [SceneKind::People, SceneKind::Animals, SceneKind::Street][scene_pick];
+        let cat = VideoCategory { camera: CameraMotion::Fixed, scene };
+        let mut gen = VideoGenerator::new(VideoConfig::for_category(cat, 32, 24, seed)).unwrap();
+        let frames: Vec<_> = (0..batch).map(|_| gen.next_frame()).collect();
+        let refs: Vec<&_> = frames.iter().collect();
+        let mut teacher = CnnTeacher::untrained(1, seed.wrapping_add(13)).unwrap();
+        let batched = teacher.pseudo_label_batch(&refs).unwrap();
+        prop_assert_eq!(batched.len(), frames.len());
+        for (frame, batched_labels) in frames.iter().zip(&batched) {
+            let solo = teacher.pseudo_label(frame).unwrap();
+            prop_assert_eq!(&solo, batched_labels, "frame {} diverged", frame.index);
+        }
+    }
+}
+
 #[test]
 fn partial_distillation_ships_a_minority_of_the_parameters() {
     use st_nn::snapshot::PayloadSizes;

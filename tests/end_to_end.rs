@@ -630,6 +630,160 @@ fn key_frame_after_shutdown_is_acked_and_counted_not_silently_lost() {
     assert_eq!(stats.streams[&3].throttled, 0);
 }
 
+/// The batched-teacher tentpole, measured end to end on a real CnnTeacher:
+/// a 4-stream pool whose co-scheduled key frames are labelled by one
+/// genuinely batched forward, plus a deterministic batch-8 vs batch-1
+/// comparison on the shard (the exact state machine the pool workers
+/// drive). The assertion is on *measured* wall-clock teacher cost —
+/// `ShardStats::teacher_wall_time` — not the virtual amortization model.
+#[test]
+fn batched_cnn_teacher_amortizes_measured_cost_in_the_pool() {
+    use shadowtutor::serve::{ServeShard, ShardJob};
+    use st_teacher::CnnTeacher;
+
+    let config = ShadowTutorConfig::paper();
+    let student = StudentNet::new(StudentConfig::tiny()).unwrap();
+
+    // --- Deterministic shard measurement: batch 8 vs batch 1. -------------
+    // Four streams, two pre-shared frames each => 8 co-schedulable jobs.
+    let mut shard = ServeShard::new(
+        config,
+        student.clone(),
+        CnnTeacher::untrained(1, 7).unwrap(),
+        0.013,
+    );
+    let specs = multi_specs(2);
+    let mut jobs: Vec<ShardJob> = Vec::new();
+    for spec in &specs {
+        shard.register(
+            spec.stream_id,
+            spec.frames.iter().map(|f| (f.index, f.clone())).collect(),
+        );
+        for frame in &spec.frames {
+            jobs.push(ShardJob {
+                stream_id: spec.stream_id,
+                frame_index: frame.index,
+            });
+        }
+    }
+    assert_eq!(jobs.len(), 8);
+    // Warm up both code paths (first-call effects: allocator, lazy init).
+    shard.process_batch(&jobs).unwrap();
+    shard.process_batch(&jobs[..1]).unwrap();
+
+    let teacher_wall = |shard: &ServeShard<CnnTeacher>| shard.stats().teacher_wall_time;
+    let mut batched_per_frame = Vec::new();
+    let mut solo_per_frame = Vec::new();
+    for _ in 0..3 {
+        // One co-scheduled batch of 8: a single batched teacher forward.
+        let before = teacher_wall(&shard);
+        shard.process_batch(&jobs).unwrap();
+        batched_per_frame.push((teacher_wall(&shard) - before).as_secs_f64() / jobs.len() as f64);
+        // The same 8 jobs served one at a time: 8 solo forwards.
+        let before = teacher_wall(&shard);
+        for job in &jobs {
+            shard.process_batch(std::slice::from_ref(job)).unwrap();
+        }
+        solo_per_frame.push((teacher_wall(&shard) - before).as_secs_f64() / jobs.len() as f64);
+    }
+    batched_per_frame.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    solo_per_frame.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let batched_median = batched_per_frame[batched_per_frame.len() / 2];
+    let solo_median = solo_per_frame[solo_per_frame.len() / 2];
+    assert!(
+        batched_median < solo_median,
+        "measured per-frame teacher cost must fall with batching: \
+         batch 8 {batched_median:.6}s/frame vs batch 1 {solo_median:.6}s/frame"
+    );
+    // The shard's measured cost profile saw both batch sizes, so the
+    // adaptive window's growth gate now runs on measured marginal-cost data
+    // (a CnnTeacher forward is far above the measurability floor) instead
+    // of falling back to the virtual model. The verdict's *direction* is
+    // EMA-smoothed wall clock and may wobble with scheduler noise; the
+    // robust median comparison above is the amortization claim.
+    assert!(shard.measured_costs().estimate(1).is_some());
+    assert!(shard.measured_costs().estimate(8).is_some());
+    assert!(
+        shard.measured_costs().growth_pays(8).is_some(),
+        "growth gating must run on measured data once both sizes are observed"
+    );
+
+    // --- Live 4-stream pool run over the same teacher. --------------------
+    // One shard so all four streams co-schedule; quantum 2 and a pinned
+    // window of 8 let a full backlog drain in one batched forward.
+    let pool = ServerPool::spawn(
+        config,
+        PoolConfig {
+            shards: 1,
+            max_batch: 8,
+            max_in_flight: 2,
+            quantum: 2,
+            adaptive_batch: false,
+            recv_timeout: Duration::from_millis(200),
+            ..PoolConfig::default_pool()
+        },
+        student,
+        0.013,
+        |_| CnnTeacher::untrained(1, 7).unwrap(),
+    )
+    .unwrap();
+    let specs = multi_specs(2);
+    let mut clients: Vec<_> = specs
+        .iter()
+        .map(|spec| pool.connect(spec.stream_id, &spec.frames).unwrap())
+        .collect();
+    for (client, spec) in clients.iter_mut().zip(&specs) {
+        let initial = client.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert!(matches!(initial, ServerToClient::InitialStudent { .. }));
+        for frame in &spec.frames {
+            let payload = Payload::sized(frame.raw_rgb_bytes());
+            let bytes = payload.bytes;
+            client
+                .send(
+                    ClientToServer::KeyFrame {
+                        frame_index: frame.index,
+                        payload,
+                    },
+                    bytes,
+                )
+                .unwrap();
+        }
+    }
+    for (client, spec) in clients.iter_mut().zip(&specs) {
+        for _ in &spec.frames {
+            let update = client.recv_timeout(Duration::from_secs(30)).unwrap();
+            assert!(matches!(update, ServerToClient::StudentUpdate { .. }));
+        }
+        client.send(ClientToServer::Shutdown, 1).unwrap();
+    }
+    drop(clients);
+    let stats = pool.join().unwrap();
+    assert_eq!(stats.total_key_frames(), 8);
+    assert_eq!(stats.dropped_jobs(), 0);
+    assert_eq!(stats.throttled(), 0);
+    // Real compute was measured, and the live run's measured amortized
+    // per-frame teacher cost beats the deterministic solo baseline whenever
+    // any co-scheduling happened (and can only tie it when every batch
+    // degenerated to size 1, which the timing race makes possible but rare).
+    assert!(stats.teacher_wall_time() > Duration::ZERO);
+    // How deep the live batches actually got depends on an arrival race
+    // (clients push while the worker drains), so the wall-cost comparison
+    // against the deterministic solo baseline only binds when genuine
+    // co-scheduling happened; the margin absorbs scheduler jitter from the
+    // concurrent client threads. The strict batch-8 < batch-1 claim is the
+    // deterministic shard measurement above.
+    let shard_stats = &stats.shards[0];
+    if shard_stats.mean_batch_size() >= 2.0 {
+        assert!(
+            stats.mean_teacher_wall_secs() < solo_median * 1.10,
+            "live pool amortized cost {:.6}s/frame vs solo baseline {solo_median:.6}s/frame \
+             (mean batch {:.2})",
+            stats.mean_teacher_wall_secs(),
+            shard_stats.mean_batch_size()
+        );
+    }
+}
+
 #[test]
 fn all_seven_categories_run_and_report_valid_metrics() {
     let student = StudentNet::new(StudentConfig::tiny()).unwrap();
