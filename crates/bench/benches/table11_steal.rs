@@ -1,0 +1,96 @@
+//! Table 11 (new in this reproduction, no paper counterpart) — elastic
+//! server pool under skewed load: the hot-stream sweep of Table 9 run over
+//! a multi-shard pool twice per multiplier, with cross-shard work stealing
+//! off (`PlacementPolicy::LeastLoaded`) and on (`Rebalance`), under a
+//! per-stream LRU frame budget. Reports cold-stream p99 round trips and the
+//! least-busy shard's measured busy time in both modes, steal / eviction /
+//! re-share counts from the pool's operator report, and the analytic
+//! static-hot-shard vs stealing delay predictions.
+//!
+//! Criterion additionally measures the elastic pool's new hot paths: LRU
+//! frame-cache churn (insert + touch under a tight budget) and a full
+//! deficit-round-robin drain with a mid-drain whole-stream removal — the
+//! scheduler operation a migration performs.
+//!
+//! Knobs (for CI's tiny smoke sweep):
+//!
+//! * `TABLE11_SWEEP=smoke` shrinks the sweep, the pool, and the per-stream
+//!   key-frame counts.
+//! * `TABLE11_JSON=<path>` additionally writes the table as JSON (uploaded
+//!   next to the table9/table10 artifacts).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shadowtutor::serve::{FairScheduler, FrameStore};
+use st_bench::json::table_to_json;
+use st_bench::tables::table11_steal;
+use st_video::dataset::tiny_stream;
+use st_video::SceneKind;
+use std::time::Instant;
+
+fn steal_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table11_steal");
+    group.sample_size(10);
+
+    // LRU churn: repeatedly insert a stream's frames into a store with room
+    // for a quarter of them, touching as the shard's resolve step does.
+    let frames = tiny_stream(SceneKind::People, 11, 32);
+    let budget = 8 * FrameStore::frame_cost(&frames[0]);
+    group.bench_function("frame_store_churn_32f_budget8", |bench| {
+        bench.iter(|| {
+            let mut store = FrameStore::new(Some(budget));
+            for frame in &frames {
+                store.insert(frame.clone());
+                store.touch(frame.index);
+            }
+            (store.evictions(), store.resident_bytes())
+        })
+    });
+
+    // DRR drain with a mid-drain migration: remove the busiest stream's
+    // whole queue (what a donation does), then finish draining.
+    group.bench_function("drr_drain_with_migration", |bench| {
+        bench.iter(|| {
+            let now = Instant::now();
+            let mut scheduler = FairScheduler::new(1);
+            for i in 0..64 {
+                scheduler.push(0, i, now);
+            }
+            for stream in 1..8u64 {
+                scheduler.push(stream, 0, now);
+            }
+            let mut drained = 0usize;
+            drained += scheduler.next_batch(8).len();
+            let (busiest, _) = scheduler.busiest_stream().expect("backlog present");
+            let migrated = scheduler.remove_stream(busiest).len();
+            while !scheduler.is_empty() {
+                drained += scheduler.next_batch(8).len();
+            }
+            (drained, migrated)
+        })
+    });
+    group.finish();
+
+    // The stealing sweep itself: skewed load with migration off vs on.
+    let smoke = std::env::var("TABLE11_SWEEP").as_deref() == Ok("smoke");
+    let (sweep, streams, shards, key_frames): (&[usize], usize, usize, usize) = if smoke {
+        (&[8], 3, 2, 2)
+    } else {
+        (&[1, 4, 8], 5, 4, 6)
+    };
+    let table = table11_steal(sweep, streams, shards, key_frames);
+    println!("\n{}", table.text);
+
+    if let Ok(path) = std::env::var("TABLE11_JSON") {
+        let json = table_to_json(&table);
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("wrote JSON artifact: {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+criterion_group!(benches, steal_benchmark);
+criterion_main!(benches);

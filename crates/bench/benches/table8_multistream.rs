@@ -11,7 +11,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use shadowtutor::config::ShadowTutorConfig;
 use shadowtutor::runtime::live::{run_live_multi, StreamSpec};
-use shadowtutor::serve::{PoolConfig, ServeShard, ShardJob};
+use shadowtutor::serve::{FrameStore, PoolConfig, ServeShard, ShardJob};
 use st_nn::student::{StudentConfig, StudentNet};
 use st_teacher::OracleTeacher;
 use st_video::dataset::tiny_stream as frames_for;
@@ -44,7 +44,7 @@ fn loaded_shard(streams: usize) -> (ServeShard<OracleTeacher>, Vec<ShardJob>) {
     for i in 0..streams {
         let frames = frames_for(SCENES[i % SCENES.len()], 9_000 + i as u64, 1);
         let frame_index = frames[0].index;
-        shard.register(i as u64, frames.into_iter().map(|f| (f.index, f)).collect());
+        shard.register(i as u64, FrameStore::from_frames(&frames, None));
         jobs.push(ShardJob {
             stream_id: i as u64,
             frame_index,

@@ -23,8 +23,11 @@
 //! * [`serve`] — the multi-stream server runtime: a sharded pool of worker
 //!   threads, one distillation session per client stream, with teacher
 //!   forward passes batched across co-scheduled key frames, fair
-//!   deficit-round-robin batching, per-stream admission control, and
-//!   load-adaptive co-scheduling.
+//!   deficit-round-robin batching, per-stream admission control,
+//!   load-adaptive co-scheduling, cross-shard work stealing
+//!   ([`config::PlacementPolicy::Rebalance`]) and LRU-bounded per-stream
+//!   frame memory ([`serve::FrameStore`]). See `docs/ARCHITECTURE.md` at
+//!   the workspace root for the full lifecycle of a key frame.
 //! * [`loadgen`] — an open-loop skewed load generator (one hot stream at a
 //!   multiple of the base key-frame rate) measuring per-stream round trips
 //!   against a live pool; used by the fairness tests and benches.
@@ -53,7 +56,7 @@ pub mod stride;
 pub mod train;
 
 pub use config::{DistillationMode, PaperConstants, PlacementPolicy, ShadowTutorConfig};
-pub use report::{ExperimentRecord, FrameRecord, KeyFrameRecord};
+pub use report::{ExperimentRecord, FrameRecord, KeyFrameRecord, PoolReport, ShardReport};
 pub use runtime::sim::{DelayModel, SimRuntime};
 pub use stride::next_stride;
 pub use train::{train_student, TrainOutcome};

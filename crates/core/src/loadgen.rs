@@ -122,8 +122,12 @@ pub struct StreamLoadReport {
     pub throttled: usize,
     /// `Dropped`s received.
     pub dropped: usize,
+    /// `NeedFrame`s answered with a re-upload (the pool evicted the frame
+    /// from its bounded cache and asked for it back).
+    pub reshared: usize,
     /// Client-observed round trip (send → update) per serviced key frame,
-    /// in seconds, in completion order.
+    /// in seconds, in completion order. A re-shared frame's round trip spans
+    /// the whole recovery exchange.
     pub round_trips: Vec<f64>,
 }
 
@@ -256,7 +260,9 @@ where
 }
 
 /// One open-loop client: send every frame on the fixed schedule, absorbing
-/// responses as they arrive, then drain the tail and shut down.
+/// responses as they arrive (including `NeedFrame` recovery requests, which
+/// are answered by re-uploading the frame), then drain the tail and shut
+/// down.
 fn drive_open_loop(
     mut client: StreamClient,
     frames: Vec<Frame>,
@@ -271,6 +277,7 @@ fn drive_open_loop(
         updates: 0,
         throttled: 0,
         dropped: 0,
+        reshared: 0,
         round_trips: Vec::with_capacity(frames.len()),
     };
     // The initial checkpoint arrives first.
@@ -278,8 +285,10 @@ fn drive_open_loop(
         .recv_timeout(Duration::from_secs(30))
         .map_err(|e| TensorError::InvalidArgument(format!("no initial checkpoint: {e:?}")))?;
 
+    let by_index: HashMap<usize, &Frame> = frames.iter().map(|f| (f.index, f)).collect();
     let mut sent_at: HashMap<usize, Instant> = HashMap::with_capacity(frames.len());
     let mut outstanding = 0usize;
+    let mut reshare_queue: Vec<usize> = Vec::new();
     for frame in &frames {
         let payload = Payload::sized(frame.raw_rgb_bytes());
         let bytes = payload.bytes;
@@ -296,8 +305,15 @@ fn drive_open_loop(
         report.sent += 1;
         outstanding += 1;
         while let Ok(Some(message)) = client.try_recv() {
-            absorb(message, &mut sent_at, &mut report, &mut outstanding);
+            absorb(
+                message,
+                &mut sent_at,
+                &mut report,
+                &mut outstanding,
+                &mut reshare_queue,
+            );
         }
+        answer_reshares(&mut client, &by_index, &mut reshare_queue, &mut report)?;
         std::thread::sleep(interval);
     }
     // The pool answers every key frame (update, throttle, or drop ack);
@@ -305,13 +321,41 @@ fn drive_open_loop(
     let deadline = Instant::now() + Duration::from_secs(30);
     while outstanding > 0 && Instant::now() < deadline {
         match client.recv_timeout(Duration::from_millis(200)) {
-            Ok(message) => absorb(message, &mut sent_at, &mut report, &mut outstanding),
+            Ok(message) => absorb(
+                message,
+                &mut sent_at,
+                &mut report,
+                &mut outstanding,
+                &mut reshare_queue,
+            ),
             Err(TransportError::Timeout) => continue,
             Err(_) => break,
         }
+        answer_reshares(&mut client, &by_index, &mut reshare_queue, &mut report)?;
     }
     client.send(ClientToServer::Shutdown, 1).ok();
     Ok(report)
+}
+
+/// Re-upload every frame the server asked back for.
+fn answer_reshares(
+    client: &mut StreamClient,
+    by_index: &HashMap<usize, &Frame>,
+    reshare_queue: &mut Vec<usize>,
+    report: &mut StreamLoadReport,
+) -> Result<()> {
+    for frame_index in reshare_queue.drain(..) {
+        let Some(frame) = by_index.get(&frame_index) else {
+            // The server asked for a frame we never had; the pending job
+            // will be drop-acked at stream end. Nothing to upload.
+            continue;
+        };
+        client
+            .reshare(frame)
+            .map_err(|e| TensorError::InvalidArgument(format!("reshare failed: {e:?}")))?;
+        report.reshared += 1;
+    }
+    Ok(())
 }
 
 /// Fold one downlink message into the stream's report.
@@ -320,6 +364,7 @@ fn absorb(
     sent_at: &mut HashMap<usize, Instant>,
     report: &mut StreamLoadReport,
     outstanding: &mut usize,
+    reshare_queue: &mut Vec<usize>,
 ) {
     match message {
         ServerToClient::StudentUpdate { frame_index, .. } => {
@@ -339,6 +384,9 @@ fn absorb(
             report.dropped += 1;
             *outstanding = outstanding.saturating_sub(1);
         }
+        // The frame is still outstanding — its StudentUpdate arrives after
+        // the re-upload, so the measured round trip covers the recovery.
+        ServerToClient::NeedFrame { frame_index } => reshare_queue.push(frame_index),
         ServerToClient::InitialStudent { .. } => {}
     }
 }
@@ -400,6 +448,7 @@ mod tests {
             updates: 5,
             throttled: 0,
             dropped: 0,
+            reshared: 0,
             round_trips: vec![0.5, 0.1, 0.3, 0.2, 0.4],
         };
         assert!((report.mean_round_trip() - 0.3).abs() < 1e-12);
@@ -412,6 +461,51 @@ mod tests {
         };
         assert_eq!(empty.percentile_round_trip(99.0), 0.0);
         assert_eq!(empty.mean_round_trip(), 0.0);
+    }
+
+    #[test]
+    fn budgeted_pool_recovers_evicted_frames_via_reshare() {
+        use crate::serve::FrameStore;
+        let probe = tiny_stream(SceneKind::People, 90, 1);
+        let budget = 2 * FrameStore::frame_cost(&probe[0]);
+        let outcome = run_skewed_load(
+            ShadowTutorConfig::paper(),
+            PoolConfig {
+                shards: 1,
+                recv_timeout: Duration::from_millis(200),
+                // Room for two frames per stream; each stream pre-shares
+                // six, so most key frames hit an evicted slot and must be
+                // recovered through NeedFrame → ReShare. Parked jobs hold
+                // their admission slots, so the cap is lifted to keep this
+                // test about recovery, not backpressure.
+                frame_budget_bytes: Some(budget),
+                max_in_flight: 16,
+                ..PoolConfig::default_pool()
+            },
+            StudentNet::new(StudentConfig::tiny()).unwrap(),
+            0.013,
+            |_| OracleTeacher::perfect(12),
+            SkewedLoadSpec {
+                streams: 2,
+                hot_multiplier: 1,
+                key_frames_per_stream: 6,
+                send_interval: Duration::from_millis(4),
+                seed: 91,
+            },
+        )
+        .unwrap();
+        // Every key frame was still serviced — eviction costs bandwidth and
+        // latency, never answers.
+        for report in &outcome.streams {
+            assert_eq!(report.updates, report.sent, "stream {}", report.stream_id);
+        }
+        assert_eq!(outcome.pool.dropped_jobs(), 0);
+        // Evictions really happened and were really recovered.
+        assert!(outcome.pool.frame_evictions() > 0);
+        assert!(outcome.pool.reshared_frames() > 0);
+        assert!(outcome.streams.iter().map(|r| r.reshared).sum::<usize>() > 0);
+        // The budget invariant held at every point of the run.
+        assert!(outcome.pool.frame_bytes_peak() <= budget);
     }
 
     #[test]

@@ -205,6 +205,147 @@ impl ExperimentRecord {
     }
 }
 
+/// One shard's row in the operator report ([`PoolReport`]).
+///
+/// Everything an operator dashboards per worker: how much it served, how
+/// elastic it was (steals in/out, forwarded traffic), how the frame-memory
+/// bound behaved (evictions, re-shares, peak resident bytes), and what its
+/// clients experienced (p50/p99 queue waits, drops, throttles).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Key frames served.
+    pub key_frames: usize,
+    /// Batched teacher forwards taken.
+    pub teacher_batches: usize,
+    /// Mean co-scheduled batch size.
+    pub mean_batch: f64,
+    /// Median wall-clock queue wait, milliseconds.
+    pub queue_p50_ms: f64,
+    /// 99th-percentile wall-clock queue wait, milliseconds.
+    pub queue_p99_ms: f64,
+    /// Wall-clock seconds the worker spent actively processing batches
+    /// (run wall time minus this is the shard's idle time).
+    pub busy_secs: f64,
+    /// Measured wall-clock seconds inside batched teacher forwards.
+    pub teacher_wall_secs: f64,
+    /// Key frames rejected by admission control.
+    pub throttled: usize,
+    /// Key-frame jobs dropped (all acked, never silent).
+    pub dropped: usize,
+    /// Frames evicted from per-stream caches that finished here.
+    pub frame_evictions: usize,
+    /// Jobs parked while their evicted frame was re-requested.
+    pub need_frame_requests: usize,
+    /// Frames restored by client re-shares.
+    pub reshared_frames: usize,
+    /// Largest per-stream frame-cache watermark, bytes.
+    pub frame_bytes_peak: usize,
+    /// Streams this shard stole from busier shards.
+    pub streams_stolen_in: usize,
+    /// Streams this shard handed off to idle thieves.
+    pub streams_donated: usize,
+    /// Uplink messages forwarded onward after their stream migrated.
+    pub forwarded_messages: usize,
+}
+
+/// The serializable operator report condensed from a pool run
+/// (`PoolStats::snapshot()` in `shadowtutor::serve`).
+///
+/// The vendored `serde` is marker-only (no registry access in the build
+/// environment), so [`PoolReport::to_json`] hand-rolls the export; the
+/// schema is one object with a `shards` array and a `totals` object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolReport {
+    /// Per-shard rows, indexed by shard.
+    pub shards: Vec<ShardReport>,
+    /// Key frames served across the pool.
+    pub total_key_frames: usize,
+    /// Streams migrated by work stealing.
+    pub streams_stolen: usize,
+    /// Frames evicted across every stream.
+    pub frame_evictions: usize,
+    /// Frames restored by re-shares.
+    pub reshared_frames: usize,
+    /// Key frames dropped (all acked).
+    pub dropped_jobs: usize,
+    /// Key frames throttled by admission control.
+    pub throttled: usize,
+    /// Largest per-stream frame-cache watermark anywhere, bytes.
+    pub frame_bytes_peak: usize,
+    /// Pool-wide median queue wait, milliseconds.
+    pub queue_p50_ms: f64,
+    /// Pool-wide 99th-percentile queue wait, milliseconds.
+    pub queue_p99_ms: f64,
+    /// Measured wall-clock teacher seconds across the pool.
+    pub teacher_wall_secs: f64,
+}
+
+impl PoolReport {
+    /// Render the report as a JSON object (hand-rolled; see the type docs).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        fn num(value: f64) -> String {
+            if value.is_finite() {
+                format!("{value}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut out = String::from("{\"shards\":[");
+        for (i, s) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"shard\":{},\"key_frames\":{},\"teacher_batches\":{},\"mean_batch\":{},\
+                 \"queue_p50_ms\":{},\"queue_p99_ms\":{},\"busy_secs\":{},\
+                 \"teacher_wall_secs\":{},\"throttled\":{},\"dropped\":{},\
+                 \"frame_evictions\":{},\"need_frame_requests\":{},\"reshared_frames\":{},\
+                 \"frame_bytes_peak\":{},\"streams_stolen_in\":{},\"streams_donated\":{},\
+                 \"forwarded_messages\":{}}}",
+                s.shard,
+                s.key_frames,
+                s.teacher_batches,
+                num(s.mean_batch),
+                num(s.queue_p50_ms),
+                num(s.queue_p99_ms),
+                num(s.busy_secs),
+                num(s.teacher_wall_secs),
+                s.throttled,
+                s.dropped,
+                s.frame_evictions,
+                s.need_frame_requests,
+                s.reshared_frames,
+                s.frame_bytes_peak,
+                s.streams_stolen_in,
+                s.streams_donated,
+                s.forwarded_messages,
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"totals\":{{\"key_frames\":{},\"streams_stolen\":{},\"frame_evictions\":{},\
+             \"reshared_frames\":{},\"dropped_jobs\":{},\"throttled\":{},\
+             \"frame_bytes_peak\":{},\"queue_p50_ms\":{},\"queue_p99_ms\":{},\
+             \"teacher_wall_secs\":{}}}}}",
+            self.total_key_frames,
+            self.streams_stolen,
+            self.frame_evictions,
+            self.reshared_frames,
+            self.dropped_jobs,
+            self.throttled,
+            self.frame_bytes_peak,
+            num(self.queue_p50_ms),
+            num(self.queue_p99_ms),
+            num(self.teacher_wall_secs),
+        );
+        out
+    }
+}
+
 /// One column of [`format_table`]: a header plus the closure extracting the
 /// cell value from a record.
 pub type TableColumn<'a> = (&'a str, &'a dyn Fn(&ExperimentRecord) -> String);
@@ -354,6 +495,52 @@ mod tests {
         let full = r.replay_fps(&link, Concurrency::Full);
         let none = r.replay_fps(&link, Concurrency::None);
         assert!(full >= none);
+    }
+
+    #[test]
+    fn pool_report_renders_valid_json() {
+        let shard = ShardReport {
+            shard: 0,
+            key_frames: 10,
+            teacher_batches: 4,
+            mean_batch: 2.5,
+            queue_p50_ms: 1.25,
+            queue_p99_ms: 9.5,
+            busy_secs: 0.5,
+            teacher_wall_secs: 0.25,
+            throttled: 1,
+            dropped: 0,
+            frame_evictions: 3,
+            need_frame_requests: 2,
+            reshared_frames: 2,
+            frame_bytes_peak: 30720,
+            streams_stolen_in: 1,
+            streams_donated: 0,
+            forwarded_messages: 2,
+        };
+        let report = PoolReport {
+            shards: vec![shard.clone(), ShardReport { shard: 1, ..shard }],
+            total_key_frames: 20,
+            streams_stolen: 1,
+            frame_evictions: 6,
+            reshared_frames: 4,
+            dropped_jobs: 0,
+            throttled: 2,
+            frame_bytes_peak: 30720,
+            queue_p50_ms: 1.25,
+            queue_p99_ms: f64::NAN,
+            teacher_wall_secs: 0.5,
+        };
+        let json = report.to_json();
+        assert!(json.starts_with("{\"shards\":[{\"shard\":0,"));
+        assert!(json.contains("\"streams_stolen_in\":1"));
+        assert!(json.contains("\"totals\":{\"key_frames\":20,"));
+        assert!(json.contains("\"frame_bytes_peak\":30720"));
+        // Non-finite values render as null, not invalid JSON.
+        assert!(json.contains("\"queue_p99_ms\":null"));
+        // Balanced braces/brackets (a cheap structural check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

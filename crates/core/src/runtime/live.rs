@@ -326,6 +326,43 @@ pub fn run_live(
 /// pool keeps one isolated distillation session per stream and batches
 /// teacher forward passes across streams that land on the same shard. Each
 /// shard's teacher comes from `teacher_factory(shard_index)`.
+///
+/// # Example
+///
+/// ```
+/// use shadowtutor::config::ShadowTutorConfig;
+/// use shadowtutor::runtime::live::{run_live_multi, StreamSpec};
+/// use shadowtutor::serve::PoolConfig;
+/// use st_nn::student::{StudentConfig, StudentNet};
+/// use st_teacher::OracleTeacher;
+/// use st_video::dataset::tiny_stream;
+/// use st_video::SceneKind;
+///
+/// let streams = vec![
+///     StreamSpec {
+///         stream_id: 0,
+///         label: "people".into(),
+///         frames: tiny_stream(SceneKind::People, 1, 12),
+///     },
+///     StreamSpec {
+///         stream_id: 1,
+///         label: "animals".into(),
+///         frames: tiny_stream(SceneKind::Animals, 2, 12),
+///     },
+/// ];
+/// let outcome = run_live_multi(
+///     ShadowTutorConfig::paper(),
+///     streams,
+///     StudentNet::new(StudentConfig::tiny()).unwrap(),
+///     PoolConfig::with_shards(2),
+///     |shard| OracleTeacher::perfect(10 + shard as u64),
+/// )
+/// .unwrap();
+/// assert_eq!(outcome.streams.len(), 2);
+/// // The pool's statistics condense into the operator report.
+/// let report = outcome.pool.snapshot();
+/// assert_eq!(report.total_key_frames, outcome.pool.total_key_frames());
+/// ```
 pub fn run_live_multi<T, F>(
     config: ShadowTutorConfig,
     streams: Vec<StreamSpec>,
@@ -479,7 +516,7 @@ mod tests {
                         .push_back(ServerToClient::Throttle { frame_index });
                 }
                 ClientToServer::Shutdown => self.shutdowns_seen += 1,
-                ClientToServer::Register => {}
+                ClientToServer::Register | ClientToServer::ReShare { .. } => {}
             }
             Ok(())
         }

@@ -42,11 +42,32 @@
 //!   marginal cost and only falls back to the virtual latency model before
 //!   that (or when forwards are too fast to time).
 //!
+//! Since PR 5 the pool is also **elastic**: placement is no longer final.
+//!
+//! * **Work stealing** — under [`PlacementPolicy::Rebalance`] an idle shard
+//!   steals whole streams (session, frame cache, queued DRR turns and all)
+//!   from the most-loaded shard through a shared `StealRegistry`. The victim
+//!   hands the stream off between batches, so a migrating
+//!   [`DistillSession`] is always quiescent; queued jobs keep their original
+//!   arrival timestamps (wait accounting survives the move) and admission
+//!   control keeps counting the stream's in-flight jobs at its new home.
+//!   `StaticModulo` and `LeastLoaded` pools never migrate, so existing
+//!   reproductions stay bit-deterministic.
+//! * **Bounded frame memory** — each stream's pre-shared frames live in a
+//!   [`FrameStore`], an LRU cache with a configurable per-stream byte budget
+//!   ([`PoolConfig::frame_budget_bytes`]). When a key-frame job needs an
+//!   evicted frame the job is parked (not dropped) and the client is asked
+//!   to re-upload it ([`st_net::ServerToClient::NeedFrame`] →
+//!   [`st_net::ClientToServer::ReShare`], answered through
+//!   [`StreamClient::reshare`]), trading memory for uplink bandwidth.
+//!
 //! The pool reports [`PoolStats`]: per-shard queueing/batching/latency
 //! counters plus per-stream key-frame totals, waits, throttles, drops,
-//! measured teacher wall time and final server-side checkpoints, which the
-//! contention experiments compare against the analytic
-//! [`st_sim::ContentionModel`].
+//! steals, evictions, measured teacher wall time and final server-side
+//! checkpoints, which the contention experiments compare against the
+//! analytic [`st_sim::ContentionModel`]. [`PoolStats::snapshot`] condenses
+//! all of it into the serializable [`crate::report::PoolReport`] operators
+//! can export.
 
 use crate::config::{PlacementPolicy, ShadowTutorConfig};
 pub use crate::server::StreamServerStats;
@@ -91,6 +112,24 @@ pub struct PoolConfig {
     /// Adapt the co-scheduling window to the observed backlog instead of
     /// always draining up to `max_batch`.
     pub adaptive_batch: bool,
+    /// Per-stream frame-cache byte budget. Every stream's pre-shared frames
+    /// live in an LRU [`FrameStore`]; once a stream's resident frames exceed
+    /// this many bytes the least-recently-used ones are evicted and
+    /// re-requested on demand ([`ServerToClient::NeedFrame`]). `None` keeps
+    /// every frame resident for the stream's lifetime (the pre-PR-5
+    /// behaviour).
+    pub frame_budget_bytes: Option<usize>,
+    /// How often an idle worker re-checks the steal registry (and its
+    /// migration mailbox) when work stealing is enabled
+    /// ([`PlacementPolicy::Rebalance`]). Bounds how long an idle shard can
+    /// overlook a drowning one; ignored by non-stealing pools, which block
+    /// for the full `recv_timeout`.
+    pub steal_poll: Duration,
+    /// How long a worker must sit continuously idle (no queued jobs) before
+    /// it posts a steal request. A shard merely between its own streams'
+    /// arrivals should serve them itself; only a genuinely idle shard
+    /// should pull another shard's streams over.
+    pub steal_patience: Duration,
 }
 
 impl PoolConfig {
@@ -105,6 +144,9 @@ impl PoolConfig {
             max_in_flight: 4,
             quantum: 1,
             adaptive_batch: true,
+            frame_budget_bytes: None,
+            steal_poll: Duration::from_millis(5),
+            steal_patience: Duration::from_millis(25),
         }
     }
 
@@ -139,12 +181,27 @@ impl PoolConfig {
                 "quantum must be at least 1".into(),
             ));
         }
+        if self.frame_budget_bytes == Some(0) {
+            return Err(TensorError::InvalidArgument(
+                "frame_budget_bytes must be positive (use None for unbounded)".into(),
+            ));
+        }
+        if self.steal_poll.is_zero() {
+            return Err(TensorError::InvalidArgument(
+                "steal_poll must be positive".into(),
+            ));
+        }
         Ok(())
     }
 
     /// The shard a stream id maps to under static-modulo placement.
     pub fn shard_of(&self, stream_id: StreamId) -> usize {
         (stream_id % self.shards as u64) as usize
+    }
+
+    /// Whether this pool migrates streams between shards at runtime.
+    pub fn stealing(&self) -> bool {
+        matches!(self.placement, PlacementPolicy::Rebalance)
     }
 }
 
@@ -196,6 +253,28 @@ pub struct ShardStats {
     /// `teacher_wall_time / key_frames` is the *measured* amortized
     /// per-frame teacher cost batching is supposed to drive down.
     pub teacher_wall_time: Duration,
+    /// Frames evicted from per-stream [`FrameStore`]s to stay inside the
+    /// configured byte budget. Counted at the shard where the stream
+    /// *finished* (a migrated stream carries its cache — and its counters —
+    /// with it).
+    pub frame_evictions: usize,
+    /// Largest resident-byte watermark any of this shard's frame caches
+    /// reached. Never exceeds [`PoolConfig::frame_budget_bytes`] when a
+    /// budget is set — that is the invariant the budget buys.
+    pub frame_bytes_peak: usize,
+    /// Key-frame jobs that found their frame evicted and were parked while
+    /// the client was asked to re-upload it ([`ServerToClient::NeedFrame`]).
+    pub need_frame_requests: usize,
+    /// Frames restored by a client [`st_net::ClientToServer::ReShare`].
+    pub reshared_frames: usize,
+    /// Streams this shard stole from a busier shard (work stealing,
+    /// [`crate::config::PlacementPolicy::Rebalance`] only).
+    pub streams_stolen_in: usize,
+    /// Streams this shard handed off to an idle thief.
+    pub streams_donated: usize,
+    /// Uplink messages that arrived here for a stream that had already
+    /// migrated and were forwarded to the stream's current shard.
+    pub forwarded_messages: usize,
 }
 
 impl ShardStats {
@@ -239,6 +318,11 @@ pub struct PoolStats {
     pub streams: HashMap<StreamId, StreamServerStats>,
     /// Final full server-side checkpoint of every finished stream.
     pub final_checkpoints: HashMap<StreamId, WeightSnapshot>,
+    /// Per-shard wall-clock queue waits, one sample per serviced key frame
+    /// in seconds, in service order. Feeds the p50/p99 columns of
+    /// [`PoolStats::snapshot`]; one f64 per key frame, so the memory cost is
+    /// negligible next to the frames themselves.
+    pub wait_samples: Vec<Vec<f64>>,
 }
 
 impl PoolStats {
@@ -308,16 +392,241 @@ impl PoolStats {
             self.teacher_wall_time().as_secs_f64() / k as f64
         }
     }
+
+    /// Streams migrated between shards by work stealing across the run.
+    pub fn streams_stolen(&self) -> usize {
+        self.shards.iter().map(|s| s.streams_stolen_in).sum()
+    }
+
+    /// Frames evicted from per-stream caches across the run.
+    pub fn frame_evictions(&self) -> usize {
+        self.shards.iter().map(|s| s.frame_evictions).sum()
+    }
+
+    /// Frames restored by client re-shares across the run.
+    pub fn reshared_frames(&self) -> usize {
+        self.shards.iter().map(|s| s.reshared_frames).sum()
+    }
+
+    /// Largest per-stream frame-cache watermark observed anywhere in the
+    /// pool. With [`PoolConfig::frame_budget_bytes`] set, this never exceeds
+    /// the budget.
+    pub fn frame_bytes_peak(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.frame_bytes_peak)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The `p`-th percentile wall-clock queue wait across every serviced key
+    /// frame in the pool, in seconds (0.0 when nothing was served).
+    pub fn percentile_queue_wait_secs(&self, p: f64) -> f64 {
+        let all: Vec<f64> = self.wait_samples.iter().flatten().copied().collect();
+        crate::loadgen::percentile(&all, p)
+    }
+
+    /// Condense the run into the serializable operator report
+    /// ([`crate::report::PoolReport`]): per-shard load, steals, evictions,
+    /// teacher wall time and p50/p99 queue waits, plus pool totals. This is
+    /// what `reproduce --json` and the `table11_steal` bench export.
+    pub fn snapshot(&self) -> crate::report::PoolReport {
+        use crate::loadgen::percentile;
+        use crate::report::{PoolReport, ShardReport};
+        let empty: Vec<f64> = Vec::new();
+        let shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(index, s)| {
+                let waits = self.wait_samples.get(index).unwrap_or(&empty);
+                ShardReport {
+                    shard: index,
+                    key_frames: s.key_frames,
+                    teacher_batches: s.teacher_batches,
+                    mean_batch: s.mean_batch_size(),
+                    queue_p50_ms: 1e3 * percentile(waits, 50.0),
+                    queue_p99_ms: 1e3 * percentile(waits, 99.0),
+                    busy_secs: s.busy_time.as_secs_f64(),
+                    teacher_wall_secs: s.teacher_wall_time.as_secs_f64(),
+                    throttled: s.throttled,
+                    dropped: s.dropped_jobs,
+                    frame_evictions: s.frame_evictions,
+                    need_frame_requests: s.need_frame_requests,
+                    reshared_frames: s.reshared_frames,
+                    frame_bytes_peak: s.frame_bytes_peak,
+                    streams_stolen_in: s.streams_stolen_in,
+                    streams_donated: s.streams_donated,
+                    forwarded_messages: s.forwarded_messages,
+                }
+            })
+            .collect();
+        PoolReport {
+            shards,
+            total_key_frames: self.total_key_frames(),
+            streams_stolen: self.streams_stolen(),
+            frame_evictions: self.frame_evictions(),
+            reshared_frames: self.reshared_frames(),
+            dropped_jobs: self.dropped_jobs(),
+            throttled: self.throttled(),
+            frame_bytes_peak: self.frame_bytes_peak(),
+            queue_p50_ms: 1e3 * self.percentile_queue_wait_secs(50.0),
+            queue_p99_ms: 1e3 * self.percentile_queue_wait_secs(99.0),
+            teacher_wall_secs: self.teacher_wall_time().as_secs_f64(),
+        }
+    }
+}
+
+/// An LRU cache of one stream's pre-shared frame content with a byte budget.
+///
+/// The key-frame message carries encoded pixels for realistic wire sizes;
+/// the in-process shard resolves content by index, as the single-stream live
+/// runtime does. Before PR 5 that content lived in a plain map for the
+/// stream's lifetime; the store bounds it: once resident frames exceed the
+/// budget, the least-recently-used ones are evicted (the index stays known,
+/// so the job is *parked* and the content re-requested via
+/// [`ServerToClient::NeedFrame`] instead of the frame being refused as
+/// unknown). A `None` budget keeps everything resident.
+///
+/// Invariant: after every mutation, `resident_bytes() <= budget`. A frame
+/// larger than the whole budget is never admitted — it is counted evicted
+/// immediately, and a job needing it is answered with a definitive
+/// [`ServerToClient::Dropped`] after one recovery attempt (admission can
+/// never succeed, so retrying would loop forever). Size the budget above
+/// the largest single frame.
+#[derive(Debug, Clone)]
+pub struct FrameStore {
+    /// Frame index → content; `None` marks an index that was shared but is
+    /// currently evicted (distinguishing "evicted" from "never shared").
+    entries: HashMap<usize, Option<Frame>>,
+    /// Resident indices, least-recently-used first.
+    lru: VecDeque<usize>,
+    budget: Option<usize>,
+    resident_bytes: usize,
+    peak_bytes: usize,
+    evictions: usize,
+}
+
+impl FrameStore {
+    /// An empty store with the given byte budget (`None` = unbounded).
+    pub fn new(budget: Option<usize>) -> Self {
+        FrameStore {
+            entries: HashMap::new(),
+            lru: VecDeque::new(),
+            budget,
+            resident_bytes: 0,
+            peak_bytes: 0,
+            evictions: 0,
+        }
+    }
+
+    /// A store pre-filled with a stream's frames in index order (so under a
+    /// tight budget the *earliest* frames are the first evicted — they are
+    /// also the first the stream will ask the server to serve, which is what
+    /// the eviction/re-share round-trip tests exercise).
+    pub fn from_frames(frames: &[Frame], budget: Option<usize>) -> Self {
+        let mut store = Self::new(budget);
+        let mut sorted: Vec<&Frame> = frames.iter().collect();
+        sorted.sort_by_key(|f| f.index);
+        for frame in sorted {
+            store.insert(frame.clone());
+        }
+        store
+    }
+
+    /// Approximate resident cost of one frame: the f32 image tensor plus the
+    /// per-pixel ground-truth indices — what the server actually holds in
+    /// memory (not the 8-bit wire encoding).
+    pub fn frame_cost(frame: &Frame) -> usize {
+        std::mem::size_of_val(frame.image.data()) + std::mem::size_of_val(&frame.ground_truth[..])
+    }
+
+    /// Insert (or restore) a frame, evicting least-recently-used residents
+    /// until the budget holds. A frame whose own cost exceeds the budget is
+    /// recorded as known-but-evicted rather than admitted.
+    pub fn insert(&mut self, frame: Frame) {
+        let index = frame.index;
+        let cost = Self::frame_cost(&frame);
+        if self.resident(index) {
+            // Re-inserting a resident frame just refreshes recency.
+            self.touch(index);
+            return;
+        }
+        if let Some(budget) = self.budget {
+            if cost > budget {
+                self.entries.insert(index, None);
+                self.evictions += 1;
+                return;
+            }
+            while self.resident_bytes + cost > budget {
+                let Some(victim) = self.lru.pop_front() else {
+                    break;
+                };
+                if let Some(slot) = self.entries.get_mut(&victim) {
+                    if let Some(evicted) = slot.take() {
+                        self.resident_bytes -= Self::frame_cost(&evicted);
+                        self.evictions += 1;
+                    }
+                }
+            }
+        }
+        self.entries.insert(index, Some(frame));
+        self.lru.push_back(index);
+        self.resident_bytes += cost;
+        self.peak_bytes = self.peak_bytes.max(self.resident_bytes);
+    }
+
+    /// Whether this index was ever shared (resident or evicted).
+    pub fn knows(&self, index: usize) -> bool {
+        self.entries.contains_key(&index)
+    }
+
+    /// Whether this index is currently resident.
+    pub fn resident(&self, index: usize) -> bool {
+        self.entries.get(&index).is_some_and(|e| e.is_some())
+    }
+
+    /// Mark an index as most-recently-used. Returns whether it is resident.
+    pub fn touch(&mut self, index: usize) -> bool {
+        if !self.resident(index) {
+            return false;
+        }
+        self.lru.retain(|i| *i != index);
+        self.lru.push_back(index);
+        true
+    }
+
+    /// The resident content of an index (does not affect recency).
+    pub fn peek(&self, index: usize) -> Option<&Frame> {
+        self.entries.get(&index).and_then(|e| e.as_ref())
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// Largest resident-byte watermark reached so far.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Frames evicted so far (including oversized frames never admitted).
+    pub fn evictions(&self) -> usize {
+        self.evictions
+    }
+
+    /// Number of resident frames.
+    pub fn resident_count(&self) -> usize {
+        self.lru.len()
+    }
 }
 
 /// One stream's registration state inside a shard.
 struct StreamEntry {
     session: DistillSession,
-    /// The pre-shared frame content, keyed by frame index (the key-frame
-    /// message carries encoded pixels for realistic wire sizes; the
-    /// in-process shard resolves content by index, as the single-stream live
-    /// runtime does).
-    frames: HashMap<usize, Frame>,
+    /// The stream's pre-shared frame content, LRU-bounded.
+    frames: FrameStore,
 }
 
 /// A key-frame job drained from the shard queue.
@@ -405,6 +714,17 @@ impl FairScheduler {
     /// Streams that currently have at least one queued job.
     pub fn active_streams(&self) -> usize {
         self.queues.len()
+    }
+
+    /// The stream with the deepest queue (ties toward the smallest id, so
+    /// the answer is deterministic), with its depth. This is the stream a
+    /// work-stealing victim donates: moving the deepest backlog relieves the
+    /// shard fastest and gives the hot stream a worker of its own.
+    pub fn busiest_stream(&self) -> Option<(StreamId, usize)> {
+        self.queues
+            .iter()
+            .map(|(id, q)| (*id, q.len()))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
     }
 
     /// Pop the next co-scheduled batch: at most `max_batch` jobs, drained
@@ -529,7 +849,8 @@ impl AdaptiveBatch {
 }
 
 /// Outcome of one co-scheduled batch: per-stream responses plus the jobs
-/// that could not be served (each with its reason).
+/// that could not be served (each with its reason) and the jobs whose frame
+/// content must be re-requested from the client first.
 #[derive(Debug)]
 pub struct BatchOutcome {
     /// `(stream, frame index, response)` per serviced key frame, in
@@ -538,6 +859,12 @@ pub struct BatchOutcome {
     /// Jobs whose stream or frame was unknown. Counted in
     /// [`ShardStats::dropped_jobs`].
     pub dropped: Vec<(ShardJob, DropReason)>,
+    /// Jobs whose frame was shared but has been evicted from the stream's
+    /// [`FrameStore`]. Not a failure: the caller parks the job, asks the
+    /// client to re-upload the content ([`ServerToClient::NeedFrame`]) and
+    /// resumes it on the [`st_net::ClientToServer::ReShare`]. Counted in
+    /// [`ShardStats::need_frame_requests`].
+    pub needs_frame: Vec<ShardJob>,
 }
 
 /// Measured wall-clock cost of batched teacher forwards, by batch size.
@@ -605,7 +932,7 @@ impl TeacherCostProfile {
     /// the two largest observed sizes at or below `batch + 1` — must be
     /// below the measured solo-forward cost. `None` when fewer than two
     /// sizes have been observed or the forwards are too fast to time
-    /// ([`COST_MEASURABLE_FLOOR`]), in which case the caller should fall
+    /// (`COST_MEASURABLE_FLOOR`), in which case the caller should fall
     /// back to the teacher's virtual latency model.
     pub fn growth_pays(&self, batch: usize) -> Option<bool> {
         let solo = self.estimate(1)?;
@@ -679,11 +1006,7 @@ impl<T: Teacher> ServeShard<T> {
     /// A duplicate register does **not** clobber the live session or its
     /// pre-shared frames (the pool rejects duplicate connects before they
     /// reach the shard); it returns the session's current checkpoint.
-    pub fn register(
-        &mut self,
-        stream_id: StreamId,
-        frames: HashMap<usize, Frame>,
-    ) -> WeightSnapshot {
+    pub fn register(&mut self, stream_id: StreamId, frames: FrameStore) -> WeightSnapshot {
         use std::collections::hash_map::Entry;
         match self.sessions.entry(stream_id) {
             Entry::Occupied(mut occupied) => occupied.get_mut().session.initial_checkpoint(),
@@ -701,6 +1024,53 @@ impl<T: Teacher> ServeShard<T> {
         }
     }
 
+    /// Restore an evicted frame's content from a client re-share. Returns
+    /// `false` when the stream has no session, the index was never shared
+    /// in the first place (a re-share is recovery, not a side door for
+    /// injecting new frames), or the frame is bigger than the stream's
+    /// whole budget and so can never be made resident. In every `false`
+    /// case the caller acks a drop — a definitive answer, never a retry
+    /// loop.
+    pub fn reshare(&mut self, stream_id: StreamId, frame: Frame) -> bool {
+        let Some(entry) = self.sessions.get_mut(&stream_id) else {
+            return false;
+        };
+        if !entry.frames.knows(frame.index) {
+            return false;
+        }
+        let index = frame.index;
+        entry.frames.insert(frame);
+        if !entry.frames.resident(index) {
+            // The frame alone exceeds the budget: admission is impossible,
+            // so recovery must fail definitively instead of ping-ponging
+            // NeedFrame ↔ ReShare forever.
+            return false;
+        }
+        self.stats.reshared_frames += 1;
+        true
+    }
+
+    /// Pull a whole stream out of the shard for migration: its live session
+    /// and its frame cache, counters intact (they travel with the stream and
+    /// are folded into whichever shard finally retires it).
+    fn evict_stream(&mut self, stream_id: StreamId) -> Option<StreamEntry> {
+        let entry = self.sessions.remove(&stream_id);
+        if entry.is_some() {
+            self.stats.streams_donated += 1;
+        }
+        entry
+    }
+
+    /// Install a stream migrated from another shard.
+    fn adopt_stream(&mut self, stream_id: StreamId, entry: StreamEntry) {
+        debug_assert!(
+            !self.sessions.contains_key(&stream_id),
+            "a stream lives on exactly one shard"
+        );
+        self.stats.streams_stolen_in += 1;
+        self.sessions.insert(stream_id, entry);
+    }
+
     /// Number of streams currently registered.
     pub fn stream_count(&self) -> usize {
         self.sessions.len()
@@ -711,12 +1081,22 @@ impl<T: Teacher> ServeShard<T> {
         self.sessions.contains_key(&stream_id)
     }
 
-    /// Whether a stream has a registered session *and* the frame was
-    /// pre-shared.
+    /// Whether a stream has a registered session *and* the frame was shared
+    /// at some point (it may currently be evicted; see
+    /// [`ServeShard::frame_resident`]).
     pub fn has_frame(&self, stream_id: StreamId, frame_index: usize) -> bool {
         self.sessions
             .get(&stream_id)
-            .is_some_and(|e| e.frames.contains_key(&frame_index))
+            .is_some_and(|e| e.frames.knows(frame_index))
+    }
+
+    /// Whether the frame's content is currently resident in the stream's
+    /// cache (a known-but-evicted frame triggers the
+    /// [`ServerToClient::NeedFrame`] recovery path instead of service).
+    pub fn frame_resident(&self, stream_id: StreamId, frame_index: usize) -> bool {
+        self.sessions
+            .get(&stream_id)
+            .is_some_and(|e| e.frames.resident(frame_index))
     }
 
     /// Ids of all currently registered streams.
@@ -756,25 +1136,39 @@ impl<T: Teacher> ServeShard<T> {
     /// [`BatchOutcome::dropped`] and counted in
     /// [`ShardStats::dropped_jobs`] — never silently discarded.
     pub fn process_batch(&mut self, jobs: &[ShardJob]) -> Result<BatchOutcome> {
-        // Resolve which jobs are known. Frames stay where they are — they
+        // Resolve which jobs are servable. Frames stay where they are — they
         // are borrowed for labelling and distillation, never copied (a frame
-        // is the whole RGB tensor plus its ground truth).
+        // is the whole RGB tensor plus its ground truth). A known frame that
+        // was evicted from the stream's cache is reported in `needs_frame`
+        // rather than dropped: the content is recoverable from the client.
         let mut dropped: Vec<(ShardJob, DropReason)> = Vec::new();
+        let mut needs_frame: Vec<ShardJob> = Vec::new();
         let mut resolved: Vec<ShardJob> = Vec::new();
         for job in jobs {
-            match self.sessions.get(&job.stream_id) {
+            match self.sessions.get_mut(&job.stream_id) {
                 None => dropped.push((*job, DropReason::UnknownStream)),
-                Some(entry) if !entry.frames.contains_key(&job.frame_index) => {
-                    dropped.push((*job, DropReason::UnknownFrame))
+                Some(entry) => {
+                    if !entry.frames.knows(job.frame_index) {
+                        dropped.push((*job, DropReason::UnknownFrame));
+                    } else if !entry.frames.touch(job.frame_index) {
+                        // `touch` marks the frame most-recently-used (and
+                        // tells us whether it is resident), so the frames a
+                        // batch is about to read are the last the budget
+                        // would evict.
+                        needs_frame.push(*job);
+                    } else {
+                        resolved.push(*job);
+                    }
                 }
-                Some(_) => resolved.push(*job),
             }
         }
         self.stats.dropped_jobs += dropped.len();
+        self.stats.need_frame_requests += needs_frame.len();
         if resolved.is_empty() {
             return Ok(BatchOutcome {
                 responses: Vec::new(),
                 dropped,
+                needs_frame,
             });
         }
 
@@ -785,7 +1179,12 @@ impl<T: Teacher> ServeShard<T> {
         let labels = {
             let frame_refs: Vec<&Frame> = resolved
                 .iter()
-                .map(|job| &self.sessions[&job.stream_id].frames[&job.frame_index])
+                .map(|job| {
+                    self.sessions[&job.stream_id]
+                        .frames
+                        .peek(job.frame_index)
+                        .expect("frame resident: touched above")
+                })
                 .collect();
             self.teacher.pseudo_label_batch(&frame_refs)?
         };
@@ -809,8 +1208,8 @@ impl<T: Teacher> ServeShard<T> {
             // borrow coexist.
             let StreamEntry { session, frames } = entry;
             let frame = frames
-                .get(&job.frame_index)
-                .expect("frame present: resolved above");
+                .peek(job.frame_index)
+                .expect("frame resident: touched above");
             let response = session.distill(frame, &label, teacher_share)?;
             self.stats.key_frames += 1;
             self.stats.distill_steps += response.outcome.steps;
@@ -820,16 +1219,22 @@ impl<T: Teacher> ServeShard<T> {
         Ok(BatchOutcome {
             responses: out,
             dropped,
+            needs_frame,
         })
     }
 
     /// Finish a stream: remove its session, returning the final full
     /// checkpoint and the stream's counters (distillation half only — the
-    /// pool worker merges in waits/throttles/drops).
+    /// pool worker merges in waits/throttles/drops). The stream's
+    /// frame-cache counters are folded into this shard's [`ShardStats`]
+    /// here, so a migrated stream's evictions land where it finished.
     pub fn finish(&mut self, stream_id: StreamId) -> Option<(WeightSnapshot, StreamServerStats)> {
         self.sessions.remove(&stream_id).map(|mut entry| {
             let checkpoint = entry.session.initial_checkpoint();
             let stats = entry.session.stats();
+            self.stats.frame_evictions += entry.frames.evictions();
+            self.stats.frame_bytes_peak =
+                self.stats.frame_bytes_peak.max(entry.frames.peak_bytes());
             (checkpoint, stats)
         })
     }
@@ -851,6 +1256,11 @@ struct Envelope {
     tagged: StreamTagged<ClientToServer>,
     bytes: usize,
     enqueued_at: Instant,
+    /// Out-of-band frame content for [`ClientToServer::ReShare`]: the wire
+    /// message carries encoded pixels for realistic sizes, and the
+    /// in-process transport ships the actual `Frame` beside it, exactly as
+    /// connect-time pre-sharing does.
+    frame: Option<Frame>,
 }
 
 /// The sending half of one stream's downlink (wire size + message).
@@ -861,24 +1271,119 @@ type Downlink = crossbeam::channel::Sender<(usize, ServerToClient)>;
 /// frame content.
 struct StreamLink {
     downlink: Downlink,
-    frames: HashMap<usize, Frame>,
+    frames: FrameStore,
 }
 
 type Registry = Arc<Mutex<HashMap<StreamId, StreamLink>>>;
+
+/// One stream's live shard assignment. Clients hold their own `Arc` and
+/// read it with a single atomic load per send — the pool-wide map is only
+/// locked on connect, migration, and worker-side forwarding lookups, so
+/// uplink traffic never serializes on a global mutex.
+type Route = Arc<AtomicUsize>;
+
+/// The live stream → shard routing table, shared by the pool (placement +
+/// duplicate detection) and every worker (to forward traffic that raced a
+/// migration); each [`StreamClient`] holds its own entry's [`Route`]
+/// directly, so a migrated stream's traffic follows it. An entry is never
+/// removed — a stream id stays reserved for the pool's lifetime.
+type Placements = Arc<Mutex<HashMap<StreamId, Route>>>;
+
+/// A whole stream in flight between two shards: everything the thief needs
+/// to continue serving it exactly where the victim stopped.
+struct MigratedStream {
+    stream_id: StreamId,
+    entry: StreamEntry,
+    downlink: Downlink,
+    meter: StreamMeter,
+    /// The stream's still-queued jobs, FIFO order, original arrival times.
+    jobs: Vec<ScheduledJob>,
+    /// Jobs parked waiting for a frame re-share, keyed by frame index
+    /// (every job waiting on that index).
+    awaiting: Vec<(usize, Vec<ScheduledJob>)>,
+}
+
+/// One shard's steal-coordination mailbox: streams migrated to it and
+/// uplink envelopes forwarded to it (traffic that reached the old shard
+/// after a migration).
+#[derive(Default)]
+struct Mailbox {
+    streams: Vec<MigratedStream>,
+    envelopes: Vec<Envelope>,
+    /// Set by the owning worker on exit (under the mailbox lock, after a
+    /// final drain). A forwarder that finds the mailbox closed counts the
+    /// job as dropped itself instead of posting into a dead letter box.
+    closed: bool,
+}
+
+/// Shared coordination state for cross-shard work stealing. Plain shared
+/// memory, deliberately *not* channels: workers polling each other through
+/// channel handles would keep every uplink alive and deadlock the
+/// disconnect-based shutdown.
+struct StealRegistry {
+    /// Registered-session count per shard — the placement signal.
+    loads: Vec<AtomicUsize>,
+    /// Queued key-frame jobs per shard — the steal signal, published by each
+    /// worker once per drain pass.
+    backlog: Vec<AtomicUsize>,
+    /// Pending steal request at each (victim) shard: `Some(thief)` while a
+    /// thief is waiting for a handoff from that victim. The victim fulfils
+    /// (or the thief cancels) under this slot's lock, which is what makes
+    /// the handoff race-free: a fulfilment observed as "slot cleared" is
+    /// already visible in the thief's mailbox.
+    requests: Vec<Mutex<Option<usize>>>,
+    /// Per-shard migration mailbox.
+    mailboxes: Vec<Mutex<Mailbox>>,
+}
+
+impl StealRegistry {
+    fn new(shards: usize) -> Self {
+        StealRegistry {
+            loads: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
+            backlog: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
+            requests: (0..shards).map(|_| Mutex::new(None)).collect(),
+            mailboxes: (0..shards)
+                .map(|_| Mutex::new(Mailbox::default()))
+                .collect(),
+        }
+    }
+}
+
+/// A thief only asks a shard for work when at least this many jobs are
+/// published as queued there — a single queued job is cheaper to serve
+/// locally than to migrate.
+const MIN_STEAL_BACKLOG: usize = 2;
+
+/// A freshly adopted stream cannot be donated onward for this long, so a
+/// backlogged stream ping-ponging between idle shards is bounded to one
+/// hop per cooldown (and gets real service in between).
+const STEAL_STICKY: Duration = Duration::from_millis(100);
+
+/// A steal request left unanswered this long is withdrawn and re-targeted:
+/// the victim it sits at may never become donatable (a lone backlogged
+/// session, say) while some other shard's backlog deepens.
+const STEAL_RETARGET: Duration = Duration::from_millis(100);
 
 /// What one worker thread hands back when the pool joins.
 struct ShardOutput {
     stats: ShardStats,
     streams: HashMap<StreamId, StreamServerStats>,
     final_checkpoints: HashMap<StreamId, WeightSnapshot>,
+    wait_samples: Vec<f64>,
 }
 
 /// The client's endpoint onto the pool: same surface as the single-stream
 /// transport, but every uplink message is stream-tagged and lands in the
-/// owning shard's queue.
+/// owning shard's queue. The owning shard is looked up per send, so when
+/// work stealing migrates the stream its traffic follows it to the new
+/// shard (messages already queued at the old shard are forwarded by that
+/// shard's worker).
 pub struct StreamClient {
     stream_id: StreamId,
-    uplink: crossbeam::channel::Sender<Envelope>,
+    uplinks: Arc<Vec<crossbeam::channel::Sender<Envelope>>>,
+    /// The stream's live shard assignment (shared with the routing table;
+    /// migrations store the new shard here).
+    route: Route,
     downlink: crossbeam::channel::Receiver<(usize, ServerToClient)>,
 }
 
@@ -886,6 +1391,40 @@ impl StreamClient {
     /// The stream this client speaks for.
     pub fn stream_id(&self) -> StreamId {
         self.stream_id
+    }
+
+    /// Answer a [`ServerToClient::NeedFrame`]: re-upload a frame the server
+    /// evicted from the stream's bounded cache. The wire cost is the same as
+    /// the original key-frame upload; the parked job resumes (and its
+    /// `StudentUpdate` arrives) once the content lands.
+    pub fn reshare(&mut self, frame: &Frame) -> std::result::Result<(), TransportError> {
+        let payload = Payload::sized(frame.raw_rgb_bytes());
+        let bytes = payload.bytes;
+        self.send_envelope(
+            ClientToServer::ReShare {
+                frame_index: frame.index,
+                payload,
+            },
+            bytes,
+            Some(frame.clone()),
+        )
+    }
+
+    fn send_envelope(
+        &mut self,
+        message: ClientToServer,
+        bytes: usize,
+        frame: Option<Frame>,
+    ) -> std::result::Result<(), TransportError> {
+        let shard = self.route.load(Ordering::SeqCst);
+        self.uplinks[shard]
+            .send(Envelope {
+                tagged: StreamTagged::new(self.stream_id, message),
+                bytes: StreamTagged::<ClientToServer>::tagged_bytes(bytes),
+                enqueued_at: Instant::now(),
+                frame,
+            })
+            .map_err(|_| TransportError::Disconnected)
     }
 }
 
@@ -895,13 +1434,7 @@ impl ClientEndpoint for StreamClient {
         message: ClientToServer,
         bytes: usize,
     ) -> std::result::Result<(), TransportError> {
-        self.uplink
-            .send(Envelope {
-                tagged: StreamTagged::new(self.stream_id, message),
-                bytes: StreamTagged::<ClientToServer>::tagged_bytes(bytes),
-                enqueued_at: Instant::now(),
-            })
-            .map_err(|_| TransportError::Disconnected)
+        self.send_envelope(message, bytes, None)
     }
 
     fn try_recv(&mut self) -> std::result::Result<Option<ServerToClient>, TransportError> {
@@ -931,14 +1464,16 @@ impl ClientEndpoint for StreamClient {
 /// A sharded pool of distillation workers serving many client streams.
 pub struct ServerPool {
     pool_config: PoolConfig,
-    uplinks: Vec<crossbeam::channel::Sender<Envelope>>,
+    uplinks: Arc<Vec<crossbeam::channel::Sender<Envelope>>>,
     registries: Vec<Registry>,
-    /// Registered-session count per shard, shared with the workers (who
-    /// decrement when a stream finishes) — the least-loaded placement signal.
-    loads: Vec<Arc<AtomicUsize>>,
-    /// Stream → shard placements made so far. A stream id stays reserved for
-    /// the pool's lifetime; reconnecting a finished id needs a new pool.
-    placements: Mutex<HashMap<StreamId, usize>>,
+    /// Steal-coordination state (also carries the per-shard session counts
+    /// that drive least-loaded placement).
+    steal: Arc<StealRegistry>,
+    /// Stream → shard placements made so far, shared with clients (send
+    /// routing) and workers (migration + forwarding). A stream id stays
+    /// reserved for the pool's lifetime; reconnecting a finished id needs a
+    /// new pool.
+    placements: Placements,
     workers: Vec<std::thread::JoinHandle<Result<ShardOutput>>>,
 }
 
@@ -959,14 +1494,14 @@ impl ServerPool {
     {
         config.validate()?;
         pool_config.validate()?;
+        let steal = Arc::new(StealRegistry::new(pool_config.shards));
+        let placements: Placements = Arc::new(Mutex::new(HashMap::new()));
         let mut uplinks = Vec::with_capacity(pool_config.shards);
         let mut registries = Vec::with_capacity(pool_config.shards);
-        let mut loads = Vec::with_capacity(pool_config.shards);
         let mut workers = Vec::with_capacity(pool_config.shards);
         for shard_index in 0..pool_config.shards {
             let (tx, rx) = crossbeam::channel::unbounded::<Envelope>();
             let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
-            let load = Arc::new(AtomicUsize::new(0));
             let shard = ServeShard::new(
                 config,
                 template.clone(),
@@ -974,20 +1509,28 @@ impl ServerPool {
                 distill_step_latency,
             );
             let worker_registry = Arc::clone(&registry);
-            let worker_load = Arc::clone(&load);
+            let worker_steal = Arc::clone(&steal);
+            let worker_placements = Arc::clone(&placements);
             workers.push(std::thread::spawn(move || {
-                run_worker(shard, rx, worker_registry, pool_config, worker_load)
+                run_worker(
+                    shard,
+                    rx,
+                    worker_registry,
+                    pool_config,
+                    shard_index,
+                    worker_steal,
+                    worker_placements,
+                )
             }));
             uplinks.push(tx);
             registries.push(registry);
-            loads.push(load);
         }
         Ok(ServerPool {
             pool_config,
-            uplinks,
+            uplinks: Arc::new(uplinks),
             registries,
-            loads,
-            placements: Mutex::new(HashMap::new()),
+            steal,
+            placements,
             workers,
         })
     }
@@ -999,7 +1542,8 @@ impl ServerPool {
 
     /// Current registered-session count of each shard.
     pub fn shard_loads(&self) -> Vec<usize> {
-        self.loads
+        self.steal
+            .loads
             .iter()
             .map(|l| l.load(Ordering::SeqCst))
             .collect()
@@ -1013,8 +1557,43 @@ impl ServerPool {
     /// Errors if the stream id is already connected to this pool — a second
     /// connect would silently clobber the first session's downlink and
     /// pre-shared frames mid-flight.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use shadowtutor::config::ShadowTutorConfig;
+    /// use shadowtutor::serve::{PoolConfig, ServerPool};
+    /// use st_net::transport::ClientEndpoint;
+    /// use st_net::{ClientToServer, ServerToClient};
+    /// use st_nn::student::{StudentConfig, StudentNet};
+    /// use st_teacher::OracleTeacher;
+    /// use st_video::dataset::tiny_stream;
+    /// use st_video::SceneKind;
+    /// use std::time::Duration;
+    ///
+    /// let pool = ServerPool::spawn(
+    ///     ShadowTutorConfig::paper(),
+    ///     PoolConfig::with_shards(1),
+    ///     StudentNet::new(StudentConfig::tiny()).unwrap(),
+    ///     0.013,
+    ///     |_shard| OracleTeacher::perfect(7),
+    /// )
+    /// .unwrap();
+    ///
+    /// // Pre-share the stream's frames and connect; the first downlink
+    /// // message is the initial student checkpoint.
+    /// let frames = tiny_stream(SceneKind::People, 1, 1);
+    /// let mut client = pool.connect(0, &frames).unwrap();
+    /// let initial = client.recv_timeout(Duration::from_secs(10)).unwrap();
+    /// assert!(matches!(initial, ServerToClient::InitialStudent { .. }));
+    ///
+    /// client.send(ClientToServer::Shutdown, 1).unwrap();
+    /// drop(client);
+    /// let stats = pool.join().unwrap();
+    /// assert_eq!(stats.streams.len(), 1);
+    /// ```
     pub fn connect(&self, stream_id: StreamId, frames: &[Frame]) -> Result<StreamClient> {
-        let shard = {
+        let (shard, route) = {
             let mut placements = self.placements.lock().expect("placements lock");
             if placements.contains_key(&stream_id) {
                 return Err(TensorError::InvalidArgument(format!(
@@ -1023,7 +1602,10 @@ impl ServerPool {
             }
             let shard = match self.pool_config.placement {
                 PlacementPolicy::StaticModulo => self.pool_config.shard_of(stream_id),
-                PlacementPolicy::LeastLoaded => self
+                // Rebalance places like least-loaded; the difference is what
+                // happens afterwards (runtime migration).
+                PlacementPolicy::LeastLoaded | PlacementPolicy::Rebalance => self
+                    .steal
                     .loads
                     .iter()
                     .enumerate()
@@ -1031,12 +1613,13 @@ impl ServerPool {
                     .map(|(index, _)| index)
                     .unwrap_or(0),
             };
-            self.loads[shard].fetch_add(1, Ordering::SeqCst);
-            placements.insert(stream_id, shard);
-            shard
+            self.steal.loads[shard].fetch_add(1, Ordering::SeqCst);
+            let route: Route = Arc::new(AtomicUsize::new(shard));
+            placements.insert(stream_id, Arc::clone(&route));
+            (shard, route)
         };
         let (down_tx, down_rx) = crossbeam::channel::unbounded();
-        let content: HashMap<usize, Frame> = frames.iter().map(|f| (f.index, f.clone())).collect();
+        let content = FrameStore::from_frames(frames, self.pool_config.frame_budget_bytes);
         self.registries[shard]
             .lock()
             .expect("registry lock")
@@ -1049,7 +1632,8 @@ impl ServerPool {
             );
         let mut client = StreamClient {
             stream_id,
-            uplink: self.uplinks[shard].clone(),
+            uplinks: Arc::clone(&self.uplinks),
+            route,
             downlink: down_rx,
         };
         // Registration is the client's first uplink message; sending it here
@@ -1064,7 +1648,7 @@ impl ServerPool {
                 .lock()
                 .expect("registry lock")
                 .remove(&stream_id);
-            self.loads[shard].fetch_sub(1, Ordering::SeqCst);
+            self.steal.loads[shard].fetch_sub(1, Ordering::SeqCst);
             self.placements
                 .lock()
                 .expect("placements lock")
@@ -1086,6 +1670,7 @@ impl ServerPool {
             shards: Vec::with_capacity(self.workers.len()),
             streams: HashMap::new(),
             final_checkpoints: HashMap::new(),
+            wait_samples: Vec::with_capacity(self.workers.len()),
         };
         for worker in self.workers {
             let output = worker
@@ -1094,6 +1679,7 @@ impl ServerPool {
             stats.shards.push(output.stats);
             stats.streams.extend(output.streams);
             stats.final_checkpoints.extend(output.final_checkpoints);
+            stats.wait_samples.push(output.wait_samples);
         }
         Ok(stats)
     }
@@ -1115,31 +1701,72 @@ struct WorkerClock {
     queue_wait_total: Duration,
     queue_wait_max: Duration,
     busy_time: Duration,
+    /// One wait sample (seconds) per key frame a batch attempted, in
+    /// service order — the raw material of the operator report's p50/p99.
+    wait_samples: Vec<f64>,
 }
 
+/// Jobs parked per stream while the client re-uploads an evicted frame,
+/// keyed by frame index. They keep their original arrival timestamps so the
+/// eventual wait accounting covers the whole recovery round trip. A frame
+/// index maps to *every* job waiting on it (a client may legally re-send a
+/// key frame), so one re-share resumes — and one answer reaches — each of
+/// them.
+type AwaitingFrames = HashMap<StreamId, HashMap<usize, Vec<ScheduledJob>>>;
+
 /// Run one fair co-scheduled batch through the shard and route every
-/// response (update or drop ack) to its stream's downlink.
+/// response (update, drop ack, or `NeedFrame` recovery request) to its
+/// stream's downlink. Jobs whose frame content was evicted are parked in
+/// `awaiting` rather than counted — their wait keeps running until they are
+/// actually served after the re-share.
 fn process_scheduled<T: Teacher>(
     shard: &mut ServeShard<T>,
     batch: &[ScheduledJob],
     downlinks: &HashMap<StreamId, Downlink>,
     meters: &mut HashMap<StreamId, StreamMeter>,
     clock: &mut WorkerClock,
+    awaiting: &mut AwaitingFrames,
 ) -> Result<()> {
     if batch.is_empty() {
         return Ok(());
     }
     let started = Instant::now();
+    let jobs: Vec<ShardJob> = batch.iter().map(|s| s.job).collect();
+    let outcome = shard.process_batch(&jobs)?;
+    let parked: std::collections::HashSet<(StreamId, usize)> = outcome
+        .needs_frame
+        .iter()
+        .map(|j| (j.stream_id, j.frame_index))
+        .collect();
     for scheduled in batch {
+        let key = (scheduled.job.stream_id, scheduled.job.frame_index);
+        if parked.contains(&key) {
+            let jobs = awaiting.entry(key.0).or_default().entry(key.1).or_default();
+            // One NeedFrame per missing frame, not per waiting job: the
+            // first park requests the content, later jobs for the same
+            // index just join the queue behind that outstanding request
+            // (a duplicate request would only buy a duplicate full-frame
+            // upload).
+            let request_content = jobs.is_empty();
+            jobs.push(*scheduled);
+            if request_content {
+                if let Some(downlink) = downlinks.get(&key.0) {
+                    let _ = downlink.send((
+                        MESSAGE_OVERHEAD_BYTES,
+                        ServerToClient::NeedFrame { frame_index: key.1 },
+                    ));
+                }
+            }
+            continue;
+        }
         let wait = started.saturating_duration_since(scheduled.enqueued_at);
         clock.queue_wait_total += wait;
         clock.queue_wait_max = clock.queue_wait_max.max(wait);
+        clock.wait_samples.push(wait.as_secs_f64());
         let meter = meters.entry(scheduled.job.stream_id).or_default();
         meter.wait_total += wait;
         meter.wait_max = meter.wait_max.max(wait);
     }
-    let jobs: Vec<ShardJob> = batch.iter().map(|s| s.job).collect();
-    let outcome = shard.process_batch(&jobs)?;
     for (stream_id, frame_index, response) in outcome.responses {
         let Some(downlink) = downlinks.get(&stream_id) else {
             continue;
@@ -1220,41 +1847,285 @@ fn retire<T: Teacher>(
     })
 }
 
+/// Install a migrated stream on its new shard: session + frame cache,
+/// downlink, wait meter, queued jobs (original arrival times intact) and any
+/// jobs parked for a frame re-share.
+fn adopt_migrated<T: Teacher>(
+    migrated: MigratedStream,
+    shard: &mut ServeShard<T>,
+    scheduler: &mut FairScheduler,
+    downlinks: &mut HashMap<StreamId, Downlink>,
+    meters: &mut HashMap<StreamId, StreamMeter>,
+    awaiting: &mut AwaitingFrames,
+    adopted_at: &mut HashMap<StreamId, Instant>,
+) {
+    let id = migrated.stream_id;
+    adopted_at.insert(id, Instant::now());
+    shard.adopt_stream(id, migrated.entry);
+    downlinks.insert(id, migrated.downlink);
+    let meter = meters.entry(id).or_default();
+    meter.wait_total += migrated.meter.wait_total;
+    meter.wait_max = meter.wait_max.max(migrated.meter.wait_max);
+    meter.throttled += migrated.meter.throttled;
+    meter.dropped += migrated.meter.dropped;
+    for job in migrated.jobs {
+        scheduler.push(id, job.job.frame_index, job.enqueued_at);
+    }
+    if !migrated.awaiting.is_empty() {
+        let parked = awaiting.entry(id).or_default();
+        for (frame_index, jobs) in migrated.awaiting {
+            parked.entry(frame_index).or_default().extend(jobs);
+        }
+    }
+}
+
+/// Post a steal request at the shard with the deepest published backlog
+/// (ties toward the lowest index). Returns the victim whose request slot now
+/// names this shard, or `None` when nothing is worth stealing or another
+/// thief already asked.
+fn post_steal_request(steal: &StealRegistry, shard_index: usize) -> Option<usize> {
+    let (victim, backlog) = steal
+        .backlog
+        .iter()
+        .enumerate()
+        .filter(|(index, _)| *index != shard_index)
+        .map(|(index, backlog)| (index, backlog.load(Ordering::SeqCst)))
+        .max_by_key(|&(index, backlog)| (backlog, std::cmp::Reverse(index)))?;
+    if backlog < MIN_STEAL_BACKLOG {
+        return None;
+    }
+    let mut slot = steal.requests[victim].lock().expect("steal request lock");
+    if slot.is_some() {
+        return None;
+    }
+    *slot = Some(shard_index);
+    Some(victim)
+}
+
+/// Fulfil a pending steal request against this shard, if one exists and the
+/// shard can spare a stream: hand the stream with the deepest queue — whole,
+/// with its session, frame cache, queued jobs and parked re-shares — to the
+/// thief's mailbox, and repoint the routing table so new traffic follows it.
+///
+/// The entire handoff happens under this shard's request-slot lock: a thief
+/// that later observes the slot cleared is guaranteed to find the stream in
+/// its mailbox (the cancel/fulfil race resolves under that one lock).
+#[allow(clippy::too_many_arguments)]
+fn maybe_donate<T: Teacher>(
+    shard: &mut ServeShard<T>,
+    scheduler: &mut FairScheduler,
+    downlinks: &mut HashMap<StreamId, Downlink>,
+    meters: &mut HashMap<StreamId, StreamMeter>,
+    awaiting: &mut AwaitingFrames,
+    adopted_at: &HashMap<StreamId, Instant>,
+    steal: &StealRegistry,
+    placements: &Placements,
+    shard_index: usize,
+) {
+    let mut slot = steal.requests[shard_index]
+        .lock()
+        .expect("steal request lock");
+    let Some(thief) = *slot else {
+        return;
+    };
+    if thief == shard_index {
+        // Defensive: a self-request can never be fulfilled meaningfully.
+        *slot = None;
+        return;
+    }
+    // Donate only when it actually rebalances: either there is queued work
+    // *besides* the donated stream's queue, or this shard keeps at least
+    // one other live session (whose future arrivals it will serve while
+    // the thief drains the donated backlog). A shard whose only session is
+    // its only backlog never donates — that would just swap which worker
+    // idles. The request stays pending otherwise — the backlog may deepen.
+    let Some((stream_id, depth)) = scheduler.busiest_stream() else {
+        return;
+    };
+    if scheduler.len() <= depth && shard.stream_count() < 2 {
+        return;
+    }
+    // A freshly adopted stream is sticky: it must receive real service
+    // before it can hop again, or an idle pair of shards could bounce it
+    // between them faster than either drains it.
+    if adopted_at
+        .get(&stream_id)
+        .is_some_and(|at| at.elapsed() < STEAL_STICKY)
+    {
+        return;
+    }
+    let jobs = scheduler.remove_stream(stream_id);
+    let Some(entry) = shard.evict_stream(stream_id) else {
+        // Only registered streams ever queue jobs, so this cannot happen;
+        // restore the queue rather than lose it if it somehow does.
+        for job in jobs {
+            scheduler.push(stream_id, job.job.frame_index, job.enqueued_at);
+        }
+        return;
+    };
+    let downlink = downlinks
+        .remove(&stream_id)
+        .expect("registered streams have a downlink");
+    let meter = meters.remove(&stream_id).unwrap_or_default();
+    let parked: Vec<(usize, Vec<ScheduledJob>)> = awaiting
+        .remove(&stream_id)
+        .map(|m| m.into_iter().collect())
+        .unwrap_or_default();
+    steal.mailboxes[thief]
+        .lock()
+        .expect("mailbox lock")
+        .streams
+        .push(MigratedStream {
+            stream_id,
+            entry,
+            downlink,
+            meter,
+            jobs,
+            awaiting: parked,
+        });
+    // Routing flips only after the stream is in the mailbox, so traffic that
+    // beats the thief's next mailbox drain is deferred there, never lost.
+    if let Some(route) = placements.lock().expect("placements lock").get(&stream_id) {
+        route.store(thief, Ordering::SeqCst);
+    }
+    steal.loads[shard_index].fetch_sub(1, Ordering::SeqCst);
+    steal.loads[thief].fetch_add(1, Ordering::SeqCst);
+    steal.backlog[shard_index].store(scheduler.len(), Ordering::SeqCst);
+    *slot = None;
+}
+
 /// The shard worker loop: fair-queue incoming key frames per stream, handle
 /// registrations and shutdowns in arrival order, drain deficit-round-robin
 /// batches through the shard, and push responses onto each stream's
-/// downlink.
+/// downlink. Under [`PlacementPolicy::Rebalance`] the loop additionally
+/// adopts streams migrated to it, donates streams when an idle shard asks,
+/// and forwards traffic that raced a migration.
 fn run_worker<T: Teacher>(
     mut shard: ServeShard<T>,
     rx: crossbeam::channel::Receiver<Envelope>,
     registry: Registry,
     pool_config: PoolConfig,
-    load: Arc<AtomicUsize>,
+    shard_index: usize,
+    steal: Arc<StealRegistry>,
+    placements: Placements,
 ) -> Result<ShardOutput> {
+    let stealing = pool_config.stealing();
+    let load = &steal.loads[shard_index];
     let mut scheduler = FairScheduler::new(pool_config.quantum);
     let mut batcher = AdaptiveBatch::new(pool_config.max_batch, pool_config.adaptive_batch);
     let mut downlinks: HashMap<StreamId, Downlink> = HashMap::new();
     let mut meters: HashMap<StreamId, StreamMeter> = HashMap::new();
     let mut streams: HashMap<StreamId, StreamServerStats> = HashMap::new();
     let mut final_checkpoints: HashMap<StreamId, WeightSnapshot> = HashMap::new();
+    let mut awaiting: AwaitingFrames = HashMap::new();
+    let mut deferred: Vec<Envelope> = Vec::new();
+    let mut requested: Option<(usize, Instant)> = None;
+    let mut adopted_at: HashMap<StreamId, Instant> = HashMap::new();
+    let mut idle_since: Option<Instant> = None;
     let mut clock = WorkerClock::default();
     let mut uplink_bytes = 0usize;
     let mut throttled = 0usize;
     let mut enqueue_drops = 0usize;
     let mut unknown_registers = 0usize;
+    let mut forwarded = 0usize;
     let mut batch_limit_peak = batcher.limit();
     let mut disconnected = false;
     loop {
+        let mut incoming: Vec<Envelope> = Vec::new();
+
+        if stealing {
+            // Adopt migrated streams and ingest forwarded traffic before
+            // touching the uplink, so a handoff is always visible before any
+            // envelope that raced past it.
+            let (migrated, mut mailbox_envelopes) = {
+                let mut mailbox = steal.mailboxes[shard_index].lock().expect("mailbox lock");
+                (
+                    std::mem::take(&mut mailbox.streams),
+                    std::mem::take(&mut mailbox.envelopes),
+                )
+            };
+            for stream in migrated {
+                // Whatever we were waiting for, work has arrived.
+                requested = None;
+                adopt_migrated(
+                    stream,
+                    &mut shard,
+                    &mut scheduler,
+                    &mut downlinks,
+                    &mut meters,
+                    &mut awaiting,
+                    &mut adopted_at,
+                );
+            }
+            incoming.append(&mut mailbox_envelopes);
+            // A victim that exited (or fulfilled through the mailbox)
+            // clears the slot; drop the marker once it no longer names us.
+            // A request that has sat unanswered past the re-target window
+            // is withdrawn instead, so a victim that can never donate
+            // (e.g. a lone backlogged session) does not pin this thief
+            // while a third shard drowns.
+            if let Some((victim, posted_at)) = requested {
+                let mut slot = steal.requests[victim].lock().expect("steal request lock");
+                if *slot != Some(shard_index) {
+                    drop(slot);
+                    requested = None;
+                } else if posted_at.elapsed() >= STEAL_RETARGET {
+                    *slot = None;
+                    drop(slot);
+                    requested = None;
+                }
+            }
+        }
+        // Envelopes that arrived ahead of their stream's migration retry
+        // after every mailbox drain, ahead of newer traffic.
+        let retry: Vec<Envelope> = std::mem::take(&mut deferred);
+        incoming.splice(0..0, retry);
+
         // Gather traffic. Block only when there is no backlog to work on;
         // with queued jobs, poll so service keeps flowing between arrivals.
-        let mut incoming: Vec<Envelope> = Vec::new();
-        if scheduler.is_empty() {
+        if incoming.is_empty() && scheduler.is_empty() {
             if disconnected {
+                if stealing {
+                    // Make sure no handoff can be in flight toward this
+                    // worker before exiting, or the migrated stream's
+                    // checkpoint would be lost. Cancelling under the request
+                    // slot's lock guarantees any fulfilment is already in
+                    // the mailbox, which the next pass drains.
+                    if let Some((victim, _posted_at)) = requested.take() {
+                        let mut slot = steal.requests[victim].lock().expect("steal request lock");
+                        if *slot == Some(shard_index) {
+                            *slot = None;
+                        } else {
+                            continue;
+                        }
+                    }
+                    if !steal.mailboxes[shard_index]
+                        .lock()
+                        .expect("mailbox lock")
+                        .streams
+                        .is_empty()
+                    {
+                        continue;
+                    }
+                }
                 break;
             }
-            match rx.recv_timeout(pool_config.recv_timeout) {
+            // A stealing worker wakes every `steal_poll` to look for (and
+            // offer) work; a static worker can block the full timeout.
+            let timeout = if stealing {
+                pool_config.recv_timeout.min(pool_config.steal_poll)
+            } else {
+                pool_config.recv_timeout
+            };
+            match rx.recv_timeout(timeout) {
                 Ok(envelope) => incoming.push(envelope),
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if !stealing {
+                        continue;
+                    }
+                    // Fall through so the steal logic below runs on idle
+                    // ticks too.
+                }
                 Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
                     disconnected = true;
                     continue;
@@ -1280,8 +2151,55 @@ fn run_worker<T: Teacher>(
         // Control messages in arrival order; key frames into the fair
         // per-stream queues, gated by admission control.
         for envelope in incoming {
-            uplink_bytes += envelope.bytes;
             let stream_id = envelope.tagged.stream_id;
+            // Elastic pools: traffic for a stream that lives elsewhere
+            // follows it. A stream placed here that is neither live, nor
+            // retired, nor awaiting its connect-time Register is
+            // mid-migration toward us — defer its traffic until the mailbox
+            // delivers the stream itself.
+            if stealing
+                && !shard.has_stream(stream_id)
+                && !matches!(envelope.tagged.message, ClientToServer::Register)
+            {
+                let owner = placements
+                    .lock()
+                    .expect("placements lock")
+                    .get(&stream_id)
+                    .map(|route| route.load(Ordering::SeqCst));
+                match owner {
+                    Some(other) if other != shard_index => {
+                        let mut mailbox = steal.mailboxes[other].lock().expect("mailbox lock");
+                        if mailbox.closed {
+                            // The owning worker already exited (so its
+                            // clients are long gone and no ack could be
+                            // delivered); count the loss in this shard's
+                            // dropped_jobs instead of posting into a dead
+                            // letter box. The stream's own per-stream stats
+                            // were frozen when it retired over there, so
+                            // the pool-level counter is the only honest
+                            // place left to record it.
+                            drop(mailbox);
+                            enqueue_drops += 1;
+                        } else {
+                            mailbox.envelopes.push(envelope);
+                            forwarded += 1;
+                        }
+                        continue;
+                    }
+                    Some(_)
+                        if !streams.contains_key(&stream_id)
+                            && !registry
+                                .lock()
+                                .expect("registry lock")
+                                .contains_key(&stream_id) =>
+                    {
+                        deferred.push(envelope);
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            uplink_bytes += envelope.bytes;
             match envelope.tagged.message {
                 ClientToServer::Register => {
                     let Some(link) = registry.lock().expect("registry lock").remove(&stream_id)
@@ -1305,6 +2223,8 @@ fn run_worker<T: Teacher>(
                 } => {
                     // Unservable jobs are refused at the door with an
                     // explicit ack instead of being silently filtered later.
+                    // (An *evicted* frame is not unservable — its index is
+                    // still known and its content recoverable.)
                     let reject = if !shard.has_stream(stream_id) {
                         Some(DropReason::UnknownStream)
                     } else if !shard.has_frame(stream_id, frame_index) {
@@ -1326,8 +2246,12 @@ fn run_worker<T: Teacher>(
                         }
                         continue;
                     }
-                    // Admission control: per-stream in-flight cap.
-                    if scheduler.queued_for(stream_id) >= pool_config.max_in_flight {
+                    // Admission control: per-stream in-flight cap. Jobs
+                    // parked for a frame re-share still hold their slots.
+                    let parked = awaiting
+                        .get(&stream_id)
+                        .map_or(0, |m| m.values().map(Vec::len).sum());
+                    if scheduler.queued_for(stream_id) + parked >= pool_config.max_in_flight {
                         throttled += 1;
                         note_throttle(&mut streams, &mut meters, stream_id);
                         if let Some(downlink) = downlinks.get(&stream_id) {
@@ -1340,15 +2264,92 @@ fn run_worker<T: Teacher>(
                     }
                     scheduler.push(stream_id, frame_index, envelope.enqueued_at);
                 }
+                ClientToServer::ReShare {
+                    frame_index,
+                    payload: _,
+                } => {
+                    // Restore evicted content and resume the parked job with
+                    // its original arrival time, so its reported wait covers
+                    // the whole recovery round trip.
+                    let restored = match envelope.frame {
+                        Some(frame) if frame.index == frame_index => {
+                            shard.reshare(stream_id, frame)
+                        }
+                        _ => false,
+                    };
+                    if restored {
+                        if let Some(jobs) = awaiting
+                            .get_mut(&stream_id)
+                            .and_then(|m| m.remove(&frame_index))
+                        {
+                            for job in jobs {
+                                scheduler.push(stream_id, frame_index, job.enqueued_at);
+                            }
+                        }
+                        // An unsolicited re-share just refreshed the cache.
+                        continue;
+                    }
+                    // No session, an index that was never shared, or a
+                    // content-less re-share: the parked jobs (if any) can
+                    // never be served — ack each explicitly, never silently.
+                    let reason = if shard.has_stream(stream_id) {
+                        DropReason::UnknownFrame
+                    } else {
+                        DropReason::UnknownStream
+                    };
+                    let stranded = awaiting
+                        .get_mut(&stream_id)
+                        .and_then(|m| m.remove(&frame_index))
+                        .map_or(1, |jobs| jobs.len());
+                    for _ in 0..stranded {
+                        enqueue_drops += 1;
+                        note_drop(&mut streams, &mut meters, stream_id);
+                        if let Some(downlink) = downlinks.get(&stream_id) {
+                            let _ = downlink.send((
+                                MESSAGE_OVERHEAD_BYTES,
+                                ServerToClient::Dropped {
+                                    frame_index,
+                                    reason,
+                                },
+                            ));
+                        }
+                    }
+                }
                 ClientToServer::Shutdown => {
                     // Flush the stream's still-queued key frames so its last
                     // updates are not lost, then retire the session.
                     let remaining = scheduler.remove_stream(stream_id);
                     for chunk in remaining.chunks(batcher.limit().max(1)) {
-                        process_scheduled(&mut shard, chunk, &downlinks, &mut meters, &mut clock)?;
+                        process_scheduled(
+                            &mut shard,
+                            chunk,
+                            &downlinks,
+                            &mut meters,
+                            &mut clock,
+                            &mut awaiting,
+                        )?;
+                    }
+                    // Jobs still parked for a re-share can never be served
+                    // now — ack them before the session's stats freeze.
+                    if let Some(parked) = awaiting.remove(&stream_id) {
+                        for (frame_index, jobs) in parked {
+                            for _job in jobs {
+                                enqueue_drops += 1;
+                                note_drop(&mut streams, &mut meters, stream_id);
+                                if let Some(downlink) = downlinks.get(&stream_id) {
+                                    let _ = downlink.send((
+                                        MESSAGE_OVERHEAD_BYTES,
+                                        ServerToClient::Dropped {
+                                            frame_index,
+                                            reason: DropReason::UnknownFrame,
+                                        },
+                                    ));
+                                }
+                            }
+                        }
                     }
                     if let Some((checkpoint, stream_stats)) =
-                        retire(&mut shard, stream_id, &mut meters, &load)
+                        retire(&mut shard, stream_id, &mut meters, load)
                     {
                         streams.insert(stream_id, stream_stats);
                         final_checkpoints.insert(stream_id, checkpoint);
@@ -1359,23 +2360,127 @@ fn run_worker<T: Teacher>(
             }
         }
 
+        // Steal participation: publish our backlog, serve a thief's pending
+        // request, and — once *patiently* idle — ask the most-loaded shard
+        // for work. Patience keeps a shard that is merely between its own
+        // streams' arrivals from pulling someone else's backlog over.
+        if stealing && !disconnected {
+            steal.backlog[shard_index].store(scheduler.len(), Ordering::SeqCst);
+            maybe_donate(
+                &mut shard,
+                &mut scheduler,
+                &mut downlinks,
+                &mut meters,
+                &mut awaiting,
+                &adopted_at,
+                &steal,
+                &placements,
+                shard_index,
+            );
+            if scheduler.is_empty() {
+                let idle_for = idle_since.get_or_insert_with(Instant::now).elapsed();
+                if requested.is_none() && idle_for >= pool_config.steal_patience {
+                    requested =
+                        post_steal_request(&steal, shard_index).map(|v| (v, Instant::now()));
+                }
+            } else {
+                idle_since = None;
+                if let Some((victim, _posted_at)) = requested.take() {
+                    // Local work arrived; withdraw the request (if the
+                    // victim already fulfilled it, the next mailbox drain
+                    // adopts it).
+                    let mut slot = steal.requests[victim].lock().expect("steal request lock");
+                    if *slot == Some(shard_index) {
+                        *slot = None;
+                    }
+                }
+            }
+        }
+
         // One fair co-scheduled batch per pass; the loop re-polls the uplink
         // between batches so new arrivals join the next scheduling round.
         let batch = scheduler.next_batch(batcher.limit());
         if !batch.is_empty() {
-            process_scheduled(&mut shard, &batch, &downlinks, &mut meters, &mut clock)?;
+            process_scheduled(
+                &mut shard,
+                &batch,
+                &downlinks,
+                &mut meters,
+                &mut clock,
+                &mut awaiting,
+            )?;
             batcher.observe(scheduler.len(), shard.batch_growth_pays(batcher.limit()));
             batch_limit_peak = batch_limit_peak.max(batcher.limit());
         }
     }
+    // The clients are gone, so re-shares for parked jobs can never arrive:
+    // ack and count them instead of letting them vanish.
+    let parked: Vec<(StreamId, usize)> = awaiting
+        .iter()
+        .flat_map(|(stream, indices)| {
+            indices
+                .iter()
+                .flat_map(move |(index, jobs)| jobs.iter().map(move |_| (*stream, *index)))
+        })
+        .collect();
+    for (stream_id, frame_index) in parked {
+        enqueue_drops += 1;
+        note_drop(&mut streams, &mut meters, stream_id);
+        if let Some(downlink) = downlinks.get(&stream_id) {
+            let _ = downlink.send((
+                MESSAGE_OVERHEAD_BYTES,
+                ServerToClient::Dropped {
+                    frame_index,
+                    reason: DropReason::UnknownFrame,
+                },
+            ));
+        }
+    }
+    awaiting.clear();
     // Clients that vanished without Shutdown still get their sessions
     // retired so their checkpoints and counters are reported. (The backlog
     // is already drained: the loop only exits when the scheduler is empty.)
     for stream_id in shard.session_ids() {
-        if let Some((checkpoint, stream_stats)) = retire(&mut shard, stream_id, &mut meters, &load)
-        {
+        if let Some((checkpoint, stream_stats)) = retire(&mut shard, stream_id, &mut meters, load) {
             streams.insert(stream_id, stream_stats);
             final_checkpoints.insert(stream_id, checkpoint);
+        }
+    }
+    if stealing {
+        // No posthumous steal traffic: zero the published backlog, refuse
+        // any request a thief may still have parked at us, and close the
+        // mailbox — counting any envelope forwarded here since the last
+        // drain, so a message lost to the shutdown race still shows up in
+        // the drop accounting. (Migrated *streams* cannot be stranded here:
+        // the cancel-under-lock exit protocol above guarantees that.)
+        steal.backlog[shard_index].store(0, Ordering::SeqCst);
+        *steal.requests[shard_index]
+            .lock()
+            .expect("steal request lock") = None;
+        let leftovers = {
+            let mut mailbox = steal.mailboxes[shard_index].lock().expect("mailbox lock");
+            mailbox.closed = true;
+            debug_assert!(mailbox.streams.is_empty(), "stream stranded at exit");
+            std::mem::take(&mut mailbox.envelopes)
+        };
+        for envelope in leftovers {
+            let stream_id = envelope.tagged.stream_id;
+            enqueue_drops += 1;
+            note_drop(&mut streams, &mut meters, stream_id);
+            if let (
+                Some(downlink),
+                ClientToServer::KeyFrame { frame_index, .. }
+                | ClientToServer::ReShare { frame_index, .. },
+            ) = (downlinks.get(&stream_id), envelope.tagged.message)
+            {
+                let _ = downlink.send((
+                    MESSAGE_OVERHEAD_BYTES,
+                    ServerToClient::Dropped {
+                        frame_index,
+                        reason: DropReason::UnknownStream,
+                    },
+                ));
+            }
         }
     }
     let mut stats = shard.stats();
@@ -1387,10 +2492,12 @@ fn run_worker<T: Teacher>(
     stats.dropped_jobs += enqueue_drops;
     stats.unknown_registers = unknown_registers;
     stats.batch_limit_peak = batch_limit_peak;
+    stats.forwarded_messages = forwarded;
     Ok(ShardOutput {
         stats,
         streams,
         final_checkpoints,
+        wait_samples: clock.wait_samples,
     })
 }
 
@@ -1442,10 +2549,28 @@ mod tests {
         }
         .validate()
         .is_err());
+        assert!(PoolConfig {
+            frame_budget_bytes: Some(0),
+            ..PoolConfig::default_pool()
+        }
+        .validate()
+        .is_err());
+        assert!(PoolConfig {
+            steal_poll: Duration::ZERO,
+            ..PoolConfig::default_pool()
+        }
+        .validate()
+        .is_err());
         let p = PoolConfig::with_shards(3);
         assert_eq!(p.shard_of(0), 0);
         assert_eq!(p.shard_of(4), 1);
         assert_eq!(p.shard_of(5), 2);
+        assert!(!p.stealing());
+        assert!(PoolConfig {
+            placement: PlacementPolicy::Rebalance,
+            ..PoolConfig::default_pool()
+        }
+        .stealing());
     }
 
     #[test]
@@ -1570,7 +2695,7 @@ mod tests {
     fn shard_records_measured_teacher_cost() {
         let mut s = shard();
         let people = frames_for(SceneKind::People, 91, 2);
-        s.register(1, people.iter().map(|f| (f.index, f.clone())).collect());
+        s.register(1, FrameStore::from_frames(&people, None));
         s.process_batch(&[ShardJob {
             stream_id: 1,
             frame_index: people[0].index,
@@ -1591,8 +2716,8 @@ mod tests {
         let mut s = shard();
         let people = frames_for(SceneKind::People, 11, 2);
         let animals = frames_for(SceneKind::Animals, 12, 2);
-        let init_a = s.register(1, people.iter().map(|f| (f.index, f.clone())).collect());
-        let init_b = s.register(2, animals.iter().map(|f| (f.index, f.clone())).collect());
+        let init_a = s.register(1, FrameStore::from_frames(&people, None));
+        let init_b = s.register(2, FrameStore::from_frames(&animals, None));
         // Both sessions start from the same template checkpoint.
         assert!(init_a.distance(&init_b).unwrap() < 1e-9);
         assert_eq!(s.stream_count(), 2);
@@ -1619,7 +2744,7 @@ mod tests {
     fn duplicate_register_does_not_clobber_the_session() {
         let mut s = shard();
         let people = frames_for(SceneKind::People, 13, 2);
-        s.register(1, people.iter().map(|f| (f.index, f.clone())).collect());
+        s.register(1, FrameStore::from_frames(&people, None));
         let outcome = s
             .process_batch(&[ShardJob {
                 stream_id: 1,
@@ -1629,7 +2754,7 @@ mod tests {
         assert_eq!(outcome.responses.len(), 1);
         // A duplicate register with *empty* frames must neither reset the
         // session nor lose the pre-shared frames.
-        let ckpt = s.register(1, HashMap::new());
+        let ckpt = s.register(1, FrameStore::new(None));
         assert!(s.has_frame(1, people[1].index), "frames clobbered");
         let (final_ckpt, stats) = s.finish(1).unwrap();
         assert_eq!(stats.key_frames, 1, "session reset by duplicate register");
@@ -1641,8 +2766,8 @@ mod tests {
         let mut s = shard();
         let people = frames_for(SceneKind::People, 21, 2);
         let street = frames_for(SceneKind::Street, 22, 2);
-        s.register(1, people.iter().map(|f| (f.index, f.clone())).collect());
-        s.register(2, street.iter().map(|f| (f.index, f.clone())).collect());
+        s.register(1, FrameStore::from_frames(&people, None));
+        s.register(2, FrameStore::from_frames(&street, None));
         let outcome = s
             .process_batch(&[
                 ShardJob {
@@ -1676,7 +2801,7 @@ mod tests {
     fn unknown_jobs_are_acked_not_silently_skipped() {
         let mut s = shard();
         let people = frames_for(SceneKind::People, 31, 1);
-        s.register(1, people.iter().map(|f| (f.index, f.clone())).collect());
+        s.register(1, FrameStore::from_frames(&people, None));
         let outcome = s
             .process_batch(&[
                 ShardJob {
@@ -1766,6 +2891,14 @@ mod tests {
         // Nothing was silently lost in the clean scenario.
         assert_eq!(stats.dropped_jobs(), 0);
         assert_eq!(stats.throttled(), 0);
+        // The operator report reflects the run.
+        let report = stats.snapshot();
+        assert_eq!(report.shards.len(), 2);
+        assert_eq!(report.total_key_frames, 2);
+        assert_eq!(report.streams_stolen, 0);
+        assert_eq!(report.frame_evictions, 0);
+        assert!(report.queue_p50_ms >= 0.0 && report.queue_p99_ms >= report.queue_p50_ms);
+        assert!(report.to_json().contains("\"totals\""));
     }
 
     #[test]
@@ -1829,6 +2962,244 @@ mod tests {
         // Every connected stream is accounted for, with or without Shutdown.
         assert_eq!(stats.streams.len(), 4);
         assert_eq!(stats.final_checkpoints.len(), 4);
+    }
+
+    #[test]
+    fn frame_store_evicts_lru_within_budget() {
+        let frames = frames_for(SceneKind::People, 71, 4);
+        let cost = FrameStore::frame_cost(&frames[0]);
+        // Budget for exactly two frames.
+        let mut store = FrameStore::from_frames(&frames, Some(2 * cost));
+        assert_eq!(store.resident_count(), 2);
+        assert!(store.resident_bytes() <= 2 * cost);
+        assert_eq!(store.peak_bytes(), 2 * cost);
+        assert_eq!(store.evictions(), 2);
+        // Insertion order was index order, so the two oldest were evicted —
+        // but their indices are still *known*.
+        assert!(!store.resident(frames[0].index) && store.knows(frames[0].index));
+        assert!(!store.resident(frames[1].index) && store.knows(frames[1].index));
+        assert!(store.resident(frames[2].index) && store.resident(frames[3].index));
+        assert!(!store.knows(999));
+        // Touching frame 2 makes frame 3 the LRU victim of the next insert.
+        assert!(store.touch(frames[2].index));
+        assert!(
+            !store.touch(frames[0].index),
+            "evicted frames cannot be touched"
+        );
+        store.insert(frames[0].clone());
+        assert!(store.resident(frames[0].index));
+        assert!(store.resident(frames[2].index));
+        assert!(!store.resident(frames[3].index), "LRU frame evicted");
+        assert_eq!(store.evictions(), 3);
+        // The budget invariant held throughout.
+        assert!(store.peak_bytes() <= 2 * cost);
+        // Re-inserting a resident frame only refreshes recency.
+        store.insert(frames[0].clone());
+        assert_eq!(store.resident_count(), 2);
+        // An unbounded store never evicts.
+        let unbounded = FrameStore::from_frames(&frames, None);
+        assert_eq!(unbounded.resident_count(), 4);
+        assert_eq!(unbounded.evictions(), 0);
+        // A frame bigger than the whole budget is never admitted.
+        let mut tiny = FrameStore::new(Some(cost / 2));
+        tiny.insert(frames[0].clone());
+        assert!(tiny.knows(frames[0].index) && !tiny.resident(frames[0].index));
+        assert_eq!(tiny.evictions(), 1);
+        assert_eq!(tiny.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn fair_scheduler_reports_the_busiest_stream() {
+        let mut s = FairScheduler::new(1);
+        assert_eq!(s.busiest_stream(), None);
+        s.push(5, 0, at(0));
+        s.push(2, 0, at(1));
+        s.push(2, 1, at(2));
+        assert_eq!(s.busiest_stream(), Some((2, 2)));
+        // Ties break toward the smaller stream id, deterministically.
+        s.push(5, 1, at(3));
+        assert_eq!(s.busiest_stream(), Some((2, 2)));
+    }
+
+    #[test]
+    fn evicted_frame_parks_the_job_instead_of_dropping_it() {
+        let mut s = shard();
+        let people = frames_for(SceneKind::People, 72, 3);
+        let cost = FrameStore::frame_cost(&people[0]);
+        // Budget for one frame: only the last pre-shared frame is resident.
+        s.register(1, FrameStore::from_frames(&people, Some(cost)));
+        let outcome = s
+            .process_batch(&[ShardJob {
+                stream_id: 1,
+                frame_index: people[0].index,
+            }])
+            .unwrap();
+        assert!(outcome.responses.is_empty());
+        assert!(outcome.dropped.is_empty(), "evicted is not unknown");
+        assert_eq!(outcome.needs_frame.len(), 1);
+        assert_eq!(s.stats().need_frame_requests, 1);
+        assert_eq!(s.stats().dropped_jobs, 0);
+        // The client re-shares the frame; the job now serves normally.
+        assert!(s.reshare(1, people[0].clone()));
+        let outcome = s
+            .process_batch(&[ShardJob {
+                stream_id: 1,
+                frame_index: people[0].index,
+            }])
+            .unwrap();
+        assert_eq!(outcome.responses.len(), 1);
+        assert_eq!(s.stats().reshared_frames, 1);
+        // Re-sharing a frame that was never shared is refused (a re-share is
+        // recovery, not a side door for new frames).
+        let foreign = frames_for(SceneKind::Street, 73, 5).pop().unwrap();
+        assert!(!s.reshare(1, foreign));
+        assert!(!s.reshare(9, people[0].clone()), "unknown stream");
+        // Cache counters fold into the shard stats when the stream finishes.
+        let (_ckpt, _stats) = s.finish(1).unwrap();
+        let stats = s.stats();
+        assert!(stats.frame_evictions >= 2);
+        assert!(stats.frame_bytes_peak > 0 && stats.frame_bytes_peak <= cost);
+    }
+
+    #[test]
+    fn migrated_session_continues_bit_for_bit() {
+        // Distilling on shard A, migrating, then distilling on shard B must
+        // produce exactly the weights (and counters) of never migrating.
+        let people = frames_for(SceneKind::People, 74, 2);
+        let mut control = shard();
+        control.register(1, FrameStore::from_frames(&people, None));
+        let mut a = shard();
+        a.register(1, FrameStore::from_frames(&people, None));
+        let job0 = ShardJob {
+            stream_id: 1,
+            frame_index: people[0].index,
+        };
+        let job1 = ShardJob {
+            stream_id: 1,
+            frame_index: people[1].index,
+        };
+        control.process_batch(&[job0]).unwrap();
+        a.process_batch(&[job0]).unwrap();
+        // Migrate A → B between batches (the only point migrations happen).
+        let mut b = shard();
+        let entry = a.evict_stream(1).expect("stream lives on A");
+        assert!(!a.has_stream(1));
+        b.adopt_stream(1, entry);
+        assert_eq!(a.stats().streams_donated, 1);
+        assert_eq!(b.stats().streams_stolen_in, 1);
+        control.process_batch(&[job1]).unwrap();
+        b.process_batch(&[job1]).unwrap();
+        let (ckpt_control, stats_control) = control.finish(1).unwrap();
+        let (ckpt_b, stats_b) = b.finish(1).unwrap();
+        assert!(ckpt_control.distance(&ckpt_b).unwrap() < 1e-12);
+        assert_eq!(stats_control.key_frames, stats_b.key_frames);
+        assert_eq!(stats_control.distill_steps, stats_b.distill_steps);
+        // The work is attributed where it ran: one key frame each.
+        assert_eq!(a.stats().key_frames, 1);
+        assert_eq!(b.stats().key_frames, 1);
+    }
+
+    #[test]
+    fn rebalance_pool_steals_a_backlogged_stream() {
+        // Two shards, three streams. Least-loaded placement puts the hot
+        // stream (id 0) and a cold shard-mate (id 2) on shard 0, and an
+        // inactive stream (id 1) on shard 1. The hot backlog plus the cold
+        // mate's queued jobs make shard 0 donatable, while shard 1 idles and
+        // asks for work: with Rebalance, a steal must happen.
+        let pool = ServerPool::spawn(
+            ShadowTutorConfig::paper(),
+            PoolConfig {
+                shards: 2,
+                max_batch: 1,
+                quantum: 1,
+                adaptive_batch: false,
+                max_in_flight: 64,
+                placement: PlacementPolicy::Rebalance,
+                recv_timeout: Duration::from_millis(200),
+                steal_poll: Duration::from_millis(1),
+                ..PoolConfig::default_pool()
+            },
+            StudentNet::new(StudentConfig::tiny()).unwrap(),
+            0.013,
+            // A real wall-clock pause per forward so a backlog actually
+            // builds at shard 0 while shard 1 goes idle.
+            |shard| {
+                crate::loadgen::PacedTeacher::new(
+                    OracleTeacher::perfect(600 + shard as u64),
+                    Duration::from_millis(8),
+                )
+            },
+        )
+        .unwrap();
+        let hot_frames = frames_for(SceneKind::People, 75, 12);
+        let idle_frames = frames_for(SceneKind::Street, 77, 1);
+        let mate_frames = frames_for(SceneKind::Animals, 76, 3);
+        let mut hot = pool.connect(0, &hot_frames).unwrap();
+        let mut idle = pool.connect(1, &idle_frames).unwrap();
+        let mut mate = pool.connect(2, &mate_frames).unwrap();
+        assert_eq!(pool.shard_loads(), vec![2, 1]);
+        hot.recv_timeout(Duration::from_secs(10)).unwrap();
+        idle.recv_timeout(Duration::from_secs(10)).unwrap();
+        mate.recv_timeout(Duration::from_secs(10)).unwrap();
+        // Blast the hot stream's whole backlog at shard 0, with the mate's
+        // jobs queued alongside so donation is legal; stream 1 sends
+        // nothing, so shard 1 has only stolen work to do.
+        let send_key = |client: &mut StreamClient, frame: &Frame| {
+            let payload = Payload::sized(frame.raw_rgb_bytes());
+            let bytes = payload.bytes;
+            client
+                .send(
+                    ClientToServer::KeyFrame {
+                        frame_index: frame.index,
+                        payload,
+                    },
+                    bytes,
+                )
+                .unwrap();
+        };
+        for frame in &hot_frames {
+            send_key(&mut hot, frame);
+        }
+        for frame in &mate_frames {
+            send_key(&mut mate, frame);
+        }
+        idle.send(ClientToServer::Shutdown, 1).unwrap();
+        drop(idle);
+        for _ in &hot_frames {
+            let update = hot.recv_timeout(Duration::from_secs(30)).unwrap();
+            assert!(matches!(update, ServerToClient::StudentUpdate { .. }));
+        }
+        for _ in &mate_frames {
+            let update = mate.recv_timeout(Duration::from_secs(30)).unwrap();
+            assert!(matches!(update, ServerToClient::StudentUpdate { .. }));
+        }
+        hot.send(ClientToServer::Shutdown, 1).unwrap();
+        mate.send(ClientToServer::Shutdown, 1).unwrap();
+        drop((hot, mate));
+        let stats = pool.join().unwrap();
+        assert_eq!(stats.total_key_frames(), 15);
+        assert_eq!(stats.dropped_jobs(), 0);
+        assert!(
+            stats.streams_stolen() >= 1,
+            "the idle shard never stole the backlog: {:?}",
+            stats
+                .shards
+                .iter()
+                .map(|s| (s.key_frames, s.streams_stolen_in, s.streams_donated))
+                .collect::<Vec<_>>()
+        );
+        // Both shards ended up doing real work.
+        assert!(stats.shards.iter().all(|s| s.key_frames >= 1));
+        // Every steal has a matching donation, and every stream finished
+        // with a checkpoint wherever it ended up.
+        let donated: usize = stats.shards.iter().map(|s| s.streams_donated).sum();
+        assert_eq!(donated, stats.streams_stolen());
+        assert_eq!(stats.final_checkpoints.len(), 3);
+        assert_eq!(stats.streams.len(), 3);
+        assert_eq!(
+            stats.streams[&0].key_frames + stats.streams[&2].key_frames,
+            15
+        );
     }
 
     #[test]

@@ -19,6 +19,18 @@
 //!
 //! The virtual-time runtime in the `shadowtutor` crate uses only [`link`] and
 //! [`message`]; the threaded runtime uses [`transport`] as well.
+//!
+//! The multi-stream server pool additionally uses the stream-tagged
+//! envelope ([`message::StreamTagged`]), the backpressure acks
+//! ([`message::ServerToClient::Throttle`] / [`message::ServerToClient::Dropped`])
+//! and the frame-cache recovery exchange
+//! ([`message::ServerToClient::NeedFrame`] /
+//! [`message::ClientToServer::ReShare`]); see `docs/ARCHITECTURE.md` at the
+//! workspace root for how a key frame flows through them.
+
+// Every public item of the wire-protocol crate must be documented: the
+// messages *are* the protocol specification.
+#![warn(missing_docs)]
 
 pub mod link;
 pub mod message;

@@ -11,7 +11,7 @@
 //!
 //! All three run through one packed kernel:
 //!
-//! * The reduction dimension is blocked at [`KC`] so the packed panels stay
+//! * The reduction dimension is blocked at `KC` so the packed panels stay
 //!   cache-resident across the inner loops.
 //! * Per block, `A` is packed into `MR`-row micro-panels laid out `k`-major
 //!   (`apack[kk*MR + i]`), so the microkernel reads it as a contiguous

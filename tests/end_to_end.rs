@@ -3,11 +3,11 @@
 //! multi-stream server pool), and the report layer.
 
 use shadowtutor::baseline::{run_naive, run_wild};
-use shadowtutor::config::{DistillationMode, ShadowTutorConfig};
+use shadowtutor::config::{DistillationMode, PlacementPolicy, ShadowTutorConfig};
 use shadowtutor::loadgen::{run_skewed_load, PacedTeacher, SkewedLoadSpec};
 use shadowtutor::runtime::live::{run_live, run_live_multi, StreamSpec};
 use shadowtutor::runtime::sim::{DelayModel, SimRuntime};
-use shadowtutor::serve::{PoolConfig, ServerPool};
+use shadowtutor::serve::{FrameStore, PoolConfig, ServerPool, StreamClient};
 use shadowtutor_repro::testsupport::pretrained_student;
 use st_net::transport::ClientEndpoint;
 use st_net::LinkModel;
@@ -17,7 +17,7 @@ use st_sim::{Concurrency, ContentionModel, LatencyProfile};
 use st_teacher::OracleTeacher;
 use st_video::dataset::{category_videos, tiny_stream as frames_for, Resolution};
 use st_video::{CameraMotion, SceneKind, VideoCategory, VideoConfig, VideoGenerator};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn people_video(seed: u64) -> VideoGenerator {
     let cat = VideoCategory {
@@ -657,7 +657,7 @@ fn batched_cnn_teacher_amortizes_measured_cost_in_the_pool() {
     for spec in &specs {
         shard.register(
             spec.stream_id,
-            spec.frames.iter().map(|f| (f.index, f.clone())).collect(),
+            shadowtutor::serve::FrameStore::from_frames(&spec.frames, None),
         );
         for frame in &spec.frames {
             jobs.push(ShardJob {
@@ -782,6 +782,567 @@ fn batched_cnn_teacher_amortizes_measured_cost_in_the_pool() {
             shard_stats.mean_batch_size()
         );
     }
+}
+
+/// Open-loop client driver for the elastic-pool tests: waits for the
+/// initial checkpoint, sleeps `start_delay`, sends every frame on a fixed
+/// schedule, answers `NeedFrame` recovery requests by re-uploading the
+/// frame, drains until every send is answered, and shuts down. Returns
+/// `(updates, throttled, dropped)`.
+fn drive_stream(
+    mut client: StreamClient,
+    frames: Vec<st_video::Frame>,
+    start_delay: Duration,
+    interval: Duration,
+) -> (usize, usize, usize) {
+    use std::collections::HashMap;
+    client
+        .recv_timeout(Duration::from_secs(30))
+        .expect("initial checkpoint");
+    std::thread::sleep(start_delay);
+    let by_index: HashMap<usize, &st_video::Frame> = frames.iter().map(|f| (f.index, f)).collect();
+    let (mut updates, mut throttled, mut dropped) = (0usize, 0usize, 0usize);
+    let mut outstanding = 0usize;
+    let mut reshare_queue: Vec<usize> = Vec::new();
+    let absorb = |message: ServerToClient,
+                  updates: &mut usize,
+                  throttled: &mut usize,
+                  dropped: &mut usize,
+                  outstanding: &mut usize,
+                  reshare_queue: &mut Vec<usize>| {
+        match message {
+            ServerToClient::StudentUpdate { .. } => {
+                *updates += 1;
+                *outstanding = outstanding.saturating_sub(1);
+            }
+            ServerToClient::Throttle { .. } => {
+                *throttled += 1;
+                *outstanding = outstanding.saturating_sub(1);
+            }
+            ServerToClient::Dropped { .. } => {
+                *dropped += 1;
+                *outstanding = outstanding.saturating_sub(1);
+            }
+            ServerToClient::NeedFrame { frame_index } => reshare_queue.push(frame_index),
+            ServerToClient::InitialStudent { .. } => {}
+        }
+    };
+    for frame in &frames {
+        let payload = Payload::sized(frame.raw_rgb_bytes());
+        let bytes = payload.bytes;
+        client
+            .send(
+                ClientToServer::KeyFrame {
+                    frame_index: frame.index,
+                    payload,
+                },
+                bytes,
+            )
+            .expect("uplink send");
+        outstanding += 1;
+        while let Ok(Some(message)) = client.try_recv() {
+            absorb(
+                message,
+                &mut updates,
+                &mut throttled,
+                &mut dropped,
+                &mut outstanding,
+                &mut reshare_queue,
+            );
+        }
+        for index in reshare_queue.drain(..) {
+            client.reshare(by_index[&index]).expect("reshare send");
+        }
+        std::thread::sleep(interval);
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while outstanding > 0 && Instant::now() < deadline {
+        match client.recv_timeout(Duration::from_millis(200)) {
+            Ok(message) => absorb(
+                message,
+                &mut updates,
+                &mut throttled,
+                &mut dropped,
+                &mut outstanding,
+                &mut reshare_queue,
+            ),
+            Err(st_net::TransportError::Timeout) => continue,
+            Err(_) => break,
+        }
+        for index in reshare_queue.drain(..) {
+            client.reshare(by_index[&index]).expect("reshare send");
+        }
+    }
+    client.send(ClientToServer::Shutdown, 1).ok();
+    (updates, throttled, dropped)
+}
+
+/// The elastic-pool tentpole, measured end to end: an 8×-rate hot stream on
+/// a 4-shard pool, run identically with work stealing off
+/// (`PlacementPolicy::LeastLoaded`) and on (`Rebalance`), under a
+/// per-stream LRU frame budget.
+///
+/// Acceptance (ISSUE 5): with stealing enabled, cold-shard idle time and
+/// p99 cold-stream wait are strictly below the stealing-off baseline
+/// measured in the same test; `dropped_jobs == 0`; frame-cache bytes never
+/// exceed the configured budget.
+///
+/// Topology (connect order is id order, least-loaded ties to the lowest
+/// shard, so placement is identical in both runs): hot stream 0 → shard 0;
+/// three short-lived colds 1–3 → shards 1–3, each sending one frame and
+/// retiring — which leaves their shards *empty* and patient; mate stream
+/// 4 → shard 0, starting only after the steal must have happened. Without
+/// stealing, every mate key frame waits behind the hot stream's in-service
+/// forwards; with stealing, the idle shards pull the hot backlog over
+/// (and, once its host has no shard-mates left, the hot stream pins there),
+/// so the mate arrives to a quiet shard.
+#[test]
+fn work_stealing_relieves_a_hot_shard_and_bounds_frame_memory() {
+    let (student, _) = pretrained_student();
+    let hot_frames = frames_for(SceneKind::People, 9100, 30);
+    let budget = 12 * FrameStore::frame_cost(&hot_frames[0]);
+    let run = |placement: PlacementPolicy| {
+        let pool = ServerPool::spawn(
+            ShadowTutorConfig::paper(),
+            PoolConfig {
+                shards: 4,
+                placement,
+                max_in_flight: 64,
+                // One forward per batch: co-scheduling would amortize the
+                // hot stream's excess away and hide the imbalance.
+                max_batch: 1,
+                adaptive_batch: false,
+                frame_budget_bytes: Some(budget),
+                steal_poll: Duration::from_millis(1),
+                steal_patience: Duration::from_millis(100),
+                recv_timeout: Duration::from_millis(200),
+                ..PoolConfig::default_pool()
+            },
+            student.clone(),
+            0.013,
+            // A real wall-clock pause per teacher forward so the hot
+            // backlog is physical.
+            |shard| {
+                PacedTeacher::new(
+                    OracleTeacher::perfect(7200 + shard as u64),
+                    Duration::from_millis(8),
+                )
+            },
+        )
+        .unwrap();
+        // (frames, start delay, send interval) per stream, in id order.
+        let specs: Vec<(Vec<st_video::Frame>, Duration, Duration)> = vec![
+            (
+                hot_frames.clone(),
+                Duration::ZERO,
+                Duration::from_millis(30),
+            ),
+            (
+                frames_for(SceneKind::Animals, 9101, 1),
+                Duration::ZERO,
+                Duration::from_millis(1),
+            ),
+            (
+                frames_for(SceneKind::Street, 9102, 1),
+                Duration::ZERO,
+                Duration::from_millis(1),
+            ),
+            (
+                frames_for(SceneKind::Animals, 9103, 1),
+                Duration::ZERO,
+                Duration::from_millis(1),
+            ),
+            (
+                frames_for(SceneKind::People, 9104, 8),
+                // Starts well after the steal must have happened, with
+                // margin for a CI runner serving sibling tests: the idle
+                // shards get patient ~100 ms after the one-frame colds
+                // retire (~100-250 ms even under 3x slowdown), and the
+                // donation follows within a couple of shard-0 passes.
+                Duration::from_millis(800),
+                Duration::from_millis(100),
+            ),
+        ];
+        let clients: Vec<StreamClient> = specs
+            .iter()
+            .enumerate()
+            .map(|(id, (frames, _, _))| pool.connect(id as u64, frames).unwrap())
+            .collect();
+        // Hot + mate share shard 0; one cold per remaining shard.
+        assert_eq!(pool.shard_loads(), vec![2, 1, 1, 1]);
+        let started = Instant::now();
+        let mut results: Vec<(usize, usize, usize)> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (client, (frames, start_delay, interval)) in clients.into_iter().zip(&specs) {
+                let frames = frames.clone();
+                let (start_delay, interval) = (*start_delay, *interval);
+                handles
+                    .push(scope.spawn(move || drive_stream(client, frames, start_delay, interval)));
+            }
+            for handle in handles {
+                results.push(handle.join().unwrap());
+            }
+        });
+        let wall = started.elapsed().as_secs_f64();
+        let stats = pool.join().unwrap();
+        // Every key frame of every stream was answered and served: no
+        // throttles (cap 64), no drops, updates == sent.
+        for (id, ((updates, throttled, dropped), (frames, _, _))) in
+            results.iter().zip(&specs).enumerate()
+        {
+            assert_eq!(
+                *updates,
+                frames.len(),
+                "stream {id}: {updates} updates, {throttled} throttled, {dropped} dropped"
+            );
+        }
+        (stats, wall)
+    };
+
+    let (off, off_wall) = run(PlacementPolicy::LeastLoaded);
+    let (on, on_wall) = run(PlacementPolicy::Rebalance);
+
+    // Nothing lost in either mode.
+    assert_eq!(off.dropped_jobs(), 0);
+    assert_eq!(on.dropped_jobs(), 0);
+    assert_eq!(off.streams_stolen(), 0, "LeastLoaded must never migrate");
+    assert!(
+        on.streams_stolen() >= 1,
+        "stealing never engaged: {:?}",
+        on.snapshot().to_json()
+    );
+
+    // p99 cold-stream wait strictly below the stealing-off baseline. At
+    // these per-stream sample counts the 99th percentile is the worst
+    // sample, so compare the worst cold stream's worst wall-clock wait.
+    let cold_p99 = |stats: &shadowtutor::serve::PoolStats| {
+        (1u64..=4)
+            .map(|id| stats.streams[&id].queue_wait_max)
+            .max()
+            .unwrap()
+    };
+    let off_cold_wait = cold_p99(&off);
+    let on_cold_wait = cold_p99(&on);
+    assert!(
+        on_cold_wait < off_cold_wait,
+        "cold p99 wait must drop with stealing: {on_cold_wait:?} vs {off_cold_wait:?}"
+    );
+
+    // Cold-shard idle time strictly below the baseline: the shards that
+    // idled while shard 0 drowned (shards 1-3) spend more of the run busy
+    // once they can steal the hot backlog. Compare idle *fractions* so the
+    // two runs' wall clocks normalize out.
+    let cold_idle_fraction = |stats: &shadowtutor::serve::PoolStats, wall: f64| {
+        let busy: f64 = stats.shards[1..]
+            .iter()
+            .map(|s| s.busy_time.as_secs_f64())
+            .sum();
+        1.0 - busy / (3.0 * wall)
+    };
+    let off_idle = cold_idle_fraction(&off, off_wall);
+    let on_idle = cold_idle_fraction(&on, on_wall);
+    assert!(
+        on_idle < off_idle,
+        "cold shards must idle less with stealing: {on_idle:.3} vs {off_idle:.3}"
+    );
+
+    // The frame budget held at every point of both runs, and the recovery
+    // path really ran (the hot stream pre-shares 30 frames against a
+    // 12-frame budget).
+    assert!(off.frame_bytes_peak() <= budget);
+    assert!(on.frame_bytes_peak() <= budget);
+    assert!(on.frame_evictions() > 0);
+    assert!(on.reshared_frames() > 0);
+}
+
+/// Steal-vs-shutdown races: streams finish (or abandon) while migrations
+/// are in flight, and nothing may be lost or double-counted — every
+/// connected stream reports a final checkpoint and stats, and every key
+/// frame is either served or explicitly acked.
+#[test]
+fn stream_finishing_mid_migration_is_never_lost() {
+    // Cheap distillation so service is shorter than the cold send interval
+    // (the regime where donation windows exist at all).
+    let config = ShadowTutorConfig {
+        max_updates: 2,
+        ..ShadowTutorConfig::paper()
+    };
+    let student = StudentNet::new(StudentConfig::tiny()).unwrap();
+    let pool_config = PoolConfig {
+        shards: 2,
+        placement: PlacementPolicy::Rebalance,
+        max_in_flight: 12,
+        max_batch: 1,
+        adaptive_batch: false,
+        steal_poll: Duration::from_millis(1),
+        steal_patience: Duration::from_millis(3),
+        recv_timeout: Duration::from_millis(200),
+        ..PoolConfig::default_pool()
+    };
+
+    // Part 1 — cooperative endings: open-loop skewed runs where the cold
+    // streams retire early while the hot backlog keeps migrating. Every
+    // stream's answers must conserve across however many hops its session
+    // took.
+    let mut total_steals = 0usize;
+    for seed in [5508u64, 5509, 5510] {
+        let outcome = run_skewed_load(
+            config,
+            pool_config,
+            student.clone(),
+            0.013,
+            |shard| {
+                PacedTeacher::new(
+                    OracleTeacher::perfect(seed * 10 + shard as u64),
+                    Duration::from_millis(6),
+                )
+            },
+            SkewedLoadSpec {
+                streams: 3,
+                hot_multiplier: 8,
+                key_frames_per_stream: 2,
+                send_interval: Duration::from_millis(40),
+                seed,
+            },
+        )
+        .unwrap();
+        for report in &outcome.streams {
+            assert_eq!(
+                report.updates + report.throttled + report.dropped,
+                report.sent,
+                "seed {seed}: stream {} lost answers",
+                report.stream_id
+            );
+        }
+        assert_eq!(outcome.pool.dropped_jobs(), 0, "seed {seed}");
+        assert_eq!(outcome.pool.streams.len(), 3, "seed {seed}");
+        assert_eq!(outcome.pool.final_checkpoints.len(), 3, "seed {seed}");
+        // Conservation across migration: steals and donations pair up.
+        let donated: usize = outcome.pool.shards.iter().map(|s| s.streams_donated).sum();
+        assert_eq!(donated, outcome.pool.streams_stolen(), "seed {seed}");
+        total_steals += outcome.pool.streams_stolen();
+    }
+
+    // Part 2 — abrupt endings: the hot stream walks away (Shutdown + drop)
+    // with most of its backlog still queued, racing the migration machinery.
+    // The flushed backlog must be processed-or-acked and the session
+    // retired with a checkpoint, wherever it lives by then.
+    for seed in [31u64, 32] {
+        let pool = ServerPool::spawn(config, pool_config, student.clone(), 0.013, |shard| {
+            PacedTeacher::new(
+                OracleTeacher::perfect(seed * 100 + shard as u64),
+                Duration::from_millis(6),
+            )
+        })
+        .unwrap();
+        let hot_frames = frames_for(SceneKind::People, seed, 12);
+        let helper_frames = frames_for(SceneKind::Animals, seed + 40, 2);
+        let mate_frames = frames_for(SceneKind::Street, seed + 80, 2);
+        let mut hot = pool.connect(0, &hot_frames).unwrap();
+        let helper = pool.connect(1, &helper_frames).unwrap();
+        let mate = pool.connect(2, &mate_frames).unwrap();
+        // Helper and mate run cooperatively on their own threads; the hot
+        // client blasts its backlog, takes a few updates, and vanishes.
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                drive_stream(
+                    helper,
+                    helper_frames.clone(),
+                    Duration::ZERO,
+                    Duration::from_millis(20),
+                )
+            });
+            scope.spawn(|| {
+                drive_stream(
+                    mate,
+                    mate_frames.clone(),
+                    Duration::ZERO,
+                    Duration::from_millis(20),
+                )
+            });
+            hot.recv_timeout(Duration::from_secs(10)).unwrap();
+            for frame in &hot_frames {
+                let payload = Payload::sized(frame.raw_rgb_bytes());
+                let bytes = payload.bytes;
+                hot.send(
+                    ClientToServer::KeyFrame {
+                        frame_index: frame.index,
+                        payload,
+                    },
+                    bytes,
+                )
+                .unwrap();
+            }
+            let mut seen = 0;
+            while seen < 4 {
+                if let Ok(ServerToClient::StudentUpdate { .. }) =
+                    hot.recv_timeout(Duration::from_secs(10))
+                {
+                    seen += 1;
+                }
+            }
+            hot.send(ClientToServer::Shutdown, 1).unwrap();
+            drop(hot);
+        });
+        let stats = pool.join().unwrap();
+        // All three sessions retired with checkpoints and stats, wherever
+        // the migrations put them.
+        assert_eq!(stats.streams.len(), 3, "seed {seed}");
+        assert_eq!(stats.final_checkpoints.len(), 3, "seed {seed}");
+        // The hot stream's queued backlog was flushed on Shutdown: every
+        // one of its 12 key frames was served (none were throttled — cap
+        // 12 — and none silently vanished).
+        assert_eq!(stats.streams[&0].key_frames, 12, "seed {seed}");
+        assert_eq!(stats.dropped_jobs(), 0, "seed {seed}");
+        total_steals += stats.streams_stolen();
+    }
+    // Migrations really interleaved with the endings somewhere across the
+    // runs. Part 2's steal is structurally robust even on a loaded CI
+    // runner: the helper retires early, its shard goes patient-idle, and
+    // the victim keeps the mate session, so the relaxed donation rule
+    // fires independently of arrival timing; Part 1's steals additionally
+    // need idle gaps between cold arrivals, which heavy host load can
+    // erase — hence one pooled assertion, not one per part.
+    assert!(
+        total_steals >= 1,
+        "no migration happened across any seed — the race never ran"
+    );
+}
+
+/// The eviction-recovery protocol, deterministically: a key frame whose
+/// content was evicted from the bounded cache is parked and recovered via
+/// `NeedFrame` → `ReShare`, never dropped — while frames that were never
+/// shared still get the explicit `Dropped` ack.
+#[test]
+fn lru_eviction_needframe_reshare_round_trip() {
+    let frames = frames_for(SceneKind::People, 93, 4);
+    let budget = 2 * FrameStore::frame_cost(&frames[0]);
+    let pool = ServerPool::spawn(
+        ShadowTutorConfig::paper(),
+        PoolConfig {
+            shards: 1,
+            frame_budget_bytes: Some(budget),
+            recv_timeout: Duration::from_millis(200),
+            ..PoolConfig::default_pool()
+        },
+        StudentNet::new(StudentConfig::tiny()).unwrap(),
+        0.013,
+        |_| OracleTeacher::perfect(93),
+    )
+    .unwrap();
+    let mut client = pool.connect(5, &frames).unwrap();
+    let initial = client.recv_timeout(Duration::from_secs(10)).unwrap();
+    assert!(matches!(initial, ServerToClient::InitialStudent { .. }));
+
+    // Frames are pre-shared in index order, so with room for two the first
+    // two are already evicted. Asking for frame 0 must yield a NeedFrame,
+    // not a drop.
+    let payload = Payload::sized(frames[0].raw_rgb_bytes());
+    let bytes = payload.bytes;
+    client
+        .send(
+            ClientToServer::KeyFrame {
+                frame_index: frames[0].index,
+                payload,
+            },
+            bytes,
+        )
+        .unwrap();
+    match client.recv_timeout(Duration::from_secs(10)).unwrap() {
+        ServerToClient::NeedFrame { frame_index } => assert_eq!(frame_index, frames[0].index),
+        other => panic!("expected NeedFrame, got {other:?}"),
+    }
+    // Re-uploading the frame resumes the parked job and produces the
+    // update the original key frame was owed.
+    client.reshare(&frames[0]).unwrap();
+    match client.recv_timeout(Duration::from_secs(10)).unwrap() {
+        ServerToClient::StudentUpdate { frame_index, .. } => {
+            assert_eq!(frame_index, frames[0].index)
+        }
+        other => panic!("expected StudentUpdate, got {other:?}"),
+    }
+
+    // A client may legally re-send a key frame. Two sends for the same
+    // evicted index must yield two updates — the parked jobs may not
+    // collapse into one (the regression this guards: a map keyed by frame
+    // index silently swallowing the duplicate).
+    for _ in 0..2 {
+        let payload = Payload::sized(frames[1].raw_rgb_bytes());
+        let bytes = payload.bytes;
+        client
+            .send(
+                ClientToServer::KeyFrame {
+                    frame_index: frames[1].index,
+                    payload,
+                },
+                bytes,
+            )
+            .unwrap();
+    }
+    let mut duplicate_updates = 0;
+    while duplicate_updates < 2 {
+        match client.recv_timeout(Duration::from_secs(10)).unwrap() {
+            // Depending on how the two sends batch, the server may ask for
+            // the frame once or twice; answer every request.
+            ServerToClient::NeedFrame { frame_index } => {
+                assert_eq!(frame_index, frames[1].index);
+                client.reshare(&frames[1]).unwrap();
+            }
+            ServerToClient::StudentUpdate { frame_index, .. } => {
+                assert_eq!(frame_index, frames[1].index);
+                duplicate_updates += 1;
+            }
+            other => panic!("expected NeedFrame/StudentUpdate, got {other:?}"),
+        }
+    }
+
+    // A frame that was never shared is a protocol error, not a recovery
+    // case: explicit drop ack.
+    let payload = Payload::sized(frames[0].raw_rgb_bytes());
+    let bytes = payload.bytes;
+    client
+        .send(
+            ClientToServer::KeyFrame {
+                frame_index: 999,
+                payload,
+            },
+            bytes,
+        )
+        .unwrap();
+    match client.recv_timeout(Duration::from_secs(10)).unwrap() {
+        ServerToClient::Dropped {
+            frame_index,
+            reason,
+        } => {
+            assert_eq!(frame_index, 999);
+            assert_eq!(reason, DropReason::UnknownFrame);
+        }
+        other => panic!("expected Dropped, got {other:?}"),
+    }
+    // An unsolicited re-share of a never-shared frame is refused the same
+    // way (a re-share restores content, it does not add frames).
+    let foreign = frames_for(SceneKind::Street, 94, 6).pop().unwrap();
+    client.reshare(&foreign).unwrap();
+    match client.recv_timeout(Duration::from_secs(10)).unwrap() {
+        ServerToClient::Dropped { reason, .. } => assert_eq!(reason, DropReason::UnknownFrame),
+        other => panic!("expected Dropped, got {other:?}"),
+    }
+
+    client.send(ClientToServer::Shutdown, 1).unwrap();
+    drop(client);
+    let stats = pool.join().unwrap();
+    // Three key frames served end to end (one recovered, plus the
+    // duplicate pair); the recoveries and the two protocol errors all
+    // accounted; the budget held throughout.
+    assert_eq!(stats.total_key_frames(), 3);
+    assert_eq!(stats.streams[&5].key_frames, 3);
+    assert_eq!(stats.dropped_jobs(), 2);
+    let shard = &stats.shards[0];
+    assert!(shard.frame_evictions >= 2);
+    assert!(shard.need_frame_requests >= 2);
+    assert!(shard.reshared_frames >= 2);
+    assert!(shard.frame_bytes_peak > 0 && shard.frame_bytes_peak <= budget);
 }
 
 #[test]
