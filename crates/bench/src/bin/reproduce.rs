@@ -7,7 +7,7 @@
 //! reproduce [scale] [target...] [--json <path>] [--skew <multiplier>]
 //!
 //! scale   smoke | default | extended      (default: default)
-//! target  table2 table3 table4 table5 table6 table7 table9 table11 figure4
+//! target  table2 table3 table4 table5 table6 table7 table9 table11 table12 figure4
 //!         bounds ablation all             (default: all)
 //! --json  also write every reproduced table as JSON to <path>
 //!         (CI uploads this as the run's machine-readable artifact)
@@ -21,8 +21,8 @@
 use st_bench::figures::figure4;
 use st_bench::json::run_to_json;
 use st_bench::tables::{
-    ablation_stride, bounds_check, table11_steal, table2, table4, table6, table7, table9_skewed,
-    tables_3_and_5, TableOutput,
+    ablation_stride, bounds_check, table11_steal, table12_capacity, table2, table4, table6, table7,
+    table9_skewed, tables_3_and_5, TableOutput,
 };
 use st_bench::{ExperimentScale, SharedSetup};
 use std::time::Instant;
@@ -133,6 +133,19 @@ fn main() {
         };
         emit(
             table11_steal(&sweep, streams, shards, key_frames),
+            &mut produced,
+        );
+    }
+    if want("table12") {
+        // The fixed-worker-set capacity ladder: thread-per-shard vs the
+        // event-driven reactor at the same OS thread count.
+        let (ladder, threads, key_frames): (&[usize], usize, usize) = match scale {
+            ExperimentScale::Smoke => (&[2, 4], 2, 3),
+            ExperimentScale::Default => (&[8, 16, 32], 8, 6),
+            ExperimentScale::Extended => (&[8, 16, 32, 64], 8, 12),
+        };
+        emit(
+            table12_capacity(ladder, threads, key_frames, 25.0),
             &mut produced,
         );
     }

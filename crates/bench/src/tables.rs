@@ -8,14 +8,16 @@
 use crate::workloads::{SharedSetup, Variant};
 use shadowtutor::bounds::{throughput_bounds, traffic_bounds, BoundInputs};
 use shadowtutor::config::{DistillationMode, PlacementPolicy, ShadowTutorConfig};
-use shadowtutor::loadgen::{percentile, run_skewed_load, PacedTeacher, SkewedLoadSpec};
+use shadowtutor::loadgen::{
+    percentile, run_capacity_load, run_skewed_load, CapacityLoadSpec, PacedTeacher, SkewedLoadSpec,
+};
 use shadowtutor::serve::{FrameStore, PoolConfig};
 use shadowtutor::stride::StridePolicy;
 use shadowtutor::ExperimentRecord;
 use st_net::{KeyFrameTraffic, LinkModel, NaiveTraffic};
 use st_nn::snapshot::PayloadSizes;
 use st_nn::student::{StudentConfig, StudentNet};
-use st_sim::{Concurrency, ContentionModel};
+use st_sim::{Concurrency, ContentionModel, DEFAULT_DISPATCH_OVERHEAD};
 use st_teacher::{CnnTeacher, OracleTeacher, Teacher};
 use st_video::dataset::tiny_stream;
 use st_video::SceneKind;
@@ -673,6 +675,139 @@ pub fn table11_steal(
     ];
     out.render(&format!(
         "Table 11 — work stealing under skewed load ({streams} streams, {shards} shards, LRU frame budget)"
+    ));
+    out
+}
+
+/// Table 12 (new in this reproduction, no paper counterpart) — stream
+/// capacity of a fixed worker set: how many concurrent open-loop streams
+/// the pool sustains while the p99 *queue wait* (client round trip minus
+/// mean service time) stays under `target_wait_ms`, with the OS thread
+/// count pinned at `threads` in both topologies.
+///
+/// Thread-per-shard partitions the workers: `shards == threads`, each
+/// stream statically pinned (`StaticModulo`), so a burst on one shard
+/// queues behind that shard's other streams even while neighbour threads
+/// sit idle. The reactor pools them: `shards == streams` (one mostly-idle
+/// shard per stream) hosted by `reactor_threads == threads` event-driven
+/// workers, so any free thread takes any ready job. Work stealing stays
+/// off and batching is pinned to one frame per forward in BOTH modes —
+/// this table isolates partitioned-vs-pooled dispatch, not migration or
+/// amortization.
+///
+/// Each ladder rung runs both topologies under the same jittered arrival
+/// schedule and reports p99 queue waits plus throttle/drop counts; the
+/// title line reports the measured capacities (largest rung still under
+/// target; zero if even the smallest rung misses — the ladder quantizes,
+/// so a mode's true capacity sits between its last passing rung and the
+/// next) beside the analytic [`ContentionModel::thread_per_shard_capacity`]
+/// / [`ContentionModel::reactor_capacity`] predictions fed the measured
+/// mean service time.
+pub fn table12_capacity(
+    stream_ladder: &[usize],
+    threads: usize,
+    key_frames_per_stream: usize,
+    target_wait_ms: f64,
+) -> TableOutput {
+    let mut out = TableOutput::new("Table 12");
+    let pace = Duration::from_millis(60);
+    let send_interval = Duration::from_millis(800);
+    let student = StudentNet::new(StudentConfig::tiny()).expect("tiny student");
+    // One distillation step per update keeps service dominated by the
+    // teacher pace, so the measured capacities answer to the same service
+    // time the model is fed.
+    let config = ShadowTutorConfig {
+        max_updates: 1,
+        ..ShadowTutorConfig::paper()
+    };
+    let mut shard_wait = Vec::new();
+    let mut reactor_wait = Vec::new();
+    let mut shard_throttled = Vec::new();
+    let mut reactor_throttled = Vec::new();
+    let mut shard_dropped = Vec::new();
+    let mut reactor_dropped = Vec::new();
+    let mut shard_service = Vec::new();
+    let mut reactor_service = Vec::new();
+    let mut service_sum = 0.0;
+    let mut service_runs = 0usize;
+    for &streams in stream_ladder {
+        let run = |reactor: bool| {
+            run_capacity_load(
+                config,
+                PoolConfig {
+                    shards: if reactor { streams } else { threads },
+                    reactor_threads: if reactor { Some(threads) } else { None },
+                    // Static pinning in both modes: stealing would
+                    // partially pool the partitioned baseline and blur
+                    // the comparison this table exists to make.
+                    placement: PlacementPolicy::StaticModulo,
+                    // Admission generous enough that queue wait, not
+                    // back-pressure, is what fails first as rungs grow.
+                    max_in_flight: 64,
+                    max_batch: 1,
+                    adaptive_batch: false,
+                    recv_timeout: Duration::from_millis(100),
+                    ..PoolConfig::default_pool()
+                },
+                student.clone(),
+                0.001,
+                |shard| PacedTeacher::new(OracleTeacher::perfect(6200 + shard as u64), pace),
+                CapacityLoadSpec {
+                    streams,
+                    key_frames_per_stream,
+                    send_interval,
+                    // Same seed for both modes of a rung: identical frame
+                    // content and arrival schedule, different topology.
+                    seed: 6400 + streams as u64,
+                },
+            )
+            .expect("table12 run")
+        };
+        let per_shard = run(false);
+        let reactor = run(true);
+        service_sum += per_shard.mean_service_secs() + reactor.mean_service_secs();
+        service_runs += 2;
+        out.row_labels.push(format!("{streams} streams"));
+        shard_wait.push(1e3 * per_shard.percentile_queue_wait(99.0));
+        reactor_wait.push(1e3 * reactor.percentile_queue_wait(99.0));
+        shard_throttled.push(per_shard.throttled as f64);
+        reactor_throttled.push(reactor.throttled as f64);
+        shard_dropped.push(per_shard.dropped as f64);
+        reactor_dropped.push(reactor.dropped as f64);
+        shard_service.push(1e3 * per_shard.mean_service_secs());
+        reactor_service.push(1e3 * reactor.mean_service_secs());
+    }
+    let capacity = |waits: &[f64]| -> usize {
+        waits
+            .iter()
+            .zip(stream_ladder)
+            .filter(|(wait, _)| **wait <= target_wait_ms)
+            .map(|(_, streams)| *streams)
+            .max()
+            .unwrap_or(0)
+    };
+    let cap_shard = capacity(&shard_wait);
+    let cap_reactor = capacity(&reactor_wait);
+    let service = service_sum / service_runs.max(1) as f64;
+    let model = ContentionModel::with_workers(threads);
+    let inter = send_interval.as_secs_f64();
+    let target = target_wait_ms * 1e-3;
+    let model_shard = model.thread_per_shard_capacity(target, service, inter);
+    let model_reactor = model.reactor_capacity(target, service, inter, DEFAULT_DISPATCH_OVERHEAD);
+    out.columns = vec![
+        ("per-shard p99 wait ms".to_string(), shard_wait),
+        ("reactor p99 wait ms".to_string(), reactor_wait),
+        ("per-shard throttled".to_string(), shard_throttled),
+        ("reactor throttled".to_string(), reactor_throttled),
+        ("per-shard dropped".to_string(), shard_dropped),
+        ("reactor dropped".to_string(), reactor_dropped),
+        ("per-shard service ms".to_string(), shard_service),
+        ("reactor service ms".to_string(), reactor_service),
+    ];
+    out.render(&format!(
+        "Table 12 — stream capacity at p99 queue wait <= {target_wait_ms:.1} ms, {threads} threads \
+         (measured: thread-per-shard {cap_shard} vs reactor {cap_reactor}; \
+         model: {model_shard} vs {model_reactor})"
     ));
     out
 }

@@ -42,6 +42,7 @@ pub struct ClientState {
     key_frames_sent: usize,
     updates_applied: usize,
     updates_abandoned: usize,
+    updates_throttled: usize,
     waits: usize,
 }
 
@@ -57,6 +58,7 @@ impl ClientState {
             key_frames_sent: 0,
             updates_applied: 0,
             updates_abandoned: 0,
+            updates_throttled: 0,
             waits: 0,
             policy: StridePolicy::Adaptive,
             config,
@@ -142,9 +144,35 @@ impl ClientState {
         }
     }
 
+    /// Record that the server *throttled* the in-flight key frame — it was
+    /// rejected by admission control, not lost — and pace the client down.
+    ///
+    /// Like [`abandon_update`](Self::abandon_update) this unblocks the
+    /// client, but it also stretches the key-frame stride (doubling, clamped
+    /// to `MAX_STRIDE`): a throttle means the server's per-stream queue is
+    /// full, so re-offering key frames on the same schedule would only be
+    /// rejected again. Stretching the stride sheds server load at the source
+    /// while the client keeps serving every frame locally; once the server
+    /// accepts a key frame again, the post-training metric feeds Algorithm 2
+    /// and the stride re-adapts from wherever the back-off left it. A no-op
+    /// when no update is outstanding, so late Throttle messages are harmless.
+    pub fn throttled_update(&mut self) {
+        if self.update_outstanding {
+            self.update_outstanding = false;
+            self.updates_throttled += 1;
+            self.stride = (self.stride * 2).min(self.config.max_stride);
+        }
+    }
+
     /// Number of in-flight updates abandoned after a server throttle/drop.
     pub fn updates_abandoned(&self) -> usize {
         self.updates_abandoned
+    }
+
+    /// Number of in-flight updates rejected by server admission control and
+    /// answered with a stride back-off ([`throttled_update`](Self::throttled_update)).
+    pub fn updates_throttled(&self) -> usize {
+        self.updates_throttled
     }
 
     /// Number of frames processed since the last key frame (including it).
@@ -306,6 +334,65 @@ mod tests {
         let d = s.begin_frame();
         assert!(d.is_key_frame);
         assert_eq!(s.key_frames_sent(), 2);
+    }
+
+    #[test]
+    fn throttled_update_stretches_the_stride_and_clamps_at_max() {
+        let mut s = state();
+        let d0 = s.begin_frame();
+        assert!(d0.is_key_frame);
+        assert_eq!(s.stride(), 8);
+        // Admission control rejected the key frame: back off.
+        s.throttled_update();
+        assert!(!s.update_outstanding());
+        assert_eq!(s.stride(), 16);
+        assert_eq!(s.updates_throttled(), 1);
+        assert_eq!(s.updates_abandoned(), 0);
+        // A late Throttle with nothing outstanding is a no-op.
+        s.throttled_update();
+        assert_eq!(s.stride(), 16);
+        assert_eq!(s.updates_throttled(), 1);
+        // Repeated throttles double toward MAX_STRIDE and stop there.
+        for _ in 0..4 {
+            while !s.begin_frame().is_key_frame {}
+            s.throttled_update();
+        }
+        assert_eq!(s.stride(), s.config.max_stride);
+        assert_eq!(s.updates_throttled(), 5);
+    }
+
+    #[test]
+    fn throttled_stream_recovers_once_updates_resume() {
+        let mut s = state();
+        // Two throttled key frames: stride backs off 8 -> 16 -> 32, and the
+        // client never blocks (nothing stays outstanding).
+        for expected in [16usize, 32] {
+            let d = s.begin_frame();
+            assert!(d.is_key_frame);
+            s.throttled_update();
+            assert_eq!(s.stride(), expected);
+            for _ in 0..expected - 1 {
+                let d = s.begin_frame();
+                assert!(!d.is_key_frame);
+                assert!(!d.must_wait_for_update);
+            }
+        }
+        assert_eq!(s.forced_waits(), 0);
+        // The server accepts again; a poor metric walks the stride back down
+        // through Algorithm 2 (metric 0.4 -> ratio 0.5, i.e. halving per
+        // update, floored at MIN_STRIDE).
+        for expected in [16usize, 8, 8] {
+            let d = s.begin_frame();
+            assert!(d.is_key_frame);
+            s.apply_update(0.4);
+            assert_eq!(s.stride(), expected);
+            for _ in 0..expected - 1 {
+                assert!(!s.begin_frame().is_key_frame);
+            }
+        }
+        assert_eq!(s.updates_throttled(), 2);
+        assert_eq!(s.updates_applied(), 3);
+        assert_eq!(s.updates_abandoned(), 0);
     }
 
     #[test]

@@ -28,6 +28,8 @@
 //!   ([`config::PlacementPolicy::Rebalance`]) and LRU-bounded per-stream
 //!   frame memory ([`serve::FrameStore`]). See `docs/ARCHITECTURE.md` at
 //!   the workspace root for the full lifecycle of a key frame.
+//! * [`timer`] — the hierarchical timer wheel backing the reactor's
+//!   time-based state (batch windows, steal patience, NeedFrame retries).
 //! * [`loadgen`] — an open-loop skewed load generator (one hot stream at a
 //!   multiple of the base key-frame rate) measuring per-stream round trips
 //!   against a live pool; used by the fairness tests and benches.
@@ -53,6 +55,7 @@ pub mod runtime;
 pub mod serve;
 pub mod server;
 pub mod stride;
+pub mod timer;
 pub mod train;
 
 pub use config::{DistillationMode, PaperConstants, PlacementPolicy, ShadowTutorConfig};

@@ -337,6 +337,285 @@ fn drive_open_loop(
     Ok(report)
 }
 
+/// Parameters of one uniform open-loop capacity run
+/// ([`run_capacity_load`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityLoadSpec {
+    /// Concurrent client streams, all sending at the same mean rate.
+    pub streams: usize,
+    /// Key frames each stream sends.
+    pub key_frames_per_stream: usize,
+    /// Mean gap between a stream's sends. Actual gaps are jittered
+    /// uniformly in `[0.5, 1.5]` of this and phases are randomized, so
+    /// arrivals are bursty the way independent clients are — the regime
+    /// where a pooled worker set absorbs what a partitioned one queues.
+    pub send_interval: Duration,
+    /// Seed for frame content, phases and jitter (runs are deterministic
+    /// on the arrival side; service timing is real wall clock).
+    pub seed: u64,
+}
+
+impl CapacityLoadSpec {
+    /// Validate parameter consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.streams == 0 || self.key_frames_per_stream == 0 {
+            return Err(TensorError::InvalidArgument(
+                "capacity load needs at least one stream and one key frame".into(),
+            ));
+        }
+        if self.send_interval.is_zero() {
+            return Err(TensorError::InvalidArgument(
+                "capacity load needs a non-zero send interval".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a capacity run: the pooled round-trip sample across all
+/// streams plus the pool's own statistics.
+#[derive(Debug)]
+pub struct CapacityLoadOutcome {
+    /// Client-observed round trips (send → update) of every serviced key
+    /// frame across all streams, seconds.
+    pub round_trips: Vec<f64>,
+    /// `StudentUpdate`s received across all streams.
+    pub updates: usize,
+    /// `Throttle`s received across all streams.
+    pub throttled: usize,
+    /// `Dropped`s received across all streams.
+    pub dropped: usize,
+    /// Server-pool statistics.
+    pub pool: PoolStats,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_time: f64,
+}
+
+impl CapacityLoadOutcome {
+    /// The `p`-th percentile round trip in seconds.
+    pub fn percentile_round_trip(&self, p: f64) -> f64 {
+        percentile(&self.round_trips, p)
+    }
+
+    /// Mean server-side service time per key frame, from the pool's busy
+    /// accounting — what the analytic model should be fed.
+    pub fn mean_service_secs(&self) -> f64 {
+        let report = self.pool.snapshot();
+        let key_frames = report.total_key_frames.max(1);
+        let busy: f64 = report.shards.iter().map(|s| s.busy_secs).sum();
+        busy / key_frames as f64
+    }
+
+    /// The `p`-th percentile *queue wait*: round trip minus the mean
+    /// service time, floored at zero. Coarse (per-frame service varies a
+    /// little), but consistent across topologies.
+    pub fn percentile_queue_wait(&self, p: f64) -> f64 {
+        (self.percentile_round_trip(p) - self.mean_service_secs()).max(0.0)
+    }
+}
+
+/// One stream's client-side state inside the single-threaded capacity
+/// driver.
+struct OpenLoopStream {
+    client: StreamClient,
+    frames: Vec<Frame>,
+    cursor: usize,
+    next_send: Instant,
+    report: StreamLoadReport,
+    sent_at: HashMap<usize, Instant>,
+    outstanding: usize,
+    reshare_queue: Vec<usize>,
+}
+
+/// Deterministic xorshift64* generator for phases and jitter — keeps the
+/// arrival schedule reproducible without pulling a rand dependency into
+/// the core crate.
+struct JitterRng(u64);
+
+impl JitterRng {
+    fn new(seed: u64) -> Self {
+        JitterRng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Drive `spec.streams` uniform open-loop clients against the pool from
+/// **one** thread, multiplexing all endpoints — the client-side harness of
+/// the `table12_capacity` experiment, able to host hundreds of mostly-idle
+/// streams without an OS thread each (the thread-per-client
+/// [`run_skewed_load`] harness would hit thread limits first).
+///
+/// Every stream sends `key_frames_per_stream` key frames at jittered
+/// intervals around `send_interval`, with randomized phases. Round trips,
+/// throttle/drop counts and reshare recoveries are folded into one pooled
+/// sample across streams (the population is uniform, so per-stream
+/// attribution adds nothing).
+pub fn run_capacity_load<T, F>(
+    config: ShadowTutorConfig,
+    pool_config: PoolConfig,
+    student: StudentNet,
+    distill_step_latency: f64,
+    teacher_factory: F,
+    spec: CapacityLoadSpec,
+) -> Result<CapacityLoadOutcome>
+where
+    T: Teacher + Send + 'static,
+    F: FnMut(usize) -> T,
+{
+    spec.validate()?;
+    config.validate()?;
+    pool_config.validate()?;
+    let started = Instant::now();
+    let pool = ServerPool::spawn(
+        config,
+        pool_config,
+        student,
+        distill_step_latency,
+        teacher_factory,
+    )?;
+
+    let mut rng = JitterRng::new(spec.seed);
+    let interval = spec.send_interval.as_secs_f64();
+    let origin = Instant::now();
+    let mut streams: Vec<OpenLoopStream> = Vec::with_capacity(spec.streams);
+    for s in 0..spec.streams {
+        let frames = tiny_stream(
+            SCENES[s % SCENES.len()],
+            spec.seed + s as u64,
+            spec.key_frames_per_stream,
+        );
+        let client = pool.connect(s as u64, &frames)?;
+        // Random phase in [0, interval): without it all streams would fire
+        // in lockstep and the first tick would measure a thundering herd
+        // instead of steady-state queueing.
+        let phase = Duration::from_secs_f64(interval * rng.unit());
+        streams.push(OpenLoopStream {
+            client,
+            frames,
+            cursor: 0,
+            next_send: origin + phase,
+            report: StreamLoadReport {
+                stream_id: s as u64,
+                hot: false,
+                sent: 0,
+                updates: 0,
+                throttled: 0,
+                dropped: 0,
+                reshared: 0,
+                round_trips: Vec::with_capacity(spec.key_frames_per_stream),
+            },
+            sent_at: HashMap::with_capacity(spec.key_frames_per_stream),
+            outstanding: 0,
+            reshare_queue: Vec::new(),
+        });
+    }
+
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        let now = Instant::now();
+        let mut all_sent = true;
+        let mut any_outstanding = false;
+        for stream in streams.iter_mut() {
+            while stream.cursor < stream.frames.len() && now >= stream.next_send {
+                let frame = &stream.frames[stream.cursor];
+                let payload = Payload::sized(frame.raw_rgb_bytes());
+                let bytes = payload.bytes;
+                stream.sent_at.insert(frame.index, Instant::now());
+                stream
+                    .client
+                    .send(
+                        ClientToServer::KeyFrame {
+                            frame_index: frame.index,
+                            payload,
+                        },
+                        bytes,
+                    )
+                    .map_err(|e| {
+                        TensorError::InvalidArgument(format!("uplink send failed: {e:?}"))
+                    })?;
+                stream.report.sent += 1;
+                stream.outstanding += 1;
+                stream.cursor += 1;
+                // Jittered gap in [0.5, 1.5] of the mean interval.
+                let gap = interval * (0.5 + rng.unit());
+                stream.next_send += Duration::from_secs_f64(gap);
+            }
+            while let Ok(Some(message)) = stream.client.try_recv() {
+                absorb(
+                    message,
+                    &mut stream.sent_at,
+                    &mut stream.report,
+                    &mut stream.outstanding,
+                    &mut stream.reshare_queue,
+                );
+            }
+            if !stream.reshare_queue.is_empty() {
+                let by_index: HashMap<usize, &Frame> =
+                    stream.frames.iter().map(|f| (f.index, f)).collect();
+                answer_reshares(
+                    &mut stream.client,
+                    &by_index,
+                    &mut stream.reshare_queue,
+                    &mut stream.report,
+                )?;
+            }
+            if stream.cursor < stream.frames.len() {
+                all_sent = false;
+            }
+            if stream.outstanding > 0 {
+                any_outstanding = true;
+            }
+        }
+        if all_sent {
+            if !any_outstanding {
+                break;
+            }
+            // The pool answers every key frame; bound the tail drain anyway
+            // so a lost ack cannot hang the bench.
+            let deadline =
+                *drain_deadline.get_or_insert_with(|| Instant::now() + Duration::from_secs(30));
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_micros(500));
+    }
+
+    let mut outcome_round_trips = Vec::new();
+    let mut updates = 0;
+    let mut throttled = 0;
+    let mut dropped = 0;
+    for mut stream in streams {
+        stream.client.send(ClientToServer::Shutdown, 1).ok();
+        outcome_round_trips.extend(stream.report.round_trips.iter().copied());
+        updates += stream.report.updates;
+        throttled += stream.report.throttled;
+        dropped += stream.report.dropped;
+        // Dropping the client closes the stream's downlink registration.
+        drop(stream.client);
+    }
+
+    let pool_stats = pool.join()?;
+    let wall_time = started.elapsed().as_secs_f64();
+    Ok(CapacityLoadOutcome {
+        round_trips: outcome_round_trips,
+        updates,
+        throttled,
+        dropped,
+        pool: pool_stats,
+        wall_time,
+    })
+}
+
 /// Re-upload every frame the server asked back for.
 fn answer_reshares(
     client: &mut StreamClient,
@@ -420,6 +699,72 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn capacity_spec_validation_rejects_degenerate_loads() {
+        let good = CapacityLoadSpec {
+            streams: 4,
+            key_frames_per_stream: 2,
+            send_interval: Duration::from_millis(5),
+            seed: 3,
+        };
+        assert!(good.validate().is_ok());
+        assert!(CapacityLoadSpec { streams: 0, ..good }.validate().is_err());
+        assert!(CapacityLoadSpec {
+            key_frames_per_stream: 0,
+            ..good
+        }
+        .validate()
+        .is_err());
+        assert!(CapacityLoadSpec {
+            send_interval: Duration::ZERO,
+            ..good
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn capacity_load_multiplexes_many_streams_from_one_thread() {
+        use crate::serve::PoolConfig;
+        let student = StudentNet::new(StudentConfig::tiny()).unwrap();
+        // 12 streams on 12 shards hosted by 2 reactor workers, all driven
+        // by this one test thread.
+        let outcome = run_capacity_load(
+            ShadowTutorConfig {
+                max_updates: 1,
+                ..ShadowTutorConfig::paper()
+            },
+            PoolConfig {
+                shards: 12,
+                reactor_threads: Some(2),
+                max_in_flight: 64,
+                recv_timeout: Duration::from_millis(100),
+                ..PoolConfig::default_pool()
+            },
+            student,
+            0.001,
+            |shard| OracleTeacher::perfect(9000 + shard as u64),
+            CapacityLoadSpec {
+                streams: 12,
+                key_frames_per_stream: 3,
+                send_interval: Duration::from_millis(10),
+                seed: 42,
+            },
+        )
+        .unwrap();
+        // Every key frame was serviced with a measured round trip.
+        assert_eq!(outcome.updates, 36);
+        assert_eq!(outcome.round_trips.len(), 36);
+        assert_eq!(outcome.throttled, 0);
+        assert_eq!(outcome.dropped, 0);
+        assert!(outcome.round_trips.iter().all(|&rt| rt > 0.0));
+        assert!(outcome.mean_service_secs() > 0.0);
+        assert!(outcome.percentile_round_trip(99.0) >= outcome.percentile_round_trip(50.0));
+        let report = outcome.pool.snapshot();
+        assert_eq!(report.total_key_frames, 36);
+        assert!(report.poll_wakeups > 0, "reactor drivers were exercised");
     }
 
     #[test]

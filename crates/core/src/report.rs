@@ -248,6 +248,18 @@ pub struct ShardReport {
     pub streams_donated: usize,
     /// Uplink messages forwarded onward after their stream migrated.
     pub forwarded_messages: usize,
+    /// Handler events dispatched (uplink envelopes, migrations, timer
+    /// fires) — the event loop's measure of work.
+    pub events_dispatched: usize,
+    /// Timer-wheel fires dispatched to this shard (reactor driver only).
+    pub timer_fires: usize,
+    /// Readiness wakeups that dispatched a pass on this shard (reactor
+    /// driver only).
+    pub poll_wakeups: usize,
+    /// Peak idle-stream count: registered sessions with no queued key
+    /// frame. High values with low thread counts are the reactor working
+    /// as intended.
+    pub idle_streams: usize,
 }
 
 /// The serializable operator report condensed from a pool run
@@ -280,6 +292,14 @@ pub struct PoolReport {
     pub queue_p99_ms: f64,
     /// Measured wall-clock teacher seconds across the pool.
     pub teacher_wall_secs: f64,
+    /// Handler events dispatched across the pool.
+    pub events_dispatched: usize,
+    /// Timer-wheel fires across the pool (reactor driver only).
+    pub timer_fires: usize,
+    /// Readiness wakeups dispatched across the pool (reactor driver only).
+    pub poll_wakeups: usize,
+    /// Largest per-shard peak idle-stream count.
+    pub idle_streams: usize,
 }
 
 impl PoolReport {
@@ -305,7 +325,8 @@ impl PoolReport {
                  \"teacher_wall_secs\":{},\"throttled\":{},\"dropped\":{},\
                  \"frame_evictions\":{},\"need_frame_requests\":{},\"reshared_frames\":{},\
                  \"frame_bytes_peak\":{},\"streams_stolen_in\":{},\"streams_donated\":{},\
-                 \"forwarded_messages\":{}}}",
+                 \"forwarded_messages\":{},\"events_dispatched\":{},\"timer_fires\":{},\
+                 \"poll_wakeups\":{},\"idle_streams\":{}}}",
                 s.shard,
                 s.key_frames,
                 s.teacher_batches,
@@ -323,6 +344,10 @@ impl PoolReport {
                 s.streams_stolen_in,
                 s.streams_donated,
                 s.forwarded_messages,
+                s.events_dispatched,
+                s.timer_fires,
+                s.poll_wakeups,
+                s.idle_streams,
             );
         }
         let _ = write!(
@@ -330,7 +355,8 @@ impl PoolReport {
             "],\"totals\":{{\"key_frames\":{},\"streams_stolen\":{},\"frame_evictions\":{},\
              \"reshared_frames\":{},\"dropped_jobs\":{},\"throttled\":{},\
              \"frame_bytes_peak\":{},\"queue_p50_ms\":{},\"queue_p99_ms\":{},\
-             \"teacher_wall_secs\":{}}}}}",
+             \"teacher_wall_secs\":{},\"events_dispatched\":{},\"timer_fires\":{},\
+             \"poll_wakeups\":{},\"idle_streams\":{}}}}}",
             self.total_key_frames,
             self.streams_stolen,
             self.frame_evictions,
@@ -341,6 +367,10 @@ impl PoolReport {
             num(self.queue_p50_ms),
             num(self.queue_p99_ms),
             num(self.teacher_wall_secs),
+            self.events_dispatched,
+            self.timer_fires,
+            self.poll_wakeups,
+            self.idle_streams,
         );
         out
     }
@@ -517,6 +547,10 @@ mod tests {
             streams_stolen_in: 1,
             streams_donated: 0,
             forwarded_messages: 2,
+            events_dispatched: 25,
+            timer_fires: 3,
+            poll_wakeups: 12,
+            idle_streams: 7,
         };
         let report = PoolReport {
             shards: vec![shard.clone(), ShardReport { shard: 1, ..shard }],
@@ -530,10 +564,19 @@ mod tests {
             queue_p50_ms: 1.25,
             queue_p99_ms: f64::NAN,
             teacher_wall_secs: 0.5,
+            events_dispatched: 50,
+            timer_fires: 6,
+            poll_wakeups: 24,
+            idle_streams: 7,
         };
         let json = report.to_json();
         assert!(json.starts_with("{\"shards\":[{\"shard\":0,"));
         assert!(json.contains("\"streams_stolen_in\":1"));
+        // Reactor loop-health fields are visible to operators.
+        assert!(json.contains("\"events_dispatched\":50"));
+        assert!(json.contains("\"timer_fires\":6"));
+        assert!(json.contains("\"poll_wakeups\":24"));
+        assert!(json.contains("\"idle_streams\":7"));
         assert!(json.contains("\"totals\":{\"key_frames\":20,"));
         assert!(json.contains("\"frame_bytes_peak\":30720"));
         // Non-finite values render as null, not invalid JSON.

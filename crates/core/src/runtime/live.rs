@@ -12,11 +12,16 @@
 //!
 //! * [`run_live`] — one client thread against one dedicated server thread
 //!   over a [`st_net::transport::DuplexTransport`] pair (the paper's setup).
-//! * [`run_live_multi`] — M client threads against one sharded
+//! * [`run_live_multi`] — M client streams against one sharded
 //!   [`crate::serve::ServerPool`], each stream multiplexed onto its shard's
 //!   queue with stream-tagged messages. This is the server-contention
 //!   scenario the paper does not evaluate; the pool's queueing statistics
-//!   are compared against the analytic [`st_sim::ContentionModel`].
+//!   are compared against the analytic [`st_sim::ContentionModel`]. By
+//!   default all client state machines are driven by **one** thread
+//!   multiplexing their endpoints through a [`st_net::Poller`]
+//!   ([`ClientDriverMode::Multiplexed`]); the historical
+//!   one-OS-thread-per-client topology remains available via
+//!   [`run_live_multi_with`] for A/B comparison.
 //!
 //! Both topologies drive the *same* client state machine through the
 //! [`st_net::ClientEndpoint`] trait, so protocol behaviour cannot drift
@@ -101,73 +106,272 @@ struct ClientLoopOutput {
     final_student: WeightSnapshot,
 }
 
-/// Algorithm 4 driven over any [`ClientEndpoint`]: wait for the initial
-/// checkpoint, serve every frame, send key frames asynchronously, apply
-/// updates as they arrive (blocking only after `MIN_STRIDE` deferred
-/// frames), and finish with a `Shutdown`.
-fn drive_client<E: ClientEndpoint>(
-    config: ShadowTutorConfig,
-    frames: &[Frame],
-    mut client_student: StudentNet,
-    endpoint: &mut E,
-    label: &str,
-    variant_prefix: &str,
-) -> Result<ClientLoopOutput> {
-    client_student.freeze = config.mode.freeze_point();
-    let mut client = ClientState::new(config);
-    let mut frame_records = Vec::with_capacity(frames.len());
-    let mut key_records = Vec::new();
-    let mut uplink_bytes = 0usize;
-    let mut downlink_bytes = 0usize;
-    let mut frame_bytes = 0usize;
-    let mut update_bytes = 0usize;
-    let mut reference_teacher = OracleTeacher::perfect(12345);
-    let started = Instant::now();
+/// How long a client waits for the initial checkpoint, or for a forced
+/// update once the deferral budget is exhausted, before proceeding without
+/// the server.
+const CLIENT_WAIT_BUDGET: Duration = Duration::from_secs(30);
 
-    // Wait for the initial checkpoint.
-    match endpoint.recv_timeout(Duration::from_secs(30)) {
-        Ok(ServerToClient::InitialStudent { payload }) => {
-            if let Some(data) = payload.data {
-                let snapshot = WeightSnapshot::decode(&data, SnapshotScope::Full)?;
-                snapshot.apply(&mut client_student)?;
-            }
-        }
-        _ => {
-            // Server unavailable; serve with the local checkpoint.
+/// Cap on one multiplexed-poll sleep: even with no client deadline armed
+/// the driver loop re-inspects every client at least this often, so a lost
+/// wakeup degrades to latency rather than a hang.
+const MUX_IDLE_TICK: Duration = Duration::from_millis(50);
+
+/// What a [`ClientDriver::pump`] call left the client doing.
+enum PumpState {
+    /// The client completed a frame and can process the next one
+    /// immediately. `pump` yields between frames so a multiplexing loop can
+    /// interleave many clients fairly on one thread.
+    Runnable,
+    /// The client is blocked until a downlink message arrives or the given
+    /// deadline passes.
+    Waiting(Instant),
+    /// All frames served and `Shutdown` sent; call
+    /// [`ClientDriver::into_output`].
+    Finished,
+}
+
+/// Which blocking point the client is at between [`ClientDriver::pump`]
+/// calls.
+enum ClientPhase {
+    /// Waiting for the server's initial checkpoint (Algorithm 4, line 1).
+    AwaitInitial {
+        /// When to give up and serve with the local checkpoint.
+        deadline: Instant,
+    },
+    /// Ready to process the next frame.
+    Serving,
+    /// The deferral budget is exhausted: the current frame's bookkeeping
+    /// cannot complete until the in-flight update arrives (or the deadline
+    /// writes it off).
+    AwaitUpdate {
+        /// When to give up on the in-flight update.
+        deadline: Instant,
+    },
+    /// `Shutdown` sent; nothing left to do.
+    Finished,
+}
+
+/// Inference results of a frame whose update handling is still pending.
+struct PendingFrame {
+    index: usize,
+    is_key_frame: bool,
+    miou: f64,
+}
+
+/// Algorithm 4 as a *resumable* state machine over any [`ClientEndpoint`]:
+/// wait for the initial checkpoint, serve every frame, send key frames
+/// asynchronously, apply updates as they arrive (deferring at most
+/// `MIN_STRIDE` frames), and finish with a `Shutdown`.
+///
+/// Unlike a blocking loop, the driver never parks inside the endpoint:
+/// [`pump`](Self::pump) advances as far as it can without blocking and then
+/// reports what it is waiting for. A single-stream caller wraps it in a
+/// trivial block-on-`recv_timeout` loop ([`drive_client`]); the multi-stream
+/// runtime instead multiplexes many drivers through one [`st_net::Poller`]
+/// on one thread ([`ClientDriverMode::Multiplexed`]), mirroring how the
+/// reactor pool hosts many shards on a fixed worker set.
+struct ClientDriver<'a> {
+    config: ShadowTutorConfig,
+    frames: &'a [Frame],
+    label: &'a str,
+    variant_prefix: &'a str,
+    client_student: StudentNet,
+    client: ClientState,
+    frame_records: Vec<FrameRecord>,
+    key_records: Vec<KeyFrameRecord>,
+    uplink_bytes: usize,
+    downlink_bytes: usize,
+    frame_bytes: usize,
+    update_bytes: usize,
+    reference_teacher: OracleTeacher,
+    started: Instant,
+    pending_metric: Option<(usize, f64, usize)>,
+    pending_frame: Option<PendingFrame>,
+    /// One-message pushback buffer so a blocking wrapper can feed a message
+    /// obtained via `recv_timeout` back into the non-blocking pump.
+    stashed: Option<ServerToClient>,
+    /// Set once the endpoint reports its peer gone: every wait completes
+    /// immediately and the client serves local-only from then on.
+    disconnected: bool,
+    cursor: usize,
+    elapsed: f64,
+    phase: ClientPhase,
+}
+
+impl<'a> ClientDriver<'a> {
+    fn new(
+        config: ShadowTutorConfig,
+        frames: &'a [Frame],
+        mut client_student: StudentNet,
+        label: &'a str,
+        variant_prefix: &'a str,
+    ) -> Self {
+        client_student.freeze = config.mode.freeze_point();
+        ClientDriver {
+            config,
+            frames,
+            label,
+            variant_prefix,
+            client_student,
+            client: ClientState::new(config),
+            frame_records: Vec::with_capacity(frames.len()),
+            key_records: Vec::new(),
+            uplink_bytes: 0,
+            downlink_bytes: 0,
+            frame_bytes: 0,
+            update_bytes: 0,
+            reference_teacher: OracleTeacher::perfect(12345),
+            started: Instant::now(),
+            pending_metric: None,
+            pending_frame: None,
+            stashed: None,
+            disconnected: false,
+            cursor: 0,
+            elapsed: 0.0,
+            phase: ClientPhase::AwaitInitial {
+                deadline: Instant::now() + CLIENT_WAIT_BUDGET,
+            },
         }
     }
 
-    let mut pending_metric: Option<(usize, f64, usize)> = None;
-    for frame in frames {
-        frame_bytes = frame.raw_rgb_bytes();
-        let decision = client.begin_frame();
-        if decision.is_key_frame {
-            let payload = Payload::with_data(encode_frame(frame));
-            let bytes = payload.bytes;
-            uplink_bytes += bytes;
-            endpoint
-                .send(
-                    ClientToServer::KeyFrame {
-                        frame_index: frame.index,
-                        payload,
-                    },
-                    bytes,
-                )
-                .ok();
+    /// Hand the driver a message received outside of `pump` (blocking
+    /// wrapper); it is consumed before the endpoint is polled again.
+    fn stash(&mut self, message: ServerToClient) {
+        debug_assert!(self.stashed.is_none(), "stash overwrites pending message");
+        self.stashed = Some(message);
+    }
+
+    /// Note that the endpoint's peer is gone; all waits complete immediately.
+    fn note_disconnected(&mut self) {
+        self.disconnected = true;
+    }
+
+    /// Resolve the current wait without a message — the blocking wrapper's
+    /// `recv_timeout` expired. This preserves the original blocking-loop
+    /// semantics of "one receive attempt, then move on", even for scripted
+    /// endpoints whose `recv_timeout` does not honour wall-clock timeouts.
+    fn deadline_expired(&mut self) -> Result<()> {
+        match self.phase {
+            ClientPhase::AwaitInitial { .. } => {
+                // Server unavailable; serve with the local checkpoint.
+                self.phase = ClientPhase::Serving;
+                Ok(())
+            }
+            ClientPhase::AwaitUpdate { .. } => self.complete_frame(None, true),
+            _ => Ok(()),
         }
+    }
 
-        let prediction = client_student.predict(&frame.image)?;
-        let reference = reference_teacher.pseudo_label(frame)?;
-        let value = miou(&prediction, &reference, client_student.config.num_classes)?.value;
+    /// Next downlink message without blocking: the stash first, then the
+    /// endpoint. Transport errors latch `disconnected`.
+    fn next_message<E: ClientEndpoint>(&mut self, endpoint: &mut E) -> Option<ServerToClient> {
+        if let Some(message) = self.stashed.take() {
+            return Some(message);
+        }
+        match endpoint.try_recv() {
+            Ok(message) => message,
+            Err(st_net::TransportError::Disconnected) => {
+                self.disconnected = true;
+                None
+            }
+            Err(_) => None,
+        }
+    }
 
-        // Poll (or block, if the deferral budget is exhausted) for the update.
-        let mut waited = false;
-        let incoming = if decision.must_wait_for_update && client.update_outstanding() {
-            waited = true;
-            endpoint.recv_timeout(Duration::from_secs(30)).ok()
-        } else {
-            endpoint.try_recv().ok().flatten()
-        };
+    /// Advance as far as possible without blocking, yielding after each
+    /// completed frame.
+    fn pump<E: ClientEndpoint>(&mut self, endpoint: &mut E) -> Result<PumpState> {
+        loop {
+            match self.phase {
+                ClientPhase::AwaitInitial { deadline } => match self.next_message(endpoint) {
+                    Some(ServerToClient::InitialStudent { payload }) => {
+                        if let Some(data) = payload.data {
+                            let snapshot = WeightSnapshot::decode(&data, SnapshotScope::Full)?;
+                            snapshot.apply(&mut self.client_student)?;
+                        }
+                        self.phase = ClientPhase::Serving;
+                    }
+                    // Any other reply still proves the server is reachable;
+                    // serve with the local checkpoint rather than stalling.
+                    Some(_) => self.phase = ClientPhase::Serving,
+                    None if self.disconnected || Instant::now() >= deadline => {
+                        self.phase = ClientPhase::Serving;
+                    }
+                    None => return Ok(PumpState::Waiting(deadline)),
+                },
+                ClientPhase::Serving => {
+                    if self.cursor >= self.frames.len() {
+                        endpoint.send(ClientToServer::Shutdown, 1).ok();
+                        self.elapsed = self.started.elapsed().as_secs_f64();
+                        self.phase = ClientPhase::Finished;
+                        return Ok(PumpState::Finished);
+                    }
+                    let frame = &self.frames[self.cursor];
+                    self.frame_bytes = frame.raw_rgb_bytes();
+                    let decision = self.client.begin_frame();
+                    if decision.is_key_frame {
+                        let payload = Payload::with_data(encode_frame(frame));
+                        let bytes = payload.bytes;
+                        self.uplink_bytes += bytes;
+                        if endpoint
+                            .send(
+                                ClientToServer::KeyFrame {
+                                    frame_index: frame.index,
+                                    payload,
+                                },
+                                bytes,
+                            )
+                            .is_err()
+                        {
+                            self.disconnected = true;
+                        }
+                    }
+
+                    let prediction = self.client_student.predict(&frame.image)?;
+                    let reference = self.reference_teacher.pseudo_label(frame)?;
+                    let value = miou(
+                        &prediction,
+                        &reference,
+                        self.client_student.config.num_classes,
+                    )?
+                    .value;
+                    self.pending_frame = Some(PendingFrame {
+                        index: frame.index,
+                        is_key_frame: decision.is_key_frame,
+                        miou: value,
+                    });
+
+                    // Poll (or wait, if the deferral budget is exhausted) for
+                    // the update.
+                    if decision.must_wait_for_update && self.client.update_outstanding() {
+                        self.phase = ClientPhase::AwaitUpdate {
+                            deadline: Instant::now() + CLIENT_WAIT_BUDGET,
+                        };
+                    } else {
+                        let incoming = self.next_message(endpoint);
+                        self.complete_frame(incoming, false)?;
+                        return Ok(PumpState::Runnable);
+                    }
+                }
+                ClientPhase::AwaitUpdate { deadline } => match self.next_message(endpoint) {
+                    Some(message) => {
+                        self.complete_frame(Some(message), true)?;
+                        return Ok(PumpState::Runnable);
+                    }
+                    None if self.disconnected || Instant::now() >= deadline => {
+                        self.complete_frame(None, true)?;
+                        return Ok(PumpState::Runnable);
+                    }
+                    None => return Ok(PumpState::Waiting(deadline)),
+                },
+                ClientPhase::Finished => return Ok(PumpState::Finished),
+            }
+        }
+    }
+
+    /// Finish the in-flight frame: handle `incoming`, apply a deferred
+    /// post-training metric, and record the frame.
+    fn complete_frame(&mut self, incoming: Option<ServerToClient>, waited: bool) -> Result<()> {
         match incoming {
             Some(ServerToClient::StudentUpdate {
                 frame_index,
@@ -176,65 +380,99 @@ fn drive_client<E: ClientEndpoint>(
                 payload,
             }) => {
                 if let Some(data) = payload.data {
-                    downlink_bytes += data.len();
-                    update_bytes = data.len();
+                    self.downlink_bytes += data.len();
+                    self.update_bytes = data.len();
                     let snapshot = WeightSnapshot::decode(&data, SnapshotScope::TrainableOnly)?;
-                    snapshot.apply(&mut client_student)?;
+                    snapshot.apply(&mut self.client_student)?;
                 }
-                pending_metric = Some((frame_index, metric, distill_steps));
+                self.pending_metric = Some((frame_index, metric, distill_steps));
             }
-            // Admission control (or a protocol mismatch) rejected the key
-            // frame: no update will come, so fall back to local-only
-            // inference — the student simply keeps serving with its current
-            // weights, exactly what partial distillation already tolerates
-            // between updates — and stop waiting for this exchange.
-            Some(ServerToClient::Throttle { .. }) | Some(ServerToClient::Dropped { .. }) => {
-                client.abandon_update();
-            }
+            // Admission control rejected the key frame: no update will come,
+            // so the student keeps serving with its current weights — exactly
+            // what partial distillation already tolerates between updates. A
+            // `Throttle` is an explicit back-pressure signal, so it also
+            // stretches the key-frame stride (client-side pacing) instead of
+            // re-offering key frames at the rejected rate; a `Dropped` frame
+            // keeps the current schedule.
+            Some(ServerToClient::Throttle { .. }) => self.client.throttled_update(),
+            Some(ServerToClient::Dropped { .. }) => self.client.abandon_update(),
             _ => {}
         }
-        if let Some((frame_index, metric, steps)) = pending_metric.take() {
-            if client.update_outstanding() {
-                client.apply_update(metric);
-                key_records.push(KeyFrameRecord {
+        if let Some((frame_index, metric, steps)) = self.pending_metric.take() {
+            if self.client.update_outstanding() {
+                self.client.apply_update(metric);
+                self.key_records.push(KeyFrameRecord {
                     frame_index,
                     steps,
                     initial_metric: 0.0,
                     metric,
-                    stride_after: client.stride(),
+                    stride_after: self.client.stride(),
                 });
             }
         }
-
-        frame_records.push(FrameRecord {
-            index: frame.index,
-            is_key_frame: decision.is_key_frame,
-            miou: value,
+        let pending = self.pending_frame.take().expect("a frame is in flight");
+        self.frame_records.push(FrameRecord {
+            index: pending.index,
+            is_key_frame: pending.is_key_frame,
+            miou: pending.miou,
             waited,
         });
+        self.cursor += 1;
+        self.phase = ClientPhase::Serving;
+        Ok(())
     }
-    endpoint.send(ClientToServer::Shutdown, 1).ok();
-    let elapsed = started.elapsed().as_secs_f64();
 
-    let final_student = WeightSnapshot::capture(&mut client_student, SnapshotScope::Full);
-    let record = ExperimentRecord {
-        label: label.to_string(),
-        variant: format!("{variant_prefix}-{}", config.mode.label()),
-        frames: frame_records.len(),
-        frame_records,
-        key_frames: key_records,
-        frame_bytes,
-        update_bytes,
-        uplink_bytes,
-        downlink_bytes,
-        total_time: elapsed,
-        config,
-        latency: LatencyProfile::paper(),
-    };
-    Ok(ClientLoopOutput {
-        record,
-        final_student,
-    })
+    /// Consume the driver into the stream's record and final checkpoint.
+    fn into_output(mut self) -> ClientLoopOutput {
+        let final_student = WeightSnapshot::capture(&mut self.client_student, SnapshotScope::Full);
+        let record = ExperimentRecord {
+            label: self.label.to_string(),
+            variant: format!("{}-{}", self.variant_prefix, self.config.mode.label()),
+            frames: self.frame_records.len(),
+            frame_records: self.frame_records,
+            key_frames: self.key_records,
+            frame_bytes: self.frame_bytes,
+            update_bytes: self.update_bytes,
+            uplink_bytes: self.uplink_bytes,
+            downlink_bytes: self.downlink_bytes,
+            total_time: self.elapsed,
+            config: self.config,
+            latency: LatencyProfile::paper(),
+        };
+        ClientLoopOutput {
+            record,
+            final_student,
+        }
+    }
+}
+
+/// Algorithm 4 driven to completion over one [`ClientEndpoint`], blocking in
+/// `recv_timeout` whenever the state machine waits. This is the
+/// thread-per-client pump; [`run_live`] and
+/// [`ClientDriverMode::ThreadPerClient`] use it directly.
+fn drive_client<E: ClientEndpoint>(
+    config: ShadowTutorConfig,
+    frames: &[Frame],
+    client_student: StudentNet,
+    endpoint: &mut E,
+    label: &str,
+    variant_prefix: &str,
+) -> Result<ClientLoopOutput> {
+    let mut driver = ClientDriver::new(config, frames, client_student, label, variant_prefix);
+    loop {
+        match driver.pump(endpoint)? {
+            PumpState::Runnable => {}
+            PumpState::Finished => return Ok(driver.into_output()),
+            PumpState::Waiting(deadline) => {
+                let timeout = deadline.saturating_duration_since(Instant::now());
+                match endpoint.recv_timeout(timeout) {
+                    Ok(message) => driver.stash(message),
+                    Err(st_net::TransportError::Disconnected) => driver.note_disconnected(),
+                    Err(st_net::TransportError::Timeout) => driver.deadline_expired()?,
+                }
+            }
+        }
+    }
 }
 
 /// Run ShadowTutor with a real client thread and a real server thread over
@@ -374,6 +612,46 @@ where
     T: Teacher + Send + 'static,
     F: FnMut(usize) -> T,
 {
+    run_live_multi_with(
+        config,
+        streams,
+        student,
+        pool_config,
+        teacher_factory,
+        ClientDriverMode::default(),
+    )
+}
+
+/// How [`run_live_multi`] hosts its client loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClientDriverMode {
+    /// One driver thread multiplexes every client endpoint through a single
+    /// [`st_net::Poller`]: each client is pumped when its downlink has
+    /// traffic or its wait deadline expires. Client count is decoupled from
+    /// thread count (the client-side mirror of the pool's reactor mode), and
+    /// the first client error aborts the whole run eagerly instead of
+    /// surfacing only after every other stream has finished.
+    #[default]
+    Multiplexed,
+    /// One OS thread per client, each blocking in `recv_timeout` on its own
+    /// endpoint — the pre-reactor behaviour, kept for A/B comparison.
+    ThreadPerClient,
+}
+
+/// [`run_live_multi`] with an explicit [`ClientDriverMode`], for comparing
+/// the multiplexed driver against thread-per-client on the same workload.
+pub fn run_live_multi_with<T, F>(
+    config: ShadowTutorConfig,
+    streams: Vec<StreamSpec>,
+    student: StudentNet,
+    pool_config: PoolConfig,
+    teacher_factory: F,
+    mode: ClientDriverMode,
+) -> Result<MultiLiveOutcome>
+where
+    T: Teacher + Send + 'static,
+    F: FnMut(usize) -> T,
+{
     config.validate()?;
     pool_config.validate()?;
     // Duplicate ids would silently replace each other's pool registration
@@ -401,10 +679,158 @@ where
         teacher_factory,
     )?;
 
-    // Connect every stream up front, then drive each client on its own
-    // thread. The scope borrows the specs and the shared checkpoint.
+    // Both drivers drop every endpoint before returning, so the pool sees
+    // all streams disconnect and `join` can complete.
+    let outputs = match mode {
+        ClientDriverMode::Multiplexed => drive_multiplexed(config, &streams, &student, &pool),
+        ClientDriverMode::ThreadPerClient => {
+            drive_thread_per_client(config, &streams, &student, &pool)
+        }
+    };
+    // Join the pool even when the client side failed (its workers own the
+    // teachers, and an abandoned pool would leak threads). A worker error
+    // usually *explains* a client-side failure, so it takes precedence.
+    let (pool_stats, outputs) = match (pool.join(), outputs) {
+        (Err(worker_error), _) => return Err(worker_error),
+        (Ok(_), Err(client_error)) => return Err(client_error),
+        (Ok(stats), Ok(outputs)) => (stats, outputs),
+    };
+    let wall_time = started.elapsed().as_secs_f64();
+
+    let mut per_stream = Vec::with_capacity(outputs.len());
+    for (spec, output) in streams.iter().zip(outputs) {
+        let server = pool_stats
+            .streams
+            .get(&spec.stream_id)
+            .copied()
+            .unwrap_or_default();
+        per_stream.push(LiveRunOutcome {
+            record: output.record,
+            server_key_frames: server.key_frames,
+            server_distill_steps: server.distill_steps,
+            final_student: output.final_student,
+        });
+    }
+    Ok(MultiLiveOutcome {
+        streams: per_stream,
+        pool: pool_stats,
+        wall_time,
+    })
+}
+
+/// Drive every client state machine from the calling thread, multiplexed
+/// over one [`st_net::Poller`]. Poll token `i` maps to `streams[i]`: a
+/// downlink delivery for a stream wakes its token, and expired wait
+/// deadlines make a client runnable again without a wakeup. Clients are
+/// pumped one frame at a time round-robin, so a long stream cannot starve
+/// the others.
+///
+/// The first client error aborts the run eagerly: every endpoint is dropped
+/// on the way out (satellite of the reactor refactor — the old
+/// thread-per-client scope only surfaced failures after all other client
+/// threads had run to completion).
+fn drive_multiplexed(
+    config: ShadowTutorConfig,
+    streams: &[StreamSpec],
+    student: &StudentNet,
+    pool: &ServerPool,
+) -> Result<Vec<ClientLoopOutput>> {
+    let poller = st_net::Poller::new();
     let mut endpoints = Vec::with_capacity(streams.len());
-    for spec in &streams {
+    for (token, spec) in streams.iter().enumerate() {
+        endpoints.push(pool.connect_with_waker(
+            spec.stream_id,
+            &spec.frames,
+            Some(poller.waker(token)),
+        )?);
+    }
+    let mut drivers: Vec<Option<ClientDriver<'_>>> = streams
+        .iter()
+        .map(|spec| {
+            Some(ClientDriver::new(
+                config,
+                &spec.frames,
+                student.clone(),
+                &spec.label,
+                "live-multi",
+            ))
+        })
+        .collect();
+    let mut outputs: Vec<Option<ClientLoopOutput>> = streams.iter().map(|_| None).collect();
+    let mut deadlines: Vec<Option<Instant>> = vec![None; streams.len()];
+    let mut runnable = vec![true; streams.len()];
+    let mut live = streams.len();
+
+    while live > 0 {
+        // Pump every runnable client one frame per round until all of them
+        // are waiting or finished.
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for token in 0..streams.len() {
+                if !std::mem::take(&mut runnable[token]) {
+                    continue;
+                }
+                let Some(driver) = drivers[token].as_mut() else {
+                    continue;
+                };
+                match driver.pump(&mut endpoints[token])? {
+                    PumpState::Runnable => {
+                        runnable[token] = true;
+                        progressed = true;
+                    }
+                    PumpState::Waiting(deadline) => deadlines[token] = Some(deadline),
+                    PumpState::Finished => {
+                        let driver = drivers[token].take().expect("driver present");
+                        outputs[token] = Some(driver.into_output());
+                        deadlines[token] = None;
+                        live -= 1;
+                    }
+                }
+            }
+        }
+        if live == 0 {
+            break;
+        }
+        // Sleep until the nearest client deadline (capped so a lost wakeup
+        // cannot stall the loop); any downlink delivery ends the sleep early
+        // and marks its client runnable. Wakeups may race a message the pump
+        // already consumed — a spurious pump is harmless.
+        let now = Instant::now();
+        let mut timeout = MUX_IDLE_TICK;
+        for deadline in deadlines.iter().flatten() {
+            timeout = timeout.min(deadline.saturating_duration_since(now));
+        }
+        for &token in poller.poll(timeout).tokens() {
+            if drivers[token].is_some() {
+                runnable[token] = true;
+            }
+        }
+        let now = Instant::now();
+        for token in 0..streams.len() {
+            if deadlines[token].is_some_and(|deadline| now >= deadline) && drivers[token].is_some()
+            {
+                runnable[token] = true;
+            }
+        }
+    }
+    Ok(outputs
+        .into_iter()
+        .map(|output| output.expect("every client finished"))
+        .collect())
+}
+
+/// Drive each client on its own OS thread (the pre-reactor topology). Errors
+/// surface only after every client thread has joined; kept as the A/B
+/// baseline for [`ClientDriverMode::Multiplexed`].
+fn drive_thread_per_client(
+    config: ShadowTutorConfig,
+    streams: &[StreamSpec],
+    student: &StudentNet,
+    pool: &ServerPool,
+) -> Result<Vec<ClientLoopOutput>> {
+    let mut endpoints = Vec::with_capacity(streams.len());
+    for spec in streams {
         endpoints.push(pool.connect(spec.stream_id, &spec.frames)?);
     }
     let mut outputs: Vec<Result<ClientLoopOutput>> = Vec::with_capacity(streams.len());
@@ -433,30 +859,7 @@ where
             }));
         }
     });
-
-    let pool_stats = pool.join()?;
-    let wall_time = started.elapsed().as_secs_f64();
-
-    let mut per_stream = Vec::with_capacity(outputs.len());
-    for (spec, output) in streams.iter().zip(outputs) {
-        let output = output?;
-        let server = pool_stats
-            .streams
-            .get(&spec.stream_id)
-            .copied()
-            .unwrap_or_default();
-        per_stream.push(LiveRunOutcome {
-            record: output.record,
-            server_key_frames: server.key_frames,
-            server_distill_steps: server.distill_steps,
-            final_student: output.final_student,
-        });
-    }
-    Ok(MultiLiveOutcome {
-        streams: per_stream,
-        pool: pool_stats,
-        wall_time,
-    })
+    outputs.into_iter().collect()
 }
 
 /// Encode a frame's pixels into bytes (8-bit RGB) for transport sizing.
@@ -559,13 +962,121 @@ mod tests {
             .frame_records
             .iter()
             .all(|f| (0.0..=1.0).contains(&f.miou)));
-        // No update was ever applied, so the stride stayed at MIN_STRIDE and
-        // a key frame went out every 8 frames — each answered by a throttle.
+        // No update was ever applied, but each throttle stretched the stride
+        // (8 -> 16 -> 32), so only the key frames at 0 and 16 went out — the
+        // third would land at frame 48, past the end of the stream. The old
+        // behaviour (re-offering every MIN_STRIDE frames) would have sent 5.
         assert_eq!(output.record.key_frames.len(), 0);
-        assert_eq!(endpoint.key_frames_seen, 5);
+        assert_eq!(endpoint.key_frames_seen, 2);
         assert_eq!(endpoint.shutdowns_seen, 1);
         // The throttle cleared the outstanding update each time, so the
         // deferral deadline never forced a blocking wait.
+        assert!(output.record.frame_records.iter().all(|f| !f.waited));
+    }
+
+    /// A scripted server half that throttles the first `throttles_left` key
+    /// frames and then answers the rest with real (weightless) updates.
+    struct RecoveringEndpoint {
+        queue: std::collections::VecDeque<ServerToClient>,
+        throttles_left: usize,
+        key_frames_seen: usize,
+        updates_sent: usize,
+    }
+
+    impl RecoveringEndpoint {
+        fn new(throttles: usize) -> Self {
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(ServerToClient::InitialStudent {
+                payload: Payload::sized(0),
+            });
+            RecoveringEndpoint {
+                queue,
+                throttles_left: throttles,
+                key_frames_seen: 0,
+                updates_sent: 0,
+            }
+        }
+    }
+
+    impl ClientEndpoint for RecoveringEndpoint {
+        fn send(
+            &mut self,
+            message: ClientToServer,
+            _bytes: usize,
+        ) -> std::result::Result<(), st_net::TransportError> {
+            match message {
+                ClientToServer::KeyFrame { frame_index, .. } => {
+                    self.key_frames_seen += 1;
+                    if self.throttles_left > 0 {
+                        self.throttles_left -= 1;
+                        self.queue
+                            .push_back(ServerToClient::Throttle { frame_index });
+                    } else {
+                        self.updates_sent += 1;
+                        self.queue.push_back(ServerToClient::StudentUpdate {
+                            frame_index,
+                            // Ratio 0.5 under Algorithm 2: each applied
+                            // update halves the stride (floored at
+                            // MIN_STRIDE).
+                            metric: 0.4,
+                            distill_steps: 1,
+                            payload: Payload::sized(0),
+                        });
+                    }
+                }
+                ClientToServer::Shutdown => {}
+                ClientToServer::Register | ClientToServer::ReShare { .. } => {}
+            }
+            Ok(())
+        }
+
+        fn try_recv(
+            &mut self,
+        ) -> std::result::Result<Option<ServerToClient>, st_net::TransportError> {
+            Ok(self.queue.pop_front())
+        }
+
+        fn recv_timeout(
+            &mut self,
+            _timeout: Duration,
+        ) -> std::result::Result<ServerToClient, st_net::TransportError> {
+            self.queue
+                .pop_front()
+                .ok_or(st_net::TransportError::Timeout)
+        }
+    }
+
+    #[test]
+    fn throttled_stream_recovers_without_drops_once_admission_reopens() {
+        let frames = frames_for(SceneKind::People, 6, 100);
+        let student = StudentNet::new(StudentConfig::tiny()).unwrap();
+        let mut endpoint = RecoveringEndpoint::new(2);
+        let output = drive_client(
+            ShadowTutorConfig::paper(),
+            &frames,
+            student,
+            &mut endpoint,
+            "recovering",
+            "live",
+        )
+        .unwrap();
+        // Back-off under throttles: keys at 0 (stride 8 -> 16) and 16
+        // (16 -> 32); the server accepts again at 48 and the poor metric
+        // walks the stride back down (32 -> 16 -> 8), so key frames resume
+        // at 48, 64, 72, 80, 88, 96.
+        assert_eq!(output.record.frames, 100);
+        assert_eq!(endpoint.key_frames_seen, 8);
+        assert_eq!(endpoint.updates_sent, 6);
+        // Every accepted key frame produced an applied update — nothing was
+        // dropped or abandoned once admission reopened.
+        assert_eq!(output.record.key_frames.len(), 6);
+        assert_eq!(
+            output.record.key_frames.first().unwrap().frame_index,
+            frames[48].index
+        );
+        // The stride recovered from the 32-frame back-off to MIN_STRIDE.
+        assert_eq!(output.record.key_frames.last().unwrap().stride_after, 8);
+        // Pacing, not blocking: no frame ever waited on a throttled update.
         assert!(output.record.frame_records.iter().all(|f| !f.waited));
     }
 
@@ -652,5 +1163,93 @@ mod tests {
         );
         assert_eq!(outcome.pool.final_checkpoints.len(), 2);
         assert!(outcome.wall_time > 0.0);
+    }
+
+    /// The multiplexed driver and the thread-per-client driver run the same
+    /// protocol: same workload, same per-stream frame counts, same pool
+    /// accounting invariants. (Key-frame schedules may differ between runs —
+    /// update arrival timing feeds the stride — so only timing-independent
+    /// facts are compared.)
+    #[test]
+    fn multiplexed_and_thread_per_client_drivers_agree() {
+        let run = |mode: ClientDriverMode| {
+            let student = StudentNet::new(StudentConfig::tiny()).unwrap();
+            let streams = vec![
+                StreamSpec {
+                    stream_id: 0,
+                    label: "people".into(),
+                    frames: frames_for(SceneKind::People, 3, 16),
+                },
+                StreamSpec {
+                    stream_id: 1,
+                    label: "animals".into(),
+                    frames: frames_for(SceneKind::Animals, 4, 16),
+                },
+            ];
+            run_live_multi_with(
+                ShadowTutorConfig::paper(),
+                streams,
+                student,
+                PoolConfig::with_shards(2),
+                |shard| OracleTeacher::perfect(10 + shard as u64),
+                mode,
+            )
+            .unwrap()
+        };
+        let multiplexed = run(ClientDriverMode::Multiplexed);
+        let threaded = run(ClientDriverMode::ThreadPerClient);
+        for (a, b) in multiplexed.streams.iter().zip(&threaded.streams) {
+            assert_eq!(a.record.frames, b.record.frames);
+            assert_eq!(a.record.label, b.record.label);
+            assert_eq!(a.record.variant, b.record.variant);
+            assert!(a.record.frame_records[0].is_key_frame);
+            assert!(b.record.frame_records[0].is_key_frame);
+            assert!(a.server_key_frames >= 1);
+        }
+        for outcome in [&multiplexed, &threaded] {
+            assert_eq!(
+                outcome.pool.total_key_frames(),
+                outcome
+                    .streams
+                    .iter()
+                    .map(|s| s.server_key_frames)
+                    .sum::<usize>()
+            );
+            assert_eq!(outcome.pool.final_checkpoints.len(), 2);
+        }
+    }
+
+    /// End-to-end fixed-thread topology: a reactor pool (2 workers hosting
+    /// 4 shards) under a single multiplexed client driver — 3 OS threads in
+    /// total serving 4 streams.
+    #[test]
+    fn reactor_pool_with_multiplexed_clients_completes() {
+        let student = StudentNet::new(StudentConfig::tiny()).unwrap();
+        let streams: Vec<StreamSpec> = (0..4)
+            .map(|id| StreamSpec {
+                stream_id: id as u64,
+                label: format!("stream-{id}"),
+                frames: frames_for(SceneKind::Street, 20 + id as u64, 12),
+            })
+            .collect();
+        let mut pool_config = PoolConfig::with_shards(4);
+        pool_config.reactor_threads = Some(2);
+        let outcome = run_live_multi(
+            ShadowTutorConfig::paper(),
+            streams,
+            student,
+            pool_config,
+            |shard| OracleTeacher::perfect(30 + shard as u64),
+        )
+        .unwrap();
+        assert_eq!(outcome.streams.len(), 4);
+        for stream in &outcome.streams {
+            assert_eq!(stream.record.frames, 12);
+            assert!(stream.record.frame_records[0].is_key_frame);
+            assert!(stream.server_key_frames >= 1);
+        }
+        let report = outcome.pool.snapshot();
+        assert!(report.poll_wakeups > 0);
+        assert!(report.events_dispatched > 0);
     }
 }

@@ -72,6 +72,7 @@
 use crate::config::{PlacementPolicy, ShadowTutorConfig};
 pub use crate::server::StreamServerStats;
 use crate::server::{DistillSession, KeyFrameResponse};
+use crate::timer::TimerWheel;
 use crate::Result;
 use st_net::message::MESSAGE_OVERHEAD_BYTES;
 use st_net::transport::ClientEndpoint;
@@ -84,7 +85,7 @@ use st_teacher::Teacher;
 use st_tensor::TensorError;
 use st_video::Frame;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -130,6 +131,16 @@ pub struct PoolConfig {
     /// arrivals should serve them itself; only a genuinely idle shard
     /// should pull another shard's streams over.
     pub steal_patience: Duration,
+    /// Run the pool as an event-driven **reactor**: `Some(n)` hosts all
+    /// `shards` shard state machines on a fixed set of `n` worker threads
+    /// driven by readiness wakeups ([`st_net::Poller`]) and a hierarchical
+    /// timer wheel ([`crate::timer::TimerWheel`]), decoupling shard count
+    /// from thread count — `shards: 64` with `reactor_threads: Some(4)` is a
+    /// valid configuration. `None` (the default) keeps the classic
+    /// one-OS-thread-per-shard blocking loop. Both drivers run the *same*
+    /// shard state machine, so serving behaviour is identical; what changes
+    /// is how many mostly-idle streams one process can host.
+    pub reactor_threads: Option<usize>,
 }
 
 impl PoolConfig {
@@ -147,6 +158,7 @@ impl PoolConfig {
             frame_budget_bytes: None,
             steal_poll: Duration::from_millis(5),
             steal_patience: Duration::from_millis(25),
+            reactor_threads: None,
         }
     }
 
@@ -154,6 +166,19 @@ impl PoolConfig {
     pub fn with_shards(shards: usize) -> Self {
         PoolConfig {
             shards,
+            ..Self::default_pool()
+        }
+    }
+
+    /// A reactor pool: `shards` shard state machines hosted on one worker
+    /// thread per available CPU (the many-mostly-idle-streams configuration).
+    pub fn reactor(shards: usize) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        PoolConfig {
+            shards,
+            reactor_threads: Some(threads),
             ..Self::default_pool()
         }
     }
@@ -189,6 +214,11 @@ impl PoolConfig {
         if self.steal_poll.is_zero() {
             return Err(TensorError::InvalidArgument(
                 "steal_poll must be positive".into(),
+            ));
+        }
+        if self.reactor_threads == Some(0) {
+            return Err(TensorError::InvalidArgument(
+                "reactor_threads must be at least 1 (use None for thread-per-shard)".into(),
             ));
         }
         Ok(())
@@ -275,6 +305,22 @@ pub struct ShardStats {
     /// Uplink messages that arrived here for a stream that had already
     /// migrated and were forwarded to the stream's current shard.
     pub forwarded_messages: usize,
+    /// Handler events dispatched on this shard: uplink envelopes, adopted
+    /// migrations and timer fires. The reactor's measure of loop work (the
+    /// legacy driver counts envelopes and migrations the same way, so the
+    /// two modes are comparable).
+    pub events_dispatched: usize,
+    /// Timer-wheel fires dispatched to this shard (reactor only: steal
+    /// ticks and NeedFrame retries; 0 under the thread-per-shard driver).
+    pub timer_fires: usize,
+    /// Readiness wakeups that dispatched a pass on this shard (reactor
+    /// only; 0 under the thread-per-shard driver, which blocks in
+    /// `recv_timeout` instead).
+    pub poll_wakeups: usize,
+    /// Peak count of *idle* streams — registered sessions with no queued
+    /// key frame — observed on this shard. The reactor's reason to exist:
+    /// this many streams were being hosted without deserving a thread.
+    pub idle_streams: usize,
 }
 
 impl ShardStats {
@@ -458,6 +504,10 @@ impl PoolStats {
                     streams_stolen_in: s.streams_stolen_in,
                     streams_donated: s.streams_donated,
                     forwarded_messages: s.forwarded_messages,
+                    events_dispatched: s.events_dispatched,
+                    timer_fires: s.timer_fires,
+                    poll_wakeups: s.poll_wakeups,
+                    idle_streams: s.idle_streams,
                 }
             })
             .collect();
@@ -473,6 +523,15 @@ impl PoolStats {
             queue_p50_ms: 1e3 * self.percentile_queue_wait_secs(50.0),
             queue_p99_ms: 1e3 * self.percentile_queue_wait_secs(99.0),
             teacher_wall_secs: self.teacher_wall_time().as_secs_f64(),
+            events_dispatched: self.shards.iter().map(|s| s.events_dispatched).sum(),
+            timer_fires: self.shards.iter().map(|s| s.timer_fires).sum(),
+            poll_wakeups: self.shards.iter().map(|s| s.poll_wakeups).sum(),
+            idle_streams: self
+                .shards
+                .iter()
+                .map(|s| s.idle_streams)
+                .max()
+                .unwrap_or(0),
         }
     }
 }
@@ -1263,8 +1322,28 @@ struct Envelope {
     frame: Option<Frame>,
 }
 
-/// The sending half of one stream's downlink (wire size + message).
-type Downlink = crossbeam::channel::Sender<(usize, ServerToClient)>;
+/// The sending half of one stream's downlink (wire size + message), with an
+/// optional readiness waker: a client connected through
+/// [`ServerPool::connect_with_waker`] is woken after every downlink send, so
+/// a single driver loop can multiplex many clients through one
+/// [`st_net::Poller`] instead of blocking per stream.
+#[derive(Clone)]
+struct Downlink {
+    tx: crossbeam::channel::Sender<(usize, ServerToClient)>,
+    waker: Option<st_net::Waker>,
+}
+
+impl Downlink {
+    fn send(&self, bytes: usize, message: ServerToClient) -> bool {
+        let delivered = self.tx.send((bytes, message)).is_ok();
+        if delivered {
+            if let Some(waker) = &self.waker {
+                waker.wake();
+            }
+        }
+        delivered
+    }
+}
 
 /// Per-stream connection state the worker looks up when a `Register`
 /// message arrives: the downlink back to the client and the pre-shared
@@ -1364,8 +1443,12 @@ const STEAL_STICKY: Duration = Duration::from_millis(100);
 /// session, say) while some other shard's backlog deepens.
 const STEAL_RETARGET: Duration = Duration::from_millis(100);
 
-/// What one worker thread hands back when the pool joins.
+/// What one shard state machine hands back when it finishes. Tagged with
+/// the shard index because under the reactor driver one OS thread finalizes
+/// whichever shards it happens to dispatch last — collection order is not
+/// shard order.
 struct ShardOutput {
+    shard: usize,
     stats: ShardStats,
     streams: HashMap<StreamId, StreamServerStats>,
     final_checkpoints: HashMap<StreamId, WeightSnapshot>,
@@ -1385,6 +1468,11 @@ pub struct StreamClient {
     /// migrations store the new shard here).
     route: Route,
     downlink: crossbeam::channel::Receiver<(usize, ServerToClient)>,
+    /// Reactor pools: per-shard wakers, indexed like `uplinks`. Every
+    /// uplink send wakes the owning shard's token so a reactor worker
+    /// dispatches it; `None` under the thread-per-shard driver, whose
+    /// workers block in `recv_timeout` instead.
+    shard_wakers: Option<Arc<Vec<st_net::Waker>>>,
 }
 
 impl StreamClient {
@@ -1424,7 +1512,11 @@ impl StreamClient {
                 enqueued_at: Instant::now(),
                 frame,
             })
-            .map_err(|_| TransportError::Disconnected)
+            .map_err(|_| TransportError::Disconnected)?;
+        if let Some(wakers) = &self.shard_wakers {
+            wakers[shard].wake();
+        }
+        Ok(())
     }
 }
 
@@ -1462,6 +1554,14 @@ impl ClientEndpoint for StreamClient {
 }
 
 /// A sharded pool of distillation workers serving many client streams.
+///
+/// Two drivers are available, selected by
+/// [`PoolConfig::reactor_threads`]: the classic one-OS-thread-per-shard
+/// blocking loop (`None`), and the event-driven reactor (`Some(n)`), which
+/// hosts all shard state machines on a fixed set of `n` threads woken by
+/// send-side readiness tokens and a hierarchical timer wheel. Both run the
+/// same `ShardState` machine, so a stream cannot tell which driver served
+/// it.
 pub struct ServerPool {
     pool_config: PoolConfig,
     uplinks: Arc<Vec<crossbeam::channel::Sender<Envelope>>>,
@@ -1474,7 +1574,14 @@ pub struct ServerPool {
     /// reserved for the pool's lifetime; reconnecting a finished id needs a
     /// new pool.
     placements: Placements,
-    workers: Vec<std::thread::JoinHandle<Result<ShardOutput>>>,
+    /// One handle per OS thread. Thread-per-shard: `shards` handles, each
+    /// returning its own shard's output. Reactor: `reactor_threads`
+    /// handles, each returning the outputs of whichever shards it finalized.
+    workers: Vec<std::thread::JoinHandle<Result<Vec<ShardOutput>>>>,
+    /// Reactor pools: per-shard readiness wakers. `join` wakes every shard
+    /// once the uplinks are dropped so each one observes the disconnect and
+    /// runs its exit protocol.
+    shard_wakers: Option<Arc<Vec<st_net::Waker>>>,
 }
 
 impl ServerPool {
@@ -1498,7 +1605,70 @@ impl ServerPool {
         let placements: Placements = Arc::new(Mutex::new(HashMap::new()));
         let mut uplinks = Vec::with_capacity(pool_config.shards);
         let mut registries = Vec::with_capacity(pool_config.shards);
-        let mut workers = Vec::with_capacity(pool_config.shards);
+        let mut workers = Vec::new();
+        if let Some(threads) = pool_config.reactor_threads {
+            // Reactor driver: all shard state machines live behind mutexes,
+            // hosted by a fixed worker set woken by readiness tokens (one
+            // token per shard) and a shared timer wheel.
+            let poller = st_net::Poller::new();
+            let shard_wakers: Arc<Vec<st_net::Waker>> =
+                Arc::new((0..pool_config.shards).map(|i| poller.waker(i)).collect());
+            let mut states = Vec::with_capacity(pool_config.shards);
+            for shard_index in 0..pool_config.shards {
+                let (tx, rx) = crossbeam::channel::unbounded::<Envelope>();
+                let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
+                let shard = ServeShard::new(
+                    config,
+                    template.clone(),
+                    teacher_factory(shard_index),
+                    distill_step_latency,
+                );
+                states.push(Mutex::new(Some(ShardState::new(
+                    shard,
+                    rx,
+                    Arc::clone(&registry),
+                    pool_config,
+                    shard_index,
+                    Arc::clone(&steal),
+                    Arc::clone(&placements),
+                    Some(Arc::clone(&shard_wakers)),
+                ))));
+                uplinks.push(tx);
+                registries.push(registry);
+            }
+            let shared = Arc::new(ReactorShared {
+                states,
+                poller,
+                timers: Mutex::new(TimerWheel::new(Instant::now(), Duration::from_millis(1))),
+                finished: AtomicUsize::new(0),
+                aborted: AtomicBool::new(false),
+                rerun: (0..pool_config.shards)
+                    .map(|_| AtomicBool::new(false))
+                    .collect(),
+                shard_wakers: Arc::clone(&shard_wakers),
+                steal_poll: pool_config.steal_poll,
+            });
+            for _ in 0..threads {
+                let shared = Arc::clone(&shared);
+                workers.push(std::thread::spawn(move || run_reactor_worker(shared)));
+            }
+            // Kick every shard once so each runs an initial pass. Without
+            // this, a shard that never receives traffic would also never
+            // join the steal protocol (the idle tick chain is armed by
+            // passes, and passes are armed by wakes).
+            for waker in shard_wakers.iter() {
+                waker.wake();
+            }
+            return Ok(ServerPool {
+                pool_config,
+                uplinks: Arc::new(uplinks),
+                registries,
+                steal,
+                placements,
+                workers,
+                shard_wakers: Some(shard_wakers),
+            });
+        }
         for shard_index in 0..pool_config.shards {
             let (tx, rx) = crossbeam::channel::unbounded::<Envelope>();
             let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
@@ -1532,6 +1702,7 @@ impl ServerPool {
             steal,
             placements,
             workers,
+            shard_wakers: None,
         })
     }
 
@@ -1593,6 +1764,20 @@ impl ServerPool {
     /// assert_eq!(stats.streams.len(), 1);
     /// ```
     pub fn connect(&self, stream_id: StreamId, frames: &[Frame]) -> Result<StreamClient> {
+        self.connect_with_waker(stream_id, frames, None)
+    }
+
+    /// Like [`connect`](Self::connect), but additionally registers a
+    /// client-side readiness waker: every downlink delivery for this stream
+    /// wakes `waker`'s token. This is what lets one driver thread multiplex
+    /// many client endpoints through a single [`st_net::Poller`] instead of
+    /// parking one OS thread per client in `recv_timeout`.
+    pub fn connect_with_waker(
+        &self,
+        stream_id: StreamId,
+        frames: &[Frame],
+        waker: Option<st_net::Waker>,
+    ) -> Result<StreamClient> {
         let (shard, route) = {
             let mut placements = self.placements.lock().expect("placements lock");
             if placements.contains_key(&stream_id) {
@@ -1626,7 +1811,7 @@ impl ServerPool {
             .insert(
                 stream_id,
                 StreamLink {
-                    downlink: down_tx,
+                    downlink: Downlink { tx: down_tx, waker },
                     frames: content,
                 },
             );
@@ -1635,6 +1820,7 @@ impl ServerPool {
             uplinks: Arc::clone(&self.uplinks),
             route,
             downlink: down_rx,
+            shard_wakers: self.shard_wakers.clone(),
         };
         // Registration is the client's first uplink message; sending it here
         // lets callers immediately block on the initial checkpoint. A failed
@@ -1666,16 +1852,33 @@ impl ServerPool {
     pub fn join(self) -> Result<PoolStats> {
         drop(self.uplinks);
         drop(self.registries);
+        // Reactor shards park until a token wakes them; with the uplinks now
+        // gone, one wake per shard is enough for each to observe the
+        // disconnect and run its exit protocol.
+        if let Some(wakers) = &self.shard_wakers {
+            for waker in wakers.iter() {
+                waker.wake();
+            }
+        }
+        let shards = self.pool_config.shards;
+        let mut outputs: Vec<ShardOutput> = Vec::with_capacity(shards);
+        for worker in self.workers {
+            outputs.extend(
+                worker
+                    .join()
+                    .map_err(|_| TensorError::InvalidArgument("shard worker panicked".into()))??,
+            );
+        }
+        // Reactor workers finalize shards in completion order; present the
+        // report in shard order regardless of driver.
+        outputs.sort_by_key(|output| output.shard);
         let mut stats = PoolStats {
-            shards: Vec::with_capacity(self.workers.len()),
+            shards: Vec::with_capacity(shards),
             streams: HashMap::new(),
             final_checkpoints: HashMap::new(),
-            wait_samples: Vec::with_capacity(self.workers.len()),
+            wait_samples: Vec::with_capacity(shards),
         };
-        for worker in self.workers {
-            let output = worker
-                .join()
-                .map_err(|_| TensorError::InvalidArgument("shard worker panicked".into()))??;
+        for output in outputs {
             stats.shards.push(output.stats);
             stats.streams.extend(output.streams);
             stats.final_checkpoints.extend(output.final_checkpoints);
@@ -1718,7 +1921,9 @@ type AwaitingFrames = HashMap<StreamId, HashMap<usize, Vec<ScheduledJob>>>;
 /// response (update, drop ack, or `NeedFrame` recovery request) to its
 /// stream's downlink. Jobs whose frame content was evicted are parked in
 /// `awaiting` rather than counted — their wait keeps running until they are
-/// actually served after the re-share.
+/// actually served after the re-share. Every *newly sent* `NeedFrame`
+/// request is appended to `need_frames_sent` so the reactor driver can arm
+/// a retry timer for it (the legacy driver ignores the list).
 fn process_scheduled<T: Teacher>(
     shard: &mut ServeShard<T>,
     batch: &[ScheduledJob],
@@ -1726,6 +1931,7 @@ fn process_scheduled<T: Teacher>(
     meters: &mut HashMap<StreamId, StreamMeter>,
     clock: &mut WorkerClock,
     awaiting: &mut AwaitingFrames,
+    need_frames_sent: &mut Vec<(StreamId, usize)>,
 ) -> Result<()> {
     if batch.is_empty() {
         return Ok(());
@@ -1751,11 +1957,12 @@ fn process_scheduled<T: Teacher>(
             jobs.push(*scheduled);
             if request_content {
                 if let Some(downlink) = downlinks.get(&key.0) {
-                    let _ = downlink.send((
+                    let _ = downlink.send(
                         MESSAGE_OVERHEAD_BYTES,
                         ServerToClient::NeedFrame { frame_index: key.1 },
-                    ));
+                    );
                 }
+                need_frames_sent.push(key);
             }
             continue;
         }
@@ -1780,18 +1987,18 @@ fn process_scheduled<T: Teacher>(
             payload,
         };
         // A client that hung up mid-stream only loses its own updates.
-        let _ = downlink.send((bytes, msg));
+        let _ = downlink.send(bytes, msg);
     }
     for (job, reason) in outcome.dropped {
         meters.entry(job.stream_id).or_default().dropped += 1;
         if let Some(downlink) = downlinks.get(&job.stream_id) {
-            let _ = downlink.send((
+            let _ = downlink.send(
                 MESSAGE_OVERHEAD_BYTES,
                 ServerToClient::Dropped {
                     frame_index: job.frame_index,
                     reason,
                 },
-            ));
+            );
         }
     }
     clock.busy_time += started.elapsed();
@@ -1921,6 +2128,7 @@ fn maybe_donate<T: Teacher>(
     steal: &StealRegistry,
     placements: &Placements,
     shard_index: usize,
+    shard_wakers: Option<&[st_net::Waker]>,
 ) {
     let mut slot = steal.requests[shard_index]
         .lock()
@@ -1992,513 +2200,1037 @@ fn maybe_donate<T: Teacher>(
     steal.loads[thief].fetch_add(1, Ordering::SeqCst);
     steal.backlog[shard_index].store(scheduler.len(), Ordering::SeqCst);
     *slot = None;
+    // Under the reactor, the thief may be asleep in the poller rather than
+    // spinning on its steal tick — hand it the wakeup with the stream.
+    if let Some(wakers) = shard_wakers {
+        wakers[thief].wake();
+    }
 }
 
-/// The shard worker loop: fair-queue incoming key frames per stream, handle
-/// registrations and shutdowns in arrival order, drain deficit-round-robin
-/// batches through the shard, and push responses onto each stream's
-/// downlink. Under [`PlacementPolicy::Rebalance`] the loop additionally
-/// adopts streams migrated to it, donates streams when an idle shard asks,
-/// and forwards traffic that raced a migration.
+/// All of one shard's serving state and its event handlers: uplink receiver,
+/// fair scheduler, adaptive batcher, per-stream downlinks and meters, parked
+/// re-share jobs, steal-protocol bookkeeping, and the exit protocol. Both
+/// pool drivers run exactly this state machine:
+///
+/// * the **thread-per-shard** driver ([`run_worker`]) wraps one `ShardState`
+///   in a blocking loop, parking in `recv_timeout` between arrivals;
+/// * the **reactor** driver ([`run_reactor_worker`]) hosts every shard's
+///   `ShardState` behind a mutex on a fixed worker set, running
+///   [`run_pass`](Self::run_pass) whenever the shard's readiness token wakes
+///   or one of its timers fires.
+///
+/// The handlers mirror the event sources: [`on_frame`](Self::on_frame) for
+/// an uplink envelope, [`on_migration`](Self::on_migration) for a mailbox
+/// handoff, [`on_need_frame_retry`](Self::on_need_frame_retry) for a retry
+/// timer, and disconnect detection inside [`drain_uplink`](Self::drain_uplink).
+struct ShardState<T: Teacher> {
+    shard_index: usize,
+    pool_config: PoolConfig,
+    stealing: bool,
+    shard: ServeShard<T>,
+    rx: crossbeam::channel::Receiver<Envelope>,
+    registry: Registry,
+    steal: Arc<StealRegistry>,
+    placements: Placements,
+    /// Reactor pools: one waker per shard, used to nudge the owner of
+    /// forwarded traffic, the thief of a donated stream, and ourselves when
+    /// a pass leaves backlog behind. `None` under the legacy driver.
+    shard_wakers: Option<Arc<Vec<st_net::Waker>>>,
+    scheduler: FairScheduler,
+    batcher: AdaptiveBatch,
+    downlinks: HashMap<StreamId, Downlink>,
+    meters: HashMap<StreamId, StreamMeter>,
+    streams: HashMap<StreamId, StreamServerStats>,
+    final_checkpoints: HashMap<StreamId, WeightSnapshot>,
+    awaiting: AwaitingFrames,
+    deferred: Vec<Envelope>,
+    requested: Option<(usize, Instant)>,
+    adopted_at: HashMap<StreamId, Instant>,
+    idle_since: Option<Instant>,
+    clock: WorkerClock,
+    uplink_bytes: usize,
+    throttled: usize,
+    enqueue_drops: usize,
+    unknown_registers: usize,
+    forwarded: usize,
+    batch_limit_peak: usize,
+    disconnected: bool,
+    /// `NeedFrame` requests sent during the current pass; the reactor arms
+    /// a retry timer for each (the legacy driver clears and ignores them).
+    need_frames_sent: Vec<(StreamId, usize)>,
+    /// True while a steal-poll `Tick` timer is armed for this shard, so idle
+    /// passes do not stack duplicate ticks.
+    tick_pending: bool,
+    events_dispatched: usize,
+    timer_fires: usize,
+    poll_wakeups: usize,
+    idle_streams_peak: usize,
+}
+
+/// What one [`ShardState::run_pass`] left behind, telling the reactor driver
+/// which follow-up events to arm.
+struct PassOutcome {
+    /// The shard ran its exit protocol to completion; the state can be
+    /// finalized with [`ShardState::finish`].
+    done: bool,
+    /// Every uplink handle is gone (shutdown drain in progress).
+    disconnected: bool,
+    /// The scheduler still holds queued jobs — re-wake immediately so the
+    /// next batch runs without waiting for new traffic.
+    backlog: bool,
+    /// The shard is an idle participant in the steal protocol and needs a
+    /// `steal_poll` tick to keep offering/requesting work.
+    idle_stealing: bool,
+    /// `NeedFrame` requests sent this pass, each wanting a retry timer.
+    need_frames: Vec<(StreamId, usize)>,
+}
+
+impl<T: Teacher> ShardState<T> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        shard: ServeShard<T>,
+        rx: crossbeam::channel::Receiver<Envelope>,
+        registry: Registry,
+        pool_config: PoolConfig,
+        shard_index: usize,
+        steal: Arc<StealRegistry>,
+        placements: Placements,
+        shard_wakers: Option<Arc<Vec<st_net::Waker>>>,
+    ) -> Self {
+        let batcher = AdaptiveBatch::new(pool_config.max_batch, pool_config.adaptive_batch);
+        let batch_limit_peak = batcher.limit();
+        ShardState {
+            shard_index,
+            pool_config,
+            stealing: pool_config.stealing(),
+            shard,
+            rx,
+            registry,
+            steal,
+            placements,
+            shard_wakers,
+            scheduler: FairScheduler::new(pool_config.quantum),
+            batcher,
+            downlinks: HashMap::new(),
+            meters: HashMap::new(),
+            streams: HashMap::new(),
+            final_checkpoints: HashMap::new(),
+            awaiting: HashMap::new(),
+            deferred: Vec::new(),
+            requested: None,
+            adopted_at: HashMap::new(),
+            idle_since: None,
+            clock: WorkerClock::default(),
+            uplink_bytes: 0,
+            throttled: 0,
+            enqueue_drops: 0,
+            unknown_registers: 0,
+            forwarded: 0,
+            batch_limit_peak,
+            disconnected: false,
+            need_frames_sent: Vec::new(),
+            tick_pending: false,
+            events_dispatched: 0,
+            timer_fires: 0,
+            poll_wakeups: 0,
+            idle_streams_peak: 0,
+        }
+    }
+
+    /// Adopt migrated streams and ingest forwarded traffic before touching
+    /// the uplink, so a handoff is always visible before any envelope that
+    /// raced past it. Also performs steal-request housekeeping: a victim
+    /// that exited (or fulfilled through the mailbox) clears the slot; drop
+    /// the marker once it no longer names us. A request that has sat
+    /// unanswered past the re-target window is withdrawn instead, so a
+    /// victim that can never donate (e.g. a lone backlogged session) does
+    /// not pin this thief while a third shard drowns.
+    fn ingest_mailbox(&mut self, incoming: &mut Vec<Envelope>) {
+        if !self.stealing {
+            return;
+        }
+        let (migrated, mut mailbox_envelopes) = {
+            let mut mailbox = self.steal.mailboxes[self.shard_index]
+                .lock()
+                .expect("mailbox lock");
+            (
+                std::mem::take(&mut mailbox.streams),
+                std::mem::take(&mut mailbox.envelopes),
+            )
+        };
+        for stream in migrated {
+            // Whatever we were waiting for, work has arrived.
+            self.requested = None;
+            self.on_migration(stream);
+        }
+        incoming.append(&mut mailbox_envelopes);
+        if let Some((victim, posted_at)) = self.requested {
+            let mut slot = self.steal.requests[victim]
+                .lock()
+                .expect("steal request lock");
+            if *slot != Some(self.shard_index) {
+                drop(slot);
+                self.requested = None;
+            } else if posted_at.elapsed() >= STEAL_RETARGET {
+                *slot = None;
+                drop(slot);
+                self.requested = None;
+            }
+        }
+    }
+
+    /// A whole stream arrived through the steal mailbox: adopt its session,
+    /// frame cache, queued jobs and downlink.
+    fn on_migration(&mut self, migrated: MigratedStream) {
+        self.events_dispatched += 1;
+        adopt_migrated(
+            migrated,
+            &mut self.shard,
+            &mut self.scheduler,
+            &mut self.downlinks,
+            &mut self.meters,
+            &mut self.awaiting,
+            &mut self.adopted_at,
+        );
+    }
+
+    /// Drain every envelope currently sitting in the uplink without
+    /// blocking. `Empty` only means "no more traffic right now";
+    /// `Disconnected` means every uplink handle is gone and the shard should
+    /// flush its backlog and exit.
+    fn drain_uplink(&mut self, incoming: &mut Vec<Envelope>) {
+        loop {
+            match self.rx.try_recv() {
+                Ok(envelope) => incoming.push(envelope),
+                Err(crossbeam::channel::TryRecvError::Empty) => break,
+                Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                    self.disconnected = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Handle one uplink envelope: control messages in arrival order; key
+    /// frames into the fair per-stream queues, gated by admission control.
+    fn on_frame(&mut self, envelope: Envelope) -> Result<()> {
+        self.events_dispatched += 1;
+        let stream_id = envelope.tagged.stream_id;
+        // Elastic pools: traffic for a stream that lives elsewhere follows
+        // it. A stream placed here that is neither live, nor retired, nor
+        // awaiting its connect-time Register is mid-migration toward us —
+        // defer its traffic until the mailbox delivers the stream itself.
+        if self.stealing
+            && !self.shard.has_stream(stream_id)
+            && !matches!(envelope.tagged.message, ClientToServer::Register)
+        {
+            let owner = self
+                .placements
+                .lock()
+                .expect("placements lock")
+                .get(&stream_id)
+                .map(|route| route.load(Ordering::SeqCst));
+            match owner {
+                Some(other) if other != self.shard_index => {
+                    let mut mailbox = self.steal.mailboxes[other].lock().expect("mailbox lock");
+                    if mailbox.closed {
+                        // The owning worker already exited (so its clients
+                        // are long gone and no ack could be delivered);
+                        // count the loss in this shard's dropped_jobs
+                        // instead of posting into a dead letter box. The
+                        // stream's own per-stream stats were frozen when it
+                        // retired over there, so the pool-level counter is
+                        // the only honest place left to record it.
+                        drop(mailbox);
+                        self.enqueue_drops += 1;
+                    } else {
+                        mailbox.envelopes.push(envelope);
+                        drop(mailbox);
+                        self.forwarded += 1;
+                        // The owner may be parked; hand-delivered mail still
+                        // needs a doorbell.
+                        if let Some(wakers) = &self.shard_wakers {
+                            wakers[other].wake();
+                        }
+                    }
+                    return Ok(());
+                }
+                Some(_)
+                    if !self.streams.contains_key(&stream_id)
+                        && !self
+                            .registry
+                            .lock()
+                            .expect("registry lock")
+                            .contains_key(&stream_id) =>
+                {
+                    self.deferred.push(envelope);
+                    return Ok(());
+                }
+                _ => {}
+            }
+        }
+        self.uplink_bytes += envelope.bytes;
+        match envelope.tagged.message {
+            ClientToServer::Register => {
+                let Some(link) = self
+                    .registry
+                    .lock()
+                    .expect("registry lock")
+                    .remove(&stream_id)
+                else {
+                    // Register without a connect-time registry entry —
+                    // counted instead of silently ignored.
+                    self.unknown_registers += 1;
+                    return Ok(());
+                };
+                let initial = self.shard.register(stream_id, link.frames);
+                let payload = Payload::with_data(initial.encode());
+                let bytes = payload.bytes;
+                let _ = link
+                    .downlink
+                    .send(bytes, ServerToClient::InitialStudent { payload });
+                self.downlinks.insert(stream_id, link.downlink);
+            }
+            ClientToServer::KeyFrame {
+                frame_index,
+                payload: _,
+            } => {
+                // Unservable jobs are refused at the door with an explicit
+                // ack instead of being silently filtered later. (An
+                // *evicted* frame is not unservable — its index is still
+                // known and its content recoverable.)
+                let reject = if !self.shard.has_stream(stream_id) {
+                    Some(DropReason::UnknownStream)
+                } else if !self.shard.has_frame(stream_id, frame_index) {
+                    Some(DropReason::UnknownFrame)
+                } else {
+                    None
+                };
+                if let Some(reason) = reject {
+                    self.enqueue_drops += 1;
+                    note_drop(&mut self.streams, &mut self.meters, stream_id);
+                    if let Some(downlink) = self.downlinks.get(&stream_id) {
+                        let _ = downlink.send(
+                            MESSAGE_OVERHEAD_BYTES,
+                            ServerToClient::Dropped {
+                                frame_index,
+                                reason,
+                            },
+                        );
+                    }
+                    return Ok(());
+                }
+                // Admission control: per-stream in-flight cap. Jobs parked
+                // for a frame re-share still hold their slots.
+                let parked = self
+                    .awaiting
+                    .get(&stream_id)
+                    .map_or(0, |m| m.values().map(Vec::len).sum());
+                if self.scheduler.queued_for(stream_id) + parked >= self.pool_config.max_in_flight {
+                    self.throttled += 1;
+                    note_throttle(&mut self.streams, &mut self.meters, stream_id);
+                    if let Some(downlink) = self.downlinks.get(&stream_id) {
+                        let _ = downlink.send(
+                            MESSAGE_OVERHEAD_BYTES,
+                            ServerToClient::Throttle { frame_index },
+                        );
+                    }
+                    return Ok(());
+                }
+                self.scheduler
+                    .push(stream_id, frame_index, envelope.enqueued_at);
+            }
+            ClientToServer::ReShare {
+                frame_index,
+                payload: _,
+            } => {
+                // Restore evicted content and resume the parked job with its
+                // original arrival time, so its reported wait covers the
+                // whole recovery round trip.
+                let restored = match envelope.frame {
+                    Some(frame) if frame.index == frame_index => {
+                        self.shard.reshare(stream_id, frame)
+                    }
+                    _ => false,
+                };
+                if restored {
+                    if let Some(jobs) = self
+                        .awaiting
+                        .get_mut(&stream_id)
+                        .and_then(|m| m.remove(&frame_index))
+                    {
+                        for job in jobs {
+                            self.scheduler.push(stream_id, frame_index, job.enqueued_at);
+                        }
+                    }
+                    // An unsolicited re-share just refreshed the cache.
+                    return Ok(());
+                }
+                // No session, an index that was never shared, or a
+                // content-less re-share: the parked jobs (if any) can never
+                // be served — ack each explicitly, never silently.
+                let reason = if self.shard.has_stream(stream_id) {
+                    DropReason::UnknownFrame
+                } else {
+                    DropReason::UnknownStream
+                };
+                let stranded = self
+                    .awaiting
+                    .get_mut(&stream_id)
+                    .and_then(|m| m.remove(&frame_index))
+                    .map_or(1, |jobs| jobs.len());
+                for _ in 0..stranded {
+                    self.enqueue_drops += 1;
+                    note_drop(&mut self.streams, &mut self.meters, stream_id);
+                    if let Some(downlink) = self.downlinks.get(&stream_id) {
+                        let _ = downlink.send(
+                            MESSAGE_OVERHEAD_BYTES,
+                            ServerToClient::Dropped {
+                                frame_index,
+                                reason,
+                            },
+                        );
+                    }
+                }
+            }
+            ClientToServer::Shutdown => {
+                // Flush the stream's still-queued key frames so its last
+                // updates are not lost, then retire the session.
+                let remaining = self.scheduler.remove_stream(stream_id);
+                for chunk in remaining.chunks(self.batcher.limit().max(1)) {
+                    process_scheduled(
+                        &mut self.shard,
+                        chunk,
+                        &self.downlinks,
+                        &mut self.meters,
+                        &mut self.clock,
+                        &mut self.awaiting,
+                        &mut self.need_frames_sent,
+                    )?;
+                }
+                // Jobs still parked for a re-share can never be served now —
+                // ack them before the session's stats freeze.
+                if let Some(parked) = self.awaiting.remove(&stream_id) {
+                    for (frame_index, jobs) in parked {
+                        for _job in jobs {
+                            self.enqueue_drops += 1;
+                            note_drop(&mut self.streams, &mut self.meters, stream_id);
+                            if let Some(downlink) = self.downlinks.get(&stream_id) {
+                                let _ = downlink.send(
+                                    MESSAGE_OVERHEAD_BYTES,
+                                    ServerToClient::Dropped {
+                                        frame_index,
+                                        reason: DropReason::UnknownFrame,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                if let Some((checkpoint, stream_stats)) = retire(
+                    &mut self.shard,
+                    stream_id,
+                    &mut self.meters,
+                    &self.steal.loads[self.shard_index],
+                ) {
+                    self.streams.insert(stream_id, stream_stats);
+                    self.final_checkpoints.insert(stream_id, checkpoint);
+                }
+                // The downlink stays open so late key frames of this stream
+                // still receive an explicit Dropped ack.
+            }
+        }
+        Ok(())
+    }
+
+    /// Steal participation: publish our backlog, serve a thief's pending
+    /// request, and — once *patiently* idle — ask the most-loaded shard for
+    /// work. Patience keeps a shard that is merely between its own streams'
+    /// arrivals from pulling someone else's backlog over.
+    fn steal_participation(&mut self) {
+        if !self.stealing || self.disconnected {
+            return;
+        }
+        self.steal.backlog[self.shard_index].store(self.scheduler.len(), Ordering::SeqCst);
+        maybe_donate(
+            &mut self.shard,
+            &mut self.scheduler,
+            &mut self.downlinks,
+            &mut self.meters,
+            &mut self.awaiting,
+            &self.adopted_at,
+            &self.steal,
+            &self.placements,
+            self.shard_index,
+            self.shard_wakers.as_deref().map(Vec::as_slice),
+        );
+        if self.scheduler.is_empty() {
+            let idle_for = self.idle_since.get_or_insert_with(Instant::now).elapsed();
+            if self.requested.is_none() && idle_for >= self.pool_config.steal_patience {
+                self.requested =
+                    post_steal_request(&self.steal, self.shard_index).map(|v| (v, Instant::now()));
+            }
+        } else {
+            self.idle_since = None;
+            if let Some((victim, _posted_at)) = self.requested.take() {
+                // Local work arrived; withdraw the request (if the victim
+                // already fulfilled it, the next mailbox drain adopts it).
+                let mut slot = self.steal.requests[victim]
+                    .lock()
+                    .expect("steal request lock");
+                if *slot == Some(self.shard_index) {
+                    *slot = None;
+                }
+            }
+        }
+    }
+
+    /// One fair co-scheduled batch per pass; the driver re-polls the uplink
+    /// between batches so new arrivals join the next scheduling round.
+    fn process_one_batch(&mut self) -> Result<()> {
+        let batch = self.scheduler.next_batch(self.batcher.limit());
+        if batch.is_empty() {
+            return Ok(());
+        }
+        process_scheduled(
+            &mut self.shard,
+            &batch,
+            &self.downlinks,
+            &mut self.meters,
+            &mut self.clock,
+            &mut self.awaiting,
+            &mut self.need_frames_sent,
+        )?;
+        self.batcher.observe(
+            self.scheduler.len(),
+            self.shard.batch_growth_pays(self.batcher.limit()),
+        );
+        self.batch_limit_peak = self.batch_limit_peak.max(self.batcher.limit());
+        Ok(())
+    }
+
+    /// Record the high-water mark of registered-but-quiet streams — the
+    /// population a reactor host carries for free and a thread-per-shard
+    /// host pays a parked OS thread for.
+    fn note_idle_streams(&mut self) {
+        let idle = self
+            .shard
+            .stream_count()
+            .saturating_sub(self.scheduler.active_streams());
+        self.idle_streams_peak = self.idle_streams_peak.max(idle);
+    }
+
+    /// The uplink is disconnected and the backlog drained: may the shard
+    /// exit now? Under stealing, make sure no handoff can be in flight
+    /// toward this worker before exiting, or the migrated stream's
+    /// checkpoint would be lost. Cancelling under the request slot's lock
+    /// guarantees any fulfilment is already in the mailbox, which the next
+    /// pass drains — so a `false` answer means "run another pass first".
+    fn ready_to_exit(&mut self) -> bool {
+        if !self.stealing {
+            return true;
+        }
+        if let Some((victim, _posted_at)) = self.requested.take() {
+            let mut slot = self.steal.requests[victim]
+                .lock()
+                .expect("steal request lock");
+            if *slot == Some(self.shard_index) {
+                *slot = None;
+            } else {
+                return false;
+            }
+        }
+        self.steal.mailboxes[self.shard_index]
+            .lock()
+            .expect("mailbox lock")
+            .streams
+            .is_empty()
+    }
+
+    /// One non-blocking pass of the shard state machine: mailbox, deferred
+    /// retries, uplink drain, envelope handlers, steal participation, one
+    /// co-scheduled batch. This is the reactor's dispatch unit; the legacy
+    /// driver runs the same stages inline so it can block between them.
+    fn run_pass(&mut self) -> Result<PassOutcome> {
+        self.need_frames_sent.clear();
+        let mut incoming: Vec<Envelope> = Vec::new();
+        self.ingest_mailbox(&mut incoming);
+        // Envelopes that arrived ahead of their stream's migration retry
+        // after every mailbox drain, ahead of newer traffic.
+        let retry: Vec<Envelope> = std::mem::take(&mut self.deferred);
+        incoming.splice(0..0, retry);
+        self.drain_uplink(&mut incoming);
+        if incoming.is_empty() && self.scheduler.is_empty() && self.disconnected {
+            let done = self.ready_to_exit();
+            return Ok(PassOutcome {
+                done,
+                disconnected: true,
+                backlog: false,
+                idle_stealing: false,
+                need_frames: Vec::new(),
+            });
+        }
+        for envelope in incoming {
+            self.on_frame(envelope)?;
+        }
+        self.steal_participation();
+        self.process_one_batch()?;
+        self.note_idle_streams();
+        Ok(PassOutcome {
+            done: false,
+            disconnected: self.disconnected,
+            backlog: !self.scheduler.is_empty(),
+            idle_stealing: self.stealing && !self.disconnected && self.scheduler.is_empty(),
+            need_frames: std::mem::take(&mut self.need_frames_sent),
+        })
+    }
+
+    /// A `NeedFrame` retry timer fired: if the job is still parked (the
+    /// re-share never arrived — e.g. the original request was lost), ask the
+    /// client again. Returns whether the shard is still waiting, i.e.
+    /// whether the caller should re-arm the timer.
+    fn on_need_frame_retry(&mut self, stream_id: StreamId, frame_index: usize) -> bool {
+        self.timer_fires += 1;
+        self.events_dispatched += 1;
+        let still_waiting = self
+            .awaiting
+            .get(&stream_id)
+            .is_some_and(|m| m.contains_key(&frame_index));
+        if still_waiting {
+            if let Some(downlink) = self.downlinks.get(&stream_id) {
+                let _ = downlink.send(
+                    MESSAGE_OVERHEAD_BYTES,
+                    ServerToClient::NeedFrame { frame_index },
+                );
+            }
+        }
+        still_waiting
+    }
+
+    /// The exit protocol: ack whatever can never be served now, retire every
+    /// remaining session, close steal-protocol state, and assemble the
+    /// shard's final output.
+    fn finish(mut self) -> ShardOutput {
+        // The clients are gone, so re-shares for parked jobs can never
+        // arrive: ack and count them instead of letting them vanish.
+        let parked: Vec<(StreamId, usize)> = self
+            .awaiting
+            .iter()
+            .flat_map(|(stream, indices)| {
+                indices
+                    .iter()
+                    .flat_map(move |(index, jobs)| jobs.iter().map(move |_| (*stream, *index)))
+            })
+            .collect();
+        for (stream_id, frame_index) in parked {
+            self.enqueue_drops += 1;
+            note_drop(&mut self.streams, &mut self.meters, stream_id);
+            if let Some(downlink) = self.downlinks.get(&stream_id) {
+                let _ = downlink.send(
+                    MESSAGE_OVERHEAD_BYTES,
+                    ServerToClient::Dropped {
+                        frame_index,
+                        reason: DropReason::UnknownFrame,
+                    },
+                );
+            }
+        }
+        self.awaiting.clear();
+        // Clients that vanished without Shutdown still get their sessions
+        // retired so their checkpoints and counters are reported. (The
+        // backlog is already drained: drivers only finish a shard once its
+        // scheduler is empty.)
+        for stream_id in self.shard.session_ids() {
+            if let Some((checkpoint, stream_stats)) = retire(
+                &mut self.shard,
+                stream_id,
+                &mut self.meters,
+                &self.steal.loads[self.shard_index],
+            ) {
+                self.streams.insert(stream_id, stream_stats);
+                self.final_checkpoints.insert(stream_id, checkpoint);
+            }
+        }
+        if self.stealing {
+            // No posthumous steal traffic: zero the published backlog,
+            // refuse any request a thief may still have parked at us, and
+            // close the mailbox — counting any envelope forwarded here since
+            // the last drain, so a message lost to the shutdown race still
+            // shows up in the drop accounting. (Migrated *streams* cannot be
+            // stranded here: the cancel-under-lock exit protocol guarantees
+            // that.)
+            self.steal.backlog[self.shard_index].store(0, Ordering::SeqCst);
+            *self.steal.requests[self.shard_index]
+                .lock()
+                .expect("steal request lock") = None;
+            let leftovers = {
+                let mut mailbox = self.steal.mailboxes[self.shard_index]
+                    .lock()
+                    .expect("mailbox lock");
+                mailbox.closed = true;
+                debug_assert!(mailbox.streams.is_empty(), "stream stranded at exit");
+                std::mem::take(&mut mailbox.envelopes)
+            };
+            for envelope in leftovers {
+                let stream_id = envelope.tagged.stream_id;
+                self.enqueue_drops += 1;
+                note_drop(&mut self.streams, &mut self.meters, stream_id);
+                if let (
+                    Some(downlink),
+                    ClientToServer::KeyFrame { frame_index, .. }
+                    | ClientToServer::ReShare { frame_index, .. },
+                ) = (self.downlinks.get(&stream_id), envelope.tagged.message)
+                {
+                    let _ = downlink.send(
+                        MESSAGE_OVERHEAD_BYTES,
+                        ServerToClient::Dropped {
+                            frame_index,
+                            reason: DropReason::UnknownStream,
+                        },
+                    );
+                }
+            }
+        }
+        let mut stats = self.shard.stats();
+        stats.queue_wait_total = self.clock.queue_wait_total;
+        stats.queue_wait_max = self.clock.queue_wait_max;
+        stats.busy_time = self.clock.busy_time;
+        stats.uplink_bytes = self.uplink_bytes;
+        stats.throttled = self.throttled;
+        stats.dropped_jobs += self.enqueue_drops;
+        stats.unknown_registers = self.unknown_registers;
+        stats.batch_limit_peak = self.batch_limit_peak;
+        stats.forwarded_messages = self.forwarded;
+        stats.events_dispatched = self.events_dispatched;
+        stats.timer_fires = self.timer_fires;
+        stats.poll_wakeups = self.poll_wakeups;
+        stats.idle_streams = self.idle_streams_peak;
+        ShardOutput {
+            shard: self.shard_index,
+            stats,
+            streams: self.streams,
+            final_checkpoints: self.final_checkpoints,
+            wait_samples: self.clock.wait_samples,
+        }
+    }
+}
+
+/// The thread-per-shard worker loop: fair-queue incoming key frames per
+/// stream, handle registrations and shutdowns in arrival order, drain
+/// deficit-round-robin batches through the shard, and push responses onto
+/// each stream's downlink. Under [`PlacementPolicy::Rebalance`] the loop
+/// additionally adopts streams migrated to it, donates streams when an idle
+/// shard asks, and forwards traffic that raced a migration.
+///
+/// This is a thin blocking driver over [`ShardState`]; the same handlers run
+/// event-driven under [`run_reactor_worker`]. Returns a one-element vector so
+/// both drivers share the pool's worker-handle type.
+#[allow(clippy::too_many_arguments)]
 fn run_worker<T: Teacher>(
-    mut shard: ServeShard<T>,
+    shard: ServeShard<T>,
     rx: crossbeam::channel::Receiver<Envelope>,
     registry: Registry,
     pool_config: PoolConfig,
     shard_index: usize,
     steal: Arc<StealRegistry>,
     placements: Placements,
-) -> Result<ShardOutput> {
-    let stealing = pool_config.stealing();
-    let load = &steal.loads[shard_index];
-    let mut scheduler = FairScheduler::new(pool_config.quantum);
-    let mut batcher = AdaptiveBatch::new(pool_config.max_batch, pool_config.adaptive_batch);
-    let mut downlinks: HashMap<StreamId, Downlink> = HashMap::new();
-    let mut meters: HashMap<StreamId, StreamMeter> = HashMap::new();
-    let mut streams: HashMap<StreamId, StreamServerStats> = HashMap::new();
-    let mut final_checkpoints: HashMap<StreamId, WeightSnapshot> = HashMap::new();
-    let mut awaiting: AwaitingFrames = HashMap::new();
-    let mut deferred: Vec<Envelope> = Vec::new();
-    let mut requested: Option<(usize, Instant)> = None;
-    let mut adopted_at: HashMap<StreamId, Instant> = HashMap::new();
-    let mut idle_since: Option<Instant> = None;
-    let mut clock = WorkerClock::default();
-    let mut uplink_bytes = 0usize;
-    let mut throttled = 0usize;
-    let mut enqueue_drops = 0usize;
-    let mut unknown_registers = 0usize;
-    let mut forwarded = 0usize;
-    let mut batch_limit_peak = batcher.limit();
-    let mut disconnected = false;
+) -> Result<Vec<ShardOutput>> {
+    let mut state = ShardState::new(
+        shard,
+        rx,
+        registry,
+        pool_config,
+        shard_index,
+        steal,
+        placements,
+        None,
+    );
     loop {
+        state.need_frames_sent.clear();
         let mut incoming: Vec<Envelope> = Vec::new();
-
-        if stealing {
-            // Adopt migrated streams and ingest forwarded traffic before
-            // touching the uplink, so a handoff is always visible before any
-            // envelope that raced past it.
-            let (migrated, mut mailbox_envelopes) = {
-                let mut mailbox = steal.mailboxes[shard_index].lock().expect("mailbox lock");
-                (
-                    std::mem::take(&mut mailbox.streams),
-                    std::mem::take(&mut mailbox.envelopes),
-                )
-            };
-            for stream in migrated {
-                // Whatever we were waiting for, work has arrived.
-                requested = None;
-                adopt_migrated(
-                    stream,
-                    &mut shard,
-                    &mut scheduler,
-                    &mut downlinks,
-                    &mut meters,
-                    &mut awaiting,
-                    &mut adopted_at,
-                );
-            }
-            incoming.append(&mut mailbox_envelopes);
-            // A victim that exited (or fulfilled through the mailbox)
-            // clears the slot; drop the marker once it no longer names us.
-            // A request that has sat unanswered past the re-target window
-            // is withdrawn instead, so a victim that can never donate
-            // (e.g. a lone backlogged session) does not pin this thief
-            // while a third shard drowns.
-            if let Some((victim, posted_at)) = requested {
-                let mut slot = steal.requests[victim].lock().expect("steal request lock");
-                if *slot != Some(shard_index) {
-                    drop(slot);
-                    requested = None;
-                } else if posted_at.elapsed() >= STEAL_RETARGET {
-                    *slot = None;
-                    drop(slot);
-                    requested = None;
-                }
-            }
-        }
+        state.ingest_mailbox(&mut incoming);
         // Envelopes that arrived ahead of their stream's migration retry
         // after every mailbox drain, ahead of newer traffic.
-        let retry: Vec<Envelope> = std::mem::take(&mut deferred);
+        let retry: Vec<Envelope> = std::mem::take(&mut state.deferred);
         incoming.splice(0..0, retry);
 
         // Gather traffic. Block only when there is no backlog to work on;
         // with queued jobs, poll so service keeps flowing between arrivals.
-        if incoming.is_empty() && scheduler.is_empty() {
-            if disconnected {
-                if stealing {
-                    // Make sure no handoff can be in flight toward this
-                    // worker before exiting, or the migrated stream's
-                    // checkpoint would be lost. Cancelling under the request
-                    // slot's lock guarantees any fulfilment is already in
-                    // the mailbox, which the next pass drains.
-                    if let Some((victim, _posted_at)) = requested.take() {
-                        let mut slot = steal.requests[victim].lock().expect("steal request lock");
-                        if *slot == Some(shard_index) {
-                            *slot = None;
-                        } else {
-                            continue;
-                        }
-                    }
-                    if !steal.mailboxes[shard_index]
-                        .lock()
-                        .expect("mailbox lock")
-                        .streams
-                        .is_empty()
-                    {
-                        continue;
-                    }
+        if incoming.is_empty() && state.scheduler.is_empty() {
+            if state.disconnected {
+                if state.ready_to_exit() {
+                    break;
                 }
-                break;
+                continue;
             }
             // A stealing worker wakes every `steal_poll` to look for (and
             // offer) work; a static worker can block the full timeout.
-            let timeout = if stealing {
+            let timeout = if state.stealing {
                 pool_config.recv_timeout.min(pool_config.steal_poll)
             } else {
                 pool_config.recv_timeout
             };
-            match rx.recv_timeout(timeout) {
+            match state.rx.recv_timeout(timeout) {
                 Ok(envelope) => incoming.push(envelope),
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                    if !stealing {
+                    if !state.stealing {
                         continue;
                     }
                     // Fall through so the steal logic below runs on idle
                     // ticks too.
                 }
                 Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                    disconnected = true;
+                    state.disconnected = true;
                     continue;
                 }
             }
         }
-        loop {
-            match rx.try_recv() {
-                Ok(envelope) => incoming.push(envelope),
-                // Empty only means "no more traffic right now"; Disconnected
-                // means every uplink handle is gone and the worker should
-                // flush its backlog and exit. (The seed conflated the two,
-                // deferring shutdown detection to the next recv_timeout
-                // tick.)
-                Err(crossbeam::channel::TryRecvError::Empty) => break,
-                Err(crossbeam::channel::TryRecvError::Disconnected) => {
-                    disconnected = true;
-                    break;
-                }
-            }
-        }
-
-        // Control messages in arrival order; key frames into the fair
-        // per-stream queues, gated by admission control.
+        state.drain_uplink(&mut incoming);
         for envelope in incoming {
-            let stream_id = envelope.tagged.stream_id;
-            // Elastic pools: traffic for a stream that lives elsewhere
-            // follows it. A stream placed here that is neither live, nor
-            // retired, nor awaiting its connect-time Register is
-            // mid-migration toward us — defer its traffic until the mailbox
-            // delivers the stream itself.
-            if stealing
-                && !shard.has_stream(stream_id)
-                && !matches!(envelope.tagged.message, ClientToServer::Register)
-            {
-                let owner = placements
-                    .lock()
-                    .expect("placements lock")
-                    .get(&stream_id)
-                    .map(|route| route.load(Ordering::SeqCst));
-                match owner {
-                    Some(other) if other != shard_index => {
-                        let mut mailbox = steal.mailboxes[other].lock().expect("mailbox lock");
-                        if mailbox.closed {
-                            // The owning worker already exited (so its
-                            // clients are long gone and no ack could be
-                            // delivered); count the loss in this shard's
-                            // dropped_jobs instead of posting into a dead
-                            // letter box. The stream's own per-stream stats
-                            // were frozen when it retired over there, so
-                            // the pool-level counter is the only honest
-                            // place left to record it.
-                            drop(mailbox);
-                            enqueue_drops += 1;
-                        } else {
-                            mailbox.envelopes.push(envelope);
-                            forwarded += 1;
-                        }
-                        continue;
-                    }
-                    Some(_)
-                        if !streams.contains_key(&stream_id)
-                            && !registry
-                                .lock()
-                                .expect("registry lock")
-                                .contains_key(&stream_id) =>
-                    {
-                        deferred.push(envelope);
-                        continue;
-                    }
-                    _ => {}
-                }
-            }
-            uplink_bytes += envelope.bytes;
-            match envelope.tagged.message {
-                ClientToServer::Register => {
-                    let Some(link) = registry.lock().expect("registry lock").remove(&stream_id)
-                    else {
-                        // Register without a connect-time registry entry —
-                        // counted instead of silently ignored.
-                        unknown_registers += 1;
-                        continue;
-                    };
-                    let initial = shard.register(stream_id, link.frames);
-                    let payload = Payload::with_data(initial.encode());
-                    let bytes = payload.bytes;
-                    let _ = link
-                        .downlink
-                        .send((bytes, ServerToClient::InitialStudent { payload }));
-                    downlinks.insert(stream_id, link.downlink);
-                }
-                ClientToServer::KeyFrame {
-                    frame_index,
-                    payload: _,
-                } => {
-                    // Unservable jobs are refused at the door with an
-                    // explicit ack instead of being silently filtered later.
-                    // (An *evicted* frame is not unservable — its index is
-                    // still known and its content recoverable.)
-                    let reject = if !shard.has_stream(stream_id) {
-                        Some(DropReason::UnknownStream)
-                    } else if !shard.has_frame(stream_id, frame_index) {
-                        Some(DropReason::UnknownFrame)
-                    } else {
-                        None
-                    };
-                    if let Some(reason) = reject {
-                        enqueue_drops += 1;
-                        note_drop(&mut streams, &mut meters, stream_id);
-                        if let Some(downlink) = downlinks.get(&stream_id) {
-                            let _ = downlink.send((
-                                MESSAGE_OVERHEAD_BYTES,
-                                ServerToClient::Dropped {
-                                    frame_index,
-                                    reason,
-                                },
-                            ));
-                        }
-                        continue;
-                    }
-                    // Admission control: per-stream in-flight cap. Jobs
-                    // parked for a frame re-share still hold their slots.
-                    let parked = awaiting
-                        .get(&stream_id)
-                        .map_or(0, |m| m.values().map(Vec::len).sum());
-                    if scheduler.queued_for(stream_id) + parked >= pool_config.max_in_flight {
-                        throttled += 1;
-                        note_throttle(&mut streams, &mut meters, stream_id);
-                        if let Some(downlink) = downlinks.get(&stream_id) {
-                            let _ = downlink.send((
-                                MESSAGE_OVERHEAD_BYTES,
-                                ServerToClient::Throttle { frame_index },
-                            ));
-                        }
-                        continue;
-                    }
-                    scheduler.push(stream_id, frame_index, envelope.enqueued_at);
-                }
-                ClientToServer::ReShare {
-                    frame_index,
-                    payload: _,
-                } => {
-                    // Restore evicted content and resume the parked job with
-                    // its original arrival time, so its reported wait covers
-                    // the whole recovery round trip.
-                    let restored = match envelope.frame {
-                        Some(frame) if frame.index == frame_index => {
-                            shard.reshare(stream_id, frame)
-                        }
-                        _ => false,
-                    };
-                    if restored {
-                        if let Some(jobs) = awaiting
-                            .get_mut(&stream_id)
-                            .and_then(|m| m.remove(&frame_index))
-                        {
-                            for job in jobs {
-                                scheduler.push(stream_id, frame_index, job.enqueued_at);
-                            }
-                        }
-                        // An unsolicited re-share just refreshed the cache.
-                        continue;
-                    }
-                    // No session, an index that was never shared, or a
-                    // content-less re-share: the parked jobs (if any) can
-                    // never be served — ack each explicitly, never silently.
-                    let reason = if shard.has_stream(stream_id) {
-                        DropReason::UnknownFrame
-                    } else {
-                        DropReason::UnknownStream
-                    };
-                    let stranded = awaiting
-                        .get_mut(&stream_id)
-                        .and_then(|m| m.remove(&frame_index))
-                        .map_or(1, |jobs| jobs.len());
-                    for _ in 0..stranded {
-                        enqueue_drops += 1;
-                        note_drop(&mut streams, &mut meters, stream_id);
-                        if let Some(downlink) = downlinks.get(&stream_id) {
-                            let _ = downlink.send((
-                                MESSAGE_OVERHEAD_BYTES,
-                                ServerToClient::Dropped {
-                                    frame_index,
-                                    reason,
-                                },
-                            ));
-                        }
-                    }
-                }
-                ClientToServer::Shutdown => {
-                    // Flush the stream's still-queued key frames so its last
-                    // updates are not lost, then retire the session.
-                    let remaining = scheduler.remove_stream(stream_id);
-                    for chunk in remaining.chunks(batcher.limit().max(1)) {
-                        process_scheduled(
-                            &mut shard,
-                            chunk,
-                            &downlinks,
-                            &mut meters,
-                            &mut clock,
-                            &mut awaiting,
-                        )?;
-                    }
-                    // Jobs still parked for a re-share can never be served
-                    // now — ack them before the session's stats freeze.
-                    if let Some(parked) = awaiting.remove(&stream_id) {
-                        for (frame_index, jobs) in parked {
-                            for _job in jobs {
-                                enqueue_drops += 1;
-                                note_drop(&mut streams, &mut meters, stream_id);
-                                if let Some(downlink) = downlinks.get(&stream_id) {
-                                    let _ = downlink.send((
-                                        MESSAGE_OVERHEAD_BYTES,
-                                        ServerToClient::Dropped {
-                                            frame_index,
-                                            reason: DropReason::UnknownFrame,
-                                        },
-                                    ));
-                                }
-                            }
-                        }
-                    }
-                    if let Some((checkpoint, stream_stats)) =
-                        retire(&mut shard, stream_id, &mut meters, load)
-                    {
-                        streams.insert(stream_id, stream_stats);
-                        final_checkpoints.insert(stream_id, checkpoint);
-                    }
-                    // The downlink stays open so late key frames of this
-                    // stream still receive an explicit Dropped ack.
-                }
-            }
+            state.on_frame(envelope)?;
         }
+        state.steal_participation();
+        state.process_one_batch()?;
+        state.note_idle_streams();
+    }
+    Ok(vec![state.finish()])
+}
 
-        // Steal participation: publish our backlog, serve a thief's pending
-        // request, and — once *patiently* idle — ask the most-loaded shard
-        // for work. Patience keeps a shard that is merely between its own
-        // streams' arrivals from pulling someone else's backlog over.
-        if stealing && !disconnected {
-            steal.backlog[shard_index].store(scheduler.len(), Ordering::SeqCst);
-            maybe_donate(
-                &mut shard,
-                &mut scheduler,
-                &mut downlinks,
-                &mut meters,
-                &mut awaiting,
-                &adopted_at,
-                &steal,
-                &placements,
-                shard_index,
-            );
-            if scheduler.is_empty() {
-                let idle_for = idle_since.get_or_insert_with(Instant::now).elapsed();
-                if requested.is_none() && idle_for >= pool_config.steal_patience {
-                    requested =
-                        post_steal_request(&steal, shard_index).map(|v| (v, Instant::now()));
-                }
-            } else {
-                idle_since = None;
-                if let Some((victim, _posted_at)) = requested.take() {
-                    // Local work arrived; withdraw the request (if the
-                    // victim already fulfilled it, the next mailbox drain
-                    // adopts it).
-                    let mut slot = steal.requests[victim].lock().expect("steal request lock");
-                    if *slot == Some(shard_index) {
-                        *slot = None;
-                    }
-                }
-            }
-        }
+/// How often an otherwise event-less reactor worker re-checks its timers and
+/// shard states — the upper bound on poll blocking, not a service cadence
+/// (sends and timer deadlines wake workers much sooner).
+const REACTOR_IDLE_TICK: Duration = Duration::from_millis(50);
 
-        // One fair co-scheduled batch per pass; the loop re-polls the uplink
-        // between batches so new arrivals join the next scheduling round.
-        let batch = scheduler.next_batch(batcher.limit());
-        if !batch.is_empty() {
-            process_scheduled(
-                &mut shard,
-                &batch,
-                &downlinks,
-                &mut meters,
-                &mut clock,
-                &mut awaiting,
-            )?;
-            batcher.observe(scheduler.len(), shard.batch_growth_pays(batcher.limit()));
-            batch_limit_peak = batch_limit_peak.max(batcher.limit());
-        }
+/// How long the reactor waits for a `ReShare` before re-sending `NeedFrame`.
+/// The legacy driver has no retry at all — a lost request simply parks the
+/// job until shutdown — so any finite value is strictly more robust.
+const NEED_FRAME_RETRY: Duration = Duration::from_millis(100);
+
+/// A deadline owned by the reactor's shared timer wheel.
+enum TimerEvent {
+    /// Run a maintenance pass on a shard — the reactor's analogue of the
+    /// legacy driver's `steal_poll` wakeup, armed only while the shard is an
+    /// idle steal participant.
+    Tick(usize),
+    /// Re-send `NeedFrame` for a job still parked on an evicted frame.
+    NeedFrameRetry {
+        shard: usize,
+        stream_id: StreamId,
+        frame_index: usize,
+    },
+}
+
+/// Everything the reactor's fixed worker set shares: the shard state
+/// machines, the readiness poller whose token *n* means "shard *n* has
+/// traffic", the timer wheel, and completion accounting.
+struct ReactorShared<T: Teacher> {
+    /// `states[i]` holds shard *i* until the shard finishes, then `None`.
+    /// Any worker may run any shard; the mutex serializes passes per shard
+    /// while leaving distinct shards fully parallel.
+    states: Vec<Mutex<Option<ShardState<T>>>>,
+    poller: st_net::Poller,
+    timers: Mutex<TimerWheel<TimerEvent>>,
+    /// Shards finalized so far; the worker set exits when this reaches
+    /// `states.len()`.
+    finished: AtomicUsize,
+    /// Set when a worker hits a hard error, telling its peers to stop
+    /// instead of serving a half-dead pool.
+    aborted: AtomicBool,
+    /// `rerun[i]` records a wake token consumed for shard *i* while another
+    /// worker was mid-pass on it. The pass holder re-wakes the shard when it
+    /// releases the lock, so the traffic behind the dropped token is
+    /// re-dispatched instead of lost — and no worker ever parks on a busy
+    /// shard's mutex while timers starve.
+    rerun: Vec<AtomicBool>,
+    shard_wakers: Arc<Vec<st_net::Waker>>,
+    steal_poll: Duration,
+}
+
+/// One reactor worker: fire due timers, then block on the readiness poller
+/// (bounded by the next deadline) and run a pass on whichever shard woke.
+/// Lock order is always shard-state before timers, never the reverse with a
+/// state lock held across a blocking acquisition of another state.
+fn run_reactor_worker<T: Teacher>(shared: Arc<ReactorShared<T>>) -> Result<Vec<ShardOutput>> {
+    let mut outputs = Vec::new();
+    let result = reactor_loop(&shared, &mut outputs);
+    if let Err(err) = result {
+        // Take the whole pool down with us: peers observe the flag (or the
+        // closed poller) and return their partial outputs; join() surfaces
+        // this error.
+        shared.aborted.store(true, Ordering::SeqCst);
+        shared.poller.close();
+        return Err(err);
     }
-    // The clients are gone, so re-shares for parked jobs can never arrive:
-    // ack and count them instead of letting them vanish.
-    let parked: Vec<(StreamId, usize)> = awaiting
-        .iter()
-        .flat_map(|(stream, indices)| {
-            indices
-                .iter()
-                .flat_map(move |(index, jobs)| jobs.iter().map(move |_| (*stream, *index)))
-        })
-        .collect();
-    for (stream_id, frame_index) in parked {
-        enqueue_drops += 1;
-        note_drop(&mut streams, &mut meters, stream_id);
-        if let Some(downlink) = downlinks.get(&stream_id) {
-            let _ = downlink.send((
-                MESSAGE_OVERHEAD_BYTES,
-                ServerToClient::Dropped {
-                    frame_index,
-                    reason: DropReason::UnknownFrame,
-                },
-            ));
+    Ok(outputs)
+}
+
+fn reactor_loop<T: Teacher>(
+    shared: &ReactorShared<T>,
+    outputs: &mut Vec<ShardOutput>,
+) -> Result<()> {
+    let total = shared.states.len();
+    loop {
+        if shared.aborted.load(Ordering::SeqCst) || shared.finished.load(Ordering::SeqCst) == total
+        {
+            return Ok(());
         }
-    }
-    awaiting.clear();
-    // Clients that vanished without Shutdown still get their sessions
-    // retired so their checkpoints and counters are reported. (The backlog
-    // is already drained: the loop only exits when the scheduler is empty.)
-    for stream_id in shard.session_ids() {
-        if let Some((checkpoint, stream_stats)) = retire(&mut shard, stream_id, &mut meters, load) {
-            streams.insert(stream_id, stream_stats);
-            final_checkpoints.insert(stream_id, checkpoint);
-        }
-    }
-    if stealing {
-        // No posthumous steal traffic: zero the published backlog, refuse
-        // any request a thief may still have parked at us, and close the
-        // mailbox — counting any envelope forwarded here since the last
-        // drain, so a message lost to the shutdown race still shows up in
-        // the drop accounting. (Migrated *streams* cannot be stranded here:
-        // the cancel-under-lock exit protocol above guarantees that.)
-        steal.backlog[shard_index].store(0, Ordering::SeqCst);
-        *steal.requests[shard_index]
-            .lock()
-            .expect("steal request lock") = None;
-        let leftovers = {
-            let mut mailbox = steal.mailboxes[shard_index].lock().expect("mailbox lock");
-            mailbox.closed = true;
-            debug_assert!(mailbox.streams.is_empty(), "stream stranded at exit");
-            std::mem::take(&mut mailbox.envelopes)
+        // Fire due timers. The wheel lock is released before dispatching so
+        // a handler arming follow-up timers never self-deadlocks.
+        let due = {
+            let mut timers = shared.timers.lock().expect("timer lock");
+            timers.advance(Instant::now())
         };
-        for envelope in leftovers {
-            let stream_id = envelope.tagged.stream_id;
-            enqueue_drops += 1;
-            note_drop(&mut streams, &mut meters, stream_id);
-            if let (
-                Some(downlink),
-                ClientToServer::KeyFrame { frame_index, .. }
-                | ClientToServer::ReShare { frame_index, .. },
-            ) = (downlinks.get(&stream_id), envelope.tagged.message)
-            {
-                let _ = downlink.send((
-                    MESSAGE_OVERHEAD_BYTES,
-                    ServerToClient::Dropped {
-                        frame_index,
-                        reason: DropReason::UnknownStream,
-                    },
-                ));
+        for (_id, event) in due {
+            match event {
+                TimerEvent::Tick(shard) => dispatch_pass(shared, shard, true, outputs)?,
+                TimerEvent::NeedFrameRetry {
+                    shard,
+                    stream_id,
+                    frame_index,
+                } => dispatch_need_frame_retry(shared, shard, stream_id, frame_index),
             }
         }
+        // Park until a shard's token wakes, but never sleep past the next
+        // timer deadline (or the idle tick, whichever is sooner).
+        let timeout = {
+            let mut timers = shared.timers.lock().expect("timer lock");
+            match timers.next_deadline() {
+                Some(deadline) => deadline
+                    .saturating_duration_since(Instant::now())
+                    .min(REACTOR_IDLE_TICK),
+                None => REACTOR_IDLE_TICK,
+            }
+        };
+        if let Some(token) = shared.poller.poll_one(timeout) {
+            dispatch_pass(shared, token, false, outputs)?;
+        }
     }
-    let mut stats = shard.stats();
-    stats.queue_wait_total = clock.queue_wait_total;
-    stats.queue_wait_max = clock.queue_wait_max;
-    stats.busy_time = clock.busy_time;
-    stats.uplink_bytes = uplink_bytes;
-    stats.throttled = throttled;
-    stats.dropped_jobs += enqueue_drops;
-    stats.unknown_registers = unknown_registers;
-    stats.batch_limit_peak = batch_limit_peak;
-    stats.forwarded_messages = forwarded;
-    Ok(ShardOutput {
-        stats,
-        streams,
-        final_checkpoints,
-        wait_samples: clock.wait_samples,
-    })
+}
+
+/// Run one pass on `shard`, then arm whatever follow-up events the pass
+/// asked for: an immediate self-wake while backlog (or a shutdown drain)
+/// remains, a steal-poll tick while idle-stealing, and a retry timer per
+/// `NeedFrame` sent.
+fn dispatch_pass<T: Teacher>(
+    shared: &ReactorShared<T>,
+    shard: usize,
+    from_timer: bool,
+    outputs: &mut Vec<ShardOutput>,
+) -> Result<()> {
+    // Set-then-try ordering makes the handoff airtight: if the try_lock
+    // below fails, the current holder is guaranteed to observe our flag
+    // after it releases and re-wake the shard; if the holder released just
+    // before we set, our try_lock succeeds and we run the pass ourselves.
+    // A pass never parks a worker on a busy shard's mutex — the alternative
+    // lets one long pass (e.g. a Shutdown flush) capture every worker while
+    // timers starve.
+    shared.rerun[shard].store(true, Ordering::SeqCst);
+    let mut guard = match shared.states[shard].try_lock() {
+        Ok(guard) => guard,
+        Err(std::sync::TryLockError::WouldBlock) => {
+            if from_timer {
+                // The shard is mid-pass, hence not idle; try the steal tick
+                // again later (tick_pending stays true, by design).
+                shared
+                    .timers
+                    .lock()
+                    .expect("timer lock")
+                    .schedule_after(shared.steal_poll, TimerEvent::Tick(shard));
+            }
+            return Ok(());
+        }
+        Err(std::sync::TryLockError::Poisoned(_)) => {
+            return Err(TensorError::InvalidArgument(
+                "shard state lock poisoned".into(),
+            ))
+        }
+    };
+    shared.rerun[shard].store(false, Ordering::SeqCst);
+    let outcome = {
+        let Some(state) = guard.as_mut() else {
+            // The shard already finished; a late wake or tick is harmless.
+            return Ok(());
+        };
+        if from_timer {
+            state.tick_pending = false;
+            state.timer_fires += 1;
+        } else {
+            state.poll_wakeups += 1;
+        }
+        let outcome = state.run_pass()?;
+        if outcome.done {
+            let state = guard.take().expect("shard state present");
+            outputs.push(state.finish());
+            let finished = shared.finished.fetch_add(1, Ordering::SeqCst) + 1;
+            if finished == shared.states.len() {
+                // Release every worker parked in poll_one.
+                shared.poller.close();
+            }
+            return Ok(());
+        }
+        // Arm the steal tick while still holding the state lock so a racing
+        // dispatcher sees a consistent `tick_pending`.
+        if outcome.idle_stealing && !state.tick_pending {
+            state.tick_pending = true;
+            shared
+                .timers
+                .lock()
+                .expect("timer lock")
+                .schedule_after(shared.steal_poll, TimerEvent::Tick(shard));
+        }
+        outcome
+    };
+    drop(guard);
+    if shared.rerun[shard].swap(false, Ordering::SeqCst) {
+        // A wake token for this shard was consumed (and dropped) while we
+        // were mid-pass; re-issue it.
+        shared.shard_wakers[shard].wake();
+    }
+    for (stream_id, frame_index) in &outcome.need_frames {
+        shared.timers.lock().expect("timer lock").schedule_after(
+            NEED_FRAME_RETRY,
+            TimerEvent::NeedFrameRetry {
+                shard,
+                stream_id: *stream_id,
+                frame_index: *frame_index,
+            },
+        );
+    }
+    if outcome.backlog || outcome.disconnected {
+        // Queued jobs (or a shutdown drain in progress): hand the shard
+        // straight back to the worker set instead of waiting for traffic.
+        shared.shard_wakers[shard].wake();
+    }
+    Ok(())
+}
+
+/// Deliver a `NeedFrameRetry` timer to its shard, re-arming it while the
+/// job stays parked (or while the shard is too busy to answer).
+fn dispatch_need_frame_retry<T: Teacher>(
+    shared: &ReactorShared<T>,
+    shard: usize,
+    stream_id: StreamId,
+    frame_index: usize,
+) {
+    let still_waiting = match shared.states[shard].try_lock() {
+        Ok(mut guard) => match guard.as_mut() {
+            Some(state) => state.on_need_frame_retry(stream_id, frame_index),
+            None => false,
+        },
+        // Mid-pass: the pass may well deliver the re-share; check again
+        // next period.
+        Err(_) => true,
+    };
+    if still_waiting {
+        shared.timers.lock().expect("timer lock").schedule_after(
+            NEED_FRAME_RETRY,
+            TimerEvent::NeedFrameRetry {
+                shard,
+                stream_id,
+                frame_index,
+            },
+        );
+    }
 }
 
 #[cfg(test)]
@@ -3224,5 +3956,218 @@ mod tests {
         assert_eq!(pool.shard_loads(), vec![2, 0]);
         drop((a, b));
         pool.join().unwrap();
+    }
+
+    /// Spawn a pool, pipeline `key_frames` key frames per stream through
+    /// `streams` clients, shut down cleanly and return the final stats.
+    /// Shared by the reactor tests so the legacy and reactor drivers run
+    /// byte-identical workloads.
+    fn run_pipelined_pool(pool_config: PoolConfig, streams: usize, key_frames: usize) -> PoolStats {
+        let pool = ServerPool::spawn(
+            ShadowTutorConfig::paper(),
+            pool_config,
+            StudentNet::new(StudentConfig::tiny()).unwrap(),
+            0.013,
+            |shard| OracleTeacher::perfect(500 + shard as u64),
+        )
+        .unwrap();
+        let stream_frames: Vec<(StreamId, Vec<Frame>)> = (0..streams)
+            .map(|id| {
+                (
+                    id as StreamId,
+                    frames_for(SceneKind::People, 70 + id as u64, key_frames),
+                )
+            })
+            .collect();
+        let mut clients: Vec<StreamClient> = stream_frames
+            .iter()
+            .map(|(id, frames)| pool.connect(*id, frames).unwrap())
+            .collect();
+        for (client, (_, frames)) in clients.iter_mut().zip(&stream_frames) {
+            let initial = client.recv_timeout(Duration::from_secs(10)).unwrap();
+            assert!(matches!(initial, ServerToClient::InitialStudent { .. }));
+            // Pipeline every key frame without waiting for updates, so the
+            // server sees real per-stream backlog and batches freely.
+            for frame in frames {
+                let payload = Payload::sized(frame.raw_rgb_bytes());
+                let bytes = payload.bytes;
+                client
+                    .send(
+                        ClientToServer::KeyFrame {
+                            frame_index: frame.index,
+                            payload,
+                        },
+                        bytes,
+                    )
+                    .unwrap();
+            }
+            client.send(ClientToServer::Shutdown, 1).unwrap();
+        }
+        drop(clients);
+        pool.join().unwrap()
+    }
+
+    #[test]
+    fn reactor_pool_hosts_more_shards_than_threads() {
+        // The decoupling the reactor exists for: 8 shards on 2 threads.
+        let stats = run_pipelined_pool(
+            PoolConfig {
+                shards: 8,
+                reactor_threads: Some(2),
+                placement: PlacementPolicy::StaticModulo,
+                max_in_flight: 64,
+                recv_timeout: Duration::from_millis(100),
+                ..PoolConfig::default_pool()
+            },
+            8,
+            2,
+        );
+        assert_eq!(stats.streams.len(), 8);
+        assert_eq!(stats.final_checkpoints.len(), 8);
+        assert_eq!(stats.total_key_frames(), 16);
+        assert_eq!(stats.dropped_jobs(), 0);
+        assert_eq!(stats.throttled(), 0);
+        assert!(stats.streams.values().all(|s| s.key_frames == 2));
+        // The reactor's own accounting made it into the operator report.
+        let report = stats.snapshot();
+        assert_eq!(report.shards.len(), 8);
+        assert!(report.poll_wakeups > 0, "no readiness wakeups recorded");
+        // Register + 2 key frames + shutdown per stream, at minimum.
+        assert!(report.events_dispatched >= 8 * 4);
+    }
+
+    #[test]
+    fn reactor_distillation_is_bit_identical_to_thread_per_shard() {
+        let base = PoolConfig {
+            shards: 4,
+            placement: PlacementPolicy::StaticModulo,
+            max_in_flight: 64,
+            recv_timeout: Duration::from_millis(100),
+            ..PoolConfig::default_pool()
+        };
+        let threaded = run_pipelined_pool(base, 4, 4);
+        let reactor = run_pipelined_pool(
+            PoolConfig {
+                reactor_threads: Some(2),
+                ..base
+            },
+            4,
+            4,
+        );
+        assert_eq!(threaded.total_key_frames(), 16);
+        assert_eq!(reactor.total_key_frames(), 16);
+        assert_eq!(threaded.dropped_jobs() + reactor.dropped_jobs(), 0);
+        // Same workload, same shard assignment, same teachers: every
+        // stream's final student must match to the byte even though the
+        // reactor ran 4 shards on 2 threads with different batching timing.
+        for id in 0..4u64 {
+            let a = threaded.final_checkpoints[&id].encode();
+            let b = reactor.final_checkpoints[&id].encode();
+            assert_eq!(a, b, "stream {id} diverged between drivers");
+        }
+        // Per-stream serving counters agree too (waits and batch shapes may
+        // differ; the distillation outcome may not).
+        for id in 0..4u64 {
+            assert_eq!(
+                threaded.streams[&id].key_frames,
+                reactor.streams[&id].key_frames
+            );
+            assert_eq!(
+                threaded.streams[&id].distill_steps,
+                reactor.streams[&id].distill_steps
+            );
+        }
+    }
+
+    #[test]
+    fn reactor_pool_steals_work_like_the_threaded_pool() {
+        // The same topology as rebalance_pool_steals_a_backlogged_stream —
+        // hot + mate on shard 0, an idle stream on shard 1 — but both
+        // shards hosted by ONE reactor thread: the steal protocol must flow
+        // through timer ticks and mailbox wakes instead of parallel loops.
+        let pool = ServerPool::spawn(
+            ShadowTutorConfig::paper(),
+            PoolConfig {
+                shards: 2,
+                reactor_threads: Some(1),
+                max_batch: 1,
+                quantum: 1,
+                adaptive_batch: false,
+                max_in_flight: 64,
+                placement: PlacementPolicy::Rebalance,
+                recv_timeout: Duration::from_millis(200),
+                steal_poll: Duration::from_millis(1),
+                ..PoolConfig::default_pool()
+            },
+            StudentNet::new(StudentConfig::tiny()).unwrap(),
+            0.013,
+            // A real wall-clock pause per forward so a backlog actually
+            // builds at shard 0 while shard 1 goes idle.
+            |shard| {
+                crate::loadgen::PacedTeacher::new(
+                    OracleTeacher::perfect(600 + shard as u64),
+                    Duration::from_millis(8),
+                )
+            },
+        )
+        .unwrap();
+        let hot_frames = frames_for(SceneKind::People, 80, 12);
+        let idle_frames = frames_for(SceneKind::Street, 82, 1);
+        let mate_frames = frames_for(SceneKind::Animals, 81, 3);
+        let mut hot = pool.connect(0, &hot_frames).unwrap();
+        let mut idle = pool.connect(1, &idle_frames).unwrap();
+        let mut mate = pool.connect(2, &mate_frames).unwrap();
+        assert_eq!(pool.shard_loads(), vec![2, 1]);
+        hot.recv_timeout(Duration::from_secs(10)).unwrap();
+        idle.recv_timeout(Duration::from_secs(10)).unwrap();
+        mate.recv_timeout(Duration::from_secs(10)).unwrap();
+        let send_key = |client: &mut StreamClient, frame: &Frame| {
+            let payload = Payload::sized(frame.raw_rgb_bytes());
+            let bytes = payload.bytes;
+            client
+                .send(
+                    ClientToServer::KeyFrame {
+                        frame_index: frame.index,
+                        payload,
+                    },
+                    bytes,
+                )
+                .unwrap();
+        };
+        for frame in &hot_frames {
+            send_key(&mut hot, frame);
+        }
+        for frame in &mate_frames {
+            send_key(&mut mate, frame);
+        }
+        idle.send(ClientToServer::Shutdown, 1).unwrap();
+        drop(idle);
+        // Drain updates BEFORE shutdown so the backlog sits in the
+        // scheduler (one batch per pass) long enough to be stolen.
+        for _ in &hot_frames {
+            let update = hot.recv_timeout(Duration::from_secs(30)).unwrap();
+            assert!(matches!(update, ServerToClient::StudentUpdate { .. }));
+        }
+        for _ in &mate_frames {
+            let update = mate.recv_timeout(Duration::from_secs(30)).unwrap();
+            assert!(matches!(update, ServerToClient::StudentUpdate { .. }));
+        }
+        hot.send(ClientToServer::Shutdown, 1).unwrap();
+        mate.send(ClientToServer::Shutdown, 1).unwrap();
+        drop((hot, mate));
+        let stats = pool.join().unwrap();
+        assert_eq!(stats.total_key_frames(), 15);
+        assert_eq!(stats.dropped_jobs(), 0);
+        assert_eq!(stats.streams.len(), 3);
+        assert_eq!(stats.final_checkpoints.len(), 3);
+        let report = stats.snapshot();
+        assert!(
+            report.streams_stolen >= 1,
+            "no steal happened under the reactor: {report:?}"
+        );
+        let donated: usize = stats.shards.iter().map(|s| s.streams_donated).sum();
+        assert_eq!(donated, stats.streams_stolen());
+        // Steal-poll ticks flow through the timer wheel under the reactor.
+        assert!(report.timer_fires > 0, "no timer-driven passes recorded");
     }
 }

@@ -16,6 +16,11 @@
 //! * [`transport`] — a *live* transport built on crossbeam channels for the
 //!   threaded runtime, with an optional delay injector so wall-clock runs can
 //!   emulate a slow link.
+//! * [`poll`] — a readiness interface ([`poll::Poller`] / [`poll::ReadySet`])
+//!   for reactor-style consumers: wakeup tokens fire on send (see
+//!   [`transport::DuplexTransport::wake_on_send`]) so one thread — or a
+//!   fixed worker set — can multiplex thousands of mostly-idle endpoints
+//!   without spinning `try_recv` or parking a thread per endpoint.
 //!
 //! The virtual-time runtime in the `shadowtutor` crate uses only [`link`] and
 //! [`message`]; the threaded runtime uses [`transport`] as well.
@@ -34,6 +39,7 @@
 
 pub mod link;
 pub mod message;
+pub mod poll;
 pub mod transport;
 
 pub use link::{Bandwidth, LinkModel};
@@ -41,6 +47,7 @@ pub use message::{
     ClientToServer, DropReason, KeyFrameTraffic, NaiveTraffic, Payload, ServerToClient, StreamId,
     StreamTagged,
 };
+pub use poll::{Poller, ReadySet, Waker};
 pub use transport::{ClientEndpoint, DuplexTransport, TransportError};
 
 /// Result alias re-using the tensor error type for shape-ish failures.

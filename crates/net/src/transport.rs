@@ -93,6 +93,9 @@ pub struct DuplexTransport<TSend, TRecv> {
     tx: Sender<(usize, TSend)>,
     rx: Receiver<(usize, TRecv)>,
     delay: Option<DelayInjector>,
+    /// Readiness hook: woken after every send so the *peer's* poller learns
+    /// a message is waiting (see [`DuplexTransport::wake_on_send`]).
+    waker: Option<crate::poll::Waker>,
     sent_bytes: usize,
     received_bytes: usize,
     sent_messages: usize,
@@ -110,6 +113,7 @@ impl<TSend, TRecv> DuplexTransport<TSend, TRecv> {
                 tx: tx_ab,
                 rx: rx_ba,
                 delay: None,
+                waker: None,
                 sent_bytes: 0,
                 received_bytes: 0,
                 sent_messages: 0,
@@ -119,6 +123,7 @@ impl<TSend, TRecv> DuplexTransport<TSend, TRecv> {
                 tx: tx_ba,
                 rx: rx_ab,
                 delay: None,
+                waker: None,
                 sent_bytes: 0,
                 received_bytes: 0,
                 sent_messages: 0,
@@ -130,6 +135,16 @@ impl<TSend, TRecv> DuplexTransport<TSend, TRecv> {
     /// Attach a delay injector to this endpoint's sends.
     pub fn with_delay(mut self, delay: DelayInjector) -> Self {
         self.delay = Some(delay);
+        self
+    }
+
+    /// Attach a readiness waker fired after every send on *this* endpoint,
+    /// so the peer's [`crate::poll::Poller`] learns a message is waiting.
+    /// This is how a reactor multiplexes many transports: each peer
+    /// registers a token for its counterpart's sender and sleeps in one
+    /// `poll` instead of blocking per endpoint.
+    pub fn wake_on_send(mut self, waker: crate::poll::Waker) -> Self {
+        self.waker = Some(waker);
         self
     }
 
@@ -145,6 +160,9 @@ impl<TSend, TRecv> DuplexTransport<TSend, TRecv> {
         self.tx
             .send((bytes, message))
             .map_err(|_| TransportError::Disconnected)?;
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
         self.sent_bytes += bytes;
         self.sent_messages += 1;
         Ok(())
@@ -247,6 +265,22 @@ mod tests {
             ..up
         };
         assert!(scaled.delay_for(100_000) < d_big);
+    }
+
+    #[test]
+    fn wake_on_send_marks_the_peer_ready() {
+        use crate::poll::Poller;
+        let poller = Poller::new();
+        let (a, mut b) = DuplexTransport::<u8, u8>::pair();
+        // Token 0 stands for endpoint `b`'s readiness; endpoint `a` wakes it
+        // on every send. A reactor multiplexing many `b`-side endpoints
+        // sleeps in one poll instead of blocking per endpoint.
+        let mut a = a.wake_on_send(poller.waker(0));
+        assert!(poller.poll(Duration::from_millis(1)).is_empty());
+        a.send(42, 1).unwrap();
+        let ready = poller.poll(Duration::from_secs(1));
+        assert_eq!(ready.tokens(), &[0]);
+        assert_eq!(b.try_recv().unwrap(), Some(42));
     }
 
     #[test]

@@ -33,6 +33,19 @@
 //!   the busy one and the pool becomes work-conserving: the whole skewed
 //!   population is effectively served by all W workers
 //!   ([`ContentionModel::stealing_delay`]).
+//! * **Reactor dispatch** — with `reactor_threads` set, shard count is
+//!   decoupled from thread count: a fixed set of W workers drains whichever
+//!   shards are ready. Thread-per-shard is a *partitioned* queueing system
+//!   (each arrival can only be served by its own shard's thread, so a burst
+//!   on one shard queues serially while other threads idle —
+//!   [`ContentionModel::thread_per_shard_delay`]); the reactor is a *pooled*
+//!   one (an arrival waits only while **all** W workers are busy —
+//!   [`ContentionModel::reactor_delay`]), at the price of a per-event
+//!   dispatch overhead. At a fixed wait target the pooled law admits
+//!   utilization much closer to 1, which is the analytic counterpart of the
+//!   `table12_capacity` experiment
+//!   ([`ContentionModel::thread_per_shard_capacity`] vs
+//!   [`ContentionModel::reactor_capacity`]).
 
 use crate::profile::{Concurrency, LatencyProfile};
 use serde::{Deserialize, Serialize};
@@ -44,6 +57,12 @@ use serde::{Deserialize, Serialize};
 /// one place and both the live pool's accounting and the model move
 /// together.
 pub const DEFAULT_BATCH_MARGINAL_COST: f64 = 0.2;
+
+/// Default per-event dispatch overhead of the reactor, in seconds: the cost
+/// of waking a worker, locking the shard state and restoring its cursor
+/// before any useful service happens. Dwarfed by teacher service times, but
+/// kept explicit so the model cannot pretend the decoupling is free.
+pub const DEFAULT_DISPATCH_OVERHEAD: f64 = 20e-6;
 
 /// Contention model for S streams sharing W distillation workers.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -233,6 +252,82 @@ impl ContentionModel {
         )
     }
 
+    /// Predicted queueing delay under the **thread-per-shard** topology:
+    /// `workers` OS threads, one per shard, with the stream population
+    /// spread evenly across them. Each shard is its own single-server queue
+    /// — a momentary burst on one shard queues serially behind that shard's
+    /// thread even while every other thread idles. (This is exactly the
+    /// partition-equivalent [`ContentionModel::queueing_delay`] law, named
+    /// for the comparison.)
+    pub fn thread_per_shard_delay(&self, streams: usize, service: f64, inter_arrival: f64) -> f64 {
+        self.delay_for(streams as f64, service, inter_arrival)
+    }
+
+    /// Predicted queueing delay under the **reactor** topology: the same
+    /// `workers` threads, but hosting arbitrarily many shards and draining
+    /// whichever are ready. The system is pooled — an arriving key frame
+    /// waits only while *all* W workers are busy, so below saturation the
+    /// queueing term shrinks by the worker count relative to the partitioned
+    /// law (M/D/c against c independent M/D/1 queues at equal utilization).
+    /// Every event also pays `dispatch_overhead` seconds of reactor
+    /// bookkeeping on top of its service; at saturation the work limit is
+    /// the same as thread-per-shard's — decoupling buys burst absorption,
+    /// not throughput.
+    pub fn reactor_delay(
+        &self,
+        streams: usize,
+        service: f64,
+        inter_arrival: f64,
+        dispatch_overhead: f64,
+    ) -> f64 {
+        let service = service + dispatch_overhead.max(0.0);
+        let offered = streams as f64;
+        if inter_arrival <= 0.0 {
+            return self.delay_for(offered, service, inter_arrival);
+        }
+        let workers = self.workers as f64;
+        let rho = offered * service / (workers * inter_arrival);
+        let saturated = ((offered / workers) - 1.0).max(0.0) * service;
+        if rho >= 1.0 {
+            saturated
+        } else {
+            (rho / (1.0 - rho) * service / (2.0 * workers)).min(saturated)
+        }
+    }
+
+    /// Largest stream count whose [`thread_per_shard_delay`] stays within
+    /// `target` seconds of queueing. Zero if even a lone stream misses it.
+    ///
+    /// [`thread_per_shard_delay`]: ContentionModel::thread_per_shard_delay
+    pub fn thread_per_shard_capacity(
+        &self,
+        target: f64,
+        service: f64,
+        inter_arrival: f64,
+    ) -> usize {
+        capacity_where(target, |streams| {
+            self.thread_per_shard_delay(streams, service, inter_arrival)
+        })
+    }
+
+    /// Largest stream count whose [`reactor_delay`] stays within `target`
+    /// seconds of queueing. At tight targets (small relative to the service
+    /// time) this approaches `workers` × the thread-per-shard capacity —
+    /// the pooled law tolerates utilization W times closer to the knee.
+    ///
+    /// [`reactor_delay`]: ContentionModel::reactor_delay
+    pub fn reactor_capacity(
+        &self,
+        target: f64,
+        service: f64,
+        inter_arrival: f64,
+        dispatch_overhead: f64,
+    ) -> usize {
+        capacity_where(target, |streams| {
+            self.reactor_delay(streams, service, inter_arrival, dispatch_overhead)
+        })
+    }
+
     /// Utilization for a fractional effective stream count.
     fn utilization_rate(&self, offered_streams: f64, service: f64, inter_arrival: f64) -> f64 {
         if inter_arrival <= 0.0 {
@@ -285,6 +380,39 @@ impl ContentionModel {
         );
         concurrency.t_c(min_stride, profile.student_inference, rt)
     }
+}
+
+/// Hard ceiling on the capacity search — far above any population the model
+/// is credible for, it only guards against a delay law that never crosses
+/// the target (e.g. zero service time).
+const CAPACITY_SEARCH_CEILING: usize = 1 << 22;
+
+/// Largest `streams` with `delay(streams) <= target`, assuming `delay` is
+/// monotone non-decreasing in the stream count (every law in this module
+/// is). Exponential sweep to bracket the knee, then binary search.
+fn capacity_where<F: Fn(usize) -> f64>(target: f64, delay: F) -> usize {
+    if delay(1) > target {
+        return 0;
+    }
+    let mut lo = 1usize; // known-good
+    let mut hi = 2usize;
+    while hi < CAPACITY_SEARCH_CEILING && delay(hi) <= target {
+        lo = hi;
+        hi *= 2;
+    }
+    if hi >= CAPACITY_SEARCH_CEILING {
+        return CAPACITY_SEARCH_CEILING;
+    }
+    // Invariant: delay(lo) <= target < delay(hi).
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if delay(mid) <= target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
 }
 
 #[cfg(test)]
@@ -418,6 +546,72 @@ mod tests {
         let w2 = model(2).stealing_delay(8, 8.0, service, inter);
         let w8 = model(8).stealing_delay(8, 8.0, service, inter);
         assert!(w8 <= w2 + 1e-12);
+    }
+
+    #[test]
+    fn reactor_pools_the_workers_thread_per_shard_partitions_them() {
+        let p = LatencyProfile::paper();
+        let service = model(1).service_time(&p, true, 4.0, 1.0);
+        let inter = 8.0 * p.student_inference;
+        let m = model(4);
+        let streams = 12;
+
+        // Below saturation the pooled wait is the partitioned wait shrunk by
+        // the worker count (plus the dispatch overhead's small service tax).
+        let partitioned = m.thread_per_shard_delay(streams, service, inter);
+        let pooled = m.reactor_delay(streams, service, inter, 0.0);
+        assert!(partitioned > 0.0);
+        assert!(
+            (pooled - partitioned / 4.0).abs() < 1e-12,
+            "pooled {pooled} vs partitioned {partitioned}"
+        );
+
+        // Dispatch overhead is not free: it strictly lengthens the wait...
+        let taxed = m.reactor_delay(streams, service, inter, DEFAULT_DISPATCH_OVERHEAD);
+        assert!(taxed > pooled);
+        // ...but stays far below the partitioned wait for realistic costs.
+        assert!(taxed < partitioned / 2.0);
+
+        // With one worker there is nothing to pool: the laws coincide.
+        let m1 = model(1);
+        let lone_partitioned = m1.thread_per_shard_delay(4, service, inter);
+        let lone_pooled = m1.reactor_delay(4, service, inter, 0.0);
+        assert!((lone_partitioned - lone_pooled).abs() < 1e-12);
+
+        // Saturation is a work limit, not a scheduling artifact: overloaded,
+        // both topologies degrade to the same busy-period bound.
+        let overloaded_partitioned = m.thread_per_shard_delay(64, service, service / 100.0);
+        let overloaded_pooled = m.reactor_delay(64, service, service / 100.0, 0.0);
+        assert!((overloaded_partitioned - overloaded_pooled).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reactor_capacity_beats_thread_per_shard_at_a_tight_wait_target() {
+        let p = LatencyProfile::paper();
+        let service = model(1).service_time(&p, true, 4.0, 1.0);
+        let inter = 8.0 * p.student_inference;
+        let m = model(4);
+        // A tight p99-style target: a tenth of one service time of queueing.
+        let target = service / 10.0;
+
+        let partitioned = m.thread_per_shard_capacity(target, service, inter);
+        let pooled = m.reactor_capacity(target, service, inter, DEFAULT_DISPATCH_OVERHEAD);
+        assert!(partitioned >= 1);
+        assert!(
+            pooled >= 3 * partitioned,
+            "reactor capacity {pooled} vs thread-per-shard {partitioned}"
+        );
+
+        // Capacity grows with the fixed worker set under both laws.
+        let m8 = model(8);
+        assert!(m8.thread_per_shard_capacity(target, service, inter) >= partitioned);
+        assert!(m8.reactor_capacity(target, service, inter, DEFAULT_DISPATCH_OVERHEAD) >= pooled);
+
+        // A target no stream can meet yields zero capacity; a trivially
+        // loose one is bounded by the search ceiling, not a hang.
+        assert_eq!(m.thread_per_shard_capacity(-1.0, service, inter), 0);
+        let loose = m.reactor_capacity(f64::INFINITY, service, inter, 0.0);
+        assert!(loose >= 1);
     }
 
     #[test]

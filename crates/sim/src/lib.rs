@@ -24,5 +24,5 @@ pub mod contention;
 pub mod profile;
 
 pub use clock::{EventKind, EventLog, VirtualClock};
-pub use contention::{ContentionModel, DEFAULT_BATCH_MARGINAL_COST};
+pub use contention::{ContentionModel, DEFAULT_BATCH_MARGINAL_COST, DEFAULT_DISPATCH_OVERHEAD};
 pub use profile::{Concurrency, LatencyProfile};
