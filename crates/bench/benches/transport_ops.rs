@@ -1,0 +1,84 @@
+//! Transport micro-benchmarks: the versioned wire codec and the
+//! shared-memory ring.
+//!
+//! Criterion measures the two hot paths (framing a 64 KiB key frame both
+//! ways, and a chunk's uncontended trip through the ring); the printed table
+//! additionally reports bytes, µs/op, and MB/s for every message type plus
+//! an N-producer contention sweep, in the style of IPC benchmark suites.
+//!
+//! Knobs (for CI's tiny smoke run):
+//!
+//! * `TRANSPORT_SWEEP=smoke` shrinks the producer sweep and iteration
+//!   counts.
+//! * `TRANSPORT_JSON=<path>` additionally writes the table as JSON
+//!   (uploaded next to the other reproduce artifacts).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use st_bench::json::table_to_json;
+use st_bench::transport::table_transport;
+use st_net::{ClientToServer, Payload, ShmConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn transport_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_ops");
+    group.sample_size(20);
+
+    let payload: Vec<u8> = (0..64 * 1024).map(|i| (i % 255) as u8).collect();
+    let key_frame = ClientToServer::KeyFrame {
+        frame_index: 42,
+        payload: Payload::with_data(bytes::Bytes::from(payload)),
+    };
+    group.bench_function("encode_key_frame_64k", |bench| {
+        bench.iter(|| st_net::wire::encode_frame(black_box(&key_frame)))
+    });
+    let encoded = st_net::wire::encode_frame(&key_frame);
+    group.bench_function("decode_key_frame_64k", |bench| {
+        bench.iter(|| st_net::wire::decode_frame::<ClientToServer>(black_box(&encoded)).unwrap())
+    });
+
+    if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
+        let path = st_net::shm::default_segment_path(&format!(
+            "transport-ops-bench-{}",
+            std::process::id()
+        ));
+        let (producer, consumer) =
+            st_net::shm::ring_channel(&path, ShmConfig::default()).expect("bench ring segment");
+        let chunk = vec![0xA5u8; 4 * 1024];
+        let mut out = Vec::with_capacity(chunk.len());
+        group.bench_function("ring_push_pop_4k", |bench| {
+            bench.iter(|| {
+                assert!(producer.push_timeout(black_box(&chunk), Duration::from_secs(5)));
+                out.clear();
+                assert!(consumer.try_pop(&mut out));
+                out.len()
+            })
+        });
+        drop((producer, consumer));
+        let _ = std::fs::remove_file(&path);
+    }
+    group.finish();
+
+    let smoke = std::env::var("TRANSPORT_SWEEP").as_deref() == Ok("smoke");
+    let (sweep, per_producer, iters): (&[usize], usize, usize) = if smoke {
+        (&[1, 2], 256, 200)
+    } else {
+        (&[1, 2, 4], 2048, 2000)
+    };
+    let table = table_transport(sweep, per_producer, iters);
+    println!("\n{}", table.text);
+
+    if let Ok(path) = std::env::var("TRANSPORT_JSON") {
+        let json = table_to_json(&table);
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("wrote JSON artifact: {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+criterion_group!(benches, transport_benchmark);
+criterion_main!(benches);

@@ -15,7 +15,9 @@
 
 pub mod figures;
 pub mod json;
+pub mod shm_demo;
 pub mod tables;
+pub mod transport;
 pub mod workloads;
 
 pub use workloads::{ExperimentScale, SharedSetup};

@@ -37,7 +37,7 @@ pub struct TableOutput {
 }
 
 impl TableOutput {
-    fn new(id: &str) -> Self {
+    pub(crate) fn new(id: &str) -> Self {
         TableOutput {
             id: id.to_string(),
             text: String::new(),
@@ -54,7 +54,7 @@ impl TableOutput {
             .map(|(_, v)| v.as_slice())
     }
 
-    fn render(&mut self, title: &str) {
+    pub(crate) fn render(&mut self, title: &str) {
         let mut text = String::new();
         text.push_str(title);
         text.push('\n');
@@ -225,13 +225,42 @@ pub fn tables_3_and_5(setup: &SharedSetup) -> ThroughputTables {
 /// student (≈0.5 M parameters) and a 720p frame. The partial/full update
 /// sizes are measured from the real Rust student's encoded snapshots.
 pub fn table4() -> TableOutput {
+    use st_net::{ClientToServer, Payload, ServerToClient};
+    use st_nn::snapshot::{SnapshotScope, WeightSnapshot};
+
     let mut student = StudentNet::new(StudentConfig::paper()).expect("paper-scale student");
     student.freeze = DistillationMode::Partial.freeze_point();
     let sizes = PayloadSizes::of(&mut student);
     let frame_bytes = 3 * 1280 * 720;
-    let partial = KeyFrameTraffic::new(frame_bytes, sizes.partial_bytes);
-    let full = KeyFrameTraffic::new(frame_bytes, sizes.full_bytes);
-    let naive = NaiveTraffic::for_frame(1280, 720);
+
+    // Measured wire sizes: the framed byte length of the *actual encoded
+    // messages* the binary codec would put on a wire — a `KeyFrame` carrying
+    // a 720p 8-bit RGB payload up, a `StudentUpdate` carrying the encoded
+    // snapshot down — rather than the modelled payload arithmetic.
+    let wire_up = st_net::wire::frame_len(&ClientToServer::KeyFrame {
+        frame_index: 0,
+        payload: Payload::with_data(bytes::Bytes::from(vec![0u8; frame_bytes])),
+    });
+    let wire_down_of = |snapshot: &WeightSnapshot| {
+        st_net::wire::frame_len(&ServerToClient::StudentUpdate {
+            frame_index: 0,
+            metric: 0.0,
+            distill_steps: 0,
+            payload: Payload::with_data(snapshot.encode()),
+        })
+    };
+    let partial_snapshot = WeightSnapshot::capture(&mut student, SnapshotScope::TrainableOnly);
+    let full_snapshot = WeightSnapshot::capture(&mut student, SnapshotScope::Full);
+    let partial = KeyFrameTraffic::new(frame_bytes, sizes.partial_bytes)
+        .with_wire_bytes(wire_up, wire_down_of(&partial_snapshot));
+    let full = KeyFrameTraffic::new(frame_bytes, sizes.full_bytes)
+        .with_wire_bytes(wire_up, wire_down_of(&full_snapshot));
+    // Naive ships every frame up and the framed label map (one class byte
+    // per pixel) back down.
+    let naive = NaiveTraffic::for_frame(1280, 720).with_wire_bytes(
+        wire_up,
+        st_net::wire::frame_len(&bytes::Bytes::from(vec![0u8; 1280 * 720])),
+    );
 
     let mut out = TableOutput::new("Table 4");
     out.row_labels = vec![
@@ -243,12 +272,22 @@ pub fn table4() -> TableOutput {
     let (fu, fd, ft) = full.megabytes();
     let nu = naive.to_server_bytes as f64 / 1e6;
     let nd = naive.to_client_bytes as f64 / 1e6;
+    let (pwu, pwd, pwt) = partial.wire_megabytes();
+    let (fwu, fwd, fwt) = full.wire_megabytes();
+    let nwu = naive.wire_bytes_up as f64 / 1e6;
+    let nwd = naive.wire_bytes_down as f64 / 1e6;
     out.columns = vec![
         ("Partial".to_string(), vec![pu, pd, pt]),
         ("Full".to_string(), vec![fu, fd, ft]),
         ("Naive".to_string(), vec![nu, nd, nu + nd]),
+        ("Partial/wire".to_string(), vec![pwu, pwd, pwt]),
+        ("Full/wire".to_string(), vec![fwu, fwd, fwt]),
+        ("Naive/wire".to_string(), vec![nwu, nwd, nwu + nwd]),
     ];
-    out.render("Table 4: data transmitted on each key frame (MB, measured from the Rust student)");
+    out.render(
+        "Table 4: data transmitted on each key frame (MB; modelled columns, then \
+         */wire columns measured from the framed binary codec output)",
+    );
     out
 }
 

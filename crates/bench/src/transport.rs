@@ -1,0 +1,260 @@
+//! Transport micro-benchmark table: codec throughput per message type and
+//! shared-memory ring latency, in the µs-per-datum style of IPC benchmark
+//! suites.
+//!
+//! The `transport_ops` Criterion bench drives this and prints the table; the
+//! measurements themselves are hand-timed loops so the table can report
+//! bytes, µs/op, and MB/s side by side for every scenario (Criterion's
+//! statistics stay available in the bench's own output).
+
+use crate::tables::TableOutput;
+use st_net::shm::{ring_channel, RingConsumer, RingProducer};
+use st_net::{ClientToServer, Payload, ServerToClient, ShmConfig, StreamTagged};
+use st_nn::snapshot::{SnapshotScope, WeightSnapshot};
+use st_nn::student::{StudentConfig, StudentNet};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One measured scenario: what moved, how big one datum was, how long one
+/// operation took.
+struct Sample {
+    label: String,
+    datum_bytes: usize,
+    us_per_op: f64,
+}
+
+impl Sample {
+    fn megabytes_per_second(&self) -> f64 {
+        if self.us_per_op == 0.0 {
+            return 0.0;
+        }
+        (self.datum_bytes as f64 / 1e6) / (self.us_per_op / 1e6)
+    }
+}
+
+/// Time `f` over `iters` iterations (after `iters / 10 + 1` warm-up runs)
+/// and return the mean microseconds per call.
+fn measure_us<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+/// Deterministic non-trivial payload bytes (all-zero buffers flatter memcpy).
+fn patterned(len: usize) -> bytes::Bytes {
+    bytes::Bytes::from((0..len).map(|i| (i * 31 % 251) as u8).collect::<Vec<u8>>())
+}
+
+fn codec_samples(iters: usize) -> Vec<Sample> {
+    let mut samples = Vec::new();
+    let mut push = |label: &str, encoded: Vec<u8>, encode_us: f64, decode_us: f64| {
+        samples.push(Sample {
+            label: format!("encode/{label}"),
+            datum_bytes: encoded.len(),
+            us_per_op: encode_us,
+        });
+        samples.push(Sample {
+            label: format!("decode/{label}"),
+            datum_bytes: encoded.len(),
+            us_per_op: decode_us,
+        });
+    };
+
+    // Control-plane message: the smallest thing the protocol ships.
+    let register = ClientToServer::Register;
+    push(
+        "register",
+        st_net::wire::encode_frame(&register),
+        measure_us(iters * 10, || {
+            black_box(st_net::wire::encode_frame(black_box(&register)));
+        }),
+        {
+            let bytes = st_net::wire::encode_frame(&register);
+            measure_us(iters * 10, || {
+                black_box(st_net::wire::decode_frame::<ClientToServer>(black_box(&bytes)).unwrap());
+            })
+        },
+    );
+
+    // Key frame with a 64 KiB encoded-RGB payload — the uplink data plane.
+    let key_frame = ClientToServer::KeyFrame {
+        frame_index: 42,
+        payload: Payload::with_data(patterned(64 * 1024)),
+    };
+    push(
+        "key_frame_64k",
+        st_net::wire::encode_frame(&key_frame),
+        measure_us(iters, || {
+            black_box(st_net::wire::encode_frame(black_box(&key_frame)));
+        }),
+        {
+            let bytes = st_net::wire::encode_frame(&key_frame);
+            measure_us(iters, || {
+                black_box(st_net::wire::decode_frame::<ClientToServer>(black_box(&bytes)).unwrap());
+            })
+        },
+    );
+
+    // Student update carrying a real partial weight snapshot — the downlink
+    // data plane.
+    let mut student = StudentNet::new(StudentConfig::tiny()).expect("student init");
+    let snapshot = WeightSnapshot::capture(&mut student, SnapshotScope::TrainableOnly);
+    let update = ServerToClient::StudentUpdate {
+        frame_index: 42,
+        metric: 0.875,
+        distill_steps: 12,
+        payload: Payload::with_data(snapshot.encode()),
+    };
+    push(
+        "student_update",
+        st_net::wire::encode_frame(&update),
+        measure_us(iters, || {
+            black_box(st_net::wire::encode_frame(black_box(&update)));
+        }),
+        {
+            let bytes = st_net::wire::encode_frame(&update);
+            measure_us(iters, || {
+                black_box(st_net::wire::decode_frame::<ServerToClient>(black_box(&bytes)).unwrap());
+            })
+        },
+    );
+
+    // The multiplexed envelope the pool actually routes on.
+    let tagged = StreamTagged::new(
+        7,
+        ClientToServer::KeyFrame {
+            frame_index: 42,
+            payload: Payload::with_data(patterned(64 * 1024)),
+        },
+    );
+    push(
+        "tagged_key_frame",
+        st_net::wire::encode_frame(&tagged),
+        measure_us(iters, || {
+            black_box(st_net::wire::encode_frame(black_box(&tagged)));
+        }),
+        {
+            let bytes = st_net::wire::encode_frame(&tagged);
+            measure_us(iters, || {
+                black_box(
+                    st_net::wire::decode_frame::<StreamTagged<ClientToServer>>(black_box(&bytes))
+                        .unwrap(),
+                );
+            })
+        },
+    );
+
+    samples
+}
+
+/// Ping one chunk through the ring (enqueue + dequeue in one thread) —
+/// the uncontended latency floor.
+fn ring_1p1c(producer: &RingProducer, consumer: &RingConsumer, chunk: &[u8], iters: usize) -> f64 {
+    let mut out = Vec::with_capacity(chunk.len());
+    measure_us(iters, || {
+        assert!(producer.push_timeout(chunk, Duration::from_secs(5)));
+        out.clear();
+        assert!(consumer.try_pop(&mut out));
+        black_box(&out);
+    })
+}
+
+/// `producers` threads each push `per_producer` chunks while this thread
+/// drains; returns mean µs per chunk end to end.
+fn ring_contended(
+    producer: &RingProducer,
+    consumer: &RingConsumer,
+    chunk: &[u8],
+    producers: usize,
+    per_producer: usize,
+) -> f64 {
+    let total = producers * per_producer;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..producers {
+            let producer = producer.clone();
+            scope.spawn(move || {
+                for _ in 0..per_producer {
+                    assert!(producer.push_timeout(chunk, Duration::from_secs(10)));
+                }
+            });
+        }
+        let mut out = Vec::with_capacity(chunk.len());
+        let mut received = 0usize;
+        while received < total {
+            out.clear();
+            if consumer.try_pop(&mut out) {
+                black_box(&out);
+                received += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    });
+    start.elapsed().as_secs_f64() * 1e6 / total as f64
+}
+
+fn ring_samples(sweep: &[usize], per_producer: usize, iters: usize) -> Vec<Sample> {
+    let chunk_bytes = 4 * 1024;
+    let path =
+        st_net::shm::default_segment_path(&format!("transport-bench-{}", std::process::id()));
+    let (producer, consumer) =
+        ring_channel(&path, ShmConfig::default()).expect("create bench ring segment");
+    let chunk: Vec<u8> = (0..chunk_bytes).map(|i| (i % 255) as u8).collect();
+
+    let mut samples = vec![Sample {
+        label: "ring/1p_1c_ping".to_string(),
+        datum_bytes: chunk_bytes,
+        us_per_op: ring_1p1c(&producer, &consumer, &chunk, iters),
+    }];
+    for &producers in sweep {
+        samples.push(Sample {
+            label: format!("ring/{producers}p_1c"),
+            datum_bytes: chunk_bytes,
+            us_per_op: ring_contended(&producer, &consumer, &chunk, producers, per_producer),
+        });
+    }
+    drop((producer, consumer));
+    let _ = std::fs::remove_file(&path);
+    samples
+}
+
+/// Build the transport micro-benchmark table.
+///
+/// `sweep` is the list of concurrent producer counts for the contended ring
+/// scenarios; `per_producer` the chunks each producer pushes; `iters` the
+/// iteration count for the single-threaded codec / ping loops.
+pub fn table_transport(sweep: &[usize], per_producer: usize, iters: usize) -> TableOutput {
+    let mut samples = codec_samples(iters);
+    if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
+        samples.extend(ring_samples(sweep, per_producer, iters));
+    } else {
+        println!("transport: shared-memory ring scenarios skipped (needs x86_64 Linux)");
+    }
+
+    let mut out = TableOutput::new("TRANSPORT");
+    out.row_labels = samples.iter().map(|s| s.label.clone()).collect();
+    out.columns = vec![
+        (
+            "datum (B)".to_string(),
+            samples.iter().map(|s| s.datum_bytes as f64).collect(),
+        ),
+        (
+            "µs/op".to_string(),
+            samples.iter().map(|s| s.us_per_op).collect(),
+        ),
+        (
+            "MB/s".to_string(),
+            samples.iter().map(Sample::megabytes_per_second).collect(),
+        ),
+    ];
+    out.render(
+        "TRANSPORT: wire codec throughput per message type and shared-memory ring latency (measured)",
+    );
+    out
+}

@@ -1,0 +1,98 @@
+//! End-to-end two-process test: the `reproduce` binary's hidden
+//! `shm-client` role in a real child process, this test process hosting the
+//! server pool, a file-backed shared-memory ring as the only link.
+//!
+//! This is the cross-process counterpart of the in-process bridge test in
+//! `shadowtutor::runtime::shm_live` — here the client really is another
+//! address space, so every assertion below is about bytes the versioned
+//! wire codec produced and moved.
+
+#![cfg(all(target_os = "linux", target_arch = "x86_64"))]
+
+use shadowtutor::config::ShadowTutorConfig;
+use shadowtutor::report::ExperimentRecord;
+use shadowtutor::runtime::shm_live::host_stream_over_shm;
+use shadowtutor::serve::PoolConfig;
+use st_bench::shm_demo::{demo_frames, demo_params, naive_wire_bytes};
+use st_bench::ExperimentScale;
+use st_net::ShmConfig;
+use st_nn::student::{StudentConfig, StudentNet};
+use st_teacher::OracleTeacher;
+use std::process::Command;
+
+#[test]
+fn two_process_session_conserves_bytes_and_beats_naive() {
+    let (frame_count, seed) = demo_params(ExperimentScale::Smoke);
+    let frames = demo_frames(frame_count, seed);
+    let pid = std::process::id();
+    let segment = st_net::shm::default_segment_path(&format!("st-e2e-two-process-{pid}"));
+    let record_out = std::env::temp_dir().join(format!("st-e2e-record-{pid}.bin"));
+
+    // The real client binary, in its own process, over the real segment.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .arg("shm-client")
+        .arg(&segment)
+        .arg(&record_out)
+        .arg(frame_count.to_string())
+        .arg(seed.to_string())
+        .spawn()
+        .expect("spawn shm client process");
+
+    let host = host_stream_over_shm(
+        ShadowTutorConfig::paper(),
+        PoolConfig::with_shards(1),
+        StudentNet::new(StudentConfig::tiny()).expect("student init"),
+        0.013,
+        |_| OracleTeacher::perfect(7),
+        0,
+        &frames,
+        &segment,
+        ShmConfig::default(),
+    )
+    .expect("host side of the shm session");
+    let status = child.wait().expect("wait for shm client process");
+    assert!(status.success(), "client process failed: {status}");
+
+    let record_bytes = std::fs::read(&record_out).expect("read child record");
+    let _ = std::fs::remove_file(&record_out);
+    let record: ExperimentRecord =
+        st_net::wire::decode_frame(&record_bytes).expect("decode child record");
+
+    // The child processed the whole stream it derived from the shared spec.
+    assert_eq!(record.frames, frames.len());
+    assert!(host.pool.total_key_frames() > 0, "no key frames served");
+    assert!(
+        host.pool.total_key_frames() >= record.key_frames.len(),
+        "pool served fewer key frames than the client applied"
+    );
+
+    // Byte conservation across the process boundary: what the child's
+    // endpoint counted (framed messages), plus the ring's 4-byte stream
+    // prefix per message, is exactly what the host's ring counters saw.
+    assert!(record.uplink_bytes > 0 && record.downlink_bytes > 0);
+    assert_eq!(
+        host.wire_bytes_up,
+        record.uplink_bytes + 4 * host.messages_up,
+        "uplink byte conservation"
+    );
+    assert_eq!(
+        host.wire_bytes_down,
+        record.downlink_bytes + 4 * host.messages_down,
+        "downlink byte conservation"
+    );
+    // The pool's own wire meter saw the bridged traffic too.
+    assert!(host.pool.wire_bytes_up > 0);
+    assert!(host.pool.wire_bytes_down > 0);
+
+    // The paper's traffic claim, on measured wire bytes: key-frame
+    // offloading moved strictly less than naive full-frame offloading would.
+    let (naive_up, naive_down) = naive_wire_bytes(&frames);
+    assert!(
+        record.uplink_bytes + record.downlink_bytes < naive_up + naive_down,
+        "key-frame wire total {} B not below naive wire total {} B",
+        record.uplink_bytes + record.downlink_bytes,
+        naive_up + naive_down
+    );
+
+    let _ = std::fs::remove_file(&segment);
+}

@@ -75,6 +75,49 @@ impl PlacementPolicy {
     }
 }
 
+/// Field-by-field little-endian encoding in declaration order, with the
+/// distillation mode as a tagged byte (0 = partial, 1 = full) so a peer
+/// process can reconstruct the exact algorithm parameters of a run.
+impl st_net::Wire for ShadowTutorConfig {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.threshold.encode_into(out);
+        self.min_stride.encode_into(out);
+        self.max_stride.encode_into(out);
+        self.max_updates.encode_into(out);
+        out.push(match self.mode {
+            DistillationMode::Partial => 0,
+            DistillationMode::Full => 1,
+        });
+        self.learning_rate.encode_into(out);
+        self.loss_weight_radius.encode_into(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> std::result::Result<Self, st_net::WireError> {
+        Ok(ShadowTutorConfig {
+            threshold: f64::decode(input)?,
+            min_stride: usize::decode(input)?,
+            max_stride: usize::decode(input)?,
+            max_updates: usize::decode(input)?,
+            mode: match u8::decode(input)? {
+                0 => DistillationMode::Partial,
+                1 => DistillationMode::Full,
+                tag => {
+                    return Err(st_net::WireError::UnknownVariant {
+                        type_name: "DistillationMode",
+                        tag,
+                    })
+                }
+            },
+            learning_rate: f32::decode(input)?,
+            loss_weight_radius: usize::decode(input)?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + 8 + 8 + 8 + 1 + 4 + 8
+    }
+}
+
 /// The ShadowTutor algorithm parameters (§5.3).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ShadowTutorConfig {

@@ -12,7 +12,7 @@
 
 use crate::config::ShadowTutorConfig;
 use serde::{Deserialize, Serialize};
-use st_net::LinkModel;
+use st_net::{LinkModel, Wire, WireError};
 use st_sim::{Concurrency, LatencyProfile};
 
 /// Per-frame record.
@@ -205,6 +205,110 @@ impl ExperimentRecord {
     }
 }
 
+impl Wire for FrameRecord {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.index.encode_into(out);
+        self.is_key_frame.encode_into(out);
+        self.miou.encode_into(out);
+        self.waited.encode_into(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> std::result::Result<Self, WireError> {
+        Ok(FrameRecord {
+            index: usize::decode(input)?,
+            is_key_frame: bool::decode(input)?,
+            miou: f64::decode(input)?,
+            waited: bool::decode(input)?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + 1 + 8 + 1
+    }
+}
+
+impl Wire for KeyFrameRecord {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.frame_index.encode_into(out);
+        self.steps.encode_into(out);
+        self.initial_metric.encode_into(out);
+        self.metric.encode_into(out);
+        self.stride_after.encode_into(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> std::result::Result<Self, WireError> {
+        Ok(KeyFrameRecord {
+            frame_index: usize::decode(input)?,
+            steps: usize::decode(input)?,
+            initial_metric: f64::decode(input)?,
+            metric: f64::decode(input)?,
+            stride_after: usize::decode(input)?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + 8 + 8 + 8 + 8
+    }
+}
+
+/// The cross-process encoding of a finished run: every scalar field in
+/// declaration order, the two record traces as count-prefixed vectors, the
+/// algorithm config (see `ShadowTutorConfig`'s `Wire` impl), and the latency
+/// profile flattened to its four `f64` fields — st-sim stays wire-agnostic.
+impl Wire for ExperimentRecord {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.label.encode_into(out);
+        self.variant.encode_into(out);
+        self.frames.encode_into(out);
+        self.frame_records.encode_into(out);
+        self.key_frames.encode_into(out);
+        self.frame_bytes.encode_into(out);
+        self.update_bytes.encode_into(out);
+        self.uplink_bytes.encode_into(out);
+        self.downlink_bytes.encode_into(out);
+        self.total_time.encode_into(out);
+        self.config.encode_into(out);
+        self.latency.student_inference.encode_into(out);
+        self.latency.distill_step_partial.encode_into(out);
+        self.latency.distill_step_full.encode_into(out);
+        self.latency.teacher_inference.encode_into(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> std::result::Result<Self, WireError> {
+        Ok(ExperimentRecord {
+            label: String::decode(input)?,
+            variant: String::decode(input)?,
+            frames: usize::decode(input)?,
+            frame_records: Vec::<FrameRecord>::decode(input)?,
+            key_frames: Vec::<KeyFrameRecord>::decode(input)?,
+            frame_bytes: usize::decode(input)?,
+            update_bytes: usize::decode(input)?,
+            uplink_bytes: usize::decode(input)?,
+            downlink_bytes: usize::decode(input)?,
+            total_time: f64::decode(input)?,
+            config: ShadowTutorConfig::decode(input)?,
+            latency: LatencyProfile {
+                student_inference: f64::decode(input)?,
+                distill_step_partial: f64::decode(input)?,
+                distill_step_full: f64::decode(input)?,
+                teacher_inference: f64::decode(input)?,
+            },
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.label.encoded_len()
+            + self.variant.encoded_len()
+            + 8
+            + self.frame_records.encoded_len()
+            + self.key_frames.encoded_len()
+            + 8 * 4
+            + 8
+            + self.config.encoded_len()
+            + 8 * 4
+    }
+}
+
 /// One shard's row in the operator report ([`PoolReport`]).
 ///
 /// Everything an operator dashboards per worker: how much it served, how
@@ -300,6 +404,12 @@ pub struct PoolReport {
     pub poll_wakeups: usize,
     /// Largest per-shard peak idle-stream count.
     pub idle_streams: usize,
+    /// Measured client→server bytes as they would appear on the wire: the
+    /// sum of [`st_net::wire::frame_len`] over every uplink message the pool
+    /// ingested. Zero when the runtime in use does not meter frames.
+    pub wire_bytes_up: usize,
+    /// Measured server→client wire bytes (framed downlink messages).
+    pub wire_bytes_down: usize,
 }
 
 impl PoolReport {
@@ -356,7 +466,8 @@ impl PoolReport {
              \"reshared_frames\":{},\"dropped_jobs\":{},\"throttled\":{},\
              \"frame_bytes_peak\":{},\"queue_p50_ms\":{},\"queue_p99_ms\":{},\
              \"teacher_wall_secs\":{},\"events_dispatched\":{},\"timer_fires\":{},\
-             \"poll_wakeups\":{},\"idle_streams\":{}}}}}",
+             \"poll_wakeups\":{},\"idle_streams\":{},\
+             \"wire_bytes_up\":{},\"wire_bytes_down\":{}}}}}",
             self.total_key_frames,
             self.streams_stolen,
             self.frame_evictions,
@@ -371,6 +482,8 @@ impl PoolReport {
             self.timer_fires,
             self.poll_wakeups,
             self.idle_streams,
+            self.wire_bytes_up,
+            self.wire_bytes_down,
         );
         out
     }
@@ -568,6 +681,8 @@ mod tests {
             timer_fires: 6,
             poll_wakeups: 24,
             idle_streams: 7,
+            wire_bytes_up: 123456,
+            wire_bytes_down: 654321,
         };
         let json = report.to_json();
         assert!(json.starts_with("{\"shards\":[{\"shard\":0,"));
@@ -577,6 +692,8 @@ mod tests {
         assert!(json.contains("\"timer_fires\":6"));
         assert!(json.contains("\"poll_wakeups\":24"));
         assert!(json.contains("\"idle_streams\":7"));
+        assert!(json.contains("\"wire_bytes_up\":123456"));
+        assert!(json.contains("\"wire_bytes_down\":654321"));
         assert!(json.contains("\"totals\":{\"key_frames\":20,"));
         assert!(json.contains("\"frame_bytes_peak\":30720"));
         // Non-finite values render as null, not invalid JSON.

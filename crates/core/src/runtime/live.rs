@@ -101,9 +101,9 @@ impl MultiLiveOutcome {
 }
 
 /// Everything the client loop produced for one stream.
-struct ClientLoopOutput {
-    record: ExperimentRecord,
-    final_student: WeightSnapshot,
+pub(crate) struct ClientLoopOutput {
+    pub(crate) record: ExperimentRecord,
+    pub(crate) final_student: WeightSnapshot,
 }
 
 /// How long a client waits for the initial checkpoint, or for a forced
@@ -450,7 +450,7 @@ impl<'a> ClientDriver<'a> {
 /// `recv_timeout` whenever the state machine waits. This is the
 /// thread-per-client pump; [`run_live`] and
 /// [`ClientDriverMode::ThreadPerClient`] use it directly.
-fn drive_client<E: ClientEndpoint>(
+pub(crate) fn drive_client<E: ClientEndpoint>(
     config: ShadowTutorConfig,
     frames: &[Frame],
     client_student: StudentNet,

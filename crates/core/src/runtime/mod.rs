@@ -18,5 +18,12 @@
 //!   ([`live::run_live_multi`]), the scenario the `crate::serve` module
 //!   exists for.
 
+//! * [`shm_live`] — the two-process variant of the live runtime: the same
+//!   client state machine in a *separate OS process*, connected to the
+//!   server pool over a shared-memory ring ([`st_net::ShmTransport`]), so
+//!   every message crosses a real process boundary through the versioned
+//!   binary wire format and the traffic numbers are measured, not modelled.
+
 pub mod live;
+pub mod shm_live;
 pub mod sim;

@@ -369,6 +369,12 @@ pub struct PoolStats {
     /// [`PoolStats::snapshot`]; one f64 per key frame, so the memory cost is
     /// negligible next to the frames themselves.
     pub wait_samples: Vec<Vec<f64>>,
+    /// Measured client→server wire bytes: the framed
+    /// ([`st_net::wire::frame_len`]) size of every uplink envelope sent to
+    /// the pool, plus re-shared frame content.
+    pub wire_bytes_up: usize,
+    /// Measured server→client wire bytes (framed downlink messages).
+    pub wire_bytes_down: usize,
 }
 
 impl PoolStats {
@@ -532,6 +538,8 @@ impl PoolStats {
                 .map(|s| s.idle_streams)
                 .max()
                 .unwrap_or(0),
+            wire_bytes_up: self.wire_bytes_up,
+            wire_bytes_down: self.wire_bytes_down,
         }
     }
 }
@@ -1322,6 +1330,18 @@ struct Envelope {
     frame: Option<Frame>,
 }
 
+/// Pool-wide measured wire traffic: the framed byte size
+/// ([`st_net::wire::frame_len`]) of every uplink envelope the clients sent
+/// and every downlink message the shards delivered. Unlike the modelled
+/// `bytes` ridealong, these are the sizes the versioned binary codec would
+/// actually put on a wire, so `PoolReport::wire_bytes_up/down` stay honest
+/// regardless of which transport backend carried the messages.
+#[derive(Debug, Default)]
+struct WireMeter {
+    up: AtomicUsize,
+    down: AtomicUsize,
+}
+
 /// The sending half of one stream's downlink (wire size + message), with an
 /// optional readiness waker: a client connected through
 /// [`ServerPool::connect_with_waker`] is woken after every downlink send, so
@@ -1331,12 +1351,15 @@ struct Envelope {
 struct Downlink {
     tx: crossbeam::channel::Sender<(usize, ServerToClient)>,
     waker: Option<st_net::Waker>,
+    wire: Arc<WireMeter>,
 }
 
 impl Downlink {
     fn send(&self, bytes: usize, message: ServerToClient) -> bool {
+        let wire_len = st_net::wire::frame_len(&message);
         let delivered = self.tx.send((bytes, message)).is_ok();
         if delivered {
+            self.wire.down.fetch_add(wire_len, Ordering::Relaxed);
             if let Some(waker) = &self.waker {
                 waker.wake();
             }
@@ -1473,6 +1496,8 @@ pub struct StreamClient {
     /// dispatches it; `None` under the thread-per-shard driver, whose
     /// workers block in `recv_timeout` instead.
     shard_wakers: Option<Arc<Vec<st_net::Waker>>>,
+    /// Pool-wide measured-traffic counters (this client credits uplink).
+    wire: Arc<WireMeter>,
 }
 
 impl StreamClient {
@@ -1505,14 +1530,21 @@ impl StreamClient {
         frame: Option<Frame>,
     ) -> std::result::Result<(), TransportError> {
         let shard = self.route.load(Ordering::SeqCst);
+        let tagged = StreamTagged::new(self.stream_id, message);
+        // The measured uplink cost of this envelope: the framed tagged
+        // message, plus the frame content when it rides along (a re-share
+        // re-uploads real pixels).
+        let wire_len =
+            st_net::wire::frame_len(&tagged) + frame.as_ref().map_or(0, st_net::wire::frame_len);
         self.uplinks[shard]
             .send(Envelope {
-                tagged: StreamTagged::new(self.stream_id, message),
+                tagged,
                 bytes: StreamTagged::<ClientToServer>::tagged_bytes(bytes),
                 enqueued_at: Instant::now(),
                 frame,
             })
             .map_err(|_| TransportError::Disconnected)?;
+        self.wire.up.fetch_add(wire_len, Ordering::Relaxed);
         if let Some(wakers) = &self.shard_wakers {
             wakers[shard].wake();
         }
@@ -1578,6 +1610,9 @@ pub struct ServerPool {
     /// returning its own shard's output. Reactor: `reactor_threads`
     /// handles, each returning the outputs of whichever shards it finalized.
     workers: Vec<std::thread::JoinHandle<Result<Vec<ShardOutput>>>>,
+    /// Measured wire traffic for the whole pool, shared with every
+    /// [`StreamClient`] (uplink) and [`Downlink`] (downlink).
+    wire: Arc<WireMeter>,
     /// Reactor pools: per-shard readiness wakers. `join` wakes every shard
     /// once the uplinks are dropped so each one observes the disconnect and
     /// runs its exit protocol.
@@ -1603,6 +1638,7 @@ impl ServerPool {
         pool_config.validate()?;
         let steal = Arc::new(StealRegistry::new(pool_config.shards));
         let placements: Placements = Arc::new(Mutex::new(HashMap::new()));
+        let wire = Arc::new(WireMeter::default());
         let mut uplinks = Vec::with_capacity(pool_config.shards);
         let mut registries = Vec::with_capacity(pool_config.shards);
         let mut workers = Vec::new();
@@ -1667,6 +1703,7 @@ impl ServerPool {
                 placements,
                 workers,
                 shard_wakers: Some(shard_wakers),
+                wire,
             });
         }
         for shard_index in 0..pool_config.shards {
@@ -1703,6 +1740,7 @@ impl ServerPool {
             placements,
             workers,
             shard_wakers: None,
+            wire,
         })
     }
 
@@ -1811,7 +1849,11 @@ impl ServerPool {
             .insert(
                 stream_id,
                 StreamLink {
-                    downlink: Downlink { tx: down_tx, waker },
+                    downlink: Downlink {
+                        tx: down_tx,
+                        waker,
+                        wire: Arc::clone(&self.wire),
+                    },
                     frames: content,
                 },
             );
@@ -1821,6 +1863,7 @@ impl ServerPool {
             route,
             downlink: down_rx,
             shard_wakers: self.shard_wakers.clone(),
+            wire: Arc::clone(&self.wire),
         };
         // Registration is the client's first uplink message; sending it here
         // lets callers immediately block on the initial checkpoint. A failed
@@ -1877,6 +1920,8 @@ impl ServerPool {
             streams: HashMap::new(),
             final_checkpoints: HashMap::new(),
             wait_samples: Vec::with_capacity(shards),
+            wire_bytes_up: self.wire.up.load(Ordering::Relaxed),
+            wire_bytes_down: self.wire.down.load(Ordering::Relaxed),
         };
         for output in outputs {
             stats.shards.push(output.stats);

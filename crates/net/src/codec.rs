@@ -1,0 +1,64 @@
+//! Pluggable message ↔ frame codecs.
+//!
+//! A [`Codec`] turns a [`Wire`]-encodable message into a self-describing
+//! byte frame and back. There is exactly one production codec today —
+//! [`WireCodec`], the versioned binary format of [`crate::wire`] — but the
+//! seam exists so an [`Endpoint`](crate::transport::Endpoint) can swap the
+//! encoding (compression, encryption, a future v2 layout) without touching
+//! the transport underneath or the protocol logic above.
+
+use crate::wire::{self, Wire, WireError};
+
+/// Encodes messages into framed bytes and decodes them back.
+///
+/// Implementations must be inverses (`decode(encode(m)) == Ok(m)`) and
+/// [`Codec::frame_len`] must equal the length of the frame
+/// [`Codec::encode`] produces, so transports can preallocate and the
+/// traffic accounting can measure without encoding twice.
+pub trait Codec {
+    /// Encode `message` into one complete frame.
+    fn encode<M: Wire>(&self, message: &M) -> Vec<u8>;
+
+    /// Decode one complete frame back into a message.
+    fn decode<M: Wire>(&self, frame: &[u8]) -> Result<M, WireError>;
+
+    /// Exact frame size [`Codec::encode`] would produce for `message`.
+    fn frame_len<M: Wire>(&self, message: &M) -> usize;
+}
+
+/// The versioned binary wire format: magic + version + length header, then
+/// the hand-rolled little-endian body of [`crate::wire`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireCodec;
+
+impl Codec for WireCodec {
+    fn encode<M: Wire>(&self, message: &M) -> Vec<u8> {
+        wire::encode_frame(message)
+    }
+
+    fn decode<M: Wire>(&self, frame: &[u8]) -> Result<M, WireError> {
+        wire::decode_frame(frame)
+    }
+
+    fn frame_len<M: Wire>(&self, message: &M) -> usize {
+        wire::frame_len(message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ClientToServer;
+
+    #[test]
+    fn wire_codec_round_trips_and_sizes() {
+        let codec = WireCodec;
+        let msg = ClientToServer::KeyFrame {
+            frame_index: 3,
+            payload: crate::message::Payload::sized(64),
+        };
+        let frame = codec.encode(&msg);
+        assert_eq!(frame.len(), codec.frame_len(&msg));
+        assert_eq!(codec.decode::<ClientToServer>(&frame).unwrap(), msg);
+    }
+}

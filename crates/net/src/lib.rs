@@ -13,9 +13,21 @@
 //! * [`message`] — the messages exchanged by the client and server (key
 //!   frames up, weight diffs + metric down) and their wire sizes, which feed
 //!   Table 4.
-//! * [`transport`] — a *live* transport built on crossbeam channels for the
-//!   threaded runtime, with an optional delay injector so wall-clock runs can
-//!   emulate a slow link.
+//! * [`wire`] — the versioned binary wire format: a hand-rolled
+//!   little-endian encoding ([`wire::Wire`]) with magic + version framing
+//!   and typed decode errors ([`wire::WireError`]). This is what actually
+//!   crosses a process boundary, and what the measured traffic numbers
+//!   (Tables 4/5) count.
+//! * [`codec`] — the [`codec::Codec`] seam between messages and framed
+//!   bytes; [`codec::WireCodec`] is the production implementation.
+//! * [`transport`] — the [`transport::Transport`] backend seam and the
+//!   [`transport::Endpoint`] protocol endpoint over it, constructed through
+//!   the [`connect()`] builder. The default backend is the in-process
+//!   channel pair ([`transport::DuplexTransport`]) with an optional delay
+//!   injector so wall-clock runs can emulate a slow link.
+//! * [`shm`] — the cross-process backend: a lock-free circular-array ring
+//!   over a file-backed shared-memory segment ([`shm::ShmTransport`]), so
+//!   client and pool can run as separate OS processes.
 //! * [`poll`] — a readiness interface ([`poll::Poller`] / [`poll::ReadySet`])
 //!   for reactor-style consumers: wakeup tokens fire on send (see
 //!   [`transport::DuplexTransport::wake_on_send`]) so one thread — or a
@@ -37,18 +49,27 @@
 // messages *are* the protocol specification.
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod link;
 pub mod message;
 pub mod poll;
+pub mod shm;
 pub mod transport;
+pub mod wire;
 
+pub use codec::{Codec, WireCodec};
 pub use link::{Bandwidth, LinkModel};
 pub use message::{
     ClientToServer, DropReason, KeyFrameTraffic, NaiveTraffic, Payload, ServerToClient, StreamId,
     StreamTagged,
 };
 pub use poll::{Poller, ReadySet, Waker};
-pub use transport::{ClientEndpoint, DuplexTransport, TransportError};
+pub use shm::{ShmConfig, ShmSide, ShmTransport};
+pub use transport::{
+    connect, ChannelClient, ChannelTransport, ClientEndpoint, Connector, DuplexTransport, Endpoint,
+    ServerChannel, Transport, TransportError,
+};
+pub use wire::{Wire, WireError};
 
 /// Result alias re-using the tensor error type for shape-ish failures.
 pub type Result<T> = st_tensor::Result<T>;

@@ -1,12 +1,10 @@
 //! Bandwidth/latency link model.
 
-use serde::{Deserialize, Serialize};
-
 /// A network bandwidth value.
 ///
 /// Stored in bits per second; constructors and accessors are provided for
 /// the Mbps values the paper uses (8–90 Mbps in Figure 4).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Bandwidth {
     bits_per_second: f64,
 }
@@ -47,7 +45,7 @@ impl Bandwidth {
 
 /// A full-duplex link with (possibly asymmetric) uplink/downlink bandwidth
 /// and a fixed per-message base latency.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkModel {
     /// Client → server bandwidth.
     pub uplink: Bandwidth,

@@ -8,7 +8,6 @@
 //! baseline instead downloads the teacher's per-pixel prediction.
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// Framing overhead added to every message (headers, MPI envelope, etc.).
 pub const MESSAGE_OVERHEAD_BYTES: usize = 64;
@@ -19,7 +18,14 @@ pub const MESSAGE_OVERHEAD_BYTES: usize = 64;
 /// while the live transport ships real encoded bytes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Payload {
-    /// Wire size in bytes, including [`MESSAGE_OVERHEAD_BYTES`].
+    /// *Modelled* wire size in bytes, including [`MESSAGE_OVERHEAD_BYTES`].
+    ///
+    /// This is the size the virtual-time runtime charges to the link model.
+    /// It predates the binary codec and is kept for the simulated paths;
+    /// for bytes that actually cross a transport, measure with
+    /// [`Wire::encoded_len`](crate::wire::Wire::encoded_len) (or
+    /// [`wire::frame_len`](crate::wire::frame_len) for the framed size)
+    /// instead.
     pub bytes: usize,
     /// The encoded content, when a live transport is in use.
     pub data: Option<Bytes>,
@@ -42,7 +48,11 @@ impl Payload {
         }
     }
 
-    /// Wire size in megabytes (the unit of Table 4).
+    /// Modelled wire size in megabytes (the unit of Table 4).
+    #[deprecated(
+        since = "0.7.0",
+        note = "modelled size; measure real frames with `Wire::encoded_len` / `wire::frame_len`"
+    )]
     pub fn megabytes(&self) -> f64 {
         self.bytes as f64 / 1e6
     }
@@ -189,12 +199,19 @@ pub enum ServerToClient {
 
 /// Wire sizes of the recurring per-key-frame messages for a given
 /// configuration — the rows of Table 4.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KeyFrameTraffic {
-    /// Bytes sent client → server per key frame (the raw frame).
+    /// Modelled bytes sent client → server per key frame (the raw frame).
     pub to_server_bytes: usize,
-    /// Bytes sent server → client per key frame (weights + metric).
+    /// Modelled bytes sent server → client per key frame (weights + metric).
     pub to_client_bytes: usize,
+    /// *Measured* uplink bytes: the framed binary encoding of the actual
+    /// `KeyFrame` message as produced by the wire codec. Zero until measured
+    /// with [`KeyFrameTraffic::with_wire_bytes`].
+    pub wire_bytes_up: usize,
+    /// *Measured* downlink bytes: the framed binary encoding of the actual
+    /// `StudentUpdate` message. Zero until measured.
+    pub wire_bytes_down: usize,
 }
 
 impl KeyFrameTraffic {
@@ -203,7 +220,32 @@ impl KeyFrameTraffic {
         KeyFrameTraffic {
             to_server_bytes: frame_bytes + MESSAGE_OVERHEAD_BYTES,
             to_client_bytes: update_bytes + MESSAGE_OVERHEAD_BYTES,
+            wire_bytes_up: 0,
+            wire_bytes_down: 0,
         }
+    }
+
+    /// Attach measured wire sizes (framed bytes of the actual encoded
+    /// uplink and downlink messages, e.g. from
+    /// [`wire::frame_len`](crate::wire::frame_len)).
+    pub fn with_wire_bytes(mut self, up: usize, down: usize) -> Self {
+        self.wire_bytes_up = up;
+        self.wire_bytes_down = down;
+        self
+    }
+
+    /// Total *measured* bytes exchanged per key frame (0 until measured).
+    pub fn wire_total_bytes(&self) -> usize {
+        self.wire_bytes_up + self.wire_bytes_down
+    }
+
+    /// `(up, down, total)` of the measured wire bytes, in megabytes.
+    pub fn wire_megabytes(&self) -> (f64, f64, f64) {
+        (
+            self.wire_bytes_up as f64 / 1e6,
+            self.wire_bytes_down as f64 / 1e6,
+            self.wire_total_bytes() as f64 / 1e6,
+        )
     }
 
     /// Total bytes exchanged per key frame.
@@ -224,12 +266,18 @@ impl KeyFrameTraffic {
 /// Per-frame traffic of the naive-offloading baseline: every frame goes up,
 /// and the teacher's per-pixel prediction (one byte per pixel, as a class-id
 /// map) comes back down.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NaiveTraffic {
-    /// Bytes sent client → server per frame.
+    /// Modelled bytes sent client → server per frame.
     pub to_server_bytes: usize,
-    /// Bytes sent server → client per frame.
+    /// Modelled bytes sent server → client per frame.
     pub to_client_bytes: usize,
+    /// *Measured* uplink bytes of the actual encoded frame-upload message.
+    /// Zero until measured with [`NaiveTraffic::with_wire_bytes`].
+    pub wire_bytes_up: usize,
+    /// *Measured* downlink bytes of the actual encoded prediction message.
+    /// Zero until measured.
+    pub wire_bytes_down: usize,
 }
 
 impl NaiveTraffic {
@@ -240,7 +288,22 @@ impl NaiveTraffic {
         NaiveTraffic {
             to_server_bytes: 3 * width * height + MESSAGE_OVERHEAD_BYTES,
             to_client_bytes: width * height + MESSAGE_OVERHEAD_BYTES,
+            wire_bytes_up: 0,
+            wire_bytes_down: 0,
         }
+    }
+
+    /// Attach measured wire sizes (framed bytes of the actual encoded
+    /// uplink and downlink messages).
+    pub fn with_wire_bytes(mut self, up: usize, down: usize) -> Self {
+        self.wire_bytes_up = up;
+        self.wire_bytes_down = down;
+        self
+    }
+
+    /// Total *measured* bytes exchanged per frame (0 until measured).
+    pub fn wire_total_bytes(&self) -> usize {
+        self.wire_bytes_up + self.wire_bytes_down
     }
 
     /// Total bytes exchanged per frame.
@@ -258,7 +321,9 @@ mod tests {
         let p = Payload::sized(1000);
         assert_eq!(p.bytes, 1000 + MESSAGE_OVERHEAD_BYTES);
         assert!(p.data.is_none());
-        assert!((p.megabytes() - (1000 + MESSAGE_OVERHEAD_BYTES) as f64 / 1e6).abs() < 1e-12);
+        #[allow(deprecated)]
+        let mb = p.megabytes();
+        assert!((mb - (1000 + MESSAGE_OVERHEAD_BYTES) as f64 / 1e6).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,1140 @@
+//! Cross-process transport over a lock-free shared-memory ring.
+//!
+//! This is the second [`Transport`] backend:
+//! client and pool run as separate OS processes and every protocol message
+//! crosses the boundary as its framed binary encoding ([`crate::wire`])
+//! through a bounded circular array in a file-backed shared-memory
+//! segment. The design follows cpp-ipc's `ipc::route`/`ipc::channel`:
+//! fixed-capacity slots, a per-slot sequence word acting as a seqlock-style
+//! publication header, spin-then-park waits, and N-producer capability for
+//! the benchmark tables.
+//!
+//! # Segment layout
+//!
+//! ```text
+//! offset 0    segment header (64 B):
+//!             magic "STSH" · layout version · slot count · slot size ·
+//!             ready flag · per-side close flags
+//! offset 64   ring 0 header (client → server): tail (+0), head (+64)
+//! offset 192  ring 0 slots: slots × (16 B slot header + slot_bytes)
+//!             slot header: seq (u64) · chunk length (u32) · pad
+//! ...         ring 1 header (server → client), ring 1 slots
+//! ```
+//!
+//! Each ring is a Vyukov-style bounded MPMC queue: a producer claims a slot
+//! by CAS on `tail` when the slot's `seq` equals the ticket, writes the
+//! chunk, then *publishes* by storing `seq = ticket + 1` (release); a
+//! consumer accepts when `seq == ticket + 1` and retires the slot with
+//! `seq = ticket + slots`. Readers never see a partially written chunk —
+//! the sequence word is the seqlock.
+//!
+//! Messages larger than one slot are fragmented into consecutive chunks and
+//! reassembled on the consumer side; fragmentation assumes one producer per
+//! ring (which is how [`ShmTransport`] uses it — one ring per direction).
+//! The multi-producer path used by the `transport_ops` bench requires
+//! single-chunk messages.
+//!
+//! Waiting is spin-then-park: a bounded busy-spin, then `yield_now`, then
+//! short sleeps — there is no cross-process futex in std. Receiver-side
+//! readiness integrates with the in-process
+//! [`Poller`](crate::poll::Poller)/[`Waker`](crate::poll::Waker) interface
+//! through [`ShmTransport::wake_on_message`], which parks a notifier thread
+//! on the ring and fires the waker token whenever a chunk becomes
+//! consumable.
+//!
+//! Platform: the segment is mapped with raw `mmap`/`munmap` syscalls
+//! (x86_64 Linux; the workspace vendors no libc). On other targets the
+//! constructors return [`std::io::ErrorKind::Unsupported`].
+
+use crate::codec::{Codec, WireCodec};
+use crate::transport::{Transport, TransportError};
+use crate::wire::Wire;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::marker::PhantomData;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SEG_MAGIC: u32 = u32::from_le_bytes(*b"STSH");
+const SEG_LAYOUT_VERSION: u32 = 1;
+const SEG_HEADER_BYTES: usize = 64;
+const RING_HEADER_BYTES: usize = 128;
+const SLOT_HEADER_BYTES: usize = 16;
+
+// Segment-header field offsets.
+const OFF_MAGIC: usize = 0;
+const OFF_VERSION: usize = 4;
+const OFF_SLOTS: usize = 8;
+const OFF_SLOT_BYTES: usize = 12;
+const OFF_READY: usize = 16;
+const OFF_CLIENT_CLOSED: usize = 20;
+const OFF_SERVER_CLOSED: usize = 24;
+
+/// How long a blocked ring send waits for the consumer before giving up.
+const SEND_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Geometry of a shared-memory segment: two rings of `slots` fixed-size
+/// slots each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShmConfig {
+    /// Slots per ring. Must be a power of two, ≥ 2.
+    pub slots: usize,
+    /// Usable payload bytes per slot (rounded up to a multiple of 8).
+    pub slot_bytes: usize,
+}
+
+impl Default for ShmConfig {
+    fn default() -> Self {
+        // 64 × 16 KiB per direction ≈ 1 MiB each way: a full 720p frame
+        // fragments into ~169 chunks, small control messages fit in one.
+        ShmConfig {
+            slots: 64,
+            slot_bytes: 16 * 1024,
+        }
+    }
+}
+
+impl ShmConfig {
+    fn validated(mut self) -> io::Result<Self> {
+        if self.slots < 2 || !self.slots.is_power_of_two() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "ShmConfig.slots must be a power of two >= 2",
+            ));
+        }
+        if self.slot_bytes == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "ShmConfig.slot_bytes must be non-zero",
+            ));
+        }
+        self.slot_bytes = (self.slot_bytes + 7) & !7;
+        Ok(self)
+    }
+
+    fn ring_bytes(&self) -> usize {
+        RING_HEADER_BYTES + self.slots * (SLOT_HEADER_BYTES + self.slot_bytes)
+    }
+
+    fn segment_bytes(&self) -> usize {
+        SEG_HEADER_BYTES + 2 * self.ring_bytes()
+    }
+}
+
+/// Which side of the duplex pair this process plays. The client sends on
+/// ring 0 and receives on ring 1; the server the reverse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShmSide {
+    /// The stream client (typically the child process).
+    Client,
+    /// The serving pool (typically the creating parent process).
+    Server,
+}
+
+// ---------------------------------------------------------------------------
+// Raw memory mapping (x86_64 Linux syscalls; no libc in the workspace).
+// ---------------------------------------------------------------------------
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    const SYS_MMAP: isize = 9;
+    const SYS_MUNMAP: isize = 11;
+    const PROT_READ_WRITE: usize = 0x1 | 0x2;
+    const MAP_SHARED: usize = 0x01;
+
+    /// Map `len` bytes of `file` shared and read-write.
+    pub fn map(file: &std::fs::File, len: usize) -> io::Result<*mut u8> {
+        let fd = file.as_raw_fd() as isize;
+        let ret: isize;
+        // SAFETY: raw mmap syscall with a valid fd, zero offset, and no
+        // requested address; the kernel validates everything else. rcx/r11
+        // are clobbered by the syscall instruction itself.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_MMAP => ret,
+                in("rdi") 0usize,
+                in("rsi") len,
+                in("rdx") PROT_READ_WRITE,
+                in("r10") MAP_SHARED,
+                in("r8") fd,
+                in("r9") 0usize,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack)
+            );
+        }
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as *mut u8)
+        }
+    }
+
+    /// Unmap a mapping produced by [`map`].
+    pub fn unmap(ptr: *mut u8, len: usize) {
+        let ret: isize;
+        // SAFETY: raw munmap of a mapping we own; failure is ignorable on
+        // the drop path.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_MUNMAP => ret,
+                in("rdi") ptr,
+                in("rsi") len,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack)
+            );
+        }
+        let _ = ret;
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod sys {
+    use std::io;
+
+    pub fn map(_file: &std::fs::File, _len: usize) -> io::Result<*mut u8> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "shared-memory transport requires x86_64 Linux",
+        ))
+    }
+
+    pub fn unmap(_ptr: *mut u8, _len: usize) {}
+}
+
+// ---------------------------------------------------------------------------
+// The mapped segment.
+// ---------------------------------------------------------------------------
+
+/// A mapped shared-memory segment. Dropping the last owner-side handle
+/// unlinks the backing file.
+struct Segment {
+    ptr: *mut u8,
+    len: usize,
+    config: ShmConfig,
+    path: PathBuf,
+    owner: bool,
+    _file: File,
+}
+
+// SAFETY: all shared mutation inside the mapping goes through atomics (the
+// ring headers and slot sequence words); slot payload bytes are published
+// and retired under the slot's sequence protocol.
+unsafe impl Send for Segment {}
+unsafe impl Sync for Segment {}
+
+impl Drop for Segment {
+    fn drop(&mut self) {
+        sys::unmap(self.ptr, self.len);
+        if self.owner {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+impl Segment {
+    fn atomic_u32(&self, offset: usize) -> &AtomicU32 {
+        debug_assert!(offset + 4 <= self.len && offset.is_multiple_of(4));
+        // SAFETY: in-bounds, aligned, and the mapping outlives `self`.
+        unsafe { &*(self.ptr.add(offset) as *const AtomicU32) }
+    }
+
+    fn atomic_u64(&self, offset: usize) -> &AtomicU64 {
+        debug_assert!(offset + 8 <= self.len && offset.is_multiple_of(8));
+        // SAFETY: in-bounds, aligned, and the mapping outlives `self`.
+        unsafe { &*(self.ptr.add(offset) as *const AtomicU64) }
+    }
+
+    fn ring_base(&self, ring: usize) -> usize {
+        SEG_HEADER_BYTES + ring * self.config.ring_bytes()
+    }
+
+    fn tail(&self, ring: usize) -> &AtomicU64 {
+        self.atomic_u64(self.ring_base(ring))
+    }
+
+    fn head(&self, ring: usize) -> &AtomicU64 {
+        self.atomic_u64(self.ring_base(ring) + 64)
+    }
+
+    fn slot_offset(&self, ring: usize, index: usize) -> usize {
+        self.ring_base(ring)
+            + RING_HEADER_BYTES
+            + index * (SLOT_HEADER_BYTES + self.config.slot_bytes)
+    }
+
+    fn slot_seq(&self, ring: usize, index: usize) -> &AtomicU64 {
+        self.atomic_u64(self.slot_offset(ring, index))
+    }
+
+    fn slot_len(&self, ring: usize, index: usize) -> &AtomicU32 {
+        self.atomic_u32(self.slot_offset(ring, index) + 8)
+    }
+
+    /// Copy `chunk` into the slot's payload area.
+    fn write_slot(&self, ring: usize, index: usize, chunk: &[u8]) {
+        debug_assert!(chunk.len() <= self.config.slot_bytes);
+        let offset = self.slot_offset(ring, index) + SLOT_HEADER_BYTES;
+        // SAFETY: the producer holds the slot ticket (seq protocol), so no
+        // other thread or process touches these bytes until published.
+        unsafe {
+            std::ptr::copy_nonoverlapping(chunk.as_ptr(), self.ptr.add(offset), chunk.len());
+        }
+        self.slot_len(ring, index)
+            .store(chunk.len() as u32, Ordering::Relaxed);
+    }
+
+    /// Copy the slot's payload out.
+    fn read_slot(&self, ring: usize, index: usize, out: &mut Vec<u8>) {
+        let len = self.slot_len(ring, index).load(Ordering::Relaxed) as usize;
+        let len = len.min(self.config.slot_bytes);
+        let offset = self.slot_offset(ring, index) + SLOT_HEADER_BYTES;
+        let start = out.len();
+        out.resize(start + len, 0);
+        // SAFETY: the consumer holds the slot ticket between the acquire
+        // load of `seq` and the retiring store, so the producer cannot
+        // reuse these bytes concurrently.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.ptr.add(offset), out.as_mut_ptr().add(start), len);
+        }
+    }
+
+    fn closed_flag(&self, side: ShmSide) -> &AtomicU32 {
+        match side {
+            ShmSide::Client => self.atomic_u32(OFF_CLIENT_CLOSED),
+            ShmSide::Server => self.atomic_u32(OFF_SERVER_CLOSED),
+        }
+    }
+}
+
+/// Bounded exponential backoff: spin, then yield, then sleep.
+struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    fn wait(&mut self) {
+        if self.step < 64 {
+            for _ in 0..(1 << self.step.min(6)) {
+                std::hint::spin_loop();
+            }
+        } else if self.step < 128 {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        self.step = self.step.saturating_add(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ring producer / consumer.
+// ---------------------------------------------------------------------------
+
+/// Producer handle onto one ring of a segment. Cloneable: multiple
+/// producers may push concurrently (the `transport_ops` bench's N-producer
+/// mode), as long as every message fits in a single chunk.
+#[derive(Clone)]
+pub struct RingProducer {
+    segment: Arc<Segment>,
+    ring: usize,
+}
+
+/// Consumer handle onto one ring of a segment.
+pub struct RingConsumer {
+    segment: Arc<Segment>,
+    ring: usize,
+}
+
+/// Outcome of a non-blocking ring push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The chunk was published.
+    Pushed,
+    /// The ring was full; nothing was written.
+    Full,
+}
+
+impl RingProducer {
+    /// Usable payload bytes per chunk.
+    pub fn chunk_capacity(&self) -> usize {
+        self.segment.config.slot_bytes
+    }
+
+    /// Non-blocking push of one chunk (Vyukov enqueue). Returns
+    /// [`PushOutcome::Full`] when no slot is free. Panics if `chunk`
+    /// exceeds [`RingProducer::chunk_capacity`] — fragmentation is the
+    /// caller's job ([`ShmTransport`] does it for whole messages).
+    pub fn try_push(&self, chunk: &[u8]) -> PushOutcome {
+        assert!(
+            chunk.len() <= self.chunk_capacity(),
+            "chunk exceeds slot capacity"
+        );
+        let seg = &self.segment;
+        let mask = seg.config.slots as u64 - 1;
+        let tail = seg.tail(self.ring);
+        let mut pos = tail.load(Ordering::Relaxed);
+        loop {
+            let index = (pos & mask) as usize;
+            let seq = seg.slot_seq(self.ring, index).load(Ordering::Acquire);
+            let dif = seq.wrapping_sub(pos) as i64;
+            if dif == 0 {
+                match tail.compare_exchange_weak(pos, pos + 1, Ordering::Relaxed, Ordering::Relaxed)
+                {
+                    Ok(_) => {
+                        seg.write_slot(self.ring, index, chunk);
+                        seg.slot_seq(self.ring, index)
+                            .store(pos + 1, Ordering::Release);
+                        return PushOutcome::Pushed;
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if dif < 0 {
+                return PushOutcome::Full;
+            } else {
+                pos = tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Push one chunk, spin-then-parking while the ring is full. Gives up
+    /// with `false` after `timeout` or when the consuming side closed.
+    pub fn push_timeout(&self, chunk: &[u8], timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut backoff = Backoff::new();
+        loop {
+            match self.try_push(chunk) {
+                PushOutcome::Pushed => return true,
+                PushOutcome::Full => {
+                    if Instant::now() >= deadline {
+                        return false;
+                    }
+                    backoff.wait();
+                }
+            }
+        }
+    }
+}
+
+impl RingConsumer {
+    /// Whether a chunk is ready to pop (used by the readiness notifier).
+    pub fn ready(&self) -> bool {
+        let seg = &self.segment;
+        let mask = seg.config.slots as u64 - 1;
+        let pos = seg.head(self.ring).load(Ordering::Relaxed);
+        let index = (pos & mask) as usize;
+        let seq = seg.slot_seq(self.ring, index).load(Ordering::Acquire);
+        seq.wrapping_sub(pos + 1) as i64 >= 0
+    }
+
+    /// Non-blocking pop of one chunk into `out` (appended). Returns whether
+    /// a chunk was consumed.
+    pub fn try_pop(&self, out: &mut Vec<u8>) -> bool {
+        let seg = &self.segment;
+        let mask = seg.config.slots as u64 - 1;
+        let slots = seg.config.slots as u64;
+        let head = seg.head(self.ring);
+        let mut pos = head.load(Ordering::Relaxed);
+        loop {
+            let index = (pos & mask) as usize;
+            let seq = seg.slot_seq(self.ring, index).load(Ordering::Acquire);
+            let dif = seq.wrapping_sub(pos + 1) as i64;
+            if dif == 0 {
+                match head.compare_exchange_weak(pos, pos + 1, Ordering::Relaxed, Ordering::Relaxed)
+                {
+                    Ok(_) => {
+                        seg.read_slot(self.ring, index, out);
+                        seg.slot_seq(self.ring, index)
+                            .store(pos + slots, Ordering::Release);
+                        return true;
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if dif < 0 {
+                return false;
+            } else {
+                pos = head.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segment creation / attachment.
+// ---------------------------------------------------------------------------
+
+fn map_segment(path: &Path, config: ShmConfig, owner: bool, file: File) -> io::Result<Segment> {
+    let len = config.segment_bytes();
+    let ptr = sys::map(&file, len)?;
+    Ok(Segment {
+        ptr,
+        len,
+        config,
+        path: path.to_path_buf(),
+        owner,
+        _file: file,
+    })
+}
+
+fn create_segment(path: &Path, config: ShmConfig) -> io::Result<Arc<Segment>> {
+    let config = config.validated()?;
+    let file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(path)?;
+    file.set_len(config.segment_bytes() as u64)?;
+    let segment = map_segment(path, config, true, file)?;
+    // Initialise slot sequence words to their indices (Vyukov invariant)
+    // for both rings; heads and tails start at zero from the file zeroing.
+    for ring in 0..2 {
+        for index in 0..config.slots {
+            segment
+                .slot_seq(ring, index)
+                .store(index as u64, Ordering::Relaxed);
+        }
+    }
+    segment
+        .atomic_u32(OFF_SLOTS)
+        .store(config.slots as u32, Ordering::Relaxed);
+    segment
+        .atomic_u32(OFF_SLOT_BYTES)
+        .store(config.slot_bytes as u32, Ordering::Relaxed);
+    segment
+        .atomic_u32(OFF_VERSION)
+        .store(SEG_LAYOUT_VERSION, Ordering::Relaxed);
+    segment
+        .atomic_u32(OFF_MAGIC)
+        .store(SEG_MAGIC, Ordering::Relaxed);
+    // Publish: peers spin on the ready flag before trusting the geometry.
+    segment.atomic_u32(OFF_READY).store(1, Ordering::Release);
+    Ok(Arc::new(segment))
+}
+
+fn open_segment(path: &Path, timeout: Duration) -> io::Result<Arc<Segment>> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match try_open_segment(path) {
+            Ok(Some(segment)) => return Ok(segment),
+            Ok(None) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!(
+                    "shared-memory segment {} never became ready",
+                    path.display()
+                ),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn try_open_segment(path: &Path) -> io::Result<Option<Arc<Segment>>> {
+    let file = OpenOptions::new().read(true).write(true).open(path)?;
+    if (file.metadata()?.len() as usize) < SEG_HEADER_BYTES {
+        return Ok(None);
+    }
+    // Map just the header first to learn the geometry.
+    let probe = sys::map(&file, SEG_HEADER_BYTES)?;
+    // SAFETY: probe maps at least SEG_HEADER_BYTES, offsets are aligned.
+    let (ready, magic, version, slots, slot_bytes) = unsafe {
+        (
+            (*(probe.add(OFF_READY) as *const AtomicU32)).load(Ordering::Acquire),
+            (*(probe.add(OFF_MAGIC) as *const AtomicU32)).load(Ordering::Relaxed),
+            (*(probe.add(OFF_VERSION) as *const AtomicU32)).load(Ordering::Relaxed),
+            (*(probe.add(OFF_SLOTS) as *const AtomicU32)).load(Ordering::Relaxed) as usize,
+            (*(probe.add(OFF_SLOT_BYTES) as *const AtomicU32)).load(Ordering::Relaxed) as usize,
+        )
+    };
+    sys::unmap(probe, SEG_HEADER_BYTES);
+    if ready != 1 {
+        return Ok(None);
+    }
+    if magic != SEG_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a ShadowTutor shared-memory segment (bad magic)",
+        ));
+    }
+    if version != SEG_LAYOUT_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported segment layout version {version}"),
+        ));
+    }
+    let config = ShmConfig { slots, slot_bytes }.validated()?;
+    if (file.metadata()?.len() as usize) < config.segment_bytes() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "shared-memory segment shorter than its declared geometry",
+        ));
+    }
+    Ok(Some(Arc::new(map_segment(path, config, false, file)?)))
+}
+
+/// Create a standalone single-ring channel for benchmarking: `(producer,
+/// consumer)` handles onto ring 0 of a fresh segment at `path`. Clone the
+/// producer for N-producer experiments.
+pub fn ring_channel(path: &Path, config: ShmConfig) -> io::Result<(RingProducer, RingConsumer)> {
+    let segment = create_segment(path, config)?;
+    Ok((
+        RingProducer {
+            segment: Arc::clone(&segment),
+            ring: 0,
+        },
+        RingConsumer { segment, ring: 0 },
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// The duplex transport.
+// ---------------------------------------------------------------------------
+
+/// A duplex [`Transport`] over a shared-memory segment: the cross-process
+/// backend. `S`/`R` are the sent/received message types; every message
+/// crosses as its framed binary encoding ([`WireCodec`]), fragmented into
+/// ring chunks and reassembled on the far side.
+///
+/// Typical shapes:
+/// `ShmTransport<ClientToServer, ServerToClient>` in the client process
+/// (wrap it with [`connect()`](crate::transport::connect)) and
+/// `ShmTransport<ServerToClient, ClientToServer>` in the pool process.
+pub struct ShmTransport<S, R> {
+    producer: RingProducer,
+    consumer: RingConsumer,
+    side: ShmSide,
+    codec: WireCodec,
+    /// Reassembly state: accumulated bytes of the in-flight inbound frame.
+    partial: Vec<u8>,
+    /// Total frame length being reassembled (parsed from the stream's
+    /// 4-byte length prefix), if mid-message.
+    expected: Option<usize>,
+    /// Leftover stream bytes not yet assigned to a frame (spans the length
+    /// prefix itself when a chunk boundary splits it).
+    stream: Vec<u8>,
+    wire_sent_bytes: usize,
+    wire_received_bytes: usize,
+    notifier_stop: Option<Arc<AtomicBool>>,
+    notifier: Option<std::thread::JoinHandle<()>>,
+    _marker: PhantomData<fn(S) -> R>,
+}
+
+impl<S: Wire, R: Wire> ShmTransport<S, R> {
+    /// Create the segment file at `path` and attach as `side`. The peer
+    /// process attaches with [`ShmTransport::open`].
+    pub fn create(path: &Path, side: ShmSide, config: ShmConfig) -> io::Result<Self> {
+        Ok(Self::attach(create_segment(path, config)?, side))
+    }
+
+    /// Attach to a segment created by the peer, waiting up to `timeout` for
+    /// the file to appear and its ready flag to be published.
+    pub fn open(path: &Path, side: ShmSide, timeout: Duration) -> io::Result<Self> {
+        Ok(Self::attach(open_segment(path, timeout)?, side))
+    }
+
+    fn attach(segment: Arc<Segment>, side: ShmSide) -> Self {
+        // Ring 0 carries client → server, ring 1 server → client.
+        let (send_ring, recv_ring) = match side {
+            ShmSide::Client => (0, 1),
+            ShmSide::Server => (1, 0),
+        };
+        ShmTransport {
+            producer: RingProducer {
+                segment: Arc::clone(&segment),
+                ring: send_ring,
+            },
+            consumer: RingConsumer {
+                segment,
+                ring: recv_ring,
+            },
+            side,
+            codec: WireCodec,
+            partial: Vec::new(),
+            expected: None,
+            stream: Vec::new(),
+            wire_sent_bytes: 0,
+            wire_received_bytes: 0,
+            notifier_stop: None,
+            notifier: None,
+            _marker: PhantomData,
+        }
+    }
+
+    fn peer_side(&self) -> ShmSide {
+        match self.side {
+            ShmSide::Client => ShmSide::Server,
+            ShmSide::Server => ShmSide::Client,
+        }
+    }
+
+    fn peer_closed(&self) -> bool {
+        self.producer
+            .segment
+            .closed_flag(self.peer_side())
+            .load(Ordering::Acquire)
+            != 0
+    }
+
+    /// Measured bytes sent: framed encodings (plus the 4-byte stream length
+    /// prefix each) that physically entered the ring.
+    pub fn wire_sent_bytes(&self) -> usize {
+        self.wire_sent_bytes
+    }
+
+    /// Measured bytes received off the ring.
+    pub fn wire_received_bytes(&self) -> usize {
+        self.wire_received_bytes
+    }
+
+    /// Drain ring chunks into the reassembly buffer and, if a whole frame
+    /// has landed, decode it.
+    fn pump_inbound(&mut self) -> Result<Option<R>, TransportError> {
+        loop {
+            // Complete frame already assembled?
+            if let Some(expected) = self.expected {
+                if self.partial.len() >= expected {
+                    debug_assert_eq!(self.partial.len(), expected);
+                    let frame = std::mem::take(&mut self.partial);
+                    self.expected = None;
+                    self.wire_received_bytes += 4 + frame.len();
+                    let message = self
+                        .codec
+                        .decode::<R>(&frame)
+                        .map_err(|_| TransportError::Disconnected)?;
+                    return Ok(Some(message));
+                }
+            }
+            // Move stream bytes into the frame under assembly.
+            if self.expected.is_none() && self.stream.len() >= 4 {
+                let len = u32::from_le_bytes([
+                    self.stream[0],
+                    self.stream[1],
+                    self.stream[2],
+                    self.stream[3],
+                ]) as usize;
+                self.expected = Some(len);
+                self.stream.drain(..4);
+                self.partial.reserve(len);
+            }
+            if let Some(expected) = self.expected {
+                if !self.stream.is_empty() {
+                    let want = expected - self.partial.len();
+                    let take = want.min(self.stream.len());
+                    self.partial.extend(self.stream.drain(..take));
+                    continue;
+                }
+            }
+            // Need more chunks.
+            if !self.consumer.try_pop(&mut self.stream) {
+                return Ok(None);
+            }
+        }
+    }
+}
+
+impl<S: Wire, R: Wire> Transport<S, R> for ShmTransport<S, R> {
+    fn send(&mut self, message: S, _bytes: usize) -> Result<(), TransportError> {
+        if self.peer_closed() {
+            return Err(TransportError::Disconnected);
+        }
+        let frame = self.codec.encode(&message);
+        // Stream format: 4-byte LE frame length, then the frame, chunked to
+        // slot capacity. One producer per ring keeps the chunks in order.
+        let mut stream = Vec::with_capacity(4 + frame.len());
+        stream.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        stream.extend_from_slice(&frame);
+        for chunk in stream.chunks(self.producer.chunk_capacity()) {
+            if !self.producer.push_timeout(chunk, SEND_TIMEOUT) {
+                return Err(if self.peer_closed() {
+                    TransportError::Disconnected
+                } else {
+                    TransportError::Timeout
+                });
+            }
+        }
+        self.wire_sent_bytes += stream.len();
+        Ok(())
+    }
+
+    fn try_recv(&mut self) -> Result<Option<R>, TransportError> {
+        if let Some(message) = self.pump_inbound()? {
+            return Ok(Some(message));
+        }
+        if self.peer_closed() {
+            // Drain once more: the peer may have closed after its last send.
+            if let Some(message) = self.pump_inbound()? {
+                return Ok(Some(message));
+            }
+            return Err(TransportError::Disconnected);
+        }
+        Ok(None)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<R, TransportError> {
+        let deadline = Instant::now() + timeout;
+        let mut backoff = Backoff::new();
+        loop {
+            match self.try_recv()? {
+                Some(message) => return Ok(message),
+                None => {
+                    if Instant::now() >= deadline {
+                        return Err(TransportError::Timeout);
+                    }
+                    backoff.wait();
+                }
+            }
+        }
+    }
+
+    fn wake_on_message(&mut self, waker: crate::poll::Waker) -> bool {
+        let stop = Arc::new(AtomicBool::new(false));
+        let consumer = RingConsumer {
+            segment: Arc::clone(&self.consumer.segment),
+            ring: self.consumer.ring,
+        };
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("shm-ready-notifier".into())
+            .spawn(move || {
+                // Spin-then-park on ring readiness; wakes are edge-ish and
+                // coalesced by the Poller, so waking repeatedly while the
+                // consumer catches up costs one dispatch.
+                let mut backoff = Backoff::new();
+                while !stop_flag.load(Ordering::Relaxed) {
+                    if consumer.ready() {
+                        waker.wake();
+                        backoff = Backoff::new();
+                        std::thread::sleep(Duration::from_micros(200));
+                    } else {
+                        backoff.wait();
+                    }
+                }
+            });
+        match handle {
+            Ok(handle) => {
+                if let Some(old_stop) = self.notifier_stop.replace(stop) {
+                    old_stop.store(true, Ordering::Relaxed);
+                }
+                if let Some(old) = self.notifier.replace(handle) {
+                    let _ = old.join();
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+impl<S, R> Drop for ShmTransport<S, R> {
+    fn drop(&mut self) {
+        self.producer
+            .segment
+            .closed_flag(self.side)
+            .store(1, Ordering::Release);
+        if let Some(stop) = self.notifier_stop.take() {
+            stop.store(true, Ordering::Relaxed);
+        }
+        if let Some(handle) = self.notifier.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<S, R> fmt::Debug for ShmTransport<S, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShmTransport")
+            .field("side", &self.side)
+            .field("wire_sent_bytes", &self.wire_sent_bytes)
+            .field("wire_received_bytes", &self.wire_received_bytes)
+            .finish()
+    }
+}
+
+use std::fmt;
+
+/// A process-unique path for a fresh segment file, preferring `/dev/shm`
+/// (a real tmpfs) and falling back to the system temp directory.
+pub fn default_segment_path(tag: &str) -> PathBuf {
+    let dir = if Path::new("/dev/shm").is_dir() {
+        PathBuf::from("/dev/shm")
+    } else {
+        std::env::temp_dir()
+    };
+    dir.join(format!("st-shm-{}-{}", std::process::id(), tag))
+}
+
+#[cfg(all(test, target_os = "linux", target_arch = "x86_64"))]
+mod tests {
+    use super::*;
+    use crate::message::{ClientToServer, Payload, ServerToClient};
+    use bytes::Bytes;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "st-shm-test-{}-{}-{}",
+            std::process::id(),
+            std::thread::current()
+                .name()
+                .unwrap_or("t")
+                .replace("::", "-"),
+            tag
+        ))
+    }
+
+    #[test]
+    fn ring_pushes_and_pops_in_order() {
+        let path = temp_path("order");
+        let (producer, consumer) = ring_channel(
+            &path,
+            ShmConfig {
+                slots: 8,
+                slot_bytes: 64,
+            },
+        )
+        .unwrap();
+        for i in 0..5u8 {
+            assert_eq!(producer.try_push(&[i; 3]), PushOutcome::Pushed);
+        }
+        let mut out = Vec::new();
+        for i in 0..5u8 {
+            out.clear();
+            assert!(consumer.try_pop(&mut out));
+            assert_eq!(out, vec![i; 3]);
+        }
+        assert!(!consumer.try_pop(&mut out));
+    }
+
+    #[test]
+    fn full_ring_reports_full_then_recovers() {
+        let path = temp_path("full");
+        let (producer, consumer) = ring_channel(
+            &path,
+            ShmConfig {
+                slots: 2,
+                slot_bytes: 16,
+            },
+        )
+        .unwrap();
+        assert_eq!(producer.try_push(b"a"), PushOutcome::Pushed);
+        assert_eq!(producer.try_push(b"b"), PushOutcome::Pushed);
+        assert_eq!(producer.try_push(b"c"), PushOutcome::Full);
+        let mut out = Vec::new();
+        assert!(consumer.try_pop(&mut out));
+        assert_eq!(producer.try_push(b"c"), PushOutcome::Pushed);
+    }
+
+    #[test]
+    fn n_producers_one_consumer_delivers_everything() {
+        let path = temp_path("nproducer");
+        let (producer, consumer) = ring_channel(
+            &path,
+            ShmConfig {
+                slots: 64,
+                slot_bytes: 16,
+            },
+        )
+        .unwrap();
+        const PRODUCERS: usize = 4;
+        const PER_PRODUCER: usize = 500;
+        std::thread::scope(|scope| {
+            for p in 0..PRODUCERS {
+                let producer = producer.clone();
+                scope.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        let value = (p * PER_PRODUCER + i) as u32;
+                        assert!(
+                            producer.push_timeout(&value.to_le_bytes(), Duration::from_secs(10))
+                        );
+                    }
+                });
+            }
+            let mut seen = vec![false; PRODUCERS * PER_PRODUCER];
+            let mut got = 0;
+            let mut buf = Vec::new();
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while got < PRODUCERS * PER_PRODUCER {
+                buf.clear();
+                if consumer.try_pop(&mut buf) {
+                    let value = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+                    assert!(!seen[value], "duplicate {value}");
+                    seen[value] = true;
+                    got += 1;
+                } else {
+                    assert!(Instant::now() < deadline, "stalled at {got}");
+                    std::hint::spin_loop();
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn duplex_transport_round_trips_messages_and_counts_bytes() {
+        let path = temp_path("duplex");
+        let mut server = ShmTransport::<ServerToClient, ClientToServer>::create(
+            &path,
+            ShmSide::Server,
+            ShmConfig {
+                slots: 16,
+                slot_bytes: 128,
+            },
+        )
+        .unwrap();
+        let mut client = ShmTransport::<ClientToServer, ServerToClient>::open(
+            &path,
+            ShmSide::Client,
+            Duration::from_secs(5),
+        )
+        .unwrap();
+
+        let up = ClientToServer::KeyFrame {
+            frame_index: 42,
+            // Larger than one 128-byte slot: exercises fragmentation.
+            payload: Payload::with_data(Bytes::from(vec![7u8; 1000])),
+        };
+        client.send(up.clone(), 1000).unwrap();
+        let got = server.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got, up);
+        assert_eq!(
+            client.wire_sent_bytes(),
+            4 + crate::wire::frame_len(&up),
+            "sent bytes are the framed encoding plus the stream prefix"
+        );
+        assert_eq!(server.wire_received_bytes(), client.wire_sent_bytes());
+
+        let down = ServerToClient::Throttle { frame_index: 42 };
+        server.send(down.clone(), 8).unwrap();
+        assert_eq!(client.recv_timeout(Duration::from_secs(5)).unwrap(), down);
+        assert_eq!(client.try_recv().unwrap(), None);
+    }
+
+    #[test]
+    fn dropping_one_side_disconnects_the_peer() {
+        let path = temp_path("close");
+        let server = ShmTransport::<ServerToClient, ClientToServer>::create(
+            &path,
+            ShmSide::Server,
+            ShmConfig::default(),
+        )
+        .unwrap();
+        let mut client = ShmTransport::<ClientToServer, ServerToClient>::open(
+            &path,
+            ShmSide::Client,
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        drop(server);
+        assert_eq!(
+            client.send(ClientToServer::Register, 64),
+            Err(TransportError::Disconnected)
+        );
+        assert_eq!(client.try_recv(), Err(TransportError::Disconnected));
+    }
+
+    #[test]
+    fn queued_messages_survive_peer_close() {
+        let path = temp_path("drain");
+        let mut server = ShmTransport::<ServerToClient, ClientToServer>::create(
+            &path,
+            ShmSide::Server,
+            ShmConfig::default(),
+        )
+        .unwrap();
+        let mut client = ShmTransport::<ClientToServer, ServerToClient>::open(
+            &path,
+            ShmSide::Client,
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        client.send(ClientToServer::Shutdown, 64).unwrap();
+        drop(client);
+        // The chunk is still in the ring: the server drains it before
+        // reporting the disconnect.
+        assert_eq!(
+            server.recv_timeout(Duration::from_secs(1)).unwrap(),
+            ClientToServer::Shutdown
+        );
+        assert_eq!(server.try_recv(), Err(TransportError::Disconnected));
+    }
+
+    #[test]
+    fn wake_on_message_fires_the_poller_token() {
+        let path = temp_path("waker");
+        let mut server = ShmTransport::<ServerToClient, ClientToServer>::create(
+            &path,
+            ShmSide::Server,
+            ShmConfig::default(),
+        )
+        .unwrap();
+        let mut client = ShmTransport::<ClientToServer, ServerToClient>::open(
+            &path,
+            ShmSide::Client,
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        let poller = crate::poll::Poller::new();
+        assert!(client.wake_on_message(poller.waker(9)));
+        assert!(poller.poll(Duration::from_millis(5)).is_empty());
+        server
+            .send(ServerToClient::NeedFrame { frame_index: 3 }, 8)
+            .unwrap();
+        let ready = poller.poll(Duration::from_secs(5));
+        assert_eq!(ready.tokens(), &[9]);
+        assert_eq!(
+            client.try_recv().unwrap(),
+            Some(ServerToClient::NeedFrame { frame_index: 3 })
+        );
+    }
+
+    #[test]
+    fn open_rejects_corrupt_segments() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, vec![0xABu8; 4096]).unwrap();
+        let err = ShmTransport::<ClientToServer, ServerToClient>::open(
+            &path,
+            ShmSide::Client,
+            Duration::from_millis(50),
+        )
+        .unwrap_err();
+        // A garbage ready flag reads as "never ready" or bad magic — either
+        // way the open fails instead of trusting the bytes.
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::InvalidData | io::ErrorKind::TimedOut
+            ),
+            "{err:?}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn segment_file_is_unlinked_by_the_owner() {
+        let path = temp_path("unlink");
+        let server = ShmTransport::<ServerToClient, ClientToServer>::create(
+            &path,
+            ShmSide::Server,
+            ShmConfig::default(),
+        )
+        .unwrap();
+        assert!(path.exists());
+        drop(server);
+        assert!(!path.exists());
+    }
+}

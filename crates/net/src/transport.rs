@@ -1,14 +1,35 @@
-//! Live duplex transport built on crossbeam channels.
+//! Live duplex transports and the [`Transport`]/[`Endpoint`] seam.
 //!
 //! The threaded runtime runs the client and the server as real OS threads
-//! (the paper uses OpenMPI ranks). [`DuplexTransport::pair`] creates the two
-//! connected endpoints. Each endpoint can send and receive, non-blockingly or
-//! blockingly, and an optional [`DelayInjector`] emulates a bandwidth-limited
-//! link by sleeping proportionally to the message size before delivery —
-//! which is how the live examples demonstrate the robustness experiment
-//! without real network hardware.
+//! (the paper uses OpenMPI ranks) or — with the shared-memory backend in
+//! [`crate::shm`] — as separate OS processes. The pieces compose in three
+//! layers:
+//!
+//! * [`Transport`] — the backend seam: a duplex mover of protocol messages.
+//!   [`DuplexTransport`] is the in-process channel backend (the default,
+//!   bit-identical to the pre-seam behaviour);
+//!   [`ShmTransport`](crate::shm::ShmTransport) moves real encoded frames
+//!   through a lock-free shared-memory ring between processes.
+//! * [`Endpoint`] — a protocol endpoint over any backend, pairing a
+//!   [`Codec`] with a [`Transport`] and keeping byte-honest accounting
+//!   ([`Endpoint::wire_sent_bytes`] / [`Endpoint::wire_received_bytes`]
+//!   measure the *framed binary encoding* of every message that passes,
+//!   whichever backend carries it).
+//! * [`ClientEndpoint`] — the trait Algorithm 4's client loop is written
+//!   against. It is now a thin veneer over `Endpoint<C, T>`: the blanket
+//!   implementation below makes every `Endpoint` a `ClientEndpoint`, and
+//!   [`ChannelClient`] names the default concrete shape. Construct either
+//!   through the [`connect()`] builder.
+//!
+//! An optional [`DelayInjector`] emulates a bandwidth-limited link by
+//! sleeping proportionally to the message size before delivery — which is
+//! how the live examples demonstrate the robustness experiment without real
+//! network hardware.
 
+use crate::codec::{Codec, WireCodec};
 use crate::link::LinkModel;
+use crate::message::{ClientToServer, ServerToClient};
+use crate::wire::Wire;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::fmt;
 use std::time::Duration;
@@ -58,10 +79,51 @@ impl DelayInjector {
     }
 }
 
+/// The backend seam: a duplex mover of typed protocol messages.
+///
+/// `S` is what this side sends, `R` what it receives. Two backends exist:
+/// the in-process [`DuplexTransport`] (typed crossbeam channels, the
+/// default) and the cross-process [`ShmTransport`](crate::shm::ShmTransport)
+/// (every message crosses as its framed binary encoding through a
+/// lock-free shared-memory ring). Protocol code never talks to a backend
+/// directly — it goes through an [`Endpoint`], which adds the codec and the
+/// byte accounting.
+pub trait Transport<S, R> {
+    /// Send a message annotated with its *modelled* wire size (the size the
+    /// virtual-time link model charges; measured bytes are the
+    /// [`Endpoint`]'s business).
+    fn send(&mut self, message: S, bytes: usize) -> Result<(), TransportError>;
+
+    /// Non-blocking receive. `Ok(None)` means no message is waiting.
+    fn try_recv(&mut self) -> Result<Option<R>, TransportError>;
+
+    /// Blocking receive with a timeout.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<R, TransportError>;
+
+    /// Arrange for `waker.wake()` to fire whenever a message becomes
+    /// receivable on this endpoint, returning `true` if the backend can
+    /// signal receiver-side readiness. The shared-memory backend spawns a
+    /// spin-then-park notifier; the channel backend returns `false` because
+    /// its readiness is wired at pair-creation time from the *sender* side
+    /// ([`DuplexTransport::wake_on_send`] on the peer), which the
+    /// [`connect()`] builder does for you.
+    fn wake_on_message(&mut self, waker: crate::poll::Waker) -> bool {
+        let _ = waker;
+        false
+    }
+}
+
 /// The client-side view of a transport: what Algorithm 4's message loop
 /// needs, independently of whether the peer is a dedicated server thread
 /// (the single-stream [`DuplexTransport`]) or a stream-multiplexed worker
 /// pool (the `shadowtutor` crate's `StreamClient`).
+///
+/// Since the codec/transport redesign this trait is a thin veneer over
+/// [`Endpoint`]: every `Endpoint<C, T>` implements it via the blanket impl
+/// below, and [`ChannelClient`] is the default concrete shape produced by
+/// [`connect()`]. The trait itself survives for the places that implement
+/// the protocol without a backend at all (the pool's `StreamClient`,
+/// scripted endpoints in tests).
 pub trait ClientEndpoint {
     /// Send a client → server message annotated with its wire size.
     fn send(&mut self, message: crate::ClientToServer, bytes: usize) -> Result<(), TransportError>;
@@ -213,6 +275,215 @@ impl<TSend, TRecv> DuplexTransport<TSend, TRecv> {
     pub fn received_messages(&self) -> usize {
         self.received_messages
     }
+}
+
+impl<S, R> Transport<S, R> for DuplexTransport<S, R> {
+    fn send(&mut self, message: S, bytes: usize) -> Result<(), TransportError> {
+        DuplexTransport::send(self, message, bytes)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<R>, TransportError> {
+        DuplexTransport::try_recv(self)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<R, TransportError> {
+        DuplexTransport::recv_timeout(self, timeout)
+    }
+}
+
+/// A protocol endpoint: a [`Codec`] over a [`Transport`] backend, with
+/// byte-honest accounting.
+///
+/// The endpoint counts the *framed binary encoding* of every message that
+/// passes through it ([`Endpoint::wire_sent_bytes`] /
+/// [`Endpoint::wire_received_bytes`]), whichever backend carries the
+/// message — for the shared-memory backend those bytes physically crossed
+/// the ring; for the in-process channel backend they are what *would* cross
+/// a real link, measured from the same encoder. This is what makes the
+/// Table 4/5 traffic numbers measured rather than modelled.
+///
+/// Construct endpoints through the [`connect()`] builder.
+#[derive(Debug)]
+pub struct Endpoint<C: Codec, T> {
+    codec: C,
+    transport: T,
+    wire_sent_bytes: usize,
+    wire_received_bytes: usize,
+}
+
+/// The default client transport: typed in-process channels.
+pub type ChannelTransport = DuplexTransport<ClientToServer, ServerToClient>;
+
+/// The server-side counterpart of [`ChannelTransport`].
+pub type ServerChannel = DuplexTransport<ServerToClient, ClientToServer>;
+
+/// The default concrete client endpoint: the versioned binary codec over
+/// the in-process channel backend. This is what "`ClientEndpoint`" means
+/// when nothing else is specified — the thin alias the redesign collapsed
+/// the ad-hoc endpoint shapes into.
+pub type ChannelClient = Endpoint<WireCodec, ChannelTransport>;
+
+impl<C: Codec, T> Endpoint<C, T> {
+    /// Wrap `transport` with `codec`. Prefer [`connect()`] unless you are
+    /// assembling an exotic combination by hand.
+    pub fn new(codec: C, transport: T) -> Self {
+        Endpoint {
+            codec,
+            transport,
+            wire_sent_bytes: 0,
+            wire_received_bytes: 0,
+        }
+    }
+
+    /// Measured bytes sent: the sum of the framed encodings of every
+    /// message sent through this endpoint.
+    pub fn wire_sent_bytes(&self) -> usize {
+        self.wire_sent_bytes
+    }
+
+    /// Measured bytes received: the sum of the framed encodings of every
+    /// message received through this endpoint.
+    pub fn wire_received_bytes(&self) -> usize {
+        self.wire_received_bytes
+    }
+
+    /// Borrow the backend (e.g. for its own counters).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Mutably borrow the backend.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Unwrap the backend.
+    pub fn into_transport(self) -> T {
+        self.transport
+    }
+}
+
+impl<C, T> ClientEndpoint for Endpoint<C, T>
+where
+    C: Codec,
+    T: Transport<ClientToServer, ServerToClient>,
+{
+    fn send(&mut self, message: ClientToServer, bytes: usize) -> Result<(), TransportError> {
+        self.wire_sent_bytes += self.codec.frame_len(&message);
+        self.transport.send(message, bytes)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<ServerToClient>, TransportError> {
+        let received = self.transport.try_recv()?;
+        if let Some(message) = &received {
+            self.wire_received_bytes += self.codec.frame_len(message);
+        }
+        Ok(received)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<ServerToClient, TransportError> {
+        let message = self.transport.recv_timeout(timeout)?;
+        self.wire_received_bytes += self.codec.frame_len(&message);
+        Ok(message)
+    }
+}
+
+/// Start building a client connection — the single constructor surface for
+/// every endpoint shape.
+///
+/// ```
+/// use st_net::{connect, ClientEndpoint, ClientToServer, Poller};
+/// use std::time::Duration;
+///
+/// // Default in-process backend: a connected (client, server) pair.
+/// let poller = Poller::new();
+/// let (mut client, mut server) = connect().with_waker(poller.waker(0)).channel();
+/// client.send(ClientToServer::Register, 64).unwrap();
+/// let registered = server.recv_timeout(Duration::from_secs(1)).unwrap();
+/// assert_eq!(registered, ClientToServer::Register);
+/// ```
+///
+/// For the cross-process backend, hand the builder a transport:
+/// `connect().with_transport(shm_transport)`.
+pub fn connect() -> Connector {
+    Connector {
+        waker: None,
+        uplink_delay: None,
+        downlink_delay: None,
+    }
+}
+
+/// Builder returned by [`connect()`].
+#[derive(Debug, Default)]
+pub struct Connector {
+    waker: Option<crate::poll::Waker>,
+    uplink_delay: Option<DelayInjector>,
+    downlink_delay: Option<DelayInjector>,
+}
+
+impl Connector {
+    /// Wake this [`Poller`](crate::poll::Poller) token whenever a
+    /// server → client message becomes receivable, so a reactor can
+    /// multiplex many clients from one thread.
+    pub fn with_waker(mut self, waker: crate::poll::Waker) -> Self {
+        self.waker = Some(waker);
+        self
+    }
+
+    /// Emulate a bandwidth-limited link on client → server sends.
+    pub fn with_delay(mut self, delay: DelayInjector) -> Self {
+        self.uplink_delay = Some(delay);
+        self
+    }
+
+    /// Emulate a bandwidth-limited link on server → client sends
+    /// (channel backend only — the server half is created by
+    /// [`Connector::channel`]).
+    pub fn with_downlink_delay(mut self, delay: DelayInjector) -> Self {
+        self.downlink_delay = Some(delay);
+        self
+    }
+
+    /// Finish with the default in-process channel backend, returning the
+    /// client endpoint and the server-side channel half.
+    pub fn channel(self) -> (ChannelClient, ServerChannel) {
+        let (mut client_side, mut server_side) = DuplexTransport::pair();
+        if let Some(delay) = self.uplink_delay {
+            client_side = client_side.with_delay(delay);
+        }
+        if let Some(delay) = self.downlink_delay {
+            server_side = server_side.with_delay(delay);
+        }
+        if let Some(waker) = self.waker {
+            // Channel readiness is sender-side: the server half wakes the
+            // client's poller token on every downlink send.
+            server_side = server_side.wake_on_send(waker);
+        }
+        (Endpoint::new(WireCodec, client_side), server_side)
+    }
+
+    /// Finish with an explicit backend (e.g.
+    /// [`ShmTransport`](crate::shm::ShmTransport) for the cross-process
+    /// ring). A waker set with [`Connector::with_waker`] is handed to
+    /// [`Transport::wake_on_message`]; a downlink delay cannot apply here
+    /// (the server half lives elsewhere) and is ignored.
+    pub fn with_transport<T>(self, mut transport: T) -> Endpoint<WireCodec, T>
+    where
+        T: Transport<ClientToServer, ServerToClient>,
+    {
+        if let Some(waker) = self.waker {
+            transport.wake_on_message(waker);
+        }
+        Endpoint::new(WireCodec, transport)
+    }
+}
+
+/// Measured framed size of a message, as the [`Endpoint`] accounting
+/// counts it — a convenience re-export of
+/// [`wire::frame_len`](crate::wire::frame_len) under the name the traffic
+/// tables use.
+pub fn wire_frame_len<M: Wire>(message: &M) -> usize {
+    crate::wire::frame_len(message)
 }
 
 #[cfg(test)]

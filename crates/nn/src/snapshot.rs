@@ -222,6 +222,54 @@ impl WeightSnapshot {
     }
 }
 
+/// The cross-process wire encoding of a snapshot: a scope byte (0 = full,
+/// 1 = trainable-only) followed by the u32-length-prefixed bytes of
+/// [`WeightSnapshot::encode`] — the exact payload the in-process path
+/// already ships inside `StudentUpdate`, made self-describing so a peer
+/// process can decode it without out-of-band scope agreement.
+impl st_net::Wire for WeightSnapshot {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(match self.scope {
+            SnapshotScope::Full => 0,
+            SnapshotScope::TrainableOnly => 1,
+        });
+        let body = self.encode();
+        (body.len() as u32).encode_into(out);
+        out.extend_from_slice(&body);
+    }
+
+    fn decode(input: &mut &[u8]) -> std::result::Result<Self, st_net::WireError> {
+        let scope = match u8::decode(input)? {
+            0 => SnapshotScope::Full,
+            1 => SnapshotScope::TrainableOnly,
+            tag => {
+                return Err(st_net::WireError::UnknownVariant {
+                    type_name: "SnapshotScope",
+                    tag,
+                })
+            }
+        };
+        let len = u32::decode(input)? as usize;
+        if input.len() < len {
+            return Err(st_net::WireError::Truncated {
+                needed: len,
+                available: input.len(),
+            });
+        }
+        let (body, rest) = input.split_at(len);
+        *input = rest;
+        WeightSnapshot::decode(&Bytes::from(body.to_vec()), scope).map_err(|_| {
+            st_net::WireError::InvalidValue {
+                what: "malformed weight-snapshot body",
+            }
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + 4 + self.encoded_size()
+    }
+}
+
 /// Byte sizes of the student payloads at a given scope — the quantities
 /// behind Table 4 of the paper ("Data transmitted on each key frame").
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -267,6 +315,46 @@ mod tests {
 
     fn net() -> StudentNet {
         StudentNet::new(StudentConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn snapshot_wire_round_trip_is_bit_identical() {
+        use st_net::Wire;
+        let mut a = net();
+        a.freeze = FreezePoint::paper_partial();
+        for scope in [SnapshotScope::Full, SnapshotScope::TrainableOnly] {
+            let snap = WeightSnapshot::capture(&mut a, scope);
+            let encoded = Wire::encode(&snap);
+            assert_eq!(encoded.len(), snap.encoded_len());
+            let mut cursor = &encoded[..];
+            let back = <WeightSnapshot as Wire>::decode(&mut cursor).unwrap();
+            assert!(cursor.is_empty());
+            assert_eq!(back.scope(), scope);
+            assert_eq!(back.entry_count(), snap.entry_count());
+            // Bit-identical f32s, and none of them NaN: re-encoding the
+            // decoded snapshot reproduces the original bytes exactly.
+            assert_eq!(Wire::encode(&back), encoded);
+            for (_, tensor) in &back.entries {
+                assert!(tensor.data().iter().all(|v| !v.is_nan()));
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_wire_rejects_bad_scope_and_truncation() {
+        use st_net::{Wire, WireError};
+        let mut a = net();
+        let snap = WeightSnapshot::capture(&mut a, SnapshotScope::Full);
+        let encoded = Wire::encode(&snap);
+
+        let mut bad_scope = encoded.clone();
+        bad_scope[0] = 7;
+        let err = <WeightSnapshot as Wire>::decode(&mut &bad_scope[..]).unwrap_err();
+        assert!(matches!(err, WireError::UnknownVariant { tag: 7, .. }));
+
+        let cut = &encoded[..encoded.len() - 3];
+        let err = <WeightSnapshot as Wire>::decode(&mut &cut[..]).unwrap_err();
+        assert!(matches!(err, WireError::Truncated { .. }));
     }
 
     #[test]

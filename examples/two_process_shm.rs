@@ -1,0 +1,137 @@
+//! Two real OS processes over a shared-memory ring: the client in a child
+//! process, the server pool in this one, every message a byte sequence
+//! produced by the versioned wire codec.
+//!
+//! The in-process examples exchange messages over channels, so nothing
+//! stops a payload from being a pointer. Here the only link is a
+//! file-backed lock-free ring (`st_net::ShmTransport`), which forces every
+//! key frame, weight update, and even the child's final run record through
+//! `st_net::wire::encode_frame` — and lets us print *measured* traffic.
+//!
+//! The example re-executes itself for the child role: `current_exe()` with
+//! a `client <segment> <record-out>` argument.
+//!
+//! Run with: `cargo run --release --example two_process_shm`
+//! (x86_64 Linux; other targets print a note and exit.)
+
+use shadowtutor::config::ShadowTutorConfig;
+use shadowtutor::report::ExperimentRecord;
+use shadowtutor::runtime::shm_live::{host_stream_over_shm, run_shm_client};
+use shadowtutor::serve::PoolConfig;
+use st_net::ShmConfig;
+use st_nn::student::{StudentConfig, StudentNet};
+use st_teacher::OracleTeacher;
+use st_video::{CameraMotion, Frame, SceneKind, VideoCategory, VideoConfig, VideoGenerator};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const FRAMES: usize = 48;
+const SEED: u64 = 17;
+
+/// Both processes derive the identical stream from this deterministic spec,
+/// so no frame content needs a side channel beyond the pool's ordinary
+/// connect-time pre-share.
+fn stream() -> Vec<Frame> {
+    let category = VideoCategory {
+        camera: CameraMotion::Fixed,
+        scene: SceneKind::People,
+    };
+    let config = VideoConfig::for_category(category, 64, 48, SEED);
+    VideoGenerator::new(config)
+        .expect("video config")
+        .take_frames(FRAMES)
+}
+
+fn client_role(segment: &Path, record_out: &Path) {
+    let record = run_shm_client(
+        ShadowTutorConfig::paper(),
+        &stream(),
+        StudentNet::new(StudentConfig::tiny()).expect("student init"),
+        "fixed/people",
+        segment,
+        Duration::from_secs(20),
+    )
+    .expect("shm client session");
+    // The run record leaves the process the same way every key frame did:
+    // as one framed blob of the versioned wire codec.
+    std::fs::write(record_out, st_net::wire::encode_frame(&record)).expect("write record");
+}
+
+fn main() {
+    if !cfg!(all(target_os = "linux", target_arch = "x86_64")) {
+        println!("two_process_shm: shared-memory transport needs x86_64 Linux; skipping");
+        return;
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("client") {
+        let [_, segment, record_out] = &args[..] else {
+            eprintln!("usage: two_process_shm client <segment> <record-out>");
+            std::process::exit(2);
+        };
+        client_role(Path::new(segment), Path::new(record_out));
+        return;
+    }
+
+    println!("== ShadowTutor over two OS processes (shared-memory ring) ==");
+    let pid = std::process::id();
+    let segment = st_net::shm::default_segment_path(&format!("example-{pid}"));
+    let record_out: PathBuf = std::env::temp_dir().join(format!("st-example-record-{pid}.bin"));
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut child = std::process::Command::new(exe)
+        .arg("client")
+        .arg(&segment)
+        .arg(&record_out)
+        .spawn()
+        .expect("spawn client process");
+    println!(
+        "host pid {pid}, client pid {}, segment {}",
+        child.id(),
+        segment.display()
+    );
+
+    let host = host_stream_over_shm(
+        ShadowTutorConfig::paper(),
+        PoolConfig::with_shards(1),
+        StudentNet::new(StudentConfig::tiny()).expect("student init"),
+        0.013,
+        |_| OracleTeacher::perfect(7),
+        0,
+        &stream(),
+        &segment,
+        ShmConfig::default(),
+    )
+    .expect("host side");
+    let status = child.wait().expect("wait for client");
+    assert!(status.success(), "client process failed: {status}");
+
+    let record: ExperimentRecord =
+        st_net::wire::decode_frame(&std::fs::read(&record_out).expect("read record"))
+            .expect("decode record");
+    let _ = std::fs::remove_file(&record_out);
+
+    println!("\nclient processed {} frames", record.frames);
+    println!(
+        "key frames offloaded   : {} (pool served {})",
+        record.key_frames.len(),
+        host.pool.total_key_frames()
+    );
+    println!(
+        "measured uplink bytes  : {} (client endpoint) + {} stream prefixes = {} on the ring",
+        record.uplink_bytes,
+        4 * host.messages_up,
+        host.wire_bytes_up
+    );
+    println!(
+        "measured downlink bytes: {} (client endpoint) + {} stream prefixes = {} on the ring",
+        record.downlink_bytes,
+        4 * host.messages_down,
+        host.wire_bytes_down
+    );
+    let conserved = host.wire_bytes_up == record.uplink_bytes + 4 * host.messages_up
+        && host.wire_bytes_down == record.downlink_bytes + 4 * host.messages_down;
+    println!(
+        "byte conservation across the process boundary: {}",
+        if conserved { "exact" } else { "VIOLATED" }
+    );
+    assert!(conserved);
+}

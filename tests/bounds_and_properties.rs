@@ -268,3 +268,233 @@ fn partial_distillation_ships_a_minority_of_the_parameters() {
     // And the partial payload is correspondingly smaller than the full one.
     assert!(sizes.partial_bytes * 2 < sizes.full_bytes);
 }
+
+// ---- Versioned wire format properties ----
+//
+// The codec's contract (see `st_net::wire`): encode/decode are exact
+// inverses bit for bit, `encoded_len` is exact, and corrupted bytes always
+// come back as a typed `WireError`, never a panic or a wrong value.
+
+use bytes::Bytes;
+use st_net::wire::{decode_frame, encode_frame, frame_len, FRAME_HEADER_BYTES, WIRE_VERSION};
+use st_net::{ClientToServer, DropReason, Payload, ServerToClient, StreamTagged, WireError};
+
+fn arb_payload() -> impl Strategy<Value = Payload> {
+    // Alternate between size-only payloads (the virtual-time runtime's
+    // shape) and content-carrying payloads with arbitrary bytes.
+    (
+        any::<bool>(),
+        0usize..10_000_000,
+        prop::collection::vec(0usize..256, 0..512),
+    )
+        .prop_map(|(sized, content_bytes, content)| {
+            if sized {
+                Payload::sized(content_bytes)
+            } else {
+                let bytes: Vec<u8> = content.into_iter().map(|b| b as u8).collect();
+                Payload::with_data(Bytes::from(bytes))
+            }
+        })
+}
+
+fn arb_client_to_server() -> impl Strategy<Value = ClientToServer> {
+    (0usize..4, any::<usize>(), arb_payload()).prop_map(|(variant, frame_index, payload)| {
+        match variant {
+            0 => ClientToServer::Register,
+            1 => ClientToServer::Shutdown,
+            2 => ClientToServer::KeyFrame {
+                frame_index,
+                payload,
+            },
+            _ => ClientToServer::ReShare {
+                frame_index,
+                payload,
+            },
+        }
+    })
+}
+
+fn arb_server_to_client() -> impl Strategy<Value = ServerToClient> {
+    (
+        0usize..6,
+        any::<usize>(),
+        0.0f64..1.0,
+        0usize..10_000,
+        arb_payload(),
+    )
+        .prop_map(
+            |(variant, frame_index, metric, distill_steps, payload)| match variant {
+                0 => ServerToClient::InitialStudent { payload },
+                1 => ServerToClient::StudentUpdate {
+                    frame_index,
+                    metric,
+                    distill_steps,
+                    payload,
+                },
+                2 => ServerToClient::Throttle { frame_index },
+                3 => ServerToClient::NeedFrame { frame_index },
+                4 => ServerToClient::Dropped {
+                    frame_index,
+                    reason: DropReason::UnknownStream,
+                },
+                _ => ServerToClient::Dropped {
+                    frame_index,
+                    reason: DropReason::UnknownFrame,
+                },
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every client → server variant round-trips through the framed codec
+    /// bit for bit, and `frame_len` predicts the framed size exactly.
+    #[test]
+    fn wire_round_trips_every_client_to_server_variant(message in arb_client_to_server()) {
+        let encoded = encode_frame(&message);
+        prop_assert_eq!(encoded.len(), frame_len(&message));
+        let decoded: ClientToServer = decode_frame(&encoded).unwrap();
+        prop_assert_eq!(&decoded, &message);
+        prop_assert_eq!(encode_frame(&decoded), encoded, "re-encode diverged");
+    }
+
+    /// Every server → client variant round-trips through the framed codec
+    /// bit for bit.
+    #[test]
+    fn wire_round_trips_every_server_to_client_variant(message in arb_server_to_client()) {
+        let encoded = encode_frame(&message);
+        prop_assert_eq!(encoded.len(), frame_len(&message));
+        let decoded: ServerToClient = decode_frame(&encoded).unwrap();
+        prop_assert_eq!(&decoded, &message);
+        prop_assert_eq!(encode_frame(&decoded), encoded, "re-encode diverged");
+    }
+
+    /// The pool's multiplexing envelope preserves the stream id and the
+    /// inner message through the codec.
+    #[test]
+    fn wire_round_trips_stream_tagged_messages(
+        stream_id in any::<u64>(),
+        message in arb_client_to_server(),
+    ) {
+        let tagged = StreamTagged::new(stream_id, message);
+        let encoded = encode_frame(&tagged);
+        prop_assert_eq!(encoded.len(), frame_len(&tagged));
+        let decoded: StreamTagged<ClientToServer> = decode_frame(&encoded).unwrap();
+        prop_assert_eq!(&decoded, &tagged);
+    }
+
+    /// Corrupting a valid frame in any of the classic ways yields the
+    /// matching typed error — never a panic, never a silently wrong value.
+    #[test]
+    fn corrupted_frames_fail_with_typed_errors(
+        message in arb_client_to_server(),
+        cut in any::<usize>(),
+        extra in 1usize..8,
+    ) {
+        let encoded = encode_frame(&message);
+
+        // Truncation anywhere in the frame.
+        let cut = cut % encoded.len();
+        prop_assert!(matches!(
+            decode_frame::<ClientToServer>(&encoded[..cut]).unwrap_err(),
+            WireError::Truncated { .. }
+        ));
+
+        // A flipped magic byte.
+        let mut bad = encoded.clone();
+        bad[0] ^= 0xFF;
+        prop_assert!(matches!(
+            decode_frame::<ClientToServer>(&bad).unwrap_err(),
+            WireError::BadMagic { .. }
+        ));
+
+        // A frame from a future protocol version.
+        let mut bad = encoded.clone();
+        bad[4] = WIRE_VERSION + 1;
+        let err = decode_frame::<ClientToServer>(&bad).unwrap_err();
+        prop_assert!(
+            matches!(err, WireError::UnsupportedVersion { found } if found == WIRE_VERSION + 1)
+        );
+
+        // Bytes appended after the body.
+        let mut bad = encoded.clone();
+        bad.extend(std::iter::repeat_n(0u8, extra));
+        prop_assert!(matches!(
+            decode_frame::<ClientToServer>(&bad).unwrap_err(),
+            WireError::TrailingBytes { .. }
+        ));
+
+        // An enum tag byte that names no variant (the tag is the first body
+        // byte; 0xEE is far outside every variant range). The body length
+        // stays consistent, so this must surface as UnknownVariant.
+        let mut bad = encoded;
+        bad[FRAME_HEADER_BYTES] = 0xEE;
+        prop_assert!(matches!(
+            decode_frame::<ClientToServer>(&bad).unwrap_err(),
+            WireError::UnknownVariant { .. }
+        ));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A real weight snapshot survives the trip inside a `StudentUpdate`
+    /// frame: the re-encoded frame is bit-identical and the decoded
+    /// snapshot equals the captured one. Snapshot equality is `PartialEq`
+    /// over f32 tensors, so a NaN anywhere would fail the assertion
+    /// (NaN != NaN) — the decoded weights are provably NaN-free.
+    #[test]
+    fn student_update_weights_cross_the_wire_bit_identical_and_nan_free(
+        seed in 0u64..1000,
+        partial in any::<bool>(),
+    ) {
+        let mut net = StudentNet::new(StudentConfig { seed, ..StudentConfig::tiny() }).unwrap();
+        net.freeze = if partial {
+            DistillationMode::Partial.freeze_point()
+        } else {
+            DistillationMode::Full.freeze_point()
+        };
+        let scope = if partial { SnapshotScope::TrainableOnly } else { SnapshotScope::Full };
+        let snapshot = WeightSnapshot::capture(&mut net, scope);
+        let message = ServerToClient::StudentUpdate {
+            frame_index: seed as usize,
+            metric: 0.5,
+            distill_steps: 3,
+            payload: Payload::with_data(snapshot.encode()),
+        };
+        let encoded = encode_frame(&message);
+        let decoded: ServerToClient = decode_frame(&encoded).unwrap();
+        prop_assert_eq!(encode_frame(&decoded), encoded, "re-encode diverged");
+        let ServerToClient::StudentUpdate { payload, .. } = decoded else {
+            panic!("variant changed in flight");
+        };
+        let bytes = payload.data.expect("payload content");
+        let decoded_snapshot = WeightSnapshot::decode(&bytes, scope).unwrap();
+        // Decoding flattens tensor shapes (apply() restores them by name),
+        // so compare the canonical encoding and the values, not the structs.
+        prop_assert_eq!(decoded_snapshot.entry_count(), snapshot.entry_count());
+        prop_assert_eq!(decoded_snapshot.scalar_count(), snapshot.scalar_count());
+        prop_assert_eq!(decoded_snapshot.encode(), snapshot.encode());
+        // distance() folds every weight pair; a NaN anywhere poisons it, so
+        // an exact zero between two decodes of the same bytes proves the
+        // decoded weights are NaN-free (NaN - NaN != 0).
+        let again = WeightSnapshot::decode(&bytes, scope).unwrap();
+        let distance = decoded_snapshot.distance(&again).unwrap();
+        prop_assert!(distance == 0.0, "decoded weights contain NaN: distance {distance}");
+    }
+}
+
+/// The run record (with its nested config, frame records, and latency
+/// profile) round-trips through the same framed codec the messages use —
+/// this is how the two-process runtime ships results between processes.
+#[test]
+fn experiment_record_round_trips_through_the_wire_codec() {
+    let record = synthetic_trace();
+    let encoded = encode_frame(&record);
+    assert_eq!(encoded.len(), frame_len(&record));
+    let decoded: shadowtutor::ExperimentRecord = decode_frame(&encoded).unwrap();
+    assert_eq!(decoded, record);
+    assert_eq!(encode_frame(&decoded), encoded);
+}

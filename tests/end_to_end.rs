@@ -1368,3 +1368,146 @@ fn all_seven_categories_run_and_report_valid_metrics() {
         assert!(record.total_data_mb() > 0.0);
     }
 }
+
+/// The API redesign's compatibility contract: the `connect()` builder's
+/// default in-process channel backend is exactly the raw transport pair —
+/// same delivery, same distillation output bit for bit, same measured wire
+/// bytes. A scripted lockstep session (client endpoint and server half
+/// pumped alternately from one thread, real distillation on the server
+/// side) removes timing from the picture, so any divergence would be the
+/// builder's fault, not the scheduler's.
+#[test]
+fn channel_backend_distillation_output_is_bit_identical_to_raw_pair() {
+    use shadowtutor::server::ServerState;
+    use st_net::transport::{DuplexTransport, Endpoint, ServerChannel};
+    use st_net::{Codec, WireCodec};
+    use st_video::Frame;
+
+    /// Drive the fixed script over whichever endpoint/server pair we were
+    /// handed; return the concatenated downlink payload bytes (initial
+    /// checkpoint + every weight update + metrics) and the endpoint's
+    /// measured wire counters.
+    fn scripted_run<C, T>(
+        mut endpoint: Endpoint<C, T>,
+        mut server_side: ServerChannel,
+        frames: &[Frame],
+        key_indices: &[usize],
+        student: StudentNet,
+    ) -> (Vec<u8>, usize, usize)
+    where
+        C: Codec,
+        T: st_net::Transport<ClientToServer, ServerToClient>,
+    {
+        let timeout = Duration::from_secs(5);
+        let mut server = ServerState::new(
+            ShadowTutorConfig::paper(),
+            student,
+            OracleTeacher::perfect(7),
+            0.013,
+        );
+        let mut output: Vec<u8> = Vec::new();
+
+        let init = server.initial_checkpoint();
+        server_side
+            .send(
+                ServerToClient::InitialStudent {
+                    payload: Payload::with_data(init.encode()),
+                },
+                0,
+            )
+            .unwrap();
+        match endpoint.recv_timeout(timeout).unwrap() {
+            ServerToClient::InitialStudent { payload } => {
+                output.extend_from_slice(payload.data.as_ref().expect("initial payload"));
+            }
+            other => panic!("expected InitialStudent, got {other:?}"),
+        }
+
+        for &index in key_indices {
+            let content: Vec<u8> = (0..frames[index].raw_rgb_bytes())
+                .map(|i| (i % 251) as u8)
+                .collect();
+            endpoint
+                .send(
+                    ClientToServer::KeyFrame {
+                        frame_index: index,
+                        payload: Payload::with_data(bytes::Bytes::from(content)),
+                    },
+                    0,
+                )
+                .unwrap();
+            let frame_index = match server_side.recv_timeout(timeout).unwrap() {
+                ClientToServer::KeyFrame { frame_index, .. } => frame_index,
+                other => panic!("expected KeyFrame, got {other:?}"),
+            };
+            let response = server.handle_key_frame(&frames[frame_index]).unwrap();
+            server_side
+                .send(
+                    ServerToClient::StudentUpdate {
+                        frame_index,
+                        metric: response.metric,
+                        distill_steps: response.outcome.steps,
+                        payload: Payload::with_data(response.update.encode()),
+                    },
+                    0,
+                )
+                .unwrap();
+            match endpoint.recv_timeout(timeout).unwrap() {
+                ServerToClient::StudentUpdate {
+                    metric,
+                    distill_steps,
+                    payload,
+                    ..
+                } => {
+                    output.extend_from_slice(payload.data.as_ref().expect("update payload"));
+                    output.extend_from_slice(&metric.to_le_bytes());
+                    output.extend_from_slice(&(distill_steps as u64).to_le_bytes());
+                }
+                other => panic!("expected StudentUpdate, got {other:?}"),
+            }
+        }
+        endpoint.send(ClientToServer::Shutdown, 0).unwrap();
+        assert!(matches!(
+            server_side.recv_timeout(timeout).unwrap(),
+            ClientToServer::Shutdown
+        ));
+        (
+            output,
+            endpoint.wire_sent_bytes(),
+            endpoint.wire_received_bytes(),
+        )
+    }
+
+    let (student, _) = pretrained_student();
+    let frames = frames_for(SceneKind::People, 5, 24);
+    let key_indices = [0usize, 6, 12, 18];
+
+    // Backend A: the builder's default channel backend.
+    let (built_client, built_server) = st_net::connect().channel();
+    let built = scripted_run(
+        built_client,
+        built_server,
+        &frames,
+        &key_indices,
+        student.clone(),
+    );
+
+    // Backend B: a raw transport pair wrapped by hand — what the code looked
+    // like before the builder existed.
+    let (client_side, server_side) = DuplexTransport::pair();
+    let raw = scripted_run(
+        Endpoint::new(WireCodec, client_side),
+        server_side,
+        &frames,
+        &key_indices,
+        student,
+    );
+
+    assert_eq!(
+        built.0, raw.0,
+        "distillation output diverged between the channel builder and the raw pair"
+    );
+    assert!(!built.0.is_empty());
+    assert_eq!(built.1, raw.1, "measured uplink wire bytes diverged");
+    assert_eq!(built.2, raw.2, "measured downlink wire bytes diverged");
+}
