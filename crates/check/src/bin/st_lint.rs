@@ -1,0 +1,79 @@
+//! `st-lint` — the repo invariant scanner.
+//!
+//! ```text
+//! cargo run -p st-check --bin st-lint -- [--root DIR] [--deny] [--report FILE]
+//! ```
+//!
+//! Prints one line per finding (`path:line: [rule] message`). With `--deny`
+//! the exit code is non-zero when any finding remains after the allowlist;
+//! `--report FILE` additionally writes the findings as JSON (the CI
+//! artifact). See `st_check::lint` for the rule set.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use st_check::lint;
+
+const USAGE: &str = "usage: st-lint [--root DIR] [--deny] [--report FILE]";
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root = PathBuf::from(".");
+    let mut report: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("st-lint: --root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--report" => match args.next() {
+                Some(file) => report = Some(PathBuf::from(file)),
+                None => {
+                    eprintln!("st-lint: --report needs a file\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("st-lint: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let violations = match lint::lint_tree(&root) {
+        Ok(v) => v,
+        Err(err) => {
+            eprintln!("st-lint: scan failed: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    for v in &violations {
+        println!("{v}");
+    }
+    if let Some(path) = &report {
+        if let Err(err) = std::fs::write(path, lint::to_json(&violations)) {
+            eprintln!("st-lint: writing report {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if violations.is_empty() {
+        println!("st-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("st-lint: {} finding(s)", violations.len());
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -1,0 +1,1247 @@
+//! A deterministic, schedule-exploring model checker (feature `model-check`).
+//!
+//! [`check`] runs a closure repeatedly, exploring different thread
+//! interleavings of every operation performed through the `st_check::sync`
+//! facade. The exploration is a depth-first search over *decision points*:
+//! which runnable virtual thread runs next, whether a timed wait fires its
+//! timeout, and — for non-SeqCst atomics — which of the admissible stores a
+//! load observes. Every decision goes through one seeded chooser, so a run is
+//! a pure function of `(seed, decision prefix)`: the same seed replays the
+//! same trace, and a counterexample is a replayable `(seed, schedule)` pair.
+//!
+//! # Execution model
+//!
+//! Each virtual thread is hosted on a real OS thread, but only one is ever
+//! *active*: every facade operation first calls into the scheduler, which
+//! either keeps the current thread running or parks it and hands the token to
+//! another. Cooperative hand-over means the interleaving is exactly the
+//! recorded schedule — no OS timing leaks into the result.
+//!
+//! # Memory-ordering model
+//!
+//! `SeqCst` operations are exact (a single global order, modeled by a shared
+//! `sc_view`). Weaker orderings use per-location store buffers: every store
+//! is kept with the *view* (per-location sequence floor) its writer published,
+//! and a load may observe any store at or after the loading thread's floor for
+//! that location. `Acquire` loads join the observed store's message view into
+//! the thread view; `Relaxed` loads only record it for a later acquire fence.
+//! A wrong `Relaxed` is therefore observable as a stale read (the load picks
+//! an old store) rather than silently behaving like SeqCst.
+//!
+//! # Bounds
+//!
+//! Exploration is bounded three ways: a preemption bound (schedules with more
+//! than N involuntary context switches are not explored — the CHESS result is
+//! that almost all bugs show up with 2), a per-execution step bound (livelock
+//! detection), and a total schedule budget (`ST_CHECK_BOUND`). "Exhausted"
+//! in a [`Report`] means the DFS completed within those bounds.
+//!
+//! # State must live inside the closure
+//!
+//! The checker re-runs the closure once per schedule; any state created
+//! *outside* the closure (and captured by reference) keeps its mutations from
+//! earlier schedules. Build the whole object graph inside the closure, as the
+//! tests in `crates/net/tests/model_ring.rs` do.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+pub use std::sync::atomic::Ordering;
+
+/// Hard cap on virtual threads per execution (sanity bound, not a tunable).
+const MAX_THREADS: usize = 16;
+/// Hard cap on recorded trace events per execution.
+const TRACE_CAP: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// Public configuration and results
+// ---------------------------------------------------------------------------
+
+/// Exploration bounds and the replay seed.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum number of schedules (executions) to explore.
+    pub max_schedules: usize,
+    /// Maximum facade operations in one execution before it is reported as a
+    /// livelock.
+    pub max_steps: usize,
+    /// Maximum involuntary context switches per execution (`None` = unbounded
+    /// — beware exponential blowup on anything but tiny programs).
+    pub preemption_bound: Option<usize>,
+    /// Seed for the deterministic first-choice rotation. The same seed always
+    /// explores the same schedules in the same order.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_schedules: 20_000,
+            max_steps: 10_000,
+            preemption_bound: Some(2),
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+impl Config {
+    /// Default config with `ST_CHECK_BOUND` (schedule budget) and
+    /// `ST_CHECK_SEED` (replay seed) read from the environment.
+    pub fn from_env() -> Self {
+        let mut cfg = Config::default();
+        if let Some(n) = std::env::var("ST_CHECK_BOUND")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            cfg.max_schedules = n;
+        }
+        if let Some(n) = std::env::var("ST_CHECK_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            cfg.seed = n;
+        }
+        cfg
+    }
+}
+
+/// Outcome of a [`check_with`] exploration.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Number of schedules actually executed.
+    pub schedules: usize,
+    /// True when the DFS ran out of new schedules within the configured
+    /// bounds (rather than hitting the schedule budget or a failure).
+    pub exhausted: bool,
+    /// The first failing schedule, if any.
+    pub counterexample: Option<Counterexample>,
+}
+
+/// A replayable failing schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The failure (assertion message, deadlock, or livelock description).
+    pub message: String,
+    /// Per-operation event log of the failing execution.
+    pub trace: Vec<String>,
+    /// Seed the exploration ran under; replaying with this seed and
+    /// `schedule` as the decision prefix reproduces the failure.
+    pub seed: u64,
+    /// The decision sequence (scheduler and value choices) of the failure.
+    pub schedule: Vec<usize>,
+}
+
+impl Counterexample {
+    /// Multi-line human-readable rendering (message, replay info, trace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("model check failed: {}\n", self.message));
+        out.push_str(&format!(
+            "replay: seed={} schedule={:?}\n",
+            self.seed, self.schedule
+        ));
+        out.push_str("trace:\n");
+        for line in &self.trace {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Internal execution state
+// ---------------------------------------------------------------------------
+
+/// Panic payload used to tear threads down once an execution aborts.
+struct ModelAbort;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCondvar { cid: usize, can_timeout: bool },
+    BlockedJoin(usize),
+    Finished,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Alt {
+    Run(usize),
+    TimeoutWake(usize),
+}
+
+struct VThread {
+    state: TState,
+    /// Set when the thread was released from a timed wait by its timeout
+    /// alternative rather than a notification.
+    timed_out: bool,
+    /// Per-location sequence floor: the newest store this thread must see.
+    view: Vec<u64>,
+    /// Views of relaxed-read stores, applied by a later acquire fence.
+    pending_acquire: Vec<u64>,
+    /// View captured by the last release fence, attached to later relaxed
+    /// stores (fence-to-fence synchronization).
+    fence_release: Option<Vec<u64>>,
+    /// View at exit, joined by whoever joins this thread.
+    final_view: Vec<u64>,
+}
+
+impl VThread {
+    fn runnable(view: Vec<u64>) -> Self {
+        VThread {
+            state: TState::Runnable,
+            timed_out: false,
+            view,
+            pending_acquire: Vec::new(),
+            fence_release: None,
+            final_view: Vec::new(),
+        }
+    }
+}
+
+struct Store {
+    /// Position in this location's modification order (globally allocated).
+    seq: u64,
+    value: u64,
+    /// Message view: what a reader that synchronizes with this store learns.
+    view: Vec<u64>,
+}
+
+struct Loc {
+    stores: Vec<Store>,
+}
+
+struct MutexState {
+    owner: Option<usize>,
+    /// View deposited by the last unlock, joined by the next lock.
+    view: Vec<u64>,
+}
+
+struct CondvarState {
+    waiters: Vec<usize>,
+}
+
+enum Pick {
+    Next(usize),
+    AllDone,
+    Stuck(String),
+}
+
+struct Inner {
+    threads: Vec<VThread>,
+    active: usize,
+    prefix: Vec<usize>,
+    decisions: Vec<(usize, usize)>,
+    seed: u64,
+    steps: usize,
+    max_steps: usize,
+    preemption_bound: Option<usize>,
+    preemptions: usize,
+    next_seq: u64,
+    locs: Vec<Loc>,
+    sc_view: Vec<u64>,
+    mutexes: Vec<MutexState>,
+    condvars: Vec<CondvarState>,
+    trace: Vec<String>,
+    failure: Option<String>,
+    aborted: bool,
+    completed: bool,
+    os_exited: usize,
+}
+
+impl Inner {
+    fn new(cfg: &Config, prefix: Vec<usize>) -> Self {
+        Inner {
+            threads: Vec::new(),
+            active: 0,
+            prefix,
+            decisions: Vec::new(),
+            seed: cfg.seed,
+            steps: 0,
+            max_steps: cfg.max_steps,
+            preemption_bound: cfg.preemption_bound,
+            preemptions: 0,
+            next_seq: 1,
+            locs: Vec::new(),
+            sc_view: Vec::new(),
+            mutexes: Vec::new(),
+            condvars: Vec::new(),
+            trace: Vec::new(),
+            failure: None,
+            aborted: false,
+            completed: false,
+            os_exited: 0,
+        }
+    }
+
+    fn trace(&mut self, tid: usize, event: String) {
+        if self.trace.len() < TRACE_CAP {
+            self.trace.push(format!("t{tid}: {event}"));
+        }
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.failure.is_none() {
+            self.failure = Some(msg);
+        }
+        self.aborted = true;
+    }
+
+    fn alloc_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// One decision: replay from the prefix when inside it, otherwise take
+    /// the seed-rotated first choice. Records `(choice, n)` for the DFS.
+    fn choose(&mut self, n: usize) -> usize {
+        let depth = self.decisions.len();
+        let choice = if depth < self.prefix.len() {
+            let c = self.prefix[depth];
+            debug_assert!(
+                c < n,
+                "replay divergence: choice {c} of {n} at depth {depth}"
+            );
+            if c < n {
+                c
+            } else {
+                0
+            }
+        } else {
+            rotation(self.seed, depth as u64, n)
+        };
+        self.decisions.push((choice, n));
+        choice
+    }
+
+    /// Pick the next active thread. `me_runnable` is true when the caller is
+    /// still runnable (a voluntary yield point rather than a blocking one).
+    fn pick_next(&mut self, me: usize, me_runnable: bool) -> Pick {
+        let mut alts: Vec<Alt> = Vec::new();
+        for (t, th) in self.threads.iter().enumerate() {
+            match th.state {
+                TState::Runnable => alts.push(Alt::Run(t)),
+                TState::BlockedCondvar {
+                    can_timeout: true, ..
+                } => alts.push(Alt::TimeoutWake(t)),
+                _ => {}
+            }
+        }
+        if alts.is_empty() {
+            if self
+                .threads
+                .iter()
+                .all(|t| matches!(t.state, TState::Finished))
+            {
+                return Pick::AllDone;
+            }
+            let states: Vec<String> = self
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(t, th)| format!("t{t}={:?}", th.state))
+                .collect();
+            return Pick::Stuck(format!(
+                "deadlock: no schedulable thread ({})",
+                states.join(" ")
+            ));
+        }
+        if me_runnable {
+            if let Some(bound) = self.preemption_bound {
+                if self.preemptions >= bound && alts.len() > 1 && alts.contains(&Alt::Run(me)) {
+                    // Preemption budget spent: keep running until we block.
+                    alts = vec![Alt::Run(me)];
+                }
+            }
+        }
+        let idx = if alts.len() > 1 {
+            self.choose(alts.len())
+        } else {
+            0
+        };
+        let tid = match alts[idx] {
+            Alt::Run(t) => t,
+            Alt::TimeoutWake(t) => {
+                if let TState::BlockedCondvar { cid, .. } = self.threads[t].state {
+                    self.condvars[cid].waiters.retain(|&w| w != t);
+                }
+                self.threads[t].state = TState::Runnable;
+                self.threads[t].timed_out = true;
+                self.trace(t, "wait times out".to_string());
+                t
+            }
+        };
+        if me_runnable && tid != me {
+            self.preemptions += 1;
+        }
+        self.active = tid;
+        Pick::Next(tid)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution handle and thread-local context
+// ---------------------------------------------------------------------------
+
+/// One in-flight execution (one schedule). Shared by every virtual thread.
+pub(crate) struct Execution {
+    inner: StdMutex<Inner>,
+    cv: StdCondvar,
+    epoch: u64,
+    handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The (execution, virtual-thread-id) of the current OS thread, if it is
+/// hosting a model-checked thread. `None` means facade ops fall back to std.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn lock_inner(exec: &Execution) -> StdMutexGuard<'_, Inner> {
+    exec.inner
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn ensure_live<'a>(exec: &'a Execution, g: StdMutexGuard<'a, Inner>) -> StdMutexGuard<'a, Inner> {
+    if g.aborted {
+        drop(g);
+        exec.cv.notify_all();
+        panic::panic_any(ModelAbort);
+    }
+    g
+}
+
+fn fail_and_abort(exec: &Execution, mut g: StdMutexGuard<'_, Inner>, msg: String) -> ! {
+    g.fail(msg);
+    drop(g);
+    exec.cv.notify_all();
+    panic::panic_any(ModelAbort);
+}
+
+fn wait_until_active<'a>(
+    exec: &'a Execution,
+    mut g: StdMutexGuard<'a, Inner>,
+    me: usize,
+) -> StdMutexGuard<'a, Inner> {
+    loop {
+        if g.aborted {
+            drop(g);
+            exec.cv.notify_all();
+            panic::panic_any(ModelAbort);
+        }
+        if g.active == me && matches!(g.threads[me].state, TState::Runnable) {
+            return g;
+        }
+        g = exec
+            .cv
+            .wait(g)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+}
+
+/// The scheduler entry every facade operation passes through: counts a step,
+/// lets the DFS decide who runs next, and parks the caller if it lost the
+/// token.
+pub(crate) fn yield_point(exec: &Arc<Execution>, me: usize) {
+    let mut g = lock_inner(exec);
+    g = ensure_live(exec, g);
+    g.steps += 1;
+    if g.steps > g.max_steps {
+        let max = g.max_steps;
+        fail_and_abort(
+            exec,
+            g,
+            format!("step bound exceeded ({max} facade ops): possible livelock"),
+        );
+    }
+    match g.pick_next(me, true) {
+        Pick::Next(next) if next == me => {}
+        Pick::Next(_) => {
+            exec.cv.notify_all();
+            let g = wait_until_active(exec, g, me);
+            drop(g);
+        }
+        Pick::AllDone => unreachable!("a running thread cannot observe completion"),
+        Pick::Stuck(msg) => fail_and_abort(exec, g, msg),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lazy registration of sync objects into the current execution
+// ---------------------------------------------------------------------------
+
+/// Maps a facade object to its per-execution id. Objects can outlive an
+/// execution (or be created before one), so the id is keyed by the execution
+/// epoch and re-minted lazily.
+pub(crate) struct Registration {
+    slot: StdMutex<Option<(u64, usize)>>,
+}
+
+impl Registration {
+    pub(crate) const fn new() -> Self {
+        Registration {
+            slot: StdMutex::new(None),
+        }
+    }
+
+    fn resolve(&self, exec: &Execution, mint: impl FnOnce() -> usize) -> usize {
+        let mut slot = self
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some((epoch, id)) = *slot {
+            if epoch == exec.epoch {
+                return id;
+            }
+        }
+        let id = mint();
+        *slot = Some((exec.epoch, id));
+        id
+    }
+}
+
+/// Atomic-location id for `reg`, registering it (with `init` as the initial
+/// value) on first touch in this execution.
+pub(crate) fn loc_for(
+    exec: &Arc<Execution>,
+    reg: &Registration,
+    init: impl FnOnce() -> u64,
+) -> usize {
+    reg.resolve(exec, || {
+        let initial = init();
+        let mut g = lock_inner(exec);
+        let id = g.locs.len();
+        g.locs.push(Loc {
+            stores: vec![Store {
+                seq: 0,
+                value: initial,
+                view: Vec::new(),
+            }],
+        });
+        id
+    })
+}
+
+/// Mutex id for `reg` in this execution.
+pub(crate) fn mutex_for(exec: &Arc<Execution>, reg: &Registration) -> usize {
+    reg.resolve(exec, || {
+        let mut g = lock_inner(exec);
+        let id = g.mutexes.len();
+        g.mutexes.push(MutexState {
+            owner: None,
+            view: Vec::new(),
+        });
+        id
+    })
+}
+
+/// Condvar id for `reg` in this execution.
+pub(crate) fn condvar_for(exec: &Arc<Execution>, reg: &Registration) -> usize {
+    reg.resolve(exec, || {
+        let mut g = lock_inner(exec);
+        let id = g.condvars.len();
+        g.condvars.push(CondvarState {
+            waiters: Vec::new(),
+        });
+        id
+    })
+}
+
+// ---------------------------------------------------------------------------
+// View helpers (per-location sequence floors)
+// ---------------------------------------------------------------------------
+
+fn vget(v: &[u64], i: usize) -> u64 {
+    v.get(i).copied().unwrap_or(0)
+}
+
+fn vset(v: &mut Vec<u64>, i: usize, val: u64) {
+    if v.len() <= i {
+        v.resize(i + 1, 0);
+    }
+    if v[i] < val {
+        v[i] = val;
+    }
+}
+
+fn join_view(dst: &mut Vec<u64>, src: &[u64]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        if *d < *s {
+            *d = *s;
+        }
+    }
+}
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn rotation(seed: u64, depth: u64, n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    (splitmix(seed ^ depth.wrapping_mul(0x9e37_79b9_7f4a_7c15)) % n as u64) as usize
+}
+
+// ---------------------------------------------------------------------------
+// Atomic operations
+// ---------------------------------------------------------------------------
+
+/// Modelled atomic load: picks (a decision point) among the stores the
+/// thread's view admits, then applies the ordering's view transfer.
+pub(crate) fn atomic_load(exec: &Arc<Execution>, me: usize, loc: usize, ord: Ordering) -> u64 {
+    yield_point(exec, me);
+    let mut g = lock_inner(exec);
+    g = ensure_live(exec, g);
+    if matches!(ord, Ordering::SeqCst) {
+        let sc = g.sc_view.clone();
+        join_view(&mut g.threads[me].view, &sc);
+    }
+    let floor = vget(&g.threads[me].view, loc);
+    let n_stores = g.locs[loc].stores.len();
+    let start = g.locs[loc]
+        .stores
+        .iter()
+        .position(|s| s.seq >= floor)
+        .unwrap_or(n_stores - 1);
+    let picked = if n_stores - start > 1 {
+        start + g.choose(n_stores - start)
+    } else {
+        start
+    };
+    let stale = picked + 1 < n_stores;
+    let (seq, value, msg_view) = {
+        let s = &g.locs[loc].stores[picked];
+        (s.seq, s.value, s.view.clone())
+    };
+    vset(&mut g.threads[me].view, loc, seq);
+    if is_acquire(ord) {
+        join_view(&mut g.threads[me].view, &msg_view);
+    } else {
+        join_view(&mut g.threads[me].pending_acquire, &msg_view);
+    }
+    if matches!(ord, Ordering::SeqCst) {
+        let v = g.threads[me].view.clone();
+        join_view(&mut g.sc_view, &v);
+    }
+    let tag = if stale { " [stale]" } else { "" };
+    g.trace(me, format!("load a{loc} ({ord:?}) -> {value}{tag}"));
+    value
+}
+
+/// Modelled atomic store.
+pub(crate) fn atomic_store(
+    exec: &Arc<Execution>,
+    me: usize,
+    loc: usize,
+    value: u64,
+    ord: Ordering,
+) {
+    yield_point(exec, me);
+    let mut g = lock_inner(exec);
+    g = ensure_live(exec, g);
+    if matches!(ord, Ordering::SeqCst) {
+        let sc = g.sc_view.clone();
+        join_view(&mut g.threads[me].view, &sc);
+    }
+    let seq = g.alloc_seq();
+    vset(&mut g.threads[me].view, loc, seq);
+    let mut msg = if is_release(ord) {
+        g.threads[me].view.clone()
+    } else {
+        g.threads[me].fence_release.clone().unwrap_or_default()
+    };
+    vset(&mut msg, loc, seq);
+    g.locs[loc].stores.push(Store {
+        seq,
+        value,
+        view: msg,
+    });
+    if matches!(ord, Ordering::SeqCst) {
+        let v = g.threads[me].view.clone();
+        join_view(&mut g.sc_view, &v);
+    }
+    g.trace(me, format!("store a{loc} ({ord:?}) <- {value}"));
+    drop(g);
+}
+
+/// Modelled read-modify-write. `f` returns `Some(new)` to commit (fetch_add,
+/// swap, successful CAS) or `None` to fail (CAS mismatch). Always reads the
+/// latest store in modification order, as RMWs must. Returns
+/// `(observed, committed)`.
+pub(crate) fn atomic_rmw(
+    exec: &Arc<Execution>,
+    me: usize,
+    loc: usize,
+    ord_ok: Ordering,
+    ord_fail: Ordering,
+    f: &mut dyn FnMut(u64) -> Option<u64>,
+) -> (u64, bool) {
+    yield_point(exec, me);
+    let mut g = lock_inner(exec);
+    g = ensure_live(exec, g);
+    if matches!(ord_ok, Ordering::SeqCst) || matches!(ord_fail, Ordering::SeqCst) {
+        let sc = g.sc_view.clone();
+        join_view(&mut g.threads[me].view, &sc);
+    }
+    let (last_seq, observed, last_view) = {
+        let s = g.locs[loc]
+            .stores
+            .last()
+            .expect("location has an initial store");
+        (s.seq, s.value, s.view.clone())
+    };
+    vset(&mut g.threads[me].view, loc, last_seq);
+    match f(observed) {
+        Some(new) => {
+            if is_acquire(ord_ok) {
+                join_view(&mut g.threads[me].view, &last_view);
+            } else {
+                join_view(&mut g.threads[me].pending_acquire, &last_view);
+            }
+            let seq = g.alloc_seq();
+            vset(&mut g.threads[me].view, loc, seq);
+            let mut msg = if is_release(ord_ok) {
+                g.threads[me].view.clone()
+            } else {
+                g.threads[me].fence_release.clone().unwrap_or_default()
+            };
+            // Release-sequence continuation: an RMW carries forward the
+            // message view of the store it replaced.
+            join_view(&mut msg, &last_view);
+            vset(&mut msg, loc, seq);
+            g.locs[loc].stores.push(Store {
+                seq,
+                value: new,
+                view: msg,
+            });
+            if matches!(ord_ok, Ordering::SeqCst) {
+                let v = g.threads[me].view.clone();
+                join_view(&mut g.sc_view, &v);
+            }
+            g.trace(me, format!("rmw a{loc} ({ord_ok:?}) {observed} -> {new}"));
+            (observed, true)
+        }
+        None => {
+            if is_acquire(ord_fail) {
+                join_view(&mut g.threads[me].view, &last_view);
+            } else {
+                join_view(&mut g.threads[me].pending_acquire, &last_view);
+            }
+            g.trace(me, format!("rmw a{loc} failed at {observed}"));
+            (observed, false)
+        }
+    }
+}
+
+/// Modelled memory fence.
+pub(crate) fn fence_op(exec: &Arc<Execution>, me: usize, ord: Ordering) {
+    yield_point(exec, me);
+    let mut g = lock_inner(exec);
+    g = ensure_live(exec, g);
+    if is_acquire(ord) {
+        let pending = g.threads[me].pending_acquire.clone();
+        join_view(&mut g.threads[me].view, &pending);
+    }
+    if matches!(ord, Ordering::SeqCst) {
+        let sc = g.sc_view.clone();
+        join_view(&mut g.threads[me].view, &sc);
+    }
+    if is_release(ord) {
+        g.threads[me].fence_release = Some(g.threads[me].view.clone());
+    }
+    if matches!(ord, Ordering::SeqCst) {
+        let v = g.threads[me].view.clone();
+        join_view(&mut g.sc_view, &v);
+    }
+    g.trace(me, format!("fence ({ord:?})"));
+    drop(g);
+}
+
+// ---------------------------------------------------------------------------
+// Mutex and condvar operations
+// ---------------------------------------------------------------------------
+
+/// Block until the modelled mutex is acquired.
+pub(crate) fn mutex_lock(exec: &Arc<Execution>, me: usize, mid: usize) {
+    yield_point(exec, me);
+    let mut g = lock_inner(exec);
+    loop {
+        g = ensure_live(exec, g);
+        if g.mutexes[mid].owner.is_none() {
+            g.mutexes[mid].owner = Some(me);
+            let mv = g.mutexes[mid].view.clone();
+            join_view(&mut g.threads[me].view, &mv);
+            g.trace(me, format!("lock m{mid}"));
+            return;
+        }
+        g.threads[me].state = TState::BlockedMutex(mid);
+        g.trace(me, format!("block on m{mid}"));
+        match g.pick_next(me, false) {
+            Pick::Next(_) => {}
+            Pick::AllDone => unreachable!("blocked thread exists, cannot be done"),
+            Pick::Stuck(msg) => fail_and_abort(exec, g, msg),
+        }
+        exec.cv.notify_all();
+        g = wait_until_active(exec, g, me);
+    }
+}
+
+/// Non-blocking acquire attempt; true on success.
+pub(crate) fn mutex_try_lock(exec: &Arc<Execution>, me: usize, mid: usize) -> bool {
+    yield_point(exec, me);
+    let mut g = lock_inner(exec);
+    g = ensure_live(exec, g);
+    if g.mutexes[mid].owner.is_none() {
+        g.mutexes[mid].owner = Some(me);
+        let mv = g.mutexes[mid].view.clone();
+        join_view(&mut g.threads[me].view, &mv);
+        g.trace(me, format!("try_lock m{mid} -> acquired"));
+        true
+    } else {
+        g.trace(me, format!("try_lock m{mid} -> busy"));
+        false
+    }
+}
+
+/// Release the modelled mutex, waking blocked lockers. Safe to call during
+/// unwinding (guard drops while a failure propagates): it then tears state
+/// down without scheduling.
+pub(crate) fn mutex_unlock(exec: &Arc<Execution>, me: usize, mid: usize) {
+    if std::thread::panicking() {
+        let mut g = lock_inner(exec);
+        if g.mutexes[mid].owner == Some(me) {
+            g.mutexes[mid].owner = None;
+            for t in 0..g.threads.len() {
+                if g.threads[t].state == TState::BlockedMutex(mid) {
+                    g.threads[t].state = TState::Runnable;
+                }
+            }
+        }
+        drop(g);
+        exec.cv.notify_all();
+        return;
+    }
+    yield_point(exec, me);
+    let mut g = lock_inner(exec);
+    g = ensure_live(exec, g);
+    debug_assert_eq!(g.mutexes[mid].owner, Some(me), "unlock by non-owner");
+    g.mutexes[mid].view = g.threads[me].view.clone();
+    g.mutexes[mid].owner = None;
+    for t in 0..g.threads.len() {
+        if g.threads[t].state == TState::BlockedMutex(mid) {
+            g.threads[t].state = TState::Runnable;
+        }
+    }
+    g.trace(me, format!("unlock m{mid}"));
+    drop(g);
+}
+
+/// Modelled `Condvar::wait[_timeout]`: releases `mid`, blocks on `cid`
+/// (with a timeout alternative when `can_timeout`), then reacquires `mid`.
+/// Returns true when released by the timeout rather than a notification.
+pub(crate) fn condvar_wait(
+    exec: &Arc<Execution>,
+    me: usize,
+    cid: usize,
+    mid: usize,
+    can_timeout: bool,
+) -> bool {
+    yield_point(exec, me);
+    let mut g = lock_inner(exec);
+    g = ensure_live(exec, g);
+    debug_assert_eq!(g.mutexes[mid].owner, Some(me), "wait without the lock");
+    g.mutexes[mid].view = g.threads[me].view.clone();
+    g.mutexes[mid].owner = None;
+    for t in 0..g.threads.len() {
+        if g.threads[t].state == TState::BlockedMutex(mid) {
+            g.threads[t].state = TState::Runnable;
+        }
+    }
+    g.threads[me].timed_out = false;
+    g.threads[me].state = TState::BlockedCondvar { cid, can_timeout };
+    g.condvars[cid].waiters.push(me);
+    g.trace(me, format!("wait c{cid} (releases m{mid})"));
+    match g.pick_next(me, false) {
+        Pick::Next(_) => {}
+        Pick::AllDone => unreachable!("waiting thread exists, cannot be done"),
+        Pick::Stuck(msg) => fail_and_abort(exec, g, msg),
+    }
+    exec.cv.notify_all();
+    g = wait_until_active(exec, g, me);
+    let timed_out = g.threads[me].timed_out;
+    // Reacquire the mutex before returning to the caller.
+    loop {
+        g = ensure_live(exec, g);
+        if g.mutexes[mid].owner.is_none() {
+            g.mutexes[mid].owner = Some(me);
+            let mv = g.mutexes[mid].view.clone();
+            join_view(&mut g.threads[me].view, &mv);
+            g.trace(me, format!("reacquire m{mid} after wait"));
+            return timed_out;
+        }
+        g.threads[me].state = TState::BlockedMutex(mid);
+        match g.pick_next(me, false) {
+            Pick::Next(_) => {}
+            Pick::AllDone => unreachable!("blocked thread exists, cannot be done"),
+            Pick::Stuck(msg) => fail_and_abort(exec, g, msg),
+        }
+        exec.cv.notify_all();
+        g = wait_until_active(exec, g, me);
+    }
+}
+
+/// Modelled notify: wakes one (FIFO) or all waiters of `cid`.
+pub(crate) fn condvar_notify(exec: &Arc<Execution>, me: usize, cid: usize, all: bool) {
+    yield_point(exec, me);
+    let mut g = lock_inner(exec);
+    g = ensure_live(exec, g);
+    let woken: Vec<usize> = if all {
+        std::mem::take(&mut g.condvars[cid].waiters)
+    } else if g.condvars[cid].waiters.is_empty() {
+        Vec::new()
+    } else {
+        vec![g.condvars[cid].waiters.remove(0)]
+    };
+    for t in &woken {
+        g.threads[*t].state = TState::Runnable;
+        g.threads[*t].timed_out = false;
+    }
+    let kind = if all { "notify_all" } else { "notify_one" };
+    g.trace(me, format!("{kind} c{cid} (woke {woken:?})"));
+    drop(g);
+}
+
+// ---------------------------------------------------------------------------
+// Thread spawn / join / exit
+// ---------------------------------------------------------------------------
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn install_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            // Model threads report failures through the counterexample; the
+            // teardown payload and in-model user panics stay off stderr.
+            let in_model = CTX.with(|c| c.borrow().is_some());
+            let is_abort = info.payload().downcast_ref::<ModelAbort>().is_some();
+            if !(in_model || is_abort) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Spawn a virtual thread running `f`; returns its id and the slot its
+/// return value lands in.
+pub(crate) fn spawn_thread<F, T>(
+    exec: &Arc<Execution>,
+    me: usize,
+    f: F,
+) -> (usize, Arc<StdMutex<Option<T>>>)
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    yield_point(exec, me);
+    let tid = {
+        let mut g = lock_inner(exec);
+        g = ensure_live(exec, g);
+        if g.threads.len() >= MAX_THREADS {
+            fail_and_abort(
+                exec,
+                g,
+                format!("thread cap exceeded ({MAX_THREADS} virtual threads)"),
+            );
+        }
+        let tid = g.threads.len();
+        let view = g.threads[me].view.clone();
+        g.threads.push(VThread::runnable(view));
+        g.trace(me, format!("spawn t{tid}"));
+        tid
+    };
+    let slot: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+    let value_slot = slot.clone();
+    let child_exec = exec.clone();
+    let os = std::thread::Builder::new()
+        .name(format!("st-check-{tid}"))
+        .spawn(move || {
+            run_vthread(child_exec, tid, move || {
+                let v = f();
+                *value_slot
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(v);
+            });
+        })
+        .expect("spawn model OS thread");
+    exec.handles
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(os);
+    (tid, slot)
+}
+
+/// Block until `target` finishes, joining its final view.
+pub(crate) fn join_thread(exec: &Arc<Execution>, me: usize, target: usize) {
+    yield_point(exec, me);
+    let mut g = lock_inner(exec);
+    loop {
+        g = ensure_live(exec, g);
+        if matches!(g.threads[target].state, TState::Finished) {
+            let fv = g.threads[target].final_view.clone();
+            join_view(&mut g.threads[me].view, &fv);
+            g.trace(me, format!("join t{target}"));
+            return;
+        }
+        g.threads[me].state = TState::BlockedJoin(target);
+        match g.pick_next(me, false) {
+            Pick::Next(_) => {}
+            Pick::AllDone => unreachable!("joining thread exists, cannot be done"),
+            Pick::Stuck(msg) => fail_and_abort(exec, g, msg),
+        }
+        exec.cv.notify_all();
+        g = wait_until_active(exec, g, me);
+    }
+}
+
+fn finish_thread(exec: &Arc<Execution>, tid: usize) {
+    let mut g = lock_inner(exec);
+    g.threads[tid].state = TState::Finished;
+    g.threads[tid].final_view = std::mem::take(&mut g.threads[tid].view);
+    for t in 0..g.threads.len() {
+        if g.threads[t].state == TState::BlockedJoin(tid) {
+            g.threads[t].state = TState::Runnable;
+        }
+    }
+    g.trace(tid, "exit".to_string());
+    if g.aborted {
+        drop(g);
+        exec.cv.notify_all();
+        return;
+    }
+    match g.pick_next(tid, false) {
+        Pick::Next(_) => {}
+        Pick::AllDone => g.completed = true,
+        Pick::Stuck(msg) => g.fail(msg),
+    }
+    drop(g);
+    exec.cv.notify_all();
+}
+
+/// Body of every OS thread hosting a virtual thread.
+fn run_vthread(exec: Arc<Execution>, tid: usize, body: impl FnOnce() + Send) {
+    CTX.with(|c| *c.borrow_mut() = Some((exec.clone(), tid)));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        {
+            let g = lock_inner(&exec);
+            let g = wait_until_active(&exec, g, tid);
+            drop(g);
+        }
+        body();
+    }));
+    CTX.with(|c| *c.borrow_mut() = None);
+    match result {
+        Ok(()) => finish_thread(&exec, tid),
+        Err(payload) => {
+            let mut g = lock_inner(&exec);
+            if payload.downcast_ref::<ModelAbort>().is_none() {
+                let msg = panic_message(payload.as_ref());
+                g.fail(format!("t{tid} panicked: {msg}"));
+            }
+            g.threads[tid].state = TState::Finished;
+            drop(g);
+            exec.cv.notify_all();
+        }
+    }
+    // Last act: let the driver know this OS thread is gone so it can join
+    // every handle before reusing registrations in the next execution.
+    let mut g = lock_inner(&exec);
+    g.os_exited += 1;
+    drop(g);
+    exec.cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Driver: one execution, then the DFS over schedules
+// ---------------------------------------------------------------------------
+
+struct RunOutcome {
+    decisions: Vec<(usize, usize)>,
+    failure: Option<String>,
+    trace: Vec<String>,
+}
+
+fn run_once(cfg: &Config, prefix: Vec<usize>, f: Arc<dyn Fn() + Send + Sync>) -> RunOutcome {
+    install_quiet_hook();
+    static EPOCH: StdAtomicU64 = StdAtomicU64::new(1);
+    let epoch = EPOCH.fetch_add(1, StdOrdering::SeqCst);
+    let exec = Arc::new(Execution {
+        inner: StdMutex::new(Inner::new(cfg, prefix)),
+        cv: StdCondvar::new(),
+        epoch,
+        handles: StdMutex::new(Vec::new()),
+    });
+    {
+        let mut g = lock_inner(&exec);
+        g.threads.push(VThread::runnable(Vec::new()));
+        g.active = 0;
+    }
+    let root_exec = exec.clone();
+    let root = std::thread::Builder::new()
+        .name("st-check-0".to_string())
+        .spawn(move || run_vthread(root_exec, 0, move || f()))
+        .expect("spawn model root thread");
+    exec.handles
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(root);
+    {
+        let mut g = lock_inner(&exec);
+        while !(g.completed || g.aborted) {
+            g = exec
+                .cv
+                .wait(g)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        // Every OS thread must be on its way out before we reap handles:
+        // stragglers re-registering into a stale execution would leak state
+        // into the next schedule.
+        while g.os_exited < g.threads.len() {
+            g = exec
+                .cv
+                .wait(g)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+    loop {
+        let handle = exec
+            .handles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop();
+        match handle {
+            Some(h) => {
+                let _ = h.join();
+            }
+            None => break,
+        }
+    }
+    let g = lock_inner(&exec);
+    RunOutcome {
+        decisions: g.decisions.clone(),
+        failure: g.failure.clone(),
+        trace: g.trace.clone(),
+    }
+}
+
+/// Explore schedules of `f` under `cfg`; returns the exploration [`Report`].
+///
+/// Use this form for mutant tests (assert `counterexample.is_some()`) and
+/// for asserting exhaustiveness; use [`check`] for plain pass/fail tests.
+pub fn check_with<F>(cfg: Config, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    assert!(
+        current().is_none(),
+        "st-check does not support nested model executions"
+    );
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        let run = run_once(&cfg, prefix.clone(), f.clone());
+        schedules += 1;
+        if let Some(message) = run.failure {
+            return Report {
+                schedules,
+                exhausted: false,
+                counterexample: Some(Counterexample {
+                    message,
+                    trace: run.trace,
+                    seed: cfg.seed,
+                    schedule: run.decisions.iter().map(|d| d.0).collect(),
+                }),
+            };
+        }
+        // DFS: advance the deepest decision that still has an untried
+        // alternative (the first choice at each depth is the seed rotation,
+        // so "untried" means the successor has not wrapped back to it).
+        let mut next: Option<Vec<usize>> = None;
+        for depth in (0..run.decisions.len()).rev() {
+            let (choice, n) = run.decisions[depth];
+            let first = rotation(cfg.seed, depth as u64, n);
+            let successor = (choice + 1) % n;
+            if successor != first {
+                let mut p: Vec<usize> = run.decisions[..depth].iter().map(|d| d.0).collect();
+                p.push(successor);
+                next = Some(p);
+                break;
+            }
+        }
+        match next {
+            None => {
+                return Report {
+                    schedules,
+                    exhausted: true,
+                    counterexample: None,
+                }
+            }
+            Some(_) if schedules >= cfg.max_schedules => {
+                return Report {
+                    schedules,
+                    exhausted: false,
+                    counterexample: None,
+                }
+            }
+            Some(p) => prefix = p,
+        }
+    }
+}
+
+/// Explore schedules of `f` with [`Config::from_env`]; panics with a rendered
+/// replayable counterexample if any schedule fails.
+pub fn check<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let report = check_with(Config::from_env(), f);
+    if let Some(cx) = report.counterexample {
+        panic!("{}", cx.render());
+    }
+}

@@ -1,0 +1,638 @@
+//! The sync facade: `std::sync` names that can be routed through the model
+//! checker.
+//!
+//! In a normal build (no `model-check` feature) every item here is a straight
+//! re-export of the `std` original — production code written against this
+//! module compiles to exactly the code it would with `use std::sync::...`.
+//!
+//! With `--features model-check` the same names resolve to instrumented
+//! types. Outside a `model::check` closure they still delegate to
+//! `std` (so ordinary tests keep working in an instrumented build); inside
+//! one, every operation becomes a scheduling and memory-ordering decision
+//! point of the checker.
+
+#[cfg(not(feature = "model-check"))]
+mod imp {
+    pub use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+    pub use std::sync::{
+        Condvar, LockResult, Mutex, MutexGuard, PoisonError, TryLockError, TryLockResult,
+        WaitTimeoutResult,
+    };
+
+    /// Thread spawn/join, re-exported from `std::thread`.
+    pub mod thread {
+        pub use std::thread::{sleep, spawn, yield_now, JoinHandle, Result};
+    }
+}
+
+#[cfg(feature = "model-check")]
+mod imp {
+    use crate::model::{self, Registration};
+    use std::ops::{Deref, DerefMut};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    pub use std::sync::atomic::Ordering;
+    pub use std::sync::{LockResult, PoisonError, TryLockError, TryLockResult};
+
+    /// Memory fence: modelled inside a checker execution, `std` otherwise.
+    pub fn fence(ord: Ordering) {
+        match model::current() {
+            Some((exec, me)) => model::fence_op(&exec, me, ord),
+            None => std::sync::atomic::fence(ord),
+        }
+    }
+
+    macro_rules! checked_atomic {
+        ($name:ident, $ty:ty, $doc:expr) => {
+            #[doc = $doc]
+            ///
+            /// Instrumented facade type: delegates to the `std` atomic unless
+            /// the current thread is running under the model checker.
+            pub struct $name {
+                std: std::sync::atomic::$name,
+                reg: Registration,
+            }
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                pub const fn new(v: $ty) -> Self {
+                    Self {
+                        std: std::sync::atomic::$name::new(v),
+                        reg: Registration::new(),
+                    }
+                }
+
+                fn loc(&self, exec: &Arc<model::Execution>) -> usize {
+                    // ORDER: Relaxed snapshot of the creation value; the
+                    // model serializes registration, nothing races this.
+                    model::loc_for(exec, &self.reg, || self.std.load(Ordering::Relaxed) as u64)
+                }
+
+                /// Loads the value (a decision point under the checker).
+                pub fn load(&self, ord: Ordering) -> $ty {
+                    match model::current() {
+                        Some((exec, me)) => {
+                            let loc = self.loc(&exec);
+                            model::atomic_load(&exec, me, loc, ord) as $ty
+                        }
+                        None => self.std.load(ord),
+                    }
+                }
+
+                /// Stores a value.
+                pub fn store(&self, v: $ty, ord: Ordering) {
+                    match model::current() {
+                        Some((exec, me)) => {
+                            let loc = self.loc(&exec);
+                            model::atomic_store(&exec, me, loc, v as u64, ord);
+                        }
+                        None => self.std.store(v, ord),
+                    }
+                }
+
+                /// Swaps the value, returning the previous one.
+                pub fn swap(&self, v: $ty, ord: Ordering) -> $ty {
+                    match model::current() {
+                        Some((exec, me)) => {
+                            let loc = self.loc(&exec);
+                            let (old, _) = model::atomic_rmw(
+                                &exec,
+                                me,
+                                loc,
+                                ord,
+                                // ORDER: Relaxed is the unused failure
+                                // ordering of an RMW that cannot fail.
+                                Ordering::Relaxed,
+                                &mut |_| Some(v as u64),
+                            );
+                            old as $ty
+                        }
+                        None => self.std.swap(v, ord),
+                    }
+                }
+
+                /// Wrapping add; returns the previous value.
+                pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
+                    match model::current() {
+                        Some((exec, me)) => {
+                            let loc = self.loc(&exec);
+                            let (old, _) = model::atomic_rmw(
+                                &exec,
+                                me,
+                                loc,
+                                ord,
+                                // ORDER: Relaxed is the unused failure
+                                // ordering of an RMW that cannot fail.
+                                Ordering::Relaxed,
+                                &mut |old| Some((old as $ty).wrapping_add(v) as u64),
+                            );
+                            old as $ty
+                        }
+                        None => self.std.fetch_add(v, ord),
+                    }
+                }
+
+                /// Wrapping subtract; returns the previous value.
+                pub fn fetch_sub(&self, v: $ty, ord: Ordering) -> $ty {
+                    match model::current() {
+                        Some((exec, me)) => {
+                            let loc = self.loc(&exec);
+                            let (old, _) = model::atomic_rmw(
+                                &exec,
+                                me,
+                                loc,
+                                ord,
+                                // ORDER: Relaxed is the unused failure
+                                // ordering of an RMW that cannot fail.
+                                Ordering::Relaxed,
+                                &mut |old| Some((old as $ty).wrapping_sub(v) as u64),
+                            );
+                            old as $ty
+                        }
+                        None => self.std.fetch_sub(v, ord),
+                    }
+                }
+
+                /// Compare-and-exchange; `Ok(previous)` on success.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    match model::current() {
+                        Some((exec, me)) => {
+                            let loc = self.loc(&exec);
+                            let (old, committed) =
+                                model::atomic_rmw(&exec, me, loc, success, failure, &mut |old| {
+                                    if old as $ty == current {
+                                        Some(new as u64)
+                                    } else {
+                                        None
+                                    }
+                                });
+                            if committed {
+                                Ok(old as $ty)
+                            } else {
+                                Err(old as $ty)
+                            }
+                        }
+                        None => self.std.compare_exchange(current, new, success, failure),
+                    }
+                }
+
+                /// Weak compare-and-exchange. The model treats it as strong
+                /// (spurious failures are a strict subset of real CAS-failure
+                /// behavior, which retry loops already cover).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    match model::current() {
+                        Some(_) => self.compare_exchange(current, new, success, failure),
+                        None => self
+                            .std
+                            .compare_exchange_weak(current, new, success, failure),
+                    }
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(0 as $ty)
+                }
+            }
+        };
+    }
+
+    checked_atomic!(AtomicUsize, usize, "A facade `AtomicUsize`.");
+    checked_atomic!(AtomicU64, u64, "A facade `AtomicU64`.");
+    checked_atomic!(AtomicU32, u32, "A facade `AtomicU32`.");
+
+    /// A facade `AtomicBool`.
+    ///
+    /// Instrumented facade type: delegates to the `std` atomic unless the
+    /// current thread is running under the model checker.
+    pub struct AtomicBool {
+        std: std::sync::atomic::AtomicBool,
+        reg: Registration,
+    }
+
+    impl AtomicBool {
+        /// Creates a new atomic with the given initial value.
+        pub const fn new(v: bool) -> Self {
+            Self {
+                std: std::sync::atomic::AtomicBool::new(v),
+                reg: Registration::new(),
+            }
+        }
+
+        fn loc(&self, exec: &Arc<model::Execution>) -> usize {
+            // ORDER: Relaxed snapshot of the creation value; the model
+            // serializes registration, nothing races this.
+            model::loc_for(exec, &self.reg, || self.std.load(Ordering::Relaxed) as u64)
+        }
+
+        /// Loads the value (a decision point under the checker).
+        pub fn load(&self, ord: Ordering) -> bool {
+            match model::current() {
+                Some((exec, me)) => {
+                    let loc = self.loc(&exec);
+                    model::atomic_load(&exec, me, loc, ord) != 0
+                }
+                None => self.std.load(ord),
+            }
+        }
+
+        /// Stores a value.
+        pub fn store(&self, v: bool, ord: Ordering) {
+            match model::current() {
+                Some((exec, me)) => {
+                    let loc = self.loc(&exec);
+                    model::atomic_store(&exec, me, loc, v as u64, ord);
+                }
+                None => self.std.store(v, ord),
+            }
+        }
+
+        /// Swaps the value, returning the previous one.
+        pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+            match model::current() {
+                Some((exec, me)) => {
+                    let loc = self.loc(&exec);
+                    // ORDER: Relaxed is the unused failure ordering of an
+                    // RMW that cannot fail.
+                    let (old, _) =
+                        model::atomic_rmw(&exec, me, loc, ord, Ordering::Relaxed, &mut |_| {
+                            Some(v as u64)
+                        });
+                    old != 0
+                }
+                None => self.std.swap(v, ord),
+            }
+        }
+
+        /// Compare-and-exchange; `Ok(previous)` on success.
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            match model::current() {
+                Some((exec, me)) => {
+                    let loc = self.loc(&exec);
+                    let (old, committed) =
+                        model::atomic_rmw(&exec, me, loc, success, failure, &mut |old| {
+                            if (old != 0) == current {
+                                Some(new as u64)
+                            } else {
+                                None
+                            }
+                        });
+                    if committed {
+                        Ok(old != 0)
+                    } else {
+                        Err(old != 0)
+                    }
+                }
+                None => self.std.compare_exchange(current, new, success, failure),
+            }
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
+    }
+
+    /// A facade mutex: `std::sync::Mutex` storage, model-scheduled locking
+    /// inside a checker execution.
+    pub struct Mutex<T: ?Sized> {
+        reg: Registration,
+        std: std::sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates a new mutex holding `t`.
+        pub const fn new(t: T) -> Self {
+            Self {
+                reg: Registration::new(),
+                std: std::sync::Mutex::new(t),
+            }
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquires the mutex, blocking (cooperatively, under the checker).
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            match model::current() {
+                Some((exec, me)) => {
+                    let mid = model::mutex_for(&exec, &self.reg);
+                    model::mutex_lock(&exec, me, mid);
+                    let std = match self.std.lock() {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    Ok(MutexGuard {
+                        lock: self,
+                        std: Some(std),
+                        model: Some((exec, me, mid)),
+                    })
+                }
+                None => match self.std.lock() {
+                    Ok(g) => Ok(MutexGuard {
+                        lock: self,
+                        std: Some(g),
+                        model: None,
+                    }),
+                    Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                        lock: self,
+                        std: Some(poisoned.into_inner()),
+                        model: None,
+                    })),
+                },
+            }
+        }
+
+        /// Attempts to acquire the mutex without blocking.
+        pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+            match model::current() {
+                Some((exec, me)) => {
+                    let mid = model::mutex_for(&exec, &self.reg);
+                    if model::mutex_try_lock(&exec, me, mid) {
+                        let std = match self.std.lock() {
+                            Ok(g) => g,
+                            Err(poisoned) => poisoned.into_inner(),
+                        };
+                        Ok(MutexGuard {
+                            lock: self,
+                            std: Some(std),
+                            model: Some((exec, me, mid)),
+                        })
+                    } else {
+                        Err(TryLockError::WouldBlock)
+                    }
+                }
+                None => match self.std.try_lock() {
+                    Ok(g) => Ok(MutexGuard {
+                        lock: self,
+                        std: Some(g),
+                        model: None,
+                    }),
+                    Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+                    Err(TryLockError::Poisoned(poisoned)) => {
+                        Err(TryLockError::Poisoned(PoisonError::new(MutexGuard {
+                            lock: self,
+                            std: Some(poisoned.into_inner()),
+                            model: None,
+                        })))
+                    }
+                },
+            }
+        }
+    }
+
+    /// Guard returned by [`Mutex::lock`] / [`Mutex::try_lock`].
+    pub struct MutexGuard<'a, T: ?Sized> {
+        lock: &'a Mutex<T>,
+        std: Option<std::sync::MutexGuard<'a, T>>,
+        model: Option<(Arc<model::Execution>, usize, usize)>,
+    }
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.std.as_ref().expect("guard holds the std lock")
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.std.as_mut().expect("guard holds the std lock")
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            self.std = None;
+            if let Some((exec, me, mid)) = self.model.take() {
+                model::mutex_unlock(&exec, me, mid);
+            }
+        }
+    }
+
+    /// Result of a timed wait; mirrors `std::sync::WaitTimeoutResult`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct WaitTimeoutResult(bool);
+
+    impl WaitTimeoutResult {
+        /// True when the wait ended by timeout rather than notification.
+        pub fn timed_out(&self) -> bool {
+            self.0
+        }
+    }
+
+    /// A facade condition variable.
+    pub struct Condvar {
+        reg: Registration,
+        std: std::sync::Condvar,
+    }
+
+    impl Condvar {
+        /// Creates a new condition variable.
+        pub const fn new() -> Self {
+            Self {
+                reg: Registration::new(),
+                std: std::sync::Condvar::new(),
+            }
+        }
+
+        /// Blocks on this condvar until notified.
+        pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            match guard.model.clone() {
+                Some((exec, me, mid)) => {
+                    let cid = model::condvar_for(&exec, &self.reg);
+                    guard.std = None;
+                    model::condvar_wait(&exec, me, cid, mid, false);
+                    let std = match guard.lock.std.lock() {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    guard.std = Some(std);
+                    Ok(guard)
+                }
+                None => {
+                    let std = guard.std.take().expect("guard holds the std lock");
+                    match self.std.wait(std) {
+                        Ok(g) => {
+                            guard.std = Some(g);
+                            Ok(guard)
+                        }
+                        Err(poisoned) => {
+                            guard.std = Some(poisoned.into_inner());
+                            Err(PoisonError::new(guard))
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Blocks on this condvar until notified or `dur` elapses. Under the
+        /// checker the timeout is a scheduling *alternative*, not wall time:
+        /// both the notified and the timed-out outcome are explored.
+        pub fn wait_timeout<'a, T>(
+            &self,
+            mut guard: MutexGuard<'a, T>,
+            dur: Duration,
+        ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+            match guard.model.clone() {
+                Some((exec, me, mid)) => {
+                    let _ = dur;
+                    let cid = model::condvar_for(&exec, &self.reg);
+                    guard.std = None;
+                    let timed_out = model::condvar_wait(&exec, me, cid, mid, true);
+                    let std = match guard.lock.std.lock() {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    guard.std = Some(std);
+                    Ok((guard, WaitTimeoutResult(timed_out)))
+                }
+                None => {
+                    let std = guard.std.take().expect("guard holds the std lock");
+                    match self.std.wait_timeout(std, dur) {
+                        Ok((g, result)) => {
+                            guard.std = Some(g);
+                            Ok((guard, WaitTimeoutResult(result.timed_out())))
+                        }
+                        Err(poisoned) => {
+                            let (g, result) = poisoned.into_inner();
+                            guard.std = Some(g);
+                            Err(PoisonError::new((
+                                guard,
+                                WaitTimeoutResult(result.timed_out()),
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Wakes one waiter (FIFO under the checker).
+        pub fn notify_one(&self) {
+            match model::current() {
+                Some((exec, me)) => {
+                    let cid = model::condvar_for(&exec, &self.reg);
+                    model::condvar_notify(&exec, me, cid, false);
+                }
+                None => self.std.notify_one(),
+            }
+        }
+
+        /// Wakes every waiter.
+        pub fn notify_all(&self) {
+            match model::current() {
+                Some((exec, me)) => {
+                    let cid = model::condvar_for(&exec, &self.reg);
+                    model::condvar_notify(&exec, me, cid, true);
+                }
+                None => self.std.notify_all(),
+            }
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    /// Thread spawn/join routed through the checker when one is active.
+    pub mod thread {
+        use super::*;
+
+        pub use std::thread::Result;
+
+        enum HandleInner<T> {
+            Std(std::thread::JoinHandle<T>),
+            Model {
+                exec: Arc<model::Execution>,
+                tid: usize,
+                slot: Arc<std::sync::Mutex<Option<T>>>,
+            },
+        }
+
+        /// Owned handle to a spawned facade thread.
+        pub struct JoinHandle<T> {
+            inner: HandleInner<T>,
+        }
+
+        impl<T> JoinHandle<T> {
+            /// Waits for the thread to finish, returning its value.
+            pub fn join(self) -> Result<T> {
+                match self.inner {
+                    HandleInner::Std(h) => h.join(),
+                    HandleInner::Model { exec, tid, slot } => {
+                        let me = model::current().map(|(_, me)| me).unwrap_or(0);
+                        model::join_thread(&exec, me, tid);
+                        match slot
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .take()
+                        {
+                            Some(v) => Ok(v),
+                            None => Err(Box::new("model thread produced no value")
+                                as Box<dyn std::any::Any + Send>),
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Spawns a thread; a virtual one when a checker execution is active.
+        pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            match model::current() {
+                Some((exec, me)) => {
+                    let (tid, slot) = model::spawn_thread(&exec, me, f);
+                    JoinHandle {
+                        inner: HandleInner::Model { exec, tid, slot },
+                    }
+                }
+                None => JoinHandle {
+                    inner: HandleInner::Std(std::thread::spawn(f)),
+                },
+            }
+        }
+
+        /// Yields: a plain scheduling point under the checker.
+        pub fn yield_now() {
+            match model::current() {
+                Some((exec, me)) => model::yield_point(&exec, me),
+                None => std::thread::yield_now(),
+            }
+        }
+
+        /// Sleeps. Under the checker time is not modelled; this is a plain
+        /// scheduling point (any interleaving a sleep allows is explored).
+        pub fn sleep(dur: std::time::Duration) {
+            match model::current() {
+                Some((exec, me)) => model::yield_point(&exec, me),
+                None => std::thread::sleep(dur),
+            }
+        }
+    }
+}
+
+pub use imp::*;

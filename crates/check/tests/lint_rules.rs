@@ -1,0 +1,151 @@
+//! Rule-by-rule tests for the st-lint scanner (`st_check::lint`), run on
+//! inline source snippets so each rule's trigger and its justification are
+//! pinned.
+
+use std::path::Path;
+
+use st_check::lint::{lint_source, to_json, Allowlist, Violation};
+
+fn rules(path: &str, src: &str) -> Vec<&'static str> {
+    lint_source(Path::new(path), src)
+        .into_iter()
+        .map(|v| v.rule)
+        .collect()
+}
+
+#[test]
+fn unsafe_block_needs_safety_comment() {
+    let bad = "fn f() {\n    let x = unsafe { *p };\n}\n";
+    assert_eq!(rules("crates/x/src/a.rs", bad), vec!["unsafe-safety"]);
+
+    let good = "fn f() {\n    // SAFETY: p is valid for reads, checked above.\n    let x = unsafe { *p };\n}\n";
+    assert!(rules("crates/x/src/a.rs", good).is_empty());
+
+    let same_line = "fn f() { unsafe { *p } } // SAFETY: p valid\n";
+    assert!(rules("crates/x/src/a.rs", same_line).is_empty());
+}
+
+#[test]
+fn unsafe_impl_needs_safety_but_unsafe_fn_does_not() {
+    let impl_bad = "unsafe impl Send for X {}\n";
+    assert_eq!(rules("crates/x/src/a.rs", impl_bad), vec!["unsafe-safety"]);
+
+    // `unsafe fn` declarations are covered by deny(unsafe_op_in_unsafe_fn):
+    // the *body* must carry explicit (commented) unsafe blocks instead.
+    let fn_decl = "pub unsafe fn kernel(p: *const f32) -> f32 {\n    // SAFETY: caller upholds the contract.\n    unsafe { *p }\n}\n";
+    assert!(rules("crates/x/src/a.rs", fn_decl).is_empty());
+}
+
+#[test]
+fn unsafe_inside_strings_and_comments_is_ignored() {
+    let src = "fn f() {\n    let s = \"unsafe { }\";\n    // unsafe is discussed here only\n}\n";
+    assert!(rules("crates/x/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn relaxed_ordering_needs_order_comment() {
+    let bad = "fn f(a: &AtomicUsize) -> usize {\n    a.load(Ordering::Relaxed)\n}\n";
+    assert_eq!(rules("crates/x/src/a.rs", bad), vec!["order-relaxed"]);
+
+    let good = "fn f(a: &AtomicUsize) -> usize {\n    // ORDER: monotonic counter, read for reporting only.\n    a.load(Ordering::Relaxed)\n}\n";
+    assert!(rules("crates/x/src/a.rs", good).is_empty());
+}
+
+#[test]
+fn relaxed_in_test_code_is_exempt() {
+    let src = "#[cfg(test)]\nmod tests {\n    fn f(a: &AtomicUsize) -> usize {\n        a.load(Ordering::Relaxed)\n    }\n}\n";
+    assert!(rules("crates/x/src/a.rs", src).is_empty());
+    // ...and in integration-test files.
+    let file = "fn f(a: &AtomicUsize) -> usize { a.load(Ordering::Relaxed) }\n";
+    assert!(rules("crates/x/tests/a.rs", file).is_empty());
+    assert_eq!(rules("crates/x/src/a.rs", file), vec!["order-relaxed"]);
+}
+
+#[test]
+fn unwrap_and_expect_banned_in_serve_and_shm_only() {
+    let src =
+        "fn f() {\n    let g = m.lock().unwrap();\n    let h = n.lock().expect(\"lock\");\n}\n";
+    assert_eq!(
+        rules("crates/core/src/serve.rs", src),
+        vec!["no-unwrap", "no-unwrap"]
+    );
+    assert_eq!(
+        rules("crates/net/src/shm.rs", src),
+        vec!["no-unwrap", "no-unwrap"]
+    );
+    // Other files are out of scope for this rule.
+    assert!(rules("crates/core/src/runtime.rs", src).is_empty());
+
+    // Test modules inside serve.rs are exempt.
+    let test_src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { m.lock().unwrap(); }\n}\n";
+    assert!(rules("crates/core/src/serve.rs", test_src).is_empty());
+}
+
+#[test]
+fn native_endian_conversions_banned_in_net() {
+    let src = "fn f(x: u32) -> [u8; 4] { x.to_ne_bytes() }\n";
+    assert_eq!(rules("crates/net/src/wire.rs", src), vec!["ne-bytes"]);
+    assert!(rules("crates/core/src/serve.rs", src).is_empty());
+}
+
+#[test]
+fn thread_sleep_banned_in_reactor_files() {
+    let src = "fn f() { std::thread::sleep(Duration::from_millis(1)); }\n";
+    assert_eq!(rules("crates/core/src/serve.rs", src), vec!["no-sleep"]);
+    assert_eq!(rules("crates/net/src/poll.rs", src), vec!["no-sleep"]);
+    assert!(rules("crates/net/src/shm.rs", src).is_empty());
+
+    let test_src =
+        "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { std::thread::sleep(D); }\n}\n";
+    assert!(rules("crates/core/src/serve.rs", test_src).is_empty());
+}
+
+#[test]
+fn raw_strings_and_char_literals_do_not_confuse_the_lexer() {
+    let src = concat!(
+        "fn f() {\n",
+        "    let a = r#\"unsafe { Ordering::Relaxed }\"#;\n",
+        "    let b = 'u';\n",
+        "    let c: &'static str = \"x\";\n",
+        "    let d = b\"unsafe\";\n",
+        "}\n"
+    );
+    assert!(rules("crates/x/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn allowlist_suppresses_by_rule_and_path() {
+    let v = Violation {
+        file: Path::new("crates/net/src/shm.rs").to_path_buf(),
+        line: 10,
+        rule: "order-relaxed",
+        message: "m".to_string(),
+    };
+    let dir = std::env::temp_dir().join(format!("st-lint-allow-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let file = dir.join("st-lint.allow");
+    std::fs::write(&file, "# comment\norder-relaxed crates/net/\n").expect("write");
+    let allow = Allowlist::load(&file);
+    assert!(allow.permits(&v));
+    let other = Violation {
+        rule: "no-unwrap",
+        ..v.clone()
+    };
+    assert!(!allow.permits(&other));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn json_report_is_wellformed_enough() {
+    let v = vec![Violation {
+        file: Path::new("a \"b\".rs").to_path_buf(),
+        line: 3,
+        rule: "unsafe-safety",
+        message: "needs \\ escaping\n".to_string(),
+    }];
+    let json = to_json(&v);
+    assert!(json.starts_with("[\n"));
+    assert!(json.contains("\\\"b\\\""));
+    assert!(json.contains("\\\\ escaping\\n"));
+    assert!(json.trim_end().ends_with(']'));
+}

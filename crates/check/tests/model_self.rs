@@ -1,0 +1,286 @@
+//! Self-validation of the model checker: classic litmus shapes must behave
+//! exactly as the C11 model says — weak orderings admit the weak outcomes
+//! (the checker *finds* the bug) and strong orderings forbid them (the
+//! checker *exhausts* without one).
+#![cfg(feature = "model-check")]
+
+use std::sync::Arc;
+
+use st_check::model::{check_with, Config, Report};
+use st_check::sync::thread;
+use st_check::sync::{fence, AtomicUsize, Mutex, Ordering};
+
+fn cfg() -> Config {
+    Config {
+        max_schedules: 5_000,
+        max_steps: 5_000,
+        preemption_bound: Some(2),
+        seed: 7,
+    }
+}
+
+fn assert_caught(report: &Report, what: &str) {
+    let cx = report
+        .counterexample
+        .as_ref()
+        .unwrap_or_else(|| panic!("checker failed to catch {what}"));
+    assert!(!cx.trace.is_empty(), "counterexample trace is empty");
+    assert!(!cx.schedule.is_empty(), "counterexample schedule is empty");
+}
+
+fn assert_clean(report: &Report, what: &str) {
+    if let Some(cx) = &report.counterexample {
+        panic!("false positive on {what}:\n{}", cx.render());
+    }
+    assert!(report.exhausted, "{what}: exploration did not exhaust");
+}
+
+/// Store-buffer litmus (SB): with SeqCst, both threads reading 0 is
+/// forbidden.
+#[test]
+fn store_buffer_seqcst_forbids_0_0() {
+    let report = check_with(cfg(), || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let (x2, y2) = (x.clone(), y.clone());
+        let t = thread::spawn(move || {
+            x2.store(1, Ordering::SeqCst);
+            y2.load(Ordering::SeqCst)
+        });
+        x.store(2, Ordering::SeqCst); // distinct value; doubles as "y thread"
+        let r2 = {
+            y.store(1, Ordering::SeqCst);
+            x.load(Ordering::SeqCst)
+        };
+        let r1 = t.join().expect("join");
+        assert!(!(r1 == 0 && r2 == 0), "SB weak outcome (0,0) under SeqCst");
+    });
+    assert_clean(&report, "SeqCst store-buffer");
+}
+
+/// Store-buffer litmus with Relaxed: the checker must find the (0,0)
+/// outcome — a deliberately weakened ordering is observable.
+#[test]
+fn store_buffer_relaxed_admits_0_0() {
+    let report = check_with(cfg(), || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let (x2, y2) = (x.clone(), y.clone());
+        let t = thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            y2.load(Ordering::Relaxed)
+        });
+        y.store(1, Ordering::Relaxed);
+        let r2 = x.load(Ordering::Relaxed);
+        let r1 = t.join().expect("join");
+        assert!(
+            !(r1 == 0 && r2 == 0),
+            "SB weak outcome (0,0) observed (expected under Relaxed)"
+        );
+    });
+    assert_caught(&report, "the Relaxed store-buffer outcome");
+}
+
+/// Message passing (MP) with Release/Acquire: reading the flag implies
+/// reading the data.
+#[test]
+fn message_passing_release_acquire_is_clean() {
+    let report = check_with(cfg(), || {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "stale data after acquire");
+        }
+        t.join().expect("join");
+    });
+    assert_clean(&report, "Release/Acquire message passing");
+}
+
+/// MP mutant: a Relaxed flag must let the checker observe stale data.
+#[test]
+fn message_passing_relaxed_flag_is_caught() {
+    let report = check_with(cfg(), || {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Relaxed); // mutant: Release weakened
+        });
+        if flag.load(Ordering::Relaxed) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "stale data read");
+        }
+        t.join().expect("join");
+    });
+    assert_caught(&report, "the Relaxed-flag message-passing mutant");
+}
+
+/// MP through fences: Relaxed accesses bracketed by Release/Acquire fences
+/// synchronize; removing the fences (next test) does not.
+#[test]
+fn fence_message_passing_is_clean() {
+    let report = check_with(cfg(), || {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let t = thread::spawn(move || {
+            d2.store(7, Ordering::Relaxed);
+            fence(Ordering::Release);
+            f2.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) == 1 {
+            fence(Ordering::Acquire);
+            assert_eq!(data.load(Ordering::Relaxed), 7, "fences failed to order");
+        }
+        t.join().expect("join");
+    });
+    assert_clean(&report, "fence-based message passing");
+}
+
+/// Fence mutant: dropping both fences must be caught as a stale read.
+#[test]
+fn fence_message_passing_mutant_is_caught() {
+    let report = check_with(cfg(), || {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let t = thread::spawn(move || {
+            d2.store(7, Ordering::Relaxed);
+            // mutant: fence(Release) deleted
+            f2.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) == 1 {
+            // mutant: fence(Acquire) deleted
+            assert_eq!(data.load(Ordering::Relaxed), 7, "stale data read");
+        }
+        t.join().expect("join");
+    });
+    assert_caught(&report, "the deleted-fence mutant");
+}
+
+/// Lost-update: two Relaxed fetch_adds still sum (RMWs read the latest
+/// store), and a mutex-protected counter is exact.
+#[test]
+fn rmw_and_mutex_counters_are_exact() {
+    let report = check_with(cfg(), || {
+        let n = Arc::new(AtomicUsize::new(0));
+        let m = Arc::new(Mutex::new(0usize));
+        let (n2, m2) = (n.clone(), m.clone());
+        let t = thread::spawn(move || {
+            n2.fetch_add(1, Ordering::Relaxed);
+            *m2.lock().expect("lock") += 1;
+        });
+        n.fetch_add(1, Ordering::Relaxed);
+        *m.lock().expect("lock") += 1;
+        t.join().expect("join");
+        assert_eq!(n.load(Ordering::Relaxed), 2, "lost atomic update");
+        assert_eq!(*m.lock().expect("lock"), 2, "lost mutex update");
+    });
+    assert_clean(&report, "counter exactness");
+}
+
+/// A classic AB/BA lock cycle must be reported as a deadlock, not hang.
+#[test]
+fn lock_cycle_is_reported_as_deadlock() {
+    let report = check_with(cfg(), || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (a.clone(), b.clone());
+        let t = thread::spawn(move || {
+            let _ga = a2.lock().expect("lock a");
+            let _gb = b2.lock().expect("lock b");
+        });
+        let _gb = b.lock().expect("lock b");
+        let _ga = a.lock().expect("lock a");
+        drop((_ga, _gb));
+        t.join().expect("join");
+    });
+    let cx = report.counterexample.expect("deadlock not caught");
+    assert!(
+        cx.message.contains("deadlock"),
+        "expected a deadlock report, got: {}",
+        cx.message
+    );
+}
+
+/// A condvar wait with no timeout and no notifier is a deadlock; with a
+/// timeout the timeout alternative keeps the schedule alive.
+#[test]
+fn condvar_timeout_alternative_prevents_deadlock() {
+    use st_check::sync::Condvar;
+    use std::time::Duration;
+
+    let report = check_with(cfg(), || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let guard = pair.0.lock().expect("lock");
+        let (guard, result) = pair
+            .1
+            .wait_timeout(guard, Duration::from_secs(3600))
+            .expect("wait");
+        assert!(result.timed_out(), "nobody notifies, must time out");
+        assert!(!*guard, "value cannot have changed");
+    });
+    assert_clean(&report, "lone timed wait");
+}
+
+/// Same seed, same exploration: the counterexample (schedule AND trace) of a
+/// racy program is bit-identical across runs. Different seeds are allowed to
+/// find different schedules.
+#[test]
+fn same_seed_same_trace() {
+    fn racy(cfg: Config) -> Report {
+        check_with(cfg, || {
+            let data = Arc::new(AtomicUsize::new(0));
+            let flag = Arc::new(AtomicUsize::new(0));
+            let (d2, f2) = (data.clone(), flag.clone());
+            let t = thread::spawn(move || {
+                d2.store(9, Ordering::Relaxed);
+                f2.store(1, Ordering::Relaxed);
+            });
+            if flag.load(Ordering::Relaxed) == 1 {
+                assert_eq!(data.load(Ordering::Relaxed), 9, "stale");
+            }
+            t.join().expect("join");
+        })
+    }
+    let first = racy(cfg());
+    let second = racy(cfg());
+    let (a, b) = (
+        first.counterexample.expect("run 1 caught nothing"),
+        second.counterexample.expect("run 2 caught nothing"),
+    );
+    assert_eq!(a.schedule, b.schedule, "schedules differ for equal seeds");
+    assert_eq!(a.trace, b.trace, "traces differ for equal seeds");
+    assert_eq!(a.message, b.message, "messages differ for equal seeds");
+    assert_eq!(
+        first.schedules, second.schedules,
+        "exploration order differs"
+    );
+}
+
+/// The user assertion message must survive into the counterexample.
+#[test]
+fn counterexample_carries_the_assertion_message() {
+    let report = check_with(cfg(), || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let x2 = x.clone();
+        let t = thread::spawn(move || x2.store(1, Ordering::Relaxed));
+        assert_eq!(x.load(Ordering::Relaxed), 0, "distinctive-marker-4217");
+        t.join().expect("join");
+    });
+    let cx = report.counterexample.expect("race not caught");
+    assert!(
+        cx.message.contains("distinctive-marker-4217"),
+        "assertion message lost: {}",
+        cx.message
+    );
+    assert!(
+        cx.render().contains("replay: seed="),
+        "render lacks replay info"
+    );
+}

@@ -28,6 +28,11 @@
 //!   ([`config::PlacementPolicy::Rebalance`]) and LRU-bounded per-stream
 //!   frame memory ([`serve::FrameStore`]). See `docs/ARCHITECTURE.md` at
 //!   the workspace root for the full lifecycle of a key frame.
+//! * [`steal`] — the cross-shard work-stealing coordination core
+//!   ([`steal::StealCore`]): request slots, migration mailboxes and the
+//!   handoff-under-lock discipline, generic over its payloads and built on
+//!   the `st_check::sync` facade so the model-check suite explores the
+//!   exact production protocol.
 //! * [`timer`] — the hierarchical timer wheel backing the reactor's
 //!   time-based state (batch windows, steal patience, NeedFrame retries).
 //! * [`loadgen`] — an open-loop skewed load generator (one hot stream at a
@@ -54,6 +59,7 @@ pub mod report;
 pub mod runtime;
 pub mod serve;
 pub mod server;
+pub mod steal;
 pub mod stride;
 pub mod timer;
 pub mod train;

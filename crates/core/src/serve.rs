@@ -72,6 +72,7 @@
 use crate::config::{PlacementPolicy, ShadowTutorConfig};
 pub use crate::server::StreamServerStats;
 use crate::server::{DistillSession, KeyFrameResponse};
+use crate::steal::{FulfilOutcome, RequestReview, StealCore, MIN_STEAL_BACKLOG};
 use crate::timer::TimerWheel;
 use crate::Result;
 use st_net::message::MESSAGE_OVERHEAD_BYTES;
@@ -88,6 +89,16 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Lock a shared map, recovering the data if a worker panicked while
+/// holding the lock: the pool's shared state must stay usable for the
+/// surviving workers and the final join-side accounting, and every guard
+/// in this file restores its invariants before dropping.
+fn locked<T: ?Sized>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Configuration of a [`ServerPool`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -1247,10 +1258,11 @@ impl<T: Teacher> ServeShard<T> {
             let frame_refs: Vec<&Frame> = resolved
                 .iter()
                 .map(|job| {
-                    self.sessions[&job.stream_id]
-                        .frames
-                        .peek(job.frame_index)
-                        .expect("frame resident: touched above")
+                    let Some(frame) = self.sessions[&job.stream_id].frames.peek(job.frame_index)
+                    else {
+                        unreachable!("frame resident: touched above")
+                    };
+                    frame
                 })
                 .collect();
             self.teacher.pseudo_label_batch(&frame_refs)?
@@ -1267,16 +1279,15 @@ impl<T: Teacher> ServeShard<T> {
 
         let mut out = Vec::with_capacity(batch);
         for (job, label) in resolved.into_iter().zip(labels) {
-            let entry = self
-                .sessions
-                .get_mut(&job.stream_id)
-                .expect("session present: resolved above");
+            let Some(entry) = self.sessions.get_mut(&job.stream_id) else {
+                unreachable!("session present: resolved above")
+            };
             // Split the entry so the frame borrow and the mutable session
             // borrow coexist.
             let StreamEntry { session, frames } = entry;
-            let frame = frames
-                .peek(job.frame_index)
-                .expect("frame resident: touched above");
+            let Some(frame) = frames.peek(job.frame_index) else {
+                unreachable!("frame resident: touched above")
+            };
             let response = session.distill(frame, &label, teacher_share)?;
             self.stats.key_frames += 1;
             self.stats.distill_steps += response.outcome.steps;
@@ -1359,6 +1370,8 @@ impl Downlink {
         let wire_len = st_net::wire::frame_len(&message);
         let delivered = self.tx.send((bytes, message)).is_ok();
         if delivered {
+            // ORDER: Relaxed — a monotonic traffic counter; readers only see
+            // it after join() synchronizes with every worker's exit.
             self.wire.down.fetch_add(wire_len, Ordering::Relaxed);
             if let Some(waker) = &self.waker {
                 waker.wake();
@@ -1405,56 +1418,13 @@ struct MigratedStream {
     awaiting: Vec<(usize, Vec<ScheduledJob>)>,
 }
 
-/// One shard's steal-coordination mailbox: streams migrated to it and
-/// uplink envelopes forwarded to it (traffic that reached the old shard
-/// after a migration).
-#[derive(Default)]
-struct Mailbox {
-    streams: Vec<MigratedStream>,
-    envelopes: Vec<Envelope>,
-    /// Set by the owning worker on exit (under the mailbox lock, after a
-    /// final drain). A forwarder that finds the mailbox closed counts the
-    /// job as dropped itself instead of posting into a dead letter box.
-    closed: bool,
-}
-
-/// Shared coordination state for cross-shard work stealing. Plain shared
-/// memory, deliberately *not* channels: workers polling each other through
-/// channel handles would keep every uplink alive and deadlock the
-/// disconnect-based shutdown.
-struct StealRegistry {
-    /// Registered-session count per shard — the placement signal.
-    loads: Vec<AtomicUsize>,
-    /// Queued key-frame jobs per shard — the steal signal, published by each
-    /// worker once per drain pass.
-    backlog: Vec<AtomicUsize>,
-    /// Pending steal request at each (victim) shard: `Some(thief)` while a
-    /// thief is waiting for a handoff from that victim. The victim fulfils
-    /// (or the thief cancels) under this slot's lock, which is what makes
-    /// the handoff race-free: a fulfilment observed as "slot cleared" is
-    /// already visible in the thief's mailbox.
-    requests: Vec<Mutex<Option<usize>>>,
-    /// Per-shard migration mailbox.
-    mailboxes: Vec<Mutex<Mailbox>>,
-}
-
-impl StealRegistry {
-    fn new(shards: usize) -> Self {
-        StealRegistry {
-            loads: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
-            backlog: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
-            requests: (0..shards).map(|_| Mutex::new(None)).collect(),
-            mailboxes: (0..shards)
-                .map(|_| Mutex::new(Mailbox::default()))
-                .collect(),
-        }
-    }
-}
-
-/// A thief only asks a shard for work when at least this many jobs are
-/// published as queued there — a single queued job is cheaper to serve
-/// locally than to migrate.
-const MIN_STEAL_BACKLOG: usize = 2;
+/// The pool's instantiation of the generic work-stealing coordination core
+/// ([`crate::steal::StealCore`]): migrated payloads are whole serving
+/// sessions, forwarded payloads are uplink envelopes. The request-slot and
+/// mailbox protocol lives in `steal.rs`, where the model-check suite
+/// explores it exhaustively; this file only decides *when* to post, donate,
+/// withdraw and close.
+type StealRegistry = StealCore<MigratedStream, Envelope>;
 
 /// A freshly adopted stream cannot be donated onward for this long, so a
 /// backlogged stream ping-ponging between idle shards is bounded to one
@@ -1544,6 +1514,8 @@ impl StreamClient {
                 frame,
             })
             .map_err(|_| TransportError::Disconnected)?;
+        // ORDER: Relaxed — a monotonic traffic counter; readers only see it
+        // after join() synchronizes with every worker's exit.
         self.wire.up.fetch_add(wire_len, Ordering::Relaxed);
         if let Some(wakers) = &self.shard_wakers {
             wakers[shard].wake();
@@ -1751,11 +1723,7 @@ impl ServerPool {
 
     /// Current registered-session count of each shard.
     pub fn shard_loads(&self) -> Vec<usize> {
-        self.steal
-            .loads
-            .iter()
-            .map(|l| l.load(Ordering::SeqCst))
-            .collect()
+        self.steal.loads_snapshot()
     }
 
     /// Connect a new stream: choose its shard per the placement policy,
@@ -1817,7 +1785,7 @@ impl ServerPool {
         waker: Option<st_net::Waker>,
     ) -> Result<StreamClient> {
         let (shard, route) = {
-            let mut placements = self.placements.lock().expect("placements lock");
+            let mut placements = locked(&self.placements);
             if placements.contains_key(&stream_id) {
                 return Err(TensorError::InvalidArgument(format!(
                     "stream {stream_id} is already connected to this pool"
@@ -1827,36 +1795,28 @@ impl ServerPool {
                 PlacementPolicy::StaticModulo => self.pool_config.shard_of(stream_id),
                 // Rebalance places like least-loaded; the difference is what
                 // happens afterwards (runtime migration).
-                PlacementPolicy::LeastLoaded | PlacementPolicy::Rebalance => self
-                    .steal
-                    .loads
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, load)| load.load(Ordering::SeqCst))
-                    .map(|(index, _)| index)
-                    .unwrap_or(0),
+                PlacementPolicy::LeastLoaded | PlacementPolicy::Rebalance => {
+                    self.steal.least_loaded()
+                }
             };
-            self.steal.loads[shard].fetch_add(1, Ordering::SeqCst);
+            self.steal.load_inc(shard);
             let route: Route = Arc::new(AtomicUsize::new(shard));
             placements.insert(stream_id, Arc::clone(&route));
             (shard, route)
         };
         let (down_tx, down_rx) = crossbeam::channel::unbounded();
         let content = FrameStore::from_frames(frames, self.pool_config.frame_budget_bytes);
-        self.registries[shard]
-            .lock()
-            .expect("registry lock")
-            .insert(
-                stream_id,
-                StreamLink {
-                    downlink: Downlink {
-                        tx: down_tx,
-                        waker,
-                        wire: Arc::clone(&self.wire),
-                    },
-                    frames: content,
+        locked(&self.registries[shard]).insert(
+            stream_id,
+            StreamLink {
+                downlink: Downlink {
+                    tx: down_tx,
+                    waker,
+                    wire: Arc::clone(&self.wire),
                 },
-            );
+                frames: content,
+            },
+        );
         let mut client = StreamClient {
             stream_id,
             uplinks: Arc::clone(&self.uplinks),
@@ -1873,15 +1833,9 @@ impl ServerPool {
             .send(ClientToServer::Register, MESSAGE_OVERHEAD_BYTES)
             .is_err()
         {
-            self.registries[shard]
-                .lock()
-                .expect("registry lock")
-                .remove(&stream_id);
-            self.steal.loads[shard].fetch_sub(1, Ordering::SeqCst);
-            self.placements
-                .lock()
-                .expect("placements lock")
-                .remove(&stream_id);
+            locked(&self.registries[shard]).remove(&stream_id);
+            self.steal.load_dec(shard);
+            locked(&self.placements).remove(&stream_id);
             return Err(TensorError::InvalidArgument(
                 "server pool worker is not accepting connections".into(),
             ));
@@ -1920,6 +1874,8 @@ impl ServerPool {
             streams: HashMap::new(),
             final_checkpoints: HashMap::new(),
             wait_samples: Vec::with_capacity(shards),
+            // ORDER: Relaxed — every writer has been joined above; these
+            // loads cannot race.
             wire_bytes_up: self.wire.up.load(Ordering::Relaxed),
             wire_bytes_down: self.wire.down.load(Ordering::Relaxed),
         };
@@ -2085,7 +2041,8 @@ fn retire<T: Teacher>(
     shard: &mut ServeShard<T>,
     stream_id: StreamId,
     meters: &mut HashMap<StreamId, StreamMeter>,
-    load: &AtomicUsize,
+    steal: &StealRegistry,
+    shard_index: usize,
 ) -> Option<(WeightSnapshot, StreamServerStats)> {
     shard.finish(stream_id).map(|(checkpoint, mut stats)| {
         if let Some(meter) = meters.remove(&stream_id) {
@@ -2094,7 +2051,7 @@ fn retire<T: Teacher>(
             stats.throttled = meter.throttled;
             stats.dropped = meter.dropped;
         }
-        load.fetch_sub(1, Ordering::SeqCst);
+        steal.load_dec(shard_index);
         (checkpoint, stats)
     })
 }
@@ -2131,37 +2088,14 @@ fn adopt_migrated<T: Teacher>(
     }
 }
 
-/// Post a steal request at the shard with the deepest published backlog
-/// (ties toward the lowest index). Returns the victim whose request slot now
-/// names this shard, or `None` when nothing is worth stealing or another
-/// thief already asked.
-fn post_steal_request(steal: &StealRegistry, shard_index: usize) -> Option<usize> {
-    let (victim, backlog) = steal
-        .backlog
-        .iter()
-        .enumerate()
-        .filter(|(index, _)| *index != shard_index)
-        .map(|(index, backlog)| (index, backlog.load(Ordering::SeqCst)))
-        .max_by_key(|&(index, backlog)| (backlog, std::cmp::Reverse(index)))?;
-    if backlog < MIN_STEAL_BACKLOG {
-        return None;
-    }
-    let mut slot = steal.requests[victim].lock().expect("steal request lock");
-    if slot.is_some() {
-        return None;
-    }
-    *slot = Some(shard_index);
-    Some(victim)
-}
-
 /// Fulfil a pending steal request against this shard, if one exists and the
 /// shard can spare a stream: hand the stream with the deepest queue — whole,
 /// with its session, frame cache, queued jobs and parked re-shares — to the
 /// thief's mailbox, and repoint the routing table so new traffic follows it.
 ///
-/// The entire handoff happens under this shard's request-slot lock: a thief
-/// that later observes the slot cleared is guaranteed to find the stream in
-/// its mailbox (the cancel/fulfil race resolves under that one lock).
+/// The slot-lock discipline that makes the handoff race-free lives in
+/// [`StealCore::fulfil_request`]; this function supplies the donation
+/// *policy* (what to give, and when giving rebalances at all).
 #[allow(clippy::too_many_arguments)]
 fn maybe_donate<T: Teacher>(
     shard: &mut ServeShard<T>,
@@ -2175,80 +2109,80 @@ fn maybe_donate<T: Teacher>(
     shard_index: usize,
     shard_wakers: Option<&[st_net::Waker]>,
 ) {
-    let mut slot = steal.requests[shard_index]
-        .lock()
-        .expect("steal request lock");
-    let Some(thief) = *slot else {
-        return;
-    };
-    if thief == shard_index {
-        // Defensive: a self-request can never be fulfilled meaningfully.
-        *slot = None;
-        return;
-    }
-    // Donate only when it actually rebalances: either there is queued work
-    // *besides* the donated stream's queue, or this shard keeps at least
-    // one other live session (whose future arrivals it will serve while
-    // the thief drains the donated backlog). A shard whose only session is
-    // its only backlog never donates — that would just swap which worker
-    // idles. The request stays pending otherwise — the backlog may deepen.
-    let Some((stream_id, depth)) = scheduler.busiest_stream() else {
-        return;
-    };
-    if scheduler.len() <= depth && shard.stream_count() < 2 {
-        return;
-    }
-    // A freshly adopted stream is sticky: it must receive real service
-    // before it can hop again, or an idle pair of shards could bounce it
-    // between them faster than either drains it.
-    if adopted_at
-        .get(&stream_id)
-        .is_some_and(|at| at.elapsed() < STEAL_STICKY)
-    {
-        return;
-    }
-    let jobs = scheduler.remove_stream(stream_id);
-    let Some(entry) = shard.evict_stream(stream_id) else {
-        // Only registered streams ever queue jobs, so this cannot happen;
-        // restore the queue rather than lose it if it somehow does.
-        for job in jobs {
-            scheduler.push(stream_id, job.job.frame_index, job.enqueued_at);
+    // The donated stream's id crosses from the prepare callback to the
+    // delivered callback (which flips its route under the same slot lock).
+    let donated = std::cell::Cell::new(None::<StreamId>);
+    let outcome = steal.fulfil_request(
+        shard_index,
+        |_thief| {
+            // Donate only when it actually rebalances: either there is
+            // queued work *besides* the donated stream's queue, or this
+            // shard keeps at least one other live session (whose future
+            // arrivals it will serve while the thief drains the donated
+            // backlog). A shard whose only session is its only backlog
+            // never donates — that would just swap which worker idles. The
+            // request stays pending otherwise — the backlog may deepen.
+            let (stream_id, depth) = scheduler.busiest_stream()?;
+            if scheduler.len() <= depth && shard.stream_count() < 2 {
+                return None;
+            }
+            // A freshly adopted stream is sticky: it must receive real
+            // service before it can hop again, or an idle pair of shards
+            // could bounce it between them faster than either drains it.
+            if adopted_at
+                .get(&stream_id)
+                .is_some_and(|at| at.elapsed() < STEAL_STICKY)
+            {
+                return None;
+            }
+            // Only registered streams ever queue jobs, so the downlink is
+            // present; decline (rather than panic) if it somehow is not.
+            let downlink = downlinks.remove(&stream_id)?;
+            let jobs = scheduler.remove_stream(stream_id);
+            let Some(entry) = shard.evict_stream(stream_id) else {
+                // Same impossible case: restore what was taken.
+                for job in jobs {
+                    scheduler.push(stream_id, job.job.frame_index, job.enqueued_at);
+                }
+                downlinks.insert(stream_id, downlink);
+                return None;
+            };
+            let meter = meters.remove(&stream_id).unwrap_or_default();
+            let parked: Vec<(usize, Vec<ScheduledJob>)> = awaiting
+                .remove(&stream_id)
+                .map(|m| m.into_iter().collect())
+                .unwrap_or_default();
+            donated.set(Some(stream_id));
+            Some((
+                MigratedStream {
+                    stream_id,
+                    entry,
+                    downlink,
+                    meter,
+                    jobs,
+                    awaiting: parked,
+                },
+                scheduler.len(),
+            ))
+        },
+        |thief| {
+            // Routing flips only after the stream is in the mailbox, so
+            // traffic that beats the thief's next mailbox drain is deferred
+            // there, never lost.
+            if let Some(stream_id) = donated.get() {
+                if let Some(route) = locked(placements).get(&stream_id) {
+                    route.store(thief, Ordering::SeqCst);
+                }
+            }
+        },
+    );
+    if let FulfilOutcome::Delivered { thief } = outcome {
+        // Under the reactor, the thief may be asleep in the poller rather
+        // than spinning on its steal tick — hand it the wakeup with the
+        // stream.
+        if let Some(wakers) = shard_wakers {
+            wakers[thief].wake();
         }
-        return;
-    };
-    let downlink = downlinks
-        .remove(&stream_id)
-        .expect("registered streams have a downlink");
-    let meter = meters.remove(&stream_id).unwrap_or_default();
-    let parked: Vec<(usize, Vec<ScheduledJob>)> = awaiting
-        .remove(&stream_id)
-        .map(|m| m.into_iter().collect())
-        .unwrap_or_default();
-    steal.mailboxes[thief]
-        .lock()
-        .expect("mailbox lock")
-        .streams
-        .push(MigratedStream {
-            stream_id,
-            entry,
-            downlink,
-            meter,
-            jobs,
-            awaiting: parked,
-        });
-    // Routing flips only after the stream is in the mailbox, so traffic that
-    // beats the thief's next mailbox drain is deferred there, never lost.
-    if let Some(route) = placements.lock().expect("placements lock").get(&stream_id) {
-        route.store(thief, Ordering::SeqCst);
-    }
-    steal.loads[shard_index].fetch_sub(1, Ordering::SeqCst);
-    steal.loads[thief].fetch_add(1, Ordering::SeqCst);
-    steal.backlog[shard_index].store(scheduler.len(), Ordering::SeqCst);
-    *slot = None;
-    // Under the reactor, the thief may be asleep in the poller rather than
-    // spinning on its steal tick — hand it the wakeup with the stream.
-    if let Some(wakers) = shard_wakers {
-        wakers[thief].wake();
     }
 }
 
@@ -2394,15 +2328,7 @@ impl<T: Teacher> ShardState<T> {
         if !self.stealing {
             return;
         }
-        let (migrated, mut mailbox_envelopes) = {
-            let mut mailbox = self.steal.mailboxes[self.shard_index]
-                .lock()
-                .expect("mailbox lock");
-            (
-                std::mem::take(&mut mailbox.streams),
-                std::mem::take(&mut mailbox.envelopes),
-            )
-        };
+        let (migrated, mut mailbox_envelopes) = self.steal.drain_mailbox(self.shard_index);
         for stream in migrated {
             // Whatever we were waiting for, work has arrived.
             self.requested = None;
@@ -2410,16 +2336,13 @@ impl<T: Teacher> ShardState<T> {
         }
         incoming.append(&mut mailbox_envelopes);
         if let Some((victim, posted_at)) = self.requested {
-            let mut slot = self.steal.requests[victim]
-                .lock()
-                .expect("steal request lock");
-            if *slot != Some(self.shard_index) {
-                drop(slot);
-                self.requested = None;
-            } else if posted_at.elapsed() >= STEAL_RETARGET {
-                *slot = None;
-                drop(slot);
-                self.requested = None;
+            let withdraw = posted_at.elapsed() >= STEAL_RETARGET;
+            match self
+                .steal
+                .review_request(victim, self.shard_index, withdraw)
+            {
+                RequestReview::Pending => {}
+                RequestReview::Gone | RequestReview::Withdrawn => self.requested = None,
             }
         }
     }
@@ -2469,44 +2392,37 @@ impl<T: Teacher> ShardState<T> {
             && !self.shard.has_stream(stream_id)
             && !matches!(envelope.tagged.message, ClientToServer::Register)
         {
-            let owner = self
-                .placements
-                .lock()
-                .expect("placements lock")
+            let owner = locked(&self.placements)
                 .get(&stream_id)
                 .map(|route| route.load(Ordering::SeqCst));
             match owner {
                 Some(other) if other != self.shard_index => {
-                    let mut mailbox = self.steal.mailboxes[other].lock().expect("mailbox lock");
-                    if mailbox.closed {
-                        // The owning worker already exited (so its clients
-                        // are long gone and no ack could be delivered);
-                        // count the loss in this shard's dropped_jobs
-                        // instead of posting into a dead letter box. The
-                        // stream's own per-stream stats were frozen when it
-                        // retired over there, so the pool-level counter is
-                        // the only honest place left to record it.
-                        drop(mailbox);
-                        self.enqueue_drops += 1;
-                    } else {
-                        mailbox.envelopes.push(envelope);
-                        drop(mailbox);
-                        self.forwarded += 1;
-                        // The owner may be parked; hand-delivered mail still
-                        // needs a doorbell.
-                        if let Some(wakers) = &self.shard_wakers {
-                            wakers[other].wake();
+                    match self.steal.forward_envelope(other, envelope) {
+                        Ok(()) => {
+                            self.forwarded += 1;
+                            // The owner may be parked; hand-delivered mail
+                            // still needs a doorbell.
+                            if let Some(wakers) = &self.shard_wakers {
+                                wakers[other].wake();
+                            }
+                        }
+                        Err(_undelivered) => {
+                            // The owning worker already exited (so its
+                            // clients are long gone and no ack could be
+                            // delivered); count the loss in this shard's
+                            // dropped_jobs instead of posting into a dead
+                            // letter box. The stream's own per-stream stats
+                            // were frozen when it retired over there, so the
+                            // pool-level counter is the only honest place
+                            // left to record it.
+                            self.enqueue_drops += 1;
                         }
                     }
                     return Ok(());
                 }
                 Some(_)
                     if !self.streams.contains_key(&stream_id)
-                        && !self
-                            .registry
-                            .lock()
-                            .expect("registry lock")
-                            .contains_key(&stream_id) =>
+                        && !locked(&self.registry).contains_key(&stream_id) =>
                 {
                     self.deferred.push(envelope);
                     return Ok(());
@@ -2517,12 +2433,7 @@ impl<T: Teacher> ShardState<T> {
         self.uplink_bytes += envelope.bytes;
         match envelope.tagged.message {
             ClientToServer::Register => {
-                let Some(link) = self
-                    .registry
-                    .lock()
-                    .expect("registry lock")
-                    .remove(&stream_id)
-                else {
+                let Some(link) = locked(&self.registry).remove(&stream_id) else {
                     // Register without a connect-time registry entry —
                     // counted instead of silently ignored.
                     self.unknown_registers += 1;
@@ -2676,7 +2587,8 @@ impl<T: Teacher> ShardState<T> {
                     &mut self.shard,
                     stream_id,
                     &mut self.meters,
-                    &self.steal.loads[self.shard_index],
+                    &self.steal,
+                    self.shard_index,
                 ) {
                     self.streams.insert(stream_id, stream_stats);
                     self.final_checkpoints.insert(stream_id, checkpoint);
@@ -2696,7 +2608,8 @@ impl<T: Teacher> ShardState<T> {
         if !self.stealing || self.disconnected {
             return;
         }
-        self.steal.backlog[self.shard_index].store(self.scheduler.len(), Ordering::SeqCst);
+        self.steal
+            .publish_backlog(self.shard_index, self.scheduler.len());
         maybe_donate(
             &mut self.shard,
             &mut self.scheduler,
@@ -2712,20 +2625,18 @@ impl<T: Teacher> ShardState<T> {
         if self.scheduler.is_empty() {
             let idle_for = self.idle_since.get_or_insert_with(Instant::now).elapsed();
             if self.requested.is_none() && idle_for >= self.pool_config.steal_patience {
-                self.requested =
-                    post_steal_request(&self.steal, self.shard_index).map(|v| (v, Instant::now()));
+                self.requested = self
+                    .steal
+                    .post_request(self.shard_index, MIN_STEAL_BACKLOG)
+                    .map(|v| (v, Instant::now()));
             }
         } else {
             self.idle_since = None;
             if let Some((victim, _posted_at)) = self.requested.take() {
                 // Local work arrived; withdraw the request (if the victim
-                // already fulfilled it, the next mailbox drain adopts it).
-                let mut slot = self.steal.requests[victim]
-                    .lock()
-                    .expect("steal request lock");
-                if *slot == Some(self.shard_index) {
-                    *slot = None;
-                }
+                // already fulfilled it, the next mailbox drain adopts it —
+                // either way the marker is dropped).
+                let _ = self.steal.withdraw_request(victim, self.shard_index);
             }
         }
     }
@@ -2776,20 +2687,13 @@ impl<T: Teacher> ShardState<T> {
             return true;
         }
         if let Some((victim, _posted_at)) = self.requested.take() {
-            let mut slot = self.steal.requests[victim]
-                .lock()
-                .expect("steal request lock");
-            if *slot == Some(self.shard_index) {
-                *slot = None;
-            } else {
+            if !self.steal.withdraw_request(victim, self.shard_index) {
+                // A fulfilment is (or was) in flight: the stream is already
+                // in our mailbox; run another pass to adopt it first.
                 return false;
             }
         }
-        self.steal.mailboxes[self.shard_index]
-            .lock()
-            .expect("mailbox lock")
-            .streams
-            .is_empty()
+        self.steal.mailbox_streams_empty(self.shard_index)
     }
 
     /// One non-blocking pass of the shard state machine: mailbox, deferred
@@ -2890,7 +2794,8 @@ impl<T: Teacher> ShardState<T> {
                 &mut self.shard,
                 stream_id,
                 &mut self.meters,
-                &self.steal.loads[self.shard_index],
+                &self.steal,
+                self.shard_index,
             ) {
                 self.streams.insert(stream_id, stream_stats);
                 self.final_checkpoints.insert(stream_id, checkpoint);
@@ -2904,18 +2809,10 @@ impl<T: Teacher> ShardState<T> {
             // shows up in the drop accounting. (Migrated *streams* cannot be
             // stranded here: the cancel-under-lock exit protocol guarantees
             // that.)
-            self.steal.backlog[self.shard_index].store(0, Ordering::SeqCst);
-            *self.steal.requests[self.shard_index]
-                .lock()
-                .expect("steal request lock") = None;
-            let leftovers = {
-                let mut mailbox = self.steal.mailboxes[self.shard_index]
-                    .lock()
-                    .expect("mailbox lock");
-                mailbox.closed = true;
-                debug_assert!(mailbox.streams.is_empty(), "stream stranded at exit");
-                std::mem::take(&mut mailbox.envelopes)
-            };
+            self.steal.publish_backlog(self.shard_index, 0);
+            self.steal.clear_request(self.shard_index);
+            let (stranded, leftovers) = self.steal.close_mailbox(self.shard_index);
+            debug_assert!(stranded.is_empty(), "stream stranded at exit");
             for envelope in leftovers {
                 let stream_id = envelope.tagged.stream_id;
                 self.enqueue_drops += 1;
@@ -3122,7 +3019,7 @@ fn reactor_loop<T: Teacher>(
         // Fire due timers. The wheel lock is released before dispatching so
         // a handler arming follow-up timers never self-deadlocks.
         let due = {
-            let mut timers = shared.timers.lock().expect("timer lock");
+            let mut timers = locked(&shared.timers);
             timers.advance(Instant::now())
         };
         for (_id, event) in due {
@@ -3138,7 +3035,7 @@ fn reactor_loop<T: Teacher>(
         // Park until a shard's token wakes, but never sleep past the next
         // timer deadline (or the idle tick, whichever is sooner).
         let timeout = {
-            let mut timers = shared.timers.lock().expect("timer lock");
+            let mut timers = locked(&shared.timers);
             match timers.next_deadline() {
                 Some(deadline) => deadline
                     .saturating_duration_since(Instant::now())
@@ -3176,11 +3073,7 @@ fn dispatch_pass<T: Teacher>(
             if from_timer {
                 // The shard is mid-pass, hence not idle; try the steal tick
                 // again later (tick_pending stays true, by design).
-                shared
-                    .timers
-                    .lock()
-                    .expect("timer lock")
-                    .schedule_after(shared.steal_poll, TimerEvent::Tick(shard));
+                locked(&shared.timers).schedule_after(shared.steal_poll, TimerEvent::Tick(shard));
             }
             return Ok(());
         }
@@ -3204,7 +3097,9 @@ fn dispatch_pass<T: Teacher>(
         }
         let outcome = state.run_pass()?;
         if outcome.done {
-            let state = guard.take().expect("shard state present");
+            let Some(state) = guard.take() else {
+                unreachable!("shard state present: matched Some above")
+            };
             outputs.push(state.finish());
             let finished = shared.finished.fetch_add(1, Ordering::SeqCst) + 1;
             if finished == shared.states.len() {
@@ -3217,11 +3112,7 @@ fn dispatch_pass<T: Teacher>(
         // dispatcher sees a consistent `tick_pending`.
         if outcome.idle_stealing && !state.tick_pending {
             state.tick_pending = true;
-            shared
-                .timers
-                .lock()
-                .expect("timer lock")
-                .schedule_after(shared.steal_poll, TimerEvent::Tick(shard));
+            locked(&shared.timers).schedule_after(shared.steal_poll, TimerEvent::Tick(shard));
         }
         outcome
     };
@@ -3232,7 +3123,7 @@ fn dispatch_pass<T: Teacher>(
         shared.shard_wakers[shard].wake();
     }
     for (stream_id, frame_index) in &outcome.need_frames {
-        shared.timers.lock().expect("timer lock").schedule_after(
+        locked(&shared.timers).schedule_after(
             NEED_FRAME_RETRY,
             TimerEvent::NeedFrameRetry {
                 shard,
@@ -3267,7 +3158,7 @@ fn dispatch_need_frame_retry<T: Teacher>(
         Err(_) => true,
     };
     if still_waiting {
-        shared.timers.lock().expect("timer lock").schedule_after(
+        locked(&shared.timers).schedule_after(
             NEED_FRAME_RETRY,
             TimerEvent::NeedFrameRetry {
                 shard,

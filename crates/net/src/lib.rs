@@ -25,6 +25,10 @@
 //!   the [`connect()`] builder. The default backend is the in-process
 //!   channel pair ([`transport::DuplexTransport`]) with an optional delay
 //!   injector so wall-clock runs can emulate a slow link.
+//! * [`ring`] — the lock-free bounded-ring algorithm itself, generic over
+//!   its storage ([`ring::RingMem`]): the shared-memory backend runs it over
+//!   a mapped segment and the model-check suite runs the same code over
+//!   instrumented atomics.
 //! * [`shm`] — the cross-process backend: a lock-free circular-array ring
 //!   over a file-backed shared-memory segment ([`shm::ShmTransport`]), so
 //!   client and pool can run as separate OS processes.
@@ -48,11 +52,16 @@
 // Every public item of the wire-protocol crate must be documented: the
 // messages *are* the protocol specification.
 #![warn(missing_docs)]
+// Unsafe operations inside `unsafe fn` bodies must be wrapped in explicit
+// `unsafe {}` blocks (each carrying its own `// SAFETY:` comment — enforced
+// by `st-lint`).
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod codec;
 pub mod link;
 pub mod message;
 pub mod poll;
+pub mod ring;
 pub mod shm;
 pub mod transport;
 pub mod wire;

@@ -47,15 +47,6 @@ impl Payload {
             data: Some(data),
         }
     }
-
-    /// Modelled wire size in megabytes (the unit of Table 4).
-    #[deprecated(
-        since = "0.7.0",
-        note = "modelled size; measure real frames with `Wire::encoded_len` / `wire::frame_len`"
-    )]
-    pub fn megabytes(&self) -> f64 {
-        self.bytes as f64 / 1e6
-    }
 }
 
 /// Client → server messages.
@@ -321,9 +312,6 @@ mod tests {
         let p = Payload::sized(1000);
         assert_eq!(p.bytes, 1000 + MESSAGE_OVERHEAD_BYTES);
         assert!(p.data.is_none());
-        #[allow(deprecated)]
-        let mb = p.megabytes();
-        assert!((mb - (1000 + MESSAGE_OVERHEAD_BYTES) as f64 / 1e6).abs() < 1e-12);
     }
 
     #[test]

@@ -25,8 +25,13 @@
 //! [`Waker::wake`] when they stop early.
 
 use std::collections::HashSet;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+// The sync facade: std's Mutex/Condvar in normal builds, the instrumented
+// model-checking primitives under `--features model-check` (see the
+// `st_check` crate). Production code is identical either way.
+use st_check::sync::{Condvar, Mutex};
 
 /// The readiness queue shared by a [`Poller`] and its [`Waker`]s.
 struct PollShared {

@@ -47,8 +47,11 @@
 //! constructors return [`std::io::ErrorKind::Unsupported`].
 
 use crate::codec::{Codec, WireCodec};
+use crate::ring::{self, RingMem};
 use crate::transport::{Transport, TransportError};
 use crate::wire::Wire;
+
+pub use crate::ring::PushOutcome;
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::marker::PhantomData;
@@ -229,6 +232,7 @@ struct Segment {
 // ring headers and slot sequence words); slot payload bytes are published
 // and retired under the slot's sequence protocol.
 unsafe impl Send for Segment {}
+// SAFETY: as above — the sequence protocol serializes all payload access.
 unsafe impl Sync for Segment {}
 
 impl Drop for Segment {
@@ -288,12 +292,16 @@ impl Segment {
         unsafe {
             std::ptr::copy_nonoverlapping(chunk.as_ptr(), self.ptr.add(offset), chunk.len());
         }
+        // ORDER: the length is payload, not a synchronization word — it is
+        // published to the consumer by the release store of `seq`.
         self.slot_len(ring, index)
             .store(chunk.len() as u32, Ordering::Relaxed);
     }
 
     /// Copy the slot's payload out.
     fn read_slot(&self, ring: usize, index: usize, out: &mut Vec<u8>) {
+        // ORDER: payload read under the slot ticket; visibility was
+        // established by the acquire load of `seq` that accepted the slot.
         let len = self.slot_len(ring, index).load(Ordering::Relaxed) as usize;
         let len = len.min(self.config.slot_bytes);
         let offset = self.slot_offset(ring, index) + SLOT_HEADER_BYTES;
@@ -343,34 +351,90 @@ impl Backoff {
 // Ring producer / consumer.
 // ---------------------------------------------------------------------------
 
+/// One ring of a mapped segment, viewed through the [`RingMem`] storage
+/// seam so the generic algorithm in [`crate::ring`] — the code the
+/// model-check suite exercises — is also the code that runs here.
+#[derive(Clone)]
+struct SegRing {
+    segment: Arc<Segment>,
+    ring: usize,
+}
+
+impl RingMem for SegRing {
+    fn slots(&self) -> usize {
+        self.segment.config.slots
+    }
+
+    fn chunk_capacity(&self) -> usize {
+        self.segment.config.slot_bytes
+    }
+
+    fn tail_load(&self, order: Ordering) -> u64 {
+        self.segment.tail(self.ring).load(order)
+    }
+
+    fn tail_compare_exchange_weak(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.segment
+            .tail(self.ring)
+            .compare_exchange_weak(current, new, success, failure)
+    }
+
+    fn head_load(&self, order: Ordering) -> u64 {
+        self.segment.head(self.ring).load(order)
+    }
+
+    fn head_compare_exchange_weak(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.segment
+            .head(self.ring)
+            .compare_exchange_weak(current, new, success, failure)
+    }
+
+    fn seq_load(&self, index: usize, order: Ordering) -> u64 {
+        self.segment.slot_seq(self.ring, index).load(order)
+    }
+
+    fn seq_store(&self, index: usize, value: u64, order: Ordering) {
+        self.segment.slot_seq(self.ring, index).store(value, order)
+    }
+
+    fn payload_write(&self, index: usize, chunk: &[u8]) {
+        self.segment.write_slot(self.ring, index, chunk)
+    }
+
+    fn payload_read(&self, index: usize, out: &mut Vec<u8>) {
+        self.segment.read_slot(self.ring, index, out)
+    }
+}
+
 /// Producer handle onto one ring of a segment. Cloneable: multiple
 /// producers may push concurrently (the `transport_ops` bench's N-producer
 /// mode), as long as every message fits in a single chunk.
 #[derive(Clone)]
 pub struct RingProducer {
-    segment: Arc<Segment>,
-    ring: usize,
+    mem: SegRing,
 }
 
 /// Consumer handle onto one ring of a segment.
 pub struct RingConsumer {
-    segment: Arc<Segment>,
-    ring: usize,
-}
-
-/// Outcome of a non-blocking ring push.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PushOutcome {
-    /// The chunk was published.
-    Pushed,
-    /// The ring was full; nothing was written.
-    Full,
+    mem: SegRing,
 }
 
 impl RingProducer {
     /// Usable payload bytes per chunk.
     pub fn chunk_capacity(&self) -> usize {
-        self.segment.config.slot_bytes
+        self.mem.chunk_capacity()
     }
 
     /// Non-blocking push of one chunk (Vyukov enqueue). Returns
@@ -378,35 +442,7 @@ impl RingProducer {
     /// exceeds [`RingProducer::chunk_capacity`] — fragmentation is the
     /// caller's job ([`ShmTransport`] does it for whole messages).
     pub fn try_push(&self, chunk: &[u8]) -> PushOutcome {
-        assert!(
-            chunk.len() <= self.chunk_capacity(),
-            "chunk exceeds slot capacity"
-        );
-        let seg = &self.segment;
-        let mask = seg.config.slots as u64 - 1;
-        let tail = seg.tail(self.ring);
-        let mut pos = tail.load(Ordering::Relaxed);
-        loop {
-            let index = (pos & mask) as usize;
-            let seq = seg.slot_seq(self.ring, index).load(Ordering::Acquire);
-            let dif = seq.wrapping_sub(pos) as i64;
-            if dif == 0 {
-                match tail.compare_exchange_weak(pos, pos + 1, Ordering::Relaxed, Ordering::Relaxed)
-                {
-                    Ok(_) => {
-                        seg.write_slot(self.ring, index, chunk);
-                        seg.slot_seq(self.ring, index)
-                            .store(pos + 1, Ordering::Release);
-                        return PushOutcome::Pushed;
-                    }
-                    Err(actual) => pos = actual,
-                }
-            } else if dif < 0 {
-                return PushOutcome::Full;
-            } else {
-                pos = tail.load(Ordering::Relaxed);
-            }
-        }
+        ring::try_push(&self.mem, chunk)
     }
 
     /// Push one chunk, spin-then-parking while the ring is full. Gives up
@@ -431,43 +467,13 @@ impl RingProducer {
 impl RingConsumer {
     /// Whether a chunk is ready to pop (used by the readiness notifier).
     pub fn ready(&self) -> bool {
-        let seg = &self.segment;
-        let mask = seg.config.slots as u64 - 1;
-        let pos = seg.head(self.ring).load(Ordering::Relaxed);
-        let index = (pos & mask) as usize;
-        let seq = seg.slot_seq(self.ring, index).load(Ordering::Acquire);
-        seq.wrapping_sub(pos + 1) as i64 >= 0
+        ring::ready(&self.mem)
     }
 
     /// Non-blocking pop of one chunk into `out` (appended). Returns whether
     /// a chunk was consumed.
     pub fn try_pop(&self, out: &mut Vec<u8>) -> bool {
-        let seg = &self.segment;
-        let mask = seg.config.slots as u64 - 1;
-        let slots = seg.config.slots as u64;
-        let head = seg.head(self.ring);
-        let mut pos = head.load(Ordering::Relaxed);
-        loop {
-            let index = (pos & mask) as usize;
-            let seq = seg.slot_seq(self.ring, index).load(Ordering::Acquire);
-            let dif = seq.wrapping_sub(pos + 1) as i64;
-            if dif == 0 {
-                match head.compare_exchange_weak(pos, pos + 1, Ordering::Relaxed, Ordering::Relaxed)
-                {
-                    Ok(_) => {
-                        seg.read_slot(self.ring, index, out);
-                        seg.slot_seq(self.ring, index)
-                            .store(pos + slots, Ordering::Release);
-                        return true;
-                    }
-                    Err(actual) => pos = actual,
-                }
-            } else if dif < 0 {
-                return false;
-            } else {
-                pos = head.load(Ordering::Relaxed);
-            }
-        }
+        ring::try_pop(&self.mem, out)
     }
 }
 
@@ -500,22 +506,30 @@ fn create_segment(path: &Path, config: ShmConfig) -> io::Result<Arc<Segment>> {
     let segment = map_segment(path, config, true, file)?;
     // Initialise slot sequence words to their indices (Vyukov invariant)
     // for both rings; heads and tails start at zero from the file zeroing.
+    // ORDER: all initialisation stores below are Relaxed — nothing reads
+    // them until the release store of the ready flag publishes the whole
+    // segment, and peers acquire-load that flag before trusting anything.
     for ring in 0..2 {
         for index in 0..config.slots {
+            // ORDER: published by the ready-flag release store below.
             segment
                 .slot_seq(ring, index)
                 .store(index as u64, Ordering::Relaxed);
         }
     }
+    // ORDER: published by the ready-flag release store below.
     segment
         .atomic_u32(OFF_SLOTS)
         .store(config.slots as u32, Ordering::Relaxed);
+    // ORDER: published by the ready-flag release store below.
     segment
         .atomic_u32(OFF_SLOT_BYTES)
         .store(config.slot_bytes as u32, Ordering::Relaxed);
+    // ORDER: published by the ready-flag release store below.
     segment
         .atomic_u32(OFF_VERSION)
         .store(SEG_LAYOUT_VERSION, Ordering::Relaxed);
+    // ORDER: published by the ready-flag release store below.
     segment
         .atomic_u32(OFF_MAGIC)
         .store(SEG_MAGIC, Ordering::Relaxed);
@@ -553,16 +567,19 @@ fn try_open_segment(path: &Path) -> io::Result<Option<Arc<Segment>>> {
     }
     // Map just the header first to learn the geometry.
     let probe = sys::map(&file, SEG_HEADER_BYTES)?;
-    // SAFETY: probe maps at least SEG_HEADER_BYTES, offsets are aligned.
-    let (ready, magic, version, slots, slot_bytes) = unsafe {
-        (
-            (*(probe.add(OFF_READY) as *const AtomicU32)).load(Ordering::Acquire),
-            (*(probe.add(OFF_MAGIC) as *const AtomicU32)).load(Ordering::Relaxed),
-            (*(probe.add(OFF_VERSION) as *const AtomicU32)).load(Ordering::Relaxed),
-            (*(probe.add(OFF_SLOTS) as *const AtomicU32)).load(Ordering::Relaxed) as usize,
-            (*(probe.add(OFF_SLOT_BYTES) as *const AtomicU32)).load(Ordering::Relaxed) as usize,
-        )
-    };
+    // SAFETY: probe maps at least SEG_HEADER_BYTES, offsets are in-bounds
+    // and 4-aligned, and the mapping lives until the unmap below.
+    let header_u32 = |offset: usize| unsafe { &*(probe.add(offset) as *const AtomicU32) };
+    let ready = header_u32(OFF_READY).load(Ordering::Acquire);
+    // ORDER: the geometry words were written before the creator's release
+    // store of the ready flag; the acquire load above synchronises them.
+    let magic = header_u32(OFF_MAGIC).load(Ordering::Relaxed);
+    // ORDER: see the ready-flag acquire above.
+    let version = header_u32(OFF_VERSION).load(Ordering::Relaxed);
+    // ORDER: see the ready-flag acquire above.
+    let slots = header_u32(OFF_SLOTS).load(Ordering::Relaxed) as usize;
+    // ORDER: see the ready-flag acquire above.
+    let slot_bytes = header_u32(OFF_SLOT_BYTES).load(Ordering::Relaxed) as usize;
     sys::unmap(probe, SEG_HEADER_BYTES);
     if ready != 1 {
         return Ok(None);
@@ -596,10 +613,14 @@ pub fn ring_channel(path: &Path, config: ShmConfig) -> io::Result<(RingProducer,
     let segment = create_segment(path, config)?;
     Ok((
         RingProducer {
-            segment: Arc::clone(&segment),
-            ring: 0,
+            mem: SegRing {
+                segment: Arc::clone(&segment),
+                ring: 0,
+            },
         },
-        RingConsumer { segment, ring: 0 },
+        RingConsumer {
+            mem: SegRing { segment, ring: 0 },
+        },
     ))
 }
 
@@ -657,12 +678,16 @@ impl<S: Wire, R: Wire> ShmTransport<S, R> {
         };
         ShmTransport {
             producer: RingProducer {
-                segment: Arc::clone(&segment),
-                ring: send_ring,
+                mem: SegRing {
+                    segment: Arc::clone(&segment),
+                    ring: send_ring,
+                },
             },
             consumer: RingConsumer {
-                segment,
-                ring: recv_ring,
+                mem: SegRing {
+                    segment,
+                    ring: recv_ring,
+                },
             },
             side,
             codec: WireCodec,
@@ -686,6 +711,7 @@ impl<S: Wire, R: Wire> ShmTransport<S, R> {
 
     fn peer_closed(&self) -> bool {
         self.producer
+            .mem
             .segment
             .closed_flag(self.peer_side())
             .load(Ordering::Acquire)
@@ -806,8 +832,7 @@ impl<S: Wire, R: Wire> Transport<S, R> for ShmTransport<S, R> {
     fn wake_on_message(&mut self, waker: crate::poll::Waker) -> bool {
         let stop = Arc::new(AtomicBool::new(false));
         let consumer = RingConsumer {
-            segment: Arc::clone(&self.consumer.segment),
-            ring: self.consumer.ring,
+            mem: self.consumer.mem.clone(),
         };
         let stop_flag = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
@@ -817,6 +842,8 @@ impl<S: Wire, R: Wire> Transport<S, R> for ShmTransport<S, R> {
                 // coalesced by the Poller, so waking repeatedly while the
                 // consumer catches up costs one dispatch.
                 let mut backoff = Backoff::new();
+                // ORDER: pure stop signal; the joining thread needs no data
+                // published by this loop, only its eventual exit.
                 while !stop_flag.load(Ordering::Relaxed) {
                     if consumer.ready() {
                         waker.wake();
@@ -830,6 +857,7 @@ impl<S: Wire, R: Wire> Transport<S, R> for ShmTransport<S, R> {
         match handle {
             Ok(handle) => {
                 if let Some(old_stop) = self.notifier_stop.replace(stop) {
+                    // ORDER: stop signal only; the join below synchronises.
                     old_stop.store(true, Ordering::Relaxed);
                 }
                 if let Some(old) = self.notifier.replace(handle) {
@@ -845,10 +873,12 @@ impl<S: Wire, R: Wire> Transport<S, R> for ShmTransport<S, R> {
 impl<S, R> Drop for ShmTransport<S, R> {
     fn drop(&mut self) {
         self.producer
+            .mem
             .segment
             .closed_flag(self.side)
             .store(1, Ordering::Release);
         if let Some(stop) = self.notifier_stop.take() {
+            // ORDER: stop signal only; the join below synchronises.
             stop.store(true, Ordering::Relaxed);
         }
         if let Some(handle) = self.notifier.take() {

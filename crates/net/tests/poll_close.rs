@@ -1,0 +1,184 @@
+//! Close-semantics regression tests for [`st_net::Poller`], in two tiers:
+//!
+//! * **std tier** (always compiled): pin the drain-after-close contract on
+//!   the plain-`std` build — tokens queued before *or after* `close()` are
+//!   still delivered; only an empty queue returns empty, and registering a
+//!   waker against a closed poller is allowed and functional (a shard that
+//!   exits while a peer is mid-`connect` must not panic the pool).
+//! * **model tier** (`--features model-check`): the same contract plus the
+//!   no-lost-wakeup property, proven over every bounded interleaving of the
+//!   park / wake / close races by the `st_check` model checker — the poller
+//!   is the reactor's only wakeup path, so a lost wakeup is a hung shard.
+//!
+//! Model-tier timeouts are an hour on purpose: under the checker a timeout
+//! is a scheduling *alternative* (both outcomes are explored), never wall
+//! time, and the huge value guarantees the std fall-back path of an
+//! instrumented build cannot flip a decision by actually timing out.
+
+use std::time::Duration;
+
+use st_net::Poller;
+
+/// Tokens already queued when `close()` lands are still delivered: consumer
+/// loops drain their backlog before they observe closure and exit.
+#[test]
+fn wake_before_close_is_drained_after_close() {
+    let poller = Poller::new();
+    poller.waker(3).wake();
+    poller.close();
+    assert_eq!(poller.poll(Duration::from_secs(30)).tokens(), &[3]);
+    assert!(poller.poll(Duration::from_millis(1)).is_empty());
+}
+
+/// A wake that arrives *after* `close()` is also delivered — closure stops
+/// parking, not delivery. (The pool relies on this: `join()` closes the
+/// poller, then each shard's final drain still needs its doorbell.)
+#[test]
+fn wake_after_close_is_still_delivered() {
+    let poller = Poller::new();
+    poller.close();
+    assert!(poller.is_closed());
+    poller.waker(5).wake();
+    assert_eq!(poller.poll_one(Duration::from_secs(30)), Some(5));
+    assert_eq!(poller.poll_one(Duration::from_millis(1)), None);
+}
+
+/// Creating and using a waker for a token first seen after closure works:
+/// registration is not gated on the poller being open.
+#[test]
+fn register_during_close_is_functional() {
+    let poller = Poller::new();
+    poller.close();
+    let late = poller.waker(11);
+    late.wake();
+    late.wake(); // dedup must still hold after close
+    assert_eq!(poller.wakeups(), 1);
+    let ready = poller.poll(Duration::from_secs(30));
+    assert_eq!(ready.tokens(), &[11]);
+}
+
+/// Closing twice is idempotent and keeps returning empty immediately.
+#[test]
+fn double_close_is_idempotent() {
+    let poller = Poller::new();
+    poller.close();
+    poller.close();
+    assert!(poller.is_closed());
+    assert!(poller.poll(Duration::from_secs(30)).is_empty());
+}
+
+#[cfg(feature = "model-check")]
+mod model {
+    use super::*;
+    use std::sync::Arc;
+
+    use st_check::model::{check_with, Config};
+    use st_check::sync::thread;
+
+    /// An hour: under the checker, "can time out" is explored as a branch,
+    /// and the std fall-back can never actually wait this long.
+    const FOREVER: Duration = Duration::from_secs(3600);
+
+    fn cfg() -> Config {
+        Config::from_env()
+    }
+
+    fn assert_clean(report: &st_check::model::Report, what: &str) {
+        if let Some(cx) = &report.counterexample {
+            panic!("false positive on {what}:\n{}", cx.render());
+        }
+        assert!(report.exhausted, "{what}: exploration did not exhaust");
+    }
+
+    /// No lost wakeup: whatever way a concurrent `wake` interleaves with a
+    /// parked (or timing-out) poll, the token is observable by the time the
+    /// waker thread is joined.
+    #[test]
+    fn wake_is_never_lost_across_park_races() {
+        let report = check_with(cfg(), || {
+            let poller = Arc::new(Poller::new());
+            let waker = poller.waker(1);
+            let t = thread::spawn(move || waker.wake());
+            let first = poller.poll(FOREVER);
+            t.join().expect("join waker");
+            if first.is_empty() {
+                // The poll took its timeout branch before the wake landed;
+                // the token must still be queued.
+                assert_eq!(poller.poll(FOREVER).tokens(), &[1], "wakeup lost");
+            } else {
+                assert_eq!(first.tokens(), &[1], "wrong token delivered");
+            }
+        });
+        assert_clean(&report, "the park/wake race");
+    }
+
+    /// Wake-then-close from a second thread: the close releases a parked
+    /// poller, and the token queued just before it is never lost — polls
+    /// drain after close, and only then come back empty.
+    #[test]
+    fn close_releases_parked_poller_without_dropping_the_wake() {
+        let report = check_with(cfg(), || {
+            let poller = Arc::new(Poller::new());
+            let waker = poller.waker(2);
+            let closer = Arc::clone(&poller);
+            let t = thread::spawn(move || {
+                waker.wake();
+                closer.close();
+            });
+            let mut got = poller.poll(FOREVER);
+            t.join().expect("join closer");
+            if got.is_empty() {
+                // Timeout branch fired before the wake; post-join the token
+                // is certainly queued and closure must not eat it.
+                got = poller.poll(FOREVER);
+            }
+            assert_eq!(got.tokens(), &[2], "wake lost across close");
+            assert!(poller.is_closed(), "close not visible after join");
+            assert!(poller.poll(FOREVER).is_empty(), "drained poller not empty");
+        });
+        assert_clean(&report, "the park/close race");
+    }
+
+    /// `poll_one` under a concurrent waker: each token is delivered exactly
+    /// once across any number of one-token polls.
+    #[test]
+    fn poll_one_delivers_each_token_exactly_once() {
+        let report = check_with(cfg(), || {
+            let poller = Arc::new(Poller::new());
+            let (w1, w2) = (poller.waker(1), poller.waker(2));
+            let t = thread::spawn(move || {
+                w1.wake();
+                w2.wake();
+            });
+            let mut got = Vec::new();
+            got.extend(poller.poll_one(FOREVER));
+            got.extend(poller.poll_one(FOREVER));
+            t.join().expect("join waker");
+            while let Some(token) = poller.poll_one(FOREVER) {
+                got.push(token);
+            }
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2], "tokens lost or duplicated");
+        });
+        assert_clean(&report, "one-token dispatch");
+    }
+
+    /// The std-tier close-semantics contract, re-proven under the checker:
+    /// wake-after-close still delivers, then polls return empty.
+    #[test]
+    fn wake_after_close_is_delivered_under_the_model() {
+        let report = check_with(cfg(), || {
+            let poller = Arc::new(Poller::new());
+            let waker = poller.waker(5);
+            let closer = Arc::clone(&poller);
+            let t = thread::spawn(move || {
+                closer.close();
+                waker.wake();
+            });
+            t.join().expect("join closer");
+            assert_eq!(poller.poll_one(FOREVER), Some(5), "post-close wake lost");
+            assert_eq!(poller.poll_one(FOREVER), None, "closed poller not empty");
+        });
+        assert_clean(&report, "wake-after-close under the model");
+    }
+}

@@ -26,6 +26,11 @@
 //! Everything is `f32` and row-major: the innermost axis is `W`, then `H`,
 //! then `C`, then `N`, matching the memory layout the im2col kernels assume.
 
+// Inside an `unsafe fn`, each unsafe operation still needs its own `unsafe`
+// block (and its own SAFETY argument) — the function-level contract does not
+// silently bless the body.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod conv;
 pub mod error;
 pub mod matmul;

@@ -74,7 +74,12 @@ enum BLayout {
 /// disjoint column ranges of the output, so concurrent writes never alias.
 #[derive(Clone, Copy)]
 struct SendPtr(*mut f32);
+// SAFETY: the pointer targets the caller-owned `out` buffer, which outlives
+// the crossbeam scope the workers run in, and every worker writes only its
+// own disjoint column range — no two threads ever touch the same element.
 unsafe impl Send for SendPtr {}
+// SAFETY: as above — shared access is read-only on the wrapper itself; all
+// writes through the pointer are range-disjoint by construction.
 unsafe impl Sync for SendPtr {}
 
 impl SendPtr {
@@ -263,9 +268,8 @@ fn gemm(
                     );
                     for (ii, acc_row) in acc.iter().enumerate().take(rows) {
                         // SAFETY: this worker exclusively owns columns
-                        // `[j_start, j_end)` of `out` (par_ranges hands out
-                        // disjoint ranges), so the row segments written here
-                        // never overlap another worker's.
+                        // `[j_start, j_end)` of `out` (par_ranges is
+                        // disjoint), so these row segments never overlap.
                         let row = unsafe {
                             std::slice::from_raw_parts_mut(out_base.add((i0 + ii) * n + j0), cols)
                         };

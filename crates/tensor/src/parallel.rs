@@ -35,6 +35,8 @@ fn env_threads() -> usize {
 /// pin a whole benchmark run, e.g. `ST_THREADS=1` for single-core numbers),
 /// then [`std::thread::available_parallelism`].
 pub fn threads() -> usize {
+    // ORDER: Relaxed — an isolated tuning knob; no other memory is published
+    // through it, and a momentarily stale read only changes a split factor.
     let over = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if over > 0 {
         return over;
@@ -50,6 +52,7 @@ pub fn threads() -> usize {
 
 /// Pin the number of worker threads (0 restores the automatic default).
 pub fn set_threads(n: usize) {
+    // ORDER: Relaxed — see `threads()`: a tuning knob, not a publication.
     THREAD_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
