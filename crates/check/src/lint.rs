@@ -9,6 +9,7 @@
 //! | `no-unwrap` | `serve.rs`, `shm.rs` non-test code | no `.unwrap()` / `.expect(` |
 //! | `ne-bytes` | `crates/net/` | no `to_ne_bytes` / `from_ne_bytes` (wire format is little-endian only) |
 //! | `no-sleep` | `serve.rs`, `poll.rs` non-test code | no `std::thread::sleep` in reactor code |
+//! | `ignored-send` | `serve.rs`, `steal.rs`, `live.rs` non-test code | no `let _ = …send(…)` — a failed send on a failover/mailbox path must be counted or handled, never discarded |
 //!
 //! The scanner is token-level, not syntactic: a small lexer strips string
 //! literals and separates comment text from code text, then the rules match
@@ -350,6 +351,7 @@ pub fn lint_source(path: &Path, content: &str) -> Vec<Violation> {
     let reactor_file = name == "serve.rs" || name == "poll.rs";
     let no_unwrap_file = name == "serve.rs" || name == "shm.rs";
     let net_file = path_contains(path, "crates/net/");
+    let send_audited_file = name == "serve.rs" || name == "steal.rs" || name == "live.rs";
 
     let mut out = Vec::new();
     for (idx, code_line) in lexed.code.iter().enumerate() {
@@ -410,6 +412,27 @@ pub fn lint_source(path: &Path, content: &str) -> Vec<Violation> {
                 rule: "no-sleep",
                 message: "`thread::sleep` in reactor code (park on the poller instead)".to_string(),
             });
+        }
+
+        // On failover/mailbox paths a send failure means a peer (client
+        // downlink, shard mailbox) is gone; discarding the result silently
+        // loses an ack or a migrated stream. Count it (`deliver`,
+        // `lost_acks`) or handle the returned envelope.
+        if send_audited_file && !in_test && code_line.contains("let _ =") {
+            let after = &code_line[code_line
+                .find("let _ =")
+                .map(|p| p + "let _ =".len())
+                .unwrap_or(0)..];
+            if after.contains("send(") {
+                out.push(Violation {
+                    file: path.to_path_buf(),
+                    line: line_no,
+                    rule: "ignored-send",
+                    message:
+                        "`let _ = …send(…)` discards a send result on a failover/mailbox path; count or handle the failure"
+                            .to_string(),
+                });
+            }
         }
     }
     out

@@ -101,6 +101,30 @@ fn thread_sleep_banned_in_reactor_files() {
 }
 
 #[test]
+fn ignored_send_banned_on_failover_and_mailbox_paths() {
+    let bad = "fn f() {\n    let _ = downlink.send(bytes, msg);\n}\n";
+    assert_eq!(rules("crates/core/src/serve.rs", bad), vec!["ignored-send"]);
+    assert_eq!(rules("crates/core/src/steal.rs", bad), vec!["ignored-send"]);
+    assert_eq!(
+        rules("crates/core/src/runtime/live.rs", bad),
+        vec!["ignored-send"]
+    );
+    // Out-of-scope files and handled results stay clean.
+    assert!(rules("crates/core/src/loadgen.rs", bad).is_empty());
+    let handled = "fn f() {\n    deliver(&downlink, bytes, msg, &mut lost_acks);\n    if tx.send(e).is_err() { count += 1; }\n}\n";
+    assert!(rules("crates/core/src/serve.rs", handled).is_empty());
+    // `let _ =` without a send on the same statement is some other rule's
+    // business.
+    let other = "fn f() {\n    let _ = guard;\n}\n";
+    assert!(rules("crates/core/src/serve.rs", other).is_empty());
+
+    // Test modules are exempt — scripted endpoints drop sends on purpose.
+    let test_src =
+        "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let _ = tx.send(1); }\n}\n";
+    assert!(rules("crates/core/src/serve.rs", test_src).is_empty());
+}
+
+#[test]
 fn raw_strings_and_char_literals_do_not_confuse_the_lexer() {
     let src = concat!(
         "fn f() {\n",

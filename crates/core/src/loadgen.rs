@@ -429,16 +429,17 @@ struct OpenLoopStream {
 
 /// Deterministic xorshift64* generator for phases and jitter — keeps the
 /// arrival schedule reproducible without pulling a rand dependency into
-/// the core crate.
-struct JitterRng(u64);
+/// the core crate. Also seeds the client driver's reconnect backoff jitter,
+/// so retry storms stay reproducible under a fixed seed.
+pub(crate) struct JitterRng(u64);
 
 impl JitterRng {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         JitterRng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
     }
 
     /// Uniform in `[0, 1)`.
-    fn unit(&mut self) -> f64 {
+    pub(crate) fn unit(&mut self) -> f64 {
         let mut x = self.0;
         x ^= x << 13;
         x ^= x >> 7;

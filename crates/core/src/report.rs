@@ -364,6 +364,13 @@ pub struct ShardReport {
     /// frame. High values with low thread counts are the reactor working
     /// as intended.
     pub idle_streams: usize,
+    /// Dead wards this shard adopted as the warm standby (usually 0 or 1).
+    pub failovers: usize,
+    /// Streams re-homed onto this shard by failover takeovers.
+    pub streams_adopted: usize,
+    /// Frames that could not be recovered from replicas or re-shares during
+    /// a takeover; their jobs were drop-acked with `ShardFailed`.
+    pub frames_lost_on_failover: usize,
 }
 
 /// The serializable operator report condensed from a pool run
@@ -410,6 +417,21 @@ pub struct PoolReport {
     pub wire_bytes_up: usize,
     /// Measured server→client wire bytes (framed downlink messages).
     pub wire_bytes_down: usize,
+    /// Shard deaths recovered by a warm standby takeover.
+    pub failovers: usize,
+    /// Streams adopted across every takeover.
+    pub streams_adopted: usize,
+    /// Frames lost (drop-acked `ShardFailed`) across every takeover.
+    pub frames_lost_on_failover: usize,
+    /// 99th-percentile takeover latency — death detection to the standby
+    /// finishing adoption — in milliseconds. `NaN` when no failover ran.
+    pub takeover_latency_p99_ms: f64,
+    /// Bytes of new (previously unseen) checkpoint chunks published to the
+    /// replica store over the run.
+    pub replica_bytes_published: usize,
+    /// Bytes of checkpoint chunks deduplicated by content hash (frozen
+    /// partial-distillation stages shared instead of recopied).
+    pub replica_bytes_shared: usize,
 }
 
 impl PoolReport {
@@ -436,7 +458,8 @@ impl PoolReport {
                  \"frame_evictions\":{},\"need_frame_requests\":{},\"reshared_frames\":{},\
                  \"frame_bytes_peak\":{},\"streams_stolen_in\":{},\"streams_donated\":{},\
                  \"forwarded_messages\":{},\"events_dispatched\":{},\"timer_fires\":{},\
-                 \"poll_wakeups\":{},\"idle_streams\":{}}}",
+                 \"poll_wakeups\":{},\"idle_streams\":{},\"failovers\":{},\
+                 \"streams_adopted\":{},\"frames_lost_on_failover\":{}}}",
                 s.shard,
                 s.key_frames,
                 s.teacher_batches,
@@ -458,6 +481,9 @@ impl PoolReport {
                 s.timer_fires,
                 s.poll_wakeups,
                 s.idle_streams,
+                s.failovers,
+                s.streams_adopted,
+                s.frames_lost_on_failover,
             );
         }
         let _ = write!(
@@ -467,7 +493,10 @@ impl PoolReport {
              \"frame_bytes_peak\":{},\"queue_p50_ms\":{},\"queue_p99_ms\":{},\
              \"teacher_wall_secs\":{},\"events_dispatched\":{},\"timer_fires\":{},\
              \"poll_wakeups\":{},\"idle_streams\":{},\
-             \"wire_bytes_up\":{},\"wire_bytes_down\":{}}}}}",
+             \"wire_bytes_up\":{},\"wire_bytes_down\":{},\
+             \"failovers\":{},\"streams_adopted\":{},\"frames_lost_on_failover\":{},\
+             \"takeover_latency_p99_ms\":{},\"replica_bytes_published\":{},\
+             \"replica_bytes_shared\":{}}}}}",
             self.total_key_frames,
             self.streams_stolen,
             self.frame_evictions,
@@ -484,6 +513,12 @@ impl PoolReport {
             self.idle_streams,
             self.wire_bytes_up,
             self.wire_bytes_down,
+            self.failovers,
+            self.streams_adopted,
+            self.frames_lost_on_failover,
+            num(self.takeover_latency_p99_ms),
+            self.replica_bytes_published,
+            self.replica_bytes_shared,
         );
         out
     }
@@ -664,6 +699,9 @@ mod tests {
             timer_fires: 3,
             poll_wakeups: 12,
             idle_streams: 7,
+            failovers: 1,
+            streams_adopted: 2,
+            frames_lost_on_failover: 1,
         };
         let report = PoolReport {
             shards: vec![shard.clone(), ShardReport { shard: 1, ..shard }],
@@ -683,6 +721,12 @@ mod tests {
             idle_streams: 7,
             wire_bytes_up: 123456,
             wire_bytes_down: 654321,
+            failovers: 1,
+            streams_adopted: 2,
+            frames_lost_on_failover: 1,
+            takeover_latency_p99_ms: 4.75,
+            replica_bytes_published: 2048,
+            replica_bytes_shared: 1024,
         };
         let json = report.to_json();
         assert!(json.starts_with("{\"shards\":[{\"shard\":0,"));
@@ -694,6 +738,13 @@ mod tests {
         assert!(json.contains("\"idle_streams\":7"));
         assert!(json.contains("\"wire_bytes_up\":123456"));
         assert!(json.contains("\"wire_bytes_down\":654321"));
+        // Failover accounting is exported for operators.
+        assert!(json.contains("\"failovers\":1"));
+        assert!(json.contains("\"streams_adopted\":2"));
+        assert!(json.contains("\"frames_lost_on_failover\":1"));
+        assert!(json.contains("\"takeover_latency_p99_ms\":4.75"));
+        assert!(json.contains("\"replica_bytes_published\":2048"));
+        assert!(json.contains("\"replica_bytes_shared\":1024"));
         assert!(json.contains("\"totals\":{\"key_frames\":20,"));
         assert!(json.contains("\"frame_bytes_peak\":30720"));
         // Non-finite values render as null, not invalid JSON.

@@ -75,18 +75,19 @@ use crate::server::{DistillSession, KeyFrameResponse};
 use crate::steal::{FulfilOutcome, RequestReview, StealCore, MIN_STEAL_BACKLOG};
 use crate::timer::TimerWheel;
 use crate::Result;
+use bytes::Bytes;
 use st_net::message::MESSAGE_OVERHEAD_BYTES;
 use st_net::transport::ClientEndpoint;
 use st_net::{
     ClientToServer, DropReason, Payload, ServerToClient, StreamId, StreamTagged, TransportError,
 };
-use st_nn::snapshot::WeightSnapshot;
+use st_nn::snapshot::{SnapshotScope, WeightSnapshot};
 use st_nn::student::StudentNet;
 use st_teacher::Teacher;
 use st_tensor::TensorError;
 use st_video::Frame;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -98,6 +99,84 @@ fn locked<T: ?Sized>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A deterministic fault-injection schedule for chaos testing the pool.
+///
+/// Faults are injected at well-defined points of the shard state machine —
+/// a *kill* is a plain `panic!` raised inside
+/// `ShardState::process_one_batch`, so a crash is reproducible from a
+/// config value instead of requiring unsafe thread murder. Under the
+/// thread-per-shard driver the kill unwinds while the worker holds its
+/// hosted-state lock, so the plan also exercises the poisoned-lock
+/// recovery path for free. `FaultPlan::none()` (the default) injects
+/// nothing and costs one branch per batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Tags the schedule so a chaos run is pinnable and reportable (CI pins
+    /// it the way `ST_CHECK_SEED` pins the model checker); also folded into
+    /// the injected panic message.
+    pub seed: u64,
+    /// The shard every fault in this plan targets. `None` disables the
+    /// plan entirely.
+    pub target: Option<usize>,
+    /// Kill the target with a panic at the start of its first co-scheduled
+    /// batch once it has completed this many teacher batches (`Some(0)` =
+    /// the first non-empty batch). `None` never kills.
+    pub kill_at_batch: Option<u64>,
+    /// Tear the kill: fire *after* the batch's jobs were drained from the
+    /// fair scheduler, so the in-flight batch is genuinely lost and the
+    /// standby must drop-ack it with [`DropReason::ShardFailed`]. A clean
+    /// kill (the default) fires before the drain; every queued job
+    /// survives in the carcass and is re-queued by the adopter.
+    pub torn_kill: bool,
+    /// Defer the target's first N steal-mailbox drains by one pass each —
+    /// a deterministic delivery-delay fault for migration-race testing.
+    pub defer_mailbox: u32,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            target: None,
+            kill_at_batch: None,
+            torn_kill: false,
+            defer_mailbox: 0,
+        }
+    }
+
+    /// Kill `shard` at the start of its first non-empty batch after
+    /// `at_batch` completed teacher batches.
+    pub fn kill(seed: u64, shard: usize, at_batch: u64) -> Self {
+        FaultPlan {
+            seed,
+            target: Some(shard),
+            kill_at_batch: Some(at_batch),
+            torn_kill: false,
+            defer_mailbox: 0,
+        }
+    }
+
+    /// Make the kill torn (fires after the batch drain; the in-flight jobs
+    /// are lost and must be drop-acked by the standby).
+    pub fn torn(mut self) -> Self {
+        self.torn_kill = true;
+        self
+    }
+
+    /// Whether this plan kills `shard` once it has run `batches` teacher
+    /// batches.
+    fn kill_due(&self, shard: usize, batches: usize) -> bool {
+        self.target == Some(shard) && self.kill_at_batch.is_some_and(|at| batches as u64 >= at)
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
 }
 
 /// Configuration of a [`ServerPool`].
@@ -152,6 +231,20 @@ pub struct PoolConfig {
     /// shard state machine, so serving behaviour is identical; what changes
     /// is how many mostly-idle streams one process can host.
     pub reactor_threads: Option<usize>,
+    /// Replicate every stream's session checkpoint (student weights +
+    /// distillation counters + scheduler deficit) to a shared
+    /// content-addressed [`ReplicaStore`] after each accepted update, and
+    /// arm warm-standby takeover: when a shard dies, its buddy shard
+    /// (`(shard + 1) % shards`) adopts its streams from the replicas
+    /// through the existing migration machinery. Requires
+    /// [`PlacementPolicy::Rebalance`] (adoption *is* a migration) and at
+    /// least two shards. Off by default: a worker panic then fails
+    /// [`ServerPool::join`] with [`PoolError::WorkerFailed`].
+    pub replication: bool,
+    /// Deterministic fault-injection schedule ([`FaultPlan::none`] by
+    /// default). Chaos tests kill a shard mid-run with this instead of
+    /// aborting threads.
+    pub fault_plan: FaultPlan,
 }
 
 impl PoolConfig {
@@ -170,6 +263,8 @@ impl PoolConfig {
             steal_poll: Duration::from_millis(5),
             steal_patience: Duration::from_millis(25),
             reactor_threads: None,
+            replication: false,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -232,6 +327,29 @@ impl PoolConfig {
                 "reactor_threads must be at least 1 (use None for thread-per-shard)".into(),
             ));
         }
+        if let Some(target) = self.fault_plan.target {
+            if target >= self.shards {
+                return Err(TensorError::InvalidArgument(format!(
+                    "fault_plan targets shard {target} but the pool has {} shards",
+                    self.shards
+                )));
+            }
+        }
+        if self.replication {
+            if self.shards < 2 {
+                return Err(TensorError::InvalidArgument(
+                    "replication needs at least two shards (a shard cannot be its own standby)"
+                        .into(),
+                ));
+            }
+            if !self.stealing() {
+                return Err(TensorError::InvalidArgument(
+                    "replication requires PlacementPolicy::Rebalance (warm-standby adoption \
+                     reuses the stream-migration machinery)"
+                        .into(),
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -249,6 +367,57 @@ impl PoolConfig {
 impl Default for PoolConfig {
     fn default() -> Self {
         Self::default_pool()
+    }
+}
+
+/// Why [`ServerPool::join`] failed.
+///
+/// Before this type existed, a worker panic surfaced as
+/// `TensorError::InvalidArgument("shard worker panicked")` — the panic
+/// payload, the shard index, everything an operator needs was thrown away.
+/// `WorkerFailed` carries both; `Tensor` wraps the ordinary serving-error
+/// channel. The lossy [`From<PoolError> for TensorError`] impl keeps
+/// `pool.join()?` compiling in `TensorError`-returning contexts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PoolError {
+    /// A shard worker died (panicked) and no warm standby adopted its
+    /// streams — either replication was off, or the standby itself was
+    /// gone. `panic_msg` is the worker's actual panic payload.
+    WorkerFailed {
+        /// The shard whose worker died.
+        shard: usize,
+        /// The panic payload (downcast to a string where possible).
+        panic_msg: String,
+    },
+    /// A serving error surfaced through the normal `Result` channel.
+    Tensor(TensorError),
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::WorkerFailed { shard, panic_msg } => {
+                write!(f, "shard {shard} worker panicked: {panic_msg}")
+            }
+            PoolError::Tensor(err) => err.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+impl From<TensorError> for PoolError {
+    fn from(err: TensorError) -> Self {
+        PoolError::Tensor(err)
+    }
+}
+
+impl From<PoolError> for TensorError {
+    fn from(err: PoolError) -> Self {
+        match err {
+            PoolError::Tensor(err) => err,
+            other => TensorError::InvalidArgument(other.to_string()),
+        }
     }
 }
 
@@ -332,6 +501,30 @@ pub struct ShardStats {
     /// key frame — observed on this shard. The reactor's reason to exist:
     /// this many streams were being hosted without deserving a thread.
     pub idle_streams: usize,
+    /// Shard deaths this shard recovered from as the warm standby: each
+    /// takeover adopted the dead buddy's streams from their replicated
+    /// checkpoints.
+    pub failovers: usize,
+    /// Streams this shard adopted from a dead buddy during takeover
+    /// (counted separately from [`ShardStats::streams_stolen_in`], which is
+    /// voluntary migration).
+    pub streams_adopted: usize,
+    /// Key-frame jobs that died with the shard and could not be salvaged
+    /// (a torn kill lost the batch in flight). Each was drop-acked with
+    /// [`DropReason::ShardFailed`] by the adopter — never silently lost.
+    pub frames_lost_on_failover: usize,
+    /// Downlink sends that found the client side already gone. The ack (or
+    /// update) was composed but undeliverable; counting it keeps the
+    /// failover accounting reconcilable (`sent + lost_acks` covers every
+    /// decision).
+    pub lost_acks: usize,
+    /// Bytes of *new* checkpoint chunks this shard published to the replica
+    /// store (content the store had not seen).
+    pub replica_bytes_published: usize,
+    /// Bytes of checkpoint chunks deduplicated by content hash — a frozen
+    /// partial-distillation stage re-encodes identically update after
+    /// update, so its chunks are shared, not recopied.
+    pub replica_bytes_shared: usize,
 }
 
 impl ShardStats {
@@ -386,6 +579,11 @@ pub struct PoolStats {
     pub wire_bytes_up: usize,
     /// Measured server→client wire bytes (framed downlink messages).
     pub wire_bytes_down: usize,
+    /// Wall-clock takeover latency samples, one per shard failover, in
+    /// seconds: death (the panic was recorded) → the standby finished
+    /// adopting every stream. Feeds
+    /// [`PoolStats::takeover_latency_p99_secs`].
+    pub takeover_samples: Vec<f64>,
 }
 
 impl PoolStats {
@@ -489,6 +687,38 @@ impl PoolStats {
         crate::loadgen::percentile(&all, p)
     }
 
+    /// Shard failovers recovered across the run.
+    pub fn failovers(&self) -> usize {
+        self.shards.iter().map(|s| s.failovers).sum()
+    }
+
+    /// Streams adopted from dead shards across the run.
+    pub fn streams_adopted(&self) -> usize {
+        self.shards.iter().map(|s| s.streams_adopted).sum()
+    }
+
+    /// Key-frame jobs lost to shard deaths (each drop-acked with
+    /// [`DropReason::ShardFailed`]).
+    pub fn frames_lost_on_failover(&self) -> usize {
+        self.shards.iter().map(|s| s.frames_lost_on_failover).sum()
+    }
+
+    /// Bytes of new checkpoint chunks published to the replica store.
+    pub fn replica_bytes_published(&self) -> usize {
+        self.shards.iter().map(|s| s.replica_bytes_published).sum()
+    }
+
+    /// Bytes of checkpoint chunks deduplicated by content hash.
+    pub fn replica_bytes_shared(&self) -> usize {
+        self.shards.iter().map(|s| s.replica_bytes_shared).sum()
+    }
+
+    /// The p99 wall-clock takeover latency in seconds (0.0 when no shard
+    /// died): death → the standby finished adopting every stream.
+    pub fn takeover_latency_p99_secs(&self) -> f64 {
+        crate::loadgen::percentile(&self.takeover_samples, 99.0)
+    }
+
     /// Condense the run into the serializable operator report
     /// ([`crate::report::PoolReport`]): per-shard load, steals, evictions,
     /// teacher wall time and p50/p99 queue waits, plus pool totals. This is
@@ -525,6 +755,9 @@ impl PoolStats {
                     timer_fires: s.timer_fires,
                     poll_wakeups: s.poll_wakeups,
                     idle_streams: s.idle_streams,
+                    failovers: s.failovers,
+                    streams_adopted: s.streams_adopted,
+                    frames_lost_on_failover: s.frames_lost_on_failover,
                 }
             })
             .collect();
@@ -551,6 +784,12 @@ impl PoolStats {
                 .unwrap_or(0),
             wire_bytes_up: self.wire_bytes_up,
             wire_bytes_down: self.wire_bytes_down,
+            failovers: self.failovers(),
+            streams_adopted: self.streams_adopted(),
+            frames_lost_on_failover: self.frames_lost_on_failover(),
+            takeover_latency_p99_ms: 1e3 * self.takeover_latency_p99_secs(),
+            replica_bytes_published: self.replica_bytes_published(),
+            replica_bytes_shared: self.replica_bytes_shared(),
         }
     }
 }
@@ -610,6 +849,30 @@ impl FrameStore {
             store.insert(frame.clone());
         }
         store
+    }
+
+    /// A store that *knows* the given indices but holds no content — the
+    /// warm-standby restore path. Checkpoint replication ships the set of
+    /// shared frame indices, not the pixels (frames are recoverable from
+    /// the client for free), so a takeover rebuilds the cache as
+    /// known-but-evicted: the first job touching each index parks and asks
+    /// the client to re-upload it ([`ServerToClient::NeedFrame`] →
+    /// [`st_net::ClientToServer::ReShare`]), exactly the existing
+    /// eviction-recovery round trip.
+    pub fn from_known_indices(indices: &[usize], budget: Option<usize>) -> Self {
+        let mut store = Self::new(budget);
+        for &index in indices {
+            store.entries.insert(index, None);
+        }
+        store
+    }
+
+    /// Every index this store knows (resident or evicted), ascending — the
+    /// set checkpoint replication preserves across a shard death.
+    pub fn known_indices(&self) -> Vec<usize> {
+        let mut indices: Vec<usize> = self.entries.keys().copied().collect();
+        indices.sort_unstable();
+        indices
     }
 
     /// Approximate resident cost of one frame: the f32 image tensor plus the
@@ -697,6 +960,193 @@ impl FrameStore {
     /// Number of resident frames.
     pub fn resident_count(&self) -> usize {
         self.lru.len()
+    }
+}
+
+/// FNV-1a 64 content hash of one checkpoint chunk — the replica store's
+/// content address. Weight tensors are dense `f32` payloads; 64 bits of
+/// FNV over them is collision-safe at pool scale and needs no dependency.
+fn chunk_hash(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One stream's replicated session checkpoint: content-hash references into
+/// the shared blob cache, plus the non-weight state a takeover restores
+/// (distillation counters, the stream's unspent DRR deficit, and the set of
+/// frame indices the client had shared).
+struct SessionReplica {
+    /// `(entry name, content hash)` per snapshot entry, in capture order.
+    chunks: Vec<(String, u64)>,
+    key_frames: usize,
+    distill_steps: usize,
+    /// Unspent deficit-round-robin credit at publication time.
+    deficit: usize,
+    /// Frame indices the stream had shared. Only the index set replicates —
+    /// the pixels are recoverable from the client via the existing
+    /// `NeedFrame`/`ReShare` round trip, so replicating them would buy
+    /// nothing but bandwidth.
+    known_frames: Vec<usize>,
+}
+
+/// A replica materialized for takeover: chunk bytes resolved and blob
+/// references released.
+struct RestoredReplica {
+    chunks: Vec<(String, Bytes)>,
+    key_frames: usize,
+    distill_steps: usize,
+    deficit: usize,
+    known_frames: Vec<usize>,
+}
+
+/// The pool's shared, content-addressed checkpoint-replica store.
+///
+/// After every accepted update a shard publishes the stream's full session
+/// checkpoint here, keyed by owning shard; when a shard dies, its buddy
+/// adopts the dead shard's slot and rebuilds every stream from it. Chunks
+/// (one per snapshot entry) are stored by FNV-1a content hash with
+/// reference counts, so the frozen front-end a partial-distillation
+/// session never touches is stored **once** across all streams and all
+/// updates — re-publishing an unchanged stage costs a hash lookup, not a
+/// copy. `ShardStats::replica_bytes_published` versus
+/// `ShardStats::replica_bytes_shared` measures exactly that saving.
+pub struct ReplicaStore {
+    /// `slots[owner]` = replicas of the streams shard `owner` serves.
+    slots: Vec<Mutex<HashMap<StreamId, SessionReplica>>>,
+    /// Content hash → (reference count, chunk bytes).
+    blobs: Mutex<HashMap<u64, (usize, Bytes)>>,
+}
+
+impl ReplicaStore {
+    fn new(shards: usize) -> Self {
+        ReplicaStore {
+            slots: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            blobs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Publish one stream's checkpoint under `owner`, replacing any prior
+    /// replica of the stream. Returns `(new_bytes, shared_bytes)`: bytes
+    /// the blob cache had to store versus bytes it deduplicated.
+    #[allow(clippy::too_many_arguments)]
+    fn publish(
+        &self,
+        owner: usize,
+        stream_id: StreamId,
+        checkpoint: &WeightSnapshot,
+        key_frames: usize,
+        distill_steps: usize,
+        deficit: usize,
+        known_frames: Vec<usize>,
+    ) -> (usize, usize) {
+        use std::collections::hash_map::Entry;
+        let mut published = 0;
+        let mut shared = 0;
+        let mut chunks = Vec::new();
+        {
+            let mut blobs = locked(&self.blobs);
+            for (name, bytes) in checkpoint.entry_chunks() {
+                let hash = chunk_hash(&bytes);
+                match blobs.entry(hash) {
+                    Entry::Occupied(mut occupied) => {
+                        occupied.get_mut().0 += 1;
+                        shared += bytes.len();
+                    }
+                    Entry::Vacant(vacant) => {
+                        published += bytes.len();
+                        vacant.insert((1, bytes));
+                    }
+                }
+                chunks.push((name.to_string(), hash));
+            }
+        }
+        let previous = locked(&self.slots[owner]).insert(
+            stream_id,
+            SessionReplica {
+                chunks,
+                key_frames,
+                distill_steps,
+                deficit,
+                known_frames,
+            },
+        );
+        if let Some(previous) = previous {
+            self.release(&previous.chunks);
+        }
+        (published, shared)
+    }
+
+    /// Drop one stream's replica (the stream retired normally; there is
+    /// nothing left to fail over).
+    fn remove(&self, owner: usize, stream_id: StreamId) {
+        if let Some(replica) = locked(&self.slots[owner]).remove(&stream_id) {
+            self.release(&replica.chunks);
+        }
+    }
+
+    /// Re-home a replica after a voluntary migration. Blob references are
+    /// untouched — the checkpoint content did not change, only its owner.
+    fn move_owner(&self, stream_id: StreamId, from: usize, to: usize) {
+        if from == to {
+            return;
+        }
+        if let Some(replica) = locked(&self.slots[from]).remove(&stream_id) {
+            locked(&self.slots[to]).insert(stream_id, replica);
+        }
+    }
+
+    /// Take every replica a dead shard owned, materialized for restore and
+    /// sorted by stream id so adoption order is deterministic.
+    fn take_owner(&self, owner: usize) -> Vec<(StreamId, RestoredReplica)> {
+        let mut replicas: Vec<(StreamId, SessionReplica)> = {
+            let mut slot = locked(&self.slots[owner]);
+            slot.drain().collect()
+        };
+        replicas.sort_by_key(|(id, _)| *id);
+        let mut blobs = locked(&self.blobs);
+        replicas
+            .into_iter()
+            .map(|(stream_id, replica)| {
+                let mut chunks = Vec::with_capacity(replica.chunks.len());
+                for (name, hash) in replica.chunks {
+                    let Some(entry) = blobs.get_mut(&hash) else {
+                        unreachable!("replica chunk reference-counted in blob cache")
+                    };
+                    chunks.push((name, entry.1.clone()));
+                    entry.0 -= 1;
+                    if entry.0 == 0 {
+                        blobs.remove(&hash);
+                    }
+                }
+                (
+                    stream_id,
+                    RestoredReplica {
+                        chunks,
+                        key_frames: replica.key_frames,
+                        distill_steps: replica.distill_steps,
+                        deficit: replica.deficit,
+                        known_frames: replica.known_frames,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Release chunk references (a replica was replaced or removed).
+    fn release(&self, chunks: &[(String, u64)]) {
+        let mut blobs = locked(&self.blobs);
+        for (_name, hash) in chunks {
+            if let Some(entry) = blobs.get_mut(hash) {
+                entry.0 -= 1;
+                if entry.0 == 0 {
+                    blobs.remove(hash);
+                }
+            }
+        }
     }
 }
 
@@ -848,6 +1298,33 @@ impl FairScheduler {
                 // not look past the head.
                 self.ring.push_back(stream_id);
             }
+        }
+        out
+    }
+
+    /// The stream's unspent deficit-round-robin credit (0 when it holds
+    /// none). Replicated with the session checkpoint so a takeover restores
+    /// the stream's scheduling position, not just its weights.
+    pub fn deficit_of(&self, stream_id: StreamId) -> usize {
+        self.deficits.get(&stream_id).copied().unwrap_or(0)
+    }
+
+    /// Restore a stream's unspent deficit (warm-standby adoption). A zero
+    /// deficit is the default state and is not stored.
+    pub fn set_deficit(&mut self, stream_id: StreamId, deficit: usize) {
+        if deficit > 0 {
+            self.deficits.insert(stream_id, deficit);
+        }
+    }
+
+    /// Drain *every* queued job, ring order then per-stream FIFO — the
+    /// takeover path re-queues a dead shard's entire backlog at its
+    /// adopter with arrival timestamps intact.
+    pub fn drain_all(&mut self) -> Vec<ScheduledJob> {
+        let streams: Vec<StreamId> = self.ring.iter().copied().collect();
+        let mut out = Vec::with_capacity(self.queued);
+        for stream_id in streams {
+            out.extend(self.remove_stream(stream_id));
         }
         out
     }
@@ -1149,6 +1626,63 @@ impl<T: Teacher> ServeShard<T> {
         self.sessions.insert(stream_id, entry);
     }
 
+    /// Capture what checkpoint replication publishes for one stream: the
+    /// full session checkpoint, the distillation counters, and the set of
+    /// shared frame indices.
+    fn session_replica(
+        &mut self,
+        stream_id: StreamId,
+    ) -> Option<(WeightSnapshot, usize, usize, Vec<usize>)> {
+        let entry = self.sessions.get_mut(&stream_id)?;
+        Some((
+            entry.session.replica_checkpoint(),
+            entry.session.key_frames_processed(),
+            entry.session.distill_steps_taken(),
+            entry.frames.known_indices(),
+        ))
+    }
+
+    /// Rebuild a stream from its replicated checkpoint (warm-standby
+    /// takeover): a fresh session resumed from the replica weights and
+    /// counters, plus a known-but-evicted frame cache.
+    fn restore_stream(
+        &mut self,
+        stream_id: StreamId,
+        snapshot: &WeightSnapshot,
+        key_frames: usize,
+        distill_steps: usize,
+        frames: FrameStore,
+    ) -> Result<()> {
+        debug_assert!(
+            !self.sessions.contains_key(&stream_id),
+            "a stream lives on exactly one shard"
+        );
+        let session = DistillSession::resume(
+            self.config,
+            self.template.clone(),
+            snapshot,
+            self.distill_step_latency,
+            key_frames,
+            distill_steps,
+        )?;
+        self.sessions
+            .insert(stream_id, StreamEntry { session, frames });
+        Ok(())
+    }
+
+    /// Drop every session, folding only the frame-cache counters into the
+    /// shard's stats. This is carcass accounting: a dead shard's live
+    /// sessions are *replaced* by replica-restored ones at its adopter (the
+    /// replicas, not the carcass, are the recovery source of truth), so the
+    /// carcass keeps the counters and loses the state.
+    fn discard_sessions(&mut self) {
+        for (_stream_id, entry) in self.sessions.drain() {
+            self.stats.frame_evictions += entry.frames.evictions();
+            self.stats.frame_bytes_peak =
+                self.stats.frame_bytes_peak.max(entry.frames.peak_bytes());
+        }
+    }
+
     /// Number of streams currently registered.
     pub fn stream_count(&self) -> usize {
         self.sessions.len()
@@ -1408,6 +1942,9 @@ type Placements = Arc<Mutex<HashMap<StreamId, Route>>>;
 /// to continue serving it exactly where the victim stopped.
 struct MigratedStream {
     stream_id: StreamId,
+    /// The donating shard — the thief re-homes the stream's checkpoint
+    /// replica from this slot to its own.
+    from_shard: usize,
     entry: StreamEntry,
     downlink: Downlink,
     meter: StreamMeter,
@@ -1446,6 +1983,206 @@ struct ShardOutput {
     streams: HashMap<StreamId, StreamServerStats>,
     final_checkpoints: HashMap<StreamId, WeightSnapshot>,
     wait_samples: Vec<f64>,
+    /// One death-to-adoption latency sample (seconds) per takeover this
+    /// shard performed as a standby.
+    takeover_samples: Vec<f64>,
+}
+
+/// Render a caught panic payload for the failure report. Panics raised with
+/// a string literal or a formatted message (the overwhelmingly common
+/// cases, including injected faults) come through verbatim.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(msg) = payload.downcast_ref::<&str>() {
+        (*msg).to_string()
+    } else if let Some(msg) = payload.downcast_ref::<String>() {
+        msg.clone()
+    } else {
+        "shard worker panicked".to_string()
+    }
+}
+
+/// Send one downlink message, counting the loss when the client already
+/// hung up. A vanished client only loses its own acks, but the loss is
+/// *counted* (`ShardStats::lost_acks`), never silently discarded — the
+/// failover paths depend on every drop being observable.
+fn deliver(downlink: &Downlink, bytes: usize, msg: ServerToClient, lost_acks: &mut usize) {
+    if !downlink.send(bytes, msg) {
+        *lost_acks += 1;
+    }
+}
+
+/// Liveness sentinel: the shard's worker died with a panic.
+const LIVENESS_DEAD: u64 = u64::MAX;
+/// Liveness sentinel: the shard ran its exit protocol to completion.
+const LIVENESS_FINISHED: u64 = u64::MAX - 1;
+
+/// A shard worker's death certificate.
+#[derive(Debug, Clone)]
+struct ShardDeath {
+    /// The worker's actual panic payload.
+    panic_msg: String,
+    /// When the death was published — takeover latency is measured from
+    /// here to the standby's adoption.
+    died_at: Instant,
+}
+
+/// The pool's non-generic failover blackboard, shared by the pool handle
+/// (which is not generic over the teacher) and every worker.
+///
+/// Liveness is a per-shard epoch: live workers bump theirs every pass, a
+/// death stores [`LIVENESS_DEAD`], a clean exit [`LIVENESS_FINISHED`]. The
+/// `claimed` slots are the adoption lock — exactly one standby wins the
+/// compare-exchange and performs the takeover; `recovered` confirms the
+/// takeover actually completed, so a standby that dies *mid-takeover*
+/// still surfaces as a failure instead of a hang.
+struct FailoverBoard {
+    liveness: Vec<AtomicU64>,
+    /// CAS guard: set by the standby that won the right to adopt.
+    claimed: Vec<AtomicBool>,
+    /// Set once the standby finished adopting the shard's streams.
+    recovered: Vec<AtomicBool>,
+    deaths: Vec<Mutex<Option<ShardDeath>>>,
+    /// Final outputs of dead shards, assembled from their carcasses by the
+    /// adopting standby (a dead worker returns nothing through its join
+    /// handle).
+    dead_outputs: Mutex<Vec<ShardOutput>>,
+    /// Shards finalized so far (clean exits and completed adoptions); the
+    /// reactor's worker set exits when this reaches the shard count.
+    finished: AtomicUsize,
+    /// Whether checkpoint replication (and hence standby adoption) is on.
+    replication: bool,
+}
+
+impl FailoverBoard {
+    fn new(shards: usize, replication: bool) -> Self {
+        FailoverBoard {
+            liveness: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            claimed: (0..shards).map(|_| AtomicBool::new(false)).collect(),
+            recovered: (0..shards).map(|_| AtomicBool::new(false)).collect(),
+            deaths: (0..shards).map(|_| Mutex::new(None)).collect(),
+            dead_outputs: Mutex::new(Vec::new()),
+            finished: AtomicUsize::new(0),
+            replication,
+        }
+    }
+
+    /// Bump the shard's liveness epoch (one per pass). The sentinels are
+    /// terminal: a dead or finished shard never looks live again.
+    fn beat(&self, shard: usize) {
+        let cell = &self.liveness[shard];
+        // ORDER: the epoch has a single writer (the hosting worker), so a
+        // relaxed read of our own last store is exact.
+        let epoch = cell.load(Ordering::Relaxed);
+        if epoch < LIVENESS_FINISHED {
+            // ORDER: single writer per live shard; Release pairs with the
+            // SeqCst readers below.
+            cell.store(epoch + 1, Ordering::Release);
+        }
+    }
+
+    /// Publish a death: certificate first, then the liveness sentinel, so
+    /// any observer of `is_dead` finds the certificate present.
+    fn mark_dead(&self, shard: usize, panic_msg: String) {
+        *locked(&self.deaths[shard]) = Some(ShardDeath {
+            panic_msg,
+            died_at: Instant::now(),
+        });
+        self.liveness[shard].store(LIVENESS_DEAD, Ordering::SeqCst);
+    }
+
+    fn mark_finished(&self, shard: usize) {
+        self.liveness[shard].store(LIVENESS_FINISHED, Ordering::SeqCst);
+    }
+
+    fn is_dead(&self, shard: usize) -> bool {
+        self.liveness[shard].load(Ordering::SeqCst) == LIVENESS_DEAD
+    }
+
+    fn is_finished(&self, shard: usize) -> bool {
+        self.liveness[shard].load(Ordering::SeqCst) == LIVENESS_FINISHED
+    }
+
+    /// Win (or lose) the exclusive right to adopt a dead shard.
+    fn try_claim(&self, shard: usize) -> bool {
+        self.claimed[shard]
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    fn death_instant(&self, shard: usize) -> Option<Instant> {
+        locked(&self.deaths[shard]).as_ref().map(|d| d.died_at)
+    }
+
+    /// File a dead shard's final output (assembled from its carcass) and
+    /// mark the shard recovered.
+    fn push_dead_output(&self, output: ShardOutput) {
+        let shard = output.shard;
+        locked(&self.dead_outputs).push(output);
+        self.recovered[shard].store(true, Ordering::SeqCst);
+        self.finished.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn take_dead_outputs(&self) -> Vec<ShardOutput> {
+        std::mem::take(&mut *locked(&self.dead_outputs))
+    }
+
+    /// Record one more finalized shard; returns the new total.
+    fn note_finished(&self) -> usize {
+        self.finished.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    fn finished_count(&self) -> usize {
+        self.finished.load(Ordering::SeqCst)
+    }
+
+    /// A death no standby recovered from (replication off, or the standby
+    /// itself died — possibly mid-takeover). `join` turns this into
+    /// [`PoolError::WorkerFailed`].
+    fn unrecovered_death(&self) -> Option<(usize, String)> {
+        (0..self.liveness.len()).find_map(|shard| {
+            if !self.is_dead(shard) || self.recovered[shard].load(Ordering::SeqCst) {
+                return None;
+            }
+            let msg = locked(&self.deaths[shard])
+                .as_ref()
+                .map(|death| death.panic_msg.clone())
+                .unwrap_or_else(|| "shard worker panicked".to_string());
+            Some((shard, msg))
+        })
+    }
+
+    /// A dead shard that can never be adopted: replication off, or its
+    /// standby (the next shard) is itself dead or already finished. The
+    /// reactor aborts on this instead of waiting forever.
+    fn has_orphan_death(&self) -> bool {
+        let shards = self.liveness.len();
+        (0..shards).any(|shard| {
+            if !self.is_dead(shard) || self.recovered[shard].load(Ordering::SeqCst) {
+                return false;
+            }
+            if !self.replication {
+                return true;
+            }
+            let standby = (shard + 1) % shards;
+            self.is_dead(standby) || self.is_finished(standby)
+        })
+    }
+}
+
+/// Everything the failover protocol shares between workers, generic over
+/// the teacher: the hosted shard-state slots, the blackboard, and the
+/// checkpoint-replica store.
+///
+/// `states[i]` hosts shard *i*'s machine until the shard finishes (slot
+/// emptied) or dies (the carcass stays in the slot for its standby). Under
+/// the thread-per-shard driver each worker holds its own slot's guard for
+/// its whole life, so the only way in for a standby is after the owner
+/// died — unwinding poisons the mutex, which [`locked`] deliberately
+/// recovers.
+struct FailoverShared<T: Teacher> {
+    states: Vec<Mutex<Option<ShardState<T>>>>,
+    board: Arc<FailoverBoard>,
+    replicas: Option<Arc<ReplicaStore>>,
 }
 
 /// The client's endpoint onto the pool: same surface as the single-stream
@@ -1468,6 +2205,14 @@ pub struct StreamClient {
     shard_wakers: Option<Arc<Vec<st_net::Waker>>>,
     /// Pool-wide measured-traffic counters (this client credits uplink).
     wire: Arc<WireMeter>,
+    /// Failover blackboard, consulted by [`ClientEndpoint::reconnect`]: a
+    /// client caught mid-takeover can tell whether its routed shard is a
+    /// carcass (retry later) or live again (resume sending).
+    board: Arc<FailoverBoard>,
+    /// Latched when the downlink channel reports disconnected. The downlink
+    /// sender survives takeovers (it moves with the session), so a closed
+    /// downlink means the session itself is gone — no reconnect re-dials it.
+    downlink_closed: bool,
 }
 
 impl StreamClient {
@@ -1538,6 +2283,7 @@ impl ClientEndpoint for StreamClient {
             Ok((_bytes, msg)) => Ok(Some(msg)),
             Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
             Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                self.downlink_closed = true;
                 Err(TransportError::Disconnected)
             }
         }
@@ -1551,8 +2297,27 @@ impl ClientEndpoint for StreamClient {
             Ok((_bytes, msg)) => Ok(msg),
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(TransportError::Timeout),
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                self.downlink_closed = true;
                 Err(TransportError::Disconnected)
             }
+        }
+    }
+
+    /// Re-dial after a takeover: the adoption flips this stream's shared
+    /// route, so re-reading it *is* the reconnect. `Ok(())` once the
+    /// routed shard is live again; `Err(Timeout)` while it is still a
+    /// carcass (back off and retry — a standby may adopt it);
+    /// `Err(Disconnected)` once the session itself is gone (closed
+    /// downlink), which no retry re-dials.
+    fn reconnect(&mut self) -> std::result::Result<(), TransportError> {
+        if self.downlink_closed {
+            return Err(TransportError::Disconnected);
+        }
+        let shard = self.route.load(Ordering::SeqCst);
+        if self.board.is_dead(shard) {
+            Err(TransportError::Timeout)
+        } else {
+            Ok(())
         }
     }
 }
@@ -1589,6 +2354,9 @@ pub struct ServerPool {
     /// once the uplinks are dropped so each one observes the disconnect and
     /// runs its exit protocol.
     shard_wakers: Option<Arc<Vec<st_net::Waker>>>,
+    /// Failover blackboard: worker deaths, adoption claims, and the dead
+    /// shards' standby-assembled final outputs.
+    board: Arc<FailoverBoard>,
 }
 
 impl ServerPool {
@@ -1611,6 +2379,13 @@ impl ServerPool {
         let steal = Arc::new(StealRegistry::new(pool_config.shards));
         let placements: Placements = Arc::new(Mutex::new(HashMap::new()));
         let wire = Arc::new(WireMeter::default());
+        let board = Arc::new(FailoverBoard::new(
+            pool_config.shards,
+            pool_config.replication,
+        ));
+        let replicas = pool_config
+            .replication
+            .then(|| Arc::new(ReplicaStore::new(pool_config.shards)));
         let mut uplinks = Vec::with_capacity(pool_config.shards);
         let mut registries = Vec::with_capacity(pool_config.shards);
         let mut workers = Vec::new();
@@ -1640,15 +2415,21 @@ impl ServerPool {
                     Arc::clone(&steal),
                     Arc::clone(&placements),
                     Some(Arc::clone(&shard_wakers)),
+                    Arc::clone(&board),
+                    replicas.clone(),
                 ))));
                 uplinks.push(tx);
                 registries.push(registry);
             }
-            let shared = Arc::new(ReactorShared {
+            let failover = Arc::new(FailoverShared {
                 states,
+                board: Arc::clone(&board),
+                replicas,
+            });
+            let shared = Arc::new(ReactorShared {
+                failover,
                 poller,
                 timers: Mutex::new(TimerWheel::new(Instant::now(), Duration::from_millis(1))),
-                finished: AtomicUsize::new(0),
                 aborted: AtomicBool::new(false),
                 rerun: (0..pool_config.shards)
                     .map(|_| AtomicBool::new(false))
@@ -1676,8 +2457,10 @@ impl ServerPool {
                 workers,
                 shard_wakers: Some(shard_wakers),
                 wire,
+                board,
             });
         }
+        let mut states = Vec::with_capacity(pool_config.shards);
         for shard_index in 0..pool_config.shards {
             let (tx, rx) = crossbeam::channel::unbounded::<Envelope>();
             let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
@@ -1687,22 +2470,31 @@ impl ServerPool {
                 teacher_factory(shard_index),
                 distill_step_latency,
             );
-            let worker_registry = Arc::clone(&registry);
-            let worker_steal = Arc::clone(&steal);
-            let worker_placements = Arc::clone(&placements);
-            workers.push(std::thread::spawn(move || {
-                run_worker(
-                    shard,
-                    rx,
-                    worker_registry,
-                    pool_config,
-                    shard_index,
-                    worker_steal,
-                    worker_placements,
-                )
-            }));
+            states.push(Mutex::new(Some(ShardState::new(
+                shard,
+                rx,
+                Arc::clone(&registry),
+                pool_config,
+                shard_index,
+                Arc::clone(&steal),
+                Arc::clone(&placements),
+                None,
+                Arc::clone(&board),
+                replicas.clone(),
+            ))));
             uplinks.push(tx);
             registries.push(registry);
+        }
+        let failover = Arc::new(FailoverShared {
+            states,
+            board: Arc::clone(&board),
+            replicas,
+        });
+        for shard_index in 0..pool_config.shards {
+            let worker_failover = Arc::clone(&failover);
+            workers.push(std::thread::spawn(move || {
+                run_hosted_worker(worker_failover, shard_index, pool_config)
+            }));
         }
         Ok(ServerPool {
             pool_config,
@@ -1713,6 +2505,7 @@ impl ServerPool {
             workers,
             shard_wakers: None,
             wire,
+            board,
         })
     }
 
@@ -1799,6 +2592,22 @@ impl ServerPool {
                     self.steal.least_loaded()
                 }
             };
+            // A dead shard accepts no new streams; place on the
+            // least-loaded live shard instead.
+            let shard = if self.board.is_dead(shard) {
+                let loads = self.steal.loads_snapshot();
+                let Some(live) = (0..loads.len())
+                    .filter(|&candidate| !self.board.is_dead(candidate))
+                    .min_by_key(|&candidate| loads[candidate])
+                else {
+                    return Err(TensorError::InvalidArgument(
+                        "every pool shard has failed".into(),
+                    ));
+                };
+                live
+            } else {
+                shard
+            };
             self.steal.load_inc(shard);
             let route: Route = Arc::new(AtomicUsize::new(shard));
             placements.insert(stream_id, Arc::clone(&route));
@@ -1824,6 +2633,8 @@ impl ServerPool {
             downlink: down_rx,
             shard_wakers: self.shard_wakers.clone(),
             wire: Arc::clone(&self.wire),
+            board: Arc::clone(&self.board),
+            downlink_closed: false,
         };
         // Registration is the client's first uplink message; sending it here
         // lets callers immediately block on the initial checkpoint. A failed
@@ -1846,7 +2657,13 @@ impl ServerPool {
     /// Drop the pool's uplink handles and join every worker, collecting the
     /// aggregate statistics. Clients must have dropped (or finished with)
     /// their `StreamClient`s for the workers' queues to disconnect.
-    pub fn join(self) -> Result<PoolStats> {
+    ///
+    /// A worker death no standby recovered from (replication off, or the
+    /// standby itself was gone) surfaces as [`PoolError::WorkerFailed`],
+    /// carrying the shard index and the actual panic payload. Recovered
+    /// deaths are not errors: the adopted shards' reports — assembled by
+    /// their standby — appear in the stats like everyone else's.
+    pub fn join(self) -> std::result::Result<PoolStats, PoolError> {
         drop(self.uplinks);
         drop(self.registries);
         // Reactor shards park until a token wakes them; with the uplinks now
@@ -1859,12 +2676,26 @@ impl ServerPool {
         }
         let shards = self.pool_config.shards;
         let mut outputs: Vec<ShardOutput> = Vec::with_capacity(shards);
-        for worker in self.workers {
-            outputs.extend(
-                worker
-                    .join()
-                    .map_err(|_| TensorError::InvalidArgument("shard worker panicked".into()))??,
-            );
+        for (worker_index, worker) in self.workers.into_iter().enumerate() {
+            match worker.join() {
+                Ok(result) => outputs.extend(result?),
+                // A panic that escaped the worker's own catch_unwind (e.g.
+                // in the reactor's timer plumbing). Thread index equals
+                // shard index only under the thread-per-shard driver, but
+                // it is the best attribution available here.
+                Err(payload) => {
+                    return Err(PoolError::WorkerFailed {
+                        shard: worker_index,
+                        panic_msg: panic_message(payload.as_ref()),
+                    });
+                }
+            }
+        }
+        // Dead shards return nothing through their join handles; their
+        // standby filed their outputs on the board.
+        outputs.extend(self.board.take_dead_outputs());
+        if let Some((shard, panic_msg)) = self.board.unrecovered_death() {
+            return Err(PoolError::WorkerFailed { shard, panic_msg });
         }
         // Reactor workers finalize shards in completion order; present the
         // report in shard order regardless of driver.
@@ -1874,6 +2705,7 @@ impl ServerPool {
             streams: HashMap::new(),
             final_checkpoints: HashMap::new(),
             wait_samples: Vec::with_capacity(shards),
+            takeover_samples: Vec::new(),
             // ORDER: Relaxed — every writer has been joined above; these
             // loads cannot race.
             wire_bytes_up: self.wire.up.load(Ordering::Relaxed),
@@ -1884,6 +2716,7 @@ impl ServerPool {
             stats.streams.extend(output.streams);
             stats.final_checkpoints.extend(output.final_checkpoints);
             stats.wait_samples.push(output.wait_samples);
+            stats.takeover_samples.extend(output.takeover_samples);
         }
         Ok(stats)
     }
@@ -1925,6 +2758,11 @@ type AwaitingFrames = HashMap<StreamId, HashMap<usize, Vec<ScheduledJob>>>;
 /// actually served after the re-share. Every *newly sent* `NeedFrame`
 /// request is appended to `need_frames_sent` so the reactor driver can arm
 /// a retry timer for it (the legacy driver ignores the list).
+///
+/// Returns the streams whose session state advanced (an update was
+/// computed), i.e. exactly the set whose checkpoint replicas are now stale
+/// and must be re-published.
+#[allow(clippy::too_many_arguments)]
 fn process_scheduled<T: Teacher>(
     shard: &mut ServeShard<T>,
     batch: &[ScheduledJob],
@@ -1933,9 +2771,10 @@ fn process_scheduled<T: Teacher>(
     clock: &mut WorkerClock,
     awaiting: &mut AwaitingFrames,
     need_frames_sent: &mut Vec<(StreamId, usize)>,
-) -> Result<()> {
+    lost_acks: &mut usize,
+) -> Result<Vec<StreamId>> {
     if batch.is_empty() {
-        return Ok(());
+        return Ok(Vec::new());
     }
     let started = Instant::now();
     let jobs: Vec<ShardJob> = batch.iter().map(|s| s.job).collect();
@@ -1958,9 +2797,11 @@ fn process_scheduled<T: Teacher>(
             jobs.push(*scheduled);
             if request_content {
                 if let Some(downlink) = downlinks.get(&key.0) {
-                    let _ = downlink.send(
+                    deliver(
+                        downlink,
                         MESSAGE_OVERHEAD_BYTES,
                         ServerToClient::NeedFrame { frame_index: key.1 },
+                        lost_acks,
                     );
                 }
                 need_frames_sent.push(key);
@@ -1975,7 +2816,13 @@ fn process_scheduled<T: Teacher>(
         meter.wait_total += wait;
         meter.wait_max = meter.wait_max.max(wait);
     }
+    let mut updated: Vec<StreamId> = Vec::new();
     for (stream_id, frame_index, response) in outcome.responses {
+        // The session advanced whether or not the client is still there —
+        // the replica must follow the weights, not the downlink.
+        if !updated.contains(&stream_id) {
+            updated.push(stream_id);
+        }
         let Some(downlink) = downlinks.get(&stream_id) else {
             continue;
         };
@@ -1988,22 +2835,24 @@ fn process_scheduled<T: Teacher>(
             payload,
         };
         // A client that hung up mid-stream only loses its own updates.
-        let _ = downlink.send(bytes, msg);
+        deliver(downlink, bytes, msg, lost_acks);
     }
     for (job, reason) in outcome.dropped {
         meters.entry(job.stream_id).or_default().dropped += 1;
         if let Some(downlink) = downlinks.get(&job.stream_id) {
-            let _ = downlink.send(
+            deliver(
+                downlink,
                 MESSAGE_OVERHEAD_BYTES,
                 ServerToClient::Dropped {
                     frame_index: job.frame_index,
                     reason,
                 },
+                lost_acks,
             );
         }
     }
     clock.busy_time += started.elapsed();
-    Ok(())
+    Ok(updated)
 }
 
 /// Credit a door-rejected key frame to the stream's live meter — or, when
@@ -2156,6 +3005,7 @@ fn maybe_donate<T: Teacher>(
             Some((
                 MigratedStream {
                     stream_id,
+                    from_shard: shard_index,
                     entry,
                     downlink,
                     meter,
@@ -2244,6 +3094,34 @@ struct ShardState<T: Teacher> {
     timer_fires: usize,
     poll_wakeups: usize,
     idle_streams_peak: usize,
+    /// Failover blackboard (liveness, deaths, adoption claims).
+    board: Arc<FailoverBoard>,
+    /// Checkpoint-replica store; `Some` iff [`PoolConfig::replication`].
+    replicas: Option<Arc<ReplicaStore>>,
+    /// Co-scheduled batches completed — the fault plan's kill clock.
+    batches_processed: usize,
+    /// Remaining mailbox drains to skip ([`FaultPlan::defer_mailbox`]).
+    defer_mailbox_left: u32,
+    /// A torn kill parks the batch it tore out of the scheduler here on the
+    /// way down, so the adopting standby can drop-ack exactly those jobs
+    /// with [`DropReason::ShardFailed`].
+    torn_jobs: Vec<ScheduledJob>,
+    /// Uplink receivers of shards this one adopted: their clients may have
+    /// enqueued traffic before the routing flip, so the standby drains them
+    /// alongside its own for the rest of the pool's life.
+    adopted_rx: Vec<crossbeam::channel::Receiver<Envelope>>,
+    /// Connect-time registries of adopted shards, consulted when a
+    /// `Register` raced the death.
+    adopted_registries: Vec<Registry>,
+    /// Which shard each `adopted_registries`/`adopted_rx` entry came from.
+    adopted_shards: Vec<usize>,
+    failovers: usize,
+    streams_adopted: usize,
+    frames_lost: usize,
+    lost_acks: usize,
+    replica_published: usize,
+    replica_shared: usize,
+    takeover_samples: Vec<f64>,
 }
 
 /// What one [`ShardState::run_pass`] left behind, telling the reactor driver
@@ -2275,9 +3153,16 @@ impl<T: Teacher> ShardState<T> {
         steal: Arc<StealRegistry>,
         placements: Placements,
         shard_wakers: Option<Arc<Vec<st_net::Waker>>>,
+        board: Arc<FailoverBoard>,
+        replicas: Option<Arc<ReplicaStore>>,
     ) -> Self {
         let batcher = AdaptiveBatch::new(pool_config.max_batch, pool_config.adaptive_batch);
         let batch_limit_peak = batcher.limit();
+        let defer_mailbox_left = if pool_config.fault_plan.target == Some(shard_index) {
+            pool_config.fault_plan.defer_mailbox
+        } else {
+            0
+        };
         ShardState {
             shard_index,
             pool_config,
@@ -2313,6 +3198,21 @@ impl<T: Teacher> ShardState<T> {
             timer_fires: 0,
             poll_wakeups: 0,
             idle_streams_peak: 0,
+            board,
+            replicas,
+            batches_processed: 0,
+            defer_mailbox_left,
+            torn_jobs: Vec::new(),
+            adopted_rx: Vec::new(),
+            adopted_registries: Vec::new(),
+            adopted_shards: Vec::new(),
+            failovers: 0,
+            streams_adopted: 0,
+            frames_lost: 0,
+            lost_acks: 0,
+            replica_published: 0,
+            replica_shared: 0,
+            takeover_samples: Vec::new(),
         }
     }
 
@@ -2326,6 +3226,13 @@ impl<T: Teacher> ShardState<T> {
     /// not pin this thief while a third shard drowns.
     fn ingest_mailbox(&mut self, incoming: &mut Vec<Envelope>) {
         if !self.stealing {
+            return;
+        }
+        // Injected delivery-delay fault: skip the drain entirely, leaving
+        // migrations and forwarded traffic sitting in the mailbox one extra
+        // pass per deferral.
+        if self.defer_mailbox_left > 0 {
+            self.defer_mailbox_left -= 1;
             return;
         }
         let (migrated, mut mailbox_envelopes) = self.steal.drain_mailbox(self.shard_index);
@@ -2351,6 +3258,11 @@ impl<T: Teacher> ShardState<T> {
     /// frame cache, queued jobs and downlink.
     fn on_migration(&mut self, migrated: MigratedStream) {
         self.events_dispatched += 1;
+        // The stream's checkpoint replica follows it: the content did not
+        // change, only which shard's death would orphan it.
+        if let Some(store) = &self.replicas {
+            store.move_owner(migrated.stream_id, migrated.from_shard, self.shard_index);
+        }
         adopt_migrated(
             migrated,
             &mut self.shard,
@@ -2377,6 +3289,16 @@ impl<T: Teacher> ShardState<T> {
                 }
             }
         }
+        // Dead shards' uplinks keep receiving from clients that loaded the
+        // route before the takeover flipped it; as their adopter we drain
+        // those queues for the rest of the pool's life. (Only *our* uplink
+        // decides `disconnected` — an adopted channel closing just means
+        // its last client left.)
+        for rx in &self.adopted_rx {
+            while let Ok(envelope) = rx.try_recv() {
+                incoming.push(envelope);
+            }
+        }
     }
 
     /// Handle one uplink envelope: control messages in arrival order; key
@@ -2396,6 +3318,17 @@ impl<T: Teacher> ShardState<T> {
                 .get(&stream_id)
                 .map(|route| route.load(Ordering::SeqCst));
             match owner {
+                Some(other)
+                    if other != self.shard_index && self.adopted_shards.contains(&other) =>
+                {
+                    // The route still names a shard whose streams we
+                    // adopted; its mailbox is closed, so forwarding would
+                    // strand the envelope. Re-point the route here and
+                    // serve the envelope locally.
+                    if let Some(route) = locked(&self.placements).get(&stream_id) {
+                        route.store(self.shard_index, Ordering::SeqCst);
+                    }
+                }
                 Some(other) if other != self.shard_index => {
                     match self.steal.forward_envelope(other, envelope) {
                         Ok(()) => {
@@ -2405,6 +3338,13 @@ impl<T: Teacher> ShardState<T> {
                             if let Some(wakers) = &self.shard_wakers {
                                 wakers[other].wake();
                             }
+                        }
+                        Err(undelivered) if self.board.is_dead(other) => {
+                            // The owner died and its standby is mid-takeover
+                            // (the mailbox closes before the routing flip).
+                            // Defer: the retry after the next mailbox drain
+                            // will see the flipped route.
+                            self.deferred.push(undelivered);
                         }
                         Err(_undelivered) => {
                             // The owning worker already exited (so its
@@ -2433,7 +3373,22 @@ impl<T: Teacher> ShardState<T> {
         self.uplink_bytes += envelope.bytes;
         match envelope.tagged.message {
             ClientToServer::Register => {
-                let Some(link) = locked(&self.registry).remove(&stream_id) else {
+                let mut link = locked(&self.registry).remove(&stream_id);
+                if link.is_none() {
+                    // A Register that raced its shard's death lands here
+                    // via the adopted uplink; the connect-time entry still
+                    // sits in the dead shard's registry. Serve it — and
+                    // re-home the connect-time load credit.
+                    for (slot, registry) in self.adopted_registries.iter().enumerate() {
+                        if let Some(found) = locked(registry).remove(&stream_id) {
+                            self.steal.load_dec(self.adopted_shards[slot]);
+                            self.steal.load_inc(self.shard_index);
+                            link = Some(found);
+                            break;
+                        }
+                    }
+                }
+                let Some(link) = link else {
                     // Register without a connect-time registry entry —
                     // counted instead of silently ignored.
                     self.unknown_registers += 1;
@@ -2442,10 +3397,16 @@ impl<T: Teacher> ShardState<T> {
                 let initial = self.shard.register(stream_id, link.frames);
                 let payload = Payload::with_data(initial.encode());
                 let bytes = payload.bytes;
-                let _ = link
-                    .downlink
-                    .send(bytes, ServerToClient::InitialStudent { payload });
+                deliver(
+                    &link.downlink,
+                    bytes,
+                    ServerToClient::InitialStudent { payload },
+                    &mut self.lost_acks,
+                );
                 self.downlinks.insert(stream_id, link.downlink);
+                // The registration-time checkpoint is the replica's
+                // baseline: from here on the stream is recoverable.
+                self.publish_replicas(&[stream_id]);
             }
             ClientToServer::KeyFrame {
                 frame_index,
@@ -2466,12 +3427,14 @@ impl<T: Teacher> ShardState<T> {
                     self.enqueue_drops += 1;
                     note_drop(&mut self.streams, &mut self.meters, stream_id);
                     if let Some(downlink) = self.downlinks.get(&stream_id) {
-                        let _ = downlink.send(
+                        deliver(
+                            downlink,
                             MESSAGE_OVERHEAD_BYTES,
                             ServerToClient::Dropped {
                                 frame_index,
                                 reason,
                             },
+                            &mut self.lost_acks,
                         );
                     }
                     return Ok(());
@@ -2486,9 +3449,11 @@ impl<T: Teacher> ShardState<T> {
                     self.throttled += 1;
                     note_throttle(&mut self.streams, &mut self.meters, stream_id);
                     if let Some(downlink) = self.downlinks.get(&stream_id) {
-                        let _ = downlink.send(
+                        deliver(
+                            downlink,
                             MESSAGE_OVERHEAD_BYTES,
                             ServerToClient::Throttle { frame_index },
+                            &mut self.lost_acks,
                         );
                     }
                     return Ok(());
@@ -2539,12 +3504,14 @@ impl<T: Teacher> ShardState<T> {
                     self.enqueue_drops += 1;
                     note_drop(&mut self.streams, &mut self.meters, stream_id);
                     if let Some(downlink) = self.downlinks.get(&stream_id) {
-                        let _ = downlink.send(
+                        deliver(
+                            downlink,
                             MESSAGE_OVERHEAD_BYTES,
                             ServerToClient::Dropped {
                                 frame_index,
                                 reason,
                             },
+                            &mut self.lost_acks,
                         );
                     }
                 }
@@ -2554,6 +3521,8 @@ impl<T: Teacher> ShardState<T> {
                 // updates are not lost, then retire the session.
                 let remaining = self.scheduler.remove_stream(stream_id);
                 for chunk in remaining.chunks(self.batcher.limit().max(1)) {
+                    // The flush's updates need no replica refresh: the
+                    // session retires (and its replica is dropped) below.
                     process_scheduled(
                         &mut self.shard,
                         chunk,
@@ -2562,6 +3531,7 @@ impl<T: Teacher> ShardState<T> {
                         &mut self.clock,
                         &mut self.awaiting,
                         &mut self.need_frames_sent,
+                        &mut self.lost_acks,
                     )?;
                 }
                 // Jobs still parked for a re-share can never be served now —
@@ -2572,12 +3542,14 @@ impl<T: Teacher> ShardState<T> {
                             self.enqueue_drops += 1;
                             note_drop(&mut self.streams, &mut self.meters, stream_id);
                             if let Some(downlink) = self.downlinks.get(&stream_id) {
-                                let _ = downlink.send(
+                                deliver(
+                                    downlink,
                                     MESSAGE_OVERHEAD_BYTES,
                                     ServerToClient::Dropped {
                                         frame_index,
                                         reason: DropReason::UnknownFrame,
                                     },
+                                    &mut self.lost_acks,
                                 );
                             }
                         }
@@ -2592,6 +3564,10 @@ impl<T: Teacher> ShardState<T> {
                 ) {
                     self.streams.insert(stream_id, stream_stats);
                     self.final_checkpoints.insert(stream_id, checkpoint);
+                }
+                // A retired stream has nothing left to fail over.
+                if let Some(store) = &self.replicas {
+                    store.remove(self.shard_index, stream_id);
                 }
                 // The downlink stays open so late key frames of this stream
                 // still receive an explicit Dropped ack.
@@ -2644,11 +3620,27 @@ impl<T: Teacher> ShardState<T> {
     /// One fair co-scheduled batch per pass; the driver re-polls the uplink
     /// between batches so new arrivals join the next scheduling round.
     fn process_one_batch(&mut self) -> Result<()> {
+        // Injected kill: fires only while work is pending, so the crash
+        // always has observable consequences. A clean kill panics *before*
+        // the scheduler drain (every queued job survives in the carcass); a
+        // torn kill drains the batch first and parks it in `torn_jobs`, so
+        // exactly one in-flight batch is genuinely lost and the standby
+        // must drop-ack it with `DropReason::ShardFailed`.
+        let plan = self.pool_config.fault_plan;
+        if plan.kill_due(self.shard_index, self.batches_processed) && !self.scheduler.is_empty() {
+            if plan.torn_kill {
+                self.torn_jobs = self.scheduler.next_batch(self.batcher.limit());
+            }
+            panic!(
+                "fault injection (seed {}): shard {} killed at batch {}",
+                plan.seed, self.shard_index, self.batches_processed
+            );
+        }
         let batch = self.scheduler.next_batch(self.batcher.limit());
         if batch.is_empty() {
             return Ok(());
         }
-        process_scheduled(
+        let updated = process_scheduled(
             &mut self.shard,
             &batch,
             &self.downlinks,
@@ -2656,13 +3648,43 @@ impl<T: Teacher> ShardState<T> {
             &mut self.clock,
             &mut self.awaiting,
             &mut self.need_frames_sent,
+            &mut self.lost_acks,
         )?;
+        self.publish_replicas(&updated);
+        self.batches_processed += 1;
         self.batcher.observe(
             self.scheduler.len(),
             self.shard.batch_growth_pays(self.batcher.limit()),
         );
         self.batch_limit_peak = self.batch_limit_peak.max(self.batcher.limit());
         Ok(())
+    }
+
+    /// Re-publish the checkpoint replicas of every stream whose session
+    /// just advanced. Content-hash chunking means the parts a partial
+    /// distillation never unfreezes are deduplicated, not recopied.
+    fn publish_replicas(&mut self, updated: &[StreamId]) {
+        let Some(store) = self.replicas.clone() else {
+            return;
+        };
+        for &stream_id in updated {
+            let Some((checkpoint, key_frames, distill_steps, known_frames)) =
+                self.shard.session_replica(stream_id)
+            else {
+                continue;
+            };
+            let (published, shared) = store.publish(
+                self.shard_index,
+                stream_id,
+                &checkpoint,
+                key_frames,
+                distill_steps,
+                self.scheduler.deficit_of(stream_id),
+                known_frames,
+            );
+            self.replica_published += published;
+            self.replica_shared += shared;
+        }
     }
 
     /// Record the high-water mark of registered-but-quiet streams — the
@@ -2696,12 +3718,209 @@ impl<T: Teacher> ShardState<T> {
         self.steal.mailbox_streams_empty(self.shard_index)
     }
 
-    /// One non-blocking pass of the shard state machine: mailbox, deferred
-    /// retries, uplink drain, envelope handlers, steal participation, one
-    /// co-scheduled batch. This is the reactor's dispatch unit; the legacy
-    /// driver runs the same stages inline so it can block between them.
-    fn run_pass(&mut self) -> Result<PassOutcome> {
+    /// The shard whose death this one stands by for: its predecessor in the
+    /// ring (shard `k`'s standby is `k + 1`, so shard `b` watches `b - 1`).
+    fn ward(&self) -> usize {
+        (self.shard_index + self.pool_config.shards - 1) % self.pool_config.shards
+    }
+
+    /// Failover housekeeping, run once per pass: beat our liveness epoch
+    /// and, as the warm standby for our ward, adopt its streams if it died.
+    /// The claim CAS guarantees exactly one adopter even if another path
+    /// (e.g. a future multi-standby scheme) races us.
+    fn failover_tick(&mut self, failover: &FailoverShared<T>) -> Result<()> {
+        self.board.beat(self.shard_index);
+        if self.replicas.is_none() {
+            return Ok(());
+        }
+        let ward = self.ward();
+        if ward != self.shard_index && self.board.is_dead(ward) && self.board.try_claim(ward) {
+            self.take_over(ward, failover)?;
+        }
+        Ok(())
+    }
+
+    /// Adopt a dead ward's entire serving surface: restore its sessions
+    /// from their replicated checkpoints, flip its routes here, re-queue
+    /// its surviving jobs, drop-ack what is genuinely lost, and assemble
+    /// its final report from the carcass.
+    fn take_over(&mut self, dead: usize, failover: &FailoverShared<T>) -> Result<()> {
+        // The carcass: the dead worker's state machine, left in its slot by
+        // the unwind. `locked` recovers the poison the unwind left behind.
+        // An empty slot means the shard actually finished cleanly and the
+        // death raced the exit — nothing to adopt.
+        let Some(mut carcass) = locked(&failover.states[dead]).take() else {
+            return Ok(());
+        };
+        // The dead thief can no longer answer a fulfilment. If the
+        // withdrawal loses the race, the stream is already in the dead
+        // shard's mailbox — the close below adopts it.
+        if let Some((victim, _posted_at)) = carcass.requested.take() {
+            let _ = self.steal.withdraw_request(victim, dead);
+        }
+        // Close the dead shard's mailbox: streams donated to it are adopted
+        // here (they exist nowhere else — the donor already released them);
+        // forwarded envelopes are deferred and retried once routes flip.
+        let (stranded, leftovers) = self.steal.close_mailbox(dead);
+        for migrated in stranded {
+            self.streams_adopted += 1;
+            self.on_migration(migrated);
+        }
+        self.deferred.extend(leftovers);
+        // Zero the dead shard's steal surface so no thief keeps waiting on
+        // it and no donor targets it.
+        self.steal.clear_request(dead);
+        self.steal.publish_backlog(dead, 0);
+        // Routing flip: every stream the table still points at the dead
+        // shard — including connected-but-unregistered ones — now routes
+        // here. Clients that loaded the old value already enqueued into the
+        // dead uplink, which we drain via `adopted_rx` below.
+        {
+            let placements = locked(&self.placements);
+            for route in placements.values() {
+                if route.load(Ordering::SeqCst) == dead {
+                    route.store(self.shard_index, Ordering::SeqCst);
+                }
+            }
+        }
+        // Restore every replicated session: full weights from the
+        // content-addressed store, distillation counters, unspent DRR
+        // deficit, and a known-but-evicted frame cache whose content the
+        // existing NeedFrame/ReShare recovery re-fetches on demand.
+        let mut restored: Vec<StreamId> = Vec::new();
+        if let Some(store) = self.replicas.clone() {
+            for (stream_id, replica) in store.take_owner(dead) {
+                let snapshot =
+                    WeightSnapshot::from_entry_chunks(replica.chunks, SnapshotScope::Full)?;
+                let frames = FrameStore::from_known_indices(
+                    &replica.known_frames,
+                    self.pool_config.frame_budget_bytes,
+                );
+                self.shard.restore_stream(
+                    stream_id,
+                    &snapshot,
+                    replica.key_frames,
+                    replica.distill_steps,
+                    frames,
+                )?;
+                self.scheduler.set_deficit(stream_id, replica.deficit);
+                self.steal.load_dec(dead);
+                self.steal.load_inc(self.shard_index);
+                self.streams_adopted += 1;
+                restored.push(stream_id);
+            }
+        }
+        // The adopted sessions are ours now; replicate them under our slot
+        // so a second failure stays recoverable.
+        self.publish_replicas(&restored);
+        // Per-stream plumbing survives the crash: downlinks (the clients
+        // are still connected) and live wait meters.
+        for (stream_id, downlink) in carcass.downlinks.drain() {
+            self.downlinks.entry(stream_id).or_insert(downlink);
+        }
+        for (stream_id, meter) in carcass.meters.drain() {
+            let merged = self.meters.entry(stream_id).or_default();
+            merged.wait_total += meter.wait_total;
+            merged.wait_max = merged.wait_max.max(meter.wait_max);
+            merged.throttled += meter.throttled;
+            merged.dropped += meter.dropped;
+        }
+        // Queued jobs survived in the carcass scheduler (a clean kill fires
+        // before the drain): re-queue them with their original arrival
+        // times. A job whose stream has no restored session is
+        // unrecoverable — explicit ShardFailed ack, never silence.
+        let requeued = carcass.scheduler.drain_all();
+        let torn = std::mem::take(&mut carcass.torn_jobs);
+        for job in requeued {
+            let stream_id = job.job.stream_id;
+            if self.shard.has_stream(stream_id) {
+                self.scheduler
+                    .push(stream_id, job.job.frame_index, job.enqueued_at);
+            } else {
+                self.drop_failed_job(stream_id, job.job.frame_index);
+            }
+        }
+        // A torn kill's in-flight batch died with the shard.
+        for job in torn {
+            self.drop_failed_job(job.job.stream_id, job.job.frame_index);
+        }
+        // Jobs parked for a re-share: merge them and re-issue one NeedFrame
+        // per parked index — the original request may have been answered
+        // into the dead shard's frame cache, which is gone.
+        for (stream_id, indices) in carcass.awaiting.drain() {
+            let parked = self.awaiting.entry(stream_id).or_default();
+            for (frame_index, jobs) in indices {
+                let entry = parked.entry(frame_index).or_default();
+                let request_content = entry.is_empty();
+                entry.extend(jobs);
+                if request_content {
+                    if let Some(downlink) = self.downlinks.get(&stream_id) {
+                        deliver(
+                            downlink,
+                            MESSAGE_OVERHEAD_BYTES,
+                            ServerToClient::NeedFrame { frame_index },
+                            &mut self.lost_acks,
+                        );
+                    }
+                    self.need_frames_sent.push((stream_id, frame_index));
+                }
+            }
+        }
+        // Envelopes the dead shard had deferred retry here instead.
+        self.deferred.append(&mut carcass.deferred);
+        // Adopt the dead shard's ingress for the rest of the pool's life:
+        // its uplink receiver (clients may race the routing flip), its
+        // connect-time registry (a Register may race the death), and — if
+        // the dead shard was itself an adopter — everything *it* adopted.
+        let (_closed_tx, closed_rx) = crossbeam::channel::unbounded();
+        self.adopted_rx
+            .push(std::mem::replace(&mut carcass.rx, closed_rx));
+        self.adopted_registries.push(Arc::clone(&carcass.registry));
+        self.adopted_shards.push(dead);
+        self.adopted_rx.append(&mut carcass.adopted_rx);
+        self.adopted_registries
+            .append(&mut carcass.adopted_registries);
+        self.adopted_shards.append(&mut carcass.adopted_shards);
+        // The carcass's sessions were superseded by the replica restore;
+        // keep their cache counters, then file the dead shard's report.
+        carcass.shard.discard_sessions();
+        let died_at = self.board.death_instant(dead);
+        self.board.push_dead_output(carcass_output(carcass));
+        self.failovers += 1;
+        if let Some(died_at) = died_at {
+            self.takeover_samples.push(died_at.elapsed().as_secs_f64());
+        }
+        Ok(())
+    }
+
+    /// Ack one job lost to a shard failure with [`DropReason::ShardFailed`].
+    fn drop_failed_job(&mut self, stream_id: StreamId, frame_index: usize) {
+        self.frames_lost += 1;
+        self.enqueue_drops += 1;
+        note_drop(&mut self.streams, &mut self.meters, stream_id);
+        if let Some(downlink) = self.downlinks.get(&stream_id) {
+            deliver(
+                downlink,
+                MESSAGE_OVERHEAD_BYTES,
+                ServerToClient::Dropped {
+                    frame_index,
+                    reason: DropReason::ShardFailed,
+                },
+                &mut self.lost_acks,
+            );
+        }
+    }
+
+    /// One non-blocking pass of the shard state machine: failover tick,
+    /// mailbox, deferred retries, uplink drain, envelope handlers, steal
+    /// participation, one co-scheduled batch. This is the reactor's
+    /// dispatch unit; the legacy driver runs the same stages inline so it
+    /// can block between them.
+    fn run_pass(&mut self, failover: &FailoverShared<T>) -> Result<PassOutcome> {
         self.need_frames_sent.clear();
+        // After the clear, never before: a takeover pushes NeedFrame
+        // re-requests that this pass's outcome must carry out.
+        self.failover_tick(failover)?;
         let mut incoming: Vec<Envelope> = Vec::new();
         self.ingest_mailbox(&mut incoming);
         // Envelopes that arrived ahead of their stream's migration retry
@@ -2747,9 +3966,11 @@ impl<T: Teacher> ShardState<T> {
             .is_some_and(|m| m.contains_key(&frame_index));
         if still_waiting {
             if let Some(downlink) = self.downlinks.get(&stream_id) {
-                let _ = downlink.send(
+                deliver(
+                    downlink,
                     MESSAGE_OVERHEAD_BYTES,
                     ServerToClient::NeedFrame { frame_index },
+                    &mut self.lost_acks,
                 );
             }
         }
@@ -2775,12 +3996,14 @@ impl<T: Teacher> ShardState<T> {
             self.enqueue_drops += 1;
             note_drop(&mut self.streams, &mut self.meters, stream_id);
             if let Some(downlink) = self.downlinks.get(&stream_id) {
-                let _ = downlink.send(
+                deliver(
+                    downlink,
                     MESSAGE_OVERHEAD_BYTES,
                     ServerToClient::Dropped {
                         frame_index,
                         reason: DropReason::UnknownFrame,
                     },
+                    &mut self.lost_acks,
                 );
             }
         }
@@ -2799,6 +4022,9 @@ impl<T: Teacher> ShardState<T> {
             ) {
                 self.streams.insert(stream_id, stream_stats);
                 self.final_checkpoints.insert(stream_id, checkpoint);
+            }
+            if let Some(store) = &self.replicas {
+                store.remove(self.shard_index, stream_id);
             }
         }
         if self.stealing {
@@ -2823,72 +4049,121 @@ impl<T: Teacher> ShardState<T> {
                     | ClientToServer::ReShare { frame_index, .. },
                 ) = (self.downlinks.get(&stream_id), envelope.tagged.message)
                 {
-                    let _ = downlink.send(
+                    deliver(
+                        downlink,
                         MESSAGE_OVERHEAD_BYTES,
                         ServerToClient::Dropped {
                             frame_index,
                             reason: DropReason::UnknownStream,
                         },
+                        &mut self.lost_acks,
                     );
                 }
             }
         }
-        let mut stats = self.shard.stats();
-        stats.queue_wait_total = self.clock.queue_wait_total;
-        stats.queue_wait_max = self.clock.queue_wait_max;
-        stats.busy_time = self.clock.busy_time;
-        stats.uplink_bytes = self.uplink_bytes;
-        stats.throttled = self.throttled;
-        stats.dropped_jobs += self.enqueue_drops;
-        stats.unknown_registers = self.unknown_registers;
-        stats.batch_limit_peak = self.batch_limit_peak;
-        stats.forwarded_messages = self.forwarded;
-        stats.events_dispatched = self.events_dispatched;
-        stats.timer_fires = self.timer_fires;
-        stats.poll_wakeups = self.poll_wakeups;
-        stats.idle_streams = self.idle_streams_peak;
-        ShardOutput {
-            shard: self.shard_index,
-            stats,
-            streams: self.streams,
-            final_checkpoints: self.final_checkpoints,
-            wait_samples: self.clock.wait_samples,
+        carcass_output(self)
+    }
+}
+
+/// Assemble a shard's final [`ShardOutput`] from its state machine. This is
+/// both the tail of the clean exit ([`ShardState::finish`]) and the whole
+/// of the post-mortem path — a standby files the dead shard's report from
+/// its carcass, so shard-indexed reports stay complete under failover.
+fn carcass_output<T: Teacher>(state: ShardState<T>) -> ShardOutput {
+    let mut stats = state.shard.stats();
+    stats.queue_wait_total = state.clock.queue_wait_total;
+    stats.queue_wait_max = state.clock.queue_wait_max;
+    stats.busy_time = state.clock.busy_time;
+    stats.uplink_bytes = state.uplink_bytes;
+    stats.throttled = state.throttled;
+    stats.dropped_jobs += state.enqueue_drops;
+    stats.unknown_registers = state.unknown_registers;
+    stats.batch_limit_peak = state.batch_limit_peak;
+    stats.forwarded_messages = state.forwarded;
+    stats.events_dispatched = state.events_dispatched;
+    stats.timer_fires = state.timer_fires;
+    stats.poll_wakeups = state.poll_wakeups;
+    stats.idle_streams = state.idle_streams_peak;
+    stats.failovers = state.failovers;
+    stats.streams_adopted = state.streams_adopted;
+    stats.frames_lost_on_failover = state.frames_lost;
+    stats.lost_acks = state.lost_acks;
+    stats.replica_bytes_published = state.replica_published;
+    stats.replica_bytes_shared = state.replica_shared;
+    ShardOutput {
+        shard: state.shard_index,
+        stats,
+        streams: state.streams,
+        final_checkpoints: state.final_checkpoints,
+        wait_samples: state.clock.wait_samples,
+        takeover_samples: state.takeover_samples,
+    }
+}
+
+/// The thread-per-shard worker: run the blocking loop under
+/// `catch_unwind`, so a shard death (injected or real) is published on the
+/// failover board instead of silently truncating the pool's report. The
+/// unwind drops the loop's state-slot guard, poisoning the mutex and
+/// leaving the carcass in place — exactly what the standby's takeover
+/// expects to find.
+fn run_hosted_worker<T: Teacher>(
+    failover: Arc<FailoverShared<T>>,
+    shard_index: usize,
+    pool_config: PoolConfig,
+) -> Result<Vec<ShardOutput>> {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_worker_loop(&failover, shard_index, pool_config)
+    }));
+    match result {
+        Ok(done) => done,
+        Err(payload) => {
+            // Publish the death *after* the unwind released the slot, so a
+            // standby that observes it can immediately take the carcass.
+            // With replication off, join() surfaces this as WorkerFailed.
+            failover
+                .board
+                .mark_dead(shard_index, panic_message(payload.as_ref()));
+            Ok(Vec::new())
         }
     }
 }
+
+/// Upper bound on how long an *idle* replicating worker blocks before
+/// re-running standby duty (checking its ward for a death certificate) —
+/// the thread-per-shard driver's detection cadence. The reactor driver's
+/// counterpart is `REACTOR_IDLE_TICK`. `st_sim::FailoverModel::detect_tick`
+/// mirrors whichever is larger.
+const FAILOVER_TICK: Duration = Duration::from_millis(25);
 
 /// The thread-per-shard worker loop: fair-queue incoming key frames per
 /// stream, handle registrations and shutdowns in arrival order, drain
 /// deficit-round-robin batches through the shard, and push responses onto
 /// each stream's downlink. Under [`PlacementPolicy::Rebalance`] the loop
 /// additionally adopts streams migrated to it, donates streams when an idle
-/// shard asks, and forwards traffic that raced a migration.
+/// shard asks, forwards traffic that raced a migration, and — as the warm
+/// standby for its ring predecessor — adopts that shard's streams if its
+/// worker dies.
 ///
 /// This is a thin blocking driver over [`ShardState`]; the same handlers run
 /// event-driven under [`run_reactor_worker`]. Returns a one-element vector so
-/// both drivers share the pool's worker-handle type.
-#[allow(clippy::too_many_arguments)]
-fn run_worker<T: Teacher>(
-    shard: ServeShard<T>,
-    rx: crossbeam::channel::Receiver<Envelope>,
-    registry: Registry,
-    pool_config: PoolConfig,
+/// both drivers share the pool's worker-handle type. The worker holds its
+/// state-slot guard for its whole life; see [`FailoverShared`].
+fn run_worker_loop<T: Teacher>(
+    failover: &FailoverShared<T>,
     shard_index: usize,
-    steal: Arc<StealRegistry>,
-    placements: Placements,
+    pool_config: PoolConfig,
 ) -> Result<Vec<ShardOutput>> {
-    let mut state = ShardState::new(
-        shard,
-        rx,
-        registry,
-        pool_config,
-        shard_index,
-        steal,
-        placements,
-        None,
-    );
+    let mut guard = locked(&failover.states[shard_index]);
     loop {
+        let Some(state) = guard.as_mut() else {
+            // Unreachable in practice: the slot is only emptied by this
+            // worker's own exit or by a standby adopting our *death*.
+            return Ok(Vec::new());
+        };
         state.need_frames_sent.clear();
+        // Heartbeat + standby duty (see ShardState::failover_tick). Runs
+        // after the clear so a takeover's NeedFrame re-requests survive.
+        state.failover_tick(failover)?;
         let mut incoming: Vec<Envelope> = Vec::new();
         state.ingest_mailbox(&mut incoming);
         // Envelopes that arrived ahead of their stream's migration retry
@@ -2906,20 +4181,25 @@ fn run_worker<T: Teacher>(
                 continue;
             }
             // A stealing worker wakes every `steal_poll` to look for (and
-            // offer) work; a static worker can block the full timeout.
+            // offer) work; a replicating worker wakes every `FAILOVER_TICK`
+            // so standby duty (death detection) stays bounded even when
+            // idle; a static worker can block the full timeout.
             let timeout = if state.stealing {
                 pool_config.recv_timeout.min(pool_config.steal_poll)
+            } else if failover.board.replication {
+                pool_config.recv_timeout.min(FAILOVER_TICK)
             } else {
                 pool_config.recv_timeout
             };
             match state.rx.recv_timeout(timeout) {
                 Ok(envelope) => incoming.push(envelope),
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                    if !state.stealing {
+                    if !state.stealing && !failover.board.replication {
                         continue;
                     }
                     // Fall through so the steal logic below runs on idle
-                    // ticks too.
+                    // ticks too (and, with replication, so the standby
+                    // duty at the loop top keeps polling for deaths).
                 }
                 Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
                     state.disconnected = true;
@@ -2935,6 +4215,11 @@ fn run_worker<T: Teacher>(
         state.process_one_batch()?;
         state.note_idle_streams();
     }
+    let Some(state) = guard.take() else {
+        return Ok(Vec::new());
+    };
+    failover.board.mark_finished(shard_index);
+    drop(guard);
     Ok(vec![state.finish()])
 }
 
@@ -2966,15 +4251,15 @@ enum TimerEvent {
 /// machines, the readiness poller whose token *n* means "shard *n* has
 /// traffic", the timer wheel, and completion accounting.
 struct ReactorShared<T: Teacher> {
-    /// `states[i]` holds shard *i* until the shard finishes, then `None`.
-    /// Any worker may run any shard; the mutex serializes passes per shard
-    /// while leaving distinct shards fully parallel.
-    states: Vec<Mutex<Option<ShardState<T>>>>,
+    /// The hosted shard-state slots (`failover.states[i]` holds shard *i*
+    /// until it finishes or dies), the failover board, and the replica
+    /// store. Any worker may run any shard; the mutex serializes passes per
+    /// shard while leaving distinct shards fully parallel. Completion is
+    /// counted on the board (`finished`), which also covers dead shards
+    /// finalized by their standby.
+    failover: Arc<FailoverShared<T>>,
     poller: st_net::Poller,
     timers: Mutex<TimerWheel<TimerEvent>>,
-    /// Shards finalized so far; the worker set exits when this reaches
-    /// `states.len()`.
-    finished: AtomicUsize,
     /// Set when a worker hits a hard error, telling its peers to stop
     /// instead of serving a half-dead pool.
     aborted: AtomicBool,
@@ -3010,10 +4295,19 @@ fn reactor_loop<T: Teacher>(
     shared: &ReactorShared<T>,
     outputs: &mut Vec<ShardOutput>,
 ) -> Result<()> {
-    let total = shared.states.len();
+    let total = shared.failover.states.len();
     loop {
-        if shared.aborted.load(Ordering::SeqCst) || shared.finished.load(Ordering::SeqCst) == total
+        if shared.aborted.load(Ordering::SeqCst) || shared.failover.board.finished_count() == total
         {
+            return Ok(());
+        }
+        // A death no standby can ever recover (replication off, or the
+        // standby itself dead or already finished) would otherwise leave
+        // the pool polling forever; abort so join() reports the death
+        // instead of hanging.
+        if shared.failover.board.has_orphan_death() {
+            shared.aborted.store(true, Ordering::SeqCst);
+            shared.poller.close();
             return Ok(());
         }
         // Fire due timers. The wheel lock is released before dispatching so
@@ -3067,7 +4361,7 @@ fn dispatch_pass<T: Teacher>(
     // lets one long pass (e.g. a Shutdown flush) capture every worker while
     // timers starve.
     shared.rerun[shard].store(true, Ordering::SeqCst);
-    let mut guard = match shared.states[shard].try_lock() {
+    let mut guard = match shared.failover.states[shard].try_lock() {
         Ok(guard) => guard,
         Err(std::sync::TryLockError::WouldBlock) => {
             if from_timer {
@@ -3078,12 +4372,19 @@ fn dispatch_pass<T: Teacher>(
             return Ok(());
         }
         Err(std::sync::TryLockError::Poisoned(_)) => {
+            // Reactor passes never unwind through the guard (the pass body
+            // is caught below), so poison here is a bug, not a shard death.
             return Err(TensorError::InvalidArgument(
                 "shard state lock poisoned".into(),
-            ))
+            ));
         }
     };
     shared.rerun[shard].store(false, Ordering::SeqCst);
+    if shared.failover.board.is_dead(shard) {
+        // A late wake or tick for a dead shard: the carcass in the slot
+        // belongs to its standby, not to us.
+        return Ok(());
+    }
     let outcome = {
         let Some(state) = guard.as_mut() else {
             // The shard already finished; a late wake or tick is harmless.
@@ -3095,14 +4396,40 @@ fn dispatch_pass<T: Teacher>(
         } else {
             state.poll_wakeups += 1;
         }
-        let outcome = state.run_pass()?;
+        // A shard death under the reactor must not take the hosting OS
+        // thread (and every other shard it would have run) down with it:
+        // catch the unwind, publish the death, and hand the carcass to the
+        // standby. The guard is released normally, so no poison.
+        let pass = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            state.run_pass(&shared.failover)
+        }));
+        let outcome = match pass {
+            Ok(outcome) => outcome?,
+            Err(payload) => {
+                shared
+                    .failover
+                    .board
+                    .mark_dead(shard, panic_message(payload.as_ref()));
+                if shared.failover.replicas.is_some() {
+                    // Wake the standby so its next pass runs the takeover.
+                    let standby = (shard + 1) % shared.failover.states.len();
+                    shared.shard_wakers[standby].wake();
+                } else {
+                    // No standby to adopt the shard: stop the pool; join()
+                    // surfaces the death as WorkerFailed.
+                    shared.aborted.store(true, Ordering::SeqCst);
+                    shared.poller.close();
+                }
+                return Ok(());
+            }
+        };
         if outcome.done {
             let Some(state) = guard.take() else {
                 unreachable!("shard state present: matched Some above")
             };
+            shared.failover.board.mark_finished(shard);
             outputs.push(state.finish());
-            let finished = shared.finished.fetch_add(1, Ordering::SeqCst) + 1;
-            if finished == shared.states.len() {
+            if shared.failover.board.note_finished() == shared.failover.states.len() {
                 // Release every worker parked in poll_one.
                 shared.poller.close();
             }
@@ -3148,7 +4475,7 @@ fn dispatch_need_frame_retry<T: Teacher>(
     stream_id: StreamId,
     frame_index: usize,
 ) {
-    let still_waiting = match shared.states[shard].try_lock() {
+    let still_waiting = match shared.failover.states[shard].try_lock() {
         Ok(mut guard) => match guard.as_mut() {
             Some(state) => state.on_need_frame_retry(stream_id, frame_index),
             None => false,

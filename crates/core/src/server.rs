@@ -116,9 +116,45 @@ impl DistillSession {
         }
     }
 
+    /// Rebuild a session from a replicated checkpoint during shard failover.
+    ///
+    /// `snapshot` (a `Full`-scope replica published by the dead shard) is
+    /// applied to a fresh student, and the distillation counters are restored
+    /// from the replica's metadata. The Adam optimizer starts cold: the paper
+    /// replicates only the student weights, so the first post-takeover key
+    /// frame retrains moment estimates from zero — acceptable because the
+    /// per-key-frame training loop (Algorithm 3) converges on the frame's
+    /// metric threshold, not on a fixed step count.
+    pub fn resume(
+        config: ShadowTutorConfig,
+        mut student: StudentNet,
+        snapshot: &WeightSnapshot,
+        distill_step_latency: f64,
+        key_frames: usize,
+        distill_steps: usize,
+    ) -> Result<Self> {
+        student.freeze = config.mode.freeze_point();
+        snapshot.apply(&mut student)?;
+        let optimizer = Adam::new(config.learning_rate);
+        Ok(DistillSession {
+            config,
+            student,
+            optimizer,
+            distill_step_latency,
+            total_key_frames: key_frames,
+            total_distill_steps: distill_steps,
+        })
+    }
+
     /// The initial full student checkpoint the server sends when the stream
     /// is registered (Algorithm 3, line 1).
     pub fn initial_checkpoint(&mut self) -> WeightSnapshot {
+        WeightSnapshot::capture(&mut self.student, SnapshotScope::Full)
+    }
+
+    /// Capture a full-scope checkpoint of the session's current student for
+    /// checkpoint replication to a buddy shard.
+    pub fn replica_checkpoint(&mut self) -> WeightSnapshot {
         WeightSnapshot::capture(&mut self.student, SnapshotScope::Full)
     }
 

@@ -80,6 +80,12 @@ pub enum FulfilOutcome {
         /// The shard that received the stream.
         thief: usize,
     },
+    /// The thief's mailbox is already closed (the thief died and a standby
+    /// is taking it over, or it exited): the donor keeps the stream and the
+    /// stale request slot is cleared. Nothing is ever pushed into a closed
+    /// mailbox, so a buddy adoption racing a concurrent steal can neither
+    /// double-own nor strand the stream.
+    ThiefGone,
 }
 
 /// How a pending steal request looks to the thief that posted it
@@ -255,9 +261,14 @@ impl<S, E> StealCore<S, E> {
     /// The entire handoff happens under the victim's request-slot lock: a
     /// thief that later observes the slot cleared is guaranteed to find the
     /// stream in its mailbox (the cancel/fulfil race resolves under that
-    /// one lock), and a thief cannot have exited while its request still
-    /// occupies the slot (exit requires a successful withdraw first) — so
-    /// the mailbox delivered into is never a dead letter box.
+    /// one lock). The thief's mailbox is locked *before* the prepare
+    /// callback runs and held until the stream is pushed, so the push and
+    /// the closed-flag check are one atomic step against
+    /// [`close_mailbox`](Self::close_mailbox): a mailbox closed by the
+    /// thief's own exit — or by a standby taking over a dead thief — is
+    /// refused with [`FulfilOutcome::ThiefGone`] and the donor's state is
+    /// left untouched. A delivery can therefore never land in a dead letter
+    /// box, under the cooperative exit protocol *and* under failover.
     pub fn fulfil_request<F, G>(&self, victim: usize, prepare: F, delivered: G) -> FulfilOutcome
     where
         F: FnOnce(usize) -> Option<(S, usize)>,
@@ -271,21 +282,25 @@ impl<S, E> StealCore<S, E> {
             *slot = None;
             return FulfilOutcome::SelfRequest;
         }
-        let Some((stream, backlog)) = prepare(thief) else {
-            return FulfilOutcome::Kept;
-        };
         {
             let mut mailbox = locked(&self.mailboxes[thief]);
-            debug_assert!(
-                !mailbox.closed,
-                "steal handoff delivered into an exited shard's mailbox"
-            );
+            if mailbox.closed {
+                // The thief is gone (exit or takeover): the request is
+                // stale. Refuse before `prepare` runs so nothing was moved
+                // out of the donor, and clear the slot so the donor stops
+                // reconsidering a dead shard's request.
+                *slot = None;
+                return FulfilOutcome::ThiefGone;
+            }
+            let Some((stream, backlog)) = prepare(thief) else {
+                return FulfilOutcome::Kept;
+            };
             mailbox.streams.push(stream);
+            self.backlog[victim].store(backlog, Ordering::SeqCst);
         }
         delivered(thief);
         self.loads[victim].fetch_sub(1, Ordering::SeqCst);
         self.loads[thief].fetch_add(1, Ordering::SeqCst);
-        self.backlog[victim].store(backlog, Ordering::SeqCst);
         *slot = None;
         FulfilOutcome::Delivered { thief }
     }

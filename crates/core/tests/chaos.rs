@@ -1,0 +1,305 @@
+//! Chaos end-to-end tests: kill one of four shards mid-run under 8×-skewed
+//! load and assert the pool recovers — every stream finishes, takeover
+//! latency stays under the `st_sim::FailoverModel` bound, lost frames are
+//! drop-acked with [`DropReason::ShardFailed`], and (for a clean kill) the
+//! adopted streams' distillation matches a fault-free run bit for bit.
+//!
+//! Everything here is deterministic: the kill comes from a seeded
+//! [`FaultPlan`] threaded through `PoolConfig`, not from aborting threads,
+//! and every shard runs the *same-seeded* perfect oracle. A perfect
+//! oracle's labels are pure in the frame (ground truth, no rng influence),
+//! so a stream's update trajectory depends only on its own key-frame
+//! sequence — not on which shard served it or how batches were composed —
+//! which is what makes the bit-for-bit comparison meaningful.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use shadowtutor::config::{PlacementPolicy, ShadowTutorConfig};
+use shadowtutor::serve::{FaultPlan, PoolConfig, PoolStats, ServerPool, StreamClient};
+use st_net::transport::ClientEndpoint;
+use st_net::{ClientToServer, DropReason, Payload, ServerToClient, StreamId, TransportError};
+use st_nn::student::{StudentConfig, StudentNet};
+use st_sim::FailoverModel;
+use st_teacher::OracleTeacher;
+use st_video::dataset::tiny_stream;
+use st_video::{Frame, SceneKind};
+
+/// Pinned the way CI pins `ST_CHECK_SEED`: the chaos smoke step runs this
+/// exact schedule.
+const FAULT_SEED: u64 = 42;
+const TEACHER_SEED: u64 = 9001;
+const SHARDS: usize = 4;
+const STREAMS: usize = 8;
+/// The hot stream sends 8× the cold streams' single key frame.
+const HOT_KEY_FRAMES: usize = 8;
+const DEAD_SHARD: usize = 1;
+
+fn chaos_pool_config(fault_plan: FaultPlan) -> PoolConfig {
+    PoolConfig {
+        shards: SHARDS,
+        placement: PlacementPolicy::Rebalance,
+        replication: true,
+        fault_plan,
+        // High enough that the pipelined hot stream is never throttled.
+        max_in_flight: 64,
+        recv_timeout: Duration::from_millis(200),
+        steal_poll: Duration::from_millis(1),
+        steal_patience: Duration::from_millis(5),
+        ..PoolConfig::default_pool()
+    }
+}
+
+/// Per-stream key-frame sequences: stream 0 hot, streams 1..8 cold.
+fn stream_frames() -> Vec<(StreamId, Vec<Frame>)> {
+    (0..STREAMS)
+        .map(|id| {
+            let n = if id == 0 { HOT_KEY_FRAMES } else { 1 };
+            (
+                id as StreamId,
+                tiny_stream(SceneKind::People, 70 + id as u64, n),
+            )
+        })
+        .collect()
+}
+
+fn total_sent() -> usize {
+    HOT_KEY_FRAMES + (STREAMS - 1)
+}
+
+#[derive(Debug, Default)]
+struct StreamOutcome {
+    /// Every `StudentUpdate` in arrival order (the full message, so the
+    /// bit-for-bit comparison covers metric, steps and payload bytes).
+    updates: Vec<ServerToClient>,
+    drops: Vec<(usize, DropReason)>,
+    reshares: usize,
+}
+
+/// Pump one stream until every sent key frame is acked (update or drop),
+/// answering `NeedFrame` with a re-share — the recovery path adopted
+/// streams take for frame content the replica intentionally does not carry.
+fn drive_stream(client: &mut StreamClient, frames: &[Frame]) -> StreamOutcome {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut outcome = StreamOutcome::default();
+    while outcome.updates.len() + outcome.drops.len() < frames.len() {
+        let msg = match client.recv_timeout(Duration::from_millis(250)) {
+            Ok(msg) => msg,
+            Err(TransportError::Timeout) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "stream {} starved: {} updates, {} drops of {} sent",
+                    client.stream_id(),
+                    outcome.updates.len(),
+                    outcome.drops.len(),
+                    frames.len()
+                );
+                // Caught mid-takeover: re-dial. `Err(Timeout)` means the
+                // standby has not finished adopting yet — keep waiting.
+                match client.reconnect() {
+                    Ok(()) | Err(TransportError::Timeout) => continue,
+                    Err(err) => panic!("stream {} cannot reconnect: {err:?}", client.stream_id()),
+                }
+            }
+            Err(err) => panic!("stream {} transport error: {err:?}", client.stream_id()),
+        };
+        match msg {
+            update @ ServerToClient::StudentUpdate { .. } => outcome.updates.push(update),
+            ServerToClient::NeedFrame { frame_index } => {
+                let frame = frames
+                    .iter()
+                    .find(|f| f.index == frame_index)
+                    .expect("NeedFrame for a frame this stream never sent");
+                client.reshare(frame).expect("re-share failed");
+                outcome.reshares += 1;
+            }
+            ServerToClient::Dropped {
+                frame_index,
+                reason,
+            } => outcome.drops.push((frame_index, reason)),
+            other => panic!(
+                "stream {} got unexpected message: {other:?}",
+                client.stream_id()
+            ),
+        }
+    }
+    outcome
+}
+
+/// Run the full skewed workload against a pool with the given config and
+/// return per-stream outcomes plus the pool stats.
+fn run_chaos(pool_config: PoolConfig) -> (HashMap<StreamId, StreamOutcome>, PoolStats) {
+    let pool = ServerPool::spawn(
+        ShadowTutorConfig::paper(),
+        pool_config,
+        StudentNet::new(StudentConfig::tiny()).unwrap(),
+        0.013,
+        // Same seed on every shard, deliberately: updates must not depend
+        // on which shard hosts the session (see module doc).
+        |_| OracleTeacher::perfect(TEACHER_SEED),
+    )
+    .unwrap();
+    let streams = stream_frames();
+    let mut clients: Vec<StreamClient> = streams
+        .iter()
+        .map(|(id, frames)| pool.connect(*id, frames).unwrap())
+        .collect();
+    // Least-loaded placement with equal loads at every connect is
+    // round-robin: streams {1, 5} land on the doomed shard 1, whose buddy
+    // (the adopter) is shard 2.
+    assert_eq!(pool.shard_loads(), vec![2; SHARDS]);
+    for client in &mut clients {
+        let initial = client.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(matches!(initial, ServerToClient::InitialStudent { .. }));
+    }
+    // Pipeline every key frame up front so the kill lands under real load.
+    for (client, (_, frames)) in clients.iter_mut().zip(&streams) {
+        for frame in frames {
+            let payload = Payload::sized(frame.raw_rgb_bytes());
+            let bytes = payload.bytes;
+            client
+                .send(
+                    ClientToServer::KeyFrame {
+                        frame_index: frame.index,
+                        payload,
+                    },
+                    bytes,
+                )
+                .unwrap();
+        }
+    }
+    let mut outcomes = HashMap::new();
+    for (client, (id, frames)) in clients.iter_mut().zip(&streams) {
+        outcomes.insert(*id, drive_stream(client, frames));
+    }
+    for client in &mut clients {
+        client.send(ClientToServer::Shutdown, 1).unwrap();
+    }
+    drop(clients);
+    let stats = pool.join().unwrap();
+    (outcomes, stats)
+}
+
+/// The streams round-robin placement put on the killed shard.
+fn doomed_streams() -> Vec<StreamId> {
+    (0..STREAMS as StreamId)
+        .filter(|id| (*id as usize) % SHARDS == DEAD_SHARD)
+        .collect()
+}
+
+#[test]
+fn clean_kill_recovers_every_stream_bit_for_bit() {
+    let (faulted, stats) = run_chaos(chaos_pool_config(FaultPlan::kill(
+        FAULT_SEED, DEAD_SHARD, 0,
+    )));
+    // A clean kill fires before the batch drain: every queued job survives
+    // in the carcass, so nothing may be dropped anywhere.
+    assert_eq!(stats.total_key_frames(), total_sent());
+    assert_eq!(stats.dropped_jobs(), 0);
+    for (id, outcome) in &faulted {
+        assert!(
+            outcome.drops.is_empty(),
+            "stream {id} saw drops on a clean kill: {:?}",
+            outcome.drops
+        );
+    }
+    let report = stats.snapshot();
+    assert_eq!(report.shards.len(), SHARDS);
+    assert!(report.failovers >= 1, "no failover recorded: {report:?}");
+    assert_eq!(
+        report.streams_adopted,
+        doomed_streams().len(),
+        "the buddy must adopt exactly the dead shard's streams"
+    );
+    assert_eq!(report.frames_lost_on_failover, 0);
+    // Replication really ran, and the frozen partial-distillation stages
+    // deduplicated by content hash across publishes.
+    assert!(report.replica_bytes_published > 0);
+    assert!(report.replica_bytes_shared > 0);
+    // Takeover latency is bounded by the analytic model. `pass_cost` is
+    // raised from the paper default to a debug-build-sized batch pass; the
+    // detection/adoption/restore terms are the model's own.
+    let bound = FailoverModel {
+        pass_cost: 2.0,
+        ..FailoverModel::paper_default()
+    }
+    .takeover_bound(doomed_streams().len());
+    let takeover = stats.takeover_latency_p99_secs();
+    assert!(takeover > 0.0, "no takeover latency sample recorded");
+    assert!(
+        takeover < bound,
+        "takeover took {takeover:.3}s, model bound is {bound:.3}s"
+    );
+    // Bit-for-bit: the adopted streams' distillation (metric, step count,
+    // encoded weight payload, frame order) must equal a fault-free run's.
+    let (clean, clean_stats) = run_chaos(chaos_pool_config(FaultPlan::none()));
+    assert_eq!(clean_stats.dropped_jobs(), 0);
+    assert_eq!(clean_stats.snapshot().failovers, 0);
+    for (id, clean_outcome) in &clean {
+        assert_eq!(
+            faulted[id].updates, clean_outcome.updates,
+            "stream {id} diverged from the fault-free run after adoption"
+        );
+    }
+}
+
+#[test]
+fn torn_kill_drop_acks_lost_jobs_with_shard_failed() {
+    let (outcomes, stats) = run_chaos(chaos_pool_config(
+        FaultPlan::kill(FAULT_SEED, DEAD_SHARD, 0).torn(),
+    ));
+    let updates: usize = outcomes.values().map(|o| o.updates.len()).sum();
+    let drops: usize = outcomes.values().map(|o| o.drops.len()).sum();
+    // Every sent key frame was acked exactly once, one way or the other.
+    assert_eq!(updates + drops, total_sent());
+    assert!(drops >= 1, "a torn kill must lose the in-flight batch");
+    // Every drop is the failover's, explicitly reasoned — never a silent
+    // vanish or a mislabelled protocol error.
+    for outcome in outcomes.values() {
+        for (frame_index, reason) in &outcome.drops {
+            assert_eq!(
+                *reason,
+                DropReason::ShardFailed,
+                "frame {frame_index} dropped for the wrong reason"
+            );
+        }
+    }
+    // Only streams hosted on the dead shard can have lost frames.
+    let doomed = doomed_streams();
+    for (id, outcome) in &outcomes {
+        if !outcome.drops.is_empty() {
+            assert!(
+                doomed.contains(id),
+                "stream {id} was not on shard {DEAD_SHARD} but lost frames"
+            );
+        }
+    }
+    let report = stats.snapshot();
+    assert!(report.failovers >= 1);
+    assert_eq!(report.streams_adopted, doomed.len());
+    assert_eq!(
+        report.frames_lost_on_failover, drops,
+        "shard accounting disagrees with client-observed drops"
+    );
+    assert_eq!(stats.dropped_jobs(), drops);
+    assert_eq!(stats.total_key_frames() + drops, total_sent());
+}
+
+#[test]
+fn reactor_pool_survives_a_shard_kill() {
+    // Same schedule under the event-driven driver: 4 shard machines on 2
+    // reactor threads, where the injected panic unwinds a *pass*, not a
+    // whole worker thread.
+    let (outcomes, stats) = run_chaos(PoolConfig {
+        reactor_threads: Some(2),
+        ..chaos_pool_config(FaultPlan::kill(FAULT_SEED, DEAD_SHARD, 0))
+    });
+    assert_eq!(stats.total_key_frames(), total_sent());
+    assert_eq!(stats.dropped_jobs(), 0);
+    for outcome in outcomes.values() {
+        assert!(outcome.drops.is_empty());
+    }
+    let report = stats.snapshot();
+    assert!(report.failovers >= 1);
+    assert_eq!(report.streams_adopted, doomed_streams().len());
+}

@@ -119,6 +119,54 @@ fn exit_discipline_never_strands_a_stream() {
     assert_clean(&report, "the withdraw-then-close exit discipline");
 }
 
+/// Warm-standby adoption racing a concurrent steal: the thief (shard 1)
+/// dies with its request parked at the victim while the victim fulfils.
+/// The buddy runs `ShardState::take_over`'s order verbatim — withdraw the
+/// dead thief's request, close its mailbox (adopting what already landed),
+/// then zero its steal surface. Under every interleaving the stream has
+/// exactly one owner: a delivered fulfilment is adopted with the carcass;
+/// otherwise the victim keeps the stream (`NoRequest` when the withdraw
+/// won, `ThiefGone` when the close beat the fulfilment to the mailbox).
+/// Never both, never neither.
+#[test]
+fn buddy_adoption_racing_a_steal_never_double_owns_or_strands() {
+    let report = check_with(cfg(), || {
+        let core = posted();
+        let victim = Arc::clone(&core);
+        let t = thread::spawn(move || victim.fulfil_request(0, |_| Some((42, 0)), |_| {}));
+        let withdrew = core.withdraw_request(0, 1);
+        let (adopted, _) = core.close_mailbox(1);
+        core.clear_request(1);
+        core.publish_backlog(1, 0);
+        let outcome = t.join().expect("join victim");
+        let delivered = matches!(outcome, FulfilOutcome::Delivered { .. });
+        assert_eq!(
+            adopted.len(),
+            usize::from(delivered),
+            "delivery and adoption disagree (double-own or strand)"
+        );
+        if delivered {
+            assert!(!withdrew, "withdraw and fulfilment both won the slot");
+            assert_eq!(adopted, vec![42], "adopted the wrong stream");
+            assert_eq!(core.load(0), 0, "victim load not released");
+            assert_eq!(core.load(1), 1, "adopted stream's load missing");
+        } else {
+            assert!(
+                matches!(outcome, FulfilOutcome::NoRequest | FulfilOutcome::ThiefGone),
+                "unexpected outcome: {outcome:?}"
+            );
+            assert_eq!(core.load(0), 1, "victim lost its stream anyway");
+            assert_eq!(core.load(1), 0, "phantom load on the dead thief");
+        }
+        // The carcass mailbox is sealed: nothing can land after adoption.
+        assert!(
+            core.drain_mailbox(1).0.is_empty(),
+            "closed mailbox accepted a stream"
+        );
+    });
+    assert_clean(&report, "the buddy-adoption/steal race");
+}
+
 /// Mutant: closing the mailbox *before* withdrawing reintroduces the dead
 /// letter box — a victim mid-fulfilment can deliver into the closed mailbox
 /// and the stream is lost with it. The checker must find that interleaving.

@@ -134,6 +134,12 @@ pub enum DropReason {
     /// for evicted content with [`ServerToClient::NeedFrame`] first; this
     /// reason is only sent when the re-share never arrived).
     UnknownFrame,
+    /// The shard serving the stream died and the job could not be salvaged
+    /// by the buddy shard's takeover (a torn failure lost the queued job, or
+    /// no standby adopted the shard). Like every other reason this is an
+    /// explicit ack: a shard failure must never make a key frame vanish
+    /// silently.
+    ShardFailed,
 }
 
 /// Server → client messages.

@@ -133,6 +133,16 @@ pub trait ClientEndpoint {
 
     /// Blocking receive with a timeout.
     fn recv_timeout(&mut self, timeout: Duration) -> Result<crate::ServerToClient, TransportError>;
+
+    /// Attempt to re-establish a dropped connection. The default refuses —
+    /// most endpoints (a channel pair, a shared-memory ring) cannot re-dial
+    /// a dead peer. Endpoints that *can* (the pool's `StreamClient`, whose
+    /// route is re-pointed at a warm standby during failover) override this;
+    /// `Ok(())` means the endpoint is usable again and the caller may resume
+    /// sending. Callers retry with backoff, not in a tight loop.
+    fn reconnect(&mut self) -> Result<(), TransportError> {
+        Err(TransportError::Disconnected)
+    }
 }
 
 impl ClientEndpoint for DuplexTransport<crate::ClientToServer, crate::ServerToClient> {

@@ -452,12 +452,14 @@ impl Wire for DropReason {
         out.push(match self {
             DropReason::UnknownStream => 0,
             DropReason::UnknownFrame => 1,
+            DropReason::ShardFailed => 2,
         });
     }
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
         match u8::decode(input)? {
             0 => Ok(DropReason::UnknownStream),
             1 => Ok(DropReason::UnknownFrame),
+            2 => Ok(DropReason::ShardFailed),
             tag => Err(WireError::UnknownVariant {
                 type_name: "DropReason",
                 tag,
@@ -699,6 +701,10 @@ mod tests {
         round_trip(ServerToClient::Dropped {
             frame_index: 12,
             reason: DropReason::UnknownFrame,
+        });
+        round_trip(ServerToClient::Dropped {
+            frame_index: 13,
+            reason: DropReason::ShardFailed,
         });
     }
 

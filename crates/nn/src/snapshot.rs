@@ -172,6 +172,55 @@ impl WeightSnapshot {
         buf.freeze()
     }
 
+    /// Split the snapshot into per-entry encoded chunks: one
+    /// `(name, bytes)` pair per entry, where the bytes are the entry's
+    /// `u32 value-count` plus little-endian `f32` values — the same framing
+    /// [`WeightSnapshot::encode`] uses per entry, minus the name prefix.
+    ///
+    /// This is the unit of content addressing for checkpoint replication: a
+    /// frozen partial-distillation stage re-encodes to byte-identical
+    /// chunks update after update, so a hash-keyed store shares them
+    /// instead of recopying.
+    pub fn entry_chunks(&self) -> Vec<(&str, Bytes)> {
+        self.entries
+            .iter()
+            .map(|(name, tensor)| {
+                let mut buf = BytesMut::with_capacity(4 + 4 * tensor.numel());
+                buf.put_u32_le(tensor.numel() as u32);
+                for &v in tensor.data() {
+                    buf.put_f32_le(v);
+                }
+                (name.as_str(), buf.freeze())
+            })
+            .collect()
+    }
+
+    /// Rebuild a snapshot from per-entry chunks previously produced by
+    /// [`WeightSnapshot::entry_chunks`], in the same entry order.
+    pub fn from_entry_chunks(chunks: Vec<(String, Bytes)>, scope: SnapshotScope) -> Result<Self> {
+        let mut entries = Vec::with_capacity(chunks.len());
+        for (name, bytes) in chunks {
+            let mut buf = bytes;
+            if buf.remaining() < 4 {
+                return Err(TensorError::InvalidArgument(
+                    "snapshot chunk truncated (value len)".into(),
+                ));
+            }
+            let numel = buf.get_u32_le() as usize;
+            if buf.remaining() < 4 * numel {
+                return Err(TensorError::InvalidArgument(
+                    "snapshot chunk truncated (values)".into(),
+                ));
+            }
+            let mut values = Vec::with_capacity(numel);
+            for _ in 0..numel {
+                values.push(buf.get_f32_le());
+            }
+            entries.push((name, Tensor::from_vec(Shape::vector(numel), values)?));
+        }
+        Ok(WeightSnapshot { entries, scope })
+    }
+
     /// Decode a snapshot previously produced by [`WeightSnapshot::encode`].
     ///
     /// Tensors are decoded as flat vectors; [`WeightSnapshot::apply`] matches

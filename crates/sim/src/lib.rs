@@ -18,11 +18,16 @@
 //! * [`ContentionModel`] — the multi-stream extension of §4.4: queueing and
 //!   teacher-batch amortization when S streams share W distillation workers,
 //!   used to sanity-check the live server pool's measured waits.
+//! * [`FailoverModel`] — worst-case bound on warm-standby takeover latency
+//!   (detection tick + in-flight pass + adoption + per-stream restores),
+//!   which the chaos tests hold the live pool's measured takeovers under.
 
 pub mod clock;
 pub mod contention;
+pub mod failover;
 pub mod profile;
 
 pub use clock::{EventKind, EventLog, VirtualClock};
 pub use contention::{ContentionModel, DEFAULT_BATCH_MARGINAL_COST, DEFAULT_DISPATCH_OVERHEAD};
+pub use failover::FailoverModel;
 pub use profile::{Concurrency, LatencyProfile};
