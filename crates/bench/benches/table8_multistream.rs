@@ -44,7 +44,7 @@ fn loaded_shard(streams: usize) -> (ServeShard<OracleTeacher>, Vec<ShardJob>) {
     for i in 0..streams {
         let frames = frames_for(SCENES[i % SCENES.len()], 9_000 + i as u64, 1);
         let frame_index = frames[0].index;
-        shard.register(i as u64, FrameStore::from_frames(&frames, None));
+        shard.register(i as u64, FrameStore::from_frames(&frames, None), false);
         jobs.push(ShardJob {
             stream_id: i as u64,
             frame_index,

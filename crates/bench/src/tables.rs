@@ -11,13 +11,14 @@ use shadowtutor::config::{DistillationMode, PlacementPolicy, ShadowTutorConfig};
 use shadowtutor::loadgen::{
     percentile, run_capacity_load, run_skewed_load, CapacityLoadSpec, PacedTeacher, SkewedLoadSpec,
 };
-use shadowtutor::serve::{FrameStore, PoolConfig};
+use shadowtutor::runtime::live::{run_live_multi_with, ClientDriverMode, StreamSpec};
+use shadowtutor::serve::{FrameStore, PoolConfig, SessionWeights};
 use shadowtutor::stride::StridePolicy;
 use shadowtutor::ExperimentRecord;
 use st_net::{KeyFrameTraffic, LinkModel, NaiveTraffic};
-use st_nn::snapshot::PayloadSizes;
+use st_nn::snapshot::{PayloadSizes, SnapshotScope, WeightSnapshot};
 use st_nn::student::{StudentConfig, StudentNet};
-use st_sim::{Concurrency, ContentionModel, DEFAULT_DISPATCH_OVERHEAD};
+use st_sim::{Concurrency, ContentionModel, DedupModel, DEFAULT_DISPATCH_OVERHEAD};
 use st_teacher::{CnnTeacher, OracleTeacher, Teacher};
 use st_video::dataset::tiny_stream;
 use st_video::SceneKind;
@@ -909,6 +910,106 @@ pub fn table10_batched(batch_sizes: &[usize], width_multiple: usize, reps: usize
     ];
     out.render(&format!(
         "Table 10 — batched CnnTeacher forward throughput (width x{width_multiple}, 32x24 frames, median of {reps})"
+    ));
+    out
+}
+
+/// Table 13 (new in this reproduction, no paper counterpart) — resident
+/// weight memory and update wire bytes across a stream-count ladder. Each
+/// rung runs the same workload twice against a live pool: once with the
+/// content-keyed weight store (copy-on-write sessions + delta-encoded
+/// updates) and once with the pre-store layout (deep-cloned sessions +
+/// full-snapshot updates). Measured residency and wire bytes sit beside the
+/// analytic [`DedupModel`] laws: `template + S × trainable` against
+/// `S × template` for memory, and the converged-update discount for wire.
+pub fn table13_weight_dedup(stream_ladder: &[usize], frames_per_stream: usize) -> TableOutput {
+    let mut out = TableOutput::new("Table 13");
+    let config = ShadowTutorConfig::paper();
+    let mut student = StudentNet::new(StudentConfig::tiny()).expect("tiny student");
+    student.freeze = config.mode.freeze_point();
+    let template_bytes = WeightSnapshot::capture(&mut student, SnapshotScope::Full)
+        .encode()
+        .len();
+    let trainable_bytes = WeightSnapshot::capture(&mut student, SnapshotScope::TrainableOnly)
+        .encode()
+        .len();
+    let model = DedupModel::new(template_bytes, trainable_bytes);
+    let scenes = [SceneKind::People, SceneKind::Animals, SceneKind::Street];
+
+    let kib = |bytes: usize| bytes as f64 / 1024.0;
+    let mut cow_resident = Vec::new();
+    let mut clone_resident = Vec::new();
+    let mut model_cow = Vec::new();
+    let mut model_clone = Vec::new();
+    let mut cow_per_gb = Vec::new();
+    let mut clone_per_gb = Vec::new();
+    let mut delta_wire = Vec::new();
+    let mut full_wire = Vec::new();
+    let mut delta_rejections = Vec::new();
+    for &streams in stream_ladder {
+        let run = |session_weights: SessionWeights, delta_updates: bool| {
+            let specs: Vec<StreamSpec> = (0..streams)
+                .map(|i| StreamSpec {
+                    stream_id: i as u64,
+                    label: format!("stream-{i}"),
+                    frames: tiny_stream(
+                        scenes[i % scenes.len()],
+                        1300 + i as u64,
+                        frames_per_stream,
+                    ),
+                })
+                .collect();
+            run_live_multi_with(
+                config,
+                specs,
+                student.clone(),
+                PoolConfig {
+                    session_weights,
+                    delta_updates,
+                    ..PoolConfig::default_pool()
+                },
+                |shard| OracleTeacher::perfect(1350 + shard as u64),
+                ClientDriverMode::Multiplexed,
+            )
+            .expect("table13 run")
+        };
+        let cow = run(SessionWeights::CopyOnWrite, true);
+        let clone = run(SessionWeights::DeepClone, false);
+        let cow_report = cow.pool.snapshot();
+        let clone_report = clone.pool.snapshot();
+
+        cow_resident.push(kib(cow_report.weights_resident_bytes()));
+        clone_resident.push(kib(clone_report.weights_resident_bytes()));
+        model_cow.push(kib(model.cow_resident_bytes(streams)));
+        model_clone.push(kib(model.clone_resident_bytes(streams)));
+        cow_per_gb.push(cow_report.streams_per_gb());
+        clone_per_gb.push(clone_report.streams_per_gb());
+        // Wire comparison within the delta run: bytes actually sent against
+        // what the *same* updates would have cost as full envelopes.
+        delta_wire.push(kib(cow_report.update_bytes_sent));
+        full_wire.push(kib(cow_report.update_bytes_full_equiv));
+        delta_rejections.push(
+            cow.streams
+                .iter()
+                .map(|s| s.delta.delta_rejections)
+                .sum::<usize>() as f64,
+        );
+        out.row_labels.push(format!("{streams} streams"));
+    }
+    out.columns = vec![
+        ("cow resident KiB".to_string(), cow_resident),
+        ("clone resident KiB".to_string(), clone_resident),
+        ("model cow KiB".to_string(), model_cow),
+        ("model clone KiB".to_string(), model_clone),
+        ("cow streams/GB".to_string(), cow_per_gb),
+        ("clone streams/GB".to_string(), clone_per_gb),
+        ("delta wire KiB".to_string(), delta_wire),
+        ("full-equiv wire KiB".to_string(), full_wire),
+        ("delta rejections".to_string(), delta_rejections),
+    ];
+    out.render(&format!(
+        "Table 13 — content-keyed weight store: resident memory and update wire bytes \
+         (template {template_bytes} B, trainable {trainable_bytes} B)"
     ));
     out
 }

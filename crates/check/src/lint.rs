@@ -10,6 +10,7 @@
 //! | `ne-bytes` | `crates/net/` | no `to_ne_bytes` / `from_ne_bytes` (wire format is little-endian only) |
 //! | `no-sleep` | `serve.rs`, `poll.rs` non-test code | no `std::thread::sleep` in reactor code |
 //! | `ignored-send` | `serve.rs`, `steal.rs`, `live.rs` non-test code | no `let _ = …send(…)` — a failed send on a failover/mailbox path must be counted or handled, never discarded |
+//! | `chunk-hash-confined` | non-test code outside `crates/nn/src/store.rs` / `crates/nn/src/delta.rs` | no `chunk_hash(` / `combine_hashes(` — content hashing stays behind the store's intern/digest APIs, out of serving hot loops |
 //!
 //! The scanner is token-level, not syntactic: a small lexer strips string
 //! literals and separates comment text from code text, then the rules match
@@ -352,6 +353,8 @@ pub fn lint_source(path: &Path, content: &str) -> Vec<Violation> {
     let no_unwrap_file = name == "serve.rs" || name == "shm.rs";
     let net_file = path_contains(path, "crates/net/");
     let send_audited_file = name == "serve.rs" || name == "steal.rs" || name == "live.rs";
+    let hash_home_file = path_contains(path, "crates/nn/src/store.rs")
+        || path_contains(path, "crates/nn/src/delta.rs");
 
     let mut out = Vec::new();
     for (idx, code_line) in lexed.code.iter().enumerate() {
@@ -433,6 +436,25 @@ pub fn lint_source(path: &Path, content: &str) -> Vec<Violation> {
                             .to_string(),
                 });
             }
+        }
+        // Content hashing is the weight store's private algebra: every
+        // identity decision (dedup, delta omission, digest lockstep) must go
+        // through the store/digest APIs, which hash once per capture. A
+        // `chunk_hash`/`combine_hashes` call anywhere else is either a
+        // per-frame rehash in a serving hot loop or a second identity rule
+        // that can drift from the store's.
+        if !hash_home_file
+            && !in_test
+            && (code_line.contains("chunk_hash(") || code_line.contains("combine_hashes("))
+        {
+            out.push(Violation {
+                file: path.to_path_buf(),
+                line: line_no,
+                rule: "chunk-hash-confined",
+                message:
+                    "content-hash primitive outside st_nn store/delta; use the intern/digest APIs"
+                        .to_string(),
+            });
         }
     }
     out

@@ -173,3 +173,30 @@ fn json_report_is_wellformed_enough() {
     assert!(json.contains("\\\\ escaping\\n"));
     assert!(json.trim_end().ends_with(']'));
 }
+
+#[test]
+fn chunk_hashing_is_confined_to_store_and_delta() {
+    let src = "fn f(chunk: &[u8]) -> u64 {\n    chunk_hash(chunk)\n}\n";
+    // A hot serving loop re-deriving checkpoint identity is exactly the bug.
+    assert_eq!(
+        rules("crates/core/src/serve.rs", src),
+        vec!["chunk-hash-confined"]
+    );
+    let combine = "fn f(hs: &[u64]) -> u64 {\n    combine_hashes(hs)\n}\n";
+    assert_eq!(
+        rules("crates/core/src/runtime/live.rs", combine),
+        vec!["chunk-hash-confined"]
+    );
+    // The primitives' home modules define and may use them freely.
+    assert!(rules("crates/nn/src/store.rs", src).is_empty());
+    assert!(rules("crates/nn/src/delta.rs", combine).is_empty());
+    // Tests (modules and integration files) may hash to state expectations.
+    let test_src =
+        "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { chunk_hash(&[1u8]); }\n}\n";
+    assert!(rules("crates/core/src/serve.rs", test_src).is_empty());
+    assert!(rules("crates/nn/tests/a.rs", src).is_empty());
+    // Mentions in comments and strings are not calls.
+    let prose =
+        "fn f() {\n    // chunk_hash( is discussed here only\n    let s = \"chunk_hash(x)\";\n}\n";
+    assert!(rules("crates/core/src/serve.rs", prose).is_empty());
+}

@@ -432,9 +432,55 @@ pub struct PoolReport {
     /// Bytes of checkpoint chunks deduplicated by content hash (frozen
     /// partial-distillation stages shared instead of recopied).
     pub replica_bytes_shared: usize,
+    /// Streams the pool served over the run.
+    pub streams: usize,
+    /// Bytes of session weight storage still shared with the shard template
+    /// (copy-on-write stages never written), summed over live sessions at
+    /// the last per-shard measurement.
+    pub session_bytes_shared: usize,
+    /// Bytes of private session weight storage — stages the optimizer wrote,
+    /// splitting them off the template.
+    pub session_bytes_private: usize,
+    /// Peak of the private-bytes measurement over the run.
+    pub session_bytes_private_peak: usize,
+    /// Chunk bytes resident in the content-addressed weight store at join
+    /// (each distinct chunk counted once, however many refs share it).
+    pub store_resident_bytes: usize,
+    /// Distinct chunks resident in the weight store at join.
+    pub store_chunk_count: usize,
+    /// Student updates sent as sparse delta envelopes.
+    pub delta_updates_sent: usize,
+    /// Student updates sent as full-snapshot envelopes (initial checkpoints
+    /// after a restore, plus every update on non-negotiated streams).
+    pub full_updates_sent: usize,
+    /// Bytes actually placed on downlinks for weight updates when delta
+    /// encoding was negotiated.
+    pub update_bytes_sent: usize,
+    /// Bytes the same updates would have cost as full-snapshot envelopes —
+    /// the A/B denominator for the delta savings.
+    pub update_bytes_full_equiv: usize,
 }
 
 impl PoolReport {
+    /// Total bytes of weight state resident for the stream population: the
+    /// content-addressed store (each template chunk counted once, however
+    /// many sessions share it) plus every session's private storage.
+    pub fn weights_resident_bytes(&self) -> usize {
+        self.store_resident_bytes + self.session_bytes_private
+    }
+
+    /// Streams hosted per GiB of resident weight state — the capacity
+    /// headline of the content-keyed store. `NaN` when the pool never
+    /// measured session memory (no streams, or a zero-sized store).
+    pub fn streams_per_gb(&self) -> f64 {
+        let resident = self.weights_resident_bytes();
+        if resident == 0 || self.streams == 0 {
+            f64::NAN
+        } else {
+            self.streams as f64 * (1u64 << 30) as f64 / resident as f64
+        }
+    }
+
     /// Render the report as a JSON object (hand-rolled; see the type docs).
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
@@ -496,7 +542,12 @@ impl PoolReport {
              \"wire_bytes_up\":{},\"wire_bytes_down\":{},\
              \"failovers\":{},\"streams_adopted\":{},\"frames_lost_on_failover\":{},\
              \"takeover_latency_p99_ms\":{},\"replica_bytes_published\":{},\
-             \"replica_bytes_shared\":{}}}}}",
+             \"replica_bytes_shared\":{},\"streams\":{},\
+             \"session_bytes_shared\":{},\"session_bytes_private\":{},\
+             \"session_bytes_private_peak\":{},\"store_resident_bytes\":{},\
+             \"store_chunk_count\":{},\"streams_per_gb\":{},\
+             \"delta_updates_sent\":{},\"full_updates_sent\":{},\
+             \"update_bytes_sent\":{},\"update_bytes_full_equiv\":{}}}}}",
             self.total_key_frames,
             self.streams_stolen,
             self.frame_evictions,
@@ -519,6 +570,17 @@ impl PoolReport {
             num(self.takeover_latency_p99_ms),
             self.replica_bytes_published,
             self.replica_bytes_shared,
+            self.streams,
+            self.session_bytes_shared,
+            self.session_bytes_private,
+            self.session_bytes_private_peak,
+            self.store_resident_bytes,
+            self.store_chunk_count,
+            num(self.streams_per_gb()),
+            self.delta_updates_sent,
+            self.full_updates_sent,
+            self.update_bytes_sent,
+            self.update_bytes_full_equiv,
         );
         out
     }
@@ -727,6 +789,16 @@ mod tests {
             takeover_latency_p99_ms: 4.75,
             replica_bytes_published: 2048,
             replica_bytes_shared: 1024,
+            streams: 8,
+            session_bytes_shared: 4096,
+            session_bytes_private: 512,
+            session_bytes_private_peak: 768,
+            store_resident_bytes: 2048,
+            store_chunk_count: 6,
+            delta_updates_sent: 15,
+            full_updates_sent: 5,
+            update_bytes_sent: 900,
+            update_bytes_full_equiv: 3000,
         };
         let json = report.to_json();
         assert!(json.starts_with("{\"shards\":[{\"shard\":0,"));
@@ -745,6 +817,21 @@ mod tests {
         assert!(json.contains("\"takeover_latency_p99_ms\":4.75"));
         assert!(json.contains("\"replica_bytes_published\":2048"));
         assert!(json.contains("\"replica_bytes_shared\":1024"));
+        // Weight-store residency and delta-wire accounting are exported.
+        assert!(json.contains("\"streams\":8"));
+        assert!(json.contains("\"session_bytes_shared\":4096"));
+        assert!(json.contains("\"session_bytes_private\":512"));
+        assert!(json.contains("\"session_bytes_private_peak\":768"));
+        assert!(json.contains("\"store_resident_bytes\":2048"));
+        assert!(json.contains("\"store_chunk_count\":6"));
+        assert!(json.contains("\"delta_updates_sent\":15"));
+        assert!(json.contains("\"full_updates_sent\":5"));
+        assert!(json.contains("\"update_bytes_sent\":900"));
+        assert!(json.contains("\"update_bytes_full_equiv\":3000"));
+        // streams_per_gb = 8 streams / ((2048 + 512) bytes / 1 GiB).
+        assert_eq!(report.weights_resident_bytes(), 2560);
+        assert!((report.streams_per_gb() - 8.0 * 1073741824.0 / 2560.0).abs() < 1e-6);
+        assert!(json.contains("\"streams_per_gb\":"));
         assert!(json.contains("\"totals\":{\"key_frames\":20,"));
         assert!(json.contains("\"frame_bytes_peak\":30720"));
         // Non-finite values render as null, not invalid JSON.

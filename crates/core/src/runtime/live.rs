@@ -37,7 +37,8 @@ use crate::serve::{PoolConfig, PoolStats, ServerPool};
 use crate::server::ServerState;
 use crate::Result;
 use st_net::transport::ClientEndpoint;
-use st_net::{ClientToServer, Payload, ServerToClient, StreamId};
+use st_net::{ClientToServer, Payload, ServerToClient, StreamId, Wire};
+use st_nn::delta::{CheckpointDigest, WeightPayload};
 use st_nn::metrics::miou;
 use st_nn::snapshot::{SnapshotScope, WeightSnapshot};
 use st_nn::student::StudentNet;
@@ -59,6 +60,24 @@ pub struct LiveRunOutcome {
     /// stream would keep serving with. Lets tests assert that concurrent
     /// streams do not bleed weights into each other.
     pub final_student: WeightSnapshot,
+    /// Client-side delta-protocol counters (all zero on streams that did not
+    /// negotiate delta updates).
+    pub delta: ClientDeltaStats,
+}
+
+/// Client-side counters of the delta-update protocol for one stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientDeltaStats {
+    /// Updates applied from a sparse [`st_nn::delta::WeightDelta`] envelope.
+    pub delta_updates_applied: usize,
+    /// Updates applied from a full-snapshot envelope: the initial checkpoint
+    /// plus any post-failover re-sync the server fell back to.
+    pub full_updates_applied: usize,
+    /// Delta envelopes whose base-checkpoint verification failed
+    /// ([`st_net::WireError::UnknownBaseCheckpoint`] /
+    /// [`st_net::WireError::StaleBaseCheckpoint`]); the client keeps serving
+    /// its current weights rather than applying an unappliable delta.
+    pub delta_rejections: usize,
 }
 
 /// One client stream fed to [`run_live_multi`].
@@ -105,6 +124,7 @@ impl MultiLiveOutcome {
 pub(crate) struct ClientLoopOutput {
     pub(crate) record: ExperimentRecord,
     pub(crate) final_student: WeightSnapshot,
+    pub(crate) delta: ClientDeltaStats,
 }
 
 /// How long a client waits for the initial checkpoint, or for a forced
@@ -179,6 +199,21 @@ struct PendingFrame {
     miou: f64,
 }
 
+/// Client half of the delta-update protocol (present only when the stream
+/// registered with `RegisterCaps { supports_delta: true }`). The digest
+/// mirrors the server's [`crate::serve`] per-stream `DeltaTrack`: both sides
+/// advance it with exactly the chunks that crossed the wire, so the bases
+/// stay synchronized without ever exchanging digests.
+struct DeltaSync {
+    /// Hash-per-entry identity of the checkpoint the client serves with.
+    digest: CheckpointDigest,
+    /// Combined hash *before* the most recently applied payload, so a delta
+    /// naming it can be classified as a raced/stale base rather than an
+    /// unknown one.
+    previous: Option<u64>,
+    stats: ClientDeltaStats,
+}
+
 /// Algorithm 4 as a *resumable* state machine over any [`ClientEndpoint`]:
 /// wait for the initial checkpoint, serve every frame, send key frames
 /// asynchronously, apply updates as they arrive (deferring at most
@@ -220,6 +255,9 @@ struct ClientDriver<'a> {
     reconnect_rng: JitterRng,
     /// Successful reconnects over the run (transport drops survived).
     reconnects: usize,
+    /// `Some` when the stream negotiated delta updates: downlink weight
+    /// payloads are [`WeightPayload`] envelopes instead of bare snapshots.
+    sync: Option<DeltaSync>,
     cursor: usize,
     elapsed: f64,
     phase: ClientPhase,
@@ -232,8 +270,21 @@ impl<'a> ClientDriver<'a> {
         mut client_student: StudentNet,
         label: &'a str,
         variant_prefix: &'a str,
+        delta_updates: bool,
     ) -> Self {
         client_student.freeze = config.mode.freeze_point();
+        // Seed the digest from the local starting checkpoint — identical to
+        // the template the server registers the session from — so a client
+        // that never sees the `InitialStudent` (timeout, lossy endpoint) can
+        // still verify delta bases instead of holding an empty digest.
+        let sync = delta_updates.then(|| DeltaSync {
+            digest: CheckpointDigest::of(&WeightSnapshot::capture(
+                &mut client_student,
+                SnapshotScope::Full,
+            )),
+            previous: None,
+            stats: ClientDeltaStats::default(),
+        });
         ClientDriver {
             config,
             frames,
@@ -257,6 +308,7 @@ impl<'a> ClientDriver<'a> {
                 (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
             })),
             reconnects: 0,
+            sync,
             cursor: 0,
             elapsed: 0.0,
             phase: ClientPhase::AwaitInitial {
@@ -337,8 +389,7 @@ impl<'a> ClientDriver<'a> {
                 ClientPhase::AwaitInitial { deadline } => match self.next_message(endpoint) {
                     Some(ServerToClient::InitialStudent { payload }) => {
                         if let Some(data) = payload.data {
-                            let snapshot = WeightSnapshot::decode(&data, SnapshotScope::Full)?;
-                            snapshot.apply(&mut self.client_student)?;
+                            self.apply_weight_payload(&data, SnapshotScope::Full)?;
                         }
                         self.phase = ClientPhase::Serving;
                     }
@@ -420,6 +471,45 @@ impl<'a> ClientDriver<'a> {
         }
     }
 
+    /// Apply one downlink weight payload to the local student. Without delta
+    /// negotiation the bytes are a bare [`WeightSnapshot`] at `scope`; with
+    /// it they are a [`WeightPayload`] envelope, and the digest is patched
+    /// with exactly the chunks that were applied — the client-side mirror of
+    /// the server's per-stream delta track, so the two bases stay in
+    /// lockstep without exchanging digests. A delta whose base hash does not
+    /// match the held checkpoint is rejected (counted, weights untouched);
+    /// the server's re-sync rule — a full envelope after any restore —
+    /// clears the condition on the next update.
+    fn apply_weight_payload(&mut self, data: &bytes::Bytes, scope: SnapshotScope) -> Result<()> {
+        let Some(sync) = &mut self.sync else {
+            let snapshot = WeightSnapshot::decode(data, scope)?;
+            snapshot.apply(&mut self.client_student)?;
+            return Ok(());
+        };
+        let payload = <WeightPayload as Wire>::decode(&mut &data[..])
+            .map_err(|e| st_tensor::TensorError::InvalidArgument(format!("weight payload: {e}")))?;
+        match payload {
+            WeightPayload::Full(snapshot) => {
+                snapshot.apply(&mut self.client_student)?;
+                sync.previous = Some(sync.digest.combined());
+                sync.digest.patch(&snapshot);
+                sync.stats.full_updates_applied += 1;
+            }
+            WeightPayload::Delta(delta) => {
+                if delta.check_base(&sync.digest, sync.previous).is_err() {
+                    sync.stats.delta_rejections += 1;
+                    return Ok(());
+                }
+                let (sparse, chunks) = delta.into_parts()?;
+                sparse.apply(&mut self.client_student)?;
+                sync.previous = Some(sync.digest.combined());
+                sync.digest.patch_chunks(&chunks);
+                sync.stats.delta_updates_applied += 1;
+            }
+        }
+        Ok(())
+    }
+
     /// Finish the in-flight frame: handle `incoming`, apply a deferred
     /// post-training metric, and record the frame.
     fn complete_frame(&mut self, incoming: Option<ServerToClient>, waited: bool) -> Result<()> {
@@ -433,8 +523,7 @@ impl<'a> ClientDriver<'a> {
                 if let Some(data) = payload.data {
                     self.downlink_bytes += data.len();
                     self.update_bytes = data.len();
-                    let snapshot = WeightSnapshot::decode(&data, SnapshotScope::TrainableOnly)?;
-                    snapshot.apply(&mut self.client_student)?;
+                    self.apply_weight_payload(&data, SnapshotScope::TrainableOnly)?;
                 }
                 self.pending_metric = Some((frame_index, metric, distill_steps));
             }
@@ -493,6 +582,7 @@ impl<'a> ClientDriver<'a> {
         ClientLoopOutput {
             record,
             final_student,
+            delta: self.sync.map(|sync| sync.stats).unwrap_or_default(),
         }
     }
 }
@@ -508,8 +598,16 @@ pub(crate) fn drive_client<E: ClientEndpoint>(
     endpoint: &mut E,
     label: &str,
     variant_prefix: &str,
+    delta_updates: bool,
 ) -> Result<ClientLoopOutput> {
-    let mut driver = ClientDriver::new(config, frames, client_student, label, variant_prefix);
+    let mut driver = ClientDriver::new(
+        config,
+        frames,
+        client_student,
+        label,
+        variant_prefix,
+        delta_updates,
+    );
     loop {
         match driver.pump(endpoint)? {
             PumpState::Runnable => {}
@@ -593,7 +691,15 @@ pub fn run_live(
     });
 
     // ---------------- client (Algorithm 4), on this thread ----------------
-    let output = drive_client(config, &frames, student, &mut client_tp, label, "live")?;
+    let output = drive_client(
+        config,
+        &frames,
+        student,
+        &mut client_tp,
+        label,
+        "live",
+        false,
+    )?;
     drop(client_tp);
 
     let (server_key_frames, server_distill_steps) = server_handle
@@ -606,6 +712,7 @@ pub fn run_live(
         server_key_frames,
         server_distill_steps,
         final_student: output.final_student,
+        delta: output.delta,
     })
 }
 
@@ -722,6 +829,9 @@ where
     let latency = LatencyProfile::paper();
     let started = Instant::now();
 
+    // The pool's connect negotiates delta updates on every stream when the
+    // config asks for them, so the client drivers must decode envelopes.
+    let delta_updates = pool_config.delta_updates;
     let pool = ServerPool::spawn(
         config,
         pool_config,
@@ -733,9 +843,11 @@ where
     // Both drivers drop every endpoint before returning, so the pool sees
     // all streams disconnect and `join` can complete.
     let outputs = match mode {
-        ClientDriverMode::Multiplexed => drive_multiplexed(config, &streams, &student, &pool),
+        ClientDriverMode::Multiplexed => {
+            drive_multiplexed(config, &streams, &student, &pool, delta_updates)
+        }
         ClientDriverMode::ThreadPerClient => {
-            drive_thread_per_client(config, &streams, &student, &pool)
+            drive_thread_per_client(config, &streams, &student, &pool, delta_updates)
         }
     };
     // Join the pool even when the client side failed (its workers own the
@@ -760,6 +872,7 @@ where
             server_key_frames: server.key_frames,
             server_distill_steps: server.distill_steps,
             final_student: output.final_student,
+            delta: output.delta,
         });
     }
     Ok(MultiLiveOutcome {
@@ -785,6 +898,7 @@ fn drive_multiplexed(
     streams: &[StreamSpec],
     student: &StudentNet,
     pool: &ServerPool,
+    delta_updates: bool,
 ) -> Result<Vec<ClientLoopOutput>> {
     let poller = st_net::Poller::new();
     let mut endpoints = Vec::with_capacity(streams.len());
@@ -804,6 +918,7 @@ fn drive_multiplexed(
                 student.clone(),
                 &spec.label,
                 "live-multi",
+                delta_updates,
             ))
         })
         .collect();
@@ -879,6 +994,7 @@ fn drive_thread_per_client(
     streams: &[StreamSpec],
     student: &StudentNet,
     pool: &ServerPool,
+    delta_updates: bool,
 ) -> Result<Vec<ClientLoopOutput>> {
     let mut endpoints = Vec::with_capacity(streams.len());
     for spec in streams {
@@ -897,6 +1013,7 @@ fn drive_thread_per_client(
                     &mut endpoint,
                     &spec.label,
                     "live-multi",
+                    delta_updates,
                 );
                 drop(endpoint);
                 result
@@ -970,7 +1087,9 @@ mod tests {
                         .push_back(ServerToClient::Throttle { frame_index });
                 }
                 ClientToServer::Shutdown => self.shutdowns_seen += 1,
-                ClientToServer::Register | ClientToServer::ReShare { .. } => {}
+                ClientToServer::Register
+                | ClientToServer::RegisterCaps { .. }
+                | ClientToServer::ReShare { .. } => {}
             }
             Ok(())
         }
@@ -1003,6 +1122,7 @@ mod tests {
             &mut endpoint,
             "throttled",
             "live",
+            false,
         )
         .unwrap();
         // Every frame was served locally — the run completed without ever
@@ -1076,7 +1196,9 @@ mod tests {
                     }
                 }
                 ClientToServer::Shutdown => {}
-                ClientToServer::Register | ClientToServer::ReShare { .. } => {}
+                ClientToServer::Register
+                | ClientToServer::RegisterCaps { .. }
+                | ClientToServer::ReShare { .. } => {}
             }
             Ok(())
         }
@@ -1109,6 +1231,7 @@ mod tests {
             &mut endpoint,
             "recovering",
             "live",
+            false,
         )
         .unwrap();
         // Back-off under throttles: keys at 0 (stride 8 -> 16) and 16
@@ -1233,6 +1356,7 @@ mod tests {
             &mut endpoint,
             "flaky",
             "live",
+            false,
         )
         .unwrap();
         // The drop was survived: the whole stream was served, and key
@@ -1291,6 +1415,7 @@ mod tests {
             &mut DeadEndpoint,
             "dead",
             "live",
+            false,
         )
         .unwrap();
         assert_eq!(output.record.frames, 20);

@@ -194,7 +194,7 @@ pub fn run_shm_client(
     )
     .map_err(|e| io_err("open shared-memory segment", e))?;
     let mut endpoint = st_net::connect().with_transport(ring);
-    let output = drive_client(config, frames, student, &mut endpoint, label, "shm")?;
+    let output = drive_client(config, frames, student, &mut endpoint, label, "shm", false)?;
     let mut record = output.record;
     record.uplink_bytes = endpoint.wire_sent_bytes();
     record.downlink_bytes = endpoint.wire_received_bytes();

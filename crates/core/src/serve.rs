@@ -80,8 +80,11 @@ use st_net::message::MESSAGE_OVERHEAD_BYTES;
 use st_net::transport::ClientEndpoint;
 use st_net::{
     ClientToServer, DropReason, Payload, ServerToClient, StreamId, StreamTagged, TransportError,
+    Wire,
 };
+use st_nn::delta::{CheckpointDigest, WeightDelta, WeightPayload};
 use st_nn::snapshot::{SnapshotScope, WeightSnapshot};
+use st_nn::store::{CheckpointRef, InternStats, SessionMemory, WeightStore};
 use st_nn::student::StudentNet;
 use st_teacher::Teacher;
 use st_tensor::TensorError;
@@ -179,6 +182,23 @@ impl Default for FaultPlan {
     }
 }
 
+/// How a shard materializes each stream's student weights from the shared
+/// pretrained template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SessionWeights {
+    /// Clone the template copy-on-write: parameter storage is shared until
+    /// the optimizer (or a restore) first writes a stage, so the frozen
+    /// front-end of a partial-distillation session costs its bytes once per
+    /// shard, not once per stream. Bit-identical to a deep clone — the
+    /// differential e2e suite asserts it.
+    #[default]
+    CopyOnWrite,
+    /// Eagerly copy every tensor (the pre-PR-10 behaviour): full memory
+    /// price per session. Kept as the A/B baseline for the differential
+    /// tests and the `table13_weight_dedup` bench.
+    DeepClone,
+}
+
 /// Configuration of a [`ServerPool`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PoolConfig {
@@ -245,6 +265,19 @@ pub struct PoolConfig {
     /// default). Chaos tests kill a shard mid-run with this instead of
     /// aborting threads.
     pub fault_plan: FaultPlan,
+    /// How sessions materialize their weights from the template
+    /// ([`SessionWeights::CopyOnWrite`] by default; behaviour is identical
+    /// either way, only resident memory differs).
+    pub session_weights: SessionWeights,
+    /// Negotiate delta-encoded weight updates with clients: `connect` sends
+    /// [`ClientToServer::RegisterCaps`] announcing delta support, and the
+    /// shard answers each distilled key frame with a sparse
+    /// [`st_nn::delta::WeightDelta`] against the client's last-acked
+    /// checkpoint (full snapshots remain the fallback whenever the stream is
+    /// not known to be in sync — first update after a register, or after a
+    /// failover restore). Off by default: updates ship as bare full
+    /// snapshots of the trainable subset, exactly the seed wire format.
+    pub delta_updates: bool,
 }
 
 impl PoolConfig {
@@ -265,6 +298,8 @@ impl PoolConfig {
             reactor_threads: None,
             replication: false,
             fault_plan: FaultPlan::none(),
+            session_weights: SessionWeights::CopyOnWrite,
+            delta_updates: false,
         }
     }
 
@@ -525,6 +560,28 @@ pub struct ShardStats {
     /// partial-distillation stage re-encodes identically update after
     /// update, so its chunks are shared, not recopied.
     pub replica_bytes_shared: usize,
+    /// Bytes of session parameter/buffer storage still *shared* with the
+    /// shard's pretrained template (copy-on-write stages never written),
+    /// sampled when the shard finished. Deep-cloned sessions report 0 here.
+    pub session_bytes_shared: usize,
+    /// Bytes of session parameter/buffer storage privately materialized
+    /// (stages the optimizer or a restore wrote), sampled at finish.
+    pub session_bytes_private: usize,
+    /// Peak of [`ShardStats::session_bytes_private`] over the shard's life —
+    /// the high-water marginal memory cost of this shard's streams.
+    pub session_bytes_private_peak: usize,
+    /// Weight updates shipped delta-encoded (changed chunks only).
+    pub delta_updates_sent: usize,
+    /// Weight updates shipped as full snapshots on a delta-negotiated
+    /// stream — the first update after a (re-)register or failover restore.
+    pub full_updates_sent: usize,
+    /// Actual update payload bytes sent on delta-negotiated streams (delta
+    /// or full-fallback encodings, as shipped).
+    pub update_bytes_sent: usize,
+    /// Bytes the same updates would have cost as full snapshots — the
+    /// baseline the delta encoding is measured against. For non-negotiated
+    /// streams both counters advance identically.
+    pub update_bytes_full_equiv: usize,
 }
 
 impl ShardStats {
@@ -584,6 +641,12 @@ pub struct PoolStats {
     /// adopting every stream. Feeds
     /// [`PoolStats::takeover_latency_p99_secs`].
     pub takeover_samples: Vec<f64>,
+    /// Bytes resident in the pool's content-addressed [`WeightStore`] at
+    /// join time (template chunks + any still-live replica chunks, each
+    /// distinct chunk counted once).
+    pub store_resident_bytes: usize,
+    /// Distinct chunks resident in the weight store at join time.
+    pub store_chunk_count: usize,
 }
 
 impl PoolStats {
@@ -713,6 +776,47 @@ impl PoolStats {
         self.shards.iter().map(|s| s.replica_bytes_shared).sum()
     }
 
+    /// Session storage shared with shard templates (copy-on-write stages
+    /// never written), summed over the last per-shard samples.
+    pub fn session_bytes_shared(&self) -> usize {
+        self.shards.iter().map(|s| s.session_bytes_shared).sum()
+    }
+
+    /// Session storage privately materialized by optimizer writes, summed
+    /// over the last per-shard samples.
+    pub fn session_bytes_private(&self) -> usize {
+        self.shards.iter().map(|s| s.session_bytes_private).sum()
+    }
+
+    /// Peak private session storage observed on any single shard.
+    pub fn session_bytes_private_peak(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.session_bytes_private_peak)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Weight updates shipped delta-encoded across the pool.
+    pub fn delta_updates_sent(&self) -> usize {
+        self.shards.iter().map(|s| s.delta_updates_sent).sum()
+    }
+
+    /// Weight updates shipped as full snapshots on delta-negotiated streams.
+    pub fn full_updates_sent(&self) -> usize {
+        self.shards.iter().map(|s| s.full_updates_sent).sum()
+    }
+
+    /// Update payload bytes actually sent on delta-negotiated streams.
+    pub fn update_bytes_sent(&self) -> usize {
+        self.shards.iter().map(|s| s.update_bytes_sent).sum()
+    }
+
+    /// What those same updates would have cost as full snapshots.
+    pub fn update_bytes_full_equiv(&self) -> usize {
+        self.shards.iter().map(|s| s.update_bytes_full_equiv).sum()
+    }
+
     /// The p99 wall-clock takeover latency in seconds (0.0 when no shard
     /// died): death → the standby finished adopting every stream.
     pub fn takeover_latency_p99_secs(&self) -> f64 {
@@ -790,6 +894,16 @@ impl PoolStats {
             takeover_latency_p99_ms: 1e3 * self.takeover_latency_p99_secs(),
             replica_bytes_published: self.replica_bytes_published(),
             replica_bytes_shared: self.replica_bytes_shared(),
+            streams: self.streams.len(),
+            session_bytes_shared: self.session_bytes_shared(),
+            session_bytes_private: self.session_bytes_private(),
+            session_bytes_private_peak: self.session_bytes_private_peak(),
+            store_resident_bytes: self.store_resident_bytes,
+            store_chunk_count: self.store_chunk_count,
+            delta_updates_sent: self.delta_updates_sent(),
+            full_updates_sent: self.full_updates_sent(),
+            update_bytes_sent: self.update_bytes_sent(),
+            update_bytes_full_equiv: self.update_bytes_full_equiv(),
         }
     }
 }
@@ -963,25 +1077,13 @@ impl FrameStore {
     }
 }
 
-/// FNV-1a 64 content hash of one checkpoint chunk — the replica store's
-/// content address. Weight tensors are dense `f32` payloads; 64 bits of
-/// FNV over them is collision-safe at pool scale and needs no dependency.
-fn chunk_hash(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &byte in bytes {
-        hash ^= byte as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
-/// One stream's replicated session checkpoint: content-hash references into
-/// the shared blob cache, plus the non-weight state a takeover restores
-/// (distillation counters, the stream's unspent DRR deficit, and the set of
-/// frame indices the client had shared).
+/// One stream's replicated session checkpoint: a refcounted
+/// [`CheckpointRef`] into the pool's shared [`WeightStore`], plus the
+/// non-weight state a takeover restores (distillation counters, the
+/// stream's unspent DRR deficit, the set of frame indices the client had
+/// shared, and whether the client negotiated delta updates).
 struct SessionReplica {
-    /// `(entry name, content hash)` per snapshot entry, in capture order.
-    chunks: Vec<(String, u64)>,
+    checkpoint: CheckpointRef,
     key_frames: usize,
     distill_steps: usize,
     /// Unspent deficit-round-robin credit at publication time.
@@ -991,47 +1093,54 @@ struct SessionReplica {
     /// `NeedFrame`/`ReShare` round trip, so replicating them would buy
     /// nothing but bandwidth.
     known_frames: Vec<usize>,
+    /// The stream's delta-update negotiation survives failover: the adopter
+    /// must keep speaking the envelope protocol (with a full-snapshot
+    /// re-sync) rather than silently reverting to bare snapshots.
+    supports_delta: bool,
 }
 
-/// A replica materialized for takeover: chunk bytes resolved and blob
-/// references released.
+/// A replica materialized for takeover: checkpoint resolved from the store
+/// and its references released.
 struct RestoredReplica {
-    chunks: Vec<(String, Bytes)>,
+    snapshot: WeightSnapshot,
     key_frames: usize,
     distill_steps: usize,
     deficit: usize,
     known_frames: Vec<usize>,
+    supports_delta: bool,
 }
 
-/// The pool's shared, content-addressed checkpoint-replica store.
+/// The pool's shared checkpoint-replica index over the content-addressed
+/// [`WeightStore`].
 ///
 /// After every accepted update a shard publishes the stream's full session
 /// checkpoint here, keyed by owning shard; when a shard dies, its buddy
-/// adopts the dead shard's slot and rebuilds every stream from it. Chunks
-/// (one per snapshot entry) are stored by FNV-1a content hash with
-/// reference counts, so the frozen front-end a partial-distillation
-/// session never touches is stored **once** across all streams and all
-/// updates — re-publishing an unchanged stage costs a hash lookup, not a
-/// copy. `ShardStats::replica_bytes_published` versus
+/// adopts the dead shard's slot and rebuilds every stream from it. Since
+/// PR 10 the replica store holds [`CheckpointRef`]s — replication publishes
+/// *references* into the same store that also interns the pretrained
+/// template, so the frozen front-end a partial-distillation session never
+/// touches is resident **once** across the template and every stream's
+/// replica. `ShardStats::replica_bytes_published` versus
 /// `ShardStats::replica_bytes_shared` measures exactly that saving.
 pub struct ReplicaStore {
     /// `slots[owner]` = replicas of the streams shard `owner` serves.
     slots: Vec<Mutex<HashMap<StreamId, SessionReplica>>>,
-    /// Content hash → (reference count, chunk bytes).
-    blobs: Mutex<HashMap<u64, (usize, Bytes)>>,
+    /// The shared chunk store (also holds the interned template).
+    store: Arc<WeightStore>,
 }
 
 impl ReplicaStore {
-    fn new(shards: usize) -> Self {
+    fn new(shards: usize, store: Arc<WeightStore>) -> Self {
         ReplicaStore {
             slots: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
-            blobs: Mutex::new(HashMap::new()),
+            store,
         }
     }
 
     /// Publish one stream's checkpoint under `owner`, replacing any prior
-    /// replica of the stream. Returns `(new_bytes, shared_bytes)`: bytes
-    /// the blob cache had to store versus bytes it deduplicated.
+    /// replica of the stream. Returns the [`InternStats`] byte split: bytes
+    /// the store had to materialize versus bytes it deduplicated (against
+    /// the template, other streams, or the stream's own prior replica).
     #[allow(clippy::too_many_arguments)]
     fn publish(
         &self,
@@ -1042,53 +1151,35 @@ impl ReplicaStore {
         distill_steps: usize,
         deficit: usize,
         known_frames: Vec<usize>,
-    ) -> (usize, usize) {
-        use std::collections::hash_map::Entry;
-        let mut published = 0;
-        let mut shared = 0;
-        let mut chunks = Vec::new();
-        {
-            let mut blobs = locked(&self.blobs);
-            for (name, bytes) in checkpoint.entry_chunks() {
-                let hash = chunk_hash(&bytes);
-                match blobs.entry(hash) {
-                    Entry::Occupied(mut occupied) => {
-                        occupied.get_mut().0 += 1;
-                        shared += bytes.len();
-                    }
-                    Entry::Vacant(vacant) => {
-                        published += bytes.len();
-                        vacant.insert((1, bytes));
-                    }
-                }
-                chunks.push((name.to_string(), hash));
-            }
-        }
+        supports_delta: bool,
+    ) -> InternStats {
+        let (checkpoint, stats) = self.store.intern(checkpoint);
         let previous = locked(&self.slots[owner]).insert(
             stream_id,
             SessionReplica {
-                chunks,
+                checkpoint,
                 key_frames,
                 distill_steps,
                 deficit,
                 known_frames,
+                supports_delta,
             },
         );
         if let Some(previous) = previous {
-            self.release(&previous.chunks);
+            self.store.release(previous.checkpoint);
         }
-        (published, shared)
+        stats
     }
 
     /// Drop one stream's replica (the stream retired normally; there is
     /// nothing left to fail over).
     fn remove(&self, owner: usize, stream_id: StreamId) {
         if let Some(replica) = locked(&self.slots[owner]).remove(&stream_id) {
-            self.release(&replica.chunks);
+            self.store.release(replica.checkpoint);
         }
     }
 
-    /// Re-home a replica after a voluntary migration. Blob references are
+    /// Re-home a replica after a voluntary migration. Store references are
     /// untouched — the checkpoint content did not change, only its owner.
     fn move_owner(&self, stream_id: StreamId, from: usize, to: usize) {
         if from == to {
@@ -1099,55 +1190,50 @@ impl ReplicaStore {
         }
     }
 
-    /// Take every replica a dead shard owned, materialized for restore and
-    /// sorted by stream id so adoption order is deterministic.
+    /// Take every replica a dead shard owned, materialized for restore
+    /// (references released) and sorted by stream id so adoption order is
+    /// deterministic.
     fn take_owner(&self, owner: usize) -> Vec<(StreamId, RestoredReplica)> {
         let mut replicas: Vec<(StreamId, SessionReplica)> = {
             let mut slot = locked(&self.slots[owner]);
             slot.drain().collect()
         };
         replicas.sort_by_key(|(id, _)| *id);
-        let mut blobs = locked(&self.blobs);
         replicas
             .into_iter()
             .map(|(stream_id, replica)| {
-                let mut chunks = Vec::with_capacity(replica.chunks.len());
-                for (name, hash) in replica.chunks {
-                    let Some(entry) = blobs.get_mut(&hash) else {
-                        unreachable!("replica chunk reference-counted in blob cache")
-                    };
-                    chunks.push((name, entry.1.clone()));
-                    entry.0 -= 1;
-                    if entry.0 == 0 {
-                        blobs.remove(&hash);
-                    }
-                }
+                let snapshot = match self.store.resolve_release(replica.checkpoint) {
+                    Ok(snapshot) => snapshot,
+                    // The replica held a reference since publish, so every
+                    // chunk is pinned; a miss is corrupted store accounting,
+                    // which no takeover should paper over.
+                    Err(err) => unreachable!("replica checkpoint unresolvable: {err:?}"),
+                };
                 (
                     stream_id,
                     RestoredReplica {
-                        chunks,
+                        snapshot,
                         key_frames: replica.key_frames,
                         distill_steps: replica.distill_steps,
                         deficit: replica.deficit,
                         known_frames: replica.known_frames,
+                        supports_delta: replica.supports_delta,
                     },
                 )
             })
             .collect()
     }
+}
 
-    /// Release chunk references (a replica was replaced or removed).
-    fn release(&self, chunks: &[(String, u64)]) {
-        let mut blobs = locked(&self.blobs);
-        for (_name, hash) in chunks {
-            if let Some(entry) = blobs.get_mut(hash) {
-                entry.0 -= 1;
-                if entry.0 == 0 {
-                    blobs.remove(hash);
-                }
-            }
-        }
-    }
+/// Server-side delta-negotiation state of one stream: the digest of the
+/// client's last-acked checkpoint (patched with every update actually
+/// sent) and whether the stream is known to be in sync. An unsynced stream
+/// — fresh registration pending its first update, or a failover-restored
+/// session whose adopter cannot prove what the client last applied — gets
+/// a full-snapshot envelope, which re-synchronizes it.
+struct DeltaTrack {
+    digest: CheckpointDigest,
+    synced: bool,
 }
 
 /// One stream's registration state inside a shard.
@@ -1155,6 +1241,10 @@ struct StreamEntry {
     session: DistillSession,
     /// The stream's pre-shared frame content, LRU-bounded.
     frames: FrameStore,
+    /// Delta-update negotiation state; `None` on legacy bare-snapshot
+    /// streams. Travels with the stream through migration and is rebuilt
+    /// (unsynced) after a failover restore.
+    delta: Option<DeltaTrack>,
 }
 
 /// A key-frame job drained from the shard queue.
@@ -1530,6 +1620,11 @@ pub struct ServeShard<T: Teacher> {
     config: ShadowTutorConfig,
     distill_step_latency: f64,
     template: StudentNet,
+    /// Full-scope digest of the pristine template — the sparse-restore
+    /// baseline: failover applies only the replica entries that differ from
+    /// it, so frozen stages come back sharing the template's storage.
+    template_digest: CheckpointDigest,
+    session_weights: SessionWeights,
     teacher: T,
     sessions: HashMap<StreamId, StreamEntry>,
     stats: ShardStats,
@@ -1540,18 +1635,37 @@ impl<T: Teacher> ServeShard<T> {
     /// Create a shard serving sessions cloned from `template`.
     pub fn new(
         config: ShadowTutorConfig,
-        template: StudentNet,
+        mut template: StudentNet,
         teacher: T,
         distill_step_latency: f64,
     ) -> Self {
+        let template_digest =
+            CheckpointDigest::of(&WeightSnapshot::capture(&mut template, SnapshotScope::Full));
         ServeShard {
             config,
             distill_step_latency,
             template,
+            template_digest,
+            session_weights: SessionWeights::CopyOnWrite,
             teacher,
             sessions: HashMap::new(),
             stats: ShardStats::default(),
             costs: TeacherCostProfile::new(),
+        }
+    }
+
+    /// Set how sessions materialize their weights from the template.
+    pub fn with_session_weights(mut self, session_weights: SessionWeights) -> Self {
+        self.session_weights = session_weights;
+        self
+    }
+
+    /// Materialize a session's starting weights from the template per the
+    /// shard's [`SessionWeights`] mode.
+    fn template_instance(&mut self) -> StudentNet {
+        match self.session_weights {
+            SessionWeights::CopyOnWrite => self.template.clone(),
+            SessionWeights::DeepClone => self.template.deep_clone(),
         }
     }
 
@@ -1560,23 +1674,40 @@ impl<T: Teacher> ServeShard<T> {
     ///
     /// A duplicate register does **not** clobber the live session or its
     /// pre-shared frames (the pool rejects duplicate connects before they
-    /// reach the shard); it returns the session's current checkpoint.
-    pub fn register(&mut self, stream_id: StreamId, frames: FrameStore) -> WeightSnapshot {
-        use std::collections::hash_map::Entry;
-        match self.sessions.entry(stream_id) {
-            Entry::Occupied(mut occupied) => occupied.get_mut().session.initial_checkpoint(),
-            Entry::Vacant(vacant) => {
-                let entry = vacant.insert(StreamEntry {
-                    session: DistillSession::new(
-                        self.config,
-                        self.template.clone(),
-                        self.distill_step_latency,
-                    ),
+    /// reach the shard); it returns the session's current checkpoint. Either
+    /// way the stream's delta track resets to synced-at-this-checkpoint:
+    /// the caller is about to ship exactly this snapshot as
+    /// [`ServerToClient::InitialStudent`].
+    pub fn register(
+        &mut self,
+        stream_id: StreamId,
+        frames: FrameStore,
+        supports_delta: bool,
+    ) -> WeightSnapshot {
+        if !self.sessions.contains_key(&stream_id) {
+            let session = DistillSession::new(
+                self.config,
+                self.template_instance(),
+                self.distill_step_latency,
+            );
+            self.sessions.insert(
+                stream_id,
+                StreamEntry {
+                    session,
                     frames,
-                });
-                entry.session.initial_checkpoint()
-            }
+                    delta: None,
+                },
+            );
         }
+        let Some(entry) = self.sessions.get_mut(&stream_id) else {
+            unreachable!("session inserted above when absent")
+        };
+        let initial = entry.session.initial_checkpoint();
+        entry.delta = supports_delta.then(|| DeltaTrack {
+            digest: CheckpointDigest::of(&initial),
+            synced: true,
+        });
+        initial
     }
 
     /// Restore an evicted frame's content from a client re-share. Returns
@@ -1627,24 +1758,52 @@ impl<T: Teacher> ServeShard<T> {
     }
 
     /// Capture what checkpoint replication publishes for one stream: the
-    /// full session checkpoint, the distillation counters, and the set of
-    /// shared frame indices.
+    /// full session checkpoint, the distillation counters, the set of
+    /// shared frame indices, and the stream's delta negotiation.
     fn session_replica(
         &mut self,
         stream_id: StreamId,
-    ) -> Option<(WeightSnapshot, usize, usize, Vec<usize>)> {
+    ) -> Option<(WeightSnapshot, usize, usize, Vec<usize>, bool)> {
         let entry = self.sessions.get_mut(&stream_id)?;
         Some((
             entry.session.replica_checkpoint(),
             entry.session.key_frames_processed(),
             entry.session.distill_steps_taken(),
             entry.frames.known_indices(),
+            entry.delta.is_some(),
         ))
+    }
+
+    /// The stream's delta track, if the client negotiated delta updates.
+    fn delta_track_mut(&mut self, stream_id: StreamId) -> Option<&mut DeltaTrack> {
+        self.sessions.get_mut(&stream_id)?.delta.as_mut()
+    }
+
+    /// Sum every live session's storage split against the shard template.
+    /// Cheap (pointer compares per tensor), but still sampled per batch,
+    /// never per frame.
+    fn memory_profile(&mut self) -> SessionMemory {
+        let mut total = SessionMemory::default();
+        for entry in self.sessions.values_mut() {
+            let m = SessionMemory::measure(entry.session.student_mut(), &mut self.template);
+            total.shared_bytes += m.shared_bytes;
+            total.private_bytes += m.private_bytes;
+        }
+        total
     }
 
     /// Rebuild a stream from its replicated checkpoint (warm-standby
     /// takeover): a fresh session resumed from the replica weights and
     /// counters, plus a known-but-evicted frame cache.
+    ///
+    /// The restore is *sparse*: only the replica entries whose content hash
+    /// differs from the pristine template are applied onto a copy-on-write
+    /// template instance, so frozen stages come back sharing the template's
+    /// storage — bit-identical to applying the full replica, because a
+    /// skipped entry equals the template by content hash. A delta-negotiated
+    /// stream restores with `synced: false`: the adopter cannot prove what
+    /// the client last applied, so the next update ships as a full-snapshot
+    /// envelope (the delta re-sync).
     fn restore_stream(
         &mut self,
         stream_id: StreamId,
@@ -1652,21 +1811,35 @@ impl<T: Teacher> ServeShard<T> {
         key_frames: usize,
         distill_steps: usize,
         frames: FrameStore,
+        supports_delta: bool,
     ) -> Result<()> {
         debug_assert!(
             !self.sessions.contains_key(&stream_id),
             "a stream lives on exactly one shard"
         );
+        let sparse = WeightDelta::compute(snapshot, &self.template_digest);
+        let (changed, _) = sparse.into_parts()?;
+        let base = self.template_instance();
         let session = DistillSession::resume(
             self.config,
-            self.template.clone(),
-            snapshot,
+            base,
+            &changed,
             self.distill_step_latency,
             key_frames,
             distill_steps,
         )?;
-        self.sessions
-            .insert(stream_id, StreamEntry { session, frames });
+        let delta = supports_delta.then(|| DeltaTrack {
+            digest: CheckpointDigest::of(snapshot),
+            synced: false,
+        });
+        self.sessions.insert(
+            stream_id,
+            StreamEntry {
+                session,
+                frames,
+                delta,
+            },
+        );
         Ok(())
     }
 
@@ -1818,7 +1991,9 @@ impl<T: Teacher> ServeShard<T> {
             };
             // Split the entry so the frame borrow and the mutable session
             // borrow coexist.
-            let StreamEntry { session, frames } = entry;
+            let StreamEntry {
+                session, frames, ..
+            } = entry;
             let Some(frame) = frames.peek(job.frame_index) else {
                 unreachable!("frame resident: touched above")
             };
@@ -2357,6 +2532,12 @@ pub struct ServerPool {
     /// Failover blackboard: worker deaths, adoption claims, and the dead
     /// shards' standby-assembled final outputs.
     board: Arc<FailoverBoard>,
+    /// The pool-wide content-addressed chunk store (template + replicas).
+    store: Arc<WeightStore>,
+    /// The interned pristine template, pinned for the pool's lifetime so
+    /// replica publishes always dedup frozen stages against it. Released
+    /// at `join`.
+    template_checkpoint: Option<CheckpointRef>,
 }
 
 impl ServerPool {
@@ -2366,7 +2547,7 @@ impl ServerPool {
     pub fn spawn<T, F>(
         config: ShadowTutorConfig,
         pool_config: PoolConfig,
-        template: StudentNet,
+        mut template: StudentNet,
         distill_step_latency: f64,
         mut teacher_factory: F,
     ) -> Result<ServerPool>
@@ -2383,9 +2564,15 @@ impl ServerPool {
             pool_config.shards,
             pool_config.replication,
         ));
+        // The pool-wide content-addressed chunk store. The pristine template
+        // is interned up front, so every later replica publish dedups its
+        // frozen stages against the template's chunks from the first byte.
+        let store = Arc::new(WeightStore::new());
+        let (template_checkpoint, _) =
+            store.intern(&WeightSnapshot::capture(&mut template, SnapshotScope::Full));
         let replicas = pool_config
             .replication
-            .then(|| Arc::new(ReplicaStore::new(pool_config.shards)));
+            .then(|| Arc::new(ReplicaStore::new(pool_config.shards, Arc::clone(&store))));
         let mut uplinks = Vec::with_capacity(pool_config.shards);
         let mut registries = Vec::with_capacity(pool_config.shards);
         let mut workers = Vec::new();
@@ -2405,7 +2592,8 @@ impl ServerPool {
                     template.clone(),
                     teacher_factory(shard_index),
                     distill_step_latency,
-                );
+                )
+                .with_session_weights(pool_config.session_weights);
                 states.push(Mutex::new(Some(ShardState::new(
                     shard,
                     rx,
@@ -2458,6 +2646,8 @@ impl ServerPool {
                 shard_wakers: Some(shard_wakers),
                 wire,
                 board,
+                store,
+                template_checkpoint: Some(template_checkpoint),
             });
         }
         let mut states = Vec::with_capacity(pool_config.shards);
@@ -2469,7 +2659,8 @@ impl ServerPool {
                 template.clone(),
                 teacher_factory(shard_index),
                 distill_step_latency,
-            );
+            )
+            .with_session_weights(pool_config.session_weights);
             states.push(Mutex::new(Some(ShardState::new(
                 shard,
                 rx,
@@ -2506,6 +2697,8 @@ impl ServerPool {
             shard_wakers: None,
             wire,
             board,
+            store,
+            template_checkpoint: Some(template_checkpoint),
         })
     }
 
@@ -2640,10 +2833,17 @@ impl ServerPool {
         // lets callers immediately block on the initial checkpoint. A failed
         // send (the shard worker died) must roll the placement back, or the
         // id would be burned and the shard's load over-counted forever.
-        if client
-            .send(ClientToServer::Register, MESSAGE_OVERHEAD_BYTES)
-            .is_err()
-        {
+        // Delta-negotiating pools register via `RegisterCaps`: an old server
+        // build rejects the unknown tag with a typed error instead of
+        // mis-decoding, and a plain `Register` keeps meaning bare snapshots.
+        let register = if self.pool_config.delta_updates {
+            ClientToServer::RegisterCaps {
+                supports_delta: true,
+            }
+        } else {
+            ClientToServer::Register
+        };
+        if client.send(register, MESSAGE_OVERHEAD_BYTES).is_err() {
             locked(&self.registries[shard]).remove(&stream_id);
             self.steal.load_dec(shard);
             locked(&self.placements).remove(&stream_id);
@@ -2663,7 +2863,7 @@ impl ServerPool {
     /// carrying the shard index and the actual panic payload. Recovered
     /// deaths are not errors: the adopted shards' reports — assembled by
     /// their standby — appear in the stats like everyone else's.
-    pub fn join(self) -> std::result::Result<PoolStats, PoolError> {
+    pub fn join(mut self) -> std::result::Result<PoolStats, PoolError> {
         drop(self.uplinks);
         drop(self.registries);
         // Reactor shards park until a token wakes them; with the uplinks now
@@ -2700,6 +2900,13 @@ impl ServerPool {
         // Reactor workers finalize shards in completion order; present the
         // report in shard order regardless of driver.
         outputs.sort_by_key(|output| output.shard);
+        // Measure the store *before* releasing the template pin, so the
+        // report reflects what the run actually held resident.
+        let store_resident_bytes = self.store.resident_bytes();
+        let store_chunk_count = self.store.chunk_count();
+        if let Some(template_checkpoint) = self.template_checkpoint.take() {
+            self.store.release(template_checkpoint);
+        }
         let mut stats = PoolStats {
             shards: Vec::with_capacity(shards),
             streams: HashMap::new(),
@@ -2710,6 +2917,8 @@ impl ServerPool {
             // loads cannot race.
             wire_bytes_up: self.wire.up.load(Ordering::Relaxed),
             wire_bytes_down: self.wire.down.load(Ordering::Relaxed),
+            store_resident_bytes,
+            store_chunk_count,
         };
         for output in outputs {
             stats.shards.push(output.stats);
@@ -2826,7 +3035,44 @@ fn process_scheduled<T: Teacher>(
         let Some(downlink) = downlinks.get(&stream_id) else {
             continue;
         };
-        let payload = Payload::with_data(response.update.encode());
+        // Delta-negotiated streams receive a [`WeightPayload`] envelope:
+        // the changed chunks against the client's last-acked checkpoint
+        // when the stream is known synced, a full snapshot otherwise (a
+        // fresh or failover-restored stream re-syncs on its next update).
+        // The digest is patched only here — for an update actually put on
+        // the downlink — so a stream whose client vanished never advances
+        // the base the client is assumed to hold.
+        let (encoded, delta_meter) = match shard.delta_track_mut(stream_id) {
+            Some(track) => {
+                let full_equiv = 1 + response.update.encoded_len();
+                if track.synced {
+                    let delta = WeightDelta::compute(&response.update, &track.digest);
+                    track.digest.patch(&response.update);
+                    (
+                        Bytes::from(Wire::encode(&WeightPayload::Delta(delta))),
+                        Some((true, full_equiv)),
+                    )
+                } else {
+                    track.digest.patch(&response.update);
+                    track.synced = true;
+                    (
+                        Bytes::from(WeightPayload::encode_full(&response.update)),
+                        Some((false, full_equiv)),
+                    )
+                }
+            }
+            None => (response.update.encode(), None),
+        };
+        if let Some((is_delta, full_equiv)) = delta_meter {
+            if is_delta {
+                shard.stats.delta_updates_sent += 1;
+            } else {
+                shard.stats.full_updates_sent += 1;
+            }
+            shard.stats.update_bytes_sent += encoded.len();
+            shard.stats.update_bytes_full_equiv += full_equiv;
+        }
+        let payload = Payload::with_data(encoded);
         let bytes = payload.bytes;
         let msg = ServerToClient::StudentUpdate {
             frame_index,
@@ -3122,6 +3368,11 @@ struct ShardState<T: Teacher> {
     replica_published: usize,
     replica_shared: usize,
     takeover_samples: Vec<f64>,
+    /// Last sampled copy-on-write session memory split (shared vs private
+    /// against the template), refreshed once per processed batch.
+    session_memory: SessionMemory,
+    /// Peak private session bytes observed across samples.
+    session_private_peak: usize,
 }
 
 /// What one [`ShardState::run_pass`] left behind, telling the reactor driver
@@ -3213,6 +3464,8 @@ impl<T: Teacher> ShardState<T> {
             replica_published: 0,
             replica_shared: 0,
             takeover_samples: Vec::new(),
+            session_memory: SessionMemory::default(),
+            session_private_peak: 0,
         }
     }
 
@@ -3312,7 +3565,10 @@ impl<T: Teacher> ShardState<T> {
         // defer its traffic until the mailbox delivers the stream itself.
         if self.stealing
             && !self.shard.has_stream(stream_id)
-            && !matches!(envelope.tagged.message, ClientToServer::Register)
+            && !matches!(
+                envelope.tagged.message,
+                ClientToServer::Register | ClientToServer::RegisterCaps { .. }
+            )
         {
             let owner = locked(&self.placements)
                 .get(&stream_id)
@@ -3372,7 +3628,13 @@ impl<T: Teacher> ShardState<T> {
         }
         self.uplink_bytes += envelope.bytes;
         match envelope.tagged.message {
-            ClientToServer::Register => {
+            ClientToServer::Register | ClientToServer::RegisterCaps { .. } => {
+                let supports_delta = matches!(
+                    envelope.tagged.message,
+                    ClientToServer::RegisterCaps {
+                        supports_delta: true
+                    }
+                );
                 let mut link = locked(&self.registry).remove(&stream_id);
                 if link.is_none() {
                     // A Register that raced its shard's death lands here
@@ -3394,8 +3656,16 @@ impl<T: Teacher> ShardState<T> {
                     self.unknown_registers += 1;
                     return Ok(());
                 };
-                let initial = self.shard.register(stream_id, link.frames);
-                let payload = Payload::with_data(initial.encode());
+                let initial = self.shard.register(stream_id, link.frames, supports_delta);
+                // Delta-negotiated streams get the initial checkpoint inside
+                // a `WeightPayload::Full` envelope — always applicable, and
+                // it seeds the client's digest for later deltas.
+                let encoded = if supports_delta {
+                    Bytes::from(WeightPayload::encode_full(&initial))
+                } else {
+                    initial.encode()
+                };
+                let payload = Payload::with_data(encoded);
                 let bytes = payload.bytes;
                 deliver(
                     &link.downlink,
@@ -3652,6 +3922,13 @@ impl<T: Teacher> ShardState<T> {
         )?;
         self.publish_replicas(&updated);
         self.batches_processed += 1;
+        // Sample the copy-on-write memory split once per batch: pointer
+        // compares per tensor, far off the per-frame fast path, and a batch
+        // is exactly when private storage can grow (optimizer writes).
+        self.session_memory = self.shard.memory_profile();
+        self.session_private_peak = self
+            .session_private_peak
+            .max(self.session_memory.private_bytes);
         self.batcher.observe(
             self.scheduler.len(),
             self.shard.batch_growth_pays(self.batcher.limit()),
@@ -3668,12 +3945,12 @@ impl<T: Teacher> ShardState<T> {
             return;
         };
         for &stream_id in updated {
-            let Some((checkpoint, key_frames, distill_steps, known_frames)) =
+            let Some((checkpoint, key_frames, distill_steps, known_frames, supports_delta)) =
                 self.shard.session_replica(stream_id)
             else {
                 continue;
             };
-            let (published, shared) = store.publish(
+            let stats = store.publish(
                 self.shard_index,
                 stream_id,
                 &checkpoint,
@@ -3681,9 +3958,10 @@ impl<T: Teacher> ShardState<T> {
                 distill_steps,
                 self.scheduler.deficit_of(stream_id),
                 known_frames,
+                supports_delta,
             );
-            self.replica_published += published;
-            self.replica_shared += shared;
+            self.replica_published += stats.new_bytes;
+            self.replica_shared += stats.shared_bytes;
         }
     }
 
@@ -3790,18 +4068,17 @@ impl<T: Teacher> ShardState<T> {
         let mut restored: Vec<StreamId> = Vec::new();
         if let Some(store) = self.replicas.clone() {
             for (stream_id, replica) in store.take_owner(dead) {
-                let snapshot =
-                    WeightSnapshot::from_entry_chunks(replica.chunks, SnapshotScope::Full)?;
                 let frames = FrameStore::from_known_indices(
                     &replica.known_frames,
                     self.pool_config.frame_budget_bytes,
                 );
                 self.shard.restore_stream(
                     stream_id,
-                    &snapshot,
+                    &replica.snapshot,
                     replica.key_frames,
                     replica.distill_steps,
                     frames,
+                    replica.supports_delta,
                 )?;
                 self.scheduler.set_deficit(stream_id, replica.deficit);
                 self.steal.load_dec(dead);
@@ -4090,6 +4367,9 @@ fn carcass_output<T: Teacher>(state: ShardState<T>) -> ShardOutput {
     stats.lost_acks = state.lost_acks;
     stats.replica_bytes_published = state.replica_published;
     stats.replica_bytes_shared = state.replica_shared;
+    stats.session_bytes_shared = state.session_memory.shared_bytes;
+    stats.session_bytes_private = state.session_memory.private_bytes;
+    stats.session_bytes_private_peak = state.session_private_peak;
     ShardOutput {
         shard: state.shard_index,
         stats,
@@ -4690,7 +4970,7 @@ mod tests {
     fn shard_records_measured_teacher_cost() {
         let mut s = shard();
         let people = frames_for(SceneKind::People, 91, 2);
-        s.register(1, FrameStore::from_frames(&people, None));
+        s.register(1, FrameStore::from_frames(&people, None), false);
         s.process_batch(&[ShardJob {
             stream_id: 1,
             frame_index: people[0].index,
@@ -4711,8 +4991,8 @@ mod tests {
         let mut s = shard();
         let people = frames_for(SceneKind::People, 11, 2);
         let animals = frames_for(SceneKind::Animals, 12, 2);
-        let init_a = s.register(1, FrameStore::from_frames(&people, None));
-        let init_b = s.register(2, FrameStore::from_frames(&animals, None));
+        let init_a = s.register(1, FrameStore::from_frames(&people, None), false);
+        let init_b = s.register(2, FrameStore::from_frames(&animals, None), false);
         // Both sessions start from the same template checkpoint.
         assert!(init_a.distance(&init_b).unwrap() < 1e-9);
         assert_eq!(s.stream_count(), 2);
@@ -4739,7 +5019,7 @@ mod tests {
     fn duplicate_register_does_not_clobber_the_session() {
         let mut s = shard();
         let people = frames_for(SceneKind::People, 13, 2);
-        s.register(1, FrameStore::from_frames(&people, None));
+        s.register(1, FrameStore::from_frames(&people, None), false);
         let outcome = s
             .process_batch(&[ShardJob {
                 stream_id: 1,
@@ -4749,7 +5029,7 @@ mod tests {
         assert_eq!(outcome.responses.len(), 1);
         // A duplicate register with *empty* frames must neither reset the
         // session nor lose the pre-shared frames.
-        let ckpt = s.register(1, FrameStore::new(None));
+        let ckpt = s.register(1, FrameStore::new(None), false);
         assert!(s.has_frame(1, people[1].index), "frames clobbered");
         let (final_ckpt, stats) = s.finish(1).unwrap();
         assert_eq!(stats.key_frames, 1, "session reset by duplicate register");
@@ -4761,8 +5041,8 @@ mod tests {
         let mut s = shard();
         let people = frames_for(SceneKind::People, 21, 2);
         let street = frames_for(SceneKind::Street, 22, 2);
-        s.register(1, FrameStore::from_frames(&people, None));
-        s.register(2, FrameStore::from_frames(&street, None));
+        s.register(1, FrameStore::from_frames(&people, None), false);
+        s.register(2, FrameStore::from_frames(&street, None), false);
         let outcome = s
             .process_batch(&[
                 ShardJob {
@@ -4796,7 +5076,7 @@ mod tests {
     fn unknown_jobs_are_acked_not_silently_skipped() {
         let mut s = shard();
         let people = frames_for(SceneKind::People, 31, 1);
-        s.register(1, FrameStore::from_frames(&people, None));
+        s.register(1, FrameStore::from_frames(&people, None), false);
         let outcome = s
             .process_batch(&[
                 ShardJob {
@@ -5022,7 +5302,7 @@ mod tests {
         let people = frames_for(SceneKind::People, 72, 3);
         let cost = FrameStore::frame_cost(&people[0]);
         // Budget for one frame: only the last pre-shared frame is resident.
-        s.register(1, FrameStore::from_frames(&people, Some(cost)));
+        s.register(1, FrameStore::from_frames(&people, Some(cost)), false);
         let outcome = s
             .process_batch(&[ShardJob {
                 stream_id: 1,
@@ -5062,9 +5342,9 @@ mod tests {
         // produce exactly the weights (and counters) of never migrating.
         let people = frames_for(SceneKind::People, 74, 2);
         let mut control = shard();
-        control.register(1, FrameStore::from_frames(&people, None));
+        control.register(1, FrameStore::from_frames(&people, None), false);
         let mut a = shard();
-        a.register(1, FrameStore::from_frames(&people, None));
+        a.register(1, FrameStore::from_frames(&people, None), false);
         let job0 = ShardJob {
             stream_id: 1,
             frame_index: people[0].index,

@@ -158,6 +158,12 @@ impl DistillSession {
         WeightSnapshot::capture(&mut self.student, SnapshotScope::Full)
     }
 
+    /// Mutable access to the session's student, for storage-identity memory
+    /// accounting against the shard template ([`st_nn::store::SessionMemory`]).
+    pub fn student_mut(&mut self) -> &mut StudentNet {
+        &mut self.student
+    }
+
     /// Wire sizes of the per-key-frame student payload under the current mode.
     pub fn update_payload_bytes(&mut self) -> usize {
         let sizes = PayloadSizes::of(&mut self.student);

@@ -79,6 +79,19 @@ pub enum ClientToServer {
     },
     /// The client is done with the stream; the server loop should exit.
     Shutdown,
+    /// Capability-announcing registration (wire tag 4, added with the
+    /// delta-update protocol). Semantically [`ClientToServer::Register`]
+    /// plus the client's announced capabilities; a peer predating the
+    /// variant rejects it with a typed
+    /// [`crate::WireError::UnknownVariant`], which is how the version
+    /// negotiation degrades: such a client simply keeps sending `Register`
+    /// and keeps receiving bare full snapshots.
+    RegisterCaps {
+        /// The client can decode [`ServerToClient`] weight payloads wrapped
+        /// in the delta envelope (`WeightPayload`) and apply sparse deltas
+        /// against its last-acked checkpoint.
+        supports_delta: bool,
+    },
 }
 
 /// Identifier of one client stream multiplexed onto a shared server.
@@ -430,7 +443,8 @@ mod tests {
             }
             ClientToServer::Register
             | ClientToServer::ReShare { .. }
-            | ClientToServer::Shutdown => panic!("wrong variant"),
+            | ClientToServer::Shutdown
+            | ClientToServer::RegisterCaps { .. } => panic!("wrong variant"),
         }
         let s = ServerToClient::StudentUpdate {
             frame_index: 5,

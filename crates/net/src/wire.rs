@@ -90,6 +90,20 @@ pub enum WireError {
         /// Bytes left over after the value decoded.
         remaining: usize,
     },
+    /// A weight delta named a base checkpoint this receiver has never held —
+    /// it cannot be applied against anything; the sender must fall back to a
+    /// full snapshot.
+    UnknownBaseCheckpoint {
+        /// The combined checkpoint hash the delta was computed against.
+        base: u64,
+    },
+    /// A weight delta was computed against a checkpoint the receiver *used*
+    /// to hold but has since advanced past (a missed or re-ordered update) —
+    /// applying it would silently corrupt the weights.
+    StaleBaseCheckpoint {
+        /// The superseded combined checkpoint hash the delta named.
+        base: u64,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -114,6 +128,15 @@ impl fmt::Display for WireError {
             WireError::InvalidValue { what } => write!(f, "invalid wire value: {what}"),
             WireError::TrailingBytes { remaining } => {
                 write!(f, "{remaining} trailing bytes after decoded value")
+            }
+            WireError::UnknownBaseCheckpoint { base } => {
+                write!(
+                    f,
+                    "weight delta against unknown base checkpoint {base:#018x}"
+                )
+            }
+            WireError::StaleBaseCheckpoint { base } => {
+                write!(f, "weight delta against stale base checkpoint {base:#018x}")
             }
         }
     }
@@ -412,6 +435,10 @@ impl Wire for ClientToServer {
                 payload.encode_into(out);
             }
             ClientToServer::Shutdown => out.push(3),
+            ClientToServer::RegisterCaps { supports_delta } => {
+                out.push(4);
+                supports_delta.encode_into(out);
+            }
         }
     }
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
@@ -426,6 +453,9 @@ impl Wire for ClientToServer {
                 payload: Payload::decode(input)?,
             }),
             3 => Ok(ClientToServer::Shutdown),
+            4 => Ok(ClientToServer::RegisterCaps {
+                supports_delta: bool::decode(input)?,
+            }),
             tag => Err(WireError::UnknownVariant {
                 type_name: "ClientToServer",
                 tag,
@@ -435,6 +465,7 @@ impl Wire for ClientToServer {
     fn encoded_len(&self) -> usize {
         match self {
             ClientToServer::Register | ClientToServer::Shutdown => 1,
+            ClientToServer::RegisterCaps { .. } => 2,
             ClientToServer::KeyFrame {
                 frame_index,
                 payload,

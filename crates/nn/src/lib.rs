@@ -25,17 +25,26 @@
 //! * [`metrics`] — confusion matrix, per-class IoU and mean IoU (Eq. 1).
 //! * [`snapshot`] — full and partial weight snapshots, diffs, byte encoding
 //!   (these byte sizes drive the network-traffic model, Table 4).
+//! * [`store`] — the content-addressed, refcounted chunk store that holds
+//!   the pretrained template once and every checkpoint by reference, plus
+//!   copy-on-write session memory accounting.
+//! * [`delta`] — checkpoint digests and the sparse delta encoding of
+//!   server→client weight updates (full snapshots remain the fallback).
 
 pub mod block;
+pub mod delta;
 pub mod layers;
 pub mod loss;
 pub mod metrics;
 pub mod optim;
 pub mod param;
 pub mod snapshot;
+pub mod store;
 pub mod student;
 
+pub use delta::{CheckpointDigest, WeightDelta, WeightPayload};
 pub use param::{Param, ParamVisitor};
+pub use store::{CheckpointRef, InternStats, SessionMemory, WeightStore};
 pub use student::{FreezePoint, Stage, StudentConfig, StudentNet};
 
 /// Result alias re-using the tensor error type.

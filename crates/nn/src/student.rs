@@ -551,6 +551,28 @@ impl StudentNet {
         self.sb6.visit_buffers(visitor, f.trainable(Stage::Sb6));
     }
 
+    /// Clone this network with every parameter, gradient, and buffer
+    /// storage eagerly materialized as a private copy.
+    ///
+    /// A plain `clone()` shares tensor storage copy-on-write (the memory
+    /// win behind multi-stream pools); `deep_clone` reproduces the
+    /// pre-CoW behaviour of paying full bytes per session up front — the
+    /// A/B baseline the differential tests and `table13_weight_dedup`
+    /// compare against.
+    pub fn deep_clone(&mut self) -> StudentNet {
+        let mut copy = self.clone();
+        let mut v = |p: &mut Param, _t: bool| {
+            let _ = p.value.data_mut();
+            let _ = p.grad.data_mut();
+        };
+        copy.visit_params(&mut v);
+        let mut b = |_name: &str, t: &mut Tensor, _tr: bool| {
+            let _ = t.data_mut();
+        };
+        copy.visit_buffers(&mut b);
+        copy
+    }
+
     /// Total parameter count.
     pub fn param_count(&mut self) -> usize {
         let mut n = 0usize;

@@ -25,9 +25,11 @@
 pub mod clock;
 pub mod contention;
 pub mod failover;
+pub mod memory;
 pub mod profile;
 
 pub use clock::{EventKind, EventLog, VirtualClock};
 pub use contention::{ContentionModel, DEFAULT_BATCH_MARGINAL_COST, DEFAULT_DISPATCH_OVERHEAD};
 pub use failover::FailoverModel;
+pub use memory::{DedupModel, DELTA_ENVELOPE_OVERHEAD, FULL_ENVELOPE_OVERHEAD};
 pub use profile::{Concurrency, LatencyProfile};

@@ -1,7 +1,8 @@
-//! Dense, contiguous, row-major `f32` tensor.
+//! Dense, contiguous, row-major `f32` tensor with copy-on-write storage.
 
 use crate::{Result, Shape, TensorError};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A dense, contiguous, row-major `f32` tensor.
 ///
@@ -9,10 +10,18 @@ use serde::{Deserialize, Serialize};
 /// Operations that could fail on shape mismatch return [`Result`]; helpers
 /// ending in `_unchecked` assume the caller validated shapes and are used in
 /// hot inner loops.
+///
+/// Storage is **copy-on-write**: [`Clone`] (and [`Tensor::reshape`]) share
+/// the underlying buffer, and the first mutation through any `&mut self`
+/// method materializes a private copy ([`Arc::make_mut`]). A fleet of
+/// sessions cloned from one pretrained template therefore costs one buffer
+/// per *written* tensor, not one per session — frozen weights stay
+/// physically shared. [`Tensor::shares_storage`] / [`Tensor::storage_id`]
+/// expose the sharing structure for memory accounting.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
     shape: Shape,
-    data: Vec<f32>,
+    data: Arc<Vec<f32>>,
 }
 
 impl Tensor {
@@ -25,7 +34,7 @@ impl Tensor {
         let n = shape.numel();
         Tensor {
             shape,
-            data: vec![0.0; n],
+            data: Arc::new(vec![0.0; n]),
         }
     }
 
@@ -39,7 +48,7 @@ impl Tensor {
         let n = shape.numel();
         Tensor {
             shape,
-            data: vec![value; n],
+            data: Arc::new(vec![value; n]),
         }
     }
 
@@ -53,14 +62,17 @@ impl Tensor {
                 actual: data.len(),
             });
         }
-        Ok(Tensor { shape, data })
+        Ok(Tensor {
+            shape,
+            data: Arc::new(data),
+        })
     }
 
     /// Build a 1-D tensor from a slice.
     pub fn from_slice(data: &[f32]) -> Self {
         Tensor {
             shape: Shape::vector(data.len()),
-            data: data.to_vec(),
+            data: Arc::new(data.to_vec()),
         }
     }
 
@@ -80,17 +92,39 @@ impl Tensor {
 
     /// Immutable view of the underlying buffer (row-major).
     pub fn data(&self) -> &[f32] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// Mutable view of the underlying buffer (row-major).
+    ///
+    /// If the buffer is shared with other tensors (copy-on-write clones), a
+    /// private copy is materialized first; a uniquely owned buffer is
+    /// returned in place at the cost of one refcount check.
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        Arc::make_mut(&mut self.data).as_mut_slice()
     }
 
-    /// Consume the tensor and return its buffer.
+    /// Consume the tensor and return its buffer (copying only if the buffer
+    /// is still shared with another tensor).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        Arc::try_unwrap(self.data).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// Bytes of `f32` payload in the underlying buffer (shared or not).
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Stable identity of the underlying copy-on-write buffer. Two tensors
+    /// with equal `storage_id` physically share one allocation.
+    pub fn storage_id(&self) -> usize {
+        Arc::as_ptr(&self.data) as usize
+    }
+
+    /// Whether `self` and `other` physically share one copy-on-write buffer
+    /// (a clone that neither side has written through yet).
+    pub fn shares_storage(&self, other: &Tensor) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
     }
 
     /// Element at a multi-dimensional index.
@@ -101,7 +135,7 @@ impl Tensor {
     /// Set the element at a multi-dimensional index.
     pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
         let off = self.shape.offset(index)?;
-        self.data[off] = value;
+        Arc::make_mut(&mut self.data)[off] = value;
         Ok(())
     }
 
@@ -124,7 +158,7 @@ impl Tensor {
         let d = self.shape.dims();
         debug_assert_eq!(d.len(), 4);
         let idx = ((n * d[1] + c) * d[2] + h) * d[3] + w;
-        self.data[idx] = value;
+        Arc::make_mut(&mut self.data)[idx] = value;
     }
 
     // ------------------------------------------------------------------
@@ -170,13 +204,14 @@ impl Tensor {
         }
         let mut out = Tensor::zeros(Shape::nchw(n, total_c, h, w));
         let plane = h * w;
+        let out_data = Arc::make_mut(&mut out.data);
         for ni in 0..n {
             let mut c_off = 0usize;
             for t in tensors {
                 let tc = t.shape.dim(1);
                 let src_base = ni * tc * plane;
                 let dst_base = (ni * total_c + c_off) * plane;
-                out.data[dst_base..dst_base + tc * plane]
+                out_data[dst_base..dst_base + tc * plane]
                     .copy_from_slice(&t.data[src_base..src_base + tc * plane]);
                 c_off += tc;
             }
@@ -227,10 +262,11 @@ impl Tensor {
         }
         let mut out = Tensor::zeros(Shape::nchw(n, len, h, w));
         let plane = h * w;
+        let out_data = Arc::make_mut(&mut out.data);
         for ni in 0..n {
             let src_base = (ni * c + start) * plane;
             let dst_base = ni * len * plane;
-            out.data[dst_base..dst_base + len * plane]
+            out_data[dst_base..dst_base + len * plane]
                 .copy_from_slice(&self.data[src_base..src_base + len * plane]);
         }
         Ok(out)
@@ -254,12 +290,13 @@ impl Tensor {
     /// Elementwise sum, returning a new tensor.
     pub fn add(&self, other: &Tensor) -> Result<Tensor> {
         self.check_same_shape(other, "add")?;
-        let data = self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| a + b)
-            .collect();
+        let data = Arc::new(
+            self.data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        );
         Ok(Tensor {
             shape: self.shape.clone(),
             data,
@@ -269,12 +306,13 @@ impl Tensor {
     /// Elementwise difference, returning a new tensor.
     pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
         self.check_same_shape(other, "sub")?;
-        let data = self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| a - b)
-            .collect();
+        let data = Arc::new(
+            self.data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        );
         Ok(Tensor {
             shape: self.shape.clone(),
             data,
@@ -284,12 +322,13 @@ impl Tensor {
     /// Elementwise product, returning a new tensor.
     pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
         self.check_same_shape(other, "mul")?;
-        let data = self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| a * b)
-            .collect();
+        let data = Arc::new(
+            self.data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| a * b)
+                .collect(),
+        );
         Ok(Tensor {
             shape: self.shape.clone(),
             data,
@@ -299,7 +338,10 @@ impl Tensor {
     /// In-place elementwise accumulate: `self += other`.
     pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
         self.check_same_shape(other, "add_assign")?;
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+        for (a, b) in Arc::make_mut(&mut self.data)
+            .iter_mut()
+            .zip(other.data.iter())
+        {
             *a += b;
         }
         Ok(())
@@ -308,7 +350,10 @@ impl Tensor {
     /// In-place scaled accumulate: `self += alpha * other` (axpy).
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
         self.check_same_shape(other, "axpy")?;
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+        for (a, b) in Arc::make_mut(&mut self.data)
+            .iter_mut()
+            .zip(other.data.iter())
+        {
             *a += alpha * b;
         }
         Ok(())
@@ -318,13 +363,13 @@ impl Tensor {
     pub fn scale(&self, alpha: f32) -> Tensor {
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|x| x * alpha).collect(),
+            data: Arc::new(self.data.iter().map(|x| x * alpha).collect()),
         }
     }
 
     /// Multiply every element by `alpha` in place.
     pub fn scale_in_place(&mut self, alpha: f32) {
-        for x in &mut self.data {
+        for x in Arc::make_mut(&mut self.data).iter_mut() {
             *x *= alpha;
         }
     }
@@ -333,13 +378,13 @@ impl Tensor {
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data: Arc::new(self.data.iter().map(|&x| f(x)).collect()),
         }
     }
 
     /// Fill the tensor with zeros in place (reusing the allocation).
     pub fn zero_(&mut self) {
-        for x in &mut self.data {
+        for x in Arc::make_mut(&mut self.data).iter_mut() {
             *x = 0.0;
         }
     }

@@ -498,3 +498,226 @@ fn experiment_record_round_trips_through_the_wire_codec() {
     assert_eq!(decoded, record);
     assert_eq!(encode_frame(&decoded), encoded);
 }
+
+// ---- Content-keyed weight store & delta-update properties ----
+//
+// The delta protocol's contract (see `st_nn::delta`): applying the delta of
+// an update against the base the client holds reproduces the update bit for
+// bit, digests stay in lockstep without ever crossing the wire, corrupted
+// payloads come back as typed `WireError`s, and the weight store's chunk
+// refcounts always equal the live references — including under the
+// deliberately buggy `release_skipping` mutant, which the invariant check
+// must catch.
+
+use st_net::Wire;
+use st_nn::delta::{CheckpointDigest, WeightDelta, WeightPayload};
+use st_nn::store::{CheckpointRef, WeightStore};
+use st_nn::student::StudentNet as DeltaNet;
+
+fn partial_net(seed: u64) -> DeltaNet {
+    let mut net = StudentNet::new(StudentConfig {
+        seed,
+        ..StudentConfig::tiny()
+    })
+    .unwrap();
+    net.freeze = DistillationMode::Partial.freeze_point();
+    net
+}
+
+fn train_step(net: &mut DeltaNet, seed: u64) {
+    let x = st_tensor::random::uniform(st_tensor::Shape::nchw(1, 3, 16, 16), 0.0, 1.0, seed);
+    let y = net.forward_train(&x).unwrap();
+    net.backward(&y).unwrap();
+    st_nn::optim::Adam::new(0.01).step(net);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any training trajectory, shipping every update as a sparse delta
+    /// reproduces the server's weights on the client bit for bit, and the
+    /// two digests stay synchronized without ever being exchanged. A final
+    /// no-op update reduces to an empty delta (the converged-key-frame wire
+    /// saving `table13_weight_dedup` measures).
+    #[test]
+    fn delta_stream_reproduces_the_server_bit_for_bit(seed in 0u64..500, rounds in 1usize..4) {
+        let mut server = partial_net(seed);
+        let mut client = partial_net(seed);
+        let mut server_digest =
+            CheckpointDigest::of(&WeightSnapshot::capture(&mut server, SnapshotScope::Full));
+        let mut client_digest =
+            CheckpointDigest::of(&WeightSnapshot::capture(&mut client, SnapshotScope::Full));
+        let mut previous = None;
+        for round in 0..rounds {
+            train_step(&mut server, seed.wrapping_mul(31).wrapping_add(round as u64));
+            let update = WeightSnapshot::capture(&mut server, SnapshotScope::TrainableOnly);
+            let delta = WeightDelta::compute(&update, &server_digest);
+            prop_assert!(delta.entry_count() <= update.entry_count());
+            server_digest.patch(&update);
+
+            let encoded = Wire::encode(&WeightPayload::Delta(delta));
+            let WeightPayload::Delta(delta) =
+                <WeightPayload as Wire>::decode(&mut &encoded[..]).unwrap()
+            else {
+                panic!("envelope variant changed in flight")
+            };
+            prop_assert!(delta.check_base(&client_digest, previous).is_ok());
+            previous = Some(client_digest.combined());
+            let (sparse, chunks) = delta.into_parts().unwrap();
+            sparse.apply(&mut client).unwrap();
+            client_digest.patch_chunks(&chunks);
+            prop_assert_eq!(server_digest.combined(), client_digest.combined());
+        }
+        // An update with no training in between is an empty delta: envelope
+        // bytes only, and applying it changes nothing.
+        let update = WeightSnapshot::capture(&mut server, SnapshotScope::TrainableOnly);
+        let delta = WeightDelta::compute(&update, &server_digest);
+        prop_assert_eq!(delta.entry_count(), 0);
+        prop_assert!(delta.check_base(&client_digest, previous).is_ok());
+        let (sparse, _) = delta.into_parts().unwrap();
+        sparse.apply(&mut client).unwrap();
+
+        let server_state = WeightSnapshot::capture(&mut server, SnapshotScope::Full);
+        let client_state = WeightSnapshot::capture(&mut client, SnapshotScope::Full);
+        prop_assert_eq!(server_state.encode(), client_state.encode());
+    }
+
+    /// Corrupting a delta payload in each of the protocol's failure modes
+    /// yields the matching typed `WireError` — truncation anywhere, an
+    /// unknown envelope tag, an unknown scope tag, and base-checkpoint
+    /// mismatches (stale vs unknown) — never a panic or a silent
+    /// mis-apply.
+    #[test]
+    fn corrupted_delta_payloads_fail_with_typed_errors(seed in 0u64..500, cut in any::<usize>()) {
+        let mut server = partial_net(seed);
+        let base =
+            CheckpointDigest::of(&WeightSnapshot::capture(&mut server, SnapshotScope::Full));
+        train_step(&mut server, seed.wrapping_add(7));
+        let update = WeightSnapshot::capture(&mut server, SnapshotScope::TrainableOnly);
+        let delta = WeightDelta::compute(&update, &base);
+        prop_assert!(delta.entry_count() > 0, "training must change something");
+        let encoded = Wire::encode(&WeightPayload::Delta(delta.clone()));
+
+        // Truncation anywhere in the envelope fails as Truncated.
+        let cut = cut % encoded.len();
+        prop_assert!(matches!(
+            <WeightPayload as Wire>::decode(&mut &encoded[..cut]).unwrap_err(),
+            WireError::Truncated { .. }
+        ));
+
+        // An envelope tag naming no payload variant.
+        let mut bad = encoded.clone();
+        bad[0] = 9;
+        prop_assert!(matches!(
+            <WeightPayload as Wire>::decode(&mut &bad[..]).unwrap_err(),
+            WireError::UnknownVariant { type_name: "WeightPayload", .. }
+        ));
+
+        // A scope byte naming no snapshot scope (envelope tag, u64 base,
+        // then the scope byte).
+        let mut bad = encoded;
+        bad[1 + 8] = 7;
+        prop_assert!(matches!(
+            <WeightPayload as Wire>::decode(&mut &bad[..]).unwrap_err(),
+            WireError::UnknownVariant { type_name: "SnapshotScope", .. }
+        ));
+
+        // A client that advanced past the delta's base classifies it as
+        // stale when the base is its previous checkpoint, unknown otherwise.
+        let mut advanced = base.clone();
+        advanced.patch(&update);
+        prop_assert!(advanced.combined() != base.combined());
+        prop_assert!(matches!(
+            delta.check_base(&advanced, Some(base.combined())).unwrap_err(),
+            WireError::StaleBaseCheckpoint { base: b } if b == base.combined()
+        ));
+        prop_assert!(matches!(
+            delta.check_base(&advanced, None).unwrap_err(),
+            WireError::UnknownBaseCheckpoint { .. }
+        ));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Under any interleaving of session lifecycle events — intern (create
+    /// a session / publish a replica), retain (replicate/adopt), release
+    /// (drop), resolve_release (failover restore) — every chunk's stored
+    /// refcount equals the number of live references, restores come back
+    /// bit-identical to what was interned, and draining every reference
+    /// frees every byte.
+    #[test]
+    fn weight_store_refcounts_match_live_refs_under_any_interleaving(
+        seeds in prop::collection::vec(0u64..6, 1..3),
+        ops in prop::collection::vec((0usize..4, any::<usize>()), 1..32),
+    ) {
+        let store = WeightStore::new();
+        let snapshots: Vec<WeightSnapshot> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| {
+                let mut net = partial_net(seed);
+                let scope = if i % 2 == 0 { SnapshotScope::Full } else { SnapshotScope::TrainableOnly };
+                WeightSnapshot::capture(&mut net, scope)
+            })
+            .collect();
+        // Live references, each tagged with the snapshot it was interned
+        // from so restores can be checked for aliasing corruption.
+        let mut live: Vec<(usize, CheckpointRef)> = Vec::new();
+        for (op, pick) in ops {
+            match op {
+                0 => {
+                    let source = pick % snapshots.len();
+                    let (r, _) = store.intern(&snapshots[source]);
+                    live.push((source, r));
+                }
+                1 if !live.is_empty() => {
+                    let (_, r) = live.remove(pick % live.len());
+                    store.release(r);
+                }
+                2 if !live.is_empty() => {
+                    let (source, r) = &live[pick % live.len()];
+                    let copy = store.retain(r);
+                    live.push((*source, copy));
+                }
+                3 if !live.is_empty() => {
+                    let (source, r) = live.remove(pick % live.len());
+                    let restored = store.resolve_release(r).unwrap();
+                    prop_assert_eq!(
+                        restored.encode(),
+                        snapshots[source].encode(),
+                        "restore corrupted by chunk aliasing"
+                    );
+                }
+                _ => {}
+            }
+            let refs: Vec<&CheckpointRef> = live.iter().map(|(_, r)| r).collect();
+            if let Err(violation) = store.verify_refcounts(&refs) {
+                prop_assert!(false, "refcount invariant broken: {}", violation);
+            }
+        }
+        for (_, r) in live.drain(..) {
+            store.release(r);
+        }
+        prop_assert_eq!(store.chunk_count(), 0);
+        prop_assert_eq!(store.resident_bytes(), 0);
+    }
+
+    /// The mutant: a release that "forgets" to decrement the last `skip`
+    /// chunks must be caught by the refcount invariant — proof the check
+    /// actually pins the accounting and would catch a real leak.
+    #[test]
+    fn skipped_decref_mutant_is_caught(seed in 0u64..100, skip in 1usize..6) {
+        let store = WeightStore::new();
+        let mut net = partial_net(seed);
+        let snapshot = WeightSnapshot::capture(&mut net, SnapshotScope::Full);
+        let (a, _) = store.intern(&snapshot);
+        let (b, _) = store.intern(&snapshot);
+        store.release_skipping(b, skip);
+        prop_assert!(
+            store.verify_refcounts(&[&a]).is_err(),
+            "a skipped decref went unnoticed"
+        );
+    }
+}

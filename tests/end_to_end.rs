@@ -658,6 +658,7 @@ fn batched_cnn_teacher_amortizes_measured_cost_in_the_pool() {
         shard.register(
             spec.stream_id,
             shadowtutor::serve::FrameStore::from_frames(&spec.frames, None),
+            false,
         );
         for frame in &spec.frames {
             jobs.push(ShardJob {
